@@ -1,0 +1,67 @@
+//! Criterion benches for the optimizers themselves (Table 2's algorithms).
+//!
+//! Two groups:
+//! * `table2_planning` — planning time of TPLO / ETPLG / GG / optimal on
+//!   the paper's Test-4 workload (the §8 time/space trade-off: GG searches
+//!   more than ETPLG, ETPLG more than TPLO);
+//! * `table2_end_to_end` — plan + execute, per algorithm, on each of
+//!   Tests 4–7 (real wall time; simulated seconds live in the `table2`
+//!   binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use starshare_bench::{build_engine, query};
+use starshare_core::{paper_queries::paper_test_queries, GroupByQuery, OptimizerKind};
+
+fn bench_scale() -> f64 {
+    std::env::var("STARSHARE_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.05)
+}
+
+fn bench_planning(c: &mut Criterion) {
+    let engine = build_engine(bench_scale());
+    let queries: Vec<GroupByQuery> = paper_test_queries(4)
+        .iter()
+        .map(|&n| query(&engine, n))
+        .collect();
+    let cm = engine.cost_model();
+    let mut g = c.benchmark_group("table2_planning");
+    for kind in OptimizerKind::ALL {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(kind.to_string()),
+            &kind,
+            |b, &kind| b.iter(|| kind.run(&cm, &queries).expect("plans")),
+        );
+    }
+    g.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut engine = build_engine(bench_scale());
+    let mut g = c.benchmark_group("table2_end_to_end");
+    g.sample_size(10);
+    for test in 4..=7usize {
+        let queries: Vec<GroupByQuery> = paper_test_queries(test)
+            .iter()
+            .map(|&n| query(&engine, n))
+            .collect();
+        for kind in OptimizerKind::ALL {
+            g.bench_with_input(
+                BenchmarkId::new(format!("test{test}"), kind.to_string()),
+                &kind,
+                |b, &kind| {
+                    b.iter(|| {
+                        let plan = engine.optimize(&queries, kind).expect("plans");
+                        engine.flush();
+                        engine.execute_plan(&plan).expect("executes")
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_planning, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Ablations beyond the paper: CPU/I-O cost-ratio sweep and buffer-pool
+//! size sweep (see DESIGN.md §5).
+
+fn main() {
+    let scale = starshare_bench::scale_from_env().min(0.1);
+    eprintln!("running ablations at scale {scale} (capped for sweep cost)…");
+
+    println!("Ablation A: I/O cost ratio × Test-4 workload (TPLO plan vs GG plan)");
+    println!("{:>9} {:>12} {:>12}", "io scale", "TPLO plan", "GG plan");
+    for (r, t, g) in starshare_bench::ablation_io_ratio(scale) {
+        println!("{r:>9} {:>11.3}s {:>11.3}s", t.as_secs_f64(), g.as_secs_f64());
+    }
+    println!();
+    println!("Ablation B: buffer-pool pages × Test-1 queries (separate, warm pool, vs shared scan)");
+    println!("{:>10} {:>12} {:>12}", "pool pages", "separate", "shared");
+    for (p, s, sh) in starshare_bench::ablation_pool_size(scale) {
+        println!("{p:>10} {:>11.3}s {:>11.3}s", s.as_secs_f64(), sh.as_secs_f64());
+    }
+
+    println!();
+    println!("Ablation C: GGI improvement passes vs GG (random 4-query workloads)");
+    let (n, improved, cost_ratio, time_ratio) = starshare_bench::ablation_ggi(scale, 20, 4);
+    println!(
+        "  {improved}/{n} workloads improved; mean cost ratio {cost_ratio:.4};          mean planning-time ratio {time_ratio:.1}×"
+    );
+
+    println!();
+    println!("Ablation D: bitmap index storage format × physical layout");
+    println!(
+        "{:>12} {:>12} {:>12} {:>14}",
+        "layout", "format", "index pages", "probe-query sim"
+    );
+    for (layout, name, pages, sim) in starshare_bench::ablation_index_format(scale) {
+        println!(
+            "{layout:>12} {name:>12} {pages:>12} {:>13.3}s",
+            sim.as_secs_f64()
+        );
+    }
+
+    println!();
+    println!("Ablation E: data skew vs the cost model's uniformity assumption (GG plans)");
+    println!(
+        "{:>8} {:>11} {:>16} {:>12} {:>12} {:>8}",
+        "zipf θ", "estimator", "workload", "estimated", "measured", "error"
+    );
+    for (theta, with_stats, label, est, meas) in starshare_bench::ablation_skew(scale) {
+        let err = (meas.as_secs_f64() - est.as_secs_f64()) / est.as_secs_f64().max(1e-9);
+        println!(
+            "{theta:>8} {:>11} {label:>16} {:>11.3}s {:>11.3}s {:>7.1}%",
+            if with_stats { "histograms" } else { "uniform" },
+            est.as_secs_f64(),
+            meas.as_secs_f64(),
+            err * 100.0
+        );
+    }
+}

@@ -1,0 +1,9 @@
+//! Regenerates the paper's Figure 11: shared vs separate execution.
+
+fn main() {
+    let scale = starshare_bench::scale_from_env();
+    eprintln!("building paper cube at scale {scale}…");
+    let mut engine = starshare_bench::build_engine(scale);
+    let fig = starshare_bench::fig11(&mut engine);
+    print!("{}", starshare_bench::render_figure(&fig));
+}

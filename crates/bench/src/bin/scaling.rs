@@ -1,0 +1,19 @@
+//! The §8 scaling study: planning time vs plan quality per algorithm as
+//! the number of simultaneous queries grows. ("The run time of GG is
+//! bigger than that of ETPLG, and ETPLG is slower than TPLO. The study of
+//! this trade-off may lead to the discovery of new algorithms…" — the
+//! GGI column is this library's entry.)
+
+fn main() {
+    let scale = starshare_bench::scale_from_env().min(0.1);
+    eprintln!("building paper cube at scale {scale}…");
+    let rows = starshare_bench::scaling_study(scale, &[2, 4, 8, 16, 32], 5);
+    println!("planning time (mean wall) and estimated plan cost, 5 random workloads per size");
+    for row in rows {
+        println!("\n{} queries:", row.n_queries);
+        println!("{:<8} {:>14} {:>14}", "algo", "plan time", "plan cost");
+        for (name, t, c) in &row.algos {
+            println!("{name:<8} {t:>14?} {:>13.3}s", c.as_secs_f64());
+        }
+    }
+}

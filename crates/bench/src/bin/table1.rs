@@ -1,0 +1,16 @@
+//! Regenerates the paper's Table 1: materialized group-by sizes.
+
+fn main() {
+    let scale = starshare_bench::scale_from_env();
+    eprintln!("building paper cube at scale {scale}…");
+    let engine = starshare_bench::build_engine(scale);
+    println!("Table 1: materialized group-bys (scale {scale})");
+    println!("{:<12} {:>12} {:>10}", "group-by", "tuples", "pages");
+    for (name, rows, pages) in starshare_bench::table1(&engine) {
+        println!("{name:<12} {rows:>12} {pages:>10}");
+    }
+    println!();
+    println!("paper (2,000,000-row base): ABCD 2,000,000; A'B'C'D 1,000,000;");
+    println!("mid views ≈700,000–750,000; small view ≈150,000 (Table 1 is");
+    println!("partially garbled in the surviving text — see EXPERIMENTS.md).");
+}

@@ -1,0 +1,18 @@
+//! Regenerates the paper's Table 2: TPLO vs ETPLG vs GG vs optimal on
+//! Tests 4–7. Pass a test number (4–7) to run just one.
+
+fn main() {
+    let scale = starshare_bench::scale_from_env();
+    let arg: Option<usize> = std::env::args().nth(1).and_then(|s| s.parse().ok());
+    eprintln!("building paper cube at scale {scale}…");
+    let mut engine = starshare_bench::build_engine(scale);
+    let tests: Vec<usize> = match arg {
+        Some(t) => vec![t],
+        None => vec![4, 5, 6, 7],
+    };
+    for t in tests {
+        let rows = starshare_bench::table2_test(&mut engine, t);
+        print!("{}", starshare_bench::render_table2(t, &rows));
+        println!();
+    }
+}

@@ -1,0 +1,351 @@
+//! Uncompressed bitvectors.
+//!
+//! A [`Bitmap`] is a fixed-length vector of bits backed by `u64` words. The
+//! boolean combinators return the number of words they touched so callers
+//! can charge the simulated CPU clock (`HardwareModel::bitmap_word_ns`).
+
+/// A fixed-length bitvector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitmap {
+    len: u64,
+    words: Vec<u64>,
+}
+
+impl Bitmap {
+    /// An all-zero bitmap of `len` bits.
+    pub fn new(len: u64) -> Self {
+        Bitmap {
+            len,
+            words: vec![0; Self::words_for(len)],
+        }
+    }
+
+    /// An all-one bitmap of `len` bits.
+    pub fn ones(len: u64) -> Self {
+        let mut b = Bitmap {
+            len,
+            words: vec![!0u64; Self::words_for(len)],
+        };
+        b.mask_tail();
+        b
+    }
+
+    /// Builds a bitmap of `len` bits with exactly the given positions set.
+    ///
+    /// # Panics
+    /// Panics if any position is out of range.
+    pub fn from_positions(len: u64, positions: &[u64]) -> Self {
+        let mut b = Bitmap::new(len);
+        for &p in positions {
+            b.set(p);
+        }
+        b
+    }
+
+    fn words_for(len: u64) -> usize {
+        len.div_ceil(64) as usize
+    }
+
+    fn mask_tail(&mut self) {
+        let tail_bits = (self.len % 64) as u32;
+        if tail_bits != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail_bits) - 1;
+            }
+        }
+    }
+
+    /// Length in bits.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True if the bitmap has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of 64-bit words backing the bitmap.
+    pub fn word_count(&self) -> u64 {
+        self.words.len() as u64
+    }
+
+    /// Size in bytes when stored (used for index I/O accounting).
+    pub fn byte_size(&self) -> u64 {
+        self.word_count() * 8
+    }
+
+    /// Extends the bitmap to `new_len` bits; new bits are zero.
+    ///
+    /// # Panics
+    /// Panics if `new_len < len`.
+    pub fn grow(&mut self, new_len: u64) {
+        assert!(new_len >= self.len, "grow cannot shrink");
+        self.len = new_len;
+        self.words.resize(Self::words_for(new_len), 0);
+    }
+
+    /// Sets bit `pos`.
+    ///
+    /// # Panics
+    /// Panics if `pos >= len`.
+    pub fn set(&mut self, pos: u64) {
+        assert!(pos < self.len, "bit {pos} out of range (len {})", self.len);
+        self.words[(pos / 64) as usize] |= 1u64 << (pos % 64);
+    }
+
+    /// Clears bit `pos`.
+    pub fn clear(&mut self, pos: u64) {
+        assert!(pos < self.len, "bit {pos} out of range (len {})", self.len);
+        self.words[(pos / 64) as usize] &= !(1u64 << (pos % 64));
+    }
+
+    /// Reads bit `pos`.
+    pub fn get(&self, pos: u64) -> bool {
+        assert!(pos < self.len, "bit {pos} out of range (len {})", self.len);
+        (self.words[(pos / 64) as usize] >> (pos % 64)) & 1 == 1
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u64 {
+        self.words.iter().map(|w| w.count_ones() as u64).sum()
+    }
+
+    /// True if no bit is set.
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// `self &= other`. Returns words processed.
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn and_assign(&mut self, other: &Bitmap) -> u64 {
+        self.check_len(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= *b;
+        }
+        self.word_count()
+    }
+
+    /// `self |= other`. Returns words processed.
+    pub fn or_assign(&mut self, other: &Bitmap) -> u64 {
+        self.check_len(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= *b;
+        }
+        self.word_count()
+    }
+
+    /// `self &= !other`. Returns words processed.
+    pub fn and_not_assign(&mut self, other: &Bitmap) -> u64 {
+        self.check_len(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !*b;
+        }
+        self.word_count()
+    }
+
+    /// True if `self & other` has any set bit (no allocation).
+    pub fn intersects(&self, other: &Bitmap) -> bool {
+        self.check_len(other);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .any(|(a, b)| a & b != 0)
+    }
+
+    /// Iterator over positions of set bits, ascending.
+    pub fn iter_ones(&self) -> OnesIter<'_> {
+        OnesIter {
+            bitmap: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    fn check_len(&self, other: &Bitmap) {
+        assert_eq!(
+            self.len, other.len,
+            "bitmap length mismatch: {} vs {}",
+            self.len, other.len
+        );
+    }
+}
+
+/// Iterator over set-bit positions of a [`Bitmap`].
+#[derive(Debug)]
+pub struct OnesIter<'a> {
+    bitmap: &'a Bitmap,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for OnesIter<'_> {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as u64;
+                self.current &= self.current - 1; // clear lowest set bit
+                return Some(self.word_idx as u64 * 64 + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.bitmap.words.len() {
+                return None;
+            }
+            self.current = self.bitmap.words[self.word_idx];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn set_get_clear() {
+        let mut b = Bitmap::new(130);
+        assert!(!b.get(0));
+        b.set(0);
+        b.set(64);
+        b.set(129);
+        assert!(b.get(0) && b.get(64) && b.get(129));
+        assert!(!b.get(1) && !b.get(63) && !b.get(128));
+        b.clear(64);
+        assert!(!b.get(64));
+        assert_eq!(b.count_ones(), 2);
+    }
+
+    #[test]
+    fn ones_masks_tail() {
+        let b = Bitmap::ones(70);
+        assert_eq!(b.count_ones(), 70);
+        assert_eq!(b.word_count(), 2);
+    }
+
+    #[test]
+    fn ones_exact_word_boundary() {
+        let b = Bitmap::ones(128);
+        assert_eq!(b.count_ones(), 128);
+    }
+
+    #[test]
+    fn empty_bitmap() {
+        let b = Bitmap::new(0);
+        assert!(b.is_empty());
+        assert!(b.is_zero());
+        assert_eq!(b.iter_ones().count(), 0);
+        assert_eq!(b.word_count(), 0);
+    }
+
+    #[test]
+    fn boolean_ops() {
+        let a = Bitmap::from_positions(200, &[1, 5, 100, 199]);
+        let b = Bitmap::from_positions(200, &[5, 100, 150]);
+
+        let mut and = a.clone();
+        let words = and.and_assign(&b);
+        assert_eq!(words, 4);
+        assert_eq!(and.iter_ones().collect::<Vec<_>>(), vec![5, 100]);
+
+        let mut or = a.clone();
+        or.or_assign(&b);
+        assert_eq!(
+            or.iter_ones().collect::<Vec<_>>(),
+            vec![1, 5, 100, 150, 199]
+        );
+
+        let mut diff = a.clone();
+        diff.and_not_assign(&b);
+        assert_eq!(diff.iter_ones().collect::<Vec<_>>(), vec![1, 199]);
+
+        assert!(a.intersects(&b));
+        let c = Bitmap::from_positions(200, &[0, 2]);
+        assert!(!c.intersects(&b));
+    }
+
+    #[test]
+    fn iter_ones_across_words() {
+        let positions = vec![0, 63, 64, 127, 128, 191];
+        let b = Bitmap::from_positions(192, &positions);
+        assert_eq!(b.iter_ones().collect::<Vec<_>>(), positions);
+    }
+
+    #[test]
+    fn byte_size_rounds_to_words() {
+        assert_eq!(Bitmap::new(1).byte_size(), 8);
+        assert_eq!(Bitmap::new(64).byte_size(), 8);
+        assert_eq!(Bitmap::new(65).byte_size(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_out_of_range_panics() {
+        Bitmap::new(10).set(10);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        let mut a = Bitmap::new(10);
+        let b = Bitmap::new(11);
+        a.and_assign(&b);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_or_is_set_union(
+            xs in proptest::collection::btree_set(0u64..500, 0..50),
+            ys in proptest::collection::btree_set(0u64..500, 0..50),
+        ) {
+            let a = Bitmap::from_positions(500, &xs.iter().copied().collect::<Vec<_>>());
+            let b = Bitmap::from_positions(500, &ys.iter().copied().collect::<Vec<_>>());
+            let mut o = a.clone();
+            o.or_assign(&b);
+            let expect: Vec<u64> = xs.union(&ys).copied().collect();
+            prop_assert_eq!(o.iter_ones().collect::<Vec<_>>(), expect);
+        }
+
+        #[test]
+        fn prop_and_is_set_intersection(
+            xs in proptest::collection::btree_set(0u64..500, 0..50),
+            ys in proptest::collection::btree_set(0u64..500, 0..50),
+        ) {
+            let a = Bitmap::from_positions(500, &xs.iter().copied().collect::<Vec<_>>());
+            let b = Bitmap::from_positions(500, &ys.iter().copied().collect::<Vec<_>>());
+            let mut o = a.clone();
+            o.and_assign(&b);
+            let expect: Vec<u64> = xs.intersection(&ys).copied().collect();
+            prop_assert_eq!(o.iter_ones().collect::<Vec<_>>(), expect);
+            prop_assert_eq!(o.count_ones() as usize, xs.intersection(&ys).count());
+        }
+
+        #[test]
+        fn prop_and_not_is_set_difference(
+            xs in proptest::collection::btree_set(0u64..500, 0..50),
+            ys in proptest::collection::btree_set(0u64..500, 0..50),
+        ) {
+            let a = Bitmap::from_positions(500, &xs.iter().copied().collect::<Vec<_>>());
+            let b = Bitmap::from_positions(500, &ys.iter().copied().collect::<Vec<_>>());
+            let mut o = a.clone();
+            o.and_not_assign(&b);
+            let expect: Vec<u64> = xs.difference(&ys).copied().collect();
+            prop_assert_eq!(o.iter_ones().collect::<Vec<_>>(), expect);
+        }
+
+        #[test]
+        fn prop_intersects_matches_and(
+            xs in proptest::collection::btree_set(0u64..300, 0..30),
+            ys in proptest::collection::btree_set(0u64..300, 0..30),
+        ) {
+            let a = Bitmap::from_positions(300, &xs.iter().copied().collect::<Vec<_>>());
+            let b = Bitmap::from_positions(300, &ys.iter().copied().collect::<Vec<_>>());
+            let mut and = a.clone();
+            and.and_assign(&b);
+            prop_assert_eq!(a.intersects(&b), !and.is_zero());
+        }
+    }
+}

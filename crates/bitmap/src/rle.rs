@@ -1,0 +1,185 @@
+//! Run-length encoded bitmaps.
+//!
+//! [`RleBitmap`] stores a bitmap as sorted, disjoint, non-adjacent runs of
+//! set bits. Join-index bitmaps over clustered fact tables are highly
+//! run-compressible, so this is the storage format a production deployment
+//! would use for the on-disk index; the engine's operators work on the
+//! uncompressed [`Bitmap`] form and this module provides lossless
+//! conversion plus the size accounting a cost model needs to compare the
+//! two representations. (The paper assumes plain bitmaps; RLE is an
+//! extension, used by the index-size ablation bench.)
+
+use crate::bitvec::Bitmap;
+
+/// A run of consecutive set bits: positions `start .. start + len`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Run {
+    /// First set position.
+    pub start: u64,
+    /// Number of consecutive set bits (always ≥ 1).
+    pub len: u64,
+}
+
+/// A run-length encoded bitmap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RleBitmap {
+    len: u64,
+    runs: Vec<Run>,
+}
+
+impl RleBitmap {
+    /// Compresses a plain bitmap.
+    pub fn from_bitmap(bm: &Bitmap) -> Self {
+        let mut runs = Vec::new();
+        let mut current: Option<Run> = None;
+        for pos in bm.iter_ones() {
+            match current.as_mut() {
+                Some(r) if r.start + r.len == pos => r.len += 1,
+                _ => {
+                    if let Some(r) = current.take() {
+                        runs.push(r);
+                    }
+                    current = Some(Run { start: pos, len: 1 });
+                }
+            }
+        }
+        if let Some(r) = current {
+            runs.push(r);
+        }
+        RleBitmap {
+            len: bm.len(),
+            runs,
+        }
+    }
+
+    /// Decompresses back to a plain bitmap.
+    pub fn to_bitmap(&self) -> Bitmap {
+        let mut bm = Bitmap::new(self.len);
+        for r in &self.runs {
+            for p in r.start..r.start + r.len {
+                bm.set(p);
+            }
+        }
+        bm
+    }
+
+    /// Length in bits of the represented bitmap.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True if the represented bitmap has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of runs.
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Set bits.
+    pub fn count_ones(&self) -> u64 {
+        self.runs.iter().map(|r| r.len).sum()
+    }
+
+    /// Stored size: 16 bytes per run (two u64s).
+    pub fn byte_size(&self) -> u64 {
+        self.runs.len() as u64 * 16
+    }
+
+    /// Whether RLE is smaller than the uncompressed form.
+    pub fn is_smaller_than_plain(&self) -> bool {
+        self.byte_size() < self.len.div_ceil(64) * 8
+    }
+
+    /// The runs, sorted and disjoint.
+    pub fn runs(&self) -> &[Run] {
+        &self.runs
+    }
+
+    /// Membership test by binary search over runs.
+    pub fn get(&self, pos: u64) -> bool {
+        assert!(pos < self.len, "bit {pos} out of range (len {})", self.len);
+        match self.runs.binary_search_by(|r| r.start.cmp(&pos)) {
+            Ok(_) => true,
+            Err(0) => false,
+            Err(i) => {
+                let r = self.runs[i - 1];
+                pos < r.start + r.len
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn dense_bitmap_compresses_to_one_run() {
+        let bm = Bitmap::ones(1000);
+        let rle = RleBitmap::from_bitmap(&bm);
+        assert_eq!(rle.run_count(), 1);
+        assert_eq!(rle.count_ones(), 1000);
+        assert!(rle.is_smaller_than_plain());
+        assert_eq!(rle.to_bitmap(), bm);
+    }
+
+    #[test]
+    fn alternating_bits_do_not_compress() {
+        let positions: Vec<u64> = (0..500).map(|i| i * 2).collect();
+        let bm = Bitmap::from_positions(1000, &positions);
+        let rle = RleBitmap::from_bitmap(&bm);
+        assert_eq!(rle.run_count(), 500);
+        assert!(!rle.is_smaller_than_plain());
+        assert_eq!(rle.to_bitmap(), bm);
+    }
+
+    #[test]
+    fn empty_and_zero() {
+        let rle = RleBitmap::from_bitmap(&Bitmap::new(0));
+        assert!(rle.is_empty());
+        assert_eq!(rle.run_count(), 0);
+        let rle2 = RleBitmap::from_bitmap(&Bitmap::new(100));
+        assert_eq!(rle2.count_ones(), 0);
+        assert_eq!(rle2.to_bitmap(), Bitmap::new(100));
+    }
+
+    #[test]
+    fn get_checks_membership() {
+        let bm = Bitmap::from_positions(100, &[3, 4, 5, 50, 99]);
+        let rle = RleBitmap::from_bitmap(&bm);
+        assert_eq!(rle.run_count(), 3);
+        for p in 0..100 {
+            assert_eq!(rle.get(p), bm.get(p), "position {p}");
+        }
+    }
+
+    #[test]
+    fn runs_are_sorted_disjoint_nonadjacent() {
+        let bm = Bitmap::from_positions(64, &[0, 1, 2, 10, 11, 63]);
+        let rle = RleBitmap::from_bitmap(&bm);
+        let rs = rle.runs();
+        assert_eq!(rs.len(), 3);
+        for w in rs.windows(2) {
+            assert!(w[0].start + w[0].len < w[1].start);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_rle_roundtrip(
+            xs in proptest::collection::btree_set(0u64..400, 0..120),
+        ) {
+            let bm = Bitmap::from_positions(400, &xs.iter().copied().collect::<Vec<_>>());
+            let rle = RleBitmap::from_bitmap(&bm);
+            prop_assert_eq!(rle.to_bitmap(), bm.clone());
+            prop_assert_eq!(rle.count_ones(), bm.count_ones());
+            for p in xs {
+                prop_assert!(rle.get(p));
+            }
+        }
+    }
+}

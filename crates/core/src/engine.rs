@@ -1,0 +1,522 @@
+//! The [`Engine`]: end-to-end MDX evaluation.
+
+use std::collections::HashMap;
+
+use starshare_exec::{shared_hybrid_join, shared_index_join, ExecContext, ExecReport, QueryResult};
+use starshare_mdx::{bind, parse, BoundMdx};
+use starshare_olap::{paper_cube, Cube, GroupByQuery, PaperCubeSpec};
+use starshare_opt::{CostModel, GlobalPlan, JoinMethod, OptimizerKind};
+use starshare_storage::HardwareModel;
+
+/// The result of executing one [`GlobalPlan`].
+#[derive(Debug)]
+pub struct PlanExecution {
+    /// One result per query, in the plan's assignment order.
+    pub results: Vec<QueryResult>,
+    /// One report per class, in class order.
+    pub per_class: Vec<ExecReport>,
+    /// Totals across classes.
+    pub total: ExecReport,
+}
+
+/// The outcome of one MDX round trip.
+#[derive(Debug)]
+pub struct MdxOutcome {
+    /// What the expression bound to.
+    pub bound: BoundMdx,
+    /// The global plan the optimizer chose.
+    pub plan: GlobalPlan,
+    /// One result per bound query, in binding order.
+    pub results: Vec<QueryResult>,
+    /// Execution totals.
+    pub report: ExecReport,
+}
+
+/// The outcome of a batched MDX round trip ([`Engine::mdx_many`]).
+#[derive(Debug)]
+pub struct MdxManyOutcome {
+    /// Per-expression bindings, in input order.
+    pub bounds: Vec<BoundMdx>,
+    /// The single global plan covering every expression's queries.
+    pub plan: GlobalPlan,
+    /// Per-expression results, each in that expression's binding order.
+    pub results: Vec<Vec<QueryResult>>,
+    /// Execution totals.
+    pub report: ExecReport,
+}
+
+/// An OLAP engine over one cube.
+///
+/// Holds the buffer pool across calls (repeated queries benefit from cached
+/// pages) — call [`flush`](Engine::flush) to model a cold start, as the
+/// paper does before each test.
+#[derive(Debug)]
+pub struct Engine {
+    cube: Cube,
+    ctx: ExecContext,
+    optimizer: OptimizerKind,
+    /// Opt-in query-result cache (see [`Engine::with_result_cache`]).
+    cache: Option<HashMap<GroupByQuery, QueryResult>>,
+}
+
+impl Engine {
+    /// An engine over an existing cube with the given hardware model.
+    pub fn new(cube: Cube, model: HardwareModel) -> Self {
+        Engine {
+            cube,
+            ctx: ExecContext::new(model),
+            optimizer: OptimizerKind::Gg,
+            cache: None,
+        }
+    }
+
+    /// An engine over the paper's test database (§7.2) under the 1998
+    /// hardware model.
+    pub fn paper(spec: PaperCubeSpec) -> Self {
+        Self::new(paper_cube(spec), HardwareModel::paper_1998())
+    }
+
+    /// Selects the optimizer used by [`mdx`](Engine::mdx) (default: GG).
+    pub fn with_optimizer(mut self, kind: OptimizerKind) -> Self {
+        self.optimizer = kind;
+        self
+    }
+
+    /// Enables the query-result cache: a repeated [`GroupByQuery`] is
+    /// answered from memory with zero simulated cost. The cache is
+    /// invalidated wholesale by [`append_facts`](Engine::append_facts).
+    /// Off by default — the experiment harness must re-execute.
+    pub fn with_result_cache(mut self) -> Self {
+        self.cache = Some(HashMap::new());
+        self
+    }
+
+    /// Cached results currently held (0 when the cache is disabled).
+    pub fn cached_results(&self) -> usize {
+        self.cache.as_ref().map_or(0, HashMap::len)
+    }
+
+    /// The cube.
+    pub fn cube(&self) -> &Cube {
+        &self.cube
+    }
+
+    /// The execution context (buffer pool + hardware model).
+    pub fn context(&self) -> &ExecContext {
+        &self.ctx
+    }
+
+    /// Empties the buffer pool.
+    pub fn flush(&mut self) {
+        self.ctx.flush();
+    }
+
+    /// Appends new fact rows, incrementally maintaining every materialized
+    /// view, bitmap join index, and statistic (see
+    /// [`starshare_olap::maintain`]). The buffer pool is flushed: appended
+    /// pages invalidate resident images of the grown tables.
+    pub fn append_facts(&mut self, rows: &[(Vec<u32>, f64)]) -> Result<u64, String> {
+        let n = starshare_olap::append_facts(&mut self.cube, rows)?;
+        self.ctx.flush();
+        if let Some(c) = &mut self.cache {
+            c.clear();
+        }
+        Ok(n)
+    }
+
+    /// The cost model over this engine's cube and hardware.
+    pub fn cost_model(&self) -> CostModel<'_> {
+        CostModel::new(&self.cube, self.ctx.model)
+    }
+
+    /// Full round trip: parse, bind, optimize (with the engine's configured
+    /// algorithm), execute.
+    pub fn mdx(&mut self, text: &str) -> Result<MdxOutcome, String> {
+        let expr = parse(text).map_err(|e| e.to_string())?;
+        let bound = bind(&self.cube.schema, &expr).map_err(|e| e.to_string())?;
+        // Fully-cached expressions are served from memory.
+        if let Some(cache) = &self.cache {
+            if let Some(results) = bound
+                .queries
+                .iter()
+                .map(|q| cache.get(q).cloned())
+                .collect::<Option<Vec<_>>>()
+            {
+                return Ok(MdxOutcome {
+                    plan: GlobalPlan::default(),
+                    bound,
+                    results,
+                    report: ExecReport::default(),
+                });
+            }
+        }
+        let plan = self
+            .optimizer
+            .run(&self.cost_model(), &bound.queries)
+            .map_err(|e| e.to_string())?;
+        let exec = self.execute_plan(&plan)?;
+        // Re-order results to binding order (plans may permute queries).
+        let mut results: Vec<Option<QueryResult>> = vec![None; bound.queries.len()];
+        let plan_queries: Vec<&GroupByQuery> =
+            plan.assignments().map(|(_, q, _)| q).collect();
+        for (pq, r) in plan_queries.iter().zip(exec.results) {
+            // Find the first unfilled matching slot (duplicates allowed).
+            let slot = bound
+                .queries
+                .iter()
+                .enumerate()
+                .find(|(i, q)| results[*i].is_none() && q == pq)
+                .map(|(i, _)| i)
+                .ok_or("plan produced a query the binder did not")?;
+            results[slot] = Some(r);
+        }
+        let results: Vec<QueryResult> = results
+            .into_iter()
+            .collect::<Option<_>>()
+            .ok_or("plan lost a query")?;
+        if let Some(cache) = &mut self.cache {
+            for r in &results {
+                cache.insert(r.query.clone(), r.clone());
+            }
+        }
+        Ok(MdxOutcome {
+            bound,
+            plan,
+            results,
+            report: exec.total,
+        })
+    }
+
+    /// Like [`mdx`](Engine::mdx) but over a whole *batch* of MDX
+    /// expressions: all their queries are pooled and optimized as one unit,
+    /// so sharing can cross expression boundaries (the paper optimizes per
+    /// expression; a multi-user OLAP server sees exactly this batch shape).
+    ///
+    /// Returns one result list per input expression, in order.
+    pub fn mdx_many(&mut self, texts: &[&str]) -> Result<MdxManyOutcome, String> {
+        let mut bounds = Vec::with_capacity(texts.len());
+        let mut all_queries = Vec::new();
+        for text in texts {
+            let expr = parse(text).map_err(|e| e.to_string())?;
+            let bound = bind(&self.cube.schema, &expr).map_err(|e| e.to_string())?;
+            all_queries.extend(bound.queries.clone());
+            bounds.push(bound);
+        }
+        let plan = self
+            .optimizer
+            .run(&self.cost_model(), &all_queries)
+            .map_err(|e| e.to_string())?;
+        let exec = self.execute_plan(&plan)?;
+        // Distribute results back to expressions (binding order within each).
+        let mut pool: Vec<Option<QueryResult>> = exec.results.into_iter().map(Some).collect();
+        let plan_queries: Vec<&GroupByQuery> = plan.assignments().map(|(_, q, _)| q).collect();
+        let mut per_expr = Vec::with_capacity(bounds.len());
+        for bound in &bounds {
+            let mut rs = Vec::with_capacity(bound.queries.len());
+            for q in &bound.queries {
+                let slot = plan_queries
+                    .iter()
+                    .enumerate()
+                    .position(|(i, pq)| pool[i].is_some() && *pq == q)
+                    .ok_or("plan lost a query")?;
+                rs.push(pool[slot].take().expect("checked above"));
+            }
+            per_expr.push(rs);
+        }
+        Ok(MdxManyOutcome {
+            bounds,
+            plan,
+            results: per_expr,
+            report: exec.total,
+        })
+    }
+
+    /// Optimizes a query set with a specific algorithm.
+    pub fn optimize(
+        &self,
+        queries: &[GroupByQuery],
+        kind: OptimizerKind,
+    ) -> Result<GlobalPlan, String> {
+        kind.run(&self.cost_model(), queries)
+    }
+
+    /// Executes a global plan: each class runs as one shared operator
+    /// (hybrid scan if any member is hash-based, shared index join
+    /// otherwise).
+    pub fn execute_plan(&mut self, plan: &GlobalPlan) -> Result<PlanExecution, String> {
+        let mut results = Vec::with_capacity(plan.n_queries());
+        let mut per_class = Vec::with_capacity(plan.classes.len());
+        let mut total = ExecReport::default();
+        for class in &plan.classes {
+            let hash_qs: Vec<GroupByQuery> = class
+                .plans
+                .iter()
+                .filter(|p| p.method == JoinMethod::Hash)
+                .map(|p| p.query.clone())
+                .collect();
+            let index_qs: Vec<GroupByQuery> = class
+                .plans
+                .iter()
+                .filter(|p| p.method == JoinMethod::Index)
+                .map(|p| p.query.clone())
+                .collect();
+            let (rs, rep) = if hash_qs.is_empty() {
+                shared_index_join(&mut self.ctx, &self.cube, class.table, &index_qs)?
+            } else {
+                shared_hybrid_join(&mut self.ctx, &self.cube, class.table, &hash_qs, &index_qs)?
+            };
+            // rs is ordered: hash queries first, then index queries — map
+            // back to class plan order.
+            let mut hash_iter = rs.iter().take(hash_qs.len());
+            let mut index_iter = rs.iter().skip(hash_qs.len());
+            for p in &class.plans {
+                let r = match p.method {
+                    JoinMethod::Hash => hash_iter.next(),
+                    JoinMethod::Index => index_iter.next(),
+                }
+                .expect("operator returns one result per query");
+                results.push(r.clone());
+            }
+            per_class.push(rep);
+            total.merge(&rep);
+        }
+        Ok(PlanExecution {
+            results,
+            per_class,
+            total,
+        })
+    }
+
+    /// Executes each query completely independently (no shared operators,
+    /// buffer pool flushed before each) — the naive baseline the paper's
+    /// dotted bars show.
+    pub fn execute_separately(
+        &mut self,
+        plans: &[(starshare_olap::TableId, GroupByQuery, JoinMethod)],
+    ) -> Result<(Vec<QueryResult>, ExecReport), String> {
+        let mut results = Vec::with_capacity(plans.len());
+        let mut total = ExecReport::default();
+        for (t, q, m) in plans {
+            self.ctx.flush();
+            let qs = std::slice::from_ref(q);
+            let (mut rs, rep) = match m {
+                JoinMethod::Hash => {
+                    shared_hybrid_join(&mut self.ctx, &self.cube, *t, qs, &[])?
+                }
+                JoinMethod::Index => shared_index_join(&mut self.ctx, &self.cube, *t, qs)?,
+            };
+            results.push(rs.pop().expect("one result"));
+            total.merge(&rep);
+        }
+        Ok((results, total))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starshare_exec::reference_eval;
+    use starshare_mdx::paper_queries::{bind_paper_query, bind_paper_test};
+
+    fn engine() -> Engine {
+        Engine::paper(PaperCubeSpec {
+            base_rows: 5_000,
+            d_leaf: 48,
+            seed: 17,
+            with_indexes: true,
+        })
+    }
+
+    #[test]
+    fn mdx_round_trip_matches_reference() {
+        let mut e = engine();
+        let out = e
+            .mdx(starshare_mdx::paper_queries::paper_query_text(1))
+            .unwrap();
+        assert_eq!(out.results.len(), 1);
+        let q = bind_paper_query(&e.cube().schema, 1).unwrap();
+        let base = e.cube().catalog.base_table().unwrap();
+        let expect = reference_eval(e.cube(), base, &q);
+        assert!(out.results[0].approx_eq(&expect, 1e-9));
+        assert!(out.report.sim > starshare_storage::SimTime::ZERO);
+        assert_eq!(out.plan.n_queries(), 1);
+    }
+
+    #[test]
+    fn multi_level_mdx_returns_results_in_binding_order() {
+        let mut e = engine();
+        let out = e
+            .mdx(
+                "{A''.A1.CHILDREN, A''.A2} on COLUMNS {B''.B1} on ROWS \
+                 CONTEXT ABCD FILTER (D.DD1);",
+            )
+            .unwrap();
+        assert_eq!(out.bound.queries.len(), 2);
+        assert_eq!(out.results.len(), 2);
+        for (q, r) in out.bound.queries.iter().zip(&out.results) {
+            assert_eq!(&r.query, q, "result order must match binding order");
+            let base = e.cube().catalog.base_table().unwrap();
+            let expect = reference_eval(e.cube(), base, q);
+            assert!(r.approx_eq(&expect, 1e-9));
+        }
+    }
+
+    #[test]
+    fn all_optimizers_execute_test4_identically() {
+        let mut e = engine();
+        let queries = bind_paper_test(&e.cube().schema, 4).unwrap();
+        let base = e.cube().catalog.base_table().unwrap();
+        let expects: Vec<_> = queries
+            .iter()
+            .map(|q| reference_eval(e.cube(), base, q))
+            .collect();
+        for kind in OptimizerKind::ALL {
+            let plan = e.optimize(&queries, kind).unwrap();
+            e.flush();
+            let exec = e.execute_plan(&plan).unwrap();
+            assert_eq!(exec.results.len(), queries.len(), "{kind}");
+            // Match each plan result to its query's reference.
+            for r in &exec.results {
+                let i = queries.iter().position(|q| *q == r.query).unwrap();
+                assert!(r.approx_eq(&expects[i], 1e-9), "{kind}");
+            }
+            assert_eq!(exec.per_class.len(), plan.classes.len());
+        }
+    }
+
+    #[test]
+    fn separate_execution_baseline_costs_more_than_planned() {
+        let mut e = engine();
+        let queries = bind_paper_test(&e.cube().schema, 1).unwrap();
+        let plan = e.optimize(&queries, OptimizerKind::Gg).unwrap();
+        e.flush();
+        let shared = e.execute_plan(&plan).unwrap();
+        let separate_plans: Vec<_> = plan
+            .assignments()
+            .map(|(t, q, m)| (t, q.clone(), m))
+            .collect();
+        let (rs, sep_report) = e.execute_separately(&separate_plans).unwrap();
+        assert_eq!(rs.len(), queries.len());
+        assert!(
+            shared.total.sim <= sep_report.sim,
+            "shared {} vs separate {}",
+            shared.total.sim,
+            sep_report.sim
+        );
+    }
+
+    #[test]
+    fn mdx_many_crosses_expression_boundaries() {
+        let mut e = engine();
+        let texts = [
+            starshare_mdx::paper_queries::paper_query_text(1),
+            starshare_mdx::paper_queries::paper_query_text(2),
+            starshare_mdx::paper_queries::paper_query_text(3),
+        ];
+        let out = e.mdx_many(&texts).unwrap();
+        assert_eq!(out.results.len(), 3);
+        let base = e.cube().catalog.base_table().unwrap();
+        for (bound, rs) in out.bounds.iter().zip(&out.results) {
+            for (q, r) in bound.queries.iter().zip(rs) {
+                let expect = reference_eval(e.cube(), base, q);
+                assert!(r.approx_eq(&expect, 1e-9));
+            }
+        }
+        // Batch plan shares across the three expressions: fewer classes
+        // than queries (GG consolidates the Test-4 trio).
+        assert!(out.plan.classes.len() < 3, "{}", out.plan.explain(e.cube()));
+        // Batched evaluation costs no more than sequential evaluation.
+        let mut e2 = engine();
+        let mut seq = starshare_exec::ExecReport::default();
+        for t in &texts {
+            e2.flush();
+            seq.merge(&e2.mdx(t).unwrap().report);
+        }
+        assert!(out.report.sim <= seq.sim, "{} vs {}", out.report.sim, seq.sim);
+    }
+
+    #[test]
+    fn mdx_many_handles_duplicate_expressions() {
+        let mut e = engine();
+        let t = starshare_mdx::paper_queries::paper_query_text(1);
+        let out = e.mdx_many(&[t, t]).unwrap();
+        assert_eq!(out.results.len(), 2);
+        assert!(out.results[0][0].approx_eq(&out.results[1][0], 1e-12));
+    }
+
+    #[test]
+    fn mdx_error_paths_are_reported() {
+        let mut e = engine();
+        assert!(e.mdx("this is not MDX").is_err());
+        assert!(e.mdx("{Z1} on COLUMNS CONTEXT ABCD;").is_err());
+    }
+
+    #[test]
+    fn engine_optimizer_is_configurable() {
+        let e = engine().with_optimizer(OptimizerKind::Tplo);
+        assert_eq!(e.optimizer, OptimizerKind::Tplo);
+    }
+}
+
+#[cfg(test)]
+mod cache_tests {
+    use super::*;
+    use starshare_mdx::paper_queries::paper_query_text;
+    use starshare_storage::SimTime;
+
+    fn engine() -> Engine {
+        Engine::paper(starshare_olap::PaperCubeSpec {
+            base_rows: 2_000,
+            d_leaf: 24,
+            seed: 50,
+            with_indexes: true,
+        })
+        .with_result_cache()
+    }
+
+    #[test]
+    fn second_run_is_served_from_cache() {
+        let mut e = engine();
+        let first = e.mdx(paper_query_text(1)).unwrap();
+        assert!(first.report.sim > SimTime::ZERO);
+        assert_eq!(e.cached_results(), 1);
+        e.flush(); // even cold, the cache answers
+        let second = e.mdx(paper_query_text(1)).unwrap();
+        assert_eq!(second.report.sim, SimTime::ZERO, "cache hit must be free");
+        assert_eq!(first.results[0].rows, second.results[0].rows);
+    }
+
+    #[test]
+    fn append_invalidates_the_cache() {
+        let mut e = engine();
+        let before = e.mdx(paper_query_text(1)).unwrap();
+        e.append_facts(&[(vec![0, 0, 0, 0], 1000.0)]).unwrap();
+        assert_eq!(e.cached_results(), 0);
+        let after = e.mdx(paper_query_text(1)).unwrap();
+        assert!(after.report.sim > SimTime::ZERO, "must re-execute");
+        // The appended row falls inside Q1's slice (all-zero keys pass its
+        // predicates), so the answer must actually change.
+        assert!(
+            (after.results[0].grand_total() - before.results[0].grand_total() - 1000.0).abs()
+                < 1e-6,
+            "{} vs {}",
+            after.results[0].grand_total(),
+            before.results[0].grand_total()
+        );
+    }
+
+    #[test]
+    fn cache_disabled_by_default() {
+        let mut e = Engine::paper(starshare_olap::PaperCubeSpec {
+            base_rows: 500,
+            d_leaf: 24,
+            seed: 50,
+            with_indexes: false,
+        });
+        e.mdx(paper_query_text(1)).unwrap();
+        assert_eq!(e.cached_results(), 0);
+        e.flush();
+        let again = e.mdx(paper_query_text(1)).unwrap();
+        assert!(again.report.sim > SimTime::ZERO);
+    }
+}

@@ -1,0 +1,55 @@
+//! # starshare-core
+//!
+//! The engine facade: one type, [`Engine`], that ties the stack together —
+//! storage and buffer pool, bitmap indexes, star-schema catalog, MDX
+//! parsing/binding, multiple-query optimization, and shared-operator
+//! execution.
+//!
+//! ```
+//! use starshare_core::{Engine, OptimizerKind, PaperCubeSpec};
+//!
+//! // A small instance of the paper's test database.
+//! let mut engine = Engine::paper(PaperCubeSpec::scaled(0.002));
+//! let outcome = engine
+//!     .mdx("{A''.A1.CHILDREN} on COLUMNS {B''.B1} on ROWS {C''.C1} on PAGES \
+//!           CONTEXT ABCD FILTER (D.DD1);")
+//!     .unwrap();
+//! assert_eq!(outcome.results.len(), 1);
+//! println!("{}", outcome.plan.explain(engine.cube()));
+//! ```
+//!
+//! Everything the sub-crates export is re-exported here, so depending on
+//! `starshare-core` (or the top-level `starshare` crate) gives the whole
+//! public API.
+
+pub mod engine;
+pub mod grid;
+
+pub use engine::{Engine, MdxManyOutcome, MdxOutcome, PlanExecution};
+pub use grid::{pivot, render_pivot, PivotGrid, PivotPage};
+
+pub use starshare_bitmap::{Bitmap, BitmapJoinIndex, IndexFormat, RleBitmap};
+pub use starshare_exec::{
+    hash_star_join, index_star_join, reference_eval, shared_hybrid_join, shared_index_join,
+    shared_scan_hash_join, ExecContext, ExecReport, QueryResult,
+};
+pub use starshare_mdx::{
+    bind, generate_mdx, parse, paper_queries, Axis, AxisSpec, BoundAxis, BoundMdx, MdxExpr,
+    MemberExpr, PathSeg,
+};
+pub use starshare_olap::{
+    append_facts, combine_mode, estimate, lattice_nodes, load_cube, materialize, materialize_agg, paper_cube, paper_schema,
+    recommend_views, save_cube, AggFn,
+    AggState, Catalog, CombineMode, Cube, CubeBuilder, DimId, Dimension, GroupBy,
+    AdvisorConfig, GroupByQuery, LevelDef, LevelRef, MeasureKind, MemberPred, PaperCubeSpec,
+    Recommendation, StarSchema, StoredTable, TableId,
+};
+pub use starshare_opt::{
+    etplg, explain_tree, explain_tree_with_costs, gg, ggi, ggi_with_passes, optimal, tplo,
+    CostModel, GlobalPlan, JoinMethod,
+    OptimizerKind, PlanClass, QueryPlan,
+};
+pub use starshare_storage::{
+    AccessKind, BufferPool, CpuCounters, FileId, HardwareModel, HeapFile, IoStats, SimTime,
+    TupleLayout, PAGE_SIZE,
+};

@@ -1,0 +1,189 @@
+//! Execution context and per-run reports.
+
+use std::time::{Duration, Instant};
+
+use starshare_storage::{BufferPool, CpuCounters, HardwareModel, IoStats, SimTime};
+
+/// Shared execution state: the buffer pool and the hardware model.
+///
+/// The pool persists across operator invocations (a later query can hit
+/// pages a previous one faulted in) until [`flush`](ExecContext::flush) is
+/// called — the experiment harness flushes between tests, as the paper did.
+#[derive(Debug)]
+pub struct ExecContext {
+    /// Buffer pool shared by all tables and indexes.
+    pub pool: BufferPool,
+    /// Cost constants for the simulated clock.
+    pub model: HardwareModel,
+}
+
+impl ExecContext {
+    /// A context with the given model and a pool sized per the model.
+    pub fn new(model: HardwareModel) -> Self {
+        ExecContext {
+            pool: BufferPool::for_model(&model),
+            model,
+        }
+    }
+
+    /// The paper's 1998 configuration.
+    pub fn paper_1998() -> Self {
+        Self::new(HardwareModel::paper_1998())
+    }
+
+    /// Empties the buffer pool (between experiments).
+    pub fn flush(&mut self) {
+        self.pool.flush();
+    }
+
+    /// Runs `f` with scoped accounting: captures the I/O delta, collects the
+    /// CPU counters `f` fills in, and assembles an [`ExecReport`].
+    pub fn run<T>(&mut self, f: impl FnOnce(&mut Self, &mut CpuCounters) -> T) -> (T, ExecReport) {
+        let io_before = self.pool.stats();
+        let mut cpu = CpuCounters::default();
+        let wall_start = Instant::now();
+        let value = f(self, &mut cpu);
+        let wall = wall_start.elapsed();
+        let io = self.pool.stats().since(&io_before);
+        let sim = io.io_time(&self.model) + self.model.cpu_time(&cpu);
+        (
+            value,
+            ExecReport {
+                io,
+                cpu,
+                sim,
+                wall,
+            },
+        )
+    }
+}
+
+/// What one operator run cost.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecReport {
+    /// Page faults and hits during the run.
+    pub io: IoStats,
+    /// CPU work counted during the run.
+    pub cpu: CpuCounters,
+    /// Simulated elapsed time (I/O + CPU under the hardware model).
+    pub sim: SimTime,
+    /// Real wall-clock time of the run on the host machine.
+    pub wall: Duration,
+}
+
+impl ExecReport {
+    /// Sums another report into this one (for totalling separate runs).
+    pub fn merge(&mut self, other: &ExecReport) {
+        self.io.merge(&other.io);
+        self.cpu.merge(&other.cpu);
+        self.sim += other.sim;
+        self.wall += other.wall;
+    }
+
+    /// Simulated I/O portion.
+    pub fn sim_io(&self, model: &HardwareModel) -> SimTime {
+        self.io.io_time(model)
+    }
+
+    /// Simulated CPU portion.
+    pub fn sim_cpu(&self, model: &HardwareModel) -> SimTime {
+        model.cpu_time(&self.cpu)
+    }
+}
+
+impl std::fmt::Display for ExecReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "sim {} (seq {} / rand {} faults, {} hits; {} probes, {} agg)",
+            self.sim,
+            self.io.seq_faults,
+            self.io.random_faults,
+            self.io.hits,
+            self.cpu.hash_probes,
+            self.cpu.agg_updates
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starshare_storage::{AccessKind, FileId};
+
+    #[test]
+    fn run_scopes_io_and_cpu() {
+        let mut ctx = ExecContext::new(HardwareModel::paper_1998());
+        let ((), r1) = ctx.run(|ctx, cpu| {
+            ctx.pool.access(FileId(0), 0, AccessKind::Sequential);
+            cpu.hash_probes += 10;
+        });
+        assert_eq!(r1.io.seq_faults, 1);
+        assert_eq!(r1.cpu.hash_probes, 10);
+        // 1 ms I/O + 10 × 2 µs CPU.
+        assert_eq!(r1.sim.as_nanos(), 1_000_000 + 20_000);
+
+        // A second run sees only its own delta (page 0 now hits).
+        let ((), r2) = ctx.run(|ctx, _| {
+            ctx.pool.access(FileId(0), 0, AccessKind::Sequential);
+        });
+        assert_eq!(r2.io.seq_faults, 0);
+        assert_eq!(r2.io.hits, 1);
+        assert_eq!(r2.sim, SimTime::ZERO);
+    }
+
+    #[test]
+    fn flush_forces_refault() {
+        let mut ctx = ExecContext::paper_1998();
+        ctx.run(|ctx, _| {
+            ctx.pool.access(FileId(0), 0, AccessKind::Sequential);
+        });
+        ctx.flush();
+        let ((), r) = ctx.run(|ctx, _| {
+            ctx.pool.access(FileId(0), 0, AccessKind::Sequential);
+        });
+        assert_eq!(r.io.seq_faults, 1);
+    }
+
+    #[test]
+    fn report_merge_totals() {
+        let mut a = ExecReport::default();
+        let b = ExecReport {
+            io: IoStats {
+                seq_faults: 2,
+                random_faults: 3,
+                hits: 4,
+            },
+            cpu: CpuCounters {
+                agg_updates: 7,
+                ..Default::default()
+            },
+            sim: SimTime::from_nanos(500),
+            wall: Duration::from_micros(1),
+        };
+        a.merge(&b);
+        a.merge(&b);
+        assert_eq!(a.io.seq_faults, 4);
+        assert_eq!(a.cpu.agg_updates, 14);
+        assert_eq!(a.sim.as_nanos(), 1000);
+    }
+
+    #[test]
+    fn sim_splits_into_io_and_cpu() {
+        let model = HardwareModel::paper_1998();
+        let r = ExecReport {
+            io: IoStats {
+                seq_faults: 1000,
+                ..Default::default()
+            },
+            cpu: CpuCounters {
+                hash_probes: 1_000_000,
+                ..Default::default()
+            },
+            sim: SimTime::ZERO,
+            wall: Duration::ZERO,
+        };
+        assert_eq!(r.sim_io(&model).as_secs_f64(), 1.0);
+        assert_eq!(r.sim_cpu(&model).as_secs_f64(), 2.0);
+    }
+}

@@ -1,0 +1,33 @@
+//! # starshare-exec
+//!
+//! Physical query evaluation for the `starshare` engine: the two classic
+//! star-join methods and the paper's three *shared* operators (§3).
+//!
+//! | paper operator | entry point |
+//! |---|---|
+//! | hash-based star join (Fig. 1) | [`hash_star_join`] |
+//! | bitmap index-based star join (Fig. 3) | [`index_star_join`] |
+//! | shared scan hash-based star join (§3.1, Fig. 2) | [`shared_scan_hash_join`] |
+//! | shared index join (§3.2, Fig. 4) | [`shared_index_join`] |
+//! | shared scan for hash + index plans (§3.3, Fig. 5) | [`shared_hybrid_join`] |
+//!
+//! Every operator does the real work (real tuples, real bitmaps, real hash
+//! aggregation) through an [`ExecContext`] whose buffer pool and CPU
+//! counters feed the simulated clock. Results are exact; times are the
+//! deterministic 1998-calibrated simulation plus measured wall time.
+
+pub mod context;
+pub mod operators;
+pub mod plan_io;
+pub mod reference;
+pub mod result;
+pub mod rollup;
+
+pub use context::{ExecContext, ExecReport};
+pub use operators::{
+    hash_star_join, index_star_join, shared_hybrid_join, shared_index_join,
+    shared_scan_hash_join,
+};
+pub use reference::reference_eval;
+pub use result::QueryResult;
+pub use rollup::DimPipeline;

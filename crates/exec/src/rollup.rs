@@ -1,0 +1,275 @@
+//! Compiled per-query pipelines.
+//!
+//! Before execution, a query is *compiled against a source table* into a
+//! [`DimPipeline`]: per-dimension divisors that roll stored keys up to the
+//! predicate and target levels, the predicate member lists, and the set of
+//! dimensions that require a dimension-table probe.
+//!
+//! In a real star schema the roll-up is a foreign-key join with a dimension
+//! table; with dense member ids and uniform fan-outs it is integer
+//! division. The *work accounting* still models the join: each tuple pays
+//! one hash probe per dimension that needs mapping (shared across queries
+//! by the shared operators — that is precisely the §3.1 "share hash tables
+//! instead of redundantly building and probing" saving), and building those
+//! tables costs one hash insert per dimension row.
+
+use starshare_olap::{GroupBy, GroupByQuery, LevelRef, StarSchema};
+use starshare_storage::CpuCounters;
+
+/// One compiled predicate: roll the stored key up by `divisor`, then test
+/// membership.
+#[derive(Debug, Clone)]
+struct PredStep {
+    dim: usize,
+    divisor: u32,
+    /// Sorted member ids at the predicate level.
+    members: Vec<u32>,
+}
+
+/// A query compiled against a specific source table.
+#[derive(Debug, Clone)]
+pub struct DimPipeline {
+    preds: Vec<PredStep>,
+    /// `(dim, divisor)` for each grouped dimension, in dimension order.
+    agg_extract: Vec<(usize, u32)>,
+    /// Bit `d` set iff dimension `d` needs a dimension-table probe (its
+    /// target or predicate level is coarser than the stored level).
+    probe_mask: u64,
+    /// Rows to insert when building the needed dimension hash tables: the
+    /// summed cardinality of the probed dimensions at their stored levels.
+    build_rows: u64,
+}
+
+impl DimPipeline {
+    /// Compiles `query` against a table storing `stored` levels.
+    ///
+    /// Fails if the table cannot answer the query.
+    pub fn compile(
+        schema: &StarSchema,
+        stored: &GroupBy,
+        query: &GroupByQuery,
+    ) -> Result<Self, String> {
+        if !query.answerable_from(stored) {
+            return Err(format!(
+                "query {} is not answerable from {}",
+                query.display(schema),
+                stored.display(schema)
+            ));
+        }
+        let mut preds = Vec::new();
+        let mut agg_extract = Vec::new();
+        let mut probe_mask = 0u64;
+        let mut build_rows = 0u64;
+        for d in 0..schema.n_dims() {
+            let dim = schema.dim(d);
+            let s = match stored.level(d) {
+                LevelRef::Level(s) => s,
+                LevelRef::All => continue, // target and pred are All too
+            };
+            let mut needs_probe = false;
+            if let LevelRef::Level(t) = query.group_by.level(d) {
+                agg_extract.push((d, dim.cardinality(s) / dim.cardinality(t)));
+                needs_probe |= t > s;
+            }
+            if let starshare_olap::MemberPred::In { level: p, members } = &query.preds[d] {
+                preds.push(PredStep {
+                    dim: d,
+                    divisor: dim.cardinality(s) / dim.cardinality(*p),
+                    members: members.clone(),
+                });
+                needs_probe |= *p > s;
+            }
+            if needs_probe {
+                probe_mask |= 1 << d;
+                build_rows += dim.cardinality(s) as u64;
+            }
+        }
+        Ok(DimPipeline {
+            preds,
+            agg_extract,
+            probe_mask,
+            build_rows,
+        })
+    }
+
+    /// Dimensions needing a dimension-table probe, as a bit mask.
+    pub fn probe_mask(&self) -> u64 {
+        self.probe_mask
+    }
+
+    /// Hash-table rows to build for this pipeline's probed dimensions.
+    pub fn build_rows(&self) -> u64 {
+        self.build_rows
+    }
+
+    /// Evaluates all predicates on a stored-key tuple, charging one
+    /// predicate evaluation per step actually executed (short-circuit).
+    pub fn filter(&self, keys: &[u32], cpu: &mut CpuCounters) -> bool {
+        self.filter_skipping(keys, cpu, 0)
+    }
+
+    /// Like [`filter`](Self::filter) but skips predicates on dimensions in
+    /// `skip_mask` (those already guaranteed by a bitmap-index lookup).
+    pub fn filter_skipping(&self, keys: &[u32], cpu: &mut CpuCounters, skip_mask: u64) -> bool {
+        for p in &self.preds {
+            if skip_mask & (1 << p.dim) != 0 {
+                continue;
+            }
+            cpu.predicate_evals += 1;
+            let rolled = keys[p.dim] / p.divisor;
+            if p.members.binary_search(&rolled).is_err() {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Extracts the aggregation key (rolled to the target levels) into
+    /// `out`.
+    pub fn agg_key_into(&self, keys: &[u32], out: &mut Vec<u32>) {
+        out.clear();
+        for &(d, div) in &self.agg_extract {
+            out.push(keys[d] / div);
+        }
+    }
+
+    /// True if the query has any predicate not covered by `skip_mask`.
+    pub fn has_residual_preds(&self, skip_mask: u64) -> bool {
+        self.preds.iter().any(|p| skip_mask & (1 << p.dim) == 0)
+    }
+
+    /// Dimensions carrying predicates, as a bit mask.
+    pub fn pred_mask(&self) -> u64 {
+        self.preds.iter().fold(0, |m, p| m | 1 << p.dim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starshare_olap::{Dimension, GroupBy, GroupByQuery, MemberPred};
+
+    fn schema() -> StarSchema {
+        StarSchema::new(
+            vec![
+                Dimension::uniform("A", 3, &[2, 10]),
+                Dimension::uniform("B", 3, &[2, 10]),
+            ],
+            "m",
+        )
+    }
+
+    #[test]
+    fn compile_rejects_unanswerable() {
+        let s = schema();
+        let stored = GroupBy::parse(&s, "A'B'").unwrap();
+        let q = GroupByQuery::unfiltered(GroupBy::finest(2));
+        assert!(DimPipeline::compile(&s, &stored, &q).is_err());
+    }
+
+    #[test]
+    fn probe_mask_reflects_levels() {
+        let s = schema();
+        let stored = GroupBy::finest(2);
+        // Target A' B: A needs a probe (roll 0→1), B does not.
+        let q = GroupByQuery::unfiltered(GroupBy::parse(&s, "A'B").unwrap());
+        let p = DimPipeline::compile(&s, &stored, &q).unwrap();
+        assert_eq!(p.probe_mask(), 0b01);
+        assert_eq!(p.build_rows(), 60);
+        // Predicate at a coarser level also forces a probe.
+        let q2 = GroupByQuery::new(
+            GroupBy::finest(2),
+            vec![MemberPred::All, MemberPred::eq(2, 0)],
+        );
+        let p2 = DimPipeline::compile(&s, &stored, &q2).unwrap();
+        assert_eq!(p2.probe_mask(), 0b10);
+        // Target == stored, pred at stored level: no probes at all.
+        let q3 = GroupByQuery::new(
+            GroupBy::finest(2),
+            vec![MemberPred::eq(0, 5), MemberPred::All],
+        );
+        let p3 = DimPipeline::compile(&s, &stored, &q3).unwrap();
+        assert_eq!(p3.probe_mask(), 0);
+        assert_eq!(p3.build_rows(), 0);
+    }
+
+    #[test]
+    fn filter_rolls_and_tests() {
+        let s = schema();
+        let stored = GroupBy::finest(2);
+        // A'' = A1 (top member 0): leaves 0..20 qualify.
+        let q = GroupByQuery::new(
+            GroupBy::parse(&s, "A''B").unwrap(),
+            vec![MemberPred::eq(2, 0), MemberPred::All],
+        );
+        let p = DimPipeline::compile(&s, &stored, &q).unwrap();
+        let mut cpu = CpuCounters::default();
+        assert!(p.filter(&[0, 0], &mut cpu));
+        assert!(p.filter(&[19, 0], &mut cpu));
+        assert!(!p.filter(&[20, 0], &mut cpu));
+        assert_eq!(cpu.predicate_evals, 3);
+    }
+
+    #[test]
+    fn filter_short_circuits() {
+        let s = schema();
+        let stored = GroupBy::finest(2);
+        let q = GroupByQuery::new(
+            GroupBy::finest(2),
+            vec![MemberPred::eq(2, 0), MemberPred::eq(2, 0)],
+        );
+        let p = DimPipeline::compile(&s, &stored, &q).unwrap();
+        let mut cpu = CpuCounters::default();
+        // First pred fails → second never evaluated.
+        assert!(!p.filter(&[59, 0], &mut cpu));
+        assert_eq!(cpu.predicate_evals, 1);
+    }
+
+    #[test]
+    fn filter_skipping_honours_mask() {
+        let s = schema();
+        let stored = GroupBy::finest(2);
+        let q = GroupByQuery::new(
+            GroupBy::finest(2),
+            vec![MemberPred::eq(2, 0), MemberPred::eq(2, 0)],
+        );
+        let p = DimPipeline::compile(&s, &stored, &q).unwrap();
+        let mut cpu = CpuCounters::default();
+        // Skip dim 0's pred: tuple failing only on dim 0 now passes dim 1.
+        assert!(p.filter_skipping(&[59, 0], &mut cpu, 0b01));
+        assert_eq!(cpu.predicate_evals, 1);
+        assert!(p.has_residual_preds(0b01));
+        assert!(!p.has_residual_preds(0b11));
+        assert_eq!(p.pred_mask(), 0b11);
+    }
+
+    #[test]
+    fn agg_key_extraction() {
+        let s = schema();
+        let stored = GroupBy::finest(2);
+        let q = GroupByQuery::unfiltered(GroupBy::parse(&s, "A''B*").unwrap());
+        let p = DimPipeline::compile(&s, &stored, &q).unwrap();
+        let mut out = Vec::new();
+        p.agg_key_into(&[25, 3], &mut out);
+        assert_eq!(out, vec![1]); // leaf 25 → top 1; B aggregated away
+        let q2 = GroupByQuery::unfiltered(GroupBy::parse(&s, "AB'").unwrap());
+        let p2 = DimPipeline::compile(&s, &stored, &q2).unwrap();
+        p2.agg_key_into(&[25, 33], &mut out);
+        assert_eq!(out, vec![25, 3]);
+    }
+
+    #[test]
+    fn compile_against_all_dimension() {
+        let s = schema();
+        let stored = GroupBy::new(vec![LevelRef::Level(1), LevelRef::All]);
+        let q = GroupByQuery::unfiltered(GroupBy::new(vec![
+            LevelRef::Level(2),
+            LevelRef::All,
+        ]));
+        let p = DimPipeline::compile(&s, &stored, &q).unwrap();
+        let mut out = Vec::new();
+        p.agg_key_into(&[3, 0], &mut out);
+        assert_eq!(out, vec![1]); // A' 3 → A'' 1
+        assert_eq!(p.probe_mask(), 0b01);
+    }
+}

@@ -1,0 +1,91 @@
+//! MDX abstract syntax.
+//!
+//! Set structure (`{…}` vs `(…)` vs `NEST(…)`) is flattened at parse time:
+//! for binding, only the list of member expressions per axis matters —
+//! the binder regroups them by dimension and level anyway (§2 of the
+//! paper shows NEST-ed and plain sets expanding identically).
+
+/// One segment of a member path like `A''.A1.CHILDREN.AA2`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PathSeg {
+    /// A name: a level (`A''`), a member (`A1`), or a child selector.
+    Ident(String),
+    /// The `CHILDREN` function applied to the set so far.
+    Children,
+}
+
+/// A member expression: a dotted path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemberExpr {
+    /// The path segments in order.
+    pub segments: Vec<PathSeg>,
+}
+
+/// The display axes MDX names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    Columns,
+    Rows,
+    Pages,
+    Chapters,
+    Sections,
+    /// `AXIS(n)` — the general numbered form.
+    Numbered(u32),
+}
+
+impl std::fmt::Display for Axis {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Axis::Columns => write!(f, "COLUMNS"),
+            Axis::Rows => write!(f, "ROWS"),
+            Axis::Pages => write!(f, "PAGES"),
+            Axis::Chapters => write!(f, "CHAPTERS"),
+            Axis::Sections => write!(f, "SECTIONS"),
+            Axis::Numbered(n) => write!(f, "AXIS({n})"),
+        }
+    }
+}
+
+/// One `… on AXIS` clause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AxisSpec {
+    /// The member expressions placed on this axis (flattened across nested
+    /// set constructors).
+    pub members: Vec<MemberExpr>,
+    /// Which axis.
+    pub axis: Axis,
+}
+
+/// A full MDX expression of the paper's shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MdxExpr {
+    /// The axis clauses, in source order.
+    pub axes: Vec<AxisSpec>,
+    /// The cube named by `CONTEXT`.
+    pub cube: String,
+    /// The slicer members from `FILTER(…)` (empty if absent).
+    pub filter: Vec<MemberExpr>,
+    /// Aggregate name from the `AGGREGATE <fn>` extension clause, if any
+    /// (the paper's subset has no measure selection; SUM is the default).
+    pub aggregate: Option<String>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axis_display() {
+        assert_eq!(Axis::Columns.to_string(), "COLUMNS");
+        assert_eq!(Axis::Numbered(4).to_string(), "AXIS(4)");
+    }
+
+    #[test]
+    fn ast_equality() {
+        let a = MemberExpr {
+            segments: vec![PathSeg::Ident("A1".into()), PathSeg::Children],
+        };
+        let b = a.clone();
+        assert_eq!(a, b);
+    }
+}

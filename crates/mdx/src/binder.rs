@@ -1,0 +1,560 @@
+//! Binding: MDX → the set of group-by queries it denotes.
+//!
+//! Binding happens in three steps (§2 of the paper):
+//!
+//! 1. every member expression is resolved against the schema into a
+//!    *member group* `(dimension, level, member ids)`;
+//! 2. groups on the same axis with the same dimension and level are merged
+//!    (`{Qtr1.CHILDREN, Qtr4.CHILDREN}` is one month-level group);
+//! 3. the expression expands into one [`GroupByQuery`] per combination of
+//!    choosing a level-group for every dimension that appears at several
+//!    levels — the intro example's 3 store levels × 2 time levels = 6
+//!    queries. `FILTER` members become selection predicates on dimensions
+//!    kept at leaf level in the group-by (matching the paper's reading of
+//!    its Queries 1–9, whose targets all retain `D`).
+//!
+//! ### Member name resolution
+//!
+//! A path's first segment may name a dimension (`D.DD1`), a level
+//! (`A''.A1`), or a member directly (`Qtr2`). `CHILDREN` steps the set one
+//! level down. A name *after* `CHILDREN` selects within the child set: by
+//! exact member name if the named member is in the set, otherwise — because
+//! the paper's query texts number such selections locally (`A2.CHILDREN.AA5`)
+//! — by its trailing number taken as a 1-based ordinal into the set, modulo
+//! the set size. This lenient rule keeps the paper's nine queries valid
+//! under any hierarchy fan-out; see DESIGN.md.
+
+use std::collections::BTreeMap;
+
+use starshare_olap::{AggFn, DimId, GroupBy, GroupByQuery, LevelRef, MemberPred, StarSchema};
+
+use crate::ast::{MdxExpr, MemberExpr, PathSeg};
+
+/// A binding error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BindError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for BindError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bind error: {}", self.message)
+    }
+}
+
+impl std::error::Error for BindError {}
+
+fn err(msg: impl Into<String>) -> BindError {
+    BindError {
+        message: msg.into(),
+    }
+}
+
+/// The result of binding one MDX expression.
+#[derive(Debug, Clone)]
+pub struct BoundMdx {
+    /// The cube named in `CONTEXT`.
+    pub cube: String,
+    /// The group-by queries the expression denotes, in deterministic order
+    /// (per-dimension level choices iterated coarsest-first).
+    pub queries: Vec<GroupByQuery>,
+    /// The resolved axis structure (for rendering results as the grid MDX
+    /// clients display): per axis, the ordered member positions.
+    pub axes: Vec<BoundAxis>,
+}
+
+/// One resolved display axis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoundAxis {
+    /// Which axis.
+    pub axis: crate::ast::Axis,
+    /// The axis's positions in display order. Each position is a *tuple*:
+    /// one `(dimension, level, member id)` per dimension the axis carries
+    /// (NEST puts several dimensions on one axis; their member sets cross).
+    pub positions: Vec<Vec<(DimId, u8, u32)>>,
+}
+
+/// A resolved member group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct MemberGroup {
+    dim: DimId,
+    level: u8,
+    members: Vec<u32>,
+}
+
+/// A resolved member set mid-path.
+#[derive(Debug, Clone)]
+enum SetState {
+    /// Just a dimension name (awaiting a member, or `.All`).
+    Dim(DimId),
+    /// A level qualifier (awaiting a member name).
+    Level(DimId, u8),
+    /// A concrete member set.
+    Members(MemberGroup),
+    /// `dim.All` — the unrestricted dimension (slicer use only).
+    AllOf(DimId),
+}
+
+fn resolve_path(schema: &StarSchema, expr: &MemberExpr) -> Result<SetState, BindError> {
+    let mut state: Option<SetState> = None;
+    for seg in &expr.segments {
+        state = Some(match (state, seg) {
+            (None, PathSeg::Ident(name)) => {
+                if let Some(d) = schema.dim_by_name(name) {
+                    SetState::Dim(d)
+                } else if let Some((d, l)) = schema.dim_of_level(name) {
+                    SetState::Level(d, l)
+                } else if let Some((d, l, m)) = find_member_any_dim(schema, name) {
+                    SetState::Members(MemberGroup {
+                        dim: d,
+                        level: l,
+                        members: vec![m],
+                    })
+                } else {
+                    return Err(err(format!("unknown name {name:?}")));
+                }
+            }
+            (None, PathSeg::Children) => {
+                return Err(err("CHILDREN needs a member to apply to"))
+            }
+            (Some(SetState::Dim(d)), PathSeg::Ident(name)) => {
+                if name.eq_ignore_ascii_case("all") {
+                    SetState::AllOf(d)
+                } else if let Some(l) = schema.dim(d).level_by_name(name) {
+                    SetState::Level(d, l)
+                } else if let Some((l, m)) = schema.dim(d).find_member(name) {
+                    SetState::Members(MemberGroup {
+                        dim: d,
+                        level: l,
+                        members: vec![m],
+                    })
+                } else {
+                    return Err(err(format!(
+                        "no member or level {name:?} in dimension {}",
+                        schema.dim(d).name()
+                    )));
+                }
+            }
+            (Some(SetState::Level(d, l)), PathSeg::Ident(name)) => {
+                let m = schema
+                    .dim(d)
+                    .member_by_name(l, name)
+                    .ok_or_else(|| {
+                        err(format!(
+                            "no member {name:?} at level {}",
+                            schema.dim(d).level(l).name
+                        ))
+                    })?;
+                SetState::Members(MemberGroup {
+                    dim: d,
+                    level: l,
+                    members: vec![m],
+                })
+            }
+            (Some(SetState::Members(g)), PathSeg::Children) => {
+                if g.level == 0 {
+                    return Err(err(format!(
+                        "members of leaf level {} have no children",
+                        schema.dim(g.dim).level(0).name
+                    )));
+                }
+                let child_level = g.level - 1;
+                let mut members = Vec::new();
+                for &m in &g.members {
+                    members.extend(schema.dim(g.dim).descendants(m, g.level, child_level));
+                }
+                SetState::Members(MemberGroup {
+                    dim: g.dim,
+                    level: child_level,
+                    members,
+                })
+            }
+            (Some(SetState::Members(g)), PathSeg::Ident(name)) => {
+                // Selection within a set: exact member name if present,
+                // else lenient 1-based ordinal from the trailing number.
+                let selected = match schema.dim(g.dim).member_by_name(g.level, name) {
+                    Some(m) if g.members.contains(&m) => m,
+                    _ => {
+                        let ord: usize = name
+                            .trim_start_matches(|c: char| !c.is_ascii_digit())
+                            .parse()
+                            .map_err(|_| {
+                                err(format!("{name:?} selects nothing from the member set"))
+                            })?;
+                        if g.members.is_empty() {
+                            return Err(err("selection from an empty member set"));
+                        }
+                        g.members[(ord.max(1) - 1) % g.members.len()]
+                    }
+                };
+                SetState::Members(MemberGroup {
+                    dim: g.dim,
+                    level: g.level,
+                    members: vec![selected],
+                })
+            }
+            (Some(SetState::Dim(_)), PathSeg::Children)
+            | (Some(SetState::Level(..)), PathSeg::Children) => {
+                return Err(err("CHILDREN must follow a member"))
+            }
+            (Some(SetState::AllOf(_)), _) => {
+                return Err(err("nothing may follow .All"))
+            }
+        });
+    }
+    state.ok_or_else(|| err("empty member path"))
+}
+
+fn find_member_any_dim(schema: &StarSchema, name: &str) -> Option<(DimId, u8, u32)> {
+    for d in 0..schema.n_dims() {
+        if let Some((l, m)) = schema.dim(d).find_member(name) {
+            return Some((d, l, m));
+        }
+    }
+    None
+}
+
+/// Binds a parsed MDX expression against a schema.
+pub fn bind(schema: &StarSchema, expr: &MdxExpr) -> Result<BoundMdx, BindError> {
+    let agg = match &expr.aggregate {
+        None => AggFn::Sum,
+        Some(name) => AggFn::parse(name)
+            .ok_or_else(|| err(format!("unknown aggregate function {name:?}")))?,
+    };
+    // Per dimension: the list of (level → members) groups from its axis,
+    // plus which axis it appeared on (to reject cross-axis reuse). Also
+    // record each axis's member positions in display order.
+    let mut axis_groups: BTreeMap<DimId, (usize, BTreeMap<u8, Vec<u32>>)> = BTreeMap::new();
+    let mut bound_axes: Vec<BoundAxis> = Vec::with_capacity(expr.axes.len());
+    for (axis_no, axis) in expr.axes.iter().enumerate() {
+        // Per dimension on this axis (first-appearance order): the ordered
+        // member positions.
+        let mut dim_order: Vec<DimId> = Vec::new();
+        let mut per_dim: BTreeMap<DimId, Vec<(DimId, u8, u32)>> = BTreeMap::new();
+        for m in &axis.members {
+            let group = match resolve_path(schema, m)? {
+                SetState::Members(g) => g,
+                SetState::AllOf(_) => continue,
+                SetState::Dim(d) | SetState::Level(d, _) => {
+                    return Err(err(format!(
+                        "axis {} names dimension {} without selecting members",
+                        axis.axis,
+                        schema.dim(d).name()
+                    )))
+                }
+            };
+            if !dim_order.contains(&group.dim) {
+                dim_order.push(group.dim);
+            }
+            let list = per_dim.entry(group.dim).or_default();
+            for &member in &group.members {
+                let pos = (group.dim, group.level, member);
+                if !list.contains(&pos) {
+                    list.push(pos);
+                }
+            }
+            let entry = axis_groups
+                .entry(group.dim)
+                .or_insert_with(|| (axis_no, BTreeMap::new()));
+            if entry.0 != axis_no {
+                return Err(err(format!(
+                    "dimension {} appears on two axes",
+                    schema.dim(group.dim).name()
+                )));
+            }
+            entry.1.entry(group.level).or_default().extend(group.members);
+        }
+        // Cross the per-dimension lists (first-named dimension outermost —
+        // NEST display order).
+        let mut positions: Vec<Vec<(DimId, u8, u32)>> = vec![Vec::new()];
+        for d in &dim_order {
+            let list = &per_dim[d];
+            positions = positions
+                .into_iter()
+                .flat_map(|prefix| {
+                    list.iter().map(move |p| {
+                        let mut t = prefix.clone();
+                        t.push(*p);
+                        t
+                    })
+                })
+                .collect();
+        }
+        if dim_order.is_empty() {
+            positions.clear();
+        }
+        bound_axes.push(BoundAxis {
+            axis: axis.axis,
+            positions,
+        });
+    }
+
+    // Slicer: one predicate per filtered dimension.
+    let mut slicer: BTreeMap<DimId, (u8, Vec<u32>)> = BTreeMap::new();
+    for m in &expr.filter {
+        match resolve_path(schema, m)? {
+            SetState::Members(g) => {
+                if axis_groups.contains_key(&g.dim) {
+                    return Err(err(format!(
+                        "dimension {} is on an axis and in FILTER",
+                        schema.dim(g.dim).name()
+                    )));
+                }
+                let e = slicer.entry(g.dim).or_insert((g.level, Vec::new()));
+                if e.0 != g.level {
+                    return Err(err(format!(
+                        "FILTER mixes levels of dimension {}",
+                        schema.dim(g.dim).name()
+                    )));
+                }
+                e.1.extend(g.members);
+            }
+            // Explicit no-restriction — but a dimension still cannot sit on
+            // an axis and in the slicer at once.
+            SetState::AllOf(d) => {
+                if axis_groups.contains_key(&d) {
+                    return Err(err(format!(
+                        "dimension {} is on an axis and in FILTER",
+                        schema.dim(d).name()
+                    )));
+                }
+            }
+            SetState::Dim(d) | SetState::Level(d, _) => {
+                return Err(err(format!(
+                    "FILTER names dimension {} without a member",
+                    schema.dim(d).name()
+                )))
+            }
+        }
+    }
+
+    // Per-dimension options: axis dims may have several level choices
+    // (coarsest first for deterministic output order).
+    struct DimOption {
+        target: LevelRef,
+        pred: MemberPred,
+    }
+    let mut options: Vec<Vec<DimOption>> = Vec::with_capacity(schema.n_dims());
+    for d in 0..schema.n_dims() {
+        if let Some((_, groups)) = axis_groups.get(&d) {
+            let mut opts: Vec<DimOption> = groups
+                .iter()
+                .rev() // coarsest level first
+                .map(|(&level, members)| DimOption {
+                    target: LevelRef::Level(level),
+                    pred: MemberPred::members_in(level, members.clone()),
+                })
+                .collect();
+            debug_assert!(!opts.is_empty());
+            if opts.is_empty() {
+                opts.push(DimOption {
+                    target: LevelRef::All,
+                    pred: MemberPred::All,
+                });
+            }
+            options.push(opts);
+        } else if let Some((level, members)) = slicer.get(&d) {
+            // Slicer dimensions stay in the group-by at leaf level with the
+            // filter as predicate (the paper's Queries 1–9 reading).
+            options.push(vec![DimOption {
+                target: LevelRef::Level(0),
+                pred: MemberPred::members_in(*level, members.clone()),
+            }]);
+        } else {
+            options.push(vec![DimOption {
+                target: LevelRef::All,
+                pred: MemberPred::All,
+            }]);
+        }
+    }
+
+    // Cross product of level choices.
+    let mut queries = Vec::new();
+    let mut choice = vec![0usize; schema.n_dims()];
+    loop {
+        let levels: Vec<LevelRef> = (0..schema.n_dims())
+            .map(|d| options[d][choice[d]].target)
+            .collect();
+        let preds: Vec<MemberPred> = (0..schema.n_dims())
+            .map(|d| options[d][choice[d]].pred.clone())
+            .collect();
+        queries.push(GroupByQuery::new(GroupBy::new(levels), preds).with_agg(agg));
+        // Odometer increment.
+        let mut d = schema.n_dims();
+        loop {
+            if d == 0 {
+                return Ok(BoundMdx {
+                    cube: expr.cube.clone(),
+                    queries,
+                    axes: bound_axes,
+                });
+            }
+            d -= 1;
+            choice[d] += 1;
+            if choice[d] < options[d].len() {
+                break;
+            }
+            choice[d] = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use starshare_olap::paper_schema;
+    use starshare_olap::Dimension;
+
+    fn schema() -> StarSchema {
+        paper_schema(7200)
+    }
+
+    fn bind_str(s: &str) -> BoundMdx {
+        bind(&schema(), &parse(s).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn query1_binds_to_one_groupby() {
+        let b = bind_str(
+            "{A''.A1.CHILDREN} on COLUMNS {B''.B1} on ROWS {C''.C1} on PAGES \
+             CONTEXT ABCD FILTER (D.DD1);",
+        );
+        let s = schema();
+        assert_eq!(b.cube, "ABCD");
+        assert_eq!(b.queries.len(), 1);
+        let q = &b.queries[0];
+        assert_eq!(q.group_by.display(&s), "A'B''C''D");
+        // A predicate: the two A' children of A1.
+        assert_eq!(q.preds[0], MemberPred::members_in(1, vec![0, 1]));
+        assert_eq!(q.preds[1], MemberPred::eq(2, 0));
+        assert_eq!(q.preds[2], MemberPred::eq(2, 0));
+        // D slicer: member DD1 at D' level; target level leaf.
+        assert_eq!(q.preds[3], MemberPred::eq(1, 0));
+    }
+
+    #[test]
+    fn mixed_levels_on_one_axis_expand() {
+        // Months of Qtr-like mix: {A''.A1.CHILDREN, A''.A2} has A' and A''
+        // groups → 2 queries.
+        let b = bind_str(
+            "{A''.A1.CHILDREN, A''.A2} on COLUMNS {B''.B1} on ROWS CONTEXT ABCD;",
+        );
+        let s = schema();
+        assert_eq!(b.queries.len(), 2);
+        // Coarsest first.
+        assert_eq!(b.queries[0].group_by.display(&s), "A''B''C*D*");
+        assert_eq!(b.queries[1].group_by.display(&s), "A'B''C*D*");
+    }
+
+    #[test]
+    fn intro_style_six_query_expansion() {
+        // A sales-like schema: Store (Store→City→State→Region→Country is too
+        // deep for uniform; use 3 levels), Time (Month→Quarter→Year).
+        let s = StarSchema::new(
+            vec![
+                Dimension::uniform("S", 2, &[3, 4]), // 2 countries, 6 regions, 24 states
+                Dimension::uniform("T", 4, &[3]),    // 4 quarters, 12 months
+            ],
+            "sales",
+        );
+        // Axis 1: states of one region + a region + a country: 3 levels.
+        // Axis 2: months of two quarters + two quarters: 2 levels.
+        let expr = parse(
+            "NEST((S''.S1, S'.SS3, S'.SS4.CHILDREN)) on COLUMNS \
+             {T'.T1.CHILDREN, T'.T2, T'.T3, T'.T4.CHILDREN} on ROWS \
+             CONTEXT Sales;",
+        )
+        .unwrap();
+        let b = bind(&s, &expr).unwrap();
+        assert_eq!(b.queries.len(), 6, "3 store levels × 2 time levels");
+    }
+
+    #[test]
+    fn children_selection_by_global_name() {
+        let b = bind_str("{A''.A1.CHILDREN.AA2} on COLUMNS CONTEXT ABCD;");
+        // AA2 is globally child index 1, a child of A1.
+        assert_eq!(b.queries[0].preds[0], MemberPred::eq(1, 1));
+    }
+
+    #[test]
+    fn children_selection_by_lenient_ordinal() {
+        // AA5 is not a child of A2 (children are AA3, AA4); the lenient rule
+        // takes ordinal 5 → (5-1) % 2 = 0 → first child, AA3 (id 2).
+        let b = bind_str("{A''.A2.CHILDREN.AA5} on COLUMNS CONTEXT ABCD;");
+        assert_eq!(b.queries[0].preds[0], MemberPred::eq(1, 2));
+    }
+
+    #[test]
+    fn same_dim_same_level_groups_merge() {
+        let b = bind_str("{A''.A1.CHILDREN, A''.A2.CHILDREN} on COLUMNS CONTEXT ABCD;");
+        assert_eq!(b.queries.len(), 1);
+        assert_eq!(
+            b.queries[0].preds[0],
+            MemberPred::members_in(1, vec![0, 1, 2, 3])
+        );
+    }
+
+    #[test]
+    fn filter_all_is_no_restriction() {
+        let b = bind_str("{A''.A1} on COLUMNS CONTEXT ABCD FILTER (D.All);");
+        assert_eq!(b.queries[0].preds[3], MemberPred::All);
+        assert_eq!(b.queries[0].group_by.level(3), LevelRef::All);
+    }
+
+    #[test]
+    fn rejects_dim_on_two_axes() {
+        let s = schema();
+        let e = bind(
+            &s,
+            &parse("{A''.A1} on COLUMNS {A''.A2} on ROWS CONTEXT ABCD;").unwrap(),
+        )
+        .unwrap_err();
+        assert!(e.message.contains("two axes"), "{e}");
+    }
+
+    #[test]
+    fn rejects_axis_and_filter_overlap() {
+        let s = schema();
+        let e = bind(
+            &s,
+            &parse("{A''.A1} on COLUMNS CONTEXT ABCD FILTER (A''.A2);").unwrap(),
+        )
+        .unwrap_err();
+        assert!(e.message.contains("axis and in FILTER"), "{e}");
+    }
+
+    #[test]
+    fn rejects_unknown_names() {
+        let s = schema();
+        for bad in [
+            "{Z9} on COLUMNS CONTEXT ABCD;",
+            "{A''.A9} on COLUMNS CONTEXT ABCD;",
+            "{A''} on COLUMNS CONTEXT ABCD;",
+        ] {
+            assert!(bind(&s, &parse(bad).unwrap()).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn rejects_children_of_leaf() {
+        let s = schema();
+        let e = bind(
+            &s,
+            &parse("{A.AAA1.CHILDREN} on COLUMNS CONTEXT ABCD;").unwrap(),
+        )
+        .unwrap_err();
+        assert!(e.message.contains("no children"), "{e}");
+    }
+
+    #[test]
+    fn unmentioned_dimensions_are_all() {
+        let b = bind_str("{A''.A1} on COLUMNS CONTEXT ABCD;");
+        let q = &b.queries[0];
+        for d in 1..4 {
+            assert_eq!(q.group_by.level(d), LevelRef::All);
+            assert_eq!(q.preds[d], MemberPred::All);
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! MDX tokenizer.
+//!
+//! Identifiers may contain prime marks (`A''` is one token — the paper's
+//! level names) and may be written in `[brackets]` (the OLE DB for OLAP
+//! convention for names with special characters, e.g. `[1991]`). Keywords
+//! are case-insensitive.
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Identifier (possibly bracketed), primes included.
+    Ident(String),
+    /// Integer literal (used by `AXIS(n)`).
+    Number(u32),
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Semicolon,
+    /// Case-insensitive keyword, stored upper-cased.
+    Keyword(Keyword),
+}
+
+/// Reserved MDX keywords used by the paper's subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Keyword {
+    Nest,
+    On,
+    Columns,
+    Rows,
+    Pages,
+    Chapters,
+    Sections,
+    Axis,
+    Context,
+    Filter,
+    Children,
+    Aggregate,
+}
+
+impl Keyword {
+    fn from_str(s: &str) -> Option<Keyword> {
+        Some(match s.to_ascii_uppercase().as_str() {
+            "NEST" => Keyword::Nest,
+            "ON" => Keyword::On,
+            "COLUMNS" => Keyword::Columns,
+            "ROWS" => Keyword::Rows,
+            "PAGES" => Keyword::Pages,
+            "CHAPTERS" => Keyword::Chapters,
+            "SECTIONS" => Keyword::Sections,
+            "AXIS" => Keyword::Axis,
+            "CONTEXT" => Keyword::Context,
+            "FILTER" => Keyword::Filter,
+            "CHILDREN" => Keyword::Children,
+            "AGGREGATE" => Keyword::Aggregate,
+            _ => return None,
+        })
+    }
+}
+
+/// A lexing error with byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Byte offset into the input.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_' || c == '\''
+}
+
+/// Tokenizes `input`.
+pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
+    let mut tokens = Vec::new();
+    let mut chars = input.char_indices().peekable();
+    while let Some(&(off, c)) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '{' => {
+                chars.next();
+                tokens.push(Token::LBrace);
+            }
+            '}' => {
+                chars.next();
+                tokens.push(Token::RBrace);
+            }
+            '(' => {
+                chars.next();
+                tokens.push(Token::LParen);
+            }
+            ')' => {
+                chars.next();
+                tokens.push(Token::RParen);
+            }
+            ',' => {
+                chars.next();
+                tokens.push(Token::Comma);
+            }
+            '.' => {
+                chars.next();
+                tokens.push(Token::Dot);
+            }
+            ';' => {
+                chars.next();
+                tokens.push(Token::Semicolon);
+            }
+            '[' => {
+                chars.next();
+                let mut name = String::new();
+                loop {
+                    match chars.next() {
+                        Some((_, ']')) => break,
+                        Some((_, ch)) => name.push(ch),
+                        None => {
+                            return Err(LexError {
+                                offset: off,
+                                message: "unterminated [bracketed] name".into(),
+                            })
+                        }
+                    }
+                }
+                tokens.push(Token::Ident(name));
+            }
+            c if c.is_ascii_digit() => {
+                let mut n: u32 = 0;
+                while let Some(&(_, d)) = chars.peek() {
+                    if let Some(v) = d.to_digit(10) {
+                        n = n
+                            .checked_mul(10)
+                            .and_then(|n| n.checked_add(v))
+                            .ok_or_else(|| LexError {
+                                offset: off,
+                                message: "number too large".into(),
+                            })?;
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token::Number(n));
+            }
+            c if is_ident_start(c) => {
+                let mut s = String::new();
+                while let Some(&(_, ch)) = chars.peek() {
+                    if is_ident_continue(ch) {
+                        s.push(ch);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                match Keyword::from_str(&s) {
+                    Some(k) => tokens.push(Token::Keyword(k)),
+                    None => tokens.push(Token::Ident(s)),
+                }
+            }
+            other => {
+                return Err(LexError {
+                    offset: off,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_paper_query() {
+        let toks = lex("{A''.A1.CHILDREN} on COLUMNS CONTEXT ABCD FILTER (D.DD1);").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::LBrace,
+                Token::Ident("A''".into()),
+                Token::Dot,
+                Token::Ident("A1".into()),
+                Token::Dot,
+                Token::Keyword(Keyword::Children),
+                Token::RBrace,
+                Token::Keyword(Keyword::On),
+                Token::Keyword(Keyword::Columns),
+                Token::Keyword(Keyword::Context),
+                Token::Ident("ABCD".into()),
+                Token::Keyword(Keyword::Filter),
+                Token::LParen,
+                Token::Ident("D".into()),
+                Token::Dot,
+                Token::Ident("DD1".into()),
+                Token::RParen,
+                Token::Semicolon,
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let toks = lex("nest On children").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Keyword(Keyword::Nest),
+                Token::Keyword(Keyword::On),
+                Token::Keyword(Keyword::Children),
+            ]
+        );
+    }
+
+    #[test]
+    fn bracketed_names_preserve_content() {
+        let toks = lex("[1991] [USA North]").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("1991".into()),
+                Token::Ident("USA North".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_lex() {
+        assert_eq!(lex("AXIS(3)").unwrap()[2], Token::Number(3));
+    }
+
+    #[test]
+    fn primes_stay_inside_idents() {
+        let toks = lex("A'B''C").unwrap();
+        assert_eq!(toks, vec![Token::Ident("A'B''C".into())]);
+    }
+
+    #[test]
+    fn errors_report_offset() {
+        let e = lex("abc @").unwrap_err();
+        assert_eq!(e.offset, 4);
+        assert!(e.to_string().contains("byte 4"));
+        let e2 = lex("[unterminated").unwrap_err();
+        assert!(e2.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        assert!(lex("").unwrap().is_empty());
+        assert!(lex("   \n\t ").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,41 @@
+//! # starshare-mdx
+//!
+//! A parser and binder for the MDX subset the paper uses (§2, §7.3):
+//! member sets on named axes, `CHILDREN`, `NEST`, `CONTEXT`, and `FILTER`.
+//!
+//! The defining feature of MDX for this work is that **one expression
+//! denotes several related group-by queries**: an axis may mix members from
+//! different hierarchy levels (`{Qtr1.CHILDREN, Qtr2, Qtr3, Qtr4.CHILDREN}`
+//! mixes months and quarters), and the expression expands into one SQL-style
+//! group-by query per combination of levels across axes — the paper's
+//! running example expands into six. [`bind`] performs that expansion,
+//! turning MDX text into the `Vec<GroupByQuery>` the optimizer crates
+//! consume.
+//!
+//! ```
+//! use starshare_mdx::{parse, bind};
+//! use starshare_olap::paper_schema;
+//!
+//! let schema = paper_schema(7200);
+//! let expr = parse(
+//!     "{A''.A1.CHILDREN} on COLUMNS \
+//!      {B''.B1} on ROWS \
+//!      {C''.C1} on PAGES \
+//!      CONTEXT ABCD FILTER (D.DD1);",
+//! ).unwrap();
+//! let bound = bind(&schema, &expr).unwrap();
+//! assert_eq!(bound.queries.len(), 1);
+//! assert_eq!(bound.queries[0].group_by.display(&schema), "A'B''C''D");
+//! ```
+
+pub mod ast;
+pub mod binder;
+pub mod generate;
+pub mod lexer;
+pub mod paper_queries;
+pub mod parser;
+
+pub use ast::{Axis, AxisSpec, MdxExpr, MemberExpr, PathSeg};
+pub use binder::{bind, BoundAxis, BoundMdx};
+pub use generate::generate_mdx;
+pub use parser::parse;

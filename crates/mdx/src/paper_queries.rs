@@ -1,0 +1,177 @@
+//! The paper's §7.3 queries as MDX text.
+//!
+//! Queries 1–9 exactly as the paper lists them (modulo whitespace), plus
+//! the workload groupings its seven tests use. Binding any of these against
+//! [`starshare_olap::paper_schema`] yields a single [`GroupByQuery`] whose
+//! target group-by matches the paper's stated target.
+
+use starshare_olap::{GroupByQuery, StarSchema};
+
+use crate::binder::{bind, BindError};
+use crate::parser::parse;
+
+/// The MDX text of paper query `n` (1-based).
+///
+/// # Panics
+/// Panics if `n` is not in `1..=9`.
+pub fn paper_query_text(n: usize) -> &'static str {
+    match n {
+        1 => "{A''.A1.CHILDREN} on COLUMNS \
+              {B''.B1} on ROWS \
+              {C''.C1} on PAGES \
+              CONTEXT ABCD FILTER (D.DD1);",
+        2 => "{A''.A1, A''.A2, A''.A3} on COLUMNS \
+              {B''.B2.CHILDREN} on ROWS \
+              {C''.C2} on PAGES \
+              CONTEXT ABCD FILTER (D.DD1);",
+        3 => "{A''.A2} on COLUMNS \
+              {B''.B2} on ROWS \
+              {C''.C1, C''.C3} on PAGES \
+              CONTEXT ABCD FILTER (D.DD1);",
+        4 => "{A''.A3, A''.A2} on COLUMNS \
+              {B''.B3} on ROWS \
+              {C''.C1, C''.C2, C''.C3} on PAGES \
+              CONTEXT ABCD FILTER (D.DD1);",
+        5 => "{A''.A1.CHILDREN.AA2} on COLUMNS \
+              {B''.B1} on ROWS \
+              {C''.C3} on PAGES \
+              CONTEXT ABCD FILTER (D.DD1);",
+        6 => "{A''.A2.CHILDREN.AA5} on COLUMNS \
+              {B''.B1.CHILDREN} on ROWS \
+              {C''.C3.CHILDREN.CC2} on PAGES \
+              CONTEXT ABCD FILTER (D.DD1);",
+        7 => "{A''.A3.CHILDREN.AA2} on COLUMNS \
+              {B''.B2.CHILDREN.BB3} on ROWS \
+              {C''.C1.CHILDREN.CC1} on PAGES \
+              CONTEXT ABCD FILTER (D.DD1);",
+        8 => "{A''.A1.CHILDREN.AA2} on COLUMNS \
+              {B''.B2.CHILDREN.BB1} on ROWS \
+              {C''.C1} on PAGES \
+              CONTEXT ABCD FILTER (D.DD1);",
+        9 => "{A''.A1.CHILDREN} on COLUMNS \
+              {B''.B2, B''.B3} on ROWS \
+              {C''.C1.CHILDREN} on PAGES \
+              CONTEXT ABCD FILTER (D.DD1);",
+        _ => panic!("the paper defines queries 1..=9, not {n}"),
+    }
+}
+
+/// The target group-by the paper states for query `n` (shorthand).
+pub fn paper_query_target(n: usize) -> &'static str {
+    match n {
+        1 | 5 => "A'B''C''D",
+        2 => "A''B'C''D",
+        3 | 4 => "A''B''C''D",
+        6 | 7 => "A'B'C'D",
+        8 => "A'B'C''D",
+        9 => "A'B''C'D",
+        _ => panic!("the paper defines queries 1..=9, not {n}"),
+    }
+}
+
+/// Parses and binds paper query `n` against `schema`.
+pub fn bind_paper_query(schema: &StarSchema, n: usize) -> Result<GroupByQuery, BindError> {
+    let expr = parse(paper_query_text(n)).map_err(|e| BindError {
+        message: e.to_string(),
+    })?;
+    let bound = bind(schema, &expr)?;
+    debug_assert_eq!(bound.queries.len(), 1, "paper queries bind to one query");
+    Ok(bound.queries.into_iter().next().expect("one query"))
+}
+
+/// The query numbers each of the paper's seven tests combines.
+pub fn paper_test_queries(test: usize) -> &'static [usize] {
+    match test {
+        1 => &[1, 2, 3, 4],
+        2 => &[5, 6, 7, 8],
+        3 => &[3, 5, 6, 7],
+        4 => &[1, 2, 3],
+        5 => &[2, 3, 5],
+        6 => &[6, 7, 8],
+        7 => &[1, 7, 9],
+        _ => panic!("the paper defines tests 1..=7, not {test}"),
+    }
+}
+
+/// Binds the full workload of paper test `test`.
+pub fn bind_paper_test(schema: &StarSchema, test: usize) -> Result<Vec<GroupByQuery>, BindError> {
+    paper_test_queries(test)
+        .iter()
+        .map(|&n| bind_paper_query(schema, n))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starshare_olap::{paper_schema, MemberPred};
+
+    #[test]
+    fn all_nine_queries_bind_to_stated_targets() {
+        let s = paper_schema(7200);
+        for n in 1..=9 {
+            let q = bind_paper_query(&s, n).unwrap_or_else(|e| panic!("Q{n}: {e}"));
+            assert_eq!(
+                q.group_by.display(&s),
+                paper_query_target(n),
+                "query {n}"
+            );
+            // Every query filters D to DD1 at level D'.
+            assert_eq!(q.preds[3], MemberPred::eq(1, 0), "query {n} D filter");
+        }
+    }
+
+    #[test]
+    fn selective_queries_have_single_member_a_pred() {
+        let s = paper_schema(7200);
+        for n in [5, 6, 7, 8] {
+            let q = bind_paper_query(&s, n).unwrap();
+            let MemberPred::In { members, .. } = &q.preds[0] else {
+                panic!("query {n} should restrict A");
+            };
+            assert_eq!(members.len(), 1, "query {n} is selective on A");
+        }
+    }
+
+    #[test]
+    fn broad_queries_keep_full_top_level() {
+        let s = paper_schema(7200);
+        let q2 = bind_paper_query(&s, 2).unwrap();
+        assert_eq!(
+            q2.preds[0],
+            MemberPred::members_in(2, vec![0, 1, 2]),
+            "Q2 keeps all of A''"
+        );
+        assert!((q2.preds[0].selectivity(&s, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tests_reference_defined_queries() {
+        let s = paper_schema(7200);
+        for t in 1..=7 {
+            let ws = bind_paper_test(&s, t).unwrap();
+            assert_eq!(ws.len(), paper_test_queries(t).len());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "queries 1..=9")]
+    fn query_zero_panics() {
+        paper_query_text(0);
+    }
+
+    #[test]
+    fn selectivities_separate_hash_from_index_workloads() {
+        // Tests 1 and 4/7 run hash plans (broad); tests 2 and 6 run index
+        // plans (selective). Check the selectivity split that drives this.
+        let s = paper_schema(7200);
+        for n in [6, 7, 8] {
+            let sel = bind_paper_query(&s, n).unwrap().selectivity(&s);
+            assert!(sel < 0.005, "Q{n} selectivity {sel}");
+        }
+        for n in [2, 3, 4] {
+            let sel = bind_paper_query(&s, n).unwrap().selectivity(&s);
+            assert!(sel > 0.002, "Q{n} selectivity {sel}");
+        }
+    }
+}

@@ -1,0 +1,333 @@
+//! Recursive-descent parser for the paper's MDX subset.
+//!
+//! Grammar (keywords case-insensitive, `;` optional):
+//!
+//! ```text
+//! expr      := axis_spec+ [AGGREGATE name] CONTEXT ident
+//!              [ FILTER '(' path (',' path)* ')' ] [';']
+//! axis_spec := set ON axis
+//! set       := '{' set_items '}' | '(' set_items ')' | NEST '(' set_items ')' | path
+//! set_items := set (',' set)*
+//! path      := name ('.' (name | CHILDREN))*
+//! name      := ident | '[' … ']' | number
+//! axis      := COLUMNS | ROWS | PAGES | CHAPTERS | SECTIONS | AXIS '(' number ')'
+//! ```
+//!
+//! Nested set constructors (`{…}`, `(…)`, `NEST(…)`) are flattened into the
+//! axis's member list — see [`crate::ast`].
+
+use crate::ast::{Axis, AxisSpec, MdxExpr, MemberExpr, PathSeg};
+use crate::lexer::{lex, Keyword, LexError, Token};
+
+/// A parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Token index at which the error occurred (input length if at end).
+    pub position: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at token {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            position: 0,
+            message: e.to_string(),
+        }
+    }
+}
+
+/// Parses an MDX expression.
+pub fn parse(input: &str) -> Result<MdxExpr, ParseError> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let expr = p.expr()?;
+    if p.pos != p.tokens.len() {
+        return Err(p.err("trailing input after expression"));
+    }
+    Ok(expr)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            position: self.pos,
+            message: msg.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: Token, what: &str) -> Result<(), ParseError> {
+        if self.eat(&t) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}, found {:?}", self.peek())))
+        }
+    }
+
+    fn expr(&mut self) -> Result<MdxExpr, ParseError> {
+        let mut axes = Vec::new();
+        loop {
+            match self.peek() {
+                Some(Token::Keyword(Keyword::Context))
+                | Some(Token::Keyword(Keyword::Aggregate)) => break,
+                None => return Err(self.err("expected CONTEXT clause")),
+                _ => {}
+            }
+            let members = self.set()?;
+            self.expect(Token::Keyword(Keyword::On), "ON")?;
+            let axis = self.axis()?;
+            axes.push(AxisSpec { members, axis });
+        }
+        if axes.is_empty() {
+            return Err(self.err("an MDX expression needs at least one axis"));
+        }
+        let aggregate = if self.eat(&Token::Keyword(Keyword::Aggregate)) {
+            match self.bump() {
+                Some(Token::Ident(s)) => Some(s),
+                other => return Err(self.err(format!("expected aggregate name, found {other:?}"))),
+            }
+        } else {
+            None
+        };
+        self.expect(Token::Keyword(Keyword::Context), "CONTEXT")?;
+        let cube = match self.bump() {
+            Some(Token::Ident(s)) => s,
+            other => return Err(self.err(format!("expected cube name, found {other:?}"))),
+        };
+        let mut filter = Vec::new();
+        if self.eat(&Token::Keyword(Keyword::Filter)) {
+            self.expect(Token::LParen, "(")?;
+            loop {
+                filter.push(self.path()?);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(Token::RParen, ")")?;
+        }
+        let _ = self.eat(&Token::Semicolon);
+        Ok(MdxExpr {
+            axes,
+            cube,
+            filter,
+            aggregate,
+        })
+    }
+
+    /// Parses a set, flattening nesting into a member list.
+    fn set(&mut self) -> Result<Vec<MemberExpr>, ParseError> {
+        match self.peek() {
+            Some(Token::LBrace) => {
+                self.bump();
+                let items = self.set_items(Token::RBrace)?;
+                self.expect(Token::RBrace, "}")?;
+                Ok(items)
+            }
+            Some(Token::LParen) => {
+                self.bump();
+                let items = self.set_items(Token::RParen)?;
+                self.expect(Token::RParen, ")")?;
+                Ok(items)
+            }
+            Some(Token::Keyword(Keyword::Nest)) => {
+                self.bump();
+                self.expect(Token::LParen, "( after NEST")?;
+                let items = self.set_items(Token::RParen)?;
+                self.expect(Token::RParen, ")")?;
+                Ok(items)
+            }
+            _ => Ok(vec![self.path()?]),
+        }
+    }
+
+    fn set_items(&mut self, closer: Token) -> Result<Vec<MemberExpr>, ParseError> {
+        let mut out = Vec::new();
+        if self.peek() == Some(&closer) {
+            return Ok(out); // empty set
+        }
+        loop {
+            out.extend(self.set()?);
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    fn path(&mut self) -> Result<MemberExpr, ParseError> {
+        let mut segments = vec![PathSeg::Ident(self.name()?)];
+        while self.eat(&Token::Dot) {
+            match self.peek() {
+                Some(Token::Keyword(Keyword::Children)) => {
+                    self.bump();
+                    segments.push(PathSeg::Children);
+                }
+                _ => segments.push(PathSeg::Ident(self.name()?)),
+            }
+        }
+        Ok(MemberExpr { segments })
+    }
+
+    fn name(&mut self) -> Result<String, ParseError> {
+        match self.bump() {
+            Some(Token::Ident(s)) => Ok(s),
+            Some(Token::Number(n)) => Ok(n.to_string()),
+            other => Err(self.err(format!("expected a name, found {other:?}"))),
+        }
+    }
+
+    fn axis(&mut self) -> Result<Axis, ParseError> {
+        match self.bump() {
+            Some(Token::Keyword(Keyword::Columns)) => Ok(Axis::Columns),
+            Some(Token::Keyword(Keyword::Rows)) => Ok(Axis::Rows),
+            Some(Token::Keyword(Keyword::Pages)) => Ok(Axis::Pages),
+            Some(Token::Keyword(Keyword::Chapters)) => Ok(Axis::Chapters),
+            Some(Token::Keyword(Keyword::Sections)) => Ok(Axis::Sections),
+            Some(Token::Keyword(Keyword::Axis)) => {
+                self.expect(Token::LParen, "( after AXIS")?;
+                let n = match self.bump() {
+                    Some(Token::Number(n)) => n,
+                    other => return Err(self.err(format!("expected axis number, found {other:?}"))),
+                };
+                self.expect(Token::RParen, ")")?;
+                Ok(Axis::Numbered(n))
+            }
+            other => Err(self.err(format!("expected an axis name, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_query_1() {
+        let e = parse(
+            "{A''.A1.CHILDREN} on COLUMNS \
+             {B''.B1} on ROWS \
+             {C''.C1} on PAGES \
+             CONTEXT ABCD FILTER (D.DD1);",
+        )
+        .unwrap();
+        assert_eq!(e.axes.len(), 3);
+        assert_eq!(e.cube, "ABCD");
+        assert_eq!(e.filter.len(), 1);
+        assert_eq!(e.axes[0].axis, Axis::Columns);
+        assert_eq!(
+            e.axes[0].members[0].segments,
+            vec![
+                PathSeg::Ident("A''".into()),
+                PathSeg::Ident("A1".into()),
+                PathSeg::Children
+            ]
+        );
+    }
+
+    #[test]
+    fn parses_intro_nest_example() {
+        let e = parse(
+            "NEST ({Venkatrao, Netz}, (USA_North.CHILDREN, USA_South, Japan)) on COLUMNS \
+             {Qtr1.CHILDREN, Qtr2, Qtr3, Qtr4.CHILDREN} on ROWS \
+             CONTEXT SalesCube \
+             FILTER(Sales, [1991], Products.All)",
+        )
+        .unwrap();
+        assert_eq!(e.axes.len(), 2);
+        // NEST flattens: 2 salesmen + 3 store refs.
+        assert_eq!(e.axes[0].members.len(), 5);
+        assert_eq!(e.axes[1].members.len(), 4);
+        assert_eq!(e.cube, "SalesCube");
+        assert_eq!(e.filter.len(), 3);
+        assert_eq!(
+            e.filter[1].segments,
+            vec![PathSeg::Ident("1991".into())]
+        );
+    }
+
+    #[test]
+    fn parses_multi_member_sets() {
+        let e = parse("{A''.A1, A''.A2, A''.A3} on COLUMNS CONTEXT ABCD").unwrap();
+        assert_eq!(e.axes[0].members.len(), 3);
+        assert!(e.filter.is_empty());
+    }
+
+    #[test]
+    fn parses_numbered_axis() {
+        let e = parse("{A''.A1} on AXIS(2) CONTEXT ABCD").unwrap();
+        assert_eq!(e.axes[0].axis, Axis::Numbered(2));
+    }
+
+    #[test]
+    fn empty_set_is_allowed() {
+        let e = parse("{} on COLUMNS CONTEXT C").unwrap();
+        assert!(e.axes[0].members.is_empty());
+    }
+
+    #[test]
+    fn rejects_missing_context() {
+        let e = parse("{A''.A1} on COLUMNS").unwrap_err();
+        assert!(e.message.contains("CONTEXT"), "{e}");
+    }
+
+    #[test]
+    fn rejects_missing_axis_name() {
+        assert!(parse("{A''.A1} on CONTEXT C").is_err());
+    }
+
+    #[test]
+    fn rejects_no_axes() {
+        assert!(parse("CONTEXT C").is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_tokens() {
+        let e = parse("{A1} on COLUMNS CONTEXT C ; extra").unwrap_err();
+        assert!(e.message.contains("trailing"), "{e}");
+    }
+
+    #[test]
+    fn rejects_unclosed_set() {
+        assert!(parse("{A1 on COLUMNS CONTEXT C").is_err());
+    }
+
+    #[test]
+    fn error_display_mentions_token_position() {
+        let e = parse("{A1} on COLUMNS").unwrap_err();
+        assert!(e.to_string().contains("token"));
+    }
+}

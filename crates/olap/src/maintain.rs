@@ -1,0 +1,415 @@
+//! Incremental maintenance of materialized group-bys.
+//!
+//! The paper positions itself next to "efficient schemes for creating and
+//! maintaining precomputed group-bys"; this module supplies the
+//! maintenance half for the append-only OLAP setting: [`append_facts`]
+//! adds new rows to the base table and propagates the delta to
+//!
+//! * every materialized view — by aggregating only the *delta* to each
+//!   view's group-by and merging it in (existing groups are updated in
+//!   place, new groups appended), which is sound for SUM/COUNT views
+//!   always and for MIN/MAX views under insert-only workloads;
+//! * every bitmap join index — bitmaps grow and the new tail is indexed;
+//! * the optional statistics — histogram counts absorb the delta.
+//!
+//! Deletions and updates are out of scope (the engine's tables are
+//! append-only by design); a deleting workload would need either
+//! re-aggregation or the classic summary-delta method with counts.
+
+use std::collections::HashMap;
+
+use crate::catalog::{combine_mode, roll_key, AggState, Cube, MeasureKind};
+use crate::query::AggFn;
+use crate::stats::CubeStats;
+
+/// Appends `rows` (leaf-level keys + raw measure) to the cube's base table
+/// and incrementally maintains every view, index, and statistic.
+///
+/// Returns the number of rows appended. Fails (without modifying anything)
+/// if any key is out of range or the catalog lacks a leaf-level raw base
+/// table.
+pub fn append_facts(cube: &mut Cube, rows: &[(Vec<u32>, f64)]) -> Result<u64, String> {
+    let schema = &cube.schema;
+    let n_dims = schema.n_dims();
+    // Validate before mutating.
+    for (keys, _) in rows {
+        if keys.len() != n_dims {
+            return Err(format!(
+                "row has {} keys; schema has {n_dims} dimensions",
+                keys.len()
+            ));
+        }
+        for (d, &k) in keys.iter().enumerate() {
+            if k >= schema.dim(d).cardinality(0) {
+                return Err(format!(
+                    "key {k} out of range for dimension {}",
+                    schema.dim(d).name()
+                ));
+            }
+        }
+    }
+    let base_id = cube
+        .catalog
+        .base_table()
+        .ok_or("catalog has no base table")?;
+    if cube.catalog.table(base_id).measure() != MeasureKind::Raw {
+        return Err("base table must hold raw measures".into());
+    }
+
+    // 1. Append to the base heap and extend its indexes.
+    {
+        let schema = cube.schema.clone();
+        let base = cube.catalog.table_mut(base_id);
+        for (keys, m) in rows {
+            base.heap_mut().append(keys, *m);
+        }
+        base.extend_indexes(&schema);
+    }
+
+    // 2. Delta-maintain every view.
+    let view_ids: Vec<_> = cube
+        .catalog
+        .iter()
+        .filter(|(id, _)| *id != base_id)
+        .map(|(id, _)| id)
+        .collect();
+    for vid in view_ids {
+        let schema = cube.schema.clone();
+        let view = cube.catalog.table_mut(vid);
+        let MeasureKind::Aggregated(agg) = view.measure() else {
+            return Err(format!("view {} is not aggregated", view.name()));
+        };
+        if agg == AggFn::Avg {
+            return Err("AVG views cannot be maintained (or built)".into());
+        }
+        let mode = combine_mode(agg, MeasureKind::Raw);
+        // Delta-aggregate the new rows to the view's group-by.
+        let mut delta: HashMap<Vec<u32>, AggState> = HashMap::new();
+        let mut gk = vec![0u32; n_dims];
+        for (keys, m) in rows {
+            for d in 0..n_dims {
+                gk[d] = roll_key(
+                    &schema,
+                    d,
+                    crate::query::LevelRef::Level(0),
+                    view.group_by().level(d),
+                    keys[d],
+                );
+            }
+            match delta.get_mut(gk.as_slice()) {
+                Some(st) => st.fold(mode, *m),
+                None => {
+                    delta.insert(gk.clone(), AggState::first(mode, *m));
+                }
+            }
+        }
+        // Locate existing groups (one pass over the view).
+        let mut positions: HashMap<Vec<u32>, u64> = HashMap::with_capacity(delta.len());
+        let mut keys = vec![0u32; n_dims];
+        for pos in 0..view.n_rows() {
+            view.heap().read_at(pos, &mut keys);
+            if delta.contains_key(keys.as_slice()) {
+                positions.insert(keys.clone(), pos);
+            }
+        }
+        // Merge: update in place or append new groups. The merge of two
+        // partial aggregates of the same function is the function itself
+        // for SUM/MIN/MAX, and addition for COUNT.
+        for (gkey, st) in delta {
+            let delta_val = st.value(mode);
+            match positions.get(&gkey) {
+                Some(&pos) => {
+                    let old = view.heap().read_at(pos, &mut keys);
+                    let merged = match agg {
+                        AggFn::Sum | AggFn::Count => old + delta_val,
+                        AggFn::Min => old.min(delta_val),
+                        AggFn::Max => old.max(delta_val),
+                        AggFn::Avg => unreachable!("rejected above"),
+                    };
+                    view.heap_mut().update_measure(pos, merged);
+                }
+                None => view.heap_mut().append(&gkey, delta_val),
+            }
+        }
+        view.extend_indexes(&schema);
+    }
+
+    // 3. Statistics absorb the delta.
+    if cube.stats.is_some() {
+        let base = cube.catalog.table(base_id);
+        cube.stats = Some(CubeStats::collect(&cube.schema, base));
+    }
+    Ok(rows.len() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::materialize_agg;
+    use crate::datagen::{paper_cube, CubeBuilder, PaperCubeSpec};
+    use crate::query::{GroupBy, GroupByQuery, MemberPred};
+    use crate::schema::{Dimension, StarSchema};
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn spec() -> PaperCubeSpec {
+        PaperCubeSpec {
+            base_rows: 2_000,
+            d_leaf: 24,
+            seed: 20,
+            with_indexes: true,
+        }
+    }
+
+    fn random_rows(schema: &StarSchema, n: usize, seed: u64) -> Vec<(Vec<u32>, f64)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let keys: Vec<u32> = (0..schema.n_dims())
+                    .map(|d| rng.gen_range(0..schema.dim(d).cardinality(0)))
+                    .collect();
+                (keys, rng.gen_range(0.0..100.0))
+            })
+            .collect()
+    }
+
+    /// The gold standard: a cube maintained incrementally must be
+    /// group-for-group identical (as a set) to one rebuilt from scratch on
+    /// the concatenated data.
+    #[test]
+    fn incremental_equals_rebuild() {
+        let mut cube = paper_cube(spec());
+        let delta = random_rows(&cube.schema, 500, 77);
+        append_facts(&mut cube, &delta).unwrap();
+
+        // Rebuild from scratch over base ∪ delta.
+        let rebuilt = {
+            let mut fresh = paper_cube(spec());
+            append_base_only(&mut fresh, &delta);
+            fresh
+        };
+        for (_, view) in cube.catalog.iter() {
+            if view.name() == "ABCD" {
+                continue;
+            }
+            let direct = materialize_agg(
+                &rebuilt.schema,
+                rebuilt.catalog.table(rebuilt.catalog.base_table().unwrap()),
+                view.group_by().clone(),
+                AggFn::Sum,
+                "check",
+                starshare_storage::FileId(999),
+            );
+            assert_eq!(view.n_rows(), direct.n_rows(), "{}", view.name());
+            // Compare as key→value maps (row order differs: merged views
+            // append new groups at the end).
+            let to_map = |t: &crate::catalog::StoredTable| {
+                let mut m = std::collections::BTreeMap::new();
+                let mut keys = vec![0u32; 4];
+                for pos in 0..t.n_rows() {
+                    let v = t.heap().read_at(pos, &mut keys);
+                    m.insert(keys.clone(), v);
+                }
+                m
+            };
+            let a = to_map(view);
+            let b = to_map(&direct);
+            assert_eq!(a.len(), b.len());
+            for (k, va) in &a {
+                let vb = b[k];
+                assert!(
+                    (va - vb).abs() < 1e-6 * va.abs().max(1.0),
+                    "{} group {k:?}: {va} vs {vb}",
+                    view.name()
+                );
+            }
+        }
+    }
+
+    /// Helper: append rows to the base heap only (for building the rebuild
+    /// comparison cube).
+    fn append_base_only(cube: &mut Cube, rows: &[(Vec<u32>, f64)]) {
+        let base = cube.catalog.base_table().unwrap();
+        let t = cube.catalog.table_mut(base);
+        for (k, m) in rows {
+            t.heap_mut().append(k, *m);
+        }
+    }
+
+    #[test]
+    fn indexes_stay_consistent_after_append() {
+        let mut cube = paper_cube(spec());
+        let delta = random_rows(&cube.schema, 300, 9);
+        append_facts(&mut cube, &delta).unwrap();
+        for (_, t) in cube.catalog.iter() {
+            for d in 0..4 {
+                let Some(ix) = t.index(d) else { continue };
+                assert_eq!(ix.index.n_rows(), t.n_rows(), "{} dim {d}", t.name());
+                // Brute-force check a few members.
+                let mut keys = vec![0u32; 4];
+                for m in ix.index.members().take(3).collect::<Vec<_>>() {
+                    let bm = ix.index.peek(m).unwrap();
+                    for pos in (0..t.n_rows()).step_by(17) {
+                        t.heap().read_at(pos, &mut keys);
+                        let stored = t.stored_level(d).unwrap();
+                        let expect =
+                            cube.schema.dim(d).roll_up(keys[d], stored, ix.level) == m;
+                        assert_eq!(bm.get(pos), expect, "{} dim {d} pos {pos}", t.name());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn queries_stay_correct_after_many_appends() {
+        let mut cube = paper_cube(spec());
+        for round in 0..3 {
+            let delta = random_rows(&cube.schema, 200, round);
+            append_facts(&mut cube, &delta).unwrap();
+        }
+        // Sum over everything must equal base total, through every view.
+        let base = cube.catalog.base_table().unwrap();
+        let t = cube.catalog.table(base);
+        let mut keys = vec![0u32; 4];
+        let total: f64 = (0..t.n_rows()).map(|p| t.heap().read_at(p, &mut keys)).sum();
+        for (id, view) in cube.catalog.iter().collect::<Vec<_>>() {
+            let _ = id;
+            let mut vkeys = vec![0u32; 4];
+            let vtotal: f64 = (0..view.n_rows())
+                .map(|p| view.heap().read_at(p, &mut vkeys))
+                .sum();
+            assert!(
+                (vtotal - total).abs() < 1e-6 * total,
+                "{}: {vtotal} vs {total}",
+                view.name()
+            );
+        }
+    }
+
+    #[test]
+    fn min_max_views_maintained_under_inserts() {
+        let schema = StarSchema::new(vec![Dimension::uniform("X", 2, &[3])], "m");
+        let mut cube = CubeBuilder::new(schema)
+            .rows(500)
+            .seed(3)
+            .materialize_agg("X'", AggFn::Min)
+            .materialize_agg("X'", AggFn::Max)
+            .build();
+        // Append a new global minimum and maximum into group X'=0.
+        append_facts(
+            &mut cube,
+            &[(vec![0], -5.0), (vec![2], 1e6)],
+        )
+        .unwrap();
+        let check = |name: &str, want: f64| {
+            let v = cube.catalog.table(cube.catalog.find_by_name(name).unwrap());
+            let mut keys = [0u32; 1];
+            let mut found = None;
+            for pos in 0..v.n_rows() {
+                let m = v.heap().read_at(pos, &mut keys);
+                if keys[0] == 0 {
+                    found = Some(m);
+                }
+            }
+            assert_eq!(found, Some(want), "{name}");
+        };
+        check("MIN:X'", -5.0);
+        check("MAX:X'", 1e6);
+    }
+
+    #[test]
+    fn stats_absorb_the_delta() {
+        let schema = StarSchema::new(vec![Dimension::uniform("X", 2, &[3])], "m");
+        let mut cube = CubeBuilder::new(schema).rows(100).seed(3).collect_stats().build();
+        let before = cube.stats.as_ref().unwrap().histogram(0).total();
+        append_facts(&mut cube, &[(vec![0], 1.0), (vec![5], 2.0)]).unwrap();
+        let after = cube.stats.as_ref().unwrap().histogram(0).total();
+        assert_eq!(after, before + 2);
+    }
+
+    #[test]
+    fn bad_rows_are_rejected_without_mutation() {
+        let mut cube = paper_cube(spec());
+        let before = cube.catalog.table(cube.catalog.base_table().unwrap()).n_rows();
+        assert!(append_facts(&mut cube, &[(vec![0, 0, 0], 1.0)]).is_err()); // wrong arity
+        assert!(append_facts(&mut cube, &[(vec![999, 0, 0, 0], 1.0)]).is_err()); // out of range
+        let after = cube.catalog.table(cube.catalog.base_table().unwrap()).n_rows();
+        assert_eq!(before, after, "failed append must not mutate");
+    }
+
+    #[test]
+    fn new_groups_are_appended() {
+        // A view over a tiny slice: appending rows in a previously-empty
+        // group must create it.
+        let schema = StarSchema::new(vec![Dimension::uniform("X", 4, &[1])], "m");
+        let mut cube = CubeBuilder::new(schema)
+            .rows(0)
+            .materialize("X'")
+            .build();
+        assert_eq!(cube.catalog.table(crate::catalog::TableId(1)).n_rows(), 0);
+        append_facts(&mut cube, &[(vec![1], 7.0), (vec![1], 3.0)]).unwrap();
+        let v = cube.catalog.table(crate::catalog::TableId(1));
+        assert_eq!(v.n_rows(), 1);
+        let mut keys = [0u32; 1];
+        assert_eq!(v.heap().read_at(0, &mut keys), 10.0);
+        assert_eq!(keys[0], 1);
+    }
+
+    #[test]
+    fn paper_queries_match_reference_after_append() {
+        let mut cube = paper_cube(spec());
+        let delta = random_rows(&cube.schema, 400, 55);
+        append_facts(&mut cube, &delta).unwrap();
+        // A broad query answered from a maintained view must equal the
+        // brute-force answer over the maintained base.
+        let q = GroupByQuery::new(
+            GroupBy::parse(&cube.schema, "A'B''C''D").unwrap(),
+            vec![
+                MemberPred::members_in(1, vec![0, 1]),
+                MemberPred::eq(2, 0),
+                MemberPred::All,
+                MemberPred::eq(1, 0),
+            ],
+        );
+        // Manual reference over the base (exec crate is not a dependency).
+        let base = cube.catalog.table(cube.catalog.base_table().unwrap());
+        let mut keys = vec![0u32; 4];
+        let mut expect: std::collections::BTreeMap<Vec<u32>, f64> = Default::default();
+        for pos in 0..base.n_rows() {
+            let m = base.heap().read_at(pos, &mut keys);
+            if (0..4).all(|d| q.preds[d].matches(&cube.schema, d, 0, keys[d])) {
+                let gk: Vec<u32> = vec![
+                    cube.schema.dim(0).roll_up(keys[0], 0, 1),
+                    cube.schema.dim(1).roll_up(keys[1], 0, 2),
+                    cube.schema.dim(2).roll_up(keys[2], 0, 2),
+                    keys[3],
+                ];
+                *expect.entry(gk).or_insert(0.0) += m;
+            }
+        }
+        // Answer from the maintained A'B''C'D view.
+        let view = cube.catalog.table(cube.catalog.find_by_name("A'B''C'D").unwrap());
+        let mut got: std::collections::BTreeMap<Vec<u32>, f64> = Default::default();
+        let mut vkeys = vec![0u32; 4];
+        for pos in 0..view.n_rows() {
+            let m = view.heap().read_at(pos, &mut vkeys);
+            let ok = q.preds[0].matches(&cube.schema, 0, 1, vkeys[0])
+                && q.preds[1].matches(&cube.schema, 1, 2, vkeys[1])
+                && q.preds[3].matches(&cube.schema, 3, 0, vkeys[3]);
+            if ok {
+                let gk = vec![
+                    vkeys[0],
+                    vkeys[1],
+                    cube.schema.dim(2).roll_up(vkeys[2], 1, 2),
+                    vkeys[3],
+                ];
+                *got.entry(gk).or_insert(0.0) += m;
+            }
+        }
+        assert_eq!(expect.len(), got.len());
+        for (k, e) in &expect {
+            let g = got[k];
+            assert!((e - g).abs() < 1e-6 * e.abs().max(1.0), "{k:?}");
+        }
+    }
+}

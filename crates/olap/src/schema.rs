@@ -1,0 +1,442 @@
+//! Dimensions, hierarchies and star schemas.
+//!
+//! A [`Dimension`] is a chain of levels, **leaf first**: level 0 is the
+//! finest (the key stored in the fact table), higher indexes are coarser.
+//! The paper writes the chain `A → A' → A''`; here `A` is level 0, `A'` is
+//! level 1, `A''` is level 2.
+//!
+//! Hierarchies are *uniform fan-out*: each member of level `i+1` has the
+//! same number of children at level `i`, so cardinalities divide evenly and
+//! rolling a member id up is integer division. Member ids at every level
+//! are dense `0..cardinality`; the id of a member's parent is
+//! `id / fan_out`. Display names follow the paper's convention — top-level
+//! members of dimension `A` are `A1, A2, …`, the level below `AA1, AA2, …`
+//! (globally numbered) — unless explicit names are supplied.
+
+/// Index of a dimension within a schema.
+pub type DimId = usize;
+
+/// One level of a dimension hierarchy.
+#[derive(Debug, Clone)]
+pub struct LevelDef {
+    /// Level name, e.g. `"A'"`.
+    pub name: String,
+    /// Distinct members at this level.
+    pub cardinality: u32,
+    /// Explicit member names; generated if absent.
+    pub member_names: Option<Vec<String>>,
+}
+
+/// A dimension with its hierarchy, leaf level first.
+#[derive(Debug, Clone)]
+pub struct Dimension {
+    name: String,
+    levels: Vec<LevelDef>,
+}
+
+impl Dimension {
+    /// Builds a dimension from explicit level definitions (leaf first).
+    ///
+    /// # Panics
+    /// Panics if there are no levels, any cardinality is zero, or a coarser
+    /// level's cardinality does not divide the finer one's.
+    pub fn new(name: impl Into<String>, levels: Vec<LevelDef>) -> Self {
+        assert!(!levels.is_empty(), "dimension needs at least one level");
+        for w in levels.windows(2) {
+            assert!(
+                w[0].cardinality > 0 && w[1].cardinality > 0,
+                "level cardinality must be positive"
+            );
+            assert!(
+                w[0].cardinality % w[1].cardinality == 0,
+                "level {} (card {}) must evenly refine level {} (card {})",
+                w[0].name,
+                w[0].cardinality,
+                w[1].name,
+                w[1].cardinality
+            );
+            assert!(
+                w[0].cardinality >= w[1].cardinality,
+                "coarser levels cannot be bigger"
+            );
+        }
+        for l in &levels {
+            if let Some(names) = &l.member_names {
+                assert_eq!(
+                    names.len(),
+                    l.cardinality as usize,
+                    "level {} has {} names for cardinality {}",
+                    l.name,
+                    names.len(),
+                    l.cardinality
+                );
+            }
+        }
+        Dimension {
+            name: name.into(),
+            levels,
+        }
+    }
+
+    /// Builds a dimension with generated level names (`X`, `X'`, `X''`, …)
+    /// and generated member names, from the top-level cardinality and the
+    /// fan-out at each step down. `fan_outs[0]` splits the top level;
+    /// `fan_outs.last()` produces the leaf.
+    ///
+    /// `Dimension::uniform("A", 3, &[2, 10])` gives `A''` (3 members),
+    /// `A'` (6), `A` (60).
+    pub fn uniform(name: impl Into<String>, top_cardinality: u32, fan_outs: &[u32]) -> Self {
+        let name = name.into();
+        assert!(top_cardinality > 0, "top cardinality must be positive");
+        let n_levels = fan_outs.len() + 1;
+        let mut levels = Vec::with_capacity(n_levels);
+        // Build coarsest→finest, then reverse to leaf-first.
+        let mut card = top_cardinality;
+        let mut defs_top_first = vec![LevelDef {
+            name: format!("{}{}", name, "'".repeat(n_levels - 1)),
+            cardinality: card,
+            member_names: None,
+        }];
+        for (i, &f) in fan_outs.iter().enumerate() {
+            assert!(f > 0, "fan-out must be positive");
+            card *= f;
+            defs_top_first.push(LevelDef {
+                name: format!("{}{}", name, "'".repeat(n_levels - 2 - i)),
+                cardinality: card,
+                member_names: None,
+            });
+        }
+        defs_top_first.reverse();
+        levels.extend(defs_top_first);
+        Dimension::new(name, levels)
+    }
+
+    /// Dimension name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of hierarchy levels.
+    pub fn n_levels(&self) -> u8 {
+        self.levels.len() as u8
+    }
+
+    /// The level definition at `level` (0 = leaf).
+    ///
+    /// # Panics
+    /// Panics if `level` is out of range.
+    pub fn level(&self, level: u8) -> &LevelDef {
+        &self.levels[level as usize]
+    }
+
+    /// Cardinality at `level`.
+    pub fn cardinality(&self, level: u8) -> u32 {
+        self.level(level).cardinality
+    }
+
+    /// Finds a level by name.
+    pub fn level_by_name(&self, name: &str) -> Option<u8> {
+        self.levels
+            .iter()
+            .position(|l| l.name == name)
+            .map(|i| i as u8)
+    }
+
+    /// Rolls member `id` at `from` up to the coarser level `to`.
+    ///
+    /// # Panics
+    /// Panics if `to < from`, either level is out of range, or `id` is out
+    /// of range at `from`.
+    pub fn roll_up(&self, id: u32, from: u8, to: u8) -> u32 {
+        assert!(to >= from, "roll_up goes from finer to coarser");
+        assert!(
+            id < self.cardinality(from),
+            "member {id} out of range at level {from}"
+        );
+        id / (self.cardinality(from) / self.cardinality(to))
+    }
+
+    /// The factor by which `from` is finer than `to` (children per ancestor).
+    pub fn fan_out_between(&self, from: u8, to: u8) -> u32 {
+        assert!(to >= from);
+        self.cardinality(from) / self.cardinality(to)
+    }
+
+    /// The dense id range of `parent`'s descendants at the finer level
+    /// `child_level`.
+    pub fn descendants(&self, parent: u32, parent_level: u8, child_level: u8) -> std::ops::Range<u32> {
+        assert!(child_level <= parent_level, "descendants lie below the parent");
+        let f = self.fan_out_between(child_level, parent_level);
+        parent * f..(parent + 1) * f
+    }
+
+    /// Display name of member `id` at `level`.
+    ///
+    /// Generated names follow the paper: top-level members of `A` are
+    /// `A1, A2, …`; each step down doubles the letter (`AA1`, `AAA1`, …),
+    /// numbered globally within the level.
+    pub fn member_name(&self, level: u8, id: u32) -> String {
+        if let Some(names) = &self.level(level).member_names {
+            return names[id as usize].clone();
+        }
+        let depth = self.n_levels() - level; // 1 at top
+        format!("{}{}", self.name.repeat(depth as usize), id + 1)
+    }
+
+    /// Resolves a member display name at a specific level.
+    pub fn member_by_name(&self, level: u8, name: &str) -> Option<u32> {
+        if let Some(names) = &self.level(level).member_names {
+            return names.iter().position(|n| n == name).map(|i| i as u32);
+        }
+        let depth = (self.n_levels() - level) as usize;
+        let prefix = self.name.repeat(depth);
+        let rest = name.strip_prefix(&prefix)?;
+        let id: u32 = rest.parse().ok()?;
+        if id >= 1 && id <= self.cardinality(level) {
+            Some(id - 1)
+        } else {
+            None
+        }
+    }
+
+    /// Searches all levels for a member display name; returns `(level, id)`.
+    /// Searches coarsest level first (the paper's queries name coarse
+    /// members far more often).
+    pub fn find_member(&self, name: &str) -> Option<(u8, u32)> {
+        (0..self.n_levels())
+            .rev()
+            .find_map(|lvl| self.member_by_name(lvl, name).map(|id| (lvl, id)))
+    }
+}
+
+/// A star schema: an ordered list of dimensions plus a measure name.
+///
+/// The fact table and every materialized group-by store one key per
+/// dimension (in this order) and one measure.
+#[derive(Debug, Clone)]
+pub struct StarSchema {
+    dimensions: Vec<Dimension>,
+    measure_name: String,
+}
+
+impl StarSchema {
+    /// Creates a schema.
+    ///
+    /// # Panics
+    /// Panics if `dimensions` is empty or two dimensions share a name.
+    pub fn new(dimensions: Vec<Dimension>, measure_name: impl Into<String>) -> Self {
+        assert!(!dimensions.is_empty(), "schema needs at least one dimension");
+        for i in 0..dimensions.len() {
+            for j in i + 1..dimensions.len() {
+                assert_ne!(
+                    dimensions[i].name(),
+                    dimensions[j].name(),
+                    "duplicate dimension name"
+                );
+            }
+        }
+        StarSchema {
+            dimensions,
+            measure_name: measure_name.into(),
+        }
+    }
+
+    /// Number of dimensions.
+    pub fn n_dims(&self) -> usize {
+        self.dimensions.len()
+    }
+
+    /// All dimensions in key order.
+    pub fn dimensions(&self) -> &[Dimension] {
+        &self.dimensions
+    }
+
+    /// The dimension at `dim`.
+    ///
+    /// # Panics
+    /// Panics if out of range.
+    pub fn dim(&self, dim: DimId) -> &Dimension {
+        &self.dimensions[dim]
+    }
+
+    /// Finds a dimension by name.
+    pub fn dim_by_name(&self, name: &str) -> Option<DimId> {
+        self.dimensions.iter().position(|d| d.name() == name)
+    }
+
+    /// Finds the dimension owning a level name (e.g. `"A'"` → dimension A).
+    pub fn dim_of_level(&self, level_name: &str) -> Option<(DimId, u8)> {
+        self.dimensions
+            .iter()
+            .enumerate()
+            .find_map(|(i, d)| d.level_by_name(level_name).map(|l| (i, l)))
+    }
+
+    /// The measure column's name.
+    pub fn measure_name(&self) -> &str {
+        &self.measure_name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dim_a() -> Dimension {
+        Dimension::uniform("A", 3, &[2, 10])
+    }
+
+    #[test]
+    fn uniform_builds_leaf_first() {
+        let d = dim_a();
+        assert_eq!(d.n_levels(), 3);
+        assert_eq!(d.level(0).name, "A");
+        assert_eq!(d.level(1).name, "A'");
+        assert_eq!(d.level(2).name, "A''");
+        assert_eq!(d.cardinality(0), 60);
+        assert_eq!(d.cardinality(1), 6);
+        assert_eq!(d.cardinality(2), 3);
+    }
+
+    #[test]
+    fn roll_up_arithmetic() {
+        let d = dim_a();
+        // Leaf members 0..10 belong to A' member 0; 10..20 to member 1.
+        assert_eq!(d.roll_up(0, 0, 1), 0);
+        assert_eq!(d.roll_up(9, 0, 1), 0);
+        assert_eq!(d.roll_up(10, 0, 1), 1);
+        assert_eq!(d.roll_up(59, 0, 1), 5);
+        // A' members 0,1 → top 0; 2,3 → top 1.
+        assert_eq!(d.roll_up(1, 1, 2), 0);
+        assert_eq!(d.roll_up(2, 1, 2), 1);
+        // Leaf straight to top.
+        assert_eq!(d.roll_up(59, 0, 2), 2);
+        // Identity roll-up.
+        assert_eq!(d.roll_up(5, 1, 1), 5);
+    }
+
+    #[test]
+    fn roll_up_composes() {
+        let d = dim_a();
+        for leaf in 0..60 {
+            let via_mid = d.roll_up(d.roll_up(leaf, 0, 1), 1, 2);
+            assert_eq!(via_mid, d.roll_up(leaf, 0, 2), "leaf {leaf}");
+        }
+    }
+
+    #[test]
+    fn descendants_are_inverse_of_roll_up() {
+        let d = dim_a();
+        for parent in 0..6u32 {
+            for child in d.descendants(parent, 1, 0) {
+                assert_eq!(d.roll_up(child, 0, 1), parent);
+            }
+        }
+        assert_eq!(d.descendants(2, 2, 1), 4..6);
+        assert_eq!(d.fan_out_between(0, 2), 20);
+    }
+
+    #[test]
+    fn member_names_follow_paper_convention() {
+        let d = dim_a();
+        assert_eq!(d.member_name(2, 0), "A1");
+        assert_eq!(d.member_name(2, 2), "A3");
+        assert_eq!(d.member_name(1, 0), "AA1");
+        assert_eq!(d.member_name(1, 5), "AA6");
+        assert_eq!(d.member_name(0, 0), "AAA1");
+    }
+
+    #[test]
+    fn member_name_roundtrip() {
+        let d = dim_a();
+        for lvl in 0..3u8 {
+            for id in 0..d.cardinality(lvl).min(20) {
+                let n = d.member_name(lvl, id);
+                assert_eq!(d.member_by_name(lvl, &n), Some(id), "{n}");
+            }
+        }
+        assert_eq!(d.member_by_name(2, "A4"), None);
+        assert_eq!(d.member_by_name(2, "AA1"), None);
+        assert_eq!(d.find_member("AA3"), Some((1, 2)));
+        assert_eq!(d.find_member("A2"), Some((2, 1)));
+        assert_eq!(d.find_member("ZZZ"), None);
+    }
+
+    #[test]
+    fn explicit_member_names() {
+        let d = Dimension::new(
+            "Time",
+            vec![
+                LevelDef {
+                    name: "Month".into(),
+                    cardinality: 12,
+                    member_names: Some(
+                        ["Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep",
+                         "Oct", "Nov", "Dec"]
+                        .iter()
+                        .map(|s| s.to_string())
+                        .collect(),
+                    ),
+                },
+                LevelDef {
+                    name: "Quarter".into(),
+                    cardinality: 4,
+                    member_names: Some(
+                        ["Qtr1", "Qtr2", "Qtr3", "Qtr4"].iter().map(|s| s.to_string()).collect(),
+                    ),
+                },
+                LevelDef {
+                    name: "Year".into(),
+                    cardinality: 1,
+                    member_names: Some(vec!["1991".into()]),
+                },
+            ],
+        );
+        assert_eq!(d.member_name(0, 4), "May");
+        assert_eq!(d.member_by_name(1, "Qtr3"), Some(2));
+        assert_eq!(d.roll_up(4, 0, 1), 1); // May → Qtr2
+        assert_eq!(d.find_member("Qtr2"), Some((1, 1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "evenly refine")]
+    fn non_dividing_cardinalities_rejected() {
+        Dimension::new(
+            "X",
+            vec![
+                LevelDef { name: "X".into(), cardinality: 10, member_names: None },
+                LevelDef { name: "X'".into(), cardinality: 3, member_names: None },
+            ],
+        );
+    }
+
+    #[test]
+    fn schema_lookup() {
+        let s = StarSchema::new(
+            vec![dim_a(), Dimension::uniform("B", 3, &[2, 10])],
+            "dollars",
+        );
+        assert_eq!(s.n_dims(), 2);
+        assert_eq!(s.dim_by_name("B"), Some(1));
+        assert_eq!(s.dim_by_name("Z"), None);
+        assert_eq!(s.dim_of_level("B'"), Some((1, 1)));
+        assert_eq!(s.dim_of_level("A''"), Some((0, 2)));
+        assert_eq!(s.dim_of_level("Q"), None);
+        assert_eq!(s.measure_name(), "dollars");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate dimension")]
+    fn duplicate_dimension_rejected() {
+        StarSchema::new(vec![dim_a(), dim_a()], "m");
+    }
+
+    #[test]
+    fn single_level_dimension_is_valid() {
+        let d = Dimension::uniform("M", 5, &[]);
+        assert_eq!(d.n_levels(), 1);
+        assert_eq!(d.cardinality(0), 5);
+        assert_eq!(d.member_name(0, 0), "M1");
+        assert_eq!(d.roll_up(3, 0, 0), 3);
+    }
+}

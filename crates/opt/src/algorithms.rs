@@ -1,0 +1,668 @@
+//! The four global optimization algorithms.
+//!
+//! All four take the query set of one MDX expression (plus a [`CostModel`])
+//! and emit a [`GlobalPlan`]. They differ exactly as the paper describes:
+//!
+//! * **TPLO** (§4) never considers sharing while choosing plans — it takes
+//!   each query's optimal local plan and then merges plans that *happen* to
+//!   use the same base table;
+//! * **ETPLG** (§5) considers sharing when *placing* each query — a query
+//!   joins an existing class when the marginal (`CostOfAdd`) cost beats the
+//!   best unused materialized view — but never revisits a class's base;
+//! * **GG** (§6) additionally lets the candidate class *change its base
+//!   table* (re-planning all its members) to accommodate the new query, and
+//!   merges classes that converge on the same base;
+//! * **optimal** exhaustively enumerates query→table assignments (and, per
+//!   class, join-method vectors) — exponential, usable at the paper's
+//!   workload sizes (a handful of queries).
+//!
+//! Queries are processed in the paper's "Sort G by GroupbyLevel" order:
+//! finest target group-by first (ties keep input order), so the most
+//! demanding queries anchor classes early.
+
+use starshare_olap::{GroupByQuery, TableId};
+use starshare_storage::SimTime;
+
+use crate::cost::CostModel;
+use crate::plan::{GlobalPlan, JoinMethod, PlanClass, QueryPlan};
+
+/// Which optimizer to run (for harnesses that sweep all of them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OptimizerKind {
+    /// Two Phase Local Optimal.
+    Tplo,
+    /// Extended Two Phase Local Greedy.
+    Etplg,
+    /// Global Greedy.
+    Gg,
+    /// Exhaustive optimal.
+    Optimal,
+}
+
+impl OptimizerKind {
+    /// All four, in the paper's order.
+    pub const ALL: [OptimizerKind; 4] = [
+        OptimizerKind::Tplo,
+        OptimizerKind::Etplg,
+        OptimizerKind::Gg,
+        OptimizerKind::Optimal,
+    ];
+
+    /// Runs the selected algorithm.
+    pub fn run(self, cm: &CostModel<'_>, queries: &[GroupByQuery]) -> Result<GlobalPlan, String> {
+        match self {
+            OptimizerKind::Tplo => tplo(cm, queries),
+            OptimizerKind::Etplg => etplg(cm, queries),
+            OptimizerKind::Gg => gg(cm, queries),
+            OptimizerKind::Optimal => optimal(cm, queries),
+        }
+    }
+}
+
+impl std::fmt::Display for OptimizerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OptimizerKind::Tplo => write!(f, "TPLO"),
+            OptimizerKind::Etplg => write!(f, "ETPLG"),
+            OptimizerKind::Gg => write!(f, "GG"),
+            OptimizerKind::Optimal => write!(f, "Optimal"),
+        }
+    }
+}
+
+/// A class under construction.
+#[derive(Debug, Clone)]
+struct ClassState {
+    table: TableId,
+    queries: Vec<GroupByQuery>,
+    methods: Vec<JoinMethod>,
+    cost: SimTime,
+}
+
+impl ClassState {
+    fn plans(&self) -> Vec<(&GroupByQuery, JoinMethod)> {
+        self.queries.iter().zip(self.methods.iter().copied()).collect()
+    }
+
+    fn into_plan_class(self) -> PlanClass {
+        PlanClass {
+            table: self.table,
+            plans: self
+                .queries
+                .into_iter()
+                .zip(self.methods)
+                .map(|(query, method)| QueryPlan { query, method })
+                .collect(),
+        }
+    }
+}
+
+fn finalize(classes: Vec<ClassState>) -> GlobalPlan {
+    let estimated_cost = classes.iter().map(|c| c.cost).sum();
+    GlobalPlan {
+        classes: classes.into_iter().map(ClassState::into_plan_class).collect(),
+        estimated_cost,
+    }
+}
+
+/// The paper's processing order: finest group-by first, input order on ties.
+fn sorted_by_level(cm: &CostModel<'_>, queries: &[GroupByQuery]) -> Vec<GroupByQuery> {
+    let schema = &cm.cube().schema;
+    let mut qs: Vec<(u32, usize, GroupByQuery)> = queries
+        .iter()
+        .enumerate()
+        .map(|(i, q)| (q.group_by.coarseness(schema), i, q.clone()))
+        .collect();
+    qs.sort_by_key(|(lvl, i, _)| (*lvl, *i));
+    qs.into_iter().map(|(_, _, q)| q).collect()
+}
+
+/// §4 — Two Phase Local Optimal.
+///
+/// Phase one: the optimal local plan (table + method) per query,
+/// independently. Phase two: merge plans sharing a base table into classes
+/// so the shared operators apply at evaluation time.
+pub fn tplo(cm: &CostModel<'_>, queries: &[GroupByQuery]) -> Result<GlobalPlan, String> {
+    let mut classes: Vec<ClassState> = Vec::new();
+    for q in sorted_by_level(cm, queries) {
+        let (t, m, _) = cm
+            .best_local(&q)
+            .ok_or_else(|| format!("no table can answer {}", q.display(&cm.cube().schema)))?;
+        match classes.iter_mut().find(|c| c.table == t) {
+            Some(c) => {
+                c.queries.push(q);
+                c.methods.push(m);
+            }
+            None => classes.push(ClassState {
+                table: t,
+                queries: vec![q],
+                methods: vec![m],
+                cost: SimTime::ZERO,
+            }),
+        }
+    }
+    // Price the merged classes (methods stay as locally chosen).
+    for c in &mut classes {
+        c.cost = cm
+            .class_cost(c.table, &c.plans())
+            .expect("local plans are valid for their tables");
+    }
+    Ok(finalize(classes))
+}
+
+/// The best *unused* materialized view for `q`: cheapest standalone plan
+/// over tables not already owned by a class.
+fn best_unused(
+    cm: &CostModel<'_>,
+    q: &GroupByQuery,
+    used: &[TableId],
+) -> Option<(TableId, JoinMethod, SimTime)> {
+    let mut best: Option<(TableId, JoinMethod, SimTime)> = None;
+    for t in cm.cube().catalog.candidates_for(q) {
+        if used.contains(&t) {
+            continue;
+        }
+        for m in [JoinMethod::Hash, JoinMethod::Index] {
+            if let Some(c) = cm.standalone(q, t, m) {
+                if best.as_ref().is_none_or(|(_, _, bc)| c < *bc) {
+                    best = Some((t, m, c));
+                }
+            }
+        }
+    }
+    best
+}
+
+/// §5 — Extended Two Phase Local Greedy.
+///
+/// For each query (finest first): compare the cheapest *unused* view
+/// against the cheapest *marginal* addition to an existing class (existing
+/// members keep their plans; the newcomer picks its best method). Join the
+/// class when the margin wins; otherwise open a new class on the unused
+/// view and retire it from the unused set.
+pub fn etplg(cm: &CostModel<'_>, queries: &[GroupByQuery]) -> Result<GlobalPlan, String> {
+    let mut classes: Vec<ClassState> = Vec::new();
+    let mut used: Vec<TableId> = Vec::new();
+    for q in sorted_by_level(cm, queries) {
+        let unused = best_unused(cm, &q, &used);
+        // Best marginal addition across classes.
+        let mut best_add: Option<(usize, JoinMethod, SimTime, SimTime)> = None; // (class, method, new_cost, delta)
+        for (i, c) in classes.iter().enumerate() {
+            for m in [JoinMethod::Hash, JoinMethod::Index] {
+                let mut plans = c.plans();
+                plans.push((&q, m));
+                if let Some(new_cost) = cm.class_cost(c.table, &plans) {
+                    let delta = new_cost.saturating_sub(c.cost);
+                    if best_add.as_ref().is_none_or(|(_, _, _, bd)| delta < *bd) {
+                        best_add = Some((i, m, new_cost, delta));
+                    }
+                }
+            }
+        }
+        match (unused, best_add) {
+            (Some((t, m, cost)), Some((ci, cm_, new_cost, delta))) => {
+                if delta <= cost {
+                    let c = &mut classes[ci];
+                    c.queries.push(q);
+                    c.methods.push(cm_);
+                    c.cost = new_cost;
+                } else {
+                    used.push(t);
+                    classes.push(ClassState {
+                        table: t,
+                        queries: vec![q],
+                        methods: vec![m],
+                        cost,
+                    });
+                }
+            }
+            (Some((t, m, cost)), None) => {
+                used.push(t);
+                classes.push(ClassState {
+                    table: t,
+                    queries: vec![q],
+                    methods: vec![m],
+                    cost,
+                });
+            }
+            (None, Some((ci, cm_, new_cost, _))) => {
+                let c = &mut classes[ci];
+                c.queries.push(q);
+                c.methods.push(cm_);
+                c.cost = new_cost;
+            }
+            (None, None) => {
+                return Err(format!(
+                    "no table can answer {}",
+                    q.display(&cm.cube().schema)
+                ))
+            }
+        }
+    }
+    Ok(finalize(classes))
+}
+
+/// §6 — Global Greedy.
+///
+/// Like ETPLG, but when considering a class for the new query it searches
+/// for the best *new base table* `S'` for the whole class-plus-query (the
+/// Example 2 move), re-planning every member on `S'` if it differs from the
+/// current base. Classes that converge on the same base are merged.
+pub fn gg(cm: &CostModel<'_>, queries: &[GroupByQuery]) -> Result<GlobalPlan, String> {
+    let mut classes: Vec<ClassState> = Vec::new();
+    let mut used: Vec<TableId> = Vec::new();
+    for q in sorted_by_level(cm, queries) {
+        let unused = best_unused(cm, &q, &used);
+        // For each class: the best base (its own, or any table not owned by
+        // another class) for class ∪ {q}, with methods re-chosen.
+        let mut best_add: Option<(usize, TableId, Vec<JoinMethod>, SimTime, SimTime)> = None;
+        for (i, c) in classes.iter().enumerate() {
+            let member_refs: Vec<&GroupByQuery> =
+                c.queries.iter().chain(std::iter::once(&q)).collect();
+            let mut candidate_tables: Vec<TableId> = cm
+                .cube()
+                .catalog
+                .candidates_for(&q)
+                .into_iter()
+                .filter(|t| *t == c.table || !used.contains(t))
+                .collect();
+            candidate_tables.dedup();
+            for t in candidate_tables {
+                if let Some((methods, new_cost)) = cm.best_method_assignment(t, &member_refs) {
+                    let delta = new_cost.saturating_sub(c.cost);
+                    if best_add
+                        .as_ref()
+                        .is_none_or(|(_, _, _, _, bd)| delta < *bd)
+                    {
+                        best_add = Some((i, t, methods, new_cost, delta));
+                    }
+                }
+            }
+        }
+        let open_new = match (&unused, &best_add) {
+            (Some((_, _, cost)), Some((_, _, _, _, delta))) => *delta > *cost,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => {
+                return Err(format!(
+                    "no table can answer {}",
+                    q.display(&cm.cube().schema)
+                ))
+            }
+        };
+        if open_new {
+            let (t, m, cost) = unused.expect("checked above");
+            used.push(t);
+            classes.push(ClassState {
+                table: t,
+                queries: vec![q],
+                methods: vec![m],
+                cost,
+            });
+        } else {
+            let (ci, t, methods, new_cost, _) = best_add.expect("checked above");
+            let old_table = classes[ci].table;
+            if t != old_table {
+                // Re-base: the old base returns to the unused pool.
+                used.retain(|u| *u != old_table);
+                used.push(t);
+            }
+            let c = &mut classes[ci];
+            c.table = t;
+            c.queries.push(q);
+            c.methods = methods;
+            c.cost = new_cost;
+            merge_classes_on_same_base(cm, &mut classes);
+        }
+    }
+    Ok(finalize(classes))
+}
+
+/// GG's `MergeClass()` step: classes that converged on one base table are
+/// merged (their union is re-method-assigned and re-priced).
+fn merge_classes_on_same_base(cm: &CostModel<'_>, classes: &mut Vec<ClassState>) {
+    let mut i = 0;
+    while i < classes.len() {
+        let mut j = i + 1;
+        while j < classes.len() {
+            if classes[i].table == classes[j].table {
+                let absorbed = classes.remove(j);
+                classes[i].queries.extend(absorbed.queries);
+                let member_refs: Vec<&GroupByQuery> = classes[i].queries.iter().collect();
+                let (methods, cost) = cm
+                    .best_method_assignment(classes[i].table, &member_refs)
+                    .expect("both classes were valid on this table");
+                classes[i].methods = methods;
+                classes[i].cost = cost;
+            } else {
+                j += 1;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Exhaustive optimal: every assignment of queries to candidate tables,
+/// with per-class optimal method vectors.
+///
+/// Fails if the assignment space exceeds ~200 000 (the paper uses this
+/// search only as a yardstick on 3-query workloads).
+pub fn optimal(cm: &CostModel<'_>, queries: &[GroupByQuery]) -> Result<GlobalPlan, String> {
+    let qs = sorted_by_level(cm, queries);
+    if qs.is_empty() {
+        return Ok(GlobalPlan::default());
+    }
+    let cands: Vec<Vec<TableId>> = qs
+        .iter()
+        .map(|q| {
+            let c = cm.cube().catalog.candidates_for(q);
+            if c.is_empty() {
+                Err(format!("no table can answer {}", q.display(&cm.cube().schema)))
+            } else {
+                Ok(c)
+            }
+        })
+        .collect::<Result<_, _>>()?;
+    let space: usize = cands.iter().map(Vec::len).product();
+    if space > 200_000 {
+        return Err(format!(
+            "optimal search space too large ({space} assignments)"
+        ));
+    }
+
+    let mut best: Option<(Vec<TableId>, SimTime)> = None;
+    let mut choice = vec![0usize; qs.len()];
+    'assignments: loop {
+        // Group queries by assigned table.
+        let mut tables: Vec<TableId> = Vec::new();
+        for (qi, &ci) in choice.iter().enumerate() {
+            let t = cands[qi][ci];
+            if !tables.contains(&t) {
+                tables.push(t);
+            }
+        }
+        let mut total = SimTime::ZERO;
+        let mut feasible = true;
+        for &t in &tables {
+            let members: Vec<&GroupByQuery> = qs
+                .iter()
+                .enumerate()
+                .filter(|(qi, _)| cands[*qi][choice[*qi]] == t)
+                .map(|(_, q)| q)
+                .collect();
+            match cm.best_method_assignment(t, &members) {
+                Some((_, c)) => total += c,
+                None => {
+                    feasible = false;
+                    break;
+                }
+            }
+        }
+        if feasible && best.as_ref().is_none_or(|(_, bc)| total < *bc) {
+            best = Some((choice.iter().enumerate().map(|(qi, &ci)| cands[qi][ci]).collect(), total));
+        }
+        // Odometer.
+        let mut d = qs.len();
+        loop {
+            if d == 0 {
+                break 'assignments;
+            }
+            d -= 1;
+            choice[d] += 1;
+            if choice[d] < cands[d].len() {
+                break;
+            }
+            choice[d] = 0;
+        }
+    }
+
+    let (assignment, _) = best.ok_or("no feasible global plan")?;
+    // Rebuild the winning plan's classes with their method vectors.
+    let mut classes: Vec<ClassState> = Vec::new();
+    let mut seen: Vec<TableId> = Vec::new();
+    for &t in &assignment {
+        if !seen.contains(&t) {
+            seen.push(t);
+        }
+    }
+    for &t in &seen {
+        let members: Vec<&GroupByQuery> = qs
+            .iter()
+            .zip(&assignment)
+            .filter(|(_, &at)| at == t)
+            .map(|(q, _)| q)
+            .collect();
+        let (methods, cost) = cm
+            .best_method_assignment(t, &members)
+            .expect("winning assignment is feasible");
+        classes.push(ClassState {
+            table: t,
+            queries: members.into_iter().cloned().collect(),
+            methods,
+            cost,
+        });
+    }
+    Ok(finalize(classes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starshare_olap::{paper_cube, Cube, GroupByQuery, MemberPred, PaperCubeSpec};
+    use starshare_storage::HardwareModel;
+
+    fn cube() -> Cube {
+        paper_cube(PaperCubeSpec {
+            base_rows: 60_000,
+            d_leaf: 552, // ≈ 18432 × 0.03, multiple of 24
+            seed: 21,
+            with_indexes: true,
+        })
+    }
+
+    /// Paper Q1: A'B''C''D, broad.
+    fn q1(cube: &Cube) -> GroupByQuery {
+        GroupByQuery::new(
+            cube.groupby("A'B''C''D"),
+            vec![
+                MemberPred::members_in(1, vec![0, 1]),
+                MemberPred::eq(2, 0),
+                MemberPred::eq(2, 0),
+                MemberPred::members_in(1, (0..12).collect()),
+            ],
+        )
+    }
+
+    /// Paper Q2: A''B'C''D, broad.
+    fn q2(cube: &Cube) -> GroupByQuery {
+        GroupByQuery::new(
+            cube.groupby("A''B'C''D"),
+            vec![
+                MemberPred::members_in(2, vec![0, 1, 2]),
+                MemberPred::members_in(1, vec![2, 3]),
+                MemberPred::eq(2, 1),
+                MemberPred::members_in(1, (0..12).collect()),
+            ],
+        )
+    }
+
+    /// Paper Q3: A''B''C''D, broad.
+    fn q3(cube: &Cube) -> GroupByQuery {
+        GroupByQuery::new(
+            cube.groupby("A''B''C''D"),
+            vec![
+                MemberPred::eq(2, 1),
+                MemberPred::eq(2, 1),
+                MemberPred::members_in(2, vec![0, 2]),
+                MemberPred::members_in(1, (0..12).collect()),
+            ],
+        )
+    }
+
+    /// Paper Q7-like: A'B'C'D, very selective.
+    fn q7(cube: &Cube) -> GroupByQuery {
+        GroupByQuery::new(
+            cube.groupby("A'B'C'D"),
+            vec![
+                MemberPred::eq(1, 5),
+                MemberPred::eq(1, 3),
+                MemberPred::eq(1, 0),
+                MemberPred::eq(1, 0),
+            ],
+        )
+    }
+
+    fn model(cube: &Cube) -> CostModel<'_> {
+        CostModel::new(cube, HardwareModel::paper_1998())
+    }
+
+    #[test]
+    fn tplo_picks_local_optima_in_separate_classes() {
+        let cube = cube();
+        let cm = model(&cube);
+        let plan = tplo(&cm, &[q1(&cube), q2(&cube), q3(&cube)]).unwrap();
+        // Q1 → A'B''C'D, Q2 → A''B'C'D, Q3 → A''B''C''D: three classes.
+        assert_eq!(plan.classes.len(), 3);
+        let names: Vec<&str> = plan
+            .classes
+            .iter()
+            .map(|c| cube.catalog.table(c.table).name())
+            .collect();
+        assert!(names.contains(&"A'B''C'D"), "{names:?}");
+        assert!(names.contains(&"A''B'C'D"), "{names:?}");
+        assert!(names.contains(&"A''B''C''D"), "{names:?}");
+    }
+
+    #[test]
+    fn gg_rebase_consolidates_the_test4_workload() {
+        // The paper's Example 2 / Test 4 shape: GG re-bases Q1's class onto
+        // A'B'C'D to admit Q2, which ETPLG cannot do.
+        let cube = cube();
+        let cm = model(&cube);
+        let queries = vec![q1(&cube), q2(&cube), q3(&cube)];
+        let g = gg(&cm, &queries).unwrap();
+        let shared_class = g
+            .classes
+            .iter()
+            .find(|c| cube.catalog.table(c.table).name() == "A'B'C'D")
+            .expect("GG should consolidate on A'B'C'D");
+        assert!(
+            shared_class.plans.len() >= 2,
+            "consolidated class should hold Q1 and Q2: {}",
+            g.explain(&cube)
+        );
+        let e = etplg(&cm, &queries).unwrap();
+        assert!(
+            g.estimated_cost <= e.estimated_cost,
+            "GG {} vs ETPLG {}",
+            g.estimated_cost,
+            e.estimated_cost
+        );
+    }
+
+    #[test]
+    fn cost_ordering_optimal_le_gg_le_etplg_le_tplo() {
+        let cube = cube();
+        let cm = model(&cube);
+        let queries = vec![q1(&cube), q2(&cube), q3(&cube)];
+        let t = tplo(&cm, &queries).unwrap().estimated_cost;
+        let e = etplg(&cm, &queries).unwrap().estimated_cost;
+        let g = gg(&cm, &queries).unwrap().estimated_cost;
+        let o = optimal(&cm, &queries).unwrap().estimated_cost;
+        assert!(o <= g, "optimal {o} vs GG {g}");
+        assert!(g <= e, "GG {g} vs ETPLG {e}");
+        assert!(e <= t, "ETPLG {e} vs TPLO {t}");
+    }
+
+    #[test]
+    fn all_algorithms_cover_every_query_exactly_once() {
+        let cube = cube();
+        let cm = model(&cube);
+        let queries = vec![q1(&cube), q2(&cube), q3(&cube), q7(&cube)];
+        for kind in OptimizerKind::ALL {
+            let plan = kind.run(&cm, &queries).unwrap();
+            assert_eq!(plan.n_queries(), queries.len(), "{kind}");
+            // Every input query appears exactly once.
+            for q in &queries {
+                let count = plan
+                    .assignments()
+                    .filter(|(_, pq, _)| *pq == q)
+                    .count();
+                assert_eq!(count, 1, "{kind}: {}", q.display(&cube.schema));
+            }
+            // Every assignment is answerable.
+            for (t, q, m) in plan.assignments() {
+                assert!(q.answerable_from(cube.catalog.table(t).group_by()));
+                if m == JoinMethod::Index {
+                    assert!(cm.index_applicable(q, t), "{kind}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn selective_query_gets_index_plan() {
+        let cube = cube();
+        let cm = model(&cube);
+        let plan = tplo(&cm, &[q7(&cube)]).unwrap();
+        let (t, _, m) = plan.assignments().next().unwrap();
+        assert_eq!(cube.catalog.table(t).name(), "A'B'C'D");
+        assert_eq!(m, JoinMethod::Index);
+    }
+
+    #[test]
+    fn single_query_plans_agree_across_algorithms() {
+        let cube = cube();
+        let cm = model(&cube);
+        let qs = vec![q1(&cube)];
+        let costs: Vec<SimTime> = OptimizerKind::ALL
+            .iter()
+            .map(|k| k.run(&cm, &qs).unwrap().estimated_cost)
+            .collect();
+        assert!(costs.windows(2).all(|w| w[0] == w[1]), "{costs:?}");
+    }
+
+    #[test]
+    fn empty_workload_is_empty_plan() {
+        let cube = cube();
+        let cm = model(&cube);
+        for kind in OptimizerKind::ALL {
+            let plan = kind.run(&cm, &[]).unwrap();
+            assert_eq!(plan.n_queries(), 0, "{kind}");
+            assert_eq!(plan.estimated_cost, SimTime::ZERO, "{kind}");
+        }
+    }
+
+    #[test]
+    fn duplicate_queries_share_one_class() {
+        let cube = cube();
+        let cm = model(&cube);
+        let q = q1(&cube);
+        for kind in [OptimizerKind::Etplg, OptimizerKind::Gg, OptimizerKind::Optimal] {
+            let plan = kind.run(&cm, &[q.clone(), q.clone()]).unwrap();
+            assert_eq!(plan.classes.len(), 1, "{kind}: {}", plan.explain(&cube));
+        }
+    }
+
+    #[test]
+    fn optimal_rejects_huge_search_spaces() {
+        let cube = cube();
+        let cm = model(&cube);
+        // 20 copies of a query with 2 candidates each = 2^20 > 200k.
+        let q = q7(&cube); // candidates: A'B'C'D and ABCD
+        let many: Vec<GroupByQuery> = (0..20).map(|_| q.clone()).collect();
+        let r = optimal(&cm, &many);
+        assert!(r.is_err(), "expected search-space error");
+    }
+
+    #[test]
+    fn processing_order_is_finest_first() {
+        let cube = cube();
+        let cm = model(&cube);
+        let sorted = sorted_by_level(&cm, &[q3(&cube), q7(&cube), q1(&cube)]);
+        // q7 (A'B'C'D, coarseness 3) < q1 (5) < q3 (6).
+        assert_eq!(sorted[0], q7(&cube));
+        assert_eq!(sorted[1], q1(&cube));
+        assert_eq!(sorted[2], q3(&cube));
+    }
+}

@@ -1,0 +1,663 @@
+//! The §5.1 cost model.
+//!
+//! Prices a [`PlanClass`](crate::plan::PlanClass) — a set of queries
+//! evaluated together from one base table — by mirroring, term for term,
+//! the work the executor counts, but over *estimated* quantities:
+//!
+//! * predicate selectivities — uniformity + independence, or
+//!   histogram-exact marginals when the cube carries statistics
+//!   (`CubeStats`);
+//! * qualifying rows and output groups — Cardenas;
+//! * pages touched by bitmap-directed probes — one random page read per
+//!   candidate tuple, the conservative 1998-era estimate (no clustering, no
+//!   buffer-pool reuse assumed). Actual execution of index plans on sorted
+//!   views runs much faster than this estimate — candidates cluster and the
+//!   pool dedups pages — reproducing the paper's own estimate/measurement
+//!   gap (its Test 2 discussion);
+//! * shared vs. non-shared split — scans, dimension hash tables and their
+//!   probes are charged once per class (the §3 sharing); predicate
+//!   evaluation, bitmap tests, aggregation and result copies are charged
+//!   per query.
+//!
+//! The paper's `CostOfUsing` / `CostOfAdd` quantities fall out as
+//! differences of [`CostModel::class_cost`] between a class with and
+//! without the query — exactly how ETPLG and GG consume them.
+
+use starshare_olap::estimate::cardenas_distinct;
+use starshare_olap::{Cube, GroupByQuery, LevelRef, MemberPred, TableId};
+use starshare_storage::{HardwareModel, SimTime, PAGE_SIZE};
+
+use crate::plan::JoinMethod;
+
+/// Prices query plans against one cube under a hardware model.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel<'a> {
+    cube: &'a Cube,
+    hw: HardwareModel,
+}
+
+/// Per-query derived quantities on a specific table.
+#[derive(Debug, Clone)]
+struct QInfo {
+    /// N × full selectivity.
+    qual: f64,
+    /// Estimated output groups.
+    groups: f64,
+    /// Dimensions needing a dimension-table probe (union shared per class).
+    probe_mask: u64,
+    /// Selectivities of the query's predicates, in dimension order.
+    pred_sels: Vec<(usize, f64)>,
+    /// Index-servable dims (bit mask) and their combined selectivity.
+    covered_mask: u64,
+    covered_sel: f64,
+    /// Member bitmaps the index phase reads, and their total pages.
+    idx_members: f64,
+    idx_pages: f64,
+    /// Number of indexed dims (for the AND count).
+    idx_dims: u32,
+}
+
+impl<'a> CostModel<'a> {
+    /// Creates a cost model.
+    pub fn new(cube: &'a Cube, hw: HardwareModel) -> Self {
+        CostModel { cube, hw }
+    }
+
+    /// The cube being planned against.
+    pub fn cube(&self) -> &'a Cube {
+        self.cube
+    }
+
+    /// True if an index-based star join of `q` on `t` is possible: at least
+    /// one predicate servable from a bitmap join index of `t`.
+    pub fn index_applicable(&self, q: &GroupByQuery, t: TableId) -> bool {
+        let table = self.cube.catalog.table(t);
+        q.preds.iter().enumerate().any(|(d, p)| match p.level() {
+            Some(pl) => table.index_serves(d, pl),
+            None => false,
+        })
+    }
+
+    fn qinfo(&self, q: &GroupByQuery, t: TableId) -> Option<QInfo> {
+        let schema = &self.cube.schema;
+        let table = self.cube.catalog.table(t);
+        if !table.can_answer(q) {
+            return None;
+        }
+        let n = table.n_rows() as f64;
+        // Predicate selectivities: histogram-exact marginals when the cube
+        // carries statistics, the classical uniform assumption otherwise.
+        let stats = self.cube.stats.as_ref();
+        let sel_of = |d: usize, pred: &MemberPred| -> f64 {
+            match stats {
+                Some(st) => st.pred_selectivity(schema, d, pred),
+                None => pred.selectivity(schema, d),
+            }
+        };
+
+        let mut probe_mask = 0u64;
+        let mut pred_sels = Vec::new();
+        let mut covered_mask = 0u64;
+        let mut covered_sel = 1.0;
+        let mut idx_members = 0.0;
+        let mut idx_pages = 0.0;
+        let mut idx_dims = 0u32;
+        let mut total_sel = 1.0;
+        let mut combos = 1.0;
+        let bitmap_pages = ((table.n_rows().div_ceil(64) * 8).div_ceil(PAGE_SIZE as u64)).max(1);
+
+        for d in 0..schema.n_dims() {
+            // Restricted output-combination space at the target group-by.
+            if let LevelRef::Level(tl) = q.group_by.level(d) {
+                combos *= schema.dim(d).cardinality(tl) as f64 * sel_of(d, &q.preds[d]).min(1.0);
+            }
+            let stored = match table.group_by().level(d) {
+                LevelRef::Level(s) => s,
+                LevelRef::All => continue,
+            };
+            if let LevelRef::Level(tl) = q.group_by.level(d) {
+                if tl > stored {
+                    probe_mask |= 1 << d;
+                }
+            }
+            if let MemberPred::In { level, members } = &q.preds[d] {
+                let sel = sel_of(d, &q.preds[d]);
+                total_sel *= sel;
+                pred_sels.push((d, sel));
+                if *level > stored {
+                    probe_mask |= 1 << d;
+                }
+                if let Some(ix) = table.index(d) {
+                    if ix.serves_level(*level) {
+                        covered_mask |= 1 << d;
+                        covered_sel *= sel;
+                        idx_dims += 1;
+                        let fan = schema.dim(d).fan_out_between(ix.level, *level) as f64;
+                        let m = members.len() as f64 * fan;
+                        idx_members += m;
+                        idx_pages += m * bitmap_pages as f64;
+                    }
+                }
+            }
+        }
+        let qual = n * total_sel;
+        Some(QInfo {
+            qual,
+            groups: cardenas_distinct(qual, combos.max(1.0)),
+            probe_mask,
+            pred_sels,
+            covered_mask,
+            covered_sel,
+            idx_members,
+            idx_pages,
+            idx_dims,
+        })
+    }
+
+    /// Expected predicate evaluations per candidate tuple with
+    /// short-circuiting, over the predicates *not* in `skip_mask`.
+    fn expected_pred_evals(info: &QInfo, skip_mask: u64) -> f64 {
+        let mut total = 0.0;
+        let mut reach = 1.0;
+        for &(d, sel) in &info.pred_sels {
+            if skip_mask & (1 << d) != 0 {
+                continue;
+            }
+            total += reach;
+            reach *= sel;
+        }
+        total
+    }
+
+    /// Hash-table build rows for the probed dimensions in `mask`.
+    fn build_rows(&self, t: TableId, mask: u64) -> f64 {
+        let table = self.cube.catalog.table(t);
+        let mut rows = 0.0;
+        for d in 0..self.cube.schema.n_dims() {
+            if mask & (1 << d) != 0 {
+                if let LevelRef::Level(s) = table.group_by().level(d) {
+                    rows += self.cube.schema.dim(d).cardinality(s) as f64;
+                }
+            }
+        }
+        rows
+    }
+
+    /// Estimated cost of evaluating `plans` together from `t` with the §3
+    /// shared operators. Returns `None` if any query is unanswerable from
+    /// `t`, or an `Index` method is requested where no index applies.
+    pub fn class_cost(&self, t: TableId, plans: &[(&GroupByQuery, JoinMethod)]) -> Option<SimTime> {
+        if plans.is_empty() {
+            return Some(SimTime::ZERO);
+        }
+        let hw = &self.hw;
+        let table = self.cube.catalog.table(t);
+        let n = table.n_rows() as f64;
+        let pages = table.pages() as f64;
+        let words = (table.n_rows().div_ceil(64)) as f64;
+
+        let mut infos = Vec::with_capacity(plans.len());
+        for (q, m) in plans {
+            let info = self.qinfo(q, t)?;
+            if *m == JoinMethod::Index && info.covered_mask == 0 {
+                return None;
+            }
+            infos.push(info);
+        }
+
+        let any_hash = plans.iter().any(|(_, m)| *m == JoinMethod::Hash);
+        let union_mask = infos.iter().fold(0u64, |m, i| m | i.probe_mask);
+        let union_probes = union_mask.count_ones() as f64;
+
+        let mut cpu = 0.0f64; // nanoseconds
+        let mut io = 0.0f64;
+
+        // Shared dimension hash tables.
+        cpu += self.build_rows(t, union_mask) * hw.hash_build_ns as f64;
+
+        // Index phase: per index query, read + combine member bitmaps.
+        let mut n_bitmaps = 0u32;
+        for ((_, m), info) in plans.iter().zip(&infos) {
+            if *m != JoinMethod::Index {
+                continue;
+            }
+            n_bitmaps += 1;
+            cpu += info.idx_members * hw.index_lookup_ns as f64;
+            cpu += info.idx_members * words * hw.bitmap_word_ns as f64; // ORs
+            cpu += (info.idx_dims.saturating_sub(1)) as f64 * words * hw.bitmap_word_ns as f64; // ANDs
+            io += info.idx_pages * hw.seq_page_read_ns as f64;
+        }
+
+        if any_hash {
+            // One shared sequential scan feeds everything (§3.1/3.3).
+            io += pages * hw.seq_page_read_ns as f64;
+            cpu += n * hw.tuple_copy_ns as f64;
+            cpu += n * union_probes * hw.hash_probe_ns as f64;
+            for ((_, m), info) in plans.iter().zip(&infos) {
+                match m {
+                    JoinMethod::Hash => {
+                        cpu += n
+                            * Self::expected_pred_evals(info, 0)
+                            * hw.predicate_eval_ns as f64;
+                    }
+                    JoinMethod::Index => {
+                        // Bitmap test per scanned tuple, residual preds on
+                        // candidates only.
+                        cpu += n * hw.bitmap_test_ns as f64;
+                        cpu += n
+                            * info.covered_sel
+                            * Self::expected_pred_evals(info, info.covered_mask)
+                            * hw.predicate_eval_ns as f64;
+                    }
+                }
+                cpu += info.qual
+                    * (hw.hash_probe_ns + hw.agg_update_ns + hw.tuple_copy_ns) as f64;
+                cpu += info.groups * hw.hash_build_ns as f64;
+            }
+        } else {
+            // Index-only class (§3.2): OR the query bitmaps, probe once.
+            cpu += (n_bitmaps.saturating_sub(1)) as f64 * words * hw.bitmap_word_ns as f64;
+            let union_cand =
+                n * (1.0 - infos.iter().map(|i| 1.0 - i.covered_sel).product::<f64>());
+            // Conservative: one random read per candidate, capped at re-
+            // reading the whole table page set once per candidate round.
+            io += union_cand.min(n) * hw.random_page_read_ns as f64;
+            cpu += union_cand * hw.tuple_copy_ns as f64;
+            cpu += union_cand * union_probes * hw.hash_probe_ns as f64;
+            for info in &infos {
+                cpu += union_cand * hw.bitmap_test_ns as f64;
+                let own_cand = n * info.covered_sel;
+                cpu += own_cand
+                    * Self::expected_pred_evals(info, info.covered_mask)
+                    * hw.predicate_eval_ns as f64;
+                cpu += info.qual
+                    * (hw.hash_probe_ns + hw.agg_update_ns + hw.tuple_copy_ns) as f64;
+                cpu += info.groups * hw.hash_build_ns as f64;
+            }
+        }
+
+        Some(SimTime::from_nanos((cpu + io).round() as u64))
+    }
+
+    /// Standalone cost of one query from `t` with method `m` (a singleton
+    /// class).
+    pub fn standalone(&self, q: &GroupByQuery, t: TableId, m: JoinMethod) -> Option<SimTime> {
+        self.class_cost(t, &[(q, m)])
+    }
+
+    /// Best join method per query for a class on `t`, minimizing total class
+    /// cost. Enumerates all method vectors up to 2¹²; larger classes fall
+    /// back to per-query standalone preference.
+    pub fn best_method_assignment(
+        &self,
+        t: TableId,
+        queries: &[&GroupByQuery],
+    ) -> Option<(Vec<JoinMethod>, SimTime)> {
+        let flexible: Vec<bool> = queries
+            .iter()
+            .map(|q| self.index_applicable(q, t))
+            .collect();
+        let n_flex = flexible.iter().filter(|&&f| f).count();
+        if n_flex <= 12 {
+            let mut best: Option<(Vec<JoinMethod>, SimTime)> = None;
+            for bits in 0u32..(1 << n_flex) {
+                let mut methods = Vec::with_capacity(queries.len());
+                let mut fi = 0;
+                for &f in &flexible {
+                    if f {
+                        methods.push(if bits & (1 << fi) != 0 {
+                            JoinMethod::Index
+                        } else {
+                            JoinMethod::Hash
+                        });
+                        fi += 1;
+                    } else {
+                        methods.push(JoinMethod::Hash);
+                    }
+                }
+                let plans: Vec<(&GroupByQuery, JoinMethod)> = queries
+                    .iter()
+                    .zip(&methods)
+                    .map(|(q, &m)| (*q, m))
+                    .collect();
+                if let Some(cost) = self.class_cost(t, &plans) {
+                    if best.as_ref().is_none_or(|(_, c)| cost < *c) {
+                        best = Some((methods, cost));
+                    }
+                }
+            }
+            best
+        } else {
+            // Greedy fallback: each query takes its cheaper standalone
+            // method.
+            let methods: Vec<JoinMethod> = queries
+                .iter()
+                .zip(&flexible)
+                .map(|(q, &f)| {
+                    if f {
+                        let h = self.standalone(q, t, JoinMethod::Hash);
+                        let i = self.standalone(q, t, JoinMethod::Index);
+                        match (h, i) {
+                            (Some(h), Some(i)) if i < h => JoinMethod::Index,
+                            _ => JoinMethod::Hash,
+                        }
+                    } else {
+                        JoinMethod::Hash
+                    }
+                })
+                .collect();
+            let plans: Vec<(&GroupByQuery, JoinMethod)> = queries
+                .iter()
+                .zip(&methods)
+                .map(|(q, &m)| (*q, m))
+                .collect();
+            self.class_cost(t, &plans).map(|c| (methods, c))
+        }
+    }
+
+    /// The best local plan for a single query: cheapest (table, method) over
+    /// all candidate tables. This is the paper's "optimal local plan".
+    pub fn best_local(&self, q: &GroupByQuery) -> Option<(TableId, JoinMethod, SimTime)> {
+        let mut best: Option<(TableId, JoinMethod, SimTime)> = None;
+        for t in self.cube.catalog.candidates_for(q) {
+            for m in [JoinMethod::Hash, JoinMethod::Index] {
+                if m == JoinMethod::Index && !self.index_applicable(q, t) {
+                    continue;
+                }
+                if let Some(c) = self.standalone(q, t, m) {
+                    if best.as_ref().is_none_or(|(_, _, bc)| c < *bc) {
+                        best = Some((t, m, c));
+                    }
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starshare_olap::{paper_cube, MemberPred, PaperCubeSpec};
+
+    fn cube() -> Cube {
+        paper_cube(PaperCubeSpec {
+            base_rows: 50_000,
+            d_leaf: 192,
+            seed: 9,
+            with_indexes: true,
+        })
+    }
+
+    fn broad_query(cube: &Cube) -> GroupByQuery {
+        GroupByQuery::new(
+            cube.groupby("A'B''C''D"),
+            vec![
+                MemberPred::members_in(1, vec![0, 1, 2]),
+                MemberPred::All,
+                MemberPred::eq(2, 0),
+                MemberPred::members_in(1, (0..12).collect()),
+            ],
+        )
+    }
+
+    fn selective_query(cube: &Cube) -> GroupByQuery {
+        GroupByQuery::new(
+            cube.groupby("A'B'C'D"),
+            vec![
+                MemberPred::eq(1, 1),
+                MemberPred::eq(1, 2),
+                MemberPred::eq(1, 4),
+                MemberPred::eq(1, 0),
+            ],
+        )
+    }
+
+    #[test]
+    fn smaller_table_is_cheaper_for_hash() {
+        let cube = cube();
+        let cm = CostModel::new(&cube, HardwareModel::paper_1998());
+        let q = broad_query(&cube);
+        let big = cube.catalog.find_by_name("ABCD").unwrap();
+        let small = cube.catalog.find_by_name("A'B''C'D").unwrap();
+        let cb = cm.standalone(&q, big, JoinMethod::Hash).unwrap();
+        let cs = cm.standalone(&q, small, JoinMethod::Hash).unwrap();
+        assert!(cs < cb, "{cs} vs {cb}");
+    }
+
+    #[test]
+    fn selective_query_prefers_index() {
+        let cube = cube();
+        let cm = CostModel::new(&cube, HardwareModel::paper_1998());
+        let q = selective_query(&cube);
+        let t = cube.catalog.find_by_name("A'B'C'D").unwrap();
+        let h = cm.standalone(&q, t, JoinMethod::Hash).unwrap();
+        let i = cm.standalone(&q, t, JoinMethod::Index).unwrap();
+        assert!(i < h, "index {i} vs hash {h}");
+        let (_, m, _) = cm.best_local(&q).unwrap();
+        assert_eq!(m, JoinMethod::Index);
+    }
+
+    #[test]
+    fn broad_query_prefers_hash() {
+        let cube = cube();
+        let cm = CostModel::new(&cube, HardwareModel::paper_1998());
+        let q = broad_query(&cube);
+        let t = cube.catalog.find_by_name("A'B'C'D").unwrap();
+        let h = cm.standalone(&q, t, JoinMethod::Hash).unwrap();
+        let i = cm.standalone(&q, t, JoinMethod::Index).unwrap();
+        assert!(h < i, "hash {h} vs index {i}");
+    }
+
+    #[test]
+    fn shared_class_is_cheaper_than_two_singletons() {
+        let cube = cube();
+        let cm = CostModel::new(&cube, HardwareModel::paper_1998());
+        let t = cube.catalog.find_by_name("A'B'C'D").unwrap();
+        let q1 = broad_query(&cube);
+        let q2 = GroupByQuery::new(
+            cube.groupby("A''B'C''D"),
+            vec![
+                MemberPred::All,
+                MemberPred::members_in(1, vec![2, 3]),
+                MemberPred::eq(2, 1),
+                MemberPred::eq(1, 0),
+            ],
+        );
+        let single1 = cm.standalone(&q1, t, JoinMethod::Hash).unwrap();
+        let single2 = cm.standalone(&q2, t, JoinMethod::Hash).unwrap();
+        let shared = cm
+            .class_cost(t, &[(&q1, JoinMethod::Hash), (&q2, JoinMethod::Hash)])
+            .unwrap();
+        assert!(
+            shared < single1 + single2,
+            "shared {shared} vs {}",
+            single1 + single2
+        );
+        // But the shared class still costs more than either alone.
+        assert!(shared > single1);
+        assert!(shared > single2);
+    }
+
+    #[test]
+    fn index_method_requires_applicable_index() {
+        let cube = cube();
+        let cm = CostModel::new(&cube, HardwareModel::paper_1998());
+        let q = broad_query(&cube);
+        // A''B''C''D has no indexes.
+        let t = cube.catalog.find_by_name("A''B''C''D").unwrap();
+        assert!(!cm.index_applicable(&q, t));
+        assert!(cm.standalone(&q, t, JoinMethod::Index).is_none());
+        // Hash still works... but only if answerable (it is not: needs A').
+        assert!(cm.standalone(&q, t, JoinMethod::Hash).is_none());
+    }
+
+    #[test]
+    fn unanswerable_table_returns_none() {
+        let cube = cube();
+        let cm = CostModel::new(&cube, HardwareModel::paper_1998());
+        let q = selective_query(&cube); // needs A'B'C'D levels
+        let t = cube.catalog.find_by_name("A'B''C'D").unwrap();
+        assert_eq!(cm.class_cost(t, &[(&q, JoinMethod::Hash)]), None);
+    }
+
+    #[test]
+    fn empty_class_is_free() {
+        let cube = cube();
+        let cm = CostModel::new(&cube, HardwareModel::paper_1998());
+        let t = cube.catalog.find_by_name("ABCD").unwrap();
+        assert_eq!(cm.class_cost(t, &[]), Some(SimTime::ZERO));
+    }
+
+    #[test]
+    fn best_method_assignment_beats_all_hash_when_index_helps() {
+        let cube = cube();
+        let cm = CostModel::new(&cube, HardwareModel::paper_1998());
+        let t = cube.catalog.find_by_name("A'B'C'D").unwrap();
+        let q1 = selective_query(&cube);
+        let q2 = GroupByQuery::new(
+            cube.groupby("A'B'C'D"),
+            vec![
+                MemberPred::eq(1, 3),
+                MemberPred::eq(1, 5),
+                MemberPred::eq(1, 0),
+                MemberPred::eq(1, 1),
+            ],
+        );
+        let (methods, cost) = cm.best_method_assignment(t, &[&q1, &q2]).unwrap();
+        let all_hash = cm
+            .class_cost(t, &[(&q1, JoinMethod::Hash), (&q2, JoinMethod::Hash)])
+            .unwrap();
+        assert!(cost <= all_hash);
+        assert_eq!(methods, vec![JoinMethod::Index, JoinMethod::Index]);
+    }
+
+    #[test]
+    fn best_local_picks_smallest_adequate_view() {
+        let cube = cube();
+        let cm = CostModel::new(&cube, HardwareModel::paper_1998());
+        let q = broad_query(&cube);
+        let (t, m, _) = cm.best_local(&q).unwrap();
+        assert_eq!(cube.catalog.table(t).name(), "A'B''C'D");
+        assert_eq!(m, JoinMethod::Hash);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+    use starshare_olap::{paper_cube, GroupBy, LevelRef, MemberPred, PaperCubeSpec};
+    use std::sync::OnceLock;
+
+    fn cube() -> &'static Cube {
+        static CUBE: OnceLock<Cube> = OnceLock::new();
+        CUBE.get_or_init(|| {
+            paper_cube(PaperCubeSpec {
+                base_rows: 5_000,
+                d_leaf: 48,
+                seed: 2,
+                with_indexes: true,
+            })
+        })
+    }
+
+    fn query_strategy() -> impl Strategy<Value = GroupByQuery> {
+        let dim = |card1: u32| {
+            (
+                prop_oneof![Just(LevelRef::All), (0u8..3).prop_map(LevelRef::Level)],
+                prop_oneof![
+                    1 => Just(MemberPred::All),
+                    2 => (1u8..3, proptest::collection::vec(0u32..24, 1..3)).prop_map(
+                        move |(lvl, ms)| {
+                            let card = if lvl == 1 { card1 } else { 3 };
+                            MemberPred::members_in(
+                                lvl,
+                                ms.into_iter().map(|m| m % card).collect(),
+                            )
+                        }
+                    ),
+                ],
+            )
+        };
+        vec![dim(6), dim(6), dim(6), dim(24)].prop_map(|specs| {
+            let (levels, preds): (Vec<LevelRef>, Vec<MemberPred>) = specs.into_iter().unzip();
+            GroupByQuery::new(GroupBy::new(levels), preds)
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Adding a query to a class never decreases its cost (the paper's
+        /// own §6 claim that `CostOfAdd` cannot be negative — true here
+        /// because existing members' methods are held fixed).
+        #[test]
+        fn class_cost_is_monotone_in_members(
+            qs in proptest::collection::vec(query_strategy(), 1..4),
+            extra in query_strategy(),
+        ) {
+            let cube = cube();
+            let cm = CostModel::new(cube, HardwareModel::paper_1998());
+            let base = cube.catalog.base_table().unwrap();
+            let plans: Vec<(&GroupByQuery, JoinMethod)> =
+                qs.iter().map(|q| (q, JoinMethod::Hash)).collect();
+            let before = cm.class_cost(base, &plans).expect("base answers all");
+            let mut with_extra = plans.clone();
+            with_extra.push((&extra, JoinMethod::Hash));
+            let after = cm.class_cost(base, &with_extra).expect("still answerable");
+            prop_assert!(after >= before, "adding a member reduced cost: {after} < {before}");
+        }
+
+        /// A shared all-hash class never costs more than running its
+        /// members' scans separately on the same table (the §3.1 saving is
+        /// non-negative by construction).
+        #[test]
+        fn shared_scan_class_is_subadditive(
+            qs in proptest::collection::vec(query_strategy(), 1..5),
+        ) {
+            let cube = cube();
+            let cm = CostModel::new(cube, HardwareModel::paper_1998());
+            let base = cube.catalog.base_table().unwrap();
+            let plans: Vec<(&GroupByQuery, JoinMethod)> =
+                qs.iter().map(|q| (q, JoinMethod::Hash)).collect();
+            let shared = cm.class_cost(base, &plans).unwrap();
+            let separate: SimTime = qs
+                .iter()
+                .map(|q| cm.standalone(q, base, JoinMethod::Hash).unwrap())
+                .sum();
+            prop_assert!(
+                shared <= separate,
+                "shared {shared} > separate {separate}"
+            );
+        }
+
+        /// Cost estimates are deterministic.
+        #[test]
+        fn cost_is_deterministic(q in query_strategy()) {
+            let cube = cube();
+            let cm = CostModel::new(cube, HardwareModel::paper_1998());
+            for t in cube.catalog.candidates_for(&q) {
+                for m in [JoinMethod::Hash, JoinMethod::Index] {
+                    prop_assert_eq!(cm.standalone(&q, t, m), cm.standalone(&q, t, m));
+                }
+            }
+        }
+
+        /// The best local plan really is minimal over every (table, method)
+        /// the model accepts.
+        #[test]
+        fn best_local_is_actually_best(q in query_strategy()) {
+            let cube = cube();
+            let cm = CostModel::new(cube, HardwareModel::paper_1998());
+            let (_, _, best) = cm.best_local(&q).expect("base always answers");
+            for t in cube.catalog.candidates_for(&q) {
+                for m in [JoinMethod::Hash, JoinMethod::Index] {
+                    if let Some(c) = cm.standalone(&q, t, m) {
+                        prop_assert!(best <= c, "best_local {best} beaten by {c}");
+                    }
+                }
+            }
+        }
+    }
+}

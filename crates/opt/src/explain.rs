@@ -1,0 +1,263 @@
+//! Operator-tree EXPLAIN: renders a global plan the way the paper draws
+//! its Figures 1–5 — one operator tree per class, showing the shared
+//! trunk (scan or ORed-bitmap probe, dimension hash tables) and the
+//! per-query branches (bitmap filters, residual predicates, aggregations).
+//!
+//! ```text
+//! class 1: shared scan of A'B'C'D (4612 pages)
+//! ├─ build hash tables: C' (6 rows), D (18432 rows)
+//! ├─ SCAN A'B'C'D ──┬─ probe {C', D}
+//! │                 ├─ Q1: σ[A' IN (AA1, AA2) AND …] → γ SUM(A'B''C''D)
+//! │                 └─ Q2: bitmap filter (2423 candidates) → γ SUM(…)
+//! ```
+
+use starshare_olap::{Cube, LevelRef, MemberPred};
+
+use crate::cost::CostModel;
+use crate::plan::{GlobalPlan, JoinMethod, PlanClass};
+
+/// Renders the full operator-tree explanation of a plan.
+pub fn explain_tree(cube: &Cube, plan: &GlobalPlan) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (i, class) in plan.classes.iter().enumerate() {
+        let _ = write!(out, "{}", explain_class(cube, class, i + 1));
+    }
+    let _ = writeln!(out, "estimated total: {}", plan.estimated_cost);
+    out
+}
+
+fn explain_class(cube: &Cube, class: &PlanClass, number: usize) -> String {
+    use std::fmt::Write as _;
+    let schema = &cube.schema;
+    let table = cube.catalog.table(class.table);
+    let mut out = String::new();
+
+    let any_hash = class.any_hash();
+    let trunk = if any_hash {
+        format!(
+            "shared scan of {} ({} rows, {} pages)",
+            table.name(),
+            table.n_rows(),
+            table.pages()
+        )
+    } else {
+        format!(
+            "shared bitmap probe of {} ({} rows)",
+            table.name(),
+            table.n_rows()
+        )
+    };
+    let _ = writeln!(out, "class {number}: {trunk}");
+
+    // Shared dimension hash tables: union of probe needs.
+    let mut builds: Vec<String> = Vec::new();
+    for d in 0..schema.n_dims() {
+        let Some(stored) = table.stored_level(d) else {
+            continue;
+        };
+        let needs_probe = class.plans.iter().any(|p| {
+            let target_above = matches!(p.query.group_by.level(d), LevelRef::Level(t) if t > stored);
+            let pred_above = matches!(p.query.preds[d].level(), Some(pl) if pl > stored);
+            target_above || pred_above
+        });
+        if needs_probe {
+            builds.push(format!(
+                "{} ({} rows)",
+                schema.dim(d).level(stored).name,
+                schema.dim(d).cardinality(stored)
+            ));
+        }
+    }
+    if !builds.is_empty() {
+        let _ = writeln!(out, "├─ build dimension hash tables: {}", builds.join(", "));
+    }
+
+    // Index-side phase for index-fed queries.
+    for p in &class.plans {
+        if p.method != JoinMethod::Index {
+            continue;
+        }
+        let mut lookups: Vec<String> = Vec::new();
+        for d in 0..schema.n_dims() {
+            if let MemberPred::In { level, members } = &p.query.preds[d] {
+                if table.index_serves(d, *level) {
+                    let ix = table.index(d).expect("served implies present");
+                    let fan = schema.dim(d).fan_out_between(ix.level, *level);
+                    lookups.push(format!(
+                        "{}: OR {} bitmap(s)",
+                        schema.dim(d).level(ix.level).name,
+                        members.len() as u32 * fan
+                    ));
+                }
+            }
+        }
+        if !lookups.is_empty() {
+            let _ = writeln!(
+                out,
+                "├─ build result bitmap for {}: {} → AND",
+                p.query.group_by.display(schema),
+                lookups.join("; ")
+            );
+        }
+    }
+
+    // Per-query branches.
+    let n = class.plans.len();
+    for (i, p) in class.plans.iter().enumerate() {
+        let connector = if i + 1 == n { "└─" } else { "├─" };
+        let branch = match p.method {
+            JoinMethod::Hash => {
+                let preds: Vec<String> = p
+                    .query
+                    .preds
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, pr)| !matches!(pr, MemberPred::All))
+                    .map(|(d, pr)| pr.display(schema, d))
+                    .collect();
+                if preds.is_empty() {
+                    String::from("no filter")
+                } else {
+                    format!("σ[{}]", preds.join(" AND "))
+                }
+            }
+            JoinMethod::Index => {
+                let residual: Vec<String> = p
+                    .query
+                    .preds
+                    .iter()
+                    .enumerate()
+                    .filter(|(d, pr)| match pr.level() {
+                        Some(pl) => !table.index_serves(*d, pl),
+                        None => false,
+                    })
+                    .map(|(d, pr)| pr.display(schema, d))
+                    .collect();
+                if residual.is_empty() {
+                    String::from("bitmap filter")
+                } else {
+                    format!("bitmap filter + σ[{}]", residual.join(" AND "))
+                }
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{connector} {}: {} → γ {}({})",
+            p.query.group_by.display(schema),
+            branch,
+            p.query.agg,
+            schema.measure_name()
+        );
+    }
+    out
+}
+
+/// EXPLAIN with per-class cost estimates appended.
+pub fn explain_tree_with_costs(cube: &Cube, cm: &CostModel<'_>, plan: &GlobalPlan) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (i, class) in plan.classes.iter().enumerate() {
+        let _ = write!(out, "{}", explain_class(cube, class, i + 1));
+        let plans: Vec<_> = class.plans.iter().map(|p| (&p.query, p.method)).collect();
+        if let Some(cost) = cm.class_cost(class.table, &plans) {
+            let _ = writeln!(out, "   class cost estimate: {cost}");
+        }
+    }
+    let _ = writeln!(out, "estimated total: {}", plan.estimated_cost);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{gg, OptimizerKind};
+    use starshare_olap::{paper_cube, GroupBy, GroupByQuery, PaperCubeSpec};
+    use starshare_storage::HardwareModel;
+
+    fn cube() -> Cube {
+        paper_cube(PaperCubeSpec {
+            base_rows: 10_000,
+            d_leaf: 96,
+            seed: 6,
+            with_indexes: true,
+        })
+    }
+
+    fn workload(cube: &Cube) -> Vec<GroupByQuery> {
+        vec![
+            GroupByQuery::new(
+                GroupBy::parse(&cube.schema, "A'B''C''D").unwrap(),
+                vec![
+                    MemberPred::members_in(1, vec![0, 1]),
+                    MemberPred::eq(2, 0),
+                    MemberPred::All,
+                    MemberPred::members_in(1, (0..12).collect()),
+                ],
+            ),
+            GroupByQuery::new(
+                GroupBy::parse(&cube.schema, "A'B'C'D").unwrap(),
+                vec![
+                    MemberPred::eq(1, 1),
+                    MemberPred::eq(1, 2),
+                    MemberPred::eq(1, 3),
+                    MemberPred::eq(1, 0),
+                ],
+            ),
+        ]
+    }
+
+    #[test]
+    fn tree_shows_trunk_and_branches() {
+        let cube = cube();
+        let cm = CostModel::new(&cube, HardwareModel::paper_1998());
+        let plan = gg(&cm, &workload(&cube)).unwrap();
+        let tree = explain_tree(&cube, &plan);
+        assert!(tree.contains("class 1:"), "{tree}");
+        assert!(tree.contains("γ SUM(dollars)"), "{tree}");
+        assert!(tree.contains("└─"), "{tree}");
+        assert!(tree.contains("estimated total"), "{tree}");
+    }
+
+    #[test]
+    fn index_plans_show_bitmap_construction() {
+        let cube = cube();
+        let cm = CostModel::new(&cube, HardwareModel::paper_1998());
+        // Force the selective query alone: GG gives it an index plan.
+        let plan = OptimizerKind::Gg.run(&cm, &workload(&cube)[1..]).unwrap();
+        let tree = explain_tree(&cube, &plan);
+        assert!(
+            tree.contains("build result bitmap") || tree.contains("bitmap filter"),
+            "{tree}"
+        );
+        assert!(tree.contains("shared bitmap probe"), "{tree}");
+    }
+
+    #[test]
+    fn costed_tree_includes_class_estimates() {
+        let cube = cube();
+        let cm = CostModel::new(&cube, HardwareModel::paper_1998());
+        let plan = gg(&cm, &workload(&cube)).unwrap();
+        let tree = explain_tree_with_costs(&cube, &cm, &plan);
+        assert!(tree.contains("class cost estimate"), "{tree}");
+    }
+
+    #[test]
+    fn hash_tables_listed_for_rollup_dims() {
+        let cube = cube();
+        let cm = CostModel::new(&cube, HardwareModel::paper_1998());
+        // Query needing B''+C'' from A'B'C'D forces probes on B and C.
+        let q = GroupByQuery::new(
+            GroupBy::parse(&cube.schema, "A'B''C''D").unwrap(),
+            vec![
+                MemberPred::All,
+                MemberPred::eq(2, 0),
+                MemberPred::eq(2, 0),
+                MemberPred::All,
+            ],
+        );
+        let plan = gg(&cm, std::slice::from_ref(&q)).unwrap();
+        let tree = explain_tree(&cube, &plan);
+        assert!(tree.contains("build dimension hash tables"), "{tree}");
+    }
+}

@@ -1,0 +1,142 @@
+//! Global plan representation.
+
+use starshare_olap::{Cube, GroupByQuery, TableId};
+use starshare_storage::SimTime;
+
+/// The star-join method chosen for one query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JoinMethod {
+    /// Pipelined right-deep hash-based star join (scan the base table).
+    Hash,
+    /// Bitmap-index-based star join (probe the base table).
+    Index,
+}
+
+impl std::fmt::Display for JoinMethod {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JoinMethod::Hash => write!(f, "hash-based SJ"),
+            JoinMethod::Index => write!(f, "index-based SJ"),
+        }
+    }
+}
+
+/// One query's placement: which table it reads and how.
+#[derive(Debug, Clone)]
+pub struct QueryPlan {
+    /// The query.
+    pub query: GroupByQuery,
+    /// The join method.
+    pub method: JoinMethod,
+}
+
+/// A set of queries evaluated together from one shared base table by the
+/// §3 shared operators.
+#[derive(Debug, Clone)]
+pub struct PlanClass {
+    /// The shared base table.
+    pub table: TableId,
+    /// The member queries with their methods.
+    pub plans: Vec<QueryPlan>,
+}
+
+impl PlanClass {
+    /// Member queries only.
+    pub fn queries(&self) -> impl Iterator<Item = &GroupByQuery> {
+        self.plans.iter().map(|p| &p.query)
+    }
+
+    /// True if any member uses a hash (scan) plan.
+    pub fn any_hash(&self) -> bool {
+        self.plans.iter().any(|p| p.method == JoinMethod::Hash)
+    }
+}
+
+/// A complete plan for an MDX expression's query set.
+#[derive(Debug, Clone, Default)]
+pub struct GlobalPlan {
+    /// The classes; queries within a class share work, classes run
+    /// independently.
+    pub classes: Vec<PlanClass>,
+    /// The optimizer's cost estimate (filled by the algorithms).
+    pub estimated_cost: SimTime,
+}
+
+impl GlobalPlan {
+    /// Total number of queries across classes.
+    pub fn n_queries(&self) -> usize {
+        self.classes.iter().map(|c| c.plans.len()).sum()
+    }
+
+    /// Renders the paper-style notation, one class per line:
+    /// `(Q1 ⟸ A'B''C'D [hash-based SJ]) …`.
+    pub fn explain(&self, cube: &Cube) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for class in &self.classes {
+            let t = cube.catalog.table(class.table);
+            let _ = write!(out, "class on {} {{ ", t.name());
+            for (i, p) in class.plans.iter().enumerate() {
+                if i > 0 {
+                    let _ = write!(out, ", ");
+                }
+                let _ = write!(
+                    out,
+                    "{} ⟸ {} [{}]",
+                    p.query.group_by.display(&cube.schema),
+                    t.name(),
+                    p.method
+                );
+            }
+            let _ = writeln!(out, " }}");
+        }
+        let _ = writeln!(out, "estimated cost: {}", self.estimated_cost);
+        out
+    }
+
+    /// All `(table, query, method)` triples in class order.
+    pub fn assignments(&self) -> impl Iterator<Item = (TableId, &GroupByQuery, JoinMethod)> {
+        self.classes
+            .iter()
+            .flat_map(|c| c.plans.iter().map(move |p| (c.table, &p.query, p.method)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starshare_olap::{paper_cube, GroupByQuery, PaperCubeSpec};
+
+    #[test]
+    fn join_method_display() {
+        assert_eq!(JoinMethod::Hash.to_string(), "hash-based SJ");
+        assert_eq!(JoinMethod::Index.to_string(), "index-based SJ");
+    }
+
+    #[test]
+    fn explain_names_tables_and_methods() {
+        let cube = paper_cube(PaperCubeSpec {
+            base_rows: 100,
+            d_leaf: 24,
+            seed: 1,
+            with_indexes: false,
+        });
+        let q = GroupByQuery::unfiltered(cube.groupby("A''B''C''D"));
+        let plan = GlobalPlan {
+            classes: vec![PlanClass {
+                table: cube.catalog.find_by_name("A'B'C'D").unwrap(),
+                plans: vec![QueryPlan {
+                    query: q,
+                    method: JoinMethod::Hash,
+                }],
+            }],
+            estimated_cost: SimTime::from_nanos(1_500_000_000),
+        };
+        let e = plan.explain(&cube);
+        assert!(e.contains("A''B''C''D ⟸ A'B'C'D [hash-based SJ]"), "{e}");
+        assert!(e.contains("1.500s"), "{e}");
+        assert_eq!(plan.n_queries(), 1);
+        assert!(plan.classes[0].any_hash());
+        assert_eq!(plan.assignments().count(), 1);
+    }
+}

@@ -1,0 +1,290 @@
+//! Heap files: paged tables of fixed-width tuples.
+//!
+//! A [`HeapFile`] owns its page bytes. Reads come in two flavours:
+//!
+//! * *accounted* ([`HeapFile::fetch`], [`HeapFile::scan`]) — go through a
+//!   [`BufferPool`] so faults are counted and priced; operators use these;
+//! * *raw* ([`HeapFile::read_at`]) — bypass accounting; loaders and tests
+//!   use these.
+//!
+//! Tuple positions are dense `0..n_tuples` (no deletions — OLAP tables here
+//! are load-once), so a position maps to a page by pure arithmetic, and the
+//! bitmap join indexes in `starshare-bitmap` can use positions as bit
+//! indexes, exactly like the paper's "use the tuples' position" routing.
+
+use crate::buffer::{AccessKind, BufferPool};
+use crate::page::{FileId, PageId, PAGE_SIZE};
+use crate::tuple::TupleLayout;
+
+/// A paged, append-only table of fixed-width tuples.
+#[derive(Debug, Clone)]
+pub struct HeapFile {
+    file_id: FileId,
+    layout: TupleLayout,
+    pages: Vec<Box<[u8]>>,
+    n_tuples: u64,
+}
+
+impl HeapFile {
+    /// Creates an empty heap file.
+    pub fn new(file_id: FileId, layout: TupleLayout) -> Self {
+        HeapFile {
+            file_id,
+            layout,
+            pages: Vec::new(),
+            n_tuples: 0,
+        }
+    }
+
+    /// Builds a heap file from an iterator of `(keys, measure)` rows.
+    ///
+    /// # Panics
+    /// Panics if any row's key count differs from the layout's.
+    pub fn from_rows<I, K>(file_id: FileId, layout: TupleLayout, rows: I) -> Self
+    where
+        I: IntoIterator<Item = (K, f64)>,
+        K: AsRef<[u32]>,
+    {
+        let mut h = Self::new(file_id, layout);
+        for (keys, measure) in rows {
+            h.append(keys.as_ref(), measure);
+        }
+        h
+    }
+
+    /// The file's id (key used by the buffer pool).
+    pub fn file_id(&self) -> FileId {
+        self.file_id
+    }
+
+    /// The tuple layout.
+    pub fn layout(&self) -> TupleLayout {
+        self.layout
+    }
+
+    /// Number of tuples stored.
+    pub fn n_tuples(&self) -> u64 {
+        self.n_tuples
+    }
+
+    /// Number of pages occupied.
+    pub fn page_count(&self) -> u32 {
+        self.pages.len() as u32
+    }
+
+    /// Which page holds tuple `pos`.
+    pub fn page_of(&self, pos: u64) -> PageId {
+        (pos / self.layout.tuples_per_page() as u64) as PageId
+    }
+
+    /// Appends one tuple.
+    pub fn append(&mut self, keys: &[u32], measure: f64) {
+        let per_page = self.layout.tuples_per_page() as u64;
+        let slot = (self.n_tuples % per_page) as usize;
+        if slot == 0 {
+            self.pages.push(vec![0u8; PAGE_SIZE].into_boxed_slice());
+        }
+        let page = self.pages.last_mut().expect("page just ensured");
+        let off = slot * self.layout.record_size();
+        self.layout
+            .encode(keys, measure, &mut page[off..off + self.layout.record_size()]);
+        self.n_tuples += 1;
+    }
+
+    /// Overwrites the measure of tuple `pos` in place (keys unchanged).
+    /// Used by incremental view maintenance; unaccounted, like all
+    /// load-time mutation.
+    ///
+    /// # Panics
+    /// Panics if `pos >= n_tuples()`.
+    pub fn update_measure(&mut self, pos: u64, measure: f64) {
+        assert!(pos < self.n_tuples, "tuple position out of range");
+        let per_page = self.layout.tuples_per_page() as u64;
+        let page = (pos / per_page) as usize;
+        let off = (pos % per_page) as usize * self.layout.record_size() + self.layout.n_dims() * 4;
+        self.pages[page][off..off + 8].copy_from_slice(&measure.to_le_bytes());
+    }
+
+    /// Raw (unaccounted) read of tuple `pos`. Returns the measure and fills
+    /// `keys_out`.
+    ///
+    /// # Panics
+    /// Panics if `pos >= n_tuples()`.
+    pub fn read_at(&self, pos: u64, keys_out: &mut [u32]) -> f64 {
+        assert!(pos < self.n_tuples, "tuple position out of range");
+        let (page, off) = self.locate(pos);
+        self.layout
+            .decode(&self.pages[page][off..off + self.layout.record_size()], keys_out)
+    }
+
+    /// Accounted random fetch of tuple `pos` through `pool`.
+    pub fn fetch(
+        &self,
+        pos: u64,
+        pool: &mut BufferPool,
+        kind: AccessKind,
+        keys_out: &mut [u32],
+    ) -> f64 {
+        pool.access(self.file_id, self.page_of(pos), kind);
+        self.read_at(pos, keys_out)
+    }
+
+    /// Starts an accounted sequential scan.
+    pub fn scan(&self) -> ScanCursor<'_> {
+        ScanCursor {
+            heap: self,
+            pos: 0,
+            touched_page: None,
+        }
+    }
+
+    fn locate(&self, pos: u64) -> (usize, usize) {
+        let per_page = self.layout.tuples_per_page() as u64;
+        let page = (pos / per_page) as usize;
+        let off = (pos % per_page) as usize * self.layout.record_size();
+        (page, off)
+    }
+}
+
+/// Cursor over a heap file that charges one sequential page access per page
+/// crossed.
+#[derive(Debug)]
+pub struct ScanCursor<'a> {
+    heap: &'a HeapFile,
+    pos: u64,
+    touched_page: Option<PageId>,
+}
+
+impl<'a> ScanCursor<'a> {
+    /// Reads the next tuple into `keys_out`; returns the measure, or `None`
+    /// at end of table. The tuple's position is written to `pos_out`.
+    pub fn next_into(
+        &mut self,
+        pool: &mut BufferPool,
+        keys_out: &mut [u32],
+        pos_out: &mut u64,
+    ) -> Option<f64> {
+        if self.pos >= self.heap.n_tuples {
+            return None;
+        }
+        let page = self.heap.page_of(self.pos);
+        if self.touched_page != Some(page) {
+            pool.access(self.heap.file_id, page, AccessKind::Sequential);
+            self.touched_page = Some(page);
+        }
+        *pos_out = self.pos;
+        let m = self.heap.read_at(self.pos, keys_out);
+        self.pos += 1;
+        Some(m)
+    }
+
+    /// Tuples remaining.
+    pub fn remaining(&self) -> u64 {
+        self.heap.n_tuples - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_heap(n: u64) -> HeapFile {
+        let layout = TupleLayout::new(2);
+        HeapFile::from_rows(
+            FileId(0),
+            layout,
+            (0..n).map(|i| ([i as u32, (i * 2) as u32], i as f64)),
+        )
+    }
+
+    #[test]
+    fn append_and_read_back() {
+        let h = small_heap(10);
+        assert_eq!(h.n_tuples(), 10);
+        let mut keys = [0u32; 2];
+        for i in 0..10u64 {
+            let m = h.read_at(i, &mut keys);
+            assert_eq!(keys, [i as u32, (i * 2) as u32]);
+            assert_eq!(m, i as f64);
+        }
+    }
+
+    #[test]
+    fn page_count_grows_with_tuples() {
+        let layout = TupleLayout::new(2);
+        let per_page = layout.tuples_per_page() as u64;
+        let h = small_heap(per_page);
+        assert_eq!(h.page_count(), 1);
+        let h2 = small_heap(per_page + 1);
+        assert_eq!(h2.page_count(), 2);
+        assert_eq!(h2.page_of(per_page), 1);
+        assert_eq!(h2.page_of(per_page - 1), 0);
+    }
+
+    #[test]
+    fn scan_charges_one_seq_access_per_page() {
+        let layout = TupleLayout::new(2);
+        let per_page = layout.tuples_per_page() as u64;
+        let n = per_page * 3 + 5;
+        let h = small_heap(n);
+        let mut pool = BufferPool::new(100);
+        let mut cursor = h.scan();
+        let mut keys = [0u32; 2];
+        let mut pos = 0u64;
+        let mut count = 0u64;
+        let mut sum = 0.0;
+        while let Some(m) = cursor.next_into(&mut pool, &mut keys, &mut pos) {
+            assert_eq!(pos, count);
+            sum += m;
+            count += 1;
+        }
+        assert_eq!(count, n);
+        assert_eq!(sum, (n * (n - 1) / 2) as f64);
+        assert_eq!(pool.stats().accesses(), 4); // 4 pages, touched once each
+        assert_eq!(pool.stats().seq_faults, 4);
+    }
+
+    #[test]
+    fn fetch_is_random_accounted() {
+        let h = small_heap(100);
+        let mut pool = BufferPool::new(100);
+        let mut keys = [0u32; 2];
+        let m = h.fetch(42, &mut pool, AccessKind::Random, &mut keys);
+        assert_eq!(m, 42.0);
+        assert_eq!(pool.stats().random_faults, 1);
+        // Same page again: a hit.
+        h.fetch(43, &mut pool, AccessKind::Random, &mut keys);
+        assert_eq!(pool.stats().hits, 1);
+    }
+
+    #[test]
+    fn empty_scan_touches_nothing() {
+        let h = HeapFile::new(FileId(9), TupleLayout::new(1));
+        let mut pool = BufferPool::new(10);
+        let mut cursor = h.scan();
+        let mut keys = [0u32; 1];
+        let mut pos = 0u64;
+        assert!(cursor.next_into(&mut pool, &mut keys, &mut pos).is_none());
+        assert_eq!(pool.stats().accesses(), 0);
+    }
+
+    #[test]
+    fn scan_remaining_counts_down() {
+        let h = small_heap(3);
+        let mut pool = BufferPool::new(10);
+        let mut cursor = h.scan();
+        assert_eq!(cursor.remaining(), 3);
+        let mut keys = [0u32; 2];
+        let mut pos = 0u64;
+        cursor.next_into(&mut pool, &mut keys, &mut pos);
+        assert_eq!(cursor.remaining(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn read_past_end_panics() {
+        let h = small_heap(1);
+        let mut keys = [0u32; 2];
+        h.read_at(1, &mut keys);
+    }
+}

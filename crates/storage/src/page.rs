@@ -1,0 +1,57 @@
+//! Page and file identifiers.
+//!
+//! The engine stores tables as sequences of fixed-size pages. Pages are the
+//! unit of I/O accounting: the buffer pool tracks residency per
+//! `(FileId, PageId)` and charges the hardware model for each fault.
+
+/// Size of a page in bytes.
+///
+/// 8 KiB matches the page size of the Paradise system the paper measured on
+/// (and of most relational engines of that era).
+pub const PAGE_SIZE: usize = 8192;
+
+/// Identifies a heap file (one per table) within the engine.
+///
+/// File ids are handed out by the catalog; the buffer pool uses them only as
+/// opaque keys, so tests can fabricate them freely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FileId(pub u32);
+
+impl FileId {
+    /// Returns the raw id.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for FileId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "file#{}", self.0)
+    }
+}
+
+/// Zero-based page number within a heap file.
+pub type PageId = u32;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn file_id_roundtrip() {
+        let f = FileId(42);
+        assert_eq!(f.index(), 42);
+        assert_eq!(f.to_string(), "file#42");
+    }
+
+    #[test]
+    fn file_ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(FileId(1));
+        s.insert(FileId(1));
+        s.insert(FileId(2));
+        assert_eq!(s.len(), 2);
+        assert!(FileId(1) < FileId(2));
+    }
+}

@@ -1,0 +1,143 @@
+//! Fixed-width tuple layout.
+//!
+//! Every table in the engine — the fact table and each materialized group-by
+//! — stores tuples of the same shape: `n_dims` dimension keys (`u32`, each an
+//! encoded member id at some hierarchy level) followed by one `f64` measure.
+//! The paper's base table `ABCD(A, B, C, D, dollars)` has exactly this shape
+//! with `n_dims = 4`.
+//!
+//! Tuples are serialized little-endian into page bytes, with no per-tuple
+//! header: the layout is fully described by `n_dims`, so offsets are pure
+//! arithmetic. Decoding writes keys into a caller-provided slice to keep the
+//! scan loop allocation-free.
+
+use crate::page::PAGE_SIZE;
+
+/// Describes the fixed-width layout of a table's tuples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TupleLayout {
+    n_dims: usize,
+}
+
+impl TupleLayout {
+    /// Layout for tuples with `n_dims` dimension keys and one measure.
+    ///
+    /// # Panics
+    /// Panics if `n_dims` is zero or so large a tuple would not fit a page.
+    pub fn new(n_dims: usize) -> Self {
+        assert!(n_dims > 0, "a dimensional tuple needs at least one key");
+        let layout = TupleLayout { n_dims };
+        assert!(
+            layout.record_size() <= PAGE_SIZE,
+            "tuple of {n_dims} keys does not fit in one page"
+        );
+        layout
+    }
+
+    /// Number of dimension keys per tuple.
+    pub fn n_dims(&self) -> usize {
+        self.n_dims
+    }
+
+    /// Bytes occupied by one serialized tuple.
+    pub fn record_size(&self) -> usize {
+        self.n_dims * 4 + 8
+    }
+
+    /// How many tuples fit in one page.
+    pub fn tuples_per_page(&self) -> usize {
+        PAGE_SIZE / self.record_size()
+    }
+
+    /// Serializes `keys` + `measure` into `out`.
+    ///
+    /// # Panics
+    /// Panics if `keys.len() != n_dims` or `out` is shorter than
+    /// [`record_size`](Self::record_size).
+    pub fn encode(&self, keys: &[u32], measure: f64, out: &mut [u8]) {
+        assert_eq!(keys.len(), self.n_dims, "key count mismatch");
+        let mut off = 0;
+        for &k in keys {
+            out[off..off + 4].copy_from_slice(&k.to_le_bytes());
+            off += 4;
+        }
+        out[off..off + 8].copy_from_slice(&measure.to_le_bytes());
+    }
+
+    /// Decodes a tuple from `bytes`, writing keys into `keys_out` and
+    /// returning the measure.
+    ///
+    /// # Panics
+    /// Panics if `keys_out.len() != n_dims` or `bytes` is too short.
+    pub fn decode(&self, bytes: &[u8], keys_out: &mut [u32]) -> f64 {
+        assert_eq!(keys_out.len(), self.n_dims, "key count mismatch");
+        let mut off = 0;
+        for k in keys_out.iter_mut() {
+            *k = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap());
+            off += 4;
+        }
+        f64::from_le_bytes(bytes[off..off + 8].try_into().unwrap())
+    }
+
+    /// Decodes only the key at dimension `dim` (no measure read).
+    pub fn decode_key(&self, bytes: &[u8], dim: usize) -> u32 {
+        debug_assert!(dim < self.n_dims);
+        let off = dim * 4;
+        u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap())
+    }
+
+    /// Decodes only the measure.
+    pub fn decode_measure(&self, bytes: &[u8]) -> f64 {
+        let off = self.n_dims * 4;
+        f64::from_le_bytes(bytes[off..off + 8].try_into().unwrap())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_size_and_capacity() {
+        let l = TupleLayout::new(4);
+        assert_eq!(l.record_size(), 24);
+        assert_eq!(l.tuples_per_page(), PAGE_SIZE / 24);
+        let l1 = TupleLayout::new(1);
+        assert_eq!(l1.record_size(), 12);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let l = TupleLayout::new(3);
+        let mut buf = vec![0u8; l.record_size()];
+        l.encode(&[7, 11, u32::MAX], -3.5, &mut buf);
+        let mut keys = [0u32; 3];
+        let m = l.decode(&buf, &mut keys);
+        assert_eq!(keys, [7, 11, u32::MAX]);
+        assert_eq!(m, -3.5);
+    }
+
+    #[test]
+    fn partial_decoders_match_full_decode() {
+        let l = TupleLayout::new(4);
+        let mut buf = vec![0u8; l.record_size()];
+        l.encode(&[1, 2, 3, 4], 9.25, &mut buf);
+        assert_eq!(l.decode_key(&buf, 0), 1);
+        assert_eq!(l.decode_key(&buf, 3), 4);
+        assert_eq!(l.decode_measure(&buf), 9.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "key count mismatch")]
+    fn encode_rejects_wrong_key_count() {
+        let l = TupleLayout::new(2);
+        let mut buf = vec![0u8; l.record_size()];
+        l.encode(&[1], 0.0, &mut buf);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one key")]
+    fn zero_dims_rejected() {
+        let _ = TupleLayout::new(0);
+    }
+}

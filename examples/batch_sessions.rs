@@ -1,0 +1,67 @@
+//! Cube snapshots + batched sessions: build the paper cube once, save it,
+//! reload it instantly, then run a "three analysts hit the server at once"
+//! batch where the optimizer shares work *across* the users' expressions.
+//!
+//! ```sh
+//! cargo run --release --example batch_sessions
+//! ```
+
+use std::time::Instant;
+
+use starshare::paper_queries::paper_query_text;
+use starshare::{load_cube, save_cube, Engine, HardwareModel, PaperCubeSpec};
+
+fn main() {
+    let path = std::env::temp_dir().join("starshare-example-cube.ss");
+
+    // Build once, snapshot.
+    let t0 = Instant::now();
+    println!("building paper cube at 10% scale…");
+    let engine = Engine::paper(PaperCubeSpec::scaled(0.1));
+    let build_time = t0.elapsed();
+    save_cube(engine.cube(), &path).expect("snapshot writes");
+    let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    println!("built in {build_time:?}; snapshot = {:.1} MB", bytes as f64 / 1e6);
+
+    // Reload.
+    let t1 = Instant::now();
+    let cube = load_cube(&path).expect("snapshot reads");
+    println!("reloaded (indexes rebuilt) in {:?}", t1.elapsed());
+    let mut engine = Engine::new(cube, HardwareModel::paper_1998());
+
+    // Three analysts submit the paper's Queries 1, 2, 3 — each a separate
+    // MDX expression arriving in the same batch window.
+    let session = [
+        paper_query_text(1),
+        paper_query_text(2),
+        paper_query_text(3),
+    ];
+    println!("\nbatch of {} MDX expressions:", session.len());
+    let out = engine.mdx_many(&session).expect("batch runs");
+    print!("{}", out.plan.explain(engine.cube()));
+    println!(
+        "batched execution: {} simulated / {:?} wall",
+        out.report.sim, out.report.wall
+    );
+
+    // Versus serving the users one at a time (cold cache each).
+    let mut serial = starshare::ExecReport::default();
+    for text in &session {
+        engine.flush();
+        serial.merge(&engine.mdx(text).expect("runs").report);
+    }
+    println!(
+        "one-at-a-time:     {} simulated — batching is {:.2}× faster",
+        serial.sim,
+        serial.sim.as_secs_f64() / out.report.sim.as_secs_f64().max(1e-9)
+    );
+
+    for (i, rs) in out.results.iter().enumerate() {
+        println!(
+            "analyst {}: {} result rows",
+            i + 1,
+            rs.iter().map(|r| r.n_groups()).sum::<usize>()
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}

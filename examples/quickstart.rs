@@ -1,0 +1,48 @@
+//! Quickstart: build the paper's test cube, ask an MDX query, inspect the
+//! plan and the results.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use starshare::{Engine, PaperCubeSpec};
+
+fn main() {
+    // A 1%-scale instance of the paper's §7.2 database: a 20 000-row fact
+    // table ABCD, four 3-level dimensions, four materialized group-bys, and
+    // bitmap join indexes on ABCD and A'B'C'D.
+    println!("building cube…");
+    let mut engine = Engine::paper(PaperCubeSpec::scaled(0.01));
+
+    // Paper Query 1: children of A1 on columns, B1 on rows, C1 on pages,
+    // sliced to the D' member DD1.
+    let mdx = "{A''.A1.CHILDREN} on COLUMNS \
+               {B''.B1} on ROWS \
+               {C''.C1} on PAGES \
+               CONTEXT ABCD FILTER (D.DD1);";
+    println!("MDX: {mdx}\n");
+
+    let outcome = engine.mdx(mdx).expect("valid MDX");
+
+    println!("bound to {} group-by quer(ies):", outcome.bound.queries.len());
+    for q in &outcome.bound.queries {
+        println!("  {}", q.display(&engine.cube().schema));
+    }
+
+    println!("\nglobal plan (Global Greedy):");
+    print!("{}", outcome.plan.explain(engine.cube()));
+
+    println!(
+        "\nexecution: {} simulated (1998 hardware), {:?} wall on this machine",
+        outcome.report.sim, outcome.report.wall
+    );
+    println!(
+        "I/O: {} sequential + {} random page faults, {} pool hits",
+        outcome.report.io.seq_faults, outcome.report.io.random_faults, outcome.report.io.hits
+    );
+
+    for r in &outcome.results {
+        println!("\nresult ({} groups):", r.n_groups());
+        print!("{}", r.display(&engine.cube().schema, 10));
+    }
+}

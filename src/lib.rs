@@ -1,0 +1,12 @@
+//! # starshare
+//!
+//! Simultaneous optimization and evaluation of multiple dimensional (MDX)
+//! queries — a Rust reproduction of Zhao, Deshpande, Naughton & Shukla,
+//! *"Simultaneous Optimization and Evaluation of Multiple Dimensional
+//! Queries"*, SIGMOD 1998.
+//!
+//! This top-level crate re-exports the engine facade from
+//! [`starshare_core`]. See the README for a quickstart and DESIGN.md for the
+//! system inventory.
+
+pub use starshare_core::*;

@@ -1,0 +1,216 @@
+//! Integration tests for the aggregate-function extension: COUNT, MIN,
+//! MAX, AVG queries, their view-derivability rules, and the MDX
+//! `AGGREGATE` clause — all checked against hand-rolled computations
+//! directly over the generated base data.
+
+use std::collections::BTreeMap;
+
+use starshare::{
+    reference_eval, AggFn, CubeBuilder, Dimension, Engine, GroupBy, GroupByQuery, HardwareModel,
+    MeasureKind, MemberPred, OptimizerKind, StarSchema,
+};
+
+/// A small 2-dimensional cube with SUM, COUNT, MIN and MAX views.
+fn build_engine() -> Engine {
+    let schema = StarSchema::new(
+        vec![
+            Dimension::uniform("X", 3, &[4]),
+            Dimension::uniform("Y", 2, &[5]),
+        ],
+        "v",
+    );
+    let cube = CubeBuilder::new(schema)
+        .rows(5_000)
+        .seed(77)
+        .materialize("X'Y")
+        .materialize_agg("X'Y", AggFn::Count)
+        .materialize_agg("X'Y", AggFn::Min)
+        .materialize_agg("X'Y", AggFn::Max)
+        .index("XY", "X'")
+        .build();
+    Engine::new(cube, HardwareModel::paper_1998())
+}
+
+/// Hand-computed truth: per X' group, (sum, count, min, max) of base rows
+/// with Y'' = 0.
+fn ground_truth(e: &Engine) -> BTreeMap<u32, (f64, u64, f64, f64)> {
+    let cube = e.cube();
+    let base = cube.catalog.table(cube.catalog.base_table().unwrap());
+    let mut keys = vec![0u32; 2];
+    let mut truth: BTreeMap<u32, (f64, u64, f64, f64)> = BTreeMap::new();
+    for pos in 0..base.n_rows() {
+        let m = base.heap().read_at(pos, &mut keys);
+        if cube.schema.dim(1).roll_up(keys[1], 0, 1) != 0 {
+            continue;
+        }
+        let g = cube.schema.dim(0).roll_up(keys[0], 0, 1);
+        let e = truth
+            .entry(g)
+            .or_insert((0.0, 0, f64::INFINITY, f64::NEG_INFINITY));
+        e.0 += m;
+        e.1 += 1;
+        e.2 = e.2.min(m);
+        e.3 = e.3.max(m);
+    }
+    truth
+}
+
+fn query(e: &Engine, agg: AggFn) -> GroupByQuery {
+    GroupByQuery::new(
+        GroupBy::parse(&e.cube().schema, "X'Y*").unwrap(),
+        vec![MemberPred::All, MemberPred::eq(1, 0)],
+    )
+    .with_agg(agg)
+}
+
+#[test]
+fn every_aggregate_matches_ground_truth() {
+    let mut e = build_engine();
+    let truth = ground_truth(&e);
+    for agg in [AggFn::Sum, AggFn::Count, AggFn::Min, AggFn::Max, AggFn::Avg] {
+        let q = query(&e, agg);
+        let plan = e.optimize(std::slice::from_ref(&q), OptimizerKind::Gg).unwrap();
+        e.flush();
+        let exec = e.execute_plan(&plan).unwrap();
+        let r = &exec.results[0];
+        assert_eq!(r.n_groups(), truth.len(), "{agg}");
+        for (key, got) in &r.rows {
+            let (sum, count, min, max) = truth[&key[0]];
+            let want = match agg {
+                AggFn::Sum => sum,
+                AggFn::Count => count as f64,
+                AggFn::Min => min,
+                AggFn::Max => max,
+                AggFn::Avg => sum / count as f64,
+            };
+            assert!(
+                (got - want).abs() < 1e-9 * want.abs().max(1.0),
+                "{agg} group {key:?}: {got} vs {want}"
+            );
+        }
+    }
+}
+
+#[test]
+fn derivability_respects_measure_kinds() {
+    let e = build_engine();
+    let cat = &e.cube().catalog;
+    let base = cat.base_table().unwrap();
+    let sum_view = cat.find_by_name("X'Y").unwrap();
+    let count_view = cat.find_by_name("COUNT:X'Y").unwrap();
+    let min_view = cat.find_by_name("MIN:X'Y").unwrap();
+
+    assert_eq!(cat.table(base).measure(), MeasureKind::Raw);
+    assert_eq!(
+        cat.table(count_view).measure(),
+        MeasureKind::Aggregated(AggFn::Count)
+    );
+
+    // SUM: base + SUM view only.
+    let c = cat.candidates_for(&query(&e, AggFn::Sum));
+    assert!(c.contains(&base) && c.contains(&sum_view));
+    assert!(!c.contains(&count_view) && !c.contains(&min_view));
+
+    // COUNT: base + COUNT view.
+    let c = cat.candidates_for(&query(&e, AggFn::Count));
+    assert!(c.contains(&base) && c.contains(&count_view));
+    assert!(!c.contains(&sum_view));
+
+    // MIN: base + MIN view.
+    let c = cat.candidates_for(&query(&e, AggFn::Min));
+    assert!(c.contains(&base) && c.contains(&min_view));
+    assert!(!c.contains(&sum_view) && !c.contains(&count_view));
+
+    // AVG: raw base only.
+    let c = cat.candidates_for(&query(&e, AggFn::Avg));
+    assert_eq!(c, vec![base]);
+}
+
+#[test]
+fn count_from_view_equals_count_from_base() {
+    let e = build_engine();
+    let cat = &e.cube().catalog;
+    let q = query(&e, AggFn::Count);
+    let via_base = reference_eval(e.cube(), cat.base_table().unwrap(), &q);
+    let via_view = reference_eval(e.cube(), cat.find_by_name("COUNT:X'Y").unwrap(), &q);
+    assert!(via_base.approx_eq(&via_view, 1e-12));
+    // Sanity: the counts over the unfiltered query sum to the row count.
+    let all = GroupByQuery::unfiltered(GroupBy::parse(&e.cube().schema, "X'Y*").unwrap())
+        .with_agg(AggFn::Count);
+    let r = reference_eval(e.cube(), cat.base_table().unwrap(), &all);
+    assert_eq!(r.grand_total(), 5_000.0);
+}
+
+#[test]
+fn mdx_aggregate_clause() {
+    let mut e = build_engine();
+    let out = e
+        .mdx("{X'.X1.CHILDREN} on COLUMNS AGGREGATE count CONTEXT XY;")
+        .unwrap();
+    assert_eq!(out.bound.queries[0].agg, AggFn::Count);
+    let expect = reference_eval(
+        e.cube(),
+        e.cube().catalog.base_table().unwrap(),
+        &out.bound.queries[0],
+    );
+    assert!(out.results[0].approx_eq(&expect, 1e-12));
+    // Unknown aggregate name errors cleanly.
+    let err = e
+        .mdx("{X'.X1} on COLUMNS AGGREGATE median CONTEXT XY;")
+        .unwrap_err();
+    assert!(err.contains("unknown aggregate"), "{err}");
+}
+
+#[test]
+fn mixed_aggregate_workload_optimizes_and_executes() {
+    // One workload mixing SUM, COUNT and AVG: the optimizer must route AVG
+    // to the base, may route COUNT to the COUNT view, and everything must
+    // still come out exactly right.
+    let mut e = build_engine();
+    let qs = vec![
+        query(&e, AggFn::Sum),
+        query(&e, AggFn::Count),
+        query(&e, AggFn::Avg),
+    ];
+    for kind in OptimizerKind::ALL {
+        let plan = e.optimize(&qs, kind).unwrap();
+        // AVG must be assigned to the raw base.
+        let (avg_table, _, _) = plan
+            .assignments()
+            .find(|(_, q, _)| q.agg == AggFn::Avg)
+            .unwrap();
+        assert_eq!(
+            e.cube().catalog.table(avg_table).measure(),
+            MeasureKind::Raw,
+            "{kind}"
+        );
+        e.flush();
+        let exec = e.execute_plan(&plan).unwrap();
+        for r in &exec.results {
+            let expect = reference_eval(e.cube(), e.cube().catalog.base_table().unwrap(), &r.query);
+            assert!(r.approx_eq(&expect, 1e-9), "{kind} {:?}", r.query.agg);
+        }
+    }
+}
+
+#[test]
+fn display_shows_non_sum_aggregates() {
+    let e = build_engine();
+    let q = query(&e, AggFn::Count);
+    let d = q.display(&e.cube().schema);
+    assert!(d.starts_with("COUNT "), "{d}");
+    let q2 = query(&e, AggFn::Sum);
+    assert!(!q2.display(&e.cube().schema).contains("SUM"));
+}
+
+#[test]
+fn avg_view_is_rejected_at_build_time() {
+    let schema = StarSchema::new(vec![Dimension::uniform("X", 2, &[2])], "v");
+    let r = std::panic::catch_unwind(|| {
+        CubeBuilder::new(schema)
+            .rows(10)
+            .materialize_agg("X'", AggFn::Avg)
+            .build()
+    });
+    assert!(r.is_err(), "AVG views must be rejected");
+}

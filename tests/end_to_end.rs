@@ -1,0 +1,134 @@
+//! End-to-end integration: MDX text in, correct aggregates out, across all
+//! optimizers and both cube flavours (the paper's and a custom one).
+
+use starshare::paper_queries::{bind_paper_query, paper_query_text};
+use starshare::{
+    reference_eval, CubeBuilder, Dimension, Engine, HardwareModel, OptimizerKind, PaperCubeSpec,
+    StarSchema,
+};
+
+fn engine() -> Engine {
+    Engine::paper(PaperCubeSpec {
+        base_rows: 6_000,
+        d_leaf: 48,
+        seed: 99,
+        with_indexes: true,
+    })
+}
+
+#[test]
+fn every_paper_query_round_trips_through_mdx() {
+    let mut e = engine();
+    let base = e.cube().catalog.base_table().unwrap();
+    for n in 1..=9 {
+        let out = e.mdx(paper_query_text(n)).unwrap_or_else(|err| panic!("Q{n}: {err}"));
+        assert_eq!(out.results.len(), 1, "Q{n}");
+        let q = bind_paper_query(&e.cube().schema, n).unwrap();
+        let expect = reference_eval(e.cube(), base, &q);
+        assert!(
+            out.results[0].approx_eq(&expect, 1e-9),
+            "Q{n}: MDX round trip disagrees with reference"
+        );
+    }
+}
+
+#[test]
+fn all_optimizers_give_identical_answers() {
+    let base_engine = engine();
+    let base = base_engine.cube().catalog.base_table().unwrap();
+    for kind in OptimizerKind::ALL {
+        let mut e = engine().with_optimizer(kind);
+        for n in [1, 5, 9] {
+            let out = e.mdx(paper_query_text(n)).unwrap();
+            let q = bind_paper_query(&e.cube().schema, n).unwrap();
+            let expect = reference_eval(base_engine.cube(), base, &q);
+            assert!(
+                out.results[0].approx_eq(&expect, 1e-9),
+                "{kind} Q{n} wrong answer"
+            );
+        }
+    }
+}
+
+#[test]
+fn multi_query_mdx_expands_and_answers() {
+    let mut e = engine();
+    // Mixed levels on two axes: (A'' + A') × (C'' + C') = 4 queries.
+    let out = e
+        .mdx(
+            "{A''.A1, A''.A2.CHILDREN} on COLUMNS \
+             {C''.C1, C''.C2.CHILDREN} on ROWS \
+             CONTEXT ABCD FILTER (D.DD1);",
+        )
+        .unwrap();
+    assert_eq!(out.bound.queries.len(), 4);
+    assert_eq!(out.results.len(), 4);
+    let base = e.cube().catalog.base_table().unwrap();
+    for (q, r) in out.bound.queries.iter().zip(&out.results) {
+        let expect = reference_eval(e.cube(), base, q);
+        assert!(r.approx_eq(&expect, 1e-9), "{}", q.display(&e.cube().schema));
+    }
+}
+
+#[test]
+fn results_are_deterministic_across_runs() {
+    let run = || {
+        let mut e = engine();
+        let out = e.mdx(paper_query_text(2)).unwrap();
+        (out.results[0].rows.clone(), out.report.sim)
+    };
+    let (rows1, sim1) = run();
+    let (rows2, sim2) = run();
+    assert_eq!(rows1, rows2, "results must be bit-identical");
+    assert_eq!(sim1, sim2, "simulated time must be deterministic");
+}
+
+#[test]
+fn custom_cube_end_to_end() {
+    // Two dimensions, custom hierarchy depths, no paper machinery.
+    let schema = StarSchema::new(
+        vec![
+            Dimension::uniform("P", 4, &[5]),
+            Dimension::uniform("T", 2, &[3, 4]),
+        ],
+        "amount",
+    );
+    let cube = CubeBuilder::new(schema)
+        .rows(3_000)
+        .seed(5)
+        .materialize("P'T'")
+        .materialize("PT'")
+        .index("PT", "P")
+        .index("PT", "T'")
+        .build();
+    let mut e = Engine::new(cube, HardwareModel::paper_1998());
+    let out = e
+        .mdx("{P'.P2} on COLUMNS {T''.T1.CHILDREN} on ROWS CONTEXT PT;")
+        .unwrap();
+    assert_eq!(out.results.len(), 1);
+    let q = &out.bound.queries[0];
+    let base = e.cube().catalog.base_table().unwrap();
+    let expect = reference_eval(e.cube(), base, q);
+    assert!(out.results[0].approx_eq(&expect, 1e-9));
+    // The plan must have used the P'T' view, which answers (P', T') cheapest.
+    let (t, _, _) = out.plan.assignments().next().unwrap();
+    assert_eq!(e.cube().catalog.table(t).name(), "P'T'");
+}
+
+#[test]
+fn grand_totals_are_preserved_through_views() {
+    // Σ over any unfiltered query equals Σ of the base measure, no matter
+    // which table or operator evaluates it.
+    let mut e = engine();
+    let out = e
+        .mdx("{A''.A1, A''.A2, A''.A3} on COLUMNS CONTEXT ABCD;")
+        .unwrap();
+    let t = e.cube().catalog.table(e.cube().catalog.base_table().unwrap());
+    let mut keys = vec![0u32; 4];
+    let base_total: f64 = (0..t.n_rows()).map(|p| t.heap().read_at(p, &mut keys)).sum();
+    let got = out.results[0].grand_total();
+    assert!(
+        (got - base_total).abs() < 1e-6 * base_total,
+        "{got} vs {base_total}"
+    );
+}

@@ -1,0 +1,125 @@
+//! Integration tests on the MDX layer against the full engine: the paper's
+//! queries via text vs programmatic construction, expansion counts, and a
+//! generative parse/bind robustness sweep.
+
+use proptest::prelude::*;
+use starshare::paper_queries::{bind_paper_query, paper_query_target, paper_query_text};
+use starshare::{bind, parse, paper_schema, Engine, PaperCubeSpec};
+
+#[test]
+fn paper_queries_text_and_programmatic_agree() {
+    let schema = paper_schema(18432);
+    for n in 1..=9 {
+        let via_text = bind_paper_query(&schema, n).unwrap();
+        assert_eq!(
+            via_text.group_by.display(&schema),
+            paper_query_target(n),
+            "Q{n} target"
+        );
+        // Re-parse the same text: binding is deterministic.
+        let expr = parse(paper_query_text(n)).unwrap();
+        let again = bind(&schema, &expr).unwrap();
+        assert_eq!(again.queries.len(), 1);
+        assert_eq!(again.queries[0], via_text, "Q{n} rebind");
+    }
+}
+
+#[test]
+fn expansion_count_is_product_of_level_choices() {
+    let schema = paper_schema(48);
+    let cases = [
+        // (MDX, expected queries)
+        ("{A''.A1} on COLUMNS CONTEXT ABCD;", 1),
+        ("{A''.A1, A''.A1.CHILDREN} on COLUMNS CONTEXT ABCD;", 2),
+        (
+            "{A''.A1, A''.A1.CHILDREN} on COLUMNS \
+             {B''.B1, B''.B1.CHILDREN} on ROWS CONTEXT ABCD;",
+            4,
+        ),
+        (
+            "{A''.A1, A''.A1.CHILDREN, A.AAA1} on COLUMNS \
+             {B''.B1, B''.B1.CHILDREN} on ROWS \
+             {C''.C1} on PAGES CONTEXT ABCD;",
+            6,
+        ),
+    ];
+    for (mdx, expect) in cases {
+        let bound = bind(&schema, &parse(mdx).unwrap()).unwrap();
+        assert_eq!(bound.queries.len(), expect, "{mdx}");
+    }
+}
+
+#[test]
+fn engine_evaluates_the_full_nine_query_suite_in_one_session() {
+    // One engine, warm buffer pool across queries — later queries may hit
+    // cached pages but answers never change.
+    let mut e = Engine::paper(PaperCubeSpec {
+        base_rows: 4_000,
+        d_leaf: 24,
+        seed: 3,
+        with_indexes: true,
+    });
+    let mut grand_totals = Vec::new();
+    for n in 1..=9 {
+        let out = e.mdx(paper_query_text(n)).unwrap();
+        grand_totals.push(out.results[0].grand_total());
+    }
+    // Re-run cold: identical totals.
+    for n in 1..=9 {
+        e.flush();
+        let out = e.mdx(paper_query_text(n)).unwrap();
+        assert_eq!(out.results[0].grand_total(), grand_totals[n - 1], "Q{n}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Generated member paths either bind cleanly or fail with an error —
+    /// never panic — and bound predicates reference valid members.
+    #[test]
+    fn random_paths_bind_or_error_cleanly(
+        dim in 0usize..4,
+        level in 0u8..3,
+        member in 0u32..60,
+        children in proptest::bool::ANY,
+    ) {
+        let schema = paper_schema(48);
+        let d = schema.dim(dim);
+        let card = d.cardinality(level);
+        let name = d.member_name(level, member % card);
+        let path = if children && level > 0 {
+            format!("{}.{}.CHILDREN", d.level(level).name, name)
+        } else {
+            format!("{}.{}", d.level(level).name, name)
+        };
+        let mdx = format!("{{{path}}} on COLUMNS CONTEXT ABCD;");
+        let bound = bind(&schema, &parse(&mdx).unwrap());
+        prop_assert!(bound.is_ok(), "{mdx}: {bound:?}");
+        let q = &bound.unwrap().queries[0];
+        // The restricted dimension's predicate members are in range.
+        if let starshare::MemberPred::In { level: pl, members } = &q.preds[dim] {
+            for &m in members {
+                prop_assert!(m < schema.dim(dim).cardinality(*pl));
+            }
+        } else {
+            prop_assert!(false, "expected a predicate on dimension {dim}");
+        }
+    }
+
+    /// Arbitrary junk never panics the parser.
+    #[test]
+    fn parser_never_panics(s in "\\PC{0,60}") {
+        let _ = parse(&s);
+    }
+
+    /// Structured-ish junk: random token soup around a valid skeleton.
+    #[test]
+    fn parser_handles_token_soup(
+        pre in prop::sample::select(vec!["{", "}", "(", ")", ",", ".", "NEST", "on", ""]),
+        post in prop::sample::select(vec!["{", ")", "FILTER", ";", "CONTEXT", ""]),
+    ) {
+        let s = format!("{pre} {{A''.A1}} on COLUMNS CONTEXT ABCD {post}");
+        let _ = parse(&s); // must not panic; may or may not parse
+    }
+}

@@ -1,0 +1,86 @@
+//! Generator-driven fuzzing of the full pipeline: random *valid* MDX
+//! (from `starshare::generate_mdx`) must parse, bind, optimize, execute,
+//! and agree with the brute-force reference — across all four optimizers
+//! and with a warm or cold buffer pool.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use starshare::{
+    generate_mdx, reference_eval, Engine, OptimizerKind, PaperCubeSpec,
+};
+
+fn engine() -> Engine {
+    Engine::paper(PaperCubeSpec {
+        base_rows: 2_500,
+        d_leaf: 48,
+        seed: 123,
+        with_indexes: true,
+    })
+}
+
+#[test]
+fn two_hundred_random_expressions_round_trip() {
+    let mut e = engine();
+    let schema = e.cube().schema.clone();
+    let base = e.cube().catalog.base_table().unwrap();
+    let mut rng = StdRng::seed_from_u64(0xF0CCAC1A);
+    for i in 0..200 {
+        let mdx = generate_mdx(&schema, "ABCD", &mut rng);
+        let out = e
+            .mdx(&mdx)
+            .unwrap_or_else(|err| panic!("#{i} {mdx:?}: {err}"));
+        for (q, r) in out.bound.queries.iter().zip(&out.results) {
+            let expect = reference_eval(e.cube(), base, q);
+            assert!(
+                r.approx_eq(&expect, 1e-9),
+                "#{i} {mdx:?}: {}",
+                q.display(&schema)
+            );
+        }
+    }
+}
+
+#[test]
+fn optimizers_agree_on_random_expressions() {
+    let schema = engine().cube().schema.clone();
+    let mut rng = StdRng::seed_from_u64(31337);
+    for i in 0..20 {
+        let mdx = generate_mdx(&schema, "ABCD", &mut rng);
+        let mut totals = Vec::new();
+        for kind in OptimizerKind::ALL {
+            let mut e = engine().with_optimizer(kind);
+            let out = e.mdx(&mdx).unwrap_or_else(|err| panic!("#{i} {kind} {mdx:?}: {err}"));
+            let grand: f64 = out.results.iter().map(|r| r.grand_total()).sum();
+            totals.push(grand);
+        }
+        for w in totals.windows(2) {
+            assert!(
+                (w[0] - w[1]).abs() <= 1e-6 * w[0].abs().max(1.0),
+                "#{i} {mdx:?}: optimizers disagree: {totals:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn warm_pool_never_changes_answers() {
+    // Run the same random expression twice without flushing: the second
+    // run hits cached pages; results must be bit-identical.
+    let mut e = engine();
+    let schema = e.cube().schema.clone();
+    let mut rng = StdRng::seed_from_u64(777);
+    for _ in 0..20 {
+        let mdx = generate_mdx(&schema, "ABCD", &mut rng);
+        let first = e.mdx(&mdx).unwrap();
+        let second = e.mdx(&mdx).unwrap();
+        for (a, b) in first.results.iter().zip(&second.results) {
+            assert_eq!(a.rows, b.rows, "{mdx:?}");
+        }
+        // And the warm run does no more I/O faults than the cold one.
+        assert!(
+            second.report.io.seq_faults + second.report.io.random_faults
+                <= first.report.io.seq_faults + first.report.io.random_faults,
+            "{mdx:?}"
+        );
+    }
+}

@@ -1,0 +1,147 @@
+//! Property tests: every operator, on every answerable table, for random
+//! queries, produces exactly the reference evaluator's answer — and shared
+//! execution never changes any query's result.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use starshare::{
+    hash_star_join, index_star_join, paper_cube, reference_eval, shared_hybrid_join,
+    shared_index_join, Cube, ExecContext, GroupBy, GroupByQuery, LevelRef, MemberPred,
+    PaperCubeSpec,
+};
+
+fn cube() -> &'static Cube {
+    static CUBE: OnceLock<Cube> = OnceLock::new();
+    CUBE.get_or_init(|| {
+        paper_cube(PaperCubeSpec {
+            base_rows: 3_000,
+            d_leaf: 24,
+            seed: 7,
+            with_indexes: true,
+        })
+    })
+}
+
+/// Strategy: one dimension's (target level, predicate).
+fn dim_spec(leaf_card: u32) -> impl Strategy<Value = (LevelRef, MemberPred)> {
+    let target = prop_oneof![
+        Just(LevelRef::All),
+        (0u8..3).prop_map(LevelRef::Level),
+    ];
+    let pred = prop_oneof![
+        3 => Just(MemberPred::All),
+        4 => (0u8..3, proptest::collection::vec(0u32..leaf_card, 1..4)).prop_map(move |(lvl, ms)| {
+            // Clamp members into the level's cardinality.
+            let card = match lvl {
+                0 => leaf_card,
+                1 => 6.min(leaf_card),
+                _ => 3,
+            };
+            MemberPred::members_in(lvl, ms.into_iter().map(|m| m % card).collect())
+        }),
+    ];
+    (target, pred)
+}
+
+/// Strategy: a random query over the paper schema (A/B/C leaf 60, D leaf 24
+/// at this scale). Predicate levels are clamped per dimension.
+fn query_strategy() -> impl Strategy<Value = GroupByQuery> {
+    let dims = vec![dim_spec(60), dim_spec(60), dim_spec(60), dim_spec(24)];
+    dims.prop_map(|specs| {
+        let (levels, preds): (Vec<LevelRef>, Vec<MemberPred>) = specs.into_iter().unzip();
+        GroupByQuery::new(GroupBy::new(levels), preds)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn hash_join_equals_reference_on_every_candidate(q in query_strategy()) {
+        let cube = cube();
+        let mut ctx = ExecContext::paper_1998();
+        for t in cube.catalog.candidates_for(&q) {
+            let expect = reference_eval(cube, t, &q);
+            let (r, _) = hash_star_join(&mut ctx, cube, t, &q).expect("candidate answers");
+            prop_assert!(r.approx_eq(&expect, 1e-9), "table {}", cube.catalog.table(t).name());
+        }
+    }
+
+    #[test]
+    fn index_join_equals_reference_where_indexes_exist(q in query_strategy()) {
+        let cube = cube();
+        let mut ctx = ExecContext::paper_1998();
+        for t in cube.catalog.candidates_for(&q) {
+            let expect = reference_eval(cube, t, &q);
+            let (r, _) = index_star_join(&mut ctx, cube, t, &q).expect("index join runs");
+            prop_assert!(r.approx_eq(&expect, 1e-9), "table {}", cube.catalog.table(t).name());
+        }
+    }
+
+    #[test]
+    fn shared_execution_never_changes_results(
+        qs in proptest::collection::vec(query_strategy(), 2..5)
+    ) {
+        let cube = cube();
+        let mut ctx = ExecContext::paper_1998();
+        let base = cube.catalog.base_table().unwrap();
+        // Hybrid: first half hash, second half index.
+        let mid = qs.len() / 2;
+        let (hash_qs, index_qs) = qs.split_at(mid.max(1));
+        let (rs, _) = shared_hybrid_join(&mut ctx, cube, base, hash_qs, index_qs)
+            .expect("base answers everything");
+        let all: Vec<&GroupByQuery> = hash_qs.iter().chain(index_qs.iter()).collect();
+        for (q, r) in all.iter().zip(&rs) {
+            let expect = reference_eval(cube, base, q);
+            prop_assert!(r.approx_eq(&expect, 1e-9), "{}", q.display(&cube.schema));
+        }
+        // Shared index join over the same set.
+        let (rs2, _) = shared_index_join(&mut ctx, cube, base, &qs).expect("runs");
+        for (q, r) in qs.iter().zip(&rs2) {
+            let expect = reference_eval(cube, base, q);
+            prop_assert!(r.approx_eq(&expect, 1e-9), "{}", q.display(&cube.schema));
+        }
+    }
+
+    #[test]
+    fn view_answers_equal_base_answers(q in query_strategy()) {
+        // Derivability correctness: any candidate view gives the same
+        // answer as the base table.
+        let cube = cube();
+        let base = cube.catalog.base_table().unwrap();
+        let expect = reference_eval(cube, base, &q);
+        for t in cube.catalog.candidates_for(&q) {
+            let got = reference_eval(cube, t, &q);
+            prop_assert!(
+                got.approx_eq(&expect, 1e-9),
+                "view {} disagrees with base",
+                cube.catalog.table(t).name()
+            );
+        }
+    }
+
+    #[test]
+    fn grand_total_equals_filtered_base_sum(q in query_strategy()) {
+        // Independent invariant: the sum over all result groups equals a
+        // direct filtered sum over base tuples.
+        let cube = cube();
+        let base = cube.catalog.base_table().unwrap();
+        let t = cube.catalog.table(base);
+        let schema = &cube.schema;
+        let mut keys = vec![0u32; 4];
+        let mut direct = 0.0;
+        for pos in 0..t.n_rows() {
+            let m = t.heap().read_at(pos, &mut keys);
+            let ok = (0..4).all(|d| q.preds[d].matches(schema, d, 0, keys[d]));
+            if ok {
+                direct += m;
+            }
+        }
+        let r = reference_eval(cube, base, &q);
+        prop_assert!(
+            (r.grand_total() - direct).abs() <= 1e-6 * direct.abs().max(1.0),
+            "{} vs {}", r.grand_total(), direct
+        );
+    }
+}

@@ -1,0 +1,152 @@
+//! Property tests on the optimizers: every algorithm, on random workloads,
+//! must produce a *valid* plan (each query exactly once, every assignment
+//! answerable, index methods only where indexes apply), the exhaustive
+//! search must dominate every heuristic on estimates, and executing any
+//! produced plan must yield reference answers. (The greedy algorithms are
+//! deliberately *not* asserted to be totally ordered — see
+//! `optimal_dominates_every_heuristic`.)
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use starshare::{
+    paper_cube, reference_eval, Cube, Engine, GroupBy, GroupByQuery, HardwareModel, JoinMethod,
+    LevelRef, MemberPred, OptimizerKind, PaperCubeSpec,
+};
+
+fn cube_spec() -> PaperCubeSpec {
+    PaperCubeSpec {
+        base_rows: 3_000,
+        d_leaf: 24,
+        seed: 13,
+        with_indexes: true,
+    }
+}
+
+fn cube() -> &'static Cube {
+    static CUBE: OnceLock<Cube> = OnceLock::new();
+    CUBE.get_or_init(|| paper_cube(cube_spec()))
+}
+
+/// Queries whose predicate levels are no finer than level 1, so several
+/// materialized views stay candidates (keeps the search interesting).
+fn query_strategy() -> impl Strategy<Value = GroupByQuery> {
+    let dim = |card1: u32| {
+        (
+            prop_oneof![Just(LevelRef::All), (0u8..3).prop_map(LevelRef::Level)],
+            prop_oneof![
+                2 => Just(MemberPred::All),
+                3 => (1u8..3, proptest::collection::vec(0u32..24, 1..4)).prop_map(move |(lvl, ms)| {
+                    let card = if lvl == 1 { card1 } else { 3 };
+                    MemberPred::members_in(lvl, ms.into_iter().map(|m| m % card).collect())
+                }),
+            ],
+        )
+    };
+    vec![dim(6), dim(6), dim(6), dim(24)].prop_map(|specs| {
+        let (levels, preds): (Vec<LevelRef>, Vec<MemberPred>) = specs.into_iter().unzip();
+        GroupByQuery::new(GroupBy::new(levels), preds)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn plans_are_valid_for_all_algorithms(
+        qs in proptest::collection::vec(query_strategy(), 1..5)
+    ) {
+        let cube = cube();
+        let engine = Engine::new(paper_cube(cube_spec()), HardwareModel::paper_1998());
+        let cm = engine.cost_model();
+        for kind in OptimizerKind::ALL {
+            let plan = kind.run(&cm, &qs).expect("paper cube answers everything");
+            prop_assert_eq!(plan.n_queries(), qs.len(), "{}", kind);
+            // Each input query appears exactly once.
+            for q in &qs {
+                let want = qs.iter().filter(|x| *x == q).count();
+                let got = plan.assignments().filter(|(_, pq, _)| *pq == q).count();
+                prop_assert_eq!(got, want, "{}: {}", kind, q.display(&cube.schema));
+            }
+            for (t, q, m) in plan.assignments() {
+                prop_assert!(
+                    q.answerable_from(engine.cube().catalog.table(t).group_by()),
+                    "{}: unanswerable assignment", kind
+                );
+                if m == JoinMethod::Index {
+                    prop_assert!(cm.index_applicable(q, t), "{}: bogus index method", kind);
+                }
+            }
+            // No two classes share a base table (they should have merged).
+            for (i, a) in plan.classes.iter().enumerate() {
+                for b in &plan.classes[i + 1..] {
+                    prop_assert!(a.table != b.table, "{}: duplicate class base", kind);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn search_power_ordering_holds(
+        qs in proptest::collection::vec(query_strategy(), 1..4)
+    ) {
+        let engine = Engine::new(paper_cube(cube_spec()), HardwareModel::paper_1998());
+        let cm = engine.cost_model();
+        let gg = OptimizerKind::Gg.run(&cm, &qs).unwrap().estimated_cost;
+        let opt = OptimizerKind::Optimal.run(&cm, &qs).unwrap().estimated_cost;
+        prop_assert!(opt <= gg, "optimal {} > GG {}", opt, gg);
+        // Singleton workloads: all algorithms find the same best plan.
+        if qs.len() == 1 {
+            let tplo = OptimizerKind::Tplo.run(&cm, &qs).unwrap().estimated_cost;
+            prop_assert_eq!(tplo, opt);
+        }
+    }
+
+    #[test]
+    fn executing_any_plan_gives_reference_answers(
+        qs in proptest::collection::vec(query_strategy(), 1..4)
+    ) {
+        let cube = cube();
+        let base = cube.catalog.base_table().unwrap();
+        let mut engine = Engine::new(paper_cube(cube_spec()), HardwareModel::paper_1998());
+        for kind in [OptimizerKind::Tplo, OptimizerKind::Gg] {
+            let plan = engine.optimize(&qs, kind).unwrap();
+            engine.flush();
+            let exec = engine.execute_plan(&plan).unwrap();
+            let plan_queries: Vec<GroupByQuery> =
+                plan.assignments().map(|(_, q, _)| q.clone()).collect();
+            for (q, r) in plan_queries.iter().zip(&exec.results) {
+                let expect = reference_eval(cube, base, q);
+                prop_assert!(
+                    r.approx_eq(&expect, 1e-9),
+                    "{}: {}", kind, q.display(&cube.schema)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn optimal_dominates_every_heuristic(
+        qs in proptest::collection::vec(query_strategy(), 2..4)
+    ) {
+        // The only *guaranteed* ordering: the exhaustive search is at least
+        // as good as every heuristic, and GGI never loses to GG (it starts
+        // from GG's plan and accepts only improvements). The greedy
+        // algorithms are NOT totally ordered in general — GG's bigger
+        // greedy steps can backfire on adversarial workloads (observed at
+        // 16+ random queries; see the `scaling` harness) — so no
+        // GG ≤ ETPLG ≤ TPLO assertion here; the paper-workload tests pin
+        // those orderings where the paper claims them.
+        let engine = Engine::new(paper_cube(cube_spec()), HardwareModel::paper_1998());
+        let cm = engine.cost_model();
+        let tplo = OptimizerKind::Tplo.run(&cm, &qs).unwrap().estimated_cost;
+        let etplg = OptimizerKind::Etplg.run(&cm, &qs).unwrap().estimated_cost;
+        let gg = OptimizerKind::Gg.run(&cm, &qs).unwrap().estimated_cost;
+        let ggi = starshare::ggi(&cm, &qs).unwrap().estimated_cost;
+        let opt = OptimizerKind::Optimal.run(&cm, &qs).unwrap().estimated_cost;
+        for (name, c) in [("TPLO", tplo), ("ETPLG", etplg), ("GG", gg), ("GGI", ggi)] {
+            prop_assert!(opt <= c, "optimal {} > {} {}", opt, name, c);
+        }
+        prop_assert!(ggi <= gg, "GGI {} > GG {}", ggi, gg);
+    }
+}

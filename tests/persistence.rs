@@ -1,0 +1,96 @@
+//! Snapshot round-trips at the integration level: a saved-and-reloaded
+//! cube must be indistinguishable from the original under every query,
+//! every optimizer, and the simulated clock.
+
+use starshare::paper_queries::paper_query_text;
+use starshare::{load_cube, save_cube, Engine, HardwareModel, OptimizerKind, PaperCubeSpec};
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("starshare-it-{}-{name}", std::process::id()))
+}
+
+#[test]
+fn reloaded_cube_is_query_equivalent() {
+    let mut original = Engine::paper(PaperCubeSpec {
+        base_rows: 4_000,
+        d_leaf: 48,
+        seed: 64,
+        with_indexes: true,
+    });
+    let path = tmp("paper.ss");
+    save_cube(original.cube(), &path).unwrap();
+    let mut reloaded = Engine::new(load_cube(&path).unwrap(), HardwareModel::paper_1998());
+    std::fs::remove_file(&path).ok();
+
+    for n in 1..=9 {
+        original.flush();
+        reloaded.flush();
+        let a = original.mdx(paper_query_text(n)).unwrap();
+        let b = reloaded.mdx(paper_query_text(n)).unwrap();
+        assert_eq!(a.results[0].rows, b.results[0].rows, "Q{n} rows differ");
+        // Same plan, same simulated cost: file ids and page layouts are
+        // preserved, so the clock sees identical work.
+        assert_eq!(a.report.sim, b.report.sim, "Q{n} simulated time differs");
+        assert_eq!(
+            a.plan.explain(original.cube()),
+            b.plan.explain(reloaded.cube()),
+            "Q{n} plans differ"
+        );
+    }
+}
+
+#[test]
+fn stats_flag_survives_the_round_trip() {
+    let schema = starshare::paper_schema(48);
+    let cube = starshare::CubeBuilder::new(schema)
+        .rows(2_000)
+        .seed(5)
+        .skew(1.0)
+        .materialize("A'B'C'D")
+        .collect_stats()
+        .build();
+    let path = tmp("stats.ss");
+    save_cube(&cube, &path).unwrap();
+    let loaded = load_cube(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    let a = cube.stats.as_ref().expect("original has stats");
+    let b = loaded.stats.as_ref().expect("stats flag must survive");
+    for d in 0..4 {
+        assert_eq!(a.histogram(d), b.histogram(d), "dim {d}");
+    }
+    // And the optimizer over the reloaded cube sees the same estimates.
+    let e1 = Engine::new(cube, HardwareModel::paper_1998());
+    let e2 = Engine::new(loaded, HardwareModel::paper_1998());
+    let q = starshare::paper_queries::bind_paper_query(&e1.cube().schema, 5).unwrap();
+    let p1 = e1.optimize(std::slice::from_ref(&q), OptimizerKind::Gg).unwrap();
+    let p2 = e2.optimize(std::slice::from_ref(&q), OptimizerKind::Gg).unwrap();
+    assert_eq!(p1.estimated_cost, p2.estimated_cost);
+}
+
+#[test]
+fn snapshot_of_agg_views_preserves_measure_kinds() {
+    let schema = starshare::StarSchema::new(
+        vec![starshare::Dimension::uniform("X", 3, &[4])],
+        "m",
+    );
+    let cube = starshare::CubeBuilder::new(schema)
+        .rows(1_000)
+        .seed(2)
+        .materialize("X'")
+        .materialize_agg("X'", starshare::AggFn::Count)
+        .materialize_agg("X'", starshare::AggFn::Max)
+        .build();
+    let path = tmp("aggs.ss");
+    save_cube(&cube, &path).unwrap();
+    let loaded = load_cube(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    for ((_, a), (_, b)) in cube.catalog.iter().zip(loaded.catalog.iter()) {
+        assert_eq!(a.measure(), b.measure(), "{}", a.name());
+    }
+    // COUNT view still answers COUNT queries after reload.
+    let q = starshare::GroupByQuery::unfiltered(loaded.groupby("X'"))
+        .with_agg(starshare::AggFn::Count);
+    let c = loaded.catalog.candidates_for(&q);
+    let count_view = loaded.catalog.find_by_name("COUNT:X'").unwrap();
+    assert!(c.contains(&count_view));
+}
