@@ -1,4 +1,4 @@
-//! Criterion benches for the optimizers themselves (Table 2's algorithms).
+//! Wall-clock benches for the optimizers themselves (Table 2's algorithms).
 //!
 //! Two groups:
 //! * `table2_planning` — planning time of TPLO / ETPLG / GG / optimal on
@@ -8,7 +8,8 @@
 //!   Tests 4–7 (real wall time; simulated seconds live in the `table2`
 //!   binary).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
+
 use starshare_bench::{build_engine, query};
 use starshare_core::{paper_queries::paper_test_queries, GroupByQuery, OptimizerKind};
 
@@ -19,49 +20,47 @@ fn bench_scale() -> f64 {
         .unwrap_or(0.05)
 }
 
-fn bench_planning(c: &mut Criterion) {
-    let engine = build_engine(bench_scale());
+/// Runs `f` once to warm up, then `iters` timed repetitions; prints the
+/// mean per-iteration wall time.
+fn bench(label: &str, iters: u32, mut f: impl FnMut()) {
+    f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let per = start.elapsed() / iters;
+    println!("{label:<40} {per:>12.3?}/iter  ({iters} iters)");
+}
+
+fn main() {
+    let mut engine = build_engine(bench_scale());
+
+    println!("== table2_planning ==");
     let queries: Vec<GroupByQuery> = paper_test_queries(4)
         .iter()
         .map(|&n| query(&engine, n))
         .collect();
-    let cm = engine.cost_model();
-    let mut g = c.benchmark_group("table2_planning");
-    for kind in OptimizerKind::ALL {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(kind.to_string()),
-            &kind,
-            |b, &kind| b.iter(|| kind.run(&cm, &queries).expect("plans")),
-        );
+    {
+        let cm = engine.cost_model();
+        for kind in OptimizerKind::ALL {
+            bench(&format!("table2_planning/{kind}"), 50, || {
+                kind.run(&cm, &queries).expect("plans");
+            });
+        }
     }
-    g.finish();
-}
 
-fn bench_end_to_end(c: &mut Criterion) {
-    let mut engine = build_engine(bench_scale());
-    let mut g = c.benchmark_group("table2_end_to_end");
-    g.sample_size(10);
+    println!("== table2_end_to_end ==");
     for test in 4..=7usize {
         let queries: Vec<GroupByQuery> = paper_test_queries(test)
             .iter()
             .map(|&n| query(&engine, n))
             .collect();
         for kind in OptimizerKind::ALL {
-            g.bench_with_input(
-                BenchmarkId::new(format!("test{test}"), kind.to_string()),
-                &kind,
-                |b, &kind| {
-                    b.iter(|| {
-                        let plan = engine.optimize(&queries, kind).expect("plans");
-                        engine.flush();
-                        engine.execute_plan(&plan).expect("executes")
-                    })
-                },
-            );
+            bench(&format!("table2_end_to_end/test{test}/{kind}"), 10, || {
+                let plan = engine.optimize(&queries, kind).expect("plans");
+                engine.flush();
+                engine.execute_plan(&plan).expect("executes");
+            });
         }
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_planning, bench_end_to_end);
-criterion_main!(benches);

@@ -1,20 +1,21 @@
-//! Criterion benches for the three shared operators (Figures 10–12).
+//! Wall-clock benches for the three shared operators (Figures 10–12).
 //!
 //! Each group compares separate execution of k queries against the shared
-//! operator, measuring real wall time on the host. The deterministic
-//! simulated-seconds comparison — the one that reproduces the paper —
-//! lives in the `fig10`–`fig12` binaries. On modern silicon the scan
-//! sharing (fig10) still wins wall time outright (it touches each tuple
-//! once instead of k times), while the index-join sharing (fig11) can
-//! *lose* wall time at small scale: its payoff is saved page I/O, which
-//! costs nothing here, while the ORed-bitmap bookkeeping is real CPU.
-//! That contrast is precisely why the reproduction needs the calibrated
-//! 1998 clock.
+//! operator, measuring real wall time on the host with a dependency-free
+//! harness (`harness = false`). The deterministic simulated-seconds
+//! comparison — the one that reproduces the paper — lives in the
+//! `fig10`–`fig12` binaries. On modern silicon the scan sharing (fig10)
+//! still wins wall time outright (it touches each tuple once instead of
+//! k times), while the index-join sharing (fig11) can *lose* wall time at
+//! small scale: its payoff is saved page I/O, which costs nothing here,
+//! while the ORed-bitmap bookkeeping is real CPU. That contrast is
+//! precisely why the reproduction needs the calibrated 1998 clock.
 //!
-//! Scale defaults to 0.05 (100 K base rows) so a full Criterion run stays
-//! in minutes; set `STARSHARE_SCALE` to override.
+//! Scale defaults to 0.05 (100 K base rows) so a full run stays in
+//! minutes; set `STARSHARE_SCALE` to override.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
+
 use starshare_bench::{build_engine, forced_class, query, table};
 use starshare_core::{Engine, GroupByQuery, JoinMethod};
 
@@ -25,84 +26,77 @@ fn bench_scale() -> f64 {
         .unwrap_or(0.05)
 }
 
-fn run_separate(engine: &mut Engine, t: starshare_core::TableId, plans: &[(GroupByQuery, JoinMethod)]) {
+/// Runs `f` once to warm up, then `iters` timed repetitions; prints the
+/// mean per-iteration wall time.
+fn bench(label: &str, iters: u32, mut f: impl FnMut()) {
+    f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let per = start.elapsed() / iters;
+    println!("{label:<40} {per:>12.3?}/iter  ({iters} iters)");
+}
+
+fn run_separate(
+    engine: &mut Engine,
+    t: starshare_core::TableId,
+    plans: &[(GroupByQuery, JoinMethod)],
+) {
     let sep: Vec<_> = plans.iter().map(|(q, m)| (t, q.clone(), *m)).collect();
     engine.execute_separately(&sep).expect("separate run");
 }
 
-fn run_shared(engine: &mut Engine, t: starshare_core::TableId, plans: &[(GroupByQuery, JoinMethod)]) {
+fn run_shared(
+    engine: &mut Engine,
+    t: starshare_core::TableId,
+    plans: &[(GroupByQuery, JoinMethod)],
+) {
     engine.flush();
     engine
         .execute_plan(&forced_class(t, plans.to_vec()))
         .expect("shared run");
 }
 
-fn bench_shared_scan(c: &mut Criterion) {
+fn bench_group(
+    name: &str,
+    engine: &mut Engine,
+    t: starshare_core::TableId,
+    plans: &[(GroupByQuery, JoinMethod)],
+) {
+    println!("== {name} ==");
+    for k in 1..=plans.len() {
+        bench(&format!("{name}/separate/{k}"), 10, || {
+            run_separate(engine, t, &plans[..k])
+        });
+        bench(&format!("{name}/shared/{k}"), 10, || {
+            run_shared(engine, t, &plans[..k])
+        });
+    }
+}
+
+fn main() {
     let mut engine = build_engine(bench_scale());
+
     let t = table(&engine, "ABCD");
     let plans: Vec<_> = [1, 2, 3, 4]
         .iter()
         .map(|&n| (query(&engine, n), JoinMethod::Hash))
         .collect();
-    let mut g = c.benchmark_group("fig10_shared_scan");
-    g.sample_size(10);
-    for k in 1..=4usize {
-        g.bench_with_input(BenchmarkId::new("separate", k), &k, |b, &k| {
-            b.iter(|| run_separate(&mut engine, t, &plans[..k]))
-        });
-        g.bench_with_input(BenchmarkId::new("shared", k), &k, |b, &k| {
-            b.iter(|| run_shared(&mut engine, t, &plans[..k]))
-        });
-    }
-    g.finish();
-}
+    bench_group("fig10_shared_scan", &mut engine, t, &plans);
 
-fn bench_shared_index(c: &mut Criterion) {
-    let mut engine = build_engine(bench_scale());
     let t = table(&engine, "A'B'C'D");
     let plans: Vec<_> = [5, 6, 7, 8]
         .iter()
         .map(|&n| (query(&engine, n), JoinMethod::Index))
         .collect();
-    let mut g = c.benchmark_group("fig11_shared_index");
-    g.sample_size(10);
-    for k in 1..=4usize {
-        g.bench_with_input(BenchmarkId::new("separate", k), &k, |b, &k| {
-            b.iter(|| run_separate(&mut engine, t, &plans[..k]))
-        });
-        g.bench_with_input(BenchmarkId::new("shared", k), &k, |b, &k| {
-            b.iter(|| run_shared(&mut engine, t, &plans[..k]))
-        });
-    }
-    g.finish();
-}
+    bench_group("fig11_shared_index", &mut engine, t, &plans);
 
-fn bench_shared_hybrid(c: &mut Criterion) {
-    let mut engine = build_engine(bench_scale());
-    let t = table(&engine, "A'B'C'D");
     let mut plans = vec![(query(&engine, 3), JoinMethod::Hash)];
     plans.extend(
         [5, 6, 7]
             .iter()
             .map(|&n| (query(&engine, n), JoinMethod::Index)),
     );
-    let mut g = c.benchmark_group("fig12_shared_hybrid");
-    g.sample_size(10);
-    for k in 1..=4usize {
-        g.bench_with_input(BenchmarkId::new("separate", k), &k, |b, &k| {
-            b.iter(|| run_separate(&mut engine, t, &plans[..k]))
-        });
-        g.bench_with_input(BenchmarkId::new("shared", k), &k, |b, &k| {
-            b.iter(|| run_shared(&mut engine, t, &plans[..k]))
-        });
-    }
-    g.finish();
+    bench_group("fig12_shared_hybrid", &mut engine, t, &plans);
 }
-
-criterion_group!(
-    benches,
-    bench_shared_scan,
-    bench_shared_index,
-    bench_shared_hybrid
-);
-criterion_main!(benches);

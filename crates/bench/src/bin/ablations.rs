@@ -8,13 +8,23 @@ fn main() {
     println!("Ablation A: I/O cost ratio × Test-4 workload (TPLO plan vs GG plan)");
     println!("{:>9} {:>12} {:>12}", "io scale", "TPLO plan", "GG plan");
     for (r, t, g) in starshare_bench::ablation_io_ratio(scale) {
-        println!("{r:>9} {:>11.3}s {:>11.3}s", t.as_secs_f64(), g.as_secs_f64());
+        println!(
+            "{r:>9} {:>11.3}s {:>11.3}s",
+            t.as_secs_f64(),
+            g.as_secs_f64()
+        );
     }
     println!();
-    println!("Ablation B: buffer-pool pages × Test-1 queries (separate, warm pool, vs shared scan)");
+    println!(
+        "Ablation B: buffer-pool pages × Test-1 queries (separate, warm pool, vs shared scan)"
+    );
     println!("{:>10} {:>12} {:>12}", "pool pages", "separate", "shared");
     for (p, s, sh) in starshare_bench::ablation_pool_size(scale) {
-        println!("{p:>10} {:>11.3}s {:>11.3}s", s.as_secs_f64(), sh.as_secs_f64());
+        println!(
+            "{p:>10} {:>11.3}s {:>11.3}s",
+            s.as_secs_f64(),
+            sh.as_secs_f64()
+        );
     }
 
     println!();

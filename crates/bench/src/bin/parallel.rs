@@ -1,0 +1,16 @@
+//! Parallel-execution ablation: wall speedup and the simulated clock vs
+//! thread count, on the Fig-10 shared-scan workload and the Table-2
+//! workloads. The `sim` and `critical` columns must be identical at every
+//! thread count (the determinism contract); wall speedup depends on the
+//! host's core count.
+
+use starshare_bench::{ablation_parallel, render_parallel, scale_from_env};
+
+fn main() {
+    let scale = scale_from_env();
+    println!("== Parallel execution vs thread count (scale {scale}) ==");
+    println!("(sim/critical are simulated 1998-hardware seconds and must not");
+    println!(" move with the thread count; wall speedup needs real cores)\n");
+    let rows = ablation_parallel(scale, &[1, 2, 4, 8]);
+    print!("{}", render_parallel(&rows));
+}

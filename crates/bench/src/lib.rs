@@ -170,7 +170,11 @@ pub fn fig11(engine: &mut Engine) -> FigureData {
 pub fn fig12(engine: &mut Engine) -> FigureData {
     let t = table(engine, "A'B'C'D");
     let mut plans = vec![(query(engine, 3), JoinMethod::Hash)];
-    plans.extend([5, 6, 7].iter().map(|&n| (query(engine, n), JoinMethod::Index)));
+    plans.extend(
+        [5, 6, 7]
+            .iter()
+            .map(|&n| (query(engine, n), JoinMethod::Index)),
+    );
     run_figure(
         engine,
         "Figure 12 (Test 3): shared hybrid scan on A'B'C'D, Q3 hash + Q5–Q7 index",
@@ -263,11 +267,7 @@ pub fn table2_test(engine: &mut Engine, test: usize) -> Vec<AlgoRow> {
 pub fn render_table2(test: usize, rows: &[AlgoRow]) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "Test {test} — queries {:?}",
-        paper_test_queries(test)
-    );
+    let _ = writeln!(out, "Test {test} — queries {:?}", paper_test_queries(test));
     let _ = writeln!(
         out,
         "{:<8} {:>12} {:>12} {:>8} {:>12}",
@@ -354,6 +354,103 @@ pub fn ablation_pool_size(scale: f64) -> Vec<(usize, SimTime, SimTime)> {
     rows
 }
 
+/// One row of the parallel-execution ablation.
+#[derive(Debug, Clone)]
+pub struct ParallelRow {
+    /// Workload label.
+    pub workload: String,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Total simulated work (invariant across thread counts).
+    pub sim: SimTime,
+    /// Simulated critical path (invariant across thread counts).
+    pub critical: SimTime,
+    /// Host wall time of the run.
+    pub wall: Duration,
+}
+
+/// Ablation: partitioned parallel execution vs thread count, on the Fig-10
+/// shared-scan workload (Q1–Q4 on `ABCD`) and each Table-2 workload
+/// (Tests 4–7, GG plans). The simulated columns must not move with the
+/// thread count — that is the determinism contract — while wall time
+/// shows the host speedup (only visible on a multi-core host).
+pub fn ablation_parallel(scale: f64, thread_counts: &[usize]) -> Vec<ParallelRow> {
+    let mut engine = build_engine(scale);
+    let t = table(&engine, "ABCD");
+    let fig10_plan = forced_class(
+        t,
+        [1, 2, 3, 4]
+            .iter()
+            .map(|&n| (query(&engine, n), JoinMethod::Hash))
+            .collect(),
+    );
+    let mut workloads: Vec<(String, GlobalPlan)> =
+        vec![("Fig 10 (Test 1, Q1-Q4 scan)".into(), fig10_plan)];
+    for test in 4..=7 {
+        let queries: Vec<GroupByQuery> = paper_test_queries(test)
+            .iter()
+            .map(|&n| query(&engine, n))
+            .collect();
+        let plan = engine
+            .optimize(&queries, OptimizerKind::Gg)
+            .expect("paper workloads are plannable");
+        workloads.push((format!("Test {test} (GG plan)"), plan));
+    }
+    let mut rows = Vec::new();
+    for (label, plan) in &workloads {
+        for &n in thread_counts {
+            engine.flush();
+            let exec = engine.execute_plan_threads(plan, n).expect("plan executes");
+            rows.push(ParallelRow {
+                workload: label.clone(),
+                threads: n,
+                sim: exec.total.sim,
+                critical: exec.total.critical,
+                wall: exec.total.wall,
+            });
+        }
+    }
+    rows
+}
+
+/// Renders the parallel ablation with per-workload wall speedups.
+pub fn render_parallel(rows: &[ParallelRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let mut seen: Vec<&str> = Vec::new();
+    for r in rows {
+        if !seen.contains(&r.workload.as_str()) {
+            seen.push(&r.workload);
+        }
+    }
+    for w in seen {
+        let _ = writeln!(out, "{w}");
+        let _ = writeln!(
+            out,
+            "  {:>7} {:>12} {:>12} {:>12} {:>8}",
+            "threads", "sim", "critical", "wall", "speedup"
+        );
+        let group: Vec<&ParallelRow> = rows.iter().filter(|r| r.workload == w).collect();
+        let base = group
+            .iter()
+            .find(|r| r.threads == 1)
+            .map(|r| r.wall)
+            .unwrap_or(group[0].wall);
+        for r in &group {
+            let _ = writeln!(
+                out,
+                "  {:>7} {:>11.3}s {:>11.3}s {:>12?} {:>7.2}x",
+                r.threads,
+                r.sim.as_secs_f64(),
+                r.critical.as_secs_f64(),
+                r.wall,
+                base.as_secs_f64() / r.wall.as_secs_f64().max(1e-12),
+            );
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -424,6 +521,21 @@ mod tests {
         let rows = ablation_pool_size(0.002);
         assert_eq!(rows.len(), 5);
     }
+
+    #[test]
+    fn parallel_ablation_keeps_the_clock_still() {
+        let rows = ablation_parallel(0.002, &[1, 2]);
+        // 5 workloads (Fig 10 + Tests 4-7) x 2 thread counts.
+        assert_eq!(rows.len(), 10);
+        for pair in rows.chunks(2) {
+            assert_eq!(pair[0].workload, pair[1].workload);
+            assert_eq!(pair[0].sim, pair[1].sim, "{}", pair[0].workload);
+            assert_eq!(pair[0].critical, pair[1].critical, "{}", pair[0].workload);
+        }
+        let rendered = render_parallel(&rows);
+        assert!(rendered.contains("speedup"), "{rendered}");
+        assert!(rendered.contains("Fig 10"), "{rendered}");
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -434,7 +546,7 @@ mod tests {
 /// target group-by and coarse predicates.
 pub fn random_workload(
     engine: &Engine,
-    rng: &mut impl rand::Rng,
+    rng: &mut starshare_prng::Prng,
     n_queries: usize,
 ) -> Vec<GroupByQuery> {
     use starshare_core::{GroupBy, LevelRef, MemberPred};
@@ -449,8 +561,7 @@ pub fn random_workload(
                     let lvl = rng.gen_range(1..3u8);
                     let card = schema.dim(d).cardinality(lvl);
                     let k = rng.gen_range(1..=card.min(3));
-                    let members: Vec<u32> =
-                        (0..k).map(|_| rng.gen_range(0..card)).collect();
+                    let members: Vec<u32> = (0..k).map(|_| rng.gen_range(0..card)).collect();
                     preds.push(MemberPred::members_in(lvl, members));
                 } else {
                     preds.push(MemberPred::All);
@@ -465,11 +576,10 @@ pub fn random_workload(
 /// `(workloads_run, improved_count, mean_cost_ratio_ggi_over_gg,
 /// mean_plan_time_ratio)`.
 pub fn ablation_ggi(scale: f64, workloads: usize, queries_per: usize) -> (usize, usize, f64, f64) {
-    use rand::SeedableRng;
     use std::time::Instant;
     let engine = build_engine(scale);
     let cm = engine.cost_model();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0xBEEF);
+    let mut rng = starshare_prng::Prng::seed_from_u64(0xBEEF);
     let mut improved = 0;
     let mut cost_ratio_sum = 0.0;
     let mut time_ratio_sum = 0.0;
@@ -502,7 +612,6 @@ pub fn ablation_ggi(scale: f64, workloads: usize, queries_per: usize) -> (usize,
 /// in, say, time order). Returns
 /// `(layout, format, total_index_pages, probe_query_sim)` rows.
 pub fn ablation_index_format(scale: f64) -> Vec<(String, String, u32, SimTime)> {
-    use rand::{Rng, SeedableRng};
     use starshare_core::{
         Catalog, Cube, GroupBy, HardwareModel, HeapFile, IndexFormat, LevelRef, MemberPred,
         StoredTable, TupleLayout,
@@ -513,7 +622,7 @@ pub fn ablation_index_format(scale: f64) -> Vec<(String, String, u32, SimTime)> 
         // Generate the base table; optionally sorted by dimension A
         // (load-order clustering).
         let schema = starshare_core::paper_schema(spec.d_leaf);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(spec.seed);
+        let mut rng = starshare_prng::Prng::seed_from_u64(spec.seed);
         let cards: Vec<u32> = (0..4).map(|d| schema.dim(d).cardinality(0)).collect();
         let mut rows: Vec<([u32; 4], f64)> = (0..spec.base_rows)
             .map(|_| {
@@ -536,11 +645,7 @@ pub fn ablation_index_format(scale: f64) -> Vec<(String, String, u32, SimTime)> 
             let mut catalog = Catalog::new();
             let file = catalog.alloc_file_id();
             let heap = HeapFile::from_rows(file, TupleLayout::new(4), rows.iter().cloned());
-            let tid = catalog.add_table(StoredTable::new(
-                "ABCD",
-                GroupBy::finest(4),
-                heap,
-            ));
+            let tid = catalog.add_table(StoredTable::new("ABCD", GroupBy::finest(4), heap));
             let ix_file = catalog.alloc_file_id();
             catalog
                 .table_mut(tid)
@@ -594,17 +699,16 @@ pub struct ScalingRow {
 }
 
 /// One algorithm runner in the scaling study.
-type PlanRunner<'a> = Box<dyn Fn() -> Result<GlobalPlan, String> + 'a>;
+type PlanRunner<'a> = Box<dyn Fn() -> Result<GlobalPlan, starshare_core::OptError> + 'a>;
 
 /// The paper's §8 question: "the run time of GG is bigger than that of
 /// ETPLG, and ETPLG is slower than TPLO" — by how much, and what does the
 /// extra search buy? Random workloads of growing size, `samples` each.
 pub fn scaling_study(scale: f64, sizes: &[usize], samples: usize) -> Vec<ScalingRow> {
-    use rand::SeedableRng;
     use std::time::Instant;
     let engine = build_engine(scale);
     let cm = engine.cost_model();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0x5CA1E);
+    let mut rng = starshare_prng::Prng::seed_from_u64(0x5CA1E);
     let mut rows = Vec::new();
     for &n in sizes {
         // (name, total time, total cost, runs completed)
@@ -657,7 +761,10 @@ pub fn scaling_study(scale: f64, sizes: &[usize], samples: usize) -> Vec<Scaling
                 )
             })
             .collect();
-        rows.push(ScalingRow { n_queries: n, algos });
+        rows.push(ScalingRow {
+            n_queries: n,
+            algos,
+        });
     }
     rows
 }
@@ -674,7 +781,13 @@ pub fn ablation_skew(scale: f64) -> Vec<(f64, bool, &'static str, SimTime, SimTi
     use starshare_core::{paper_queries::bind_paper_test, HardwareModel};
     let spec = PaperCubeSpec::scaled(scale);
     let mut rows = Vec::new();
-    for (theta, with_stats) in [(0.0, false), (0.5, false), (1.0, false), (0.5, true), (1.0, true)] {
+    for (theta, with_stats) in [
+        (0.0, false),
+        (0.5, false),
+        (1.0, false),
+        (0.5, true),
+        (1.0, true),
+    ] {
         let schema = starshare_core::paper_schema(spec.d_leaf);
         let mut builder = starshare_core::CubeBuilder::new(schema)
             .rows(spec.base_rows)

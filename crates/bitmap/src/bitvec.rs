@@ -149,10 +149,7 @@ impl Bitmap {
     /// True if `self & other` has any set bit (no allocation).
     pub fn intersects(&self, other: &Bitmap) -> bool {
         self.check_len(other);
-        self.words
-            .iter()
-            .zip(&other.words)
-            .any(|(a, b)| a & b != 0)
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
     }
 
     /// Iterator over positions of set bits, ascending.
@@ -203,7 +200,8 @@ impl Iterator for OnesIter<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use starshare_prng::Prng;
+    use std::collections::BTreeSet;
 
     #[test]
     fn set_get_clear() {
@@ -295,57 +293,68 @@ mod tests {
         a.and_assign(&b);
     }
 
-    proptest! {
-        #[test]
-        fn prop_or_is_set_union(
-            xs in proptest::collection::btree_set(0u64..500, 0..50),
-            ys in proptest::collection::btree_set(0u64..500, 0..50),
-        ) {
+    fn random_set(rng: &mut Prng, bound: u64, max_len: usize) -> BTreeSet<u64> {
+        let len = rng.gen_range(0..=max_len);
+        (0..len).map(|_| rng.gen_range(0..bound)).collect()
+    }
+
+    #[test]
+    fn prop_or_is_set_union() {
+        let mut rng = Prng::seed_from_u64(0x0B17_0001);
+        for _ in 0..64 {
+            let xs = random_set(&mut rng, 500, 50);
+            let ys = random_set(&mut rng, 500, 50);
             let a = Bitmap::from_positions(500, &xs.iter().copied().collect::<Vec<_>>());
             let b = Bitmap::from_positions(500, &ys.iter().copied().collect::<Vec<_>>());
             let mut o = a.clone();
             o.or_assign(&b);
             let expect: Vec<u64> = xs.union(&ys).copied().collect();
-            prop_assert_eq!(o.iter_ones().collect::<Vec<_>>(), expect);
+            assert_eq!(o.iter_ones().collect::<Vec<_>>(), expect);
         }
+    }
 
-        #[test]
-        fn prop_and_is_set_intersection(
-            xs in proptest::collection::btree_set(0u64..500, 0..50),
-            ys in proptest::collection::btree_set(0u64..500, 0..50),
-        ) {
+    #[test]
+    fn prop_and_is_set_intersection() {
+        let mut rng = Prng::seed_from_u64(0x0B17_0002);
+        for _ in 0..64 {
+            let xs = random_set(&mut rng, 500, 50);
+            let ys = random_set(&mut rng, 500, 50);
             let a = Bitmap::from_positions(500, &xs.iter().copied().collect::<Vec<_>>());
             let b = Bitmap::from_positions(500, &ys.iter().copied().collect::<Vec<_>>());
             let mut o = a.clone();
             o.and_assign(&b);
             let expect: Vec<u64> = xs.intersection(&ys).copied().collect();
-            prop_assert_eq!(o.iter_ones().collect::<Vec<_>>(), expect);
-            prop_assert_eq!(o.count_ones() as usize, xs.intersection(&ys).count());
+            assert_eq!(o.iter_ones().collect::<Vec<_>>(), expect);
+            assert_eq!(o.count_ones() as usize, xs.intersection(&ys).count());
         }
+    }
 
-        #[test]
-        fn prop_and_not_is_set_difference(
-            xs in proptest::collection::btree_set(0u64..500, 0..50),
-            ys in proptest::collection::btree_set(0u64..500, 0..50),
-        ) {
+    #[test]
+    fn prop_and_not_is_set_difference() {
+        let mut rng = Prng::seed_from_u64(0x0B17_0003);
+        for _ in 0..64 {
+            let xs = random_set(&mut rng, 500, 50);
+            let ys = random_set(&mut rng, 500, 50);
             let a = Bitmap::from_positions(500, &xs.iter().copied().collect::<Vec<_>>());
             let b = Bitmap::from_positions(500, &ys.iter().copied().collect::<Vec<_>>());
             let mut o = a.clone();
             o.and_not_assign(&b);
             let expect: Vec<u64> = xs.difference(&ys).copied().collect();
-            prop_assert_eq!(o.iter_ones().collect::<Vec<_>>(), expect);
+            assert_eq!(o.iter_ones().collect::<Vec<_>>(), expect);
         }
+    }
 
-        #[test]
-        fn prop_intersects_matches_and(
-            xs in proptest::collection::btree_set(0u64..300, 0..30),
-            ys in proptest::collection::btree_set(0u64..300, 0..30),
-        ) {
+    #[test]
+    fn prop_intersects_matches_and() {
+        let mut rng = Prng::seed_from_u64(0x0B17_0004);
+        for _ in 0..64 {
+            let xs = random_set(&mut rng, 300, 30);
+            let ys = random_set(&mut rng, 300, 30);
             let a = Bitmap::from_positions(300, &xs.iter().copied().collect::<Vec<_>>());
             let b = Bitmap::from_positions(300, &ys.iter().copied().collect::<Vec<_>>());
             let mut and = a.clone();
             and.and_assign(&b);
-            prop_assert_eq!(a.intersects(&b), !and.is_zero());
+            assert_eq!(a.intersects(&b), !and.is_zero());
         }
     }
 }

@@ -334,11 +334,15 @@ mod format_tests {
     #[test]
     fn compressed_format_shrinks_clustered_indexes() {
         let heap = clustered_heap(100_000);
-        let plain = BitmapJoinIndex::build_with_format(
-            "p", FileId(1), &heap, 0, IndexFormat::Plain, |k| k,
-        );
+        let plain =
+            BitmapJoinIndex::build_with_format("p", FileId(1), &heap, 0, IndexFormat::Plain, |k| k);
         let rle = BitmapJoinIndex::build_with_format(
-            "c", FileId(2), &heap, 0, IndexFormat::Compressed, |k| k,
+            "c",
+            FileId(2),
+            &heap,
+            0,
+            IndexFormat::Compressed,
+            |k| k,
         );
         assert_eq!(plain.format(), IndexFormat::Plain);
         assert_eq!(rle.format(), IndexFormat::Compressed);

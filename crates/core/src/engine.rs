@@ -2,11 +2,15 @@
 
 use std::collections::HashMap;
 
-use starshare_exec::{shared_hybrid_join, shared_index_join, ExecContext, ExecReport, QueryResult};
+use starshare_exec::{
+    shared_hybrid_join, shared_index_join, ExecContext, ExecError, ExecReport, QueryResult,
+};
 use starshare_mdx::{bind, parse, BoundMdx};
 use starshare_olap::{paper_cube, Cube, GroupByQuery, PaperCubeSpec};
 use starshare_opt::{CostModel, GlobalPlan, JoinMethod, OptimizerKind};
 use starshare_storage::HardwareModel;
+
+use crate::error::{Error, Result};
 
 /// The result of executing one [`GlobalPlan`].
 #[derive(Debug)]
@@ -55,40 +59,138 @@ pub struct Engine {
     cube: Cube,
     ctx: ExecContext,
     optimizer: OptimizerKind,
-    /// Opt-in query-result cache (see [`Engine::with_result_cache`]).
+    /// Opt-in query-result cache (see [`EngineBuilder::result_cache`]).
     cache: Option<HashMap<GroupByQuery, QueryResult>>,
+    /// Worker threads for plan execution (1 = the sequential legacy path).
+    threads: usize,
+}
+
+/// Builds an [`Engine`]: cube + hardware model, plus the optional knobs
+/// (optimizer, result cache, worker threads) that used to live on consuming
+/// `with_*` methods.
+///
+/// ```
+/// use starshare_core::{EngineBuilder, OptimizerKind, PaperCubeSpec};
+///
+/// let engine = EngineBuilder::paper(PaperCubeSpec::scaled(0.002))
+///     .optimizer(OptimizerKind::Tplo)
+///     .result_cache(true)
+///     .threads(4)
+///     .build();
+/// assert_eq!(engine.threads(), 4);
+/// ```
+#[derive(Debug)]
+pub struct EngineBuilder {
+    cube: Cube,
+    model: HardwareModel,
+    optimizer: OptimizerKind,
+    cache: bool,
+    threads: usize,
+}
+
+impl EngineBuilder {
+    /// Starts a builder over an existing cube and hardware model.
+    pub fn new(cube: Cube, model: HardwareModel) -> Self {
+        EngineBuilder {
+            cube,
+            model,
+            optimizer: OptimizerKind::Gg,
+            cache: false,
+            threads: 1,
+        }
+    }
+
+    /// Starts a builder over the paper's test database (§7.2) under the
+    /// 1998 hardware model.
+    pub fn paper(spec: PaperCubeSpec) -> Self {
+        Self::new(paper_cube(spec), HardwareModel::paper_1998())
+    }
+
+    /// Selects the optimizer used by [`Engine::mdx`] (default: GG).
+    pub fn optimizer(mut self, kind: OptimizerKind) -> Self {
+        self.optimizer = kind;
+        self
+    }
+
+    /// Enables (or disables) the query-result cache: a repeated
+    /// [`GroupByQuery`] is answered from memory with zero simulated cost.
+    /// The cache is invalidated wholesale by [`Engine::append_facts`].
+    /// Off by default — the experiment harness must re-execute.
+    pub fn result_cache(mut self, on: bool) -> Self {
+        self.cache = on;
+        self
+    }
+
+    /// Sets the worker-thread count for plan execution (clamped to ≥ 1).
+    /// Results and simulated times are identical at any thread count; only
+    /// wall time changes. Default 1: the sequential in-place path.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n.max(1);
+        self
+    }
+
+    /// Builds the engine.
+    pub fn build(self) -> Engine {
+        Engine {
+            cube: self.cube,
+            ctx: ExecContext::new(self.model),
+            optimizer: self.optimizer,
+            cache: self.cache.then(HashMap::new),
+            threads: self.threads,
+        }
+    }
 }
 
 impl Engine {
     /// An engine over an existing cube with the given hardware model.
     pub fn new(cube: Cube, model: HardwareModel) -> Self {
-        Engine {
-            cube,
-            ctx: ExecContext::new(model),
-            optimizer: OptimizerKind::Gg,
-            cache: None,
-        }
+        EngineBuilder::new(cube, model).build()
     }
 
     /// An engine over the paper's test database (§7.2) under the 1998
     /// hardware model.
     pub fn paper(spec: PaperCubeSpec) -> Self {
-        Self::new(paper_cube(spec), HardwareModel::paper_1998())
+        EngineBuilder::paper(spec).build()
+    }
+
+    /// Starts an [`EngineBuilder`] (the non-consuming way to configure an
+    /// engine before construction).
+    pub fn builder(cube: Cube, model: HardwareModel) -> EngineBuilder {
+        EngineBuilder::new(cube, model)
     }
 
     /// Selects the optimizer used by [`mdx`](Engine::mdx) (default: GG).
+    #[deprecated(since = "0.2.0", note = "use `EngineBuilder::optimizer`")]
     pub fn with_optimizer(mut self, kind: OptimizerKind) -> Self {
         self.optimizer = kind;
         self
     }
 
-    /// Enables the query-result cache: a repeated [`GroupByQuery`] is
-    /// answered from memory with zero simulated cost. The cache is
-    /// invalidated wholesale by [`append_facts`](Engine::append_facts).
-    /// Off by default — the experiment harness must re-execute.
+    /// Enables the query-result cache.
+    #[deprecated(since = "0.2.0", note = "use `EngineBuilder::result_cache`")]
     pub fn with_result_cache(mut self) -> Self {
         self.cache = Some(HashMap::new());
         self
+    }
+
+    /// Switches the optimizer on a live engine (e.g. a CLI session).
+    pub fn set_optimizer(&mut self, kind: OptimizerKind) {
+        self.optimizer = kind;
+    }
+
+    /// The optimizer [`mdx`](Engine::mdx) currently uses.
+    pub fn optimizer(&self) -> OptimizerKind {
+        self.optimizer
+    }
+
+    /// Worker threads used for plan execution.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Sets the worker-thread count on a live engine (clamped to ≥ 1).
+    pub fn set_threads(&mut self, n: usize) {
+        self.threads = n.max(1);
     }
 
     /// Cached results currently held (0 when the cache is disabled).
@@ -115,7 +217,7 @@ impl Engine {
     /// view, bitmap join index, and statistic (see
     /// [`starshare_olap::maintain`]). The buffer pool is flushed: appended
     /// pages invalidate resident images of the grown tables.
-    pub fn append_facts(&mut self, rows: &[(Vec<u32>, f64)]) -> Result<u64, String> {
+    pub fn append_facts(&mut self, rows: &[(Vec<u32>, f64)]) -> Result<u64> {
         let n = starshare_olap::append_facts(&mut self.cube, rows)?;
         self.ctx.flush();
         if let Some(c) = &mut self.cache {
@@ -131,59 +233,16 @@ impl Engine {
 
     /// Full round trip: parse, bind, optimize (with the engine's configured
     /// algorithm), execute.
-    pub fn mdx(&mut self, text: &str) -> Result<MdxOutcome, String> {
-        let expr = parse(text).map_err(|e| e.to_string())?;
-        let bound = bind(&self.cube.schema, &expr).map_err(|e| e.to_string())?;
-        // Fully-cached expressions are served from memory.
-        if let Some(cache) = &self.cache {
-            if let Some(results) = bound
-                .queries
-                .iter()
-                .map(|q| cache.get(q).cloned())
-                .collect::<Option<Vec<_>>>()
-            {
-                return Ok(MdxOutcome {
-                    plan: GlobalPlan::default(),
-                    bound,
-                    results,
-                    report: ExecReport::default(),
-                });
-            }
-        }
-        let plan = self
-            .optimizer
-            .run(&self.cost_model(), &bound.queries)
-            .map_err(|e| e.to_string())?;
-        let exec = self.execute_plan(&plan)?;
-        // Re-order results to binding order (plans may permute queries).
-        let mut results: Vec<Option<QueryResult>> = vec![None; bound.queries.len()];
-        let plan_queries: Vec<&GroupByQuery> =
-            plan.assignments().map(|(_, q, _)| q).collect();
-        for (pq, r) in plan_queries.iter().zip(exec.results) {
-            // Find the first unfilled matching slot (duplicates allowed).
-            let slot = bound
-                .queries
-                .iter()
-                .enumerate()
-                .find(|(i, q)| results[*i].is_none() && q == pq)
-                .map(|(i, _)| i)
-                .ok_or("plan produced a query the binder did not")?;
-            results[slot] = Some(r);
-        }
-        let results: Vec<QueryResult> = results
-            .into_iter()
-            .collect::<Option<_>>()
-            .ok_or("plan lost a query")?;
-        if let Some(cache) = &mut self.cache {
-            for r in &results {
-                cache.insert(r.query.clone(), r.clone());
-            }
-        }
+    ///
+    /// A thin wrapper over [`mdx_many`](Engine::mdx_many) with a singleton
+    /// batch — both paths share one implementation.
+    pub fn mdx(&mut self, text: &str) -> Result<MdxOutcome> {
+        let mut many = self.mdx_many(&[text])?;
         Ok(MdxOutcome {
-            bound,
-            plan,
-            results,
-            report: exec.total,
+            bound: many.bounds.pop().expect("one expression in, one out"),
+            plan: many.plan,
+            results: many.results.pop().expect("one expression in, one out"),
+            report: many.report,
         })
     }
 
@@ -192,20 +251,41 @@ impl Engine {
     /// so sharing can cross expression boundaries (the paper optimizes per
     /// expression; a multi-user OLAP server sees exactly this batch shape).
     ///
+    /// When the result cache is enabled and *every* query in the batch is
+    /// cached, the whole batch is served from memory with zero simulated
+    /// cost.
+    ///
     /// Returns one result list per input expression, in order.
-    pub fn mdx_many(&mut self, texts: &[&str]) -> Result<MdxManyOutcome, String> {
+    pub fn mdx_many(&mut self, texts: &[&str]) -> Result<MdxManyOutcome> {
         let mut bounds = Vec::with_capacity(texts.len());
         let mut all_queries = Vec::new();
         for text in texts {
-            let expr = parse(text).map_err(|e| e.to_string())?;
-            let bound = bind(&self.cube.schema, &expr).map_err(|e| e.to_string())?;
+            let expr = parse(text)?;
+            let bound = bind(&self.cube.schema, &expr)?;
             all_queries.extend(bound.queries.clone());
             bounds.push(bound);
         }
-        let plan = self
-            .optimizer
-            .run(&self.cost_model(), &all_queries)
-            .map_err(|e| e.to_string())?;
+        // A fully-cached batch is served from memory.
+        if let Some(cache) = &self.cache {
+            if let Some(results) = bounds
+                .iter()
+                .map(|b| {
+                    b.queries
+                        .iter()
+                        .map(|q| cache.get(q).cloned())
+                        .collect::<Option<Vec<_>>>()
+                })
+                .collect::<Option<Vec<_>>>()
+            {
+                return Ok(MdxManyOutcome {
+                    bounds,
+                    plan: GlobalPlan::default(),
+                    results,
+                    report: ExecReport::default(),
+                });
+            }
+        }
+        let plan = self.optimizer.run(&self.cost_model(), &all_queries)?;
         let exec = self.execute_plan(&plan)?;
         // Distribute results back to expressions (binding order within each).
         let mut pool: Vec<Option<QueryResult>> = exec.results.into_iter().map(Some).collect();
@@ -218,10 +298,15 @@ impl Engine {
                     .iter()
                     .enumerate()
                     .position(|(i, pq)| pool[i].is_some() && *pq == q)
-                    .ok_or("plan lost a query")?;
+                    .ok_or_else(|| Error::Exec(ExecError::new("plan lost a query")))?;
                 rs.push(pool[slot].take().expect("checked above"));
             }
             per_expr.push(rs);
+        }
+        if let Some(cache) = &mut self.cache {
+            for r in per_expr.iter().flatten() {
+                cache.insert(r.query.clone(), r.clone());
+            }
         }
         Ok(MdxManyOutcome {
             bounds,
@@ -232,18 +317,23 @@ impl Engine {
     }
 
     /// Optimizes a query set with a specific algorithm.
-    pub fn optimize(
-        &self,
-        queries: &[GroupByQuery],
-        kind: OptimizerKind,
-    ) -> Result<GlobalPlan, String> {
-        kind.run(&self.cost_model(), queries)
+    pub fn optimize(&self, queries: &[GroupByQuery], kind: OptimizerKind) -> Result<GlobalPlan> {
+        Ok(kind.run(&self.cost_model(), queries)?)
     }
 
     /// Executes a global plan: each class runs as one shared operator
     /// (hybrid scan if any member is hash-based, shared index join
     /// otherwise).
-    pub fn execute_plan(&mut self, plan: &GlobalPlan) -> Result<PlanExecution, String> {
+    ///
+    /// With [`threads`](Engine::threads) > 1 the classes run through the
+    /// partitioned parallel subsystem
+    /// ([`execute_plan_threads`](Engine::execute_plan_threads)); the default
+    /// of 1 keeps the sequential in-place path, whose pool accounting
+    /// existing experiments depend on.
+    pub fn execute_plan(&mut self, plan: &GlobalPlan) -> Result<PlanExecution> {
+        if self.threads > 1 {
+            return self.execute_plan_threads(plan, self.threads);
+        }
         let mut results = Vec::with_capacity(plan.n_queries());
         let mut per_class = Vec::with_capacity(plan.classes.len());
         let mut total = ExecReport::default();
@@ -287,22 +377,90 @@ impl Engine {
         })
     }
 
+    /// Executes a global plan on `threads` worker threads through the
+    /// partitioned subsystem (`starshare_exec::parallel`), **regardless of
+    /// the engine's own thread setting** — `threads = 1` still partitions,
+    /// so runs at different thread counts are comparable unit-for-unit.
+    ///
+    /// The returned results and simulated times (`sim` and the
+    /// critical-path `critical`) are bit-identical at every thread count;
+    /// only host wall time responds to `threads`. The total's `critical`
+    /// treats classes as fully concurrent (the slowest class bounds the
+    /// plan), matching the fixed-partition model's idealized machine.
+    pub fn execute_plan_threads(
+        &mut self,
+        plan: &GlobalPlan,
+        threads: usize,
+    ) -> Result<PlanExecution> {
+        let specs: Vec<starshare_exec::ClassSpec> = plan
+            .classes
+            .iter()
+            .map(|class| starshare_exec::ClassSpec {
+                table: class.table,
+                hash_queries: class
+                    .plans
+                    .iter()
+                    .filter(|p| p.method == JoinMethod::Hash)
+                    .map(|p| p.query.clone())
+                    .collect(),
+                index_queries: class
+                    .plans
+                    .iter()
+                    .filter(|p| p.method == JoinMethod::Index)
+                    .map(|p| p.query.clone())
+                    .collect(),
+            })
+            .collect();
+        let wall_start = std::time::Instant::now();
+        let outcomes = starshare_exec::execute_classes(&mut self.ctx, &self.cube, &specs, threads)?;
+        let wall = wall_start.elapsed();
+
+        let mut results = Vec::with_capacity(plan.n_queries());
+        let mut per_class = Vec::with_capacity(plan.classes.len());
+        let mut total = ExecReport::default();
+        for (class, outcome) in plan.classes.iter().zip(outcomes) {
+            let n_hash = class
+                .plans
+                .iter()
+                .filter(|p| p.method == JoinMethod::Hash)
+                .count();
+            // Outcome results are hash-then-index — map back to plan order.
+            let mut hash_iter = outcome.results.iter().take(n_hash);
+            let mut index_iter = outcome.results.iter().skip(n_hash);
+            for p in &class.plans {
+                let r = match p.method {
+                    JoinMethod::Hash => hash_iter.next(),
+                    JoinMethod::Index => index_iter.next(),
+                }
+                .expect("one result per query");
+                results.push(r.clone());
+            }
+            total.merge_concurrent(&outcome.report);
+            per_class.push(outcome.report);
+        }
+        // Worker walls overlap; the plan's wall is what the host measured.
+        total.wall = wall;
+        Ok(PlanExecution {
+            results,
+            per_class,
+            total,
+        })
+    }
+
     /// Executes each query completely independently (no shared operators,
     /// buffer pool flushed before each) — the naive baseline the paper's
     /// dotted bars show.
     pub fn execute_separately(
         &mut self,
         plans: &[(starshare_olap::TableId, GroupByQuery, JoinMethod)],
-    ) -> Result<(Vec<QueryResult>, ExecReport), String> {
+    ) -> Result<(Vec<QueryResult>, ExecReport)> {
         let mut results = Vec::with_capacity(plans.len());
         let mut total = ExecReport::default();
         for (t, q, m) in plans {
             self.ctx.flush();
             let qs = std::slice::from_ref(q);
             let (mut rs, rep) = match m {
-                JoinMethod::Hash => {
-                    shared_hybrid_join(&mut self.ctx, &self.cube, *t, qs, &[])?
-                }
+                JoinMethod::Hash => shared_hybrid_join(&mut self.ctx, &self.cube, *t, qs, &[])?,
                 JoinMethod::Index => shared_index_join(&mut self.ctx, &self.cube, *t, qs)?,
             };
             results.push(rs.pop().expect("one result"));
@@ -432,7 +590,12 @@ mod tests {
             e2.flush();
             seq.merge(&e2.mdx(t).unwrap().report);
         }
-        assert!(out.report.sim <= seq.sim, "{} vs {}", out.report.sim, seq.sim);
+        assert!(
+            out.report.sim <= seq.sim,
+            "{} vs {}",
+            out.report.sim,
+            seq.sim
+        );
     }
 
     #[test]
@@ -452,6 +615,53 @@ mod tests {
     }
 
     #[test]
+    fn threaded_engine_matches_reference_results() {
+        let queries = {
+            let e = engine();
+            bind_paper_test(&e.cube().schema, 4).unwrap()
+        };
+        let mut par = EngineBuilder::paper(PaperCubeSpec {
+            base_rows: 5_000,
+            d_leaf: 48,
+            seed: 17,
+            with_indexes: true,
+        })
+        .threads(4)
+        .build();
+        let plan = par.optimize(&queries, OptimizerKind::Gg).unwrap();
+        let exec = par.execute_plan(&plan).unwrap();
+        let base = par.cube().catalog.base_table().unwrap();
+        for r in &exec.results {
+            let expect = reference_eval(par.cube(), base, &r.query);
+            assert!(r.approx_eq(&expect, 1e-9));
+        }
+        assert!(exec.total.critical <= exec.total.sim);
+        assert_eq!(exec.per_class.len(), plan.classes.len());
+    }
+
+    #[test]
+    fn execute_plan_threads_is_invariant_in_thread_count() {
+        let mut e = engine();
+        let queries = bind_paper_test(&e.cube().schema, 1).unwrap();
+        let plan = e.optimize(&queries, OptimizerKind::Gg).unwrap();
+        let runs: Vec<PlanExecution> = [1, 2, 4]
+            .iter()
+            .map(|&n| {
+                e.flush();
+                e.execute_plan_threads(&plan, n).unwrap()
+            })
+            .collect();
+        for other in &runs[1..] {
+            assert_eq!(runs[0].total.sim, other.total.sim);
+            assert_eq!(runs[0].total.critical, other.total.critical);
+            for (a, b) in runs[0].results.iter().zip(&other.results) {
+                assert_eq!(a.rows, b.rows);
+            }
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
     fn engine_optimizer_is_configurable() {
         let e = engine().with_optimizer(OptimizerKind::Tplo);
         assert_eq!(e.optimizer, OptimizerKind::Tplo);
@@ -465,13 +675,14 @@ mod cache_tests {
     use starshare_storage::SimTime;
 
     fn engine() -> Engine {
-        Engine::paper(starshare_olap::PaperCubeSpec {
+        EngineBuilder::paper(starshare_olap::PaperCubeSpec {
             base_rows: 2_000,
             d_leaf: 24,
             seed: 50,
             with_indexes: true,
         })
-        .with_result_cache()
+        .result_cache(true)
+        .build()
     }
 
     #[test]

@@ -1,0 +1,113 @@
+//! The engine's typed error.
+//!
+//! Every fallible [`Engine`](crate::Engine) method returns [`Error`], one
+//! variant per pipeline stage, wrapping that stage's own error type with
+//! full [`std::error::Error::source`] chaining — so callers can match on
+//! *where* a request failed (parse vs bind vs optimize vs execute vs
+//! storage) without string inspection, while `{}` still renders the whole
+//! story.
+
+use std::fmt;
+
+use starshare_exec::ExecError;
+use starshare_mdx::{BindError, ParseError};
+use starshare_olap::OlapError;
+use starshare_opt::OptError;
+
+/// An error from any stage of the engine's pipeline.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// The MDX text failed to parse.
+    Parse(ParseError),
+    /// The parsed expression failed to bind against the schema.
+    Bind(BindError),
+    /// Plan search failed (typically: a query no stored table answers).
+    Optimize(OptError),
+    /// Physical execution failed.
+    Exec(ExecError),
+    /// The storage/data-model layer rejected an operation (e.g. an
+    /// out-of-range key in [`append_facts`](crate::Engine::append_facts)).
+    Storage(OlapError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse(e) => write!(f, "parse error: {e}"),
+            Error::Bind(e) => write!(f, "bind error: {e}"),
+            Error::Optimize(e) => write!(f, "optimize error: {e}"),
+            Error::Exec(e) => write!(f, "execution error: {e}"),
+            Error::Storage(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Parse(e) => Some(e),
+            Error::Bind(e) => Some(e),
+            Error::Optimize(e) => Some(e),
+            Error::Exec(e) => Some(e),
+            Error::Storage(e) => Some(e),
+        }
+    }
+}
+
+impl From<ParseError> for Error {
+    fn from(e: ParseError) -> Self {
+        Error::Parse(e)
+    }
+}
+
+impl From<BindError> for Error {
+    fn from(e: BindError) -> Self {
+        Error::Bind(e)
+    }
+}
+
+impl From<OptError> for Error {
+    fn from(e: OptError) -> Self {
+        Error::Optimize(e)
+    }
+}
+
+impl From<ExecError> for Error {
+    fn from(e: ExecError) -> Self {
+        Error::Exec(e)
+    }
+}
+
+impl From<OlapError> for Error {
+    fn from(e: OlapError) -> Self {
+        Error::Storage(e)
+    }
+}
+
+/// Shorthand for engine results.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn display_names_the_stage_and_chains_the_source() {
+        let e = Error::from(OptError::new("no table can answer Q"));
+        assert_eq!(e.to_string(), "optimize error: no table can answer Q");
+        let src = e.source().expect("chained");
+        assert_eq!(src.to_string(), "no table can answer Q");
+        assert!(matches!(e, Error::Optimize(_)));
+    }
+
+    #[test]
+    fn every_variant_converts_from_its_stage_error() {
+        assert!(matches!(Error::from(ExecError::new("x")), Error::Exec(_)));
+        assert!(matches!(
+            Error::from(OlapError::new("x")),
+            Error::Storage(_)
+        ));
+    }
+}

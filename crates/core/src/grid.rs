@@ -50,8 +50,7 @@ pub struct PivotGrid {
 /// Returns `None` if the expression has no COLUMNS axis (nothing to pivot).
 pub fn pivot(_schema: &StarSchema, bound: &BoundMdx, results: &[QueryResult]) -> Option<PivotGrid> {
     let columns = axis_positions(bound, Axis::Columns)?;
-    let rows = axis_positions(bound, Axis::Rows)
-        .unwrap_or_default();
+    let rows = axis_positions(bound, Axis::Rows).unwrap_or_default();
     let pages = axis_positions(bound, Axis::Pages);
 
     // Index every result row: (sorted per-dim (dim, level, member) of the
@@ -167,12 +166,7 @@ pub fn render_pivot(schema: &StarSchema, grid: &PivotGrid) -> String {
         }
         // Header.
         let col_names: Vec<String> = page.columns.iter().map(&name).collect();
-        let width = col_names
-            .iter()
-            .map(|s| s.len())
-            .max()
-            .unwrap_or(6)
-            .max(9);
+        let width = col_names.iter().map(|s| s.len()).max().unwrap_or(6).max(9);
         let row_width = page
             .rows
             .iter()
@@ -260,12 +254,7 @@ mod tests {
             }
         }
         // Grid totals equal the flat grand total.
-        let grid_total: f64 = page
-            .cells
-            .iter()
-            .flatten()
-            .filter_map(|v| *v)
-            .sum();
+        let grid_total: f64 = page.cells.iter().flatten().filter_map(|v| *v).sum();
         assert!(
             (grid_total - out.results[0].grand_total()).abs() < 1e-6,
             "{grid_total}"

@@ -23,31 +23,33 @@
 //! public API.
 
 pub mod engine;
+pub mod error;
 pub mod grid;
 
-pub use engine::{Engine, MdxManyOutcome, MdxOutcome, PlanExecution};
+pub use engine::{Engine, EngineBuilder, MdxManyOutcome, MdxOutcome, PlanExecution};
+pub use error::Error;
 pub use grid::{pivot, render_pivot, PivotGrid, PivotPage};
 
 pub use starshare_bitmap::{Bitmap, BitmapJoinIndex, IndexFormat, RleBitmap};
 pub use starshare_exec::{
-    hash_star_join, index_star_join, reference_eval, shared_hybrid_join, shared_index_join,
-    shared_scan_hash_join, ExecContext, ExecReport, QueryResult,
+    execute_classes, hash_star_join, index_star_join, reference_eval, shared_hybrid_join,
+    shared_index_join, shared_scan_hash_join, ClassOutcome, ClassSpec, ExecContext, ExecError,
+    ExecReport, QueryResult, PARTITIONS,
 };
 pub use starshare_mdx::{
-    bind, generate_mdx, parse, paper_queries, Axis, AxisSpec, BoundAxis, BoundMdx, MdxExpr,
-    MemberExpr, PathSeg,
+    bind, generate_mdx, paper_queries, parse, Axis, AxisSpec, BindError, BoundAxis, BoundMdx,
+    MdxExpr, MemberExpr, ParseError, PathSeg,
 };
 pub use starshare_olap::{
-    append_facts, combine_mode, estimate, lattice_nodes, load_cube, materialize, materialize_agg, paper_cube, paper_schema,
-    recommend_views, save_cube, AggFn,
-    AggState, Catalog, CombineMode, Cube, CubeBuilder, DimId, Dimension, GroupBy,
-    AdvisorConfig, GroupByQuery, LevelDef, LevelRef, MeasureKind, MemberPred, PaperCubeSpec,
-    Recommendation, StarSchema, StoredTable, TableId,
+    append_facts, combine_mode, estimate, lattice_nodes, load_cube, materialize, materialize_agg,
+    paper_cube, paper_schema, recommend_views, save_cube, AdvisorConfig, AggFn, AggState, Catalog,
+    CombineMode, Cube, CubeBuilder, DimId, Dimension, GroupBy, GroupByQuery, LevelDef, LevelRef,
+    MeasureKind, MemberPred, OlapError, PaperCubeSpec, Recommendation, StarSchema, StoredTable,
+    TableId,
 };
 pub use starshare_opt::{
     etplg, explain_tree, explain_tree_with_costs, gg, ggi, ggi_with_passes, optimal, tplo,
-    CostModel, GlobalPlan, JoinMethod,
-    OptimizerKind, PlanClass, QueryPlan,
+    CostModel, GlobalPlan, JoinMethod, OptError, OptimizerKind, PlanClass, QueryPlan,
 };
 pub use starshare_storage::{
     AccessKind, BufferPool, CpuCounters, FileId, HardwareModel, HeapFile, IoStats, SimTime,

@@ -52,6 +52,7 @@ impl ExecContext {
                 io,
                 cpu,
                 sim,
+                critical: sim,
                 wall,
             },
         )
@@ -65,18 +66,39 @@ pub struct ExecReport {
     pub io: IoStats,
     /// CPU work counted during the run.
     pub cpu: CpuCounters,
-    /// Simulated elapsed time (I/O + CPU under the hardware model).
+    /// Simulated elapsed time (I/O + CPU under the hardware model). This is
+    /// *total simulated work*: under parallel execution it still sums every
+    /// worker's contribution, so it is comparable across thread counts.
     pub sim: SimTime,
+    /// Simulated *critical-path* time: what the clock would read if every
+    /// concurrent piece of the run truly overlapped. Sequential runs have
+    /// `critical == sim`; partitioned runs report the coordinator phases
+    /// plus the slowest partition (see `starshare_exec::parallel`).
+    /// Deterministic and independent of the host's thread count.
+    pub critical: SimTime,
     /// Real wall-clock time of the run on the host machine.
     pub wall: Duration,
 }
 
 impl ExecReport {
-    /// Sums another report into this one (for totalling separate runs).
+    /// Sums another report into this one (for totalling separate runs —
+    /// sequential composition, so critical paths add end-to-end).
     pub fn merge(&mut self, other: &ExecReport) {
         self.io.merge(&other.io);
         self.cpu.merge(&other.cpu);
         self.sim += other.sim;
+        self.critical += other.critical;
+        self.wall += other.wall;
+    }
+
+    /// Folds in a report for work that ran *concurrently* with this one:
+    /// totals (I/O, CPU, sim, wall) still sum — they count work — but the
+    /// critical path is the slower of the two.
+    pub fn merge_concurrent(&mut self, other: &ExecReport) {
+        self.io.merge(&other.io);
+        self.cpu.merge(&other.cpu);
+        self.sim += other.sim;
+        self.critical = self.critical.max(other.critical);
         self.wall += other.wall;
     }
 
@@ -159,6 +181,7 @@ mod tests {
                 ..Default::default()
             },
             sim: SimTime::from_nanos(500),
+            critical: SimTime::from_nanos(300),
             wall: Duration::from_micros(1),
         };
         a.merge(&b);
@@ -166,6 +189,35 @@ mod tests {
         assert_eq!(a.io.seq_faults, 4);
         assert_eq!(a.cpu.agg_updates, 14);
         assert_eq!(a.sim.as_nanos(), 1000);
+        assert_eq!(a.critical.as_nanos(), 600, "sequential criticals add");
+    }
+
+    #[test]
+    fn concurrent_merge_takes_the_slower_critical_path() {
+        let mut a = ExecReport {
+            sim: SimTime::from_nanos(500),
+            critical: SimTime::from_nanos(500),
+            ..Default::default()
+        };
+        let b = ExecReport {
+            sim: SimTime::from_nanos(200),
+            critical: SimTime::from_nanos(200),
+            ..Default::default()
+        };
+        a.merge_concurrent(&b);
+        assert_eq!(a.sim.as_nanos(), 700, "work still sums");
+        assert_eq!(a.critical.as_nanos(), 500, "path is the slower branch");
+    }
+
+    #[test]
+    fn sequential_runs_have_critical_equal_to_sim() {
+        let mut ctx = ExecContext::paper_1998();
+        let ((), r) = ctx.run(|ctx, cpu| {
+            ctx.pool.access(FileId(0), 0, AccessKind::Sequential);
+            cpu.hash_probes += 10;
+        });
+        assert_eq!(r.critical, r.sim);
+        assert!(r.sim > SimTime::ZERO);
     }
 
     #[test]
@@ -181,6 +233,7 @@ mod tests {
                 ..Default::default()
             },
             sim: SimTime::ZERO,
+            critical: SimTime::ZERO,
             wall: Duration::ZERO,
         };
         assert_eq!(r.sim_io(&model).as_secs_f64(), 1.0);

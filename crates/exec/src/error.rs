@@ -1,0 +1,35 @@
+//! The executor's error type.
+
+use std::fmt;
+
+/// An error from physical evaluation: an operator asked to answer a query
+/// its table cannot derive, or given an empty/malformed query set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecError(String);
+
+impl ExecError {
+    /// Wraps a message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        ExecError(msg.into())
+    }
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<String> for ExecError {
+    fn from(msg: String) -> Self {
+        ExecError(msg)
+    }
+}
+
+impl From<&str> for ExecError {
+    fn from(msg: &str) -> Self {
+        ExecError(msg.to_string())
+    }
+}

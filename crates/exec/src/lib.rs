@@ -15,19 +15,26 @@
 //! aggregation) through an [`ExecContext`] whose buffer pool and CPU
 //! counters feed the simulated clock. Results are exact; times are the
 //! deterministic 1998-calibrated simulation plus measured wall time.
+//!
+//! The [`parallel`] module runs whole *sets* of classes on worker threads,
+//! partitioning each base-table pass, without perturbing the simulated
+//! clock (see its docs for the determinism contract).
 
 pub mod context;
+pub mod error;
 pub mod operators;
+pub mod parallel;
 pub mod plan_io;
 pub mod reference;
 pub mod result;
 pub mod rollup;
 
 pub use context::{ExecContext, ExecReport};
+pub use error::ExecError;
 pub use operators::{
-    hash_star_join, index_star_join, shared_hybrid_join, shared_index_join,
-    shared_scan_hash_join,
+    hash_star_join, index_star_join, shared_hybrid_join, shared_index_join, shared_scan_hash_join,
 };
+pub use parallel::{execute_classes, ClassOutcome, ClassSpec, PARTITIONS};
 pub use reference::reference_eval;
 pub use result::QueryResult;
 pub use rollup::DimPipeline;

@@ -23,31 +23,40 @@ use starshare_olap::{combine_mode, AggState, CombineMode, Cube, GroupByQuery, Le
 use starshare_storage::{AccessKind, CpuCounters};
 
 use crate::context::{ExecContext, ExecReport};
+use crate::error::ExecError;
 use crate::plan_io::{build_query_bitmap, QueryBitmap};
 use crate::result::QueryResult;
 use crate::rollup::DimPipeline;
 
 /// Per-query execution state: compiled pipeline + running aggregation.
-struct QueryState {
-    query: GroupByQuery,
-    pipeline: DimPipeline,
+///
+/// `pub(crate)` so the partitioned operators in [`crate::parallel`] can
+/// compile once and fan the immutable parts (pipeline, mode, bitmap) out to
+/// workers, each keeping a private `groups` map.
+pub(crate) struct QueryState {
+    pub(crate) query: GroupByQuery,
+    pub(crate) pipeline: DimPipeline,
     /// How source measures fold into this query's accumulator.
-    mode: CombineMode,
+    pub(crate) mode: CombineMode,
     /// Index-derived filter (index-fed queries only).
-    bitmap: Option<QueryBitmap>,
-    groups: HashMap<Vec<u32>, AggState>,
+    pub(crate) bitmap: Option<QueryBitmap>,
+    pub(crate) groups: HashMap<Vec<u32>, AggState>,
     scratch: Vec<u32>,
 }
 
 impl QueryState {
-    fn compile(cube: &Cube, table: TableId, query: &GroupByQuery) -> Result<Self, String> {
+    pub(crate) fn compile(
+        cube: &Cube,
+        table: TableId,
+        query: &GroupByQuery,
+    ) -> Result<Self, ExecError> {
         let t = cube.catalog.table(table);
         if !t.measure().answers(query.agg) {
-            return Err(format!(
+            return Err(ExecError::new(format!(
                 "a {} table cannot answer {} queries",
                 t.measure(),
                 query.agg
-            ));
+            )));
         }
         let pipeline = DimPipeline::compile(&cube.schema, t.group_by(), query)?;
         Ok(QueryState {
@@ -61,32 +70,25 @@ impl QueryState {
     }
 
     /// Which predicate dimensions the bitmap already guarantees.
-    fn skip_mask(&self) -> u64 {
+    pub(crate) fn skip_mask(&self) -> u64 {
         self.bitmap.as_ref().map_or(0, |b| b.covered_mask)
     }
 
     /// Feeds one candidate tuple: residual filter, then aggregate.
     fn feed(&mut self, keys: &[u32], measure: f64, cpu: &mut CpuCounters) {
-        if !self
-            .pipeline
-            .filter_skipping(keys, cpu, self.skip_mask())
-        {
-            return;
-        }
-        cpu.hash_probes += 1; // aggregation-table lookup
-        self.pipeline.agg_key_into(keys, &mut self.scratch);
-        if let Some(v) = self.groups.get_mut(self.scratch.as_slice()) {
-            v.fold(self.mode, measure);
-        } else {
-            cpu.hash_builds += 1;
-            self.groups
-                .insert(self.scratch.clone(), AggState::first(self.mode, measure));
-        }
-        cpu.agg_updates += 1;
-        cpu.tuple_copies += 1;
+        feed_tuple(
+            &self.pipeline,
+            self.mode,
+            self.skip_mask(),
+            keys,
+            measure,
+            &mut self.groups,
+            &mut self.scratch,
+            cpu,
+        );
     }
 
-    fn into_result(self) -> QueryResult {
+    pub(crate) fn into_result(self) -> QueryResult {
         let mode = self.mode;
         QueryResult::from_groups(
             self.query,
@@ -95,9 +97,41 @@ impl QueryState {
     }
 }
 
+/// The per-tuple inner loop shared by the sequential operators and the
+/// partitioned workers: residual filter, then aggregate into `groups`.
+///
+/// A free function (rather than a `QueryState` method) so partitioned
+/// workers can run it against the *shared* compiled pipeline with a
+/// *private* accumulator map.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn feed_tuple(
+    pipeline: &DimPipeline,
+    mode: CombineMode,
+    skip_mask: u64,
+    keys: &[u32],
+    measure: f64,
+    groups: &mut HashMap<Vec<u32>, AggState>,
+    scratch: &mut Vec<u32>,
+    cpu: &mut CpuCounters,
+) {
+    if !pipeline.filter_skipping(keys, cpu, skip_mask) {
+        return;
+    }
+    cpu.hash_probes += 1; // aggregation-table lookup
+    pipeline.agg_key_into(keys, scratch);
+    if let Some(v) = groups.get_mut(scratch.as_slice()) {
+        v.fold(mode, measure);
+    } else {
+        cpu.hash_builds += 1;
+        groups.insert(scratch.clone(), AggState::first(mode, measure));
+    }
+    cpu.agg_updates += 1;
+    cpu.tuple_copies += 1;
+}
+
 /// Charges the build of the dimension hash tables needed by `probe_mask`
 /// over a table storing `stored` levels: one insert per dimension row.
-fn charge_hash_builds(
+pub(crate) fn charge_hash_builds(
     cube: &Cube,
     table: TableId,
     probe_mask: u64,
@@ -134,7 +168,7 @@ pub fn shared_hybrid_join(
     table: TableId,
     hash_queries: &[GroupByQuery],
     index_queries: &[GroupByQuery],
-) -> Result<(Vec<QueryResult>, ExecReport), String> {
+) -> Result<(Vec<QueryResult>, ExecReport), ExecError> {
     if hash_queries.is_empty() && index_queries.is_empty() {
         return Err("shared_hybrid_join needs at least one query".into());
     }
@@ -187,9 +221,15 @@ pub fn shared_hybrid_join(
                 }
             }
         }
-        hash_states.into_iter().chain(index_states).collect::<Vec<_>>()
+        hash_states
+            .into_iter()
+            .chain(index_states)
+            .collect::<Vec<_>>()
     });
-    Ok((states.into_iter().map(QueryState::into_result).collect(), report))
+    Ok((
+        states.into_iter().map(QueryState::into_result).collect(),
+        report,
+    ))
 }
 
 /// §3.1 — shared scan hash-based star join (Figure 2).
@@ -198,7 +238,7 @@ pub fn shared_scan_hash_join(
     cube: &Cube,
     table: TableId,
     queries: &[GroupByQuery],
-) -> Result<(Vec<QueryResult>, ExecReport), String> {
+) -> Result<(Vec<QueryResult>, ExecReport), ExecError> {
     shared_hybrid_join(ctx, cube, table, queries, &[])
 }
 
@@ -208,7 +248,7 @@ pub fn hash_star_join(
     cube: &Cube,
     table: TableId,
     query: &GroupByQuery,
-) -> Result<(QueryResult, ExecReport), String> {
+) -> Result<(QueryResult, ExecReport), ExecError> {
     let (mut rs, rep) = shared_hybrid_join(ctx, cube, table, std::slice::from_ref(query), &[])?;
     Ok((rs.pop().expect("one query in, one result out"), rep))
 }
@@ -223,7 +263,7 @@ pub fn shared_index_join(
     cube: &Cube,
     table: TableId,
     queries: &[GroupByQuery],
-) -> Result<(Vec<QueryResult>, ExecReport), String> {
+) -> Result<(Vec<QueryResult>, ExecReport), ExecError> {
     if queries.is_empty() {
         return Err("shared_index_join needs at least one query".into());
     }
@@ -256,9 +296,7 @@ pub fn shared_index_join(
             st.bitmap = Some(qb);
         }
 
-        let union_mask = states
-            .iter()
-            .fold(0u64, |m, s| m | s.pipeline.probe_mask());
+        let union_mask = states.iter().fold(0u64, |m, s| m | s.pipeline.probe_mask());
         charge_hash_builds(cube, table, union_mask, cpu);
         let probes_per_tuple = union_mask.count_ones() as u64;
 
@@ -287,7 +325,10 @@ pub fn shared_index_join(
         }
         states
     });
-    Ok((states.into_iter().map(QueryState::into_result).collect(), report))
+    Ok((
+        states.into_iter().map(QueryState::into_result).collect(),
+        report,
+    ))
 }
 
 /// Figure 3 — a single bitmap index-based star join.
@@ -296,7 +337,7 @@ pub fn index_star_join(
     cube: &Cube,
     table: TableId,
     query: &GroupByQuery,
-) -> Result<(QueryResult, ExecReport), String> {
+) -> Result<(QueryResult, ExecReport), ExecError> {
     let (mut rs, rep) = shared_index_join(ctx, cube, table, std::slice::from_ref(query))?;
     Ok((rs.pop().expect("one query in, one result out"), rep))
 }
@@ -361,7 +402,11 @@ mod tests {
             for q in [q_selective(&cube), q_broad(&cube), q_other(&cube)] {
                 let (r, _) = hash_star_join(&mut ctx, &cube, tid, &q).unwrap();
                 let expect = reference_eval(&cube, tid, &q);
-                assert!(r.approx_eq(&expect, 1e-9), "{tname}: {}", q.display(&cube.schema));
+                assert!(
+                    r.approx_eq(&expect, 1e-9),
+                    "{tname}: {}",
+                    q.display(&cube.schema)
+                );
                 assert!(r.n_groups() > 0, "want non-trivial result at this scale");
             }
         }

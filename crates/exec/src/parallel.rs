@@ -1,0 +1,572 @@
+//! Partitioned, multi-threaded execution of a global plan's classes, with a
+//! deterministic clock.
+//!
+//! A `GlobalPlan`'s classes are independent by construction (each reads its
+//! own base table through its own shared operator), so they can run
+//! concurrently. Within a class, the dominant cost is the base-table pass;
+//! it is split into [`PARTITIONS`] page-aligned tuple ranges, each absorbed
+//! into *private* per-partition aggregation states that the coordinator
+//! merges afterwards in partition order.
+//!
+//! Everything the simulated clock sees is independent of how many host
+//! threads actually ran:
+//!
+//! * the partition count is **fixed** (not the thread count), so the work
+//!   split never changes;
+//! * each worker counts I/O and CPU privately against a
+//!   [`BufferPool::clone_residency`] snapshot, and the coordinator folds the
+//!   partials back in class/partition order;
+//! * partial aggregates merge in partition order, so floating-point sums
+//!   associate the same way every run;
+//! * [`ExecReport::sim`] still totals *all* work, while
+//!   [`ExecReport::critical`] reports the critical path — coordinator
+//!   phases plus the slowest partition, then the slowest class — which is
+//!   what an ideally-parallel 1998 machine's clock would read.
+//!
+//! Only wall time varies with the thread count; that is the point.
+//!
+//! Pool semantics differ from the sequential path in one way: every class
+//! starts from the residency the *plan* started with (a snapshot), and the
+//! shared pool's residency is left untouched — concurrent classes cannot
+//! warm pages for each other, because "which class ran first" would be a
+//! scheduling accident.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use starshare_bitmap::Bitmap;
+use starshare_olap::{AggState, Cube, GroupByQuery, TableId};
+use starshare_storage::{AccessKind, BufferPool, CpuCounters, HeapFile, IoStats, SimTime};
+
+use crate::context::{ExecContext, ExecReport};
+use crate::error::ExecError;
+use crate::operators::{charge_hash_builds, feed_tuple, QueryState};
+use crate::plan_io::build_query_bitmap;
+use crate::result::QueryResult;
+
+/// Fixed number of base-table partitions per class.
+///
+/// Deliberately **not** the thread count: the partitioning (and therefore
+/// every counter, every floating-point merge order, and the critical path)
+/// must be identical whether the partitions run on 1 thread or 16.
+pub const PARTITIONS: usize = 8;
+
+/// One class of a global plan, ready for partitioned execution: the shared
+/// base table plus its member queries split by join method.
+#[derive(Debug, Clone)]
+pub struct ClassSpec {
+    /// The shared base table.
+    pub table: TableId,
+    /// Queries evaluated by scanning (hash-based star joins).
+    pub hash_queries: Vec<GroupByQuery>,
+    /// Queries evaluated through bitmap indexes.
+    pub index_queries: Vec<GroupByQuery>,
+}
+
+/// One executed class: results in hash-then-index input order, plus the
+/// class's report (with `critical` = phase 1 + slowest partition + merge).
+#[derive(Debug)]
+pub struct ClassOutcome {
+    /// One result per query: all hash queries, then all index queries.
+    pub results: Vec<QueryResult>,
+    /// The class's cost report.
+    pub report: ExecReport,
+}
+
+/// How a class's partitions read the base table.
+enum ScanKind {
+    /// Any hash member forces a full scan (the §3.3 hybrid: index members
+    /// filter by bitmap during the same pass).
+    Scan,
+    /// Index-only class: probe candidate positions.
+    Probe {
+        /// OR of the member bitmaps; `None` with `everything` set when some
+        /// member has no index-servable predicate.
+        total: Option<Bitmap>,
+        everything: bool,
+    },
+}
+
+/// A class after the coordinator's phase 1 (compile + bitmaps + hash-table
+/// builds), immutable during the parallel phase.
+struct PreparedClass<'a> {
+    heap: &'a HeapFile,
+    /// Hash states first, then index states.
+    states: Vec<QueryState>,
+    n_hash: usize,
+    /// Post-phase-1 residency snapshot workers clone from.
+    pool: BufferPool,
+    scan: ScanKind,
+    probes_per_tuple: u64,
+    /// Page-aligned `[lo, hi)` tuple ranges (empty ranges dropped).
+    partitions: Vec<(u64, u64)>,
+    phase1_io: IoStats,
+    phase1_cpu: CpuCounters,
+    phase1_wall: Duration,
+}
+
+/// What one partition worker produced: private accumulators and privately
+/// counted work.
+struct PartitionOutput {
+    /// One group map per class query, in the class's state order.
+    groups: Vec<HashMap<Vec<u32>, AggState>>,
+    io: IoStats,
+    cpu: CpuCounters,
+    wall: Duration,
+}
+
+/// Splits `heap` into up to [`PARTITIONS`] contiguous page-aligned tuple
+/// ranges. Page alignment keeps partitions on disjoint pages, so private
+/// fault counts sum to exactly what one cold scan would fault.
+fn page_partitions(heap: &HeapFile) -> Vec<(u64, u64)> {
+    let n = heap.n_tuples();
+    if n == 0 {
+        return Vec::new();
+    }
+    let per_page = heap.layout().tuples_per_page() as u64;
+    let pages_per_part = (heap.page_count() as u64)
+        .div_ceil(PARTITIONS as u64)
+        .max(1);
+    (0..PARTITIONS as u64)
+        .map(|p| {
+            let lo = (p * pages_per_part * per_page).min(n);
+            let hi = ((p + 1) * pages_per_part * per_page).min(n);
+            (lo, hi)
+        })
+        .filter(|(lo, hi)| lo < hi)
+        .collect()
+}
+
+/// Runs one partition of one prepared class against a private pool
+/// snapshot. Pure with respect to shared state — everything mutable is
+/// local — so any worker may run it at any time with identical outcome.
+fn run_partition(cube: &Cube, class: &PreparedClass<'_>, lo: u64, hi: u64) -> PartitionOutput {
+    let start = Instant::now();
+    let mut pool = class.pool.clone_residency();
+    let mut cpu = CpuCounters::default();
+    let mut groups: Vec<HashMap<Vec<u32>, AggState>> =
+        class.states.iter().map(|_| HashMap::new()).collect();
+    let mut scratch = Vec::new();
+    let mut keys = vec![0u32; cube.schema.n_dims()];
+
+    let feed_states = |keys: &[u32],
+                       measure: f64,
+                       pos: u64,
+                       cpu: &mut CpuCounters,
+                       groups: &mut [HashMap<Vec<u32>, AggState>],
+                       scratch: &mut Vec<u32>| {
+        cpu.tuple_copies += 1;
+        cpu.hash_probes += class.probes_per_tuple;
+        for (i, st) in class.states.iter().enumerate() {
+            if i >= class.n_hash {
+                cpu.bitmap_tests += 1;
+                if !st.bitmap.as_ref().expect("built in phase 1").may_match(pos) {
+                    continue;
+                }
+            }
+            feed_tuple(
+                &st.pipeline,
+                st.mode,
+                st.skip_mask(),
+                keys,
+                measure,
+                &mut groups[i],
+                scratch,
+                cpu,
+            );
+        }
+    };
+
+    match &class.scan {
+        ScanKind::Scan => {
+            let mut cursor = class.heap.scan_range(lo, hi);
+            let mut pos = 0u64;
+            while let Some(measure) = cursor.next_into(&mut pool, &mut keys, &mut pos) {
+                feed_states(&keys, measure, pos, &mut cpu, &mut groups, &mut scratch);
+            }
+        }
+        ScanKind::Probe { total, everything } => {
+            let mut probe = |positions: &mut dyn Iterator<Item = u64>,
+                             pool: &mut BufferPool,
+                             cpu: &mut CpuCounters| {
+                for pos in positions {
+                    let measure = class.heap.fetch(pos, pool, AccessKind::Random, &mut keys);
+                    feed_states(&keys, measure, pos, cpu, &mut groups, &mut scratch);
+                }
+            };
+            if *everything {
+                probe(&mut (lo..hi), &mut pool, &mut cpu);
+            } else if let Some(tot) = total {
+                probe(
+                    &mut tot.iter_ones().filter(|p| (lo..hi).contains(p)),
+                    &mut pool,
+                    &mut cpu,
+                );
+            }
+        }
+    }
+    PartitionOutput {
+        groups,
+        io: pool.stats(),
+        cpu,
+        wall: start.elapsed(),
+    }
+}
+
+/// Executes a set of independent classes on `threads` worker threads.
+///
+/// Every `(class, partition)` pair becomes one unit in a single work queue,
+/// so partitions of different classes interleave freely across workers —
+/// class-level and partition-level parallelism fall out of the same pool.
+/// Results per class come back in hash-then-index order; the shared pool
+/// receives every partial [`IoStats`] in class/partition order and keeps
+/// its residency (see the module docs for why).
+pub fn execute_classes(
+    ctx: &mut ExecContext,
+    cube: &Cube,
+    classes: &[ClassSpec],
+    threads: usize,
+) -> Result<Vec<ClassOutcome>, ExecError> {
+    let threads = threads.max(1);
+    let model = ctx.model;
+
+    // ---- Phase 1 (coordinator, class order): compile, bitmaps, builds.
+    let mut prepared = Vec::with_capacity(classes.len());
+    for spec in classes {
+        if spec.hash_queries.is_empty() && spec.index_queries.is_empty() {
+            return Err("a plan class needs at least one query".into());
+        }
+        let start = Instant::now();
+        let mut states: Vec<QueryState> = spec
+            .hash_queries
+            .iter()
+            .chain(&spec.index_queries)
+            .map(|q| QueryState::compile(cube, spec.table, q))
+            .collect::<Result<_, _>>()?;
+        let n_hash = spec.hash_queries.len();
+
+        let mut pool = ctx.pool.clone_residency();
+        let mut cpu = CpuCounters::default();
+        let t = cube.catalog.table(spec.table);
+        // Index members need their result bitmaps up front in both shapes.
+        for st in states.iter_mut().skip(n_hash) {
+            st.bitmap = Some(build_query_bitmap(
+                &cube.schema,
+                t,
+                &st.query,
+                &mut pool,
+                &mut cpu,
+            ));
+        }
+        let union_mask = states.iter().fold(0u64, |m, s| m | s.pipeline.probe_mask());
+        charge_hash_builds(cube, spec.table, union_mask, &mut cpu);
+
+        let scan = if n_hash > 0 {
+            ScanKind::Scan
+        } else {
+            // OR the member bitmaps into the candidate set, as the shared
+            // index join does.
+            let mut total: Option<Bitmap> = None;
+            let mut everything = false;
+            for st in &states {
+                match &st.bitmap.as_ref().expect("index state").bitmap {
+                    Some(bm) => match total.as_mut() {
+                        Some(tot) => cpu.bitmap_words += tot.or_assign(bm),
+                        None => total = Some(bm.clone()),
+                    },
+                    None => everything = true,
+                }
+            }
+            ScanKind::Probe { total, everything }
+        };
+        let heap = t.heap();
+        prepared.push(PreparedClass {
+            partitions: page_partitions(heap),
+            heap,
+            probes_per_tuple: union_mask.count_ones() as u64,
+            states,
+            n_hash,
+            scan,
+            phase1_io: pool.stats(),
+            phase1_cpu: cpu,
+            phase1_wall: start.elapsed(),
+            pool,
+        });
+    }
+
+    // ---- Phase 2 (parallel): one queue of (class, partition) units.
+    let units: Vec<(usize, usize)> = prepared
+        .iter()
+        .enumerate()
+        .flat_map(|(c, pc)| (0..pc.partitions.len()).map(move |p| (c, p)))
+        .collect();
+    let slots: Vec<Mutex<Option<PartitionOutput>>> =
+        units.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads.min(units.len().max(1)) {
+            s.spawn(|| loop {
+                let u = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&(c, p)) = units.get(u) else { break };
+                let class = &prepared[c];
+                let (lo, hi) = class.partitions[p];
+                let out = run_partition(cube, class, lo, hi);
+                *slots[u].lock().expect("no panics hold this lock") = Some(out);
+            });
+        }
+    });
+    let mut outputs: Vec<Vec<PartitionOutput>> = prepared.iter().map(|_| Vec::new()).collect();
+    for (&(c, _), slot) in units.iter().zip(slots) {
+        outputs[c].push(slot.into_inner().expect("scope joined").expect("unit ran"));
+    }
+
+    // ---- Phase 3 (coordinator, class order): merge partials, total up.
+    let mut outcomes = Vec::with_capacity(prepared.len());
+    for (class, parts) in prepared.into_iter().zip(outputs) {
+        let merge_start = Instant::now();
+        let mut merge_cpu = CpuCounters::default();
+        let mut merged: Vec<HashMap<Vec<u32>, AggState>> =
+            class.states.iter().map(|_| HashMap::new()).collect();
+        for part in &parts {
+            for (qi, part_groups) in part.groups.iter().enumerate() {
+                let dst = &mut merged[qi];
+                for (k, st) in part_groups {
+                    merge_cpu.hash_probes += 1;
+                    if let Some(acc) = dst.get_mut(k) {
+                        acc.merge(class.states[qi].mode, st);
+                        merge_cpu.agg_updates += 1;
+                    } else {
+                        merge_cpu.hash_builds += 1;
+                        dst.insert(k.clone(), *st);
+                    }
+                }
+            }
+        }
+        let results: Vec<QueryResult> = class
+            .states
+            .iter()
+            .zip(merged)
+            .map(|(st, groups)| {
+                QueryResult::from_groups(
+                    st.query.clone(),
+                    groups.into_iter().map(|(k, a)| (k, a.value(st.mode))),
+                )
+            })
+            .collect();
+
+        let sim1 = class.phase1_io.io_time(&model) + model.cpu_time(&class.phase1_cpu);
+        let sim_merge = model.cpu_time(&merge_cpu);
+        let mut io = class.phase1_io;
+        let mut cpu = class.phase1_cpu;
+        cpu.merge(&merge_cpu);
+        let mut sim = sim1 + sim_merge;
+        let mut slowest = SimTime::ZERO;
+        let mut wall = class.phase1_wall + merge_start.elapsed();
+        for part in &parts {
+            io.merge(&part.io);
+            cpu.merge(&part.cpu);
+            let part_sim = part.io.io_time(&model) + model.cpu_time(&part.cpu);
+            sim += part_sim;
+            slowest = slowest.max(part_sim);
+            wall += part.wall;
+        }
+        ctx.pool.add_stats(&io);
+        outcomes.push(ClassOutcome {
+            results,
+            report: ExecReport {
+                io,
+                cpu,
+                sim,
+                critical: sim1 + slowest + sim_merge,
+                wall,
+            },
+        });
+    }
+    Ok(outcomes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operators::{shared_hybrid_join, shared_index_join};
+    use starshare_olap::{paper_cube, GroupByQuery, MemberPred, PaperCubeSpec};
+
+    fn cube() -> Cube {
+        paper_cube(PaperCubeSpec {
+            base_rows: 4_000,
+            d_leaf: 48,
+            seed: 5,
+            with_indexes: true,
+        })
+    }
+
+    fn q_broad(cube: &Cube) -> GroupByQuery {
+        GroupByQuery::new(
+            cube.groupby("A'B''C''D"),
+            vec![
+                MemberPred::members_in(1, vec![0, 1, 2]),
+                MemberPred::All,
+                MemberPred::All,
+                MemberPred::eq(1, 0),
+            ],
+        )
+    }
+
+    fn q_selective(cube: &Cube) -> GroupByQuery {
+        GroupByQuery::new(
+            cube.groupby("A'B''C''D"),
+            vec![
+                MemberPred::eq(1, 1),
+                MemberPred::eq(2, 0),
+                MemberPred::eq(2, 2),
+                MemberPred::eq(1, 0),
+            ],
+        )
+    }
+
+    #[test]
+    fn partitions_are_page_aligned_and_cover_the_table() {
+        let cube = cube();
+        let t = cube.catalog.base_table().unwrap();
+        let heap = cube.catalog.table(t).heap();
+        let parts = page_partitions(heap);
+        assert!(!parts.is_empty() && parts.len() <= PARTITIONS);
+        let per_page = heap.layout().tuples_per_page() as u64;
+        let mut expect_lo = 0;
+        for &(lo, hi) in &parts {
+            assert_eq!(lo, expect_lo, "contiguous");
+            assert_eq!(lo % per_page, 0, "page-aligned start");
+            expect_lo = hi;
+        }
+        assert_eq!(expect_lo, heap.n_tuples(), "full coverage");
+    }
+
+    #[test]
+    fn partitioned_scan_matches_sequential_operator() {
+        let cube = cube();
+        let t = cube.catalog.find_by_name("A'B'C'D").unwrap();
+        let hash_qs = vec![q_broad(&cube)];
+        let index_qs = vec![q_selective(&cube)];
+        let mut ctx = ExecContext::paper_1998();
+        let (seq_rs, _) = shared_hybrid_join(&mut ctx, &cube, t, &hash_qs, &index_qs).unwrap();
+        let mut ctx2 = ExecContext::paper_1998();
+        let spec = ClassSpec {
+            table: t,
+            hash_queries: hash_qs,
+            index_queries: index_qs,
+        };
+        let out = execute_classes(&mut ctx2, &cube, std::slice::from_ref(&spec), 2).unwrap();
+        assert_eq!(out.len(), 1);
+        for (par, seq) in out[0].results.iter().zip(&seq_rs) {
+            assert!(par.approx_eq(seq, 1e-9));
+        }
+        assert!(out[0].report.critical <= out[0].report.sim);
+        assert!(out[0].report.critical > SimTime::ZERO);
+    }
+
+    #[test]
+    fn partitioned_probe_matches_sequential_operator() {
+        let cube = cube();
+        let t = cube.catalog.find_by_name("A'B'C'D").unwrap();
+        let qs = vec![q_selective(&cube)];
+        let mut ctx = ExecContext::paper_1998();
+        let (seq_rs, _) = shared_index_join(&mut ctx, &cube, t, &qs).unwrap();
+        let mut ctx2 = ExecContext::paper_1998();
+        let spec = ClassSpec {
+            table: t,
+            hash_queries: vec![],
+            index_queries: qs,
+        };
+        let out = execute_classes(&mut ctx2, &cube, std::slice::from_ref(&spec), 3).unwrap();
+        assert!(out[0].results[0].approx_eq(&seq_rs[0], 1e-9));
+    }
+
+    #[test]
+    fn thread_count_never_changes_the_clock() {
+        let cube = cube();
+        let t = cube.catalog.base_table().unwrap();
+        let spec = ClassSpec {
+            table: t,
+            hash_queries: vec![q_broad(&cube), q_selective(&cube)],
+            index_queries: vec![],
+        };
+        let runs: Vec<ClassOutcome> = [1usize, 2, 4]
+            .iter()
+            .map(|&n| {
+                let mut ctx = ExecContext::paper_1998();
+                execute_classes(&mut ctx, &cube, std::slice::from_ref(&spec), n)
+                    .unwrap()
+                    .remove(0)
+            })
+            .collect();
+        for other in &runs[1..] {
+            assert_eq!(runs[0].report.sim, other.report.sim);
+            assert_eq!(runs[0].report.critical, other.report.critical);
+            assert_eq!(runs[0].report.io, other.report.io);
+            for (a, b) in runs[0].results.iter().zip(&other.results) {
+                assert_eq!(a.rows, b.rows, "bit-identical results");
+            }
+        }
+    }
+
+    #[test]
+    fn probe_everything_query_probes_every_row_once() {
+        let cube = cube();
+        // A''B''C''D has no indexes: the index class degenerates to probing
+        // all positions.
+        let t = cube.catalog.find_by_name("A''B''C''D").unwrap();
+        let q = GroupByQuery::new(
+            cube.groupby("A''B''C''D"),
+            vec![
+                MemberPred::eq(2, 0),
+                MemberPred::All,
+                MemberPred::All,
+                MemberPred::All,
+            ],
+        );
+        let spec = ClassSpec {
+            table: t,
+            hash_queries: vec![],
+            index_queries: vec![q.clone()],
+        };
+        let mut ctx = ExecContext::paper_1998();
+        let out = execute_classes(&mut ctx, &cube, std::slice::from_ref(&spec), 2).unwrap();
+        let n = cube.catalog.table(t).n_rows();
+        assert_eq!(out[0].report.cpu.bitmap_tests, n);
+        let mut ctx2 = ExecContext::paper_1998();
+        let (seq_rs, _) = shared_index_join(&mut ctx2, &cube, t, &[q]).unwrap();
+        assert!(out[0].results[0].approx_eq(&seq_rs[0], 1e-9));
+    }
+
+    #[test]
+    fn empty_class_is_rejected() {
+        let cube = cube();
+        let t = cube.catalog.base_table().unwrap();
+        let mut ctx = ExecContext::paper_1998();
+        let spec = ClassSpec {
+            table: t,
+            hash_queries: vec![],
+            index_queries: vec![],
+        };
+        assert!(execute_classes(&mut ctx, &cube, &[spec], 2).is_err());
+    }
+
+    #[test]
+    fn stats_flow_back_to_the_shared_pool() {
+        let cube = cube();
+        let t = cube.catalog.base_table().unwrap();
+        let spec = ClassSpec {
+            table: t,
+            hash_queries: vec![q_broad(&cube)],
+            index_queries: vec![],
+        };
+        let mut ctx = ExecContext::paper_1998();
+        let before = ctx.pool.stats();
+        let out = execute_classes(&mut ctx, &cube, &[spec], 2).unwrap();
+        let delta = ctx.pool.stats().since(&before);
+        assert_eq!(delta, out[0].report.io);
+        assert!(delta.seq_faults > 0);
+    }
+}

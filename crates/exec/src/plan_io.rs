@@ -122,8 +122,7 @@ mod tests {
         let mut keys = vec![0u32; 4];
         for pos in 0..t.n_rows() {
             t.heap().read_at(pos, &mut keys);
-            let expect = cube.schema.dim(0).roll_up(keys[0], 1, 2) == 0
-                && keys[2] == 1;
+            let expect = cube.schema.dim(0).roll_up(keys[0], 1, 2) == 0 && keys[2] == 1;
             assert_eq!(bm.get(pos), expect, "pos {pos}");
         }
         assert!(cpu.index_lookups > 0);

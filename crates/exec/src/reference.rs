@@ -118,7 +118,9 @@ mod tests {
         let r = reference_eval(&cube, base, &q);
         let t = cube.catalog.table(base);
         let mut keys = vec![0u32; 4];
-        let expect: f64 = (0..t.n_rows()).map(|p| t.heap().read_at(p, &mut keys)).sum();
+        let expect: f64 = (0..t.n_rows())
+            .map(|p| t.heap().read_at(p, &mut keys))
+            .sum();
         assert!((r.grand_total() - expect).abs() < 1e-6);
         assert!(r.n_groups() <= 81);
     }

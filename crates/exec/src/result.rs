@@ -17,7 +17,10 @@ pub struct QueryResult {
 
 impl QueryResult {
     /// Assembles a result from an unordered accumulator.
-    pub fn from_groups(query: GroupByQuery, groups: impl IntoIterator<Item = (Vec<u32>, f64)>) -> Self {
+    pub fn from_groups(
+        query: GroupByQuery,
+        groups: impl IntoIterator<Item = (Vec<u32>, f64)>,
+    ) -> Self {
         let mut rows: Vec<(Vec<u32>, f64)> = groups.into_iter().collect();
         rows.sort_by(|a, b| a.0.cmp(&b.0));
         QueryResult { query, rows }
@@ -42,9 +45,12 @@ impl QueryResult {
         if self.rows.len() != other.rows.len() {
             return false;
         }
-        self.rows.iter().zip(&other.rows).all(|((k1, m1), (k2, m2))| {
-            k1 == k2 && (m1 - m2).abs() <= rel_tol * m1.abs().max(m2.abs()).max(1.0)
-        })
+        self.rows
+            .iter()
+            .zip(&other.rows)
+            .all(|((k1, m1), (k2, m2))| {
+                k1 == k2 && (m1 - m2).abs() <= rel_tol * m1.abs().max(m2.abs()).max(1.0)
+            })
     }
 
     /// Renders the first `limit` rows with member names.
@@ -104,10 +110,7 @@ mod tests {
     #[test]
     fn from_groups_sorts() {
         let s = schema();
-        let r = QueryResult::from_groups(
-            q(&s),
-            vec![(vec![1], 2.0), (vec![0], 1.0)],
-        );
+        let r = QueryResult::from_groups(q(&s), vec![(vec![1], 2.0), (vec![0], 1.0)]);
         assert_eq!(r.rows[0].0, vec![0]);
         assert_eq!(r.n_groups(), 2);
         assert_eq!(r.grand_total(), 3.0);
@@ -141,10 +144,8 @@ mod tests {
     #[test]
     fn display_truncates() {
         let s = schema();
-        let r = QueryResult::from_groups(
-            q(&s),
-            (0..4u32).map(|i| (vec![i], 1.0)).collect::<Vec<_>>(),
-        );
+        let r =
+            QueryResult::from_groups(q(&s), (0..4u32).map(|i| (vec![i], 1.0)).collect::<Vec<_>>());
         let d = r.display(&s, 2);
         assert!(d.contains("2 more rows"), "{d}");
     }

@@ -16,6 +16,8 @@
 use starshare_olap::{GroupBy, GroupByQuery, LevelRef, StarSchema};
 use starshare_storage::CpuCounters;
 
+use crate::error::ExecError;
+
 /// One compiled predicate: roll the stored key up by `divisor`, then test
 /// membership.
 #[derive(Debug, Clone)]
@@ -48,13 +50,13 @@ impl DimPipeline {
         schema: &StarSchema,
         stored: &GroupBy,
         query: &GroupByQuery,
-    ) -> Result<Self, String> {
+    ) -> Result<Self, ExecError> {
         if !query.answerable_from(stored) {
-            return Err(format!(
+            return Err(ExecError::new(format!(
                 "query {} is not answerable from {}",
                 query.display(schema),
                 stored.display(schema)
-            ));
+            )));
         }
         let mut preds = Vec::new();
         let mut agg_extract = Vec::new();
@@ -262,10 +264,7 @@ mod tests {
     fn compile_against_all_dimension() {
         let s = schema();
         let stored = GroupBy::new(vec![LevelRef::Level(1), LevelRef::All]);
-        let q = GroupByQuery::unfiltered(GroupBy::new(vec![
-            LevelRef::Level(2),
-            LevelRef::All,
-        ]));
+        let q = GroupByQuery::unfiltered(GroupBy::new(vec![LevelRef::Level(2), LevelRef::All]));
         let p = DimPipeline::compile(&s, &stored, &q).unwrap();
         let mut out = Vec::new();
         p.agg_key_into(&[3, 0], &mut out);

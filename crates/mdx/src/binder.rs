@@ -115,9 +115,7 @@ fn resolve_path(schema: &StarSchema, expr: &MemberExpr) -> Result<SetState, Bind
                     return Err(err(format!("unknown name {name:?}")));
                 }
             }
-            (None, PathSeg::Children) => {
-                return Err(err("CHILDREN needs a member to apply to"))
-            }
+            (None, PathSeg::Children) => return Err(err("CHILDREN needs a member to apply to")),
             (Some(SetState::Dim(d)), PathSeg::Ident(name)) => {
                 if name.eq_ignore_ascii_case("all") {
                     SetState::AllOf(d)
@@ -137,15 +135,12 @@ fn resolve_path(schema: &StarSchema, expr: &MemberExpr) -> Result<SetState, Bind
                 }
             }
             (Some(SetState::Level(d, l)), PathSeg::Ident(name)) => {
-                let m = schema
-                    .dim(d)
-                    .member_by_name(l, name)
-                    .ok_or_else(|| {
-                        err(format!(
-                            "no member {name:?} at level {}",
-                            schema.dim(d).level(l).name
-                        ))
-                    })?;
+                let m = schema.dim(d).member_by_name(l, name).ok_or_else(|| {
+                    err(format!(
+                        "no member {name:?} at level {}",
+                        schema.dim(d).level(l).name
+                    ))
+                })?;
                 SetState::Members(MemberGroup {
                     dim: d,
                     level: l,
@@ -198,9 +193,7 @@ fn resolve_path(schema: &StarSchema, expr: &MemberExpr) -> Result<SetState, Bind
             | (Some(SetState::Level(..)), PathSeg::Children) => {
                 return Err(err("CHILDREN must follow a member"))
             }
-            (Some(SetState::AllOf(_)), _) => {
-                return Err(err("nothing may follow .All"))
-            }
+            (Some(SetState::AllOf(_)), _) => return Err(err("nothing may follow .All")),
         });
     }
     state.ok_or_else(|| err("empty member path"))
@@ -219,8 +212,9 @@ fn find_member_any_dim(schema: &StarSchema, name: &str) -> Option<(DimId, u8, u3
 pub fn bind(schema: &StarSchema, expr: &MdxExpr) -> Result<BoundMdx, BindError> {
     let agg = match &expr.aggregate {
         None => AggFn::Sum,
-        Some(name) => AggFn::parse(name)
-            .ok_or_else(|| err(format!("unknown aggregate function {name:?}")))?,
+        Some(name) => {
+            AggFn::parse(name).ok_or_else(|| err(format!("unknown aggregate function {name:?}")))?
+        }
     };
     // Per dimension: the list of (level → members) groups from its axis,
     // plus which axis it appeared on (to reject cross-axis reuse). Also
@@ -263,7 +257,11 @@ pub fn bind(schema: &StarSchema, expr: &MdxExpr) -> Result<BoundMdx, BindError> 
                     schema.dim(group.dim).name()
                 )));
             }
-            entry.1.entry(group.level).or_default().extend(group.members);
+            entry
+                .1
+                .entry(group.level)
+                .or_default()
+                .extend(group.members);
         }
         // Cross the per-dimension lists (first-named dimension outermost —
         // NEST display order).
@@ -438,9 +436,7 @@ mod tests {
     fn mixed_levels_on_one_axis_expand() {
         // Months of Qtr-like mix: {A''.A1.CHILDREN, A''.A2} has A' and A''
         // groups → 2 queries.
-        let b = bind_str(
-            "{A''.A1.CHILDREN, A''.A2} on COLUMNS {B''.B1} on ROWS CONTEXT ABCD;",
-        );
+        let b = bind_str("{A''.A1.CHILDREN, A''.A2} on COLUMNS {B''.B1} on ROWS CONTEXT ABCD;");
         let s = schema();
         assert_eq!(b.queries.len(), 2);
         // Coarsest first.

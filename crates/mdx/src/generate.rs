@@ -9,14 +9,13 @@
 //! parser) and semantics-level fuzzing (valid text must round-trip into
 //! correct answers).
 
-use rand::Rng;
-
 use starshare_olap::StarSchema;
+use starshare_prng::Prng;
 
 use crate::ast::Axis;
 
 /// Generates one random MDX expression against `schema`, naming `cube`.
-pub fn generate_mdx(schema: &StarSchema, cube: &str, rng: &mut impl Rng) -> String {
+pub fn generate_mdx(schema: &StarSchema, cube: &str, rng: &mut Prng) -> String {
     let n_dims = schema.n_dims();
     let n_axes = rng.gen_range(1..=3.min(n_dims));
     // Shuffle dimension ids; first n_axes go to axes, a random subset of
@@ -47,8 +46,8 @@ pub fn generate_mdx(schema: &StarSchema, cube: &str, rng: &mut impl Rng) -> Stri
 
 /// A `{…}` set for dimension `d`: 1–3 member expressions, possibly at
 /// mixed levels.
-fn generate_member_set(schema: &StarSchema, d: usize, rng: &mut impl Rng) -> String {
-    let n = rng.gen_range(1..=3);
+fn generate_member_set(schema: &StarSchema, d: usize, rng: &mut Prng) -> String {
+    let n = rng.gen_range(1usize..=3);
     let items: Vec<String> = (0..n)
         .map(|_| generate_member_path(schema, d, rng))
         .collect();
@@ -57,7 +56,7 @@ fn generate_member_set(schema: &StarSchema, d: usize, rng: &mut impl Rng) -> Str
 
 /// One member path for dimension `d`: `Level.Member`, optionally with
 /// `.CHILDREN` (and sometimes a child selection).
-fn generate_member_path(schema: &StarSchema, d: usize, rng: &mut impl Rng) -> String {
+fn generate_member_path(schema: &StarSchema, d: usize, rng: &mut Prng) -> String {
     let dim = schema.dim(d);
     let n_levels = dim.n_levels();
     let level = rng.gen_range(0..n_levels);
@@ -84,14 +83,13 @@ mod tests {
     use super::*;
     use crate::binder::bind;
     use crate::parser::parse;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use starshare_olap::paper_schema;
+    use starshare_prng::Prng;
 
     #[test]
     fn generated_mdx_always_parses_and_binds() {
         let schema = paper_schema(48);
-        let mut rng = StdRng::seed_from_u64(99);
+        let mut rng = Prng::seed_from_u64(99);
         for i in 0..500 {
             let mdx = generate_mdx(&schema, "ABCD", &mut rng);
             let expr = parse(&mdx).unwrap_or_else(|e| panic!("#{i} {mdx:?}: {e}"));
@@ -104,10 +102,10 @@ mod tests {
     #[test]
     fn generation_is_deterministic_per_seed() {
         let schema = paper_schema(48);
-        let a = generate_mdx(&schema, "C", &mut StdRng::seed_from_u64(5));
-        let b = generate_mdx(&schema, "C", &mut StdRng::seed_from_u64(5));
+        let a = generate_mdx(&schema, "C", &mut Prng::seed_from_u64(5));
+        let b = generate_mdx(&schema, "C", &mut Prng::seed_from_u64(5));
         assert_eq!(a, b);
-        let c = generate_mdx(&schema, "C", &mut StdRng::seed_from_u64(6));
+        let c = generate_mdx(&schema, "C", &mut Prng::seed_from_u64(6));
         assert_ne!(a, c, "different seeds should diverge");
     }
 
@@ -116,12 +114,14 @@ mod tests {
         // Over many samples, the generator should exercise CHILDREN,
         // multi-axis layouts, and slicers.
         let schema = paper_schema(48);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Prng::seed_from_u64(1);
         let samples: Vec<String> = (0..200)
             .map(|_| generate_mdx(&schema, "ABCD", &mut rng))
             .collect();
         assert!(samples.iter().any(|s| s.contains("CHILDREN")));
-        assert!(samples.iter().any(|s| s.contains("on Rows") || s.contains("on ROWS")));
+        assert!(samples
+            .iter()
+            .any(|s| s.contains("on Rows") || s.contains("on ROWS")));
         assert!(samples.iter().any(|s| s.contains("FILTER")));
         assert!(samples.iter().any(|s| !s.contains("FILTER")));
     }

@@ -36,6 +36,6 @@ pub mod paper_queries;
 pub mod parser;
 
 pub use ast::{Axis, AxisSpec, MdxExpr, MemberExpr, PathSeg};
-pub use binder::{bind, BoundAxis, BoundMdx};
+pub use binder::{bind, BindError, BoundAxis, BoundMdx};
 pub use generate::generate_mdx;
-pub use parser::parse;
+pub use parser::{parse, ParseError};

@@ -16,42 +16,60 @@ use crate::parser::parse;
 /// Panics if `n` is not in `1..=9`.
 pub fn paper_query_text(n: usize) -> &'static str {
     match n {
-        1 => "{A''.A1.CHILDREN} on COLUMNS \
+        1 => {
+            "{A''.A1.CHILDREN} on COLUMNS \
               {B''.B1} on ROWS \
               {C''.C1} on PAGES \
-              CONTEXT ABCD FILTER (D.DD1);",
-        2 => "{A''.A1, A''.A2, A''.A3} on COLUMNS \
+              CONTEXT ABCD FILTER (D.DD1);"
+        }
+        2 => {
+            "{A''.A1, A''.A2, A''.A3} on COLUMNS \
               {B''.B2.CHILDREN} on ROWS \
               {C''.C2} on PAGES \
-              CONTEXT ABCD FILTER (D.DD1);",
-        3 => "{A''.A2} on COLUMNS \
+              CONTEXT ABCD FILTER (D.DD1);"
+        }
+        3 => {
+            "{A''.A2} on COLUMNS \
               {B''.B2} on ROWS \
               {C''.C1, C''.C3} on PAGES \
-              CONTEXT ABCD FILTER (D.DD1);",
-        4 => "{A''.A3, A''.A2} on COLUMNS \
+              CONTEXT ABCD FILTER (D.DD1);"
+        }
+        4 => {
+            "{A''.A3, A''.A2} on COLUMNS \
               {B''.B3} on ROWS \
               {C''.C1, C''.C2, C''.C3} on PAGES \
-              CONTEXT ABCD FILTER (D.DD1);",
-        5 => "{A''.A1.CHILDREN.AA2} on COLUMNS \
+              CONTEXT ABCD FILTER (D.DD1);"
+        }
+        5 => {
+            "{A''.A1.CHILDREN.AA2} on COLUMNS \
               {B''.B1} on ROWS \
               {C''.C3} on PAGES \
-              CONTEXT ABCD FILTER (D.DD1);",
-        6 => "{A''.A2.CHILDREN.AA5} on COLUMNS \
+              CONTEXT ABCD FILTER (D.DD1);"
+        }
+        6 => {
+            "{A''.A2.CHILDREN.AA5} on COLUMNS \
               {B''.B1.CHILDREN} on ROWS \
               {C''.C3.CHILDREN.CC2} on PAGES \
-              CONTEXT ABCD FILTER (D.DD1);",
-        7 => "{A''.A3.CHILDREN.AA2} on COLUMNS \
+              CONTEXT ABCD FILTER (D.DD1);"
+        }
+        7 => {
+            "{A''.A3.CHILDREN.AA2} on COLUMNS \
               {B''.B2.CHILDREN.BB3} on ROWS \
               {C''.C1.CHILDREN.CC1} on PAGES \
-              CONTEXT ABCD FILTER (D.DD1);",
-        8 => "{A''.A1.CHILDREN.AA2} on COLUMNS \
+              CONTEXT ABCD FILTER (D.DD1);"
+        }
+        8 => {
+            "{A''.A1.CHILDREN.AA2} on COLUMNS \
               {B''.B2.CHILDREN.BB1} on ROWS \
               {C''.C1} on PAGES \
-              CONTEXT ABCD FILTER (D.DD1);",
-        9 => "{A''.A1.CHILDREN} on COLUMNS \
+              CONTEXT ABCD FILTER (D.DD1);"
+        }
+        9 => {
+            "{A''.A1.CHILDREN} on COLUMNS \
               {B''.B2, B''.B3} on ROWS \
               {C''.C1.CHILDREN} on PAGES \
-              CONTEXT ABCD FILTER (D.DD1);",
+              CONTEXT ABCD FILTER (D.DD1);"
+        }
         _ => panic!("the paper defines queries 1..=9, not {n}"),
     }
 }
@@ -111,11 +129,7 @@ mod tests {
         let s = paper_schema(7200);
         for n in 1..=9 {
             let q = bind_paper_query(&s, n).unwrap_or_else(|e| panic!("Q{n}: {e}"));
-            assert_eq!(
-                q.group_by.display(&s),
-                paper_query_target(n),
-                "query {n}"
-            );
+            assert_eq!(q.group_by.display(&s), paper_query_target(n), "query {n}");
             // Every query filters D to DD1 at level D'.
             assert_eq!(q.preds[3], MemberPred::eq(1, 0), "query {n} D filter");
         }

@@ -30,7 +30,11 @@ pub struct ParseError {
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "parse error at token {}: {}", self.position, self.message)
+        write!(
+            f,
+            "parse error at token {}: {}",
+            self.position, self.message
+        )
     }
 }
 
@@ -273,10 +277,7 @@ mod tests {
         assert_eq!(e.axes[1].members.len(), 4);
         assert_eq!(e.cube, "SalesCube");
         assert_eq!(e.filter.len(), 3);
-        assert_eq!(
-            e.filter[1].segments,
-            vec![PathSeg::Ident("1991".into())]
-        );
+        assert_eq!(e.filter[1].segments, vec![PathSeg::Ident("1991".into())]);
     }
 
     #[test]

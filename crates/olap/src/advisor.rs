@@ -55,9 +55,7 @@ pub fn lattice_nodes(schema: &StarSchema) -> Vec<GroupBy> {
     let n = schema.n_dims();
     let options: Vec<Vec<LevelRef>> = (0..n)
         .map(|d| {
-            let mut o: Vec<LevelRef> = (0..schema.dim(d).n_levels())
-                .map(LevelRef::Level)
-                .collect();
+            let mut o: Vec<LevelRef> = (0..schema.dim(d).n_levels()).map(LevelRef::Level).collect();
             o.push(LevelRef::All);
             o
         })
@@ -166,7 +164,14 @@ mod tests {
     #[test]
     fn greedy_benefits_are_monotone_nonincreasing() {
         let s = paper_schema(96);
-        let recs = recommend_views(&s, 100_000, AdvisorConfig { max_views: 6, row_budget: None });
+        let recs = recommend_views(
+            &s,
+            100_000,
+            AdvisorConfig {
+                max_views: 6,
+                row_budget: None,
+            },
+        );
         assert!(!recs.is_empty());
         for w in recs.windows(2) {
             assert!(
@@ -188,7 +193,14 @@ mod tests {
         // the lattice (covers much, costs little). On the paper schema it
         // must at least derive the majority of nodes it could serve.
         let s = paper_schema(96);
-        let recs = recommend_views(&s, 50_000, AdvisorConfig { max_views: 1, row_budget: None });
+        let recs = recommend_views(
+            &s,
+            50_000,
+            AdvisorConfig {
+                max_views: 1,
+                row_budget: None,
+            },
+        );
         let first = &recs[0].group_by;
         let covered = lattice_nodes(&s)
             .iter()
@@ -200,13 +212,23 @@ mod tests {
     #[test]
     fn row_budget_is_respected() {
         let s = paper_schema(96);
-        let unbounded = recommend_views(&s, 100_000, AdvisorConfig { max_views: 8, row_budget: None });
+        let unbounded = recommend_views(
+            &s,
+            100_000,
+            AdvisorConfig {
+                max_views: 8,
+                row_budget: None,
+            },
+        );
         let total_unbounded: f64 = unbounded.iter().map(|r| r.est_rows).sum();
         let budget = total_unbounded / 3.0;
         let bounded = recommend_views(
             &s,
             100_000,
-            AdvisorConfig { max_views: 8, row_budget: Some(budget) },
+            AdvisorConfig {
+                max_views: 8,
+                row_budget: Some(budget),
+            },
         );
         let total: f64 = bounded.iter().map(|r| r.est_rows).sum();
         assert!(total <= budget, "{total} > {budget}");
@@ -224,7 +246,14 @@ mod tests {
     #[test]
     fn zero_views_allowed() {
         let s = paper_schema(96);
-        let recs = recommend_views(&s, 1_000, AdvisorConfig { max_views: 0, row_budget: None });
+        let recs = recommend_views(
+            &s,
+            1_000,
+            AdvisorConfig {
+                max_views: 0,
+                row_budget: None,
+            },
+        );
         assert!(recs.is_empty());
     }
 
@@ -233,7 +262,14 @@ mod tests {
         // Materializing the advisor's picks must reduce the size of the
         // smallest table answering a mid-lattice query.
         let s = paper_schema(96);
-        let recs = recommend_views(&s, 20_000, AdvisorConfig { max_views: 3, row_budget: None });
+        let recs = recommend_views(
+            &s,
+            20_000,
+            AdvisorConfig {
+                max_views: 3,
+                row_budget: None,
+            },
+        );
         let target = GroupBy::parse(&s, "A''B''C''D''").unwrap();
         let best_source = recs
             .iter()

@@ -256,9 +256,10 @@ impl StoredTable {
         );
         let name = format!("{}.{}", self.name, schema.dim(d).level(level).name);
         let dim = schema.dim(d).clone();
-        let idx = BitmapJoinIndex::build_with_format(name, index_file, &self.heap, d, format, |k| {
-            dim.roll_up(k, stored, level)
-        });
+        let idx =
+            BitmapJoinIndex::build_with_format(name, index_file, &self.heap, d, format, |k| {
+                dim.roll_up(k, stored, level)
+            });
         self.indexes[d] = Some(DimIndex { level, index: idx });
     }
 }
@@ -315,10 +316,7 @@ impl Catalog {
 
     /// All `(id, table)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (TableId, &StoredTable)> {
-        self.tables
-            .iter()
-            .enumerate()
-            .map(|(i, t)| (TableId(i), t))
+        self.tables.iter().enumerate().map(|(i, t)| (TableId(i), t))
     }
 
     /// Finds a table storing exactly `group_by`.
@@ -330,7 +328,9 @@ impl Catalog {
 
     /// Finds a table by name.
     pub fn find_by_name(&self, name: &str) -> Option<TableId> {
-        self.iter().find(|(_, t)| t.name() == name).map(|(id, _)| id)
+        self.iter()
+            .find(|(_, t)| t.name() == name)
+            .map(|(id, _)| id)
     }
 
     /// All tables that can answer `query` (levels *and* measure), smallest
@@ -473,6 +473,20 @@ impl AggState {
         }
     }
 
+    /// Folds another *partial state* for the same group in (partitioned
+    /// aggregation: each partition accumulates privately, then partials are
+    /// merged in partition order so floating-point sums stay deterministic).
+    pub fn merge(&mut self, mode: CombineMode, other: &AggState) {
+        match mode {
+            CombineMode::Add | CombineMode::CountRows | CombineMode::Average => {
+                self.acc += other.acc;
+                self.n += other.n;
+            }
+            CombineMode::TakeMin => self.acc = self.acc.min(other.acc),
+            CombineMode::TakeMax => self.acc = self.acc.max(other.acc),
+        }
+    }
+
     /// The group's final value.
     pub fn value(&self, mode: CombineMode) -> f64 {
         match mode {
@@ -544,7 +558,13 @@ pub fn materialize_agg(
     for pos in 0..source.n_rows() {
         let m = source.heap().read_at(pos, &mut keys);
         for d in 0..n_dims {
-            out_keys[d] = roll_key(schema, d, source.group_by().level(d), target.level(d), keys[d]);
+            out_keys[d] = roll_key(
+                schema,
+                d,
+                source.group_by().level(d),
+                target.level(d),
+                keys[d],
+            );
         }
         match acc.get_mut(out_keys.as_slice()) {
             Some(st) => st.fold(mode, m),
@@ -553,10 +573,8 @@ pub fn materialize_agg(
             }
         }
     }
-    let mut rows: Vec<(Vec<u32>, f64)> = acc
-        .into_iter()
-        .map(|(k, st)| (k, st.value(mode)))
-        .collect();
+    let mut rows: Vec<(Vec<u32>, f64)> =
+        acc.into_iter().map(|(k, st)| (k, st.value(mode))).collect();
     rows.sort_by_cached_key(|(k, _)| (hash_order(k), k.clone()));
     let heap = HeapFile::from_rows(file_id, layout, rows);
     StoredTable::with_measure(name, target, heap, MeasureKind::Aggregated(agg))
@@ -599,6 +617,41 @@ mod tests {
     use crate::query::MemberPred;
     use crate::schema::Dimension;
 
+    #[test]
+    fn agg_state_merge_equals_unpartitioned_fold() {
+        let measures = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0];
+        for mode in [
+            CombineMode::Add,
+            CombineMode::CountRows,
+            CombineMode::TakeMin,
+            CombineMode::TakeMax,
+            CombineMode::Average,
+        ] {
+            let mut whole = AggState::first(mode, measures[0]);
+            for &m in &measures[1..] {
+                whole.fold(mode, m);
+            }
+            // Same stream split at every cut point: merge(left, right) must
+            // finalize to the same value.
+            for cut in 1..measures.len() {
+                let mut left = AggState::first(mode, measures[0]);
+                for &m in &measures[1..cut] {
+                    left.fold(mode, m);
+                }
+                let mut right = AggState::first(mode, measures[cut]);
+                for &m in &measures[cut + 1..] {
+                    right.fold(mode, m);
+                }
+                left.merge(mode, &right);
+                assert_eq!(
+                    left.value(mode),
+                    whole.value(mode),
+                    "{mode:?} split at {cut}"
+                );
+            }
+        }
+    }
+
     fn schema() -> StarSchema {
         StarSchema::new(
             vec![
@@ -630,7 +683,9 @@ mod tests {
         for pos in 0..t.n_rows() {
             total += t.heap().read_at(pos, &mut keys);
         }
-        let expect: f64 = (0..4).flat_map(|a| (0..6).map(move |b| (a * 10 + b) as f64)).sum();
+        let expect: f64 = (0..4)
+            .flat_map(|a| (0..6).map(move |b| (a * 10 + b) as f64))
+            .sum();
         assert_eq!(total, expect);
         // Row for (A'=0, B=0) should sum a∈{0,1}: 0 + 10 = 10.
         let mut found = false;
@@ -692,7 +747,13 @@ mod tests {
     fn materialize_rejects_underivable_target() {
         let s = schema();
         let base = base_table(&s);
-        let coarse = materialize(&s, &base, GroupBy::parse(&s, "A'B'").unwrap(), "v", FileId(1));
+        let coarse = materialize(
+            &s,
+            &base,
+            GroupBy::parse(&s, "A'B'").unwrap(),
+            "v",
+            FileId(1),
+        );
         // Refining A' back to A is impossible.
         materialize(&s, &coarse, GroupBy::finest(2), "bad", FileId(2));
     }
@@ -721,7 +782,10 @@ mod tests {
 
         assert_eq!(cat.base_table(), Some(base_id));
         assert_eq!(cat.find_by_name("A'B"), Some(v1_id));
-        assert_eq!(cat.find_by_groupby(&GroupBy::parse(&s, "A'B'").unwrap()), Some(v2_id));
+        assert_eq!(
+            cat.find_by_groupby(&GroupBy::parse(&s, "A'B'").unwrap()),
+            Some(v2_id)
+        );
         assert_eq!(cat.find_by_name("nope"), None);
     }
 
@@ -730,7 +794,13 @@ mod tests {
         let s = schema();
         let mut cat = Catalog::new();
         let base = base_table(&s);
-        let v = materialize(&s, &base, GroupBy::parse(&s, "A'B").unwrap(), "A'B", FileId(5));
+        let v = materialize(
+            &s,
+            &base,
+            GroupBy::parse(&s, "A'B").unwrap(),
+            "A'B",
+            FileId(5),
+        );
         let base_id = cat.add_table(base);
         let v_id = cat.add_table(v);
         // Target is coarse (A') but the predicate is at leaf A → only base.
@@ -784,7 +854,7 @@ mod tests {
         assert_eq!(bm0.count_ones(), 12); // leaves 0,1 → parent 0: half of 24 rows
         assert!(base.index_serves(0, 1));
         assert!(!base.index_serves(0, 0)); // leaf predicate too fine
-        // has_indexes_for respects predicate level.
+                                           // has_indexes_for respects predicate level.
         let q_coarse = GroupByQuery::new(
             GroupBy::parse(&s, "A'B").unwrap(),
             vec![MemberPred::eq(1, 0), MemberPred::All],
@@ -800,8 +870,14 @@ mod tests {
     #[test]
     fn roll_key_all_cases() {
         let s = schema();
-        assert_eq!(roll_key(&s, 0, LevelRef::Level(0), LevelRef::Level(1), 3), 1);
-        assert_eq!(roll_key(&s, 0, LevelRef::Level(1), LevelRef::Level(1), 1), 1);
+        assert_eq!(
+            roll_key(&s, 0, LevelRef::Level(0), LevelRef::Level(1), 3),
+            1
+        );
+        assert_eq!(
+            roll_key(&s, 0, LevelRef::Level(1), LevelRef::Level(1), 1),
+            1
+        );
         assert_eq!(roll_key(&s, 0, LevelRef::Level(0), LevelRef::All, 3), 0);
         assert_eq!(roll_key(&s, 0, LevelRef::All, LevelRef::All, 0), 0);
     }

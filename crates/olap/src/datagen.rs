@@ -18,9 +18,8 @@
 //! saturation ratios (hence all size *ratios*) are preserved; tests run at
 //! small scales with the same shape the benches see at full scale.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use starshare_bitmap::IndexFormat;
+use starshare_prng::Prng;
 use starshare_storage::{HeapFile, TupleLayout};
 
 use crate::catalog::{materialize_agg, Catalog, Cube, StoredTable, TableId};
@@ -85,7 +84,10 @@ impl Default for PaperCubeSpec {
 /// A/B/C makes the `A'B''C'D`-style views ~0.65× of `A'B'C'D`, the
 /// closeness the Test 4/5 consolidation trade-off needs.
 pub fn paper_schema(d_leaf: u32) -> StarSchema {
-    assert!(d_leaf.is_multiple_of(24), "D leaf cardinality must refine 24");
+    assert!(
+        d_leaf.is_multiple_of(24),
+        "D leaf cardinality must refine 24"
+    );
     StarSchema::new(
         vec![
             Dimension::uniform("A", 3, &[2, 10]),
@@ -246,7 +248,7 @@ impl CubeBuilder {
 
         // Base table: keys at every leaf (uniform, or Zipf when skewed),
         // measure in [0, 100).
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Prng::seed_from_u64(self.seed);
         let layout = TupleLayout::new(n_dims);
         let base_file = catalog.alloc_file_id();
         let mut heap = HeapFile::new(base_file, layout);
@@ -254,7 +256,10 @@ impl CubeBuilder {
         // Per-dimension Zipf CDFs (empty when uniform, keeping the uniform
         // path — and its sampling sequence — byte-identical to before).
         let cdfs: Vec<Vec<f64>> = if self.zipf_theta > 0.0 {
-            cards.iter().map(|&c| zipf_cdf(c, self.zipf_theta)).collect()
+            cards
+                .iter()
+                .map(|&c| zipf_cdf(c, self.zipf_theta))
+                .collect()
         } else {
             Vec::new()
         };
@@ -262,7 +267,7 @@ impl CubeBuilder {
         for _ in 0..self.rows {
             for (d, k) in keys.iter_mut().enumerate() {
                 *k = if self.zipf_theta > 0.0 {
-                    let u: f64 = rng.gen();
+                    let u: f64 = rng.gen_f64();
                     cdfs[d].partition_point(|&p| p < u) as u32
                 } else {
                     rng.gen_range(0..cards[d])
@@ -272,16 +277,14 @@ impl CubeBuilder {
             heap.append(&keys, measure);
         }
         let finest = GroupBy::finest(n_dims);
-        let base_name = self
-            .base_name
-            .unwrap_or_else(|| finest.display(&schema));
+        let base_name = self.base_name.unwrap_or_else(|| finest.display(&schema));
         catalog.add_table(StoredTable::new(base_name, finest, heap));
 
         // Views, each built from the smallest existing source that derives
         // the target levels *and* whose measure supports the view's agg.
         for (view, agg) in &self.views {
-            let target = GroupBy::parse(&schema, view)
-                .unwrap_or_else(|e| panic!("bad view {view:?}: {e}"));
+            let target =
+                GroupBy::parse(&schema, view).unwrap_or_else(|e| panic!("bad view {view:?}: {e}"));
             let name = match agg {
                 AggFn::Sum => view.clone(),
                 other => format!("{other}:{view}"),
@@ -297,8 +300,7 @@ impl CubeBuilder {
                 .map(|(id, _)| id)
                 .unwrap_or_else(|| panic!("no source derives {name}"));
             let file = catalog.alloc_file_id();
-            let table =
-                materialize_agg(&schema, catalog.table(source), target, *agg, name, file);
+            let table = materialize_agg(&schema, catalog.table(source), target, *agg, name, file);
             catalog.add_table(table);
         }
 
@@ -311,9 +313,13 @@ impl CubeBuilder {
                 .dim_of_level(level_name)
                 .unwrap_or_else(|| panic!("no level named {level_name}"));
             let file = catalog.alloc_file_id();
-            catalog
-                .table_mut(tid)
-                .build_index_with_format(&schema, d, level, self.index_format, file);
+            catalog.table_mut(tid).build_index_with_format(
+                &schema,
+                d,
+                level,
+                self.index_format,
+                file,
+            );
         }
 
         let mut cube = Cube::new(schema, catalog);
@@ -384,7 +390,11 @@ mod tests {
             seed: 7,
             with_indexes: false,
         });
-        let rows = |n: &str| cube.catalog.table(cube.catalog.find_by_name(n).unwrap()).n_rows() as f64;
+        let rows = |n: &str| {
+            cube.catalog
+                .table(cube.catalog.find_by_name(n).unwrap())
+                .n_rows() as f64
+        };
         let big = rows("A'B'C'D");
         let mid1 = rows("A'B''C'D");
         let mid2 = rows("A''B'C'D");
@@ -464,8 +474,12 @@ mod tests {
         // verified indirectly: results must still equal base-derived.
         let cube = paper_cube(tiny_spec());
         let schema = &cube.schema;
-        let small = cube.catalog.table(cube.catalog.find_by_name("A''B''C''D").unwrap());
-        let base = cube.catalog.table(cube.catalog.find_by_name("ABCD").unwrap());
+        let small = cube
+            .catalog
+            .table(cube.catalog.find_by_name("A''B''C''D").unwrap());
+        let base = cube
+            .catalog
+            .table(cube.catalog.find_by_name("ABCD").unwrap());
         let direct = crate::catalog::materialize(
             schema,
             base,

@@ -1,0 +1,35 @@
+//! The OLAP layer's error type.
+
+use std::fmt;
+
+/// An error from the OLAP data-model layer: group-by parsing, catalog
+/// lookups, or incremental maintenance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OlapError(String);
+
+impl OlapError {
+    /// Wraps a message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        OlapError(msg.into())
+    }
+}
+
+impl fmt::Display for OlapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for OlapError {}
+
+impl From<String> for OlapError {
+    fn from(msg: String) -> Self {
+        OlapError(msg)
+    }
+}
+
+impl From<&str> for OlapError {
+    fn from(msg: &str) -> Self {
+        OlapError(msg.to_string())
+    }
+}

@@ -17,6 +17,7 @@
 pub mod advisor;
 pub mod catalog;
 pub mod datagen;
+pub mod error;
 pub mod estimate;
 pub mod maintain;
 pub mod persist;
@@ -30,6 +31,7 @@ pub use catalog::{
     MeasureKind, StoredTable, TableId,
 };
 pub use datagen::{paper_cube, paper_schema, CubeBuilder, PaperCubeSpec};
+pub use error::OlapError;
 pub use maintain::append_facts;
 pub use persist::{load_cube, save_cube};
 pub use query::{AggFn, GroupBy, GroupByQuery, LevelRef, MemberPred};

@@ -19,6 +19,7 @@
 use std::collections::HashMap;
 
 use crate::catalog::{combine_mode, roll_key, AggState, Cube, MeasureKind};
+use crate::error::OlapError;
 use crate::query::AggFn;
 use crate::stats::CubeStats;
 
@@ -28,23 +29,23 @@ use crate::stats::CubeStats;
 /// Returns the number of rows appended. Fails (without modifying anything)
 /// if any key is out of range or the catalog lacks a leaf-level raw base
 /// table.
-pub fn append_facts(cube: &mut Cube, rows: &[(Vec<u32>, f64)]) -> Result<u64, String> {
+pub fn append_facts(cube: &mut Cube, rows: &[(Vec<u32>, f64)]) -> Result<u64, OlapError> {
     let schema = &cube.schema;
     let n_dims = schema.n_dims();
     // Validate before mutating.
     for (keys, _) in rows {
         if keys.len() != n_dims {
-            return Err(format!(
+            return Err(OlapError::new(format!(
                 "row has {} keys; schema has {n_dims} dimensions",
                 keys.len()
-            ));
+            )));
         }
         for (d, &k) in keys.iter().enumerate() {
             if k >= schema.dim(d).cardinality(0) {
-                return Err(format!(
+                return Err(OlapError::new(format!(
                     "key {k} out of range for dimension {}",
                     schema.dim(d).name()
-                ));
+                )));
             }
         }
     }
@@ -77,7 +78,10 @@ pub fn append_facts(cube: &mut Cube, rows: &[(Vec<u32>, f64)]) -> Result<u64, St
         let schema = cube.schema.clone();
         let view = cube.catalog.table_mut(vid);
         let MeasureKind::Aggregated(agg) = view.measure() else {
-            return Err(format!("view {} is not aggregated", view.name()));
+            return Err(OlapError::new(format!(
+                "view {} is not aggregated",
+                view.name()
+            )));
         };
         if agg == AggFn::Avg {
             return Err("AVG views cannot be maintained (or built)".into());
@@ -149,7 +153,7 @@ mod tests {
     use crate::datagen::{paper_cube, CubeBuilder, PaperCubeSpec};
     use crate::query::{GroupBy, GroupByQuery, MemberPred};
     use crate::schema::{Dimension, StarSchema};
-    use rand::{rngs::StdRng, Rng, SeedableRng};
+    use starshare_prng::Prng;
 
     fn spec() -> PaperCubeSpec {
         PaperCubeSpec {
@@ -161,7 +165,7 @@ mod tests {
     }
 
     fn random_rows(schema: &StarSchema, n: usize, seed: u64) -> Vec<(Vec<u32>, f64)> {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Prng::seed_from_u64(seed);
         (0..n)
             .map(|_| {
                 let keys: Vec<u32> = (0..schema.n_dims())
@@ -251,8 +255,7 @@ mod tests {
                     for pos in (0..t.n_rows()).step_by(17) {
                         t.heap().read_at(pos, &mut keys);
                         let stored = t.stored_level(d).unwrap();
-                        let expect =
-                            cube.schema.dim(d).roll_up(keys[d], stored, ix.level) == m;
+                        let expect = cube.schema.dim(d).roll_up(keys[d], stored, ix.level) == m;
                         assert_eq!(bm.get(pos), expect, "{} dim {d} pos {pos}", t.name());
                     }
                 }
@@ -271,7 +274,9 @@ mod tests {
         let base = cube.catalog.base_table().unwrap();
         let t = cube.catalog.table(base);
         let mut keys = vec![0u32; 4];
-        let total: f64 = (0..t.n_rows()).map(|p| t.heap().read_at(p, &mut keys)).sum();
+        let total: f64 = (0..t.n_rows())
+            .map(|p| t.heap().read_at(p, &mut keys))
+            .sum();
         for (id, view) in cube.catalog.iter().collect::<Vec<_>>() {
             let _ = id;
             let mut vkeys = vec![0u32; 4];
@@ -296,11 +301,7 @@ mod tests {
             .materialize_agg("X'", AggFn::Max)
             .build();
         // Append a new global minimum and maximum into group X'=0.
-        append_facts(
-            &mut cube,
-            &[(vec![0], -5.0), (vec![2], 1e6)],
-        )
-        .unwrap();
+        append_facts(&mut cube, &[(vec![0], -5.0), (vec![2], 1e6)]).unwrap();
         let check = |name: &str, want: f64| {
             let v = cube.catalog.table(cube.catalog.find_by_name(name).unwrap());
             let mut keys = [0u32; 1];
@@ -320,7 +321,11 @@ mod tests {
     #[test]
     fn stats_absorb_the_delta() {
         let schema = StarSchema::new(vec![Dimension::uniform("X", 2, &[3])], "m");
-        let mut cube = CubeBuilder::new(schema).rows(100).seed(3).collect_stats().build();
+        let mut cube = CubeBuilder::new(schema)
+            .rows(100)
+            .seed(3)
+            .collect_stats()
+            .build();
         let before = cube.stats.as_ref().unwrap().histogram(0).total();
         append_facts(&mut cube, &[(vec![0], 1.0), (vec![5], 2.0)]).unwrap();
         let after = cube.stats.as_ref().unwrap().histogram(0).total();
@@ -330,10 +335,16 @@ mod tests {
     #[test]
     fn bad_rows_are_rejected_without_mutation() {
         let mut cube = paper_cube(spec());
-        let before = cube.catalog.table(cube.catalog.base_table().unwrap()).n_rows();
+        let before = cube
+            .catalog
+            .table(cube.catalog.base_table().unwrap())
+            .n_rows();
         assert!(append_facts(&mut cube, &[(vec![0, 0, 0], 1.0)]).is_err()); // wrong arity
         assert!(append_facts(&mut cube, &[(vec![999, 0, 0, 0], 1.0)]).is_err()); // out of range
-        let after = cube.catalog.table(cube.catalog.base_table().unwrap()).n_rows();
+        let after = cube
+            .catalog
+            .table(cube.catalog.base_table().unwrap())
+            .n_rows();
         assert_eq!(before, after, "failed append must not mutate");
     }
 
@@ -342,10 +353,7 @@ mod tests {
         // A view over a tiny slice: appending rows in a previously-empty
         // group must create it.
         let schema = StarSchema::new(vec![Dimension::uniform("X", 4, &[1])], "m");
-        let mut cube = CubeBuilder::new(schema)
-            .rows(0)
-            .materialize("X'")
-            .build();
+        let mut cube = CubeBuilder::new(schema).rows(0).materialize("X'").build();
         assert_eq!(cube.catalog.table(crate::catalog::TableId(1)).n_rows(), 0);
         append_facts(&mut cube, &[(vec![1], 7.0), (vec![1], 3.0)]).unwrap();
         let v = cube.catalog.table(crate::catalog::TableId(1));
@@ -388,7 +396,9 @@ mod tests {
             }
         }
         // Answer from the maintained A'B''C'D view.
-        let view = cube.catalog.table(cube.catalog.find_by_name("A'B''C'D").unwrap());
+        let view = cube
+            .catalog
+            .table(cube.catalog.find_by_name("A'B''C'D").unwrap());
         let mut got: std::collections::BTreeMap<Vec<u32>, f64> = Default::default();
         let mut vkeys = vec![0u32; 4];
         for pos in 0..view.n_rows() {

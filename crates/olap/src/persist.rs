@@ -262,7 +262,11 @@ pub fn load_cube(path: impl AsRef<Path>) -> io::Result<Cube> {
                 let level = read_u8(&mut r)?;
                 let file = FileId(read_u32(&mut r)?);
                 max_file = max_file.max(file.index());
-                idxs.push(PendingIndex { dim: d, level, file });
+                idxs.push(PendingIndex {
+                    dim: d,
+                    level,
+                    file,
+                });
             }
         }
         catalog.add_table(table);
@@ -385,7 +389,10 @@ mod tests {
                         name: "Month".into(),
                         cardinality: 4,
                         member_names: Some(
-                            ["Jan", "Feb", "Mar", "Apr"].iter().map(|s| s.to_string()).collect(),
+                            ["Jan", "Feb", "Mar", "Apr"]
+                                .iter()
+                                .map(|s| s.to_string())
+                                .collect(),
                         ),
                     },
                     LevelDef {

@@ -7,6 +7,7 @@
 //! of the "several related dimensional queries" an MDX expression expands
 //! into, and the unit the optimizer assigns to a base table.
 
+use crate::error::OlapError;
 use crate::schema::{DimId, StarSchema};
 
 /// Reference to a hierarchy level of one dimension, or `All` (the dimension
@@ -69,7 +70,7 @@ impl GroupBy {
     /// Parses the paper's shorthand against a schema: dimension names in
     /// schema order, each followed by prime marks counting the level
     /// (`A''` = level 2 of A) or `*` for `All`. Example: `"A'B''C''D"`.
-    pub fn parse(schema: &StarSchema, s: &str) -> Result<Self, String> {
+    pub fn parse(schema: &StarSchema, s: &str) -> Result<Self, OlapError> {
         let mut rest = s;
         let mut levels = Vec::with_capacity(schema.n_dims());
         for dim in schema.dimensions() {
@@ -85,16 +86,18 @@ impl GroupBy {
             rest = &rest[primes..];
             let lvl = primes as u8;
             if lvl >= dim.n_levels() {
-                return Err(format!(
+                return Err(OlapError::new(format!(
                     "dimension {} has no level {} in {s:?}",
                     dim.name(),
                     lvl
-                ));
+                )));
             }
             levels.push(LevelRef::Level(lvl));
         }
         if !rest.is_empty() {
-            return Err(format!("trailing input {rest:?} in group-by {s:?}"));
+            return Err(OlapError::new(format!(
+                "trailing input {rest:?} in group-by {s:?}"
+            )));
         }
         Ok(GroupBy { levels })
     }
@@ -228,7 +231,12 @@ impl MemberPred {
 
     /// Expands the predicate's member set down to `target_level` (for
     /// driving a bitmap index stored at that finer level).
-    pub fn expand_to_level(&self, schema: &StarSchema, d: DimId, target_level: u8) -> Option<Vec<u32>> {
+    pub fn expand_to_level(
+        &self,
+        schema: &StarSchema,
+        d: DimId,
+        target_level: u8,
+    ) -> Option<Vec<u32>> {
         match self {
             MemberPred::All => None,
             MemberPred::In { level, members } => {
@@ -254,7 +262,11 @@ impl MemberPred {
                     .iter()
                     .map(|&m| schema.dim(d).member_name(*level, m))
                     .collect();
-                format!("{} IN ({})", schema.dim(d).level(*level).name, names.join(", "))
+                format!(
+                    "{} IN ({})",
+                    schema.dim(d).level(*level).name,
+                    names.join(", ")
+                )
             }
         }
     }
@@ -330,7 +342,11 @@ impl GroupByQuery {
     /// Panics if predicate count differs from the group-by's dimension
     /// count.
     pub fn new(group_by: GroupBy, preds: Vec<MemberPred>) -> Self {
-        assert_eq!(group_by.n_dims(), preds.len(), "one predicate per dimension");
+        assert_eq!(
+            group_by.n_dims(),
+            preds.len(),
+            "one predicate per dimension"
+        );
         GroupByQuery {
             group_by,
             preds,
@@ -509,7 +525,7 @@ mod tests {
         assert!(p.matches(&s, 0, 0, 0)); // leaf 0 → top 0
         assert!(p.matches(&s, 0, 0, 19)); // leaf 19 → top 0
         assert!(!p.matches(&s, 0, 0, 20)); // leaf 20 → top 1
-        // Keys stored at mid level.
+                                           // Keys stored at mid level.
         assert!(p.matches(&s, 0, 1, 1));
         assert!(!p.matches(&s, 0, 1, 2));
         assert!(MemberPred::All.matches(&s, 0, 0, 59));

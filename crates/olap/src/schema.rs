@@ -164,8 +164,16 @@ impl Dimension {
 
     /// The dense id range of `parent`'s descendants at the finer level
     /// `child_level`.
-    pub fn descendants(&self, parent: u32, parent_level: u8, child_level: u8) -> std::ops::Range<u32> {
-        assert!(child_level <= parent_level, "descendants lie below the parent");
+    pub fn descendants(
+        &self,
+        parent: u32,
+        parent_level: u8,
+        child_level: u8,
+    ) -> std::ops::Range<u32> {
+        assert!(
+            child_level <= parent_level,
+            "descendants lie below the parent"
+        );
         let f = self.fan_out_between(child_level, parent_level);
         parent * f..(parent + 1) * f
     }
@@ -225,7 +233,10 @@ impl StarSchema {
     /// # Panics
     /// Panics if `dimensions` is empty or two dimensions share a name.
     pub fn new(dimensions: Vec<Dimension>, measure_name: impl Into<String>) -> Self {
-        assert!(!dimensions.is_empty(), "schema needs at least one dimension");
+        assert!(
+            !dimensions.is_empty(),
+            "schema needs at least one dimension"
+        );
         for i in 0..dimensions.len() {
             for j in i + 1..dimensions.len() {
                 assert_ne!(
@@ -371,8 +382,10 @@ mod tests {
                     name: "Month".into(),
                     cardinality: 12,
                     member_names: Some(
-                        ["Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep",
-                         "Oct", "Nov", "Dec"]
+                        [
+                            "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct",
+                            "Nov", "Dec",
+                        ]
                         .iter()
                         .map(|s| s.to_string())
                         .collect(),
@@ -382,7 +395,10 @@ mod tests {
                     name: "Quarter".into(),
                     cardinality: 4,
                     member_names: Some(
-                        ["Qtr1", "Qtr2", "Qtr3", "Qtr4"].iter().map(|s| s.to_string()).collect(),
+                        ["Qtr1", "Qtr2", "Qtr3", "Qtr4"]
+                            .iter()
+                            .map(|s| s.to_string())
+                            .collect(),
                     ),
                 },
                 LevelDef {
@@ -404,8 +420,16 @@ mod tests {
         Dimension::new(
             "X",
             vec![
-                LevelDef { name: "X".into(), cardinality: 10, member_names: None },
-                LevelDef { name: "X'".into(), cardinality: 3, member_names: None },
+                LevelDef {
+                    name: "X".into(),
+                    cardinality: 10,
+                    member_names: None,
+                },
+                LevelDef {
+                    name: "X'".into(),
+                    cardinality: 3,
+                    member_names: None,
+                },
             ],
         );
     }

@@ -11,9 +11,9 @@
 //! Statistics are *optional* — the paper-faithful configuration runs
 //! without them — and are attached to the [`Cube`](crate::catalog::Cube).
 
+use crate::catalog::StoredTable;
 use crate::query::{GroupByQuery, MemberPred};
 use crate::schema::{DimId, StarSchema};
-use crate::catalog::StoredTable;
 
 /// Leaf-level member frequency histogram for one dimension.
 #[derive(Debug, Clone, PartialEq)]
@@ -129,7 +129,11 @@ mod tests {
             ],
             "m",
         );
-        CubeBuilder::new(schema).rows(8_000).seed(4).skew(1.0).build()
+        CubeBuilder::new(schema)
+            .rows(8_000)
+            .seed(4)
+            .skew(1.0)
+            .build()
     }
 
     #[test]

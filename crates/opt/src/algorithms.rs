@@ -24,6 +24,7 @@ use starshare_olap::{GroupByQuery, TableId};
 use starshare_storage::SimTime;
 
 use crate::cost::CostModel;
+use crate::error::OptError;
 use crate::plan::{GlobalPlan, JoinMethod, PlanClass, QueryPlan};
 
 /// Which optimizer to run (for harnesses that sweep all of them).
@@ -49,7 +50,7 @@ impl OptimizerKind {
     ];
 
     /// Runs the selected algorithm.
-    pub fn run(self, cm: &CostModel<'_>, queries: &[GroupByQuery]) -> Result<GlobalPlan, String> {
+    pub fn run(self, cm: &CostModel<'_>, queries: &[GroupByQuery]) -> Result<GlobalPlan, OptError> {
         match self {
             OptimizerKind::Tplo => tplo(cm, queries),
             OptimizerKind::Etplg => etplg(cm, queries),
@@ -81,7 +82,10 @@ struct ClassState {
 
 impl ClassState {
     fn plans(&self) -> Vec<(&GroupByQuery, JoinMethod)> {
-        self.queries.iter().zip(self.methods.iter().copied()).collect()
+        self.queries
+            .iter()
+            .zip(self.methods.iter().copied())
+            .collect()
     }
 
     fn into_plan_class(self) -> PlanClass {
@@ -100,7 +104,10 @@ impl ClassState {
 fn finalize(classes: Vec<ClassState>) -> GlobalPlan {
     let estimated_cost = classes.iter().map(|c| c.cost).sum();
     GlobalPlan {
-        classes: classes.into_iter().map(ClassState::into_plan_class).collect(),
+        classes: classes
+            .into_iter()
+            .map(ClassState::into_plan_class)
+            .collect(),
         estimated_cost,
     }
 }
@@ -122,7 +129,7 @@ fn sorted_by_level(cm: &CostModel<'_>, queries: &[GroupByQuery]) -> Vec<GroupByQ
 /// Phase one: the optimal local plan (table + method) per query,
 /// independently. Phase two: merge plans sharing a base table into classes
 /// so the shared operators apply at evaluation time.
-pub fn tplo(cm: &CostModel<'_>, queries: &[GroupByQuery]) -> Result<GlobalPlan, String> {
+pub fn tplo(cm: &CostModel<'_>, queries: &[GroupByQuery]) -> Result<GlobalPlan, OptError> {
     let mut classes: Vec<ClassState> = Vec::new();
     for q in sorted_by_level(cm, queries) {
         let (t, m, _) = cm
@@ -180,7 +187,7 @@ fn best_unused(
 /// members keep their plans; the newcomer picks its best method). Join the
 /// class when the margin wins; otherwise open a new class on the unused
 /// view and retire it from the unused set.
-pub fn etplg(cm: &CostModel<'_>, queries: &[GroupByQuery]) -> Result<GlobalPlan, String> {
+pub fn etplg(cm: &CostModel<'_>, queries: &[GroupByQuery]) -> Result<GlobalPlan, OptError> {
     let mut classes: Vec<ClassState> = Vec::new();
     let mut used: Vec<TableId> = Vec::new();
     for q in sorted_by_level(cm, queries) {
@@ -232,10 +239,10 @@ pub fn etplg(cm: &CostModel<'_>, queries: &[GroupByQuery]) -> Result<GlobalPlan,
                 c.cost = new_cost;
             }
             (None, None) => {
-                return Err(format!(
+                return Err(OptError::new(format!(
                     "no table can answer {}",
                     q.display(&cm.cube().schema)
-                ))
+                )))
             }
         }
     }
@@ -248,7 +255,7 @@ pub fn etplg(cm: &CostModel<'_>, queries: &[GroupByQuery]) -> Result<GlobalPlan,
 /// for the best *new base table* `S'` for the whole class-plus-query (the
 /// Example 2 move), re-planning every member on `S'` if it differs from the
 /// current base. Classes that converge on the same base are merged.
-pub fn gg(cm: &CostModel<'_>, queries: &[GroupByQuery]) -> Result<GlobalPlan, String> {
+pub fn gg(cm: &CostModel<'_>, queries: &[GroupByQuery]) -> Result<GlobalPlan, OptError> {
     let mut classes: Vec<ClassState> = Vec::new();
     let mut used: Vec<TableId> = Vec::new();
     for q in sorted_by_level(cm, queries) {
@@ -270,10 +277,7 @@ pub fn gg(cm: &CostModel<'_>, queries: &[GroupByQuery]) -> Result<GlobalPlan, St
             for t in candidate_tables {
                 if let Some((methods, new_cost)) = cm.best_method_assignment(t, &member_refs) {
                     let delta = new_cost.saturating_sub(c.cost);
-                    if best_add
-                        .as_ref()
-                        .is_none_or(|(_, _, _, _, bd)| delta < *bd)
-                    {
+                    if best_add.as_ref().is_none_or(|(_, _, _, _, bd)| delta < *bd) {
                         best_add = Some((i, t, methods, new_cost, delta));
                     }
                 }
@@ -284,10 +288,10 @@ pub fn gg(cm: &CostModel<'_>, queries: &[GroupByQuery]) -> Result<GlobalPlan, St
             (Some(_), None) => true,
             (None, Some(_)) => false,
             (None, None) => {
-                return Err(format!(
+                return Err(OptError::new(format!(
                     "no table can answer {}",
                     q.display(&cm.cube().schema)
-                ))
+                )))
             }
         };
         if open_new {
@@ -347,7 +351,7 @@ fn merge_classes_on_same_base(cm: &CostModel<'_>, classes: &mut Vec<ClassState>)
 ///
 /// Fails if the assignment space exceeds ~200 000 (the paper uses this
 /// search only as a yardstick on 3-query workloads).
-pub fn optimal(cm: &CostModel<'_>, queries: &[GroupByQuery]) -> Result<GlobalPlan, String> {
+pub fn optimal(cm: &CostModel<'_>, queries: &[GroupByQuery]) -> Result<GlobalPlan, OptError> {
     let qs = sorted_by_level(cm, queries);
     if qs.is_empty() {
         return Ok(GlobalPlan::default());
@@ -357,7 +361,10 @@ pub fn optimal(cm: &CostModel<'_>, queries: &[GroupByQuery]) -> Result<GlobalPla
         .map(|q| {
             let c = cm.cube().catalog.candidates_for(q);
             if c.is_empty() {
-                Err(format!("no table can answer {}", q.display(&cm.cube().schema)))
+                Err(format!(
+                    "no table can answer {}",
+                    q.display(&cm.cube().schema)
+                ))
             } else {
                 Ok(c)
             }
@@ -365,9 +372,9 @@ pub fn optimal(cm: &CostModel<'_>, queries: &[GroupByQuery]) -> Result<GlobalPla
         .collect::<Result<_, _>>()?;
     let space: usize = cands.iter().map(Vec::len).product();
     if space > 200_000 {
-        return Err(format!(
+        return Err(OptError::new(format!(
             "optimal search space too large ({space} assignments)"
-        ));
+        )));
     }
 
     let mut best: Option<(Vec<TableId>, SimTime)> = None;
@@ -399,7 +406,14 @@ pub fn optimal(cm: &CostModel<'_>, queries: &[GroupByQuery]) -> Result<GlobalPla
             }
         }
         if feasible && best.as_ref().is_none_or(|(_, bc)| total < *bc) {
-            best = Some((choice.iter().enumerate().map(|(qi, &ci)| cands[qi][ci]).collect(), total));
+            best = Some((
+                choice
+                    .iter()
+                    .enumerate()
+                    .map(|(qi, &ci)| cands[qi][ci])
+                    .collect(),
+                total,
+            ));
         }
         // Odometer.
         let mut d = qs.len();
@@ -584,10 +598,7 @@ mod tests {
             assert_eq!(plan.n_queries(), queries.len(), "{kind}");
             // Every input query appears exactly once.
             for q in &queries {
-                let count = plan
-                    .assignments()
-                    .filter(|(_, pq, _)| *pq == q)
-                    .count();
+                let count = plan.assignments().filter(|(_, pq, _)| *pq == q).count();
                 assert_eq!(count, 1, "{kind}: {}", q.display(&cube.schema));
             }
             // Every assignment is answerable.
@@ -638,7 +649,11 @@ mod tests {
         let cube = cube();
         let cm = model(&cube);
         let q = q1(&cube);
-        for kind in [OptimizerKind::Etplg, OptimizerKind::Gg, OptimizerKind::Optimal] {
+        for kind in [
+            OptimizerKind::Etplg,
+            OptimizerKind::Gg,
+            OptimizerKind::Optimal,
+        ] {
             let plan = kind.run(&cm, &[q.clone(), q.clone()]).unwrap();
             assert_eq!(plan.classes.len(), 1, "{kind}: {}", plan.explain(&cube));
         }

@@ -236,9 +236,7 @@ impl<'a> CostModel<'a> {
             for ((_, m), info) in plans.iter().zip(&infos) {
                 match m {
                     JoinMethod::Hash => {
-                        cpu += n
-                            * Self::expected_pred_evals(info, 0)
-                            * hw.predicate_eval_ns as f64;
+                        cpu += n * Self::expected_pred_evals(info, 0) * hw.predicate_eval_ns as f64;
                     }
                     JoinMethod::Index => {
                         // Bitmap test per scanned tuple, residual preds on
@@ -250,15 +248,13 @@ impl<'a> CostModel<'a> {
                             * hw.predicate_eval_ns as f64;
                     }
                 }
-                cpu += info.qual
-                    * (hw.hash_probe_ns + hw.agg_update_ns + hw.tuple_copy_ns) as f64;
+                cpu += info.qual * (hw.hash_probe_ns + hw.agg_update_ns + hw.tuple_copy_ns) as f64;
                 cpu += info.groups * hw.hash_build_ns as f64;
             }
         } else {
             // Index-only class (§3.2): OR the query bitmaps, probe once.
             cpu += (n_bitmaps.saturating_sub(1)) as f64 * words * hw.bitmap_word_ns as f64;
-            let union_cand =
-                n * (1.0 - infos.iter().map(|i| 1.0 - i.covered_sel).product::<f64>());
+            let union_cand = n * (1.0 - infos.iter().map(|i| 1.0 - i.covered_sel).product::<f64>());
             // Conservative: one random read per candidate, capped at re-
             // reading the whole table page set once per candidate round.
             io += union_cand.min(n) * hw.random_page_read_ns as f64;
@@ -270,8 +266,7 @@ impl<'a> CostModel<'a> {
                 cpu += own_cand
                     * Self::expected_pred_evals(info, info.covered_mask)
                     * hw.predicate_eval_ns as f64;
-                cpu += info.qual
-                    * (hw.hash_probe_ns + hw.agg_update_ns + hw.tuple_copy_ns) as f64;
+                cpu += info.qual * (hw.hash_probe_ns + hw.agg_update_ns + hw.tuple_copy_ns) as f64;
                 cpu += info.groups * hw.hash_build_ns as f64;
             }
         }
@@ -546,8 +541,8 @@ mod tests {
 #[cfg(test)]
 mod prop_tests {
     use super::*;
-    use proptest::prelude::*;
     use starshare_olap::{paper_cube, GroupBy, LevelRef, MemberPred, PaperCubeSpec};
+    use starshare_prng::Prng;
     use std::sync::OnceLock;
 
     fn cube() -> &'static Cube {
@@ -562,63 +557,73 @@ mod prop_tests {
         })
     }
 
-    fn query_strategy() -> impl Strategy<Value = GroupByQuery> {
-        let dim = |card1: u32| {
-            (
-                prop_oneof![Just(LevelRef::All), (0u8..3).prop_map(LevelRef::Level)],
-                prop_oneof![
-                    1 => Just(MemberPred::All),
-                    2 => (1u8..3, proptest::collection::vec(0u32..24, 1..3)).prop_map(
-                        move |(lvl, ms)| {
-                            let card = if lvl == 1 { card1 } else { 3 };
-                            MemberPred::members_in(
-                                lvl,
-                                ms.into_iter().map(|m| m % card).collect(),
-                            )
-                        }
-                    ),
-                ],
-            )
+    fn random_dim(rng: &mut Prng, card1: u32) -> (LevelRef, MemberPred) {
+        let level = if rng.gen_bool(0.5) {
+            LevelRef::All
+        } else {
+            LevelRef::Level(rng.gen_range(0u8..3))
         };
-        vec![dim(6), dim(6), dim(6), dim(24)].prop_map(|specs| {
-            let (levels, preds): (Vec<LevelRef>, Vec<MemberPred>) = specs.into_iter().unzip();
-            GroupByQuery::new(GroupBy::new(levels), preds)
-        })
+        let pred = if rng.gen_bool(1.0 / 3.0) {
+            MemberPred::All
+        } else {
+            let lvl = rng.gen_range(1u8..3);
+            let card = if lvl == 1 { card1 } else { 3 };
+            let n = rng.gen_range(1usize..3);
+            let ms: Vec<u32> = (0..n).map(|_| rng.gen_range(0u32..24) % card).collect();
+            MemberPred::members_in(lvl, ms)
+        };
+        (level, pred)
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(32))]
+    fn random_query(rng: &mut Prng) -> GroupByQuery {
+        let specs = [
+            random_dim(rng, 6),
+            random_dim(rng, 6),
+            random_dim(rng, 6),
+            random_dim(rng, 24),
+        ];
+        let (levels, preds): (Vec<LevelRef>, Vec<MemberPred>) = specs.into_iter().unzip();
+        GroupByQuery::new(GroupBy::new(levels), preds)
+    }
 
-        /// Adding a query to a class never decreases its cost (the paper's
-        /// own §6 claim that `CostOfAdd` cannot be negative — true here
-        /// because existing members' methods are held fixed).
-        #[test]
-        fn class_cost_is_monotone_in_members(
-            qs in proptest::collection::vec(query_strategy(), 1..4),
-            extra in query_strategy(),
-        ) {
-            let cube = cube();
-            let cm = CostModel::new(cube, HardwareModel::paper_1998());
-            let base = cube.catalog.base_table().unwrap();
+    /// Adding a query to a class never decreases its cost (the paper's
+    /// own §6 claim that `CostOfAdd` cannot be negative — true here
+    /// because existing members' methods are held fixed).
+    #[test]
+    fn class_cost_is_monotone_in_members() {
+        let cube = cube();
+        let cm = CostModel::new(cube, HardwareModel::paper_1998());
+        let base = cube.catalog.base_table().unwrap();
+        let mut rng = Prng::seed_from_u64(0xC0_0001);
+        for _ in 0..32 {
+            let n = rng.gen_range(1usize..4);
+            let qs: Vec<GroupByQuery> = (0..n).map(|_| random_query(&mut rng)).collect();
+            let extra = random_query(&mut rng);
             let plans: Vec<(&GroupByQuery, JoinMethod)> =
                 qs.iter().map(|q| (q, JoinMethod::Hash)).collect();
             let before = cm.class_cost(base, &plans).expect("base answers all");
             let mut with_extra = plans.clone();
             with_extra.push((&extra, JoinMethod::Hash));
             let after = cm.class_cost(base, &with_extra).expect("still answerable");
-            prop_assert!(after >= before, "adding a member reduced cost: {after} < {before}");
+            assert!(
+                after >= before,
+                "adding a member reduced cost: {after} < {before}"
+            );
         }
+    }
 
-        /// A shared all-hash class never costs more than running its
-        /// members' scans separately on the same table (the §3.1 saving is
-        /// non-negative by construction).
-        #[test]
-        fn shared_scan_class_is_subadditive(
-            qs in proptest::collection::vec(query_strategy(), 1..5),
-        ) {
-            let cube = cube();
-            let cm = CostModel::new(cube, HardwareModel::paper_1998());
-            let base = cube.catalog.base_table().unwrap();
+    /// A shared all-hash class never costs more than running its
+    /// members' scans separately on the same table (the §3.1 saving is
+    /// non-negative by construction).
+    #[test]
+    fn shared_scan_class_is_subadditive() {
+        let cube = cube();
+        let cm = CostModel::new(cube, HardwareModel::paper_1998());
+        let base = cube.catalog.base_table().unwrap();
+        let mut rng = Prng::seed_from_u64(0xC0_0002);
+        for _ in 0..32 {
+            let n = rng.gen_range(1usize..5);
+            let qs: Vec<GroupByQuery> = (0..n).map(|_| random_query(&mut rng)).collect();
             let plans: Vec<(&GroupByQuery, JoinMethod)> =
                 qs.iter().map(|q| (q, JoinMethod::Hash)).collect();
             let shared = cm.class_cost(base, &plans).unwrap();
@@ -626,35 +631,40 @@ mod prop_tests {
                 .iter()
                 .map(|q| cm.standalone(q, base, JoinMethod::Hash).unwrap())
                 .sum();
-            prop_assert!(
-                shared <= separate,
-                "shared {shared} > separate {separate}"
-            );
+            assert!(shared <= separate, "shared {shared} > separate {separate}");
         }
+    }
 
-        /// Cost estimates are deterministic.
-        #[test]
-        fn cost_is_deterministic(q in query_strategy()) {
-            let cube = cube();
-            let cm = CostModel::new(cube, HardwareModel::paper_1998());
+    /// Cost estimates are deterministic.
+    #[test]
+    fn cost_is_deterministic() {
+        let cube = cube();
+        let cm = CostModel::new(cube, HardwareModel::paper_1998());
+        let mut rng = Prng::seed_from_u64(0xC0_0003);
+        for _ in 0..32 {
+            let q = random_query(&mut rng);
             for t in cube.catalog.candidates_for(&q) {
                 for m in [JoinMethod::Hash, JoinMethod::Index] {
-                    prop_assert_eq!(cm.standalone(&q, t, m), cm.standalone(&q, t, m));
+                    assert_eq!(cm.standalone(&q, t, m), cm.standalone(&q, t, m));
                 }
             }
         }
+    }
 
-        /// The best local plan really is minimal over every (table, method)
-        /// the model accepts.
-        #[test]
-        fn best_local_is_actually_best(q in query_strategy()) {
-            let cube = cube();
-            let cm = CostModel::new(cube, HardwareModel::paper_1998());
+    /// The best local plan really is minimal over every (table, method)
+    /// the model accepts.
+    #[test]
+    fn best_local_is_actually_best() {
+        let cube = cube();
+        let cm = CostModel::new(cube, HardwareModel::paper_1998());
+        let mut rng = Prng::seed_from_u64(0xC0_0004);
+        for _ in 0..32 {
+            let q = random_query(&mut rng);
             let (_, _, best) = cm.best_local(&q).expect("base always answers");
             for t in cube.catalog.candidates_for(&q) {
                 for m in [JoinMethod::Hash, JoinMethod::Index] {
                     if let Some(c) = cm.standalone(&q, t, m) {
-                        prop_assert!(best <= c, "best_local {best} beaten by {c}");
+                        assert!(best <= c, "best_local {best} beaten by {c}");
                     }
                 }
             }

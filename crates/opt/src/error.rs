@@ -1,0 +1,35 @@
+//! The optimizer's error type.
+
+use std::fmt;
+
+/// An error from plan search: most commonly, a query no stored table can
+/// answer (so no feasible global plan exists).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OptError(String);
+
+impl OptError {
+    /// Wraps a message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        OptError(msg.into())
+    }
+}
+
+impl fmt::Display for OptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for OptError {}
+
+impl From<String> for OptError {
+    fn from(msg: String) -> Self {
+        OptError(msg)
+    }
+}
+
+impl From<&str> for OptError {
+    fn from(msg: &str) -> Self {
+        OptError(msg.to_string())
+    }
+}

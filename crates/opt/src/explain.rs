@@ -57,7 +57,8 @@ fn explain_class(cube: &Cube, class: &PlanClass, number: usize) -> String {
             continue;
         };
         let needs_probe = class.plans.iter().any(|p| {
-            let target_above = matches!(p.query.group_by.level(d), LevelRef::Level(t) if t > stored);
+            let target_above =
+                matches!(p.query.group_by.level(d), LevelRef::Level(t) if t > stored);
             let pred_above = matches!(p.query.preds[d].level(), Some(pl) if pl > stored);
             target_above || pred_above
         });

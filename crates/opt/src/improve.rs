@@ -24,6 +24,7 @@ use starshare_storage::SimTime;
 
 use crate::algorithms::gg;
 use crate::cost::CostModel;
+use crate::error::OptError;
 use crate::plan::{GlobalPlan, JoinMethod, PlanClass, QueryPlan};
 
 /// A mutable working copy of one class.
@@ -54,7 +55,7 @@ pub fn ggi_with_passes(
     cm: &CostModel<'_>,
     queries: &[GroupByQuery],
     max_passes: usize,
-) -> Result<GlobalPlan, String> {
+) -> Result<GlobalPlan, OptError> {
     let seed = gg(cm, queries)?;
     let mut classes: Vec<Working> = seed
         .classes
@@ -155,8 +156,7 @@ pub fn ggi_with_passes(
                         continue;
                     }
                     if let Some(w) = Working::price(cm, t, &enlarged) {
-                        let new_total =
-                            (rest_cost + w.cost).saturating_sub(old_target_cost);
+                        let new_total = (rest_cost + w.cost).saturating_sub(old_target_cost);
                         consider(Some(ti), w, new_total);
                     }
                 }
@@ -218,7 +218,7 @@ pub fn ggi_with_passes(
 }
 
 /// GGI with the default three passes.
-pub fn ggi(cm: &CostModel<'_>, queries: &[GroupByQuery]) -> Result<GlobalPlan, String> {
+pub fn ggi(cm: &CostModel<'_>, queries: &[GroupByQuery]) -> Result<GlobalPlan, OptError> {
     ggi_with_passes(cm, queries, 3)
 }
 
@@ -231,10 +231,7 @@ fn candidate_tables_for_set(cm: &CostModel<'_>, set: &[GroupByQuery]) -> Vec<Tab
         .catalog
         .candidates_for(first)
         .into_iter()
-        .filter(|&t| {
-            set.iter()
-                .all(|q| cm.cube().catalog.table(t).can_answer(q))
-        })
+        .filter(|&t| set.iter().all(|q| cm.cube().catalog.table(t).can_answer(q)))
         .collect()
 }
 
@@ -264,38 +261,58 @@ mod tests {
         let cm = CostModel::new(&cube, HardwareModel::paper_1998());
         let workloads: Vec<Vec<GroupByQuery>> = vec![
             vec![
-                q(&cube, "A'B''C''D", vec![
-                    MemberPred::members_in(1, vec![0, 1]),
-                    MemberPred::eq(2, 0),
-                    MemberPred::eq(2, 0),
-                    MemberPred::members_in(1, (0..12).collect()),
-                ]),
-                q(&cube, "A''B'C''D", vec![
-                    MemberPred::All,
-                    MemberPred::members_in(1, vec![2, 3]),
-                    MemberPred::eq(2, 1),
-                    MemberPred::members_in(1, (0..12).collect()),
-                ]),
-                q(&cube, "A''B''C''D", vec![
-                    MemberPred::eq(2, 1),
-                    MemberPred::eq(2, 1),
-                    MemberPred::All,
-                    MemberPred::members_in(1, (0..12).collect()),
-                ]),
+                q(
+                    &cube,
+                    "A'B''C''D",
+                    vec![
+                        MemberPred::members_in(1, vec![0, 1]),
+                        MemberPred::eq(2, 0),
+                        MemberPred::eq(2, 0),
+                        MemberPred::members_in(1, (0..12).collect()),
+                    ],
+                ),
+                q(
+                    &cube,
+                    "A''B'C''D",
+                    vec![
+                        MemberPred::All,
+                        MemberPred::members_in(1, vec![2, 3]),
+                        MemberPred::eq(2, 1),
+                        MemberPred::members_in(1, (0..12).collect()),
+                    ],
+                ),
+                q(
+                    &cube,
+                    "A''B''C''D",
+                    vec![
+                        MemberPred::eq(2, 1),
+                        MemberPred::eq(2, 1),
+                        MemberPred::All,
+                        MemberPred::members_in(1, (0..12).collect()),
+                    ],
+                ),
             ],
             vec![
-                q(&cube, "A'B'C'D", vec![
-                    MemberPred::eq(1, 5),
-                    MemberPred::eq(1, 3),
-                    MemberPred::eq(1, 0),
-                    MemberPred::eq(1, 0),
-                ]),
-                q(&cube, "A'B''C'D", vec![
-                    MemberPred::All,
-                    MemberPred::All,
-                    MemberPred::eq(1, 2),
-                    MemberPred::All,
-                ]),
+                q(
+                    &cube,
+                    "A'B'C'D",
+                    vec![
+                        MemberPred::eq(1, 5),
+                        MemberPred::eq(1, 3),
+                        MemberPred::eq(1, 0),
+                        MemberPred::eq(1, 0),
+                    ],
+                ),
+                q(
+                    &cube,
+                    "A'B''C'D",
+                    vec![
+                        MemberPred::All,
+                        MemberPred::All,
+                        MemberPred::eq(1, 2),
+                        MemberPred::All,
+                    ],
+                ),
             ],
         ];
         for ws in &workloads {
@@ -318,18 +335,26 @@ mod tests {
         let cube = cube();
         let cm = CostModel::new(&cube, HardwareModel::paper_1998());
         let ws = vec![
-            q(&cube, "A'B''C''D", vec![
-                MemberPred::members_in(1, vec![0, 1]),
-                MemberPred::All,
-                MemberPred::All,
-                MemberPred::All,
-            ]),
-            q(&cube, "A''B''C''D", vec![
-                MemberPred::All,
-                MemberPred::All,
-                MemberPred::All,
-                MemberPred::eq(1, 0),
-            ]),
+            q(
+                &cube,
+                "A'B''C''D",
+                vec![
+                    MemberPred::members_in(1, vec![0, 1]),
+                    MemberPred::All,
+                    MemberPred::All,
+                    MemberPred::All,
+                ],
+            ),
+            q(
+                &cube,
+                "A''B''C''D",
+                vec![
+                    MemberPred::All,
+                    MemberPred::All,
+                    MemberPred::All,
+                    MemberPred::eq(1, 0),
+                ],
+            ),
         ];
         let plan = ggi(&cm, &ws).unwrap();
         assert_eq!(plan.n_queries(), 2);

@@ -30,12 +30,14 @@
 
 pub mod algorithms;
 pub mod cost;
+pub mod error;
 pub mod explain;
 pub mod improve;
 pub mod plan;
 
 pub use algorithms::{etplg, gg, optimal, tplo, OptimizerKind};
+pub use cost::CostModel;
+pub use error::OptError;
 pub use explain::{explain_tree, explain_tree_with_costs};
 pub use improve::{ggi, ggi_with_passes};
-pub use cost::CostModel;
 pub use plan::{GlobalPlan, JoinMethod, PlanClass, QueryPlan};

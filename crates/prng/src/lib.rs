@@ -1,0 +1,192 @@
+//! # starshare-prng
+//!
+//! A tiny, dependency-free, deterministic pseudo-random number generator
+//! for data generation, workload sampling, and randomized tests.
+//!
+//! The engine's experiments must be reproducible bit-for-bit across hosts
+//! and across releases, so the generator is vendored rather than pulled
+//! from crates.io: [`Prng`] is SplitMix64 (Steele, Lea & Flood 2014) — a
+//! 64-bit state, fixed increment, and an output mix — which passes BigCrush
+//! and is trivially seedable from a `u64`.
+//!
+//! The API mirrors the subset of `rand` the codebase needs:
+//!
+//! ```
+//! use starshare_prng::Prng;
+//!
+//! let mut rng = Prng::seed_from_u64(42);
+//! let die = rng.gen_range(1u32..=6);
+//! assert!((1..=6).contains(&die));
+//! let unit: f64 = rng.gen_f64();
+//! assert!((0.0..1.0).contains(&unit));
+//! // Same seed, same stream.
+//! assert_eq!(Prng::seed_from_u64(7).next_u64(), Prng::seed_from_u64(7).next_u64());
+//! ```
+
+use std::ops::{Range, RangeInclusive};
+
+/// A deterministic SplitMix64 generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Prng {
+    state: u64,
+}
+
+const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+impl Prng {
+    /// Creates a generator whose stream is fully determined by `seed`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Prng { state: seed }
+    }
+
+    /// The next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(GOLDEN_GAMMA);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform `f64` in `[0, 1)` (53 random mantissa bits).
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// A uniform sample from `range` (half-open or inclusive integer
+    /// ranges, or a half-open `f64` range).
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// Fisher–Yates shuffles a slice in place.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.gen_range(0..=i);
+            xs.swap(i, j);
+        }
+    }
+}
+
+/// A range [`Prng::gen_range`] can sample from.
+pub trait SampleRange {
+    /// The sampled value's type.
+    type Output;
+    /// Draws one uniform sample.
+    fn sample(self, rng: &mut Prng) -> Self::Output;
+}
+
+macro_rules! impl_int_ranges {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut Prng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut Prng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full u64 domain.
+                    return rng.next_u64() as $t;
+                }
+                lo + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_ranges!(u8, u16, u32, u64, usize);
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample(self, rng: &mut Prng) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + rng.gen_f64() * (self.end - self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Prng::seed_from_u64(99);
+        let mut b = Prng::seed_from_u64(99);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Prng::seed_from_u64(100);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Prng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3u32..17);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(5usize..=5);
+            assert_eq!(y, 5);
+            let f = rng.gen_range(-2.0..3.0);
+            assert!((-2.0..3.0).contains(&f));
+            let u = rng.gen_f64();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn range_samples_cover_domain() {
+        let mut rng = Prng::seed_from_u64(7);
+        let mut seen = [false; 6];
+        for _ in 0..200 {
+            seen[rng.gen_range(0usize..6)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = Prng::seed_from_u64(3);
+        let heads = (0..1000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((400..600).contains(&heads), "{heads}");
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Prng::seed_from_u64(11);
+        let mut xs: Vec<u32> = (0..20).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+        assert_ne!(
+            xs,
+            (0..20).collect::<Vec<_>>(),
+            "identity is astronomically unlikely"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        Prng::seed_from_u64(0).gen_range(5u32..5);
+    }
+}

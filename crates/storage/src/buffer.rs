@@ -164,6 +164,51 @@ impl BufferPool {
         self.tail = NIL;
     }
 
+    /// Inserts `(file, page)` as most-recently-used **without** recording a
+    /// hit or fault (evicting the LRU page if full). Used to seed residency
+    /// snapshots for partitioned execution; the clock only sees work done
+    /// *after* the snapshot.
+    pub fn preload(&mut self, file: FileId, page: PageId) {
+        let key = (file, page);
+        if let Some(&idx) = self.map.get(&key) {
+            self.move_to_front(idx);
+            return;
+        }
+        if self.map.len() == self.capacity {
+            self.evict_lru();
+        }
+        let idx = self.alloc_node(key);
+        self.push_front(idx);
+        self.map.insert(key, idx);
+    }
+
+    /// A new pool with the same capacity and the same resident pages in the
+    /// same LRU order, but zeroed statistics.
+    ///
+    /// This is the worker-side view of the pool in partitioned execution:
+    /// each worker starts from the residency the plan started with, counts
+    /// its own faults and hits privately, and the coordinator folds the
+    /// partial [`IoStats`] back together with [`add_stats`](Self::add_stats)
+    /// in a fixed order — so totals are independent of thread scheduling.
+    pub fn clone_residency(&self) -> BufferPool {
+        let mut clone = BufferPool::new(self.capacity);
+        // Walk LRU → MRU so the most recent push ends up at the front,
+        // reproducing this pool's order exactly.
+        let mut idx = self.tail;
+        while idx != NIL {
+            let Node { key, prev, .. } = self.nodes[idx];
+            clone.preload(key.0, key.1);
+            idx = prev;
+        }
+        clone
+    }
+
+    /// Folds a worker's privately-counted statistics into this pool's
+    /// cumulative totals (residency is unaffected).
+    pub fn add_stats(&mut self, stats: &IoStats) {
+        self.stats.merge(stats);
+    }
+
     /// Current cumulative statistics.
     pub fn stats(&self) -> IoStats {
         self.stats
@@ -353,6 +398,57 @@ mod tests {
     }
 
     #[test]
+    fn preload_seeds_residency_without_stats() {
+        let mut p = BufferPool::new(2);
+        p.preload(f(0), 0);
+        p.preload(f(0), 1);
+        assert_eq!(p.resident(), 2);
+        assert_eq!(p.stats(), IoStats::default());
+        // Preloaded pages behave as resident: first access is a hit.
+        assert!(p.access(f(0), 0, AccessKind::Random));
+        // Preload respects capacity and LRU: page 1 is now LRU (page 0 was
+        // just touched), so preloading page 2 evicts page 1.
+        p.preload(f(0), 2);
+        assert!(!p.contains(f(0), 1));
+        assert!(p.contains(f(0), 0));
+    }
+
+    #[test]
+    fn clone_residency_copies_pages_and_order_but_not_stats() {
+        let mut p = BufferPool::new(3);
+        p.access(f(0), 0, AccessKind::Sequential);
+        p.access(f(0), 1, AccessKind::Sequential);
+        p.access(f(0), 2, AccessKind::Random);
+        p.access(f(0), 0, AccessKind::Random); // order now: 0, 2, 1
+        let mut c = p.clone_residency();
+        assert_eq!(c.capacity(), 3);
+        assert_eq!(c.resident(), 3);
+        assert_eq!(c.stats(), IoStats::default());
+        // Same LRU order: faulting a new page must evict page 1 in both.
+        c.access(f(0), 9, AccessKind::Sequential);
+        p.access(f(0), 9, AccessKind::Sequential);
+        for pool in [&c, &p] {
+            assert!(!pool.contains(f(0), 1));
+            assert!(pool.contains(f(0), 0));
+            assert!(pool.contains(f(0), 2));
+        }
+    }
+
+    #[test]
+    fn add_stats_folds_worker_counts() {
+        let mut p = BufferPool::new(2);
+        p.access(f(0), 0, AccessKind::Sequential);
+        p.add_stats(&IoStats {
+            seq_faults: 5,
+            random_faults: 7,
+            hits: 9,
+        });
+        assert_eq!(p.stats().seq_faults, 6);
+        assert_eq!(p.stats().random_faults, 7);
+        assert_eq!(p.stats().hits, 9);
+    }
+
+    #[test]
     fn merge_stats() {
         let mut a = IoStats {
             seq_faults: 1,
@@ -373,7 +469,7 @@ mod tests {
 #[cfg(test)]
 mod prop_tests {
     use super::*;
-    use proptest::prelude::*;
+    use starshare_prng::Prng;
 
     /// A trivially correct LRU reference: a Vec ordered MRU-first.
     struct NaiveLru {
@@ -410,48 +506,54 @@ mod prop_tests {
         }
     }
 
-    proptest! {
-        /// The linked-list pool behaves exactly like the naive reference on
-        /// arbitrary access traces: same hit/fault classification at every
-        /// step, same residency at the end.
-        #[test]
-        fn pool_matches_naive_lru_model(
-            capacity in 1usize..12,
-            trace in proptest::collection::vec(
-                (0u32..4, 0u32..16, proptest::bool::ANY),
-                0..200,
-            ),
-        ) {
+    /// The linked-list pool behaves exactly like the naive reference on
+    /// random access traces: same hit/fault classification at every step,
+    /// same residency at the end.
+    #[test]
+    fn pool_matches_naive_lru_model() {
+        let mut rng = Prng::seed_from_u64(0x1_F001);
+        for _ in 0..64 {
+            let capacity = rng.gen_range(1usize..12);
             let mut pool = BufferPool::new(capacity);
             let mut model = NaiveLru::new(capacity);
-            for (file, page, random) in trace {
-                let kind = if random { AccessKind::Random } else { AccessKind::Sequential };
+            let steps = rng.gen_range(0usize..200);
+            for _ in 0..steps {
+                let file = rng.gen_range(0u32..4);
+                let page = rng.gen_range(0u32..16);
+                let kind = if rng.gen_bool(0.5) {
+                    AccessKind::Random
+                } else {
+                    AccessKind::Sequential
+                };
                 let hit_pool = pool.access(FileId(file), page, kind);
                 let hit_model = model.access((FileId(file), page), kind);
-                prop_assert_eq!(hit_pool, hit_model, "divergent hit/fault");
+                assert_eq!(hit_pool, hit_model, "divergent hit/fault");
             }
-            prop_assert_eq!(pool.stats(), model.stats);
-            prop_assert_eq!(pool.resident(), model.order.len());
+            assert_eq!(pool.stats(), model.stats);
+            assert_eq!(pool.resident(), model.order.len());
             for key in &model.order {
-                prop_assert!(pool.contains(key.0, key.1), "{key:?} missing from pool");
+                assert!(pool.contains(key.0, key.1), "{key:?} missing from pool");
             }
         }
+    }
 
-        /// Flush mid-trace never corrupts the structure.
-        #[test]
-        fn pool_survives_interleaved_flushes(
-            capacity in 1usize..8,
-            trace in proptest::collection::vec((0u32..8, proptest::bool::ANY), 0..100),
-        ) {
+    /// Flush mid-trace never corrupts the structure.
+    #[test]
+    fn pool_survives_interleaved_flushes() {
+        let mut rng = Prng::seed_from_u64(0x2_F001);
+        for _ in 0..64 {
+            let capacity = rng.gen_range(1usize..8);
             let mut pool = BufferPool::new(capacity);
-            for (page, flush) in trace {
-                if flush {
+            let steps = rng.gen_range(0usize..100);
+            for _ in 0..steps {
+                let page = rng.gen_range(0u32..8);
+                if rng.gen_bool(0.5) {
                     pool.flush();
-                    prop_assert_eq!(pool.resident(), 0);
+                    assert_eq!(pool.resident(), 0);
                 } else {
                     pool.access(FileId(0), page, AccessKind::Sequential);
-                    prop_assert!(pool.resident() <= capacity);
-                    prop_assert!(pool.contains(FileId(0), page));
+                    assert!(pool.resident() <= capacity);
+                    assert!(pool.contains(FileId(0), page));
                 }
             }
         }

@@ -86,8 +86,11 @@ impl HeapFile {
         }
         let page = self.pages.last_mut().expect("page just ensured");
         let off = slot * self.layout.record_size();
-        self.layout
-            .encode(keys, measure, &mut page[off..off + self.layout.record_size()]);
+        self.layout.encode(
+            keys,
+            measure,
+            &mut page[off..off + self.layout.record_size()],
+        );
         self.n_tuples += 1;
     }
 
@@ -113,8 +116,10 @@ impl HeapFile {
     pub fn read_at(&self, pos: u64, keys_out: &mut [u32]) -> f64 {
         assert!(pos < self.n_tuples, "tuple position out of range");
         let (page, off) = self.locate(pos);
-        self.layout
-            .decode(&self.pages[page][off..off + self.layout.record_size()], keys_out)
+        self.layout.decode(
+            &self.pages[page][off..off + self.layout.record_size()],
+            keys_out,
+        )
     }
 
     /// Accounted random fetch of tuple `pos` through `pool`.
@@ -131,9 +136,18 @@ impl HeapFile {
 
     /// Starts an accounted sequential scan.
     pub fn scan(&self) -> ScanCursor<'_> {
+        self.scan_range(0, self.n_tuples)
+    }
+
+    /// Starts an accounted sequential scan over tuple positions
+    /// `start..end` (clamped to the table). Partitioned execution hands each
+    /// worker a page-aligned range so partitions touch disjoint pages.
+    pub fn scan_range(&self, start: u64, end: u64) -> ScanCursor<'_> {
+        let end = end.min(self.n_tuples);
         ScanCursor {
             heap: self,
-            pos: 0,
+            pos: start.min(end),
+            end,
             touched_page: None,
         }
     }
@@ -152,6 +166,7 @@ impl HeapFile {
 pub struct ScanCursor<'a> {
     heap: &'a HeapFile,
     pos: u64,
+    end: u64,
     touched_page: Option<PageId>,
 }
 
@@ -164,7 +179,7 @@ impl<'a> ScanCursor<'a> {
         keys_out: &mut [u32],
         pos_out: &mut u64,
     ) -> Option<f64> {
-        if self.pos >= self.heap.n_tuples {
+        if self.pos >= self.end {
             return None;
         }
         let page = self.heap.page_of(self.pos);
@@ -180,7 +195,7 @@ impl<'a> ScanCursor<'a> {
 
     /// Tuples remaining.
     pub fn remaining(&self) -> u64 {
-        self.heap.n_tuples - self.pos
+        self.end - self.pos
     }
 }
 
@@ -242,6 +257,38 @@ mod tests {
         assert_eq!(sum, (n * (n - 1) / 2) as f64);
         assert_eq!(pool.stats().accesses(), 4); // 4 pages, touched once each
         assert_eq!(pool.stats().seq_faults, 4);
+    }
+
+    #[test]
+    fn scan_range_covers_exactly_its_tuples() {
+        let layout = TupleLayout::new(2);
+        let per_page = layout.tuples_per_page() as u64;
+        let n = per_page * 4;
+        let h = small_heap(n);
+        // Page-aligned halves partition the scan: same tuples, same pages,
+        // no page touched by both halves.
+        let mid = per_page * 2;
+        let mut seen = Vec::new();
+        let mut total_faults = 0;
+        for (lo, hi) in [(0, mid), (mid, n)] {
+            let mut pool = BufferPool::new(100);
+            let mut cursor = h.scan_range(lo, hi);
+            assert_eq!(cursor.remaining(), hi - lo);
+            let mut keys = [0u32; 2];
+            let mut pos = 0u64;
+            while cursor.next_into(&mut pool, &mut keys, &mut pos).is_some() {
+                seen.push(pos);
+            }
+            total_faults += pool.stats().seq_faults;
+        }
+        assert_eq!(seen, (0..n).collect::<Vec<_>>());
+        assert_eq!(total_faults, 4, "each page faulted exactly once overall");
+        // Out-of-range bounds clamp.
+        let mut pool = BufferPool::new(10);
+        let mut cursor = h.scan_range(n + 5, n + 9);
+        let mut keys = [0u32; 2];
+        let mut pos = 0u64;
+        assert!(cursor.next_into(&mut pool, &mut keys, &mut pos).is_none());
     }
 
     #[test]

@@ -21,7 +21,10 @@ fn main() {
     let build_time = t0.elapsed();
     save_cube(engine.cube(), &path).expect("snapshot writes");
     let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
-    println!("built in {build_time:?}; snapshot = {:.1} MB", bytes as f64 / 1e6);
+    println!(
+        "built in {build_time:?}; snapshot = {:.1} MB",
+        bytes as f64 / 1e6
+    );
 
     // Reload.
     let t1 = Instant::now();

@@ -50,9 +50,9 @@ fn main() {
                  every query, globally the cheapest, because one scan now feeds all \
                  three (the paper's Example 2)."
             ),
-            OptimizerKind::Optimal => println!(
-                "Exhaustive search confirms GG's plan is the global optimum here."
-            ),
+            OptimizerKind::Optimal => {
+                println!("Exhaustive search confirms GG's plan is the global optimum here.")
+            }
         }
     }
 }

@@ -24,7 +24,10 @@ fn main() {
 
     let outcome = engine.mdx(mdx).expect("valid MDX");
 
-    println!("bound to {} group-by quer(ies):", outcome.bound.queries.len());
+    println!(
+        "bound to {} group-by quer(ies):",
+        outcome.bound.queries.len()
+    );
     for q in &outcome.bound.queries {
         println!("  {}", q.display(&engine.cube().schema));
     }

@@ -30,7 +30,12 @@ fn store_dimension() -> Dimension {
                 name: "Region".into(),
                 cardinality: 6,
                 member_names: named(&[
-                    "USA_North", "USA_South", "Japan_East", "Japan_West", "Mex_North", "Mex_South",
+                    "USA_North",
+                    "USA_South",
+                    "Japan_East",
+                    "Japan_West",
+                    "Mex_North",
+                    "Mex_South",
                 ]),
             },
             LevelDef {

@@ -9,8 +9,8 @@
 
 use starshare::paper_queries::bind_paper_query;
 use starshare::{
-    shared_hybrid_join, shared_index_join, shared_scan_hash_join, Engine, ExecReport,
-    GroupByQuery, JoinMethod, PaperCubeSpec,
+    shared_hybrid_join, shared_index_join, shared_scan_hash_join, Engine, ExecReport, GroupByQuery,
+    JoinMethod, PaperCubeSpec,
 };
 
 fn show(label: &str, r: &ExecReport) {
@@ -36,7 +36,10 @@ fn main() {
     println!("\n§3.1 shared scan hash-based star join — Q1..Q4 on ABCD");
     let abcd = engine.cube().catalog.find_by_name("ABCD").unwrap();
     let queries: Vec<GroupByQuery> = vec![q(1), q(2), q(3), q(4)];
-    let sep: Vec<_> = queries.iter().map(|x| (abcd, x.clone(), JoinMethod::Hash)).collect();
+    let sep: Vec<_> = queries
+        .iter()
+        .map(|x| (abcd, x.clone(), JoinMethod::Hash))
+        .collect();
     let (_, separate) = engine.execute_separately(&sep).unwrap();
     show("4 separate scans", &separate);
     engine.flush();

@@ -39,8 +39,20 @@ fn parse_opts(args: &[String]) -> Opts {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--cube" => o.cube_file = Some(it.next().unwrap_or_else(|| fail("--cube needs a file")).clone()),
-            "--out" => o.out = Some(it.next().unwrap_or_else(|| fail("--out needs a file")).clone()),
+            "--cube" => {
+                o.cube_file = Some(
+                    it.next()
+                        .unwrap_or_else(|| fail("--cube needs a file"))
+                        .clone(),
+                )
+            }
+            "--out" => {
+                o.out = Some(
+                    it.next()
+                        .unwrap_or_else(|| fail("--out needs a file"))
+                        .clone(),
+                )
+            }
             "--scale" => {
                 o.scale = it
                     .next()
@@ -68,13 +80,15 @@ fn make_engine(o: &Opts) -> Engine {
 }
 
 fn print_tables(engine: &Engine) {
-    println!("{:<16} {:>10} {:>8}  {:<8} indexes", "table", "rows", "pages", "measure");
+    println!(
+        "{:<16} {:>10} {:>8}  {:<8} indexes",
+        "table", "rows", "pages", "measure"
+    );
     for (_, t) in engine.cube().catalog.iter() {
         let idx: Vec<String> = (0..engine.cube().schema.n_dims())
             .filter_map(|d| {
-                t.index(d).map(|ix| {
-                    engine.cube().schema.dim(d).level(ix.level).name.clone()
-                })
+                t.index(d)
+                    .map(|ix| engine.cube().schema.dim(d).level(ix.level).name.clone())
             })
             .collect();
         println!(
@@ -83,7 +97,11 @@ fn print_tables(engine: &Engine) {
             t.n_rows(),
             t.pages(),
             t.measure().to_string(),
-            if idx.is_empty() { "-".into() } else { idx.join(",") }
+            if idx.is_empty() {
+                "-".into()
+            } else {
+                idx.join(",")
+            }
         );
     }
 }
@@ -100,18 +118,17 @@ fn run_mdx(engine: &mut Engine, mdx: &str, show_plan: bool) {
                 Some(grid) => print!("{}", starshare::render_pivot(&schema, &grid)),
                 None => {
                     for r in &out.results {
-                        println!(
-                            "-- {}  ({} groups)",
-                            r.query.display(&schema),
-                            r.n_groups()
-                        );
+                        println!("-- {}  ({} groups)", r.query.display(&schema), r.n_groups());
                         print!("{}", r.display(&schema, 20));
                     }
                 }
             }
             println!(
                 "time: {} simulated 1998 / {:?} wall  (seq {} / rand {} faults)",
-                out.report.sim, out.report.wall, out.report.io.seq_faults, out.report.io.random_faults
+                out.report.sim,
+                out.report.wall,
+                out.report.io.seq_faults,
+                out.report.io.random_faults
             );
         }
     }
@@ -148,10 +165,10 @@ fn repl(mut engine: Engine) {
                     eprintln!("plan printing {}", if show_plan { "on" } else { "off" });
                 }
                 Some("algo") => match parts.next().map(str::to_ascii_lowercase).as_deref() {
-                    Some("tplo") => engine = engine.with_optimizer(OptimizerKind::Tplo),
-                    Some("etplg") => engine = engine.with_optimizer(OptimizerKind::Etplg),
-                    Some("gg") => engine = engine.with_optimizer(OptimizerKind::Gg),
-                    Some("optimal") => engine = engine.with_optimizer(OptimizerKind::Optimal),
+                    Some("tplo") => engine.set_optimizer(OptimizerKind::Tplo),
+                    Some("etplg") => engine.set_optimizer(OptimizerKind::Etplg),
+                    Some("gg") => engine.set_optimizer(OptimizerKind::Gg),
+                    Some("optimal") => engine.set_optimizer(OptimizerKind::Optimal),
                     _ => eprintln!("usage: \\algo tplo|etplg|gg|optimal"),
                 },
                 _ => eprintln!("unknown command {trimmed}"),
@@ -182,8 +199,7 @@ fn main() {
         "build" => {
             let engine = make_engine(&o);
             let out = o.out.clone().unwrap_or_else(|| "cube.ss".into());
-            save_cube(engine.cube(), &out)
-                .unwrap_or_else(|e| fail(&format!("saving {out}: {e}")));
+            save_cube(engine.cube(), &out).unwrap_or_else(|e| fail(&format!("saving {out}: {e}")));
             eprintln!("saved {out}");
             print_tables(&engine);
         }
@@ -200,11 +216,7 @@ fn main() {
         "advise" => {
             let spec = starshare::PaperCubeSpec::scaled(o.scale);
             let schema = starshare::paper_schema(spec.d_leaf);
-            let n: usize = o
-                .rest
-                .first()
-                .and_then(|s| s.parse().ok())
-                .unwrap_or(4);
+            let n: usize = o.rest.first().and_then(|s| s.parse().ok()).unwrap_or(4);
             println!(
                 "HRU96 greedy view selection for the paper schema, {} base rows:",
                 spec.base_rows
@@ -212,7 +224,10 @@ fn main() {
             let recs = starshare::recommend_views(
                 &schema,
                 spec.base_rows,
-                starshare::AdvisorConfig { max_views: n, row_budget: None },
+                starshare::AdvisorConfig {
+                    max_views: n,
+                    row_budget: None,
+                },
             );
             println!("{:<14} {:>14} {:>16}", "view", "est rows", "benefit (rows)");
             for r in recs {

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-4839e45d3aa488da.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-4839e45d3aa488da: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-f5c54fc0a514d9a8.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-f5c54fc0a514d9a8: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

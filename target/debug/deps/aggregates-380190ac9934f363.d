@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/aggregates-380190ac9934f363.d: tests/aggregates.rs
+
+/root/repo/target/debug/deps/aggregates-380190ac9934f363: tests/aggregates.rs
+
+tests/aggregates.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/aggregates-d5c6631dc04c3a59.d: tests/aggregates.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaggregates-d5c6631dc04c3a59.rmeta: tests/aggregates.rs Cargo.toml
+
+tests/aggregates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-c5bfd7a9ae8e9ecc.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-c5bfd7a9ae8e9ecc: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-194387d4dc732f23.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-194387d4dc732f23: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

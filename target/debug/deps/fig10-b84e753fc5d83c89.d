@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-b84e753fc5d83c89.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-b84e753fc5d83c89: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-06e67f37228ebf58.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-06e67f37228ebf58: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-5a954e52a8274fe7.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-5a954e52a8274fe7: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-16f5c421e0dd61ee.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/fig12-16f5c421e0dd61ee: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-236966ea35c0265a.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/fig12-236966ea35c0265a: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

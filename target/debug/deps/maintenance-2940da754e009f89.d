@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/maintenance-2940da754e009f89.d: tests/maintenance.rs
+
+/root/repo/target/debug/deps/maintenance-2940da754e009f89: tests/maintenance.rs
+
+tests/maintenance.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/maintenance-3a6fc8753b4848bf.d: tests/maintenance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmaintenance-3a6fc8753b4848bf.rmeta: tests/maintenance.rs Cargo.toml
+
+tests/maintenance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mdx_binding-a2b0d45404895277.d: tests/mdx_binding.rs
+
+/root/repo/target/debug/deps/mdx_binding-a2b0d45404895277: tests/mdx_binding.rs
+
+tests/mdx_binding.rs:

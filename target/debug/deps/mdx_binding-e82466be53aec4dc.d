@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mdx_binding-e82466be53aec4dc.d: tests/mdx_binding.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmdx_binding-e82466be53aec4dc.rmeta: tests/mdx_binding.rs Cargo.toml
+
+tests/mdx_binding.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

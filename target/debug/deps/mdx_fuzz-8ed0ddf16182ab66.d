@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mdx_fuzz-8ed0ddf16182ab66.d: tests/mdx_fuzz.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmdx_fuzz-8ed0ddf16182ab66.rmeta: tests/mdx_fuzz.rs Cargo.toml
+
+tests/mdx_fuzz.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

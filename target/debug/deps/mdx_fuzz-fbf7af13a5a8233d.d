@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mdx_fuzz-fbf7af13a5a8233d.d: tests/mdx_fuzz.rs
+
+/root/repo/target/debug/deps/mdx_fuzz-fbf7af13a5a8233d: tests/mdx_fuzz.rs
+
+tests/mdx_fuzz.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/operator_equivalence-598f2207f594e8e8.d: tests/operator_equivalence.rs
+
+/root/repo/target/debug/deps/operator_equivalence-598f2207f594e8e8: tests/operator_equivalence.rs
+
+tests/operator_equivalence.rs:

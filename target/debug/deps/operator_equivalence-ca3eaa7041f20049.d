@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/operator_equivalence-ca3eaa7041f20049.d: tests/operator_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboperator_equivalence-ca3eaa7041f20049.rmeta: tests/operator_equivalence.rs Cargo.toml
+
+tests/operator_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/optimizer_invariants-078be62494628bdd.d: tests/optimizer_invariants.rs
+
+/root/repo/target/debug/deps/optimizer_invariants-078be62494628bdd: tests/optimizer_invariants.rs
+
+tests/optimizer_invariants.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/optimizer_invariants-a8d5df993f3693c1.d: tests/optimizer_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboptimizer_invariants-a8d5df993f3693c1.rmeta: tests/optimizer_invariants.rs Cargo.toml
+
+tests/optimizer_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

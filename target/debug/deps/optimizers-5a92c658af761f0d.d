@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/optimizers-5a92c658af761f0d.d: crates/bench/benches/optimizers.rs
+
+/root/repo/target/debug/deps/optimizers-5a92c658af761f0d: crates/bench/benches/optimizers.rs
+
+crates/bench/benches/optimizers.rs:

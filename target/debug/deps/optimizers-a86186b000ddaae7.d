@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/optimizers-a86186b000ddaae7.d: crates/bench/benches/optimizers.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboptimizers-a86186b000ddaae7.rmeta: crates/bench/benches/optimizers.rs Cargo.toml
+
+crates/bench/benches/optimizers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/optimizers-c177ecb4d36ed9d2.d: crates/bench/benches/optimizers.rs
+
+/root/repo/target/debug/deps/optimizers-c177ecb4d36ed9d2: crates/bench/benches/optimizers.rs
+
+crates/bench/benches/optimizers.rs:

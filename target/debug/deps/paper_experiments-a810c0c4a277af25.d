@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_experiments-a810c0c4a277af25.d: tests/paper_experiments.rs
+
+/root/repo/target/debug/deps/paper_experiments-a810c0c4a277af25: tests/paper_experiments.rs
+
+tests/paper_experiments.rs:

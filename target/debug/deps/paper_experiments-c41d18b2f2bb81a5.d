@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_experiments-c41d18b2f2bb81a5.d: tests/paper_experiments.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_experiments-c41d18b2f2bb81a5.rmeta: tests/paper_experiments.rs Cargo.toml
+
+tests/paper_experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

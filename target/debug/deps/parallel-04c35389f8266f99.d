@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel-04c35389f8266f99.d: crates/bench/src/bin/parallel.rs
+
+/root/repo/target/debug/deps/parallel-04c35389f8266f99: crates/bench/src/bin/parallel.rs
+
+crates/bench/src/bin/parallel.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parallel-4a2a01cc2fdefbe9.d: crates/bench/src/bin/parallel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallel-4a2a01cc2fdefbe9.rmeta: crates/bench/src/bin/parallel.rs Cargo.toml
+
+crates/bench/src/bin/parallel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

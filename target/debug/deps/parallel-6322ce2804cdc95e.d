@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel-6322ce2804cdc95e.d: crates/bench/src/bin/parallel.rs
+
+/root/repo/target/debug/deps/parallel-6322ce2804cdc95e: crates/bench/src/bin/parallel.rs
+
+crates/bench/src/bin/parallel.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parallel-b3f9aa3b0d3fbfef.d: crates/bench/src/bin/parallel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallel-b3f9aa3b0d3fbfef.rmeta: crates/bench/src/bin/parallel.rs Cargo.toml
+
+crates/bench/src/bin/parallel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

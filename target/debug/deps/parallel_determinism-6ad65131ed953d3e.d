@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_determinism-6ad65131ed953d3e.d: tests/parallel_determinism.rs
+
+/root/repo/target/debug/deps/parallel_determinism-6ad65131ed953d3e: tests/parallel_determinism.rs
+
+tests/parallel_determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/persistence-6f9aa9fc4d66ac7c.d: tests/persistence.rs
+
+/root/repo/target/debug/deps/persistence-6f9aa9fc4d66ac7c: tests/persistence.rs
+
+tests/persistence.rs:

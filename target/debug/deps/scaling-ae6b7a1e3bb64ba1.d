@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling-ae6b7a1e3bb64ba1.d: crates/bench/src/bin/scaling.rs
+
+/root/repo/target/debug/deps/scaling-ae6b7a1e3bb64ba1: crates/bench/src/bin/scaling.rs
+
+crates/bench/src/bin/scaling.rs:

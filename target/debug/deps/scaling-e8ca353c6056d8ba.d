@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling-e8ca353c6056d8ba.d: crates/bench/src/bin/scaling.rs
+
+/root/repo/target/debug/deps/scaling-e8ca353c6056d8ba: crates/bench/src/bin/scaling.rs
+
+crates/bench/src/bin/scaling.rs:

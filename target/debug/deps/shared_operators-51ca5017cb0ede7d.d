@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shared_operators-51ca5017cb0ede7d.d: crates/bench/benches/shared_operators.rs
+
+/root/repo/target/debug/deps/shared_operators-51ca5017cb0ede7d: crates/bench/benches/shared_operators.rs
+
+crates/bench/benches/shared_operators.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shared_operators-ab210988ce465b2e.d: crates/bench/benches/shared_operators.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshared_operators-ab210988ce465b2e.rmeta: crates/bench/benches/shared_operators.rs Cargo.toml
+
+crates/bench/benches/shared_operators.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

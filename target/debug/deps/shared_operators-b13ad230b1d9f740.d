@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shared_operators-b13ad230b1d9f740.d: crates/bench/benches/shared_operators.rs
+
+/root/repo/target/debug/deps/shared_operators-b13ad230b1d9f740: crates/bench/benches/shared_operators.rs
+
+crates/bench/benches/shared_operators.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/starshare-2ce645dee5ef570a.d: src/lib.rs
+
+/root/repo/target/debug/deps/starshare-2ce645dee5ef570a: src/lib.rs
+
+src/lib.rs:

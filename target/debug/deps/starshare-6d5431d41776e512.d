@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/starshare-6d5431d41776e512.d: src/lib.rs
+
+/root/repo/target/debug/deps/libstarshare-6d5431d41776e512.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libstarshare-6d5431d41776e512.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/starshare-f9a50ed162e16449.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstarshare-f9a50ed162e16449.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

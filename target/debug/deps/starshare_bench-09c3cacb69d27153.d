@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/starshare_bench-09c3cacb69d27153.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstarshare_bench-09c3cacb69d27153.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

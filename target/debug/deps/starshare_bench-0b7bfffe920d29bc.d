@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/starshare_bench-0b7bfffe920d29bc.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/starshare_bench-0b7bfffe920d29bc: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

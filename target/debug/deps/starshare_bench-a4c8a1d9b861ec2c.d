@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/starshare_bench-a4c8a1d9b861ec2c.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libstarshare_bench-a4c8a1d9b861ec2c.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libstarshare_bench-a4c8a1d9b861ec2c.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/starshare_bitmap-3ac107f0c1476bec.d: crates/bitmap/src/lib.rs crates/bitmap/src/bitvec.rs crates/bitmap/src/index.rs crates/bitmap/src/rle.rs
+
+/root/repo/target/debug/deps/libstarshare_bitmap-3ac107f0c1476bec.rlib: crates/bitmap/src/lib.rs crates/bitmap/src/bitvec.rs crates/bitmap/src/index.rs crates/bitmap/src/rle.rs
+
+/root/repo/target/debug/deps/libstarshare_bitmap-3ac107f0c1476bec.rmeta: crates/bitmap/src/lib.rs crates/bitmap/src/bitvec.rs crates/bitmap/src/index.rs crates/bitmap/src/rle.rs
+
+crates/bitmap/src/lib.rs:
+crates/bitmap/src/bitvec.rs:
+crates/bitmap/src/index.rs:
+crates/bitmap/src/rle.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/starshare_bitmap-518dcdfbbf90ab45.d: crates/bitmap/src/lib.rs crates/bitmap/src/bitvec.rs crates/bitmap/src/index.rs crates/bitmap/src/rle.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstarshare_bitmap-518dcdfbbf90ab45.rmeta: crates/bitmap/src/lib.rs crates/bitmap/src/bitvec.rs crates/bitmap/src/index.rs crates/bitmap/src/rle.rs Cargo.toml
+
+crates/bitmap/src/lib.rs:
+crates/bitmap/src/bitvec.rs:
+crates/bitmap/src/index.rs:
+crates/bitmap/src/rle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/starshare_bitmap-f030ff2e488a84b0.d: crates/bitmap/src/lib.rs crates/bitmap/src/bitvec.rs crates/bitmap/src/index.rs crates/bitmap/src/rle.rs
+
+/root/repo/target/debug/deps/starshare_bitmap-f030ff2e488a84b0: crates/bitmap/src/lib.rs crates/bitmap/src/bitvec.rs crates/bitmap/src/index.rs crates/bitmap/src/rle.rs
+
+crates/bitmap/src/lib.rs:
+crates/bitmap/src/bitvec.rs:
+crates/bitmap/src/index.rs:
+crates/bitmap/src/rle.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/starshare_cli-582826425a4b816e.d: src/bin/starshare-cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstarshare_cli-582826425a4b816e.rmeta: src/bin/starshare-cli.rs Cargo.toml
+
+src/bin/starshare-cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

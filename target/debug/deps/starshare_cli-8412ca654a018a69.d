@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/starshare_cli-8412ca654a018a69.d: src/bin/starshare-cli.rs
+
+/root/repo/target/debug/deps/starshare_cli-8412ca654a018a69: src/bin/starshare-cli.rs
+
+src/bin/starshare-cli.rs:

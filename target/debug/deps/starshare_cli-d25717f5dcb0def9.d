@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/starshare_cli-d25717f5dcb0def9.d: src/bin/starshare-cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstarshare_cli-d25717f5dcb0def9.rmeta: src/bin/starshare-cli.rs Cargo.toml
+
+src/bin/starshare-cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/starshare_cli-fc05a5902bff55b8.d: src/bin/starshare-cli.rs
+
+/root/repo/target/debug/deps/starshare_cli-fc05a5902bff55b8: src/bin/starshare-cli.rs
+
+src/bin/starshare-cli.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/starshare_core-d4224a13baa6c057.d: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/grid.rs
+
+/root/repo/target/debug/deps/starshare_core-d4224a13baa6c057: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/grid.rs
+
+crates/core/src/lib.rs:
+crates/core/src/engine.rs:
+crates/core/src/error.rs:
+crates/core/src/grid.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/starshare_core-d85c4de67592fa6d.d: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/grid.rs
+
+/root/repo/target/debug/deps/libstarshare_core-d85c4de67592fa6d.rlib: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/grid.rs
+
+/root/repo/target/debug/deps/libstarshare_core-d85c4de67592fa6d.rmeta: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/grid.rs
+
+crates/core/src/lib.rs:
+crates/core/src/engine.rs:
+crates/core/src/error.rs:
+crates/core/src/grid.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/starshare_exec-c3556b1eb22ed7c7.d: crates/exec/src/lib.rs crates/exec/src/context.rs crates/exec/src/error.rs crates/exec/src/operators.rs crates/exec/src/parallel.rs crates/exec/src/plan_io.rs crates/exec/src/reference.rs crates/exec/src/result.rs crates/exec/src/rollup.rs
+
+/root/repo/target/debug/deps/starshare_exec-c3556b1eb22ed7c7: crates/exec/src/lib.rs crates/exec/src/context.rs crates/exec/src/error.rs crates/exec/src/operators.rs crates/exec/src/parallel.rs crates/exec/src/plan_io.rs crates/exec/src/reference.rs crates/exec/src/result.rs crates/exec/src/rollup.rs
+
+crates/exec/src/lib.rs:
+crates/exec/src/context.rs:
+crates/exec/src/error.rs:
+crates/exec/src/operators.rs:
+crates/exec/src/parallel.rs:
+crates/exec/src/plan_io.rs:
+crates/exec/src/reference.rs:
+crates/exec/src/result.rs:
+crates/exec/src/rollup.rs:

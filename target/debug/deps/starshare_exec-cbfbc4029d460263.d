@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/starshare_exec-cbfbc4029d460263.d: crates/exec/src/lib.rs crates/exec/src/context.rs crates/exec/src/error.rs crates/exec/src/operators.rs crates/exec/src/parallel.rs crates/exec/src/plan_io.rs crates/exec/src/reference.rs crates/exec/src/result.rs crates/exec/src/rollup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstarshare_exec-cbfbc4029d460263.rmeta: crates/exec/src/lib.rs crates/exec/src/context.rs crates/exec/src/error.rs crates/exec/src/operators.rs crates/exec/src/parallel.rs crates/exec/src/plan_io.rs crates/exec/src/reference.rs crates/exec/src/result.rs crates/exec/src/rollup.rs Cargo.toml
+
+crates/exec/src/lib.rs:
+crates/exec/src/context.rs:
+crates/exec/src/error.rs:
+crates/exec/src/operators.rs:
+crates/exec/src/parallel.rs:
+crates/exec/src/plan_io.rs:
+crates/exec/src/reference.rs:
+crates/exec/src/result.rs:
+crates/exec/src/rollup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

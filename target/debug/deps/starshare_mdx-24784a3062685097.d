@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/starshare_mdx-24784a3062685097.d: crates/mdx/src/lib.rs crates/mdx/src/ast.rs crates/mdx/src/binder.rs crates/mdx/src/generate.rs crates/mdx/src/lexer.rs crates/mdx/src/paper_queries.rs crates/mdx/src/parser.rs
+
+/root/repo/target/debug/deps/libstarshare_mdx-24784a3062685097.rlib: crates/mdx/src/lib.rs crates/mdx/src/ast.rs crates/mdx/src/binder.rs crates/mdx/src/generate.rs crates/mdx/src/lexer.rs crates/mdx/src/paper_queries.rs crates/mdx/src/parser.rs
+
+/root/repo/target/debug/deps/libstarshare_mdx-24784a3062685097.rmeta: crates/mdx/src/lib.rs crates/mdx/src/ast.rs crates/mdx/src/binder.rs crates/mdx/src/generate.rs crates/mdx/src/lexer.rs crates/mdx/src/paper_queries.rs crates/mdx/src/parser.rs
+
+crates/mdx/src/lib.rs:
+crates/mdx/src/ast.rs:
+crates/mdx/src/binder.rs:
+crates/mdx/src/generate.rs:
+crates/mdx/src/lexer.rs:
+crates/mdx/src/paper_queries.rs:
+crates/mdx/src/parser.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/starshare_mdx-83efaae1049ca6d4.d: crates/mdx/src/lib.rs crates/mdx/src/ast.rs crates/mdx/src/binder.rs crates/mdx/src/generate.rs crates/mdx/src/lexer.rs crates/mdx/src/paper_queries.rs crates/mdx/src/parser.rs
+
+/root/repo/target/debug/deps/starshare_mdx-83efaae1049ca6d4: crates/mdx/src/lib.rs crates/mdx/src/ast.rs crates/mdx/src/binder.rs crates/mdx/src/generate.rs crates/mdx/src/lexer.rs crates/mdx/src/paper_queries.rs crates/mdx/src/parser.rs
+
+crates/mdx/src/lib.rs:
+crates/mdx/src/ast.rs:
+crates/mdx/src/binder.rs:
+crates/mdx/src/generate.rs:
+crates/mdx/src/lexer.rs:
+crates/mdx/src/paper_queries.rs:
+crates/mdx/src/parser.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/starshare_mdx-ec3ca271e9192ac7.d: crates/mdx/src/lib.rs crates/mdx/src/ast.rs crates/mdx/src/binder.rs crates/mdx/src/generate.rs crates/mdx/src/lexer.rs crates/mdx/src/paper_queries.rs crates/mdx/src/parser.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstarshare_mdx-ec3ca271e9192ac7.rmeta: crates/mdx/src/lib.rs crates/mdx/src/ast.rs crates/mdx/src/binder.rs crates/mdx/src/generate.rs crates/mdx/src/lexer.rs crates/mdx/src/paper_queries.rs crates/mdx/src/parser.rs Cargo.toml
+
+crates/mdx/src/lib.rs:
+crates/mdx/src/ast.rs:
+crates/mdx/src/binder.rs:
+crates/mdx/src/generate.rs:
+crates/mdx/src/lexer.rs:
+crates/mdx/src/paper_queries.rs:
+crates/mdx/src/parser.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

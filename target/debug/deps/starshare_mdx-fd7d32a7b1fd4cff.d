@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/starshare_mdx-fd7d32a7b1fd4cff.d: crates/mdx/src/lib.rs crates/mdx/src/ast.rs crates/mdx/src/binder.rs crates/mdx/src/generate.rs crates/mdx/src/lexer.rs crates/mdx/src/paper_queries.rs crates/mdx/src/parser.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstarshare_mdx-fd7d32a7b1fd4cff.rmeta: crates/mdx/src/lib.rs crates/mdx/src/ast.rs crates/mdx/src/binder.rs crates/mdx/src/generate.rs crates/mdx/src/lexer.rs crates/mdx/src/paper_queries.rs crates/mdx/src/parser.rs Cargo.toml
+
+crates/mdx/src/lib.rs:
+crates/mdx/src/ast.rs:
+crates/mdx/src/binder.rs:
+crates/mdx/src/generate.rs:
+crates/mdx/src/lexer.rs:
+crates/mdx/src/paper_queries.rs:
+crates/mdx/src/parser.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/starshare_olap-605bcc344db7f8e0.d: crates/olap/src/lib.rs crates/olap/src/advisor.rs crates/olap/src/catalog.rs crates/olap/src/datagen.rs crates/olap/src/error.rs crates/olap/src/estimate.rs crates/olap/src/maintain.rs crates/olap/src/persist.rs crates/olap/src/query.rs crates/olap/src/schema.rs crates/olap/src/stats.rs
+
+/root/repo/target/debug/deps/libstarshare_olap-605bcc344db7f8e0.rlib: crates/olap/src/lib.rs crates/olap/src/advisor.rs crates/olap/src/catalog.rs crates/olap/src/datagen.rs crates/olap/src/error.rs crates/olap/src/estimate.rs crates/olap/src/maintain.rs crates/olap/src/persist.rs crates/olap/src/query.rs crates/olap/src/schema.rs crates/olap/src/stats.rs
+
+/root/repo/target/debug/deps/libstarshare_olap-605bcc344db7f8e0.rmeta: crates/olap/src/lib.rs crates/olap/src/advisor.rs crates/olap/src/catalog.rs crates/olap/src/datagen.rs crates/olap/src/error.rs crates/olap/src/estimate.rs crates/olap/src/maintain.rs crates/olap/src/persist.rs crates/olap/src/query.rs crates/olap/src/schema.rs crates/olap/src/stats.rs
+
+crates/olap/src/lib.rs:
+crates/olap/src/advisor.rs:
+crates/olap/src/catalog.rs:
+crates/olap/src/datagen.rs:
+crates/olap/src/error.rs:
+crates/olap/src/estimate.rs:
+crates/olap/src/maintain.rs:
+crates/olap/src/persist.rs:
+crates/olap/src/query.rs:
+crates/olap/src/schema.rs:
+crates/olap/src/stats.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/starshare_olap-804d102416e30e44.d: crates/olap/src/lib.rs crates/olap/src/advisor.rs crates/olap/src/catalog.rs crates/olap/src/datagen.rs crates/olap/src/error.rs crates/olap/src/estimate.rs crates/olap/src/maintain.rs crates/olap/src/persist.rs crates/olap/src/query.rs crates/olap/src/schema.rs crates/olap/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstarshare_olap-804d102416e30e44.rmeta: crates/olap/src/lib.rs crates/olap/src/advisor.rs crates/olap/src/catalog.rs crates/olap/src/datagen.rs crates/olap/src/error.rs crates/olap/src/estimate.rs crates/olap/src/maintain.rs crates/olap/src/persist.rs crates/olap/src/query.rs crates/olap/src/schema.rs crates/olap/src/stats.rs Cargo.toml
+
+crates/olap/src/lib.rs:
+crates/olap/src/advisor.rs:
+crates/olap/src/catalog.rs:
+crates/olap/src/datagen.rs:
+crates/olap/src/error.rs:
+crates/olap/src/estimate.rs:
+crates/olap/src/maintain.rs:
+crates/olap/src/persist.rs:
+crates/olap/src/query.rs:
+crates/olap/src/schema.rs:
+crates/olap/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

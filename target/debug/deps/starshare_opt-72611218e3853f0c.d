@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/starshare_opt-72611218e3853f0c.d: crates/opt/src/lib.rs crates/opt/src/algorithms.rs crates/opt/src/cost.rs crates/opt/src/error.rs crates/opt/src/explain.rs crates/opt/src/improve.rs crates/opt/src/plan.rs
+
+/root/repo/target/debug/deps/starshare_opt-72611218e3853f0c: crates/opt/src/lib.rs crates/opt/src/algorithms.rs crates/opt/src/cost.rs crates/opt/src/error.rs crates/opt/src/explain.rs crates/opt/src/improve.rs crates/opt/src/plan.rs
+
+crates/opt/src/lib.rs:
+crates/opt/src/algorithms.rs:
+crates/opt/src/cost.rs:
+crates/opt/src/error.rs:
+crates/opt/src/explain.rs:
+crates/opt/src/improve.rs:
+crates/opt/src/plan.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/starshare_opt-8aeaf375d75ed2c7.d: crates/opt/src/lib.rs crates/opt/src/algorithms.rs crates/opt/src/cost.rs crates/opt/src/error.rs crates/opt/src/explain.rs crates/opt/src/improve.rs crates/opt/src/plan.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstarshare_opt-8aeaf375d75ed2c7.rmeta: crates/opt/src/lib.rs crates/opt/src/algorithms.rs crates/opt/src/cost.rs crates/opt/src/error.rs crates/opt/src/explain.rs crates/opt/src/improve.rs crates/opt/src/plan.rs Cargo.toml
+
+crates/opt/src/lib.rs:
+crates/opt/src/algorithms.rs:
+crates/opt/src/cost.rs:
+crates/opt/src/error.rs:
+crates/opt/src/explain.rs:
+crates/opt/src/improve.rs:
+crates/opt/src/plan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/starshare_opt-c8b6dc3d65130f5f.d: crates/opt/src/lib.rs crates/opt/src/algorithms.rs crates/opt/src/cost.rs crates/opt/src/error.rs crates/opt/src/explain.rs crates/opt/src/improve.rs crates/opt/src/plan.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstarshare_opt-c8b6dc3d65130f5f.rmeta: crates/opt/src/lib.rs crates/opt/src/algorithms.rs crates/opt/src/cost.rs crates/opt/src/error.rs crates/opt/src/explain.rs crates/opt/src/improve.rs crates/opt/src/plan.rs Cargo.toml
+
+crates/opt/src/lib.rs:
+crates/opt/src/algorithms.rs:
+crates/opt/src/cost.rs:
+crates/opt/src/error.rs:
+crates/opt/src/explain.rs:
+crates/opt/src/improve.rs:
+crates/opt/src/plan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

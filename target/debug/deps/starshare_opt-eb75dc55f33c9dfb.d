@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/starshare_opt-eb75dc55f33c9dfb.d: crates/opt/src/lib.rs crates/opt/src/algorithms.rs crates/opt/src/cost.rs crates/opt/src/error.rs crates/opt/src/explain.rs crates/opt/src/improve.rs crates/opt/src/plan.rs
+
+/root/repo/target/debug/deps/libstarshare_opt-eb75dc55f33c9dfb.rlib: crates/opt/src/lib.rs crates/opt/src/algorithms.rs crates/opt/src/cost.rs crates/opt/src/error.rs crates/opt/src/explain.rs crates/opt/src/improve.rs crates/opt/src/plan.rs
+
+/root/repo/target/debug/deps/libstarshare_opt-eb75dc55f33c9dfb.rmeta: crates/opt/src/lib.rs crates/opt/src/algorithms.rs crates/opt/src/cost.rs crates/opt/src/error.rs crates/opt/src/explain.rs crates/opt/src/improve.rs crates/opt/src/plan.rs
+
+crates/opt/src/lib.rs:
+crates/opt/src/algorithms.rs:
+crates/opt/src/cost.rs:
+crates/opt/src/error.rs:
+crates/opt/src/explain.rs:
+crates/opt/src/improve.rs:
+crates/opt/src/plan.rs:

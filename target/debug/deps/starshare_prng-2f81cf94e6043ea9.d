@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/starshare_prng-2f81cf94e6043ea9.d: crates/prng/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstarshare_prng-2f81cf94e6043ea9.rmeta: crates/prng/src/lib.rs Cargo.toml
+
+crates/prng/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/starshare_prng-875d23601911c8f3.d: crates/prng/src/lib.rs
+
+/root/repo/target/debug/deps/starshare_prng-875d23601911c8f3: crates/prng/src/lib.rs
+
+crates/prng/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/starshare_prng-ce8c64081be045cd.d: crates/prng/src/lib.rs
+
+/root/repo/target/debug/deps/libstarshare_prng-ce8c64081be045cd.rlib: crates/prng/src/lib.rs
+
+/root/repo/target/debug/deps/libstarshare_prng-ce8c64081be045cd.rmeta: crates/prng/src/lib.rs
+
+crates/prng/src/lib.rs:

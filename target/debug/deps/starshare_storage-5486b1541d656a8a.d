@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/starshare_storage-5486b1541d656a8a.d: crates/storage/src/lib.rs crates/storage/src/buffer.rs crates/storage/src/heap.rs crates/storage/src/model.rs crates/storage/src/page.rs crates/storage/src/tuple.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstarshare_storage-5486b1541d656a8a.rmeta: crates/storage/src/lib.rs crates/storage/src/buffer.rs crates/storage/src/heap.rs crates/storage/src/model.rs crates/storage/src/page.rs crates/storage/src/tuple.rs Cargo.toml
+
+crates/storage/src/lib.rs:
+crates/storage/src/buffer.rs:
+crates/storage/src/heap.rs:
+crates/storage/src/model.rs:
+crates/storage/src/page.rs:
+crates/storage/src/tuple.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/starshare_storage-58670fef9e860995.d: crates/storage/src/lib.rs crates/storage/src/buffer.rs crates/storage/src/heap.rs crates/storage/src/model.rs crates/storage/src/page.rs crates/storage/src/tuple.rs
+
+/root/repo/target/debug/deps/starshare_storage-58670fef9e860995: crates/storage/src/lib.rs crates/storage/src/buffer.rs crates/storage/src/heap.rs crates/storage/src/model.rs crates/storage/src/page.rs crates/storage/src/tuple.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/buffer.rs:
+crates/storage/src/heap.rs:
+crates/storage/src/model.rs:
+crates/storage/src/page.rs:
+crates/storage/src/tuple.rs:

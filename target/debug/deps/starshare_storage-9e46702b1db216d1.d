@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/starshare_storage-9e46702b1db216d1.d: crates/storage/src/lib.rs crates/storage/src/buffer.rs crates/storage/src/heap.rs crates/storage/src/model.rs crates/storage/src/page.rs crates/storage/src/tuple.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstarshare_storage-9e46702b1db216d1.rmeta: crates/storage/src/lib.rs crates/storage/src/buffer.rs crates/storage/src/heap.rs crates/storage/src/model.rs crates/storage/src/page.rs crates/storage/src/tuple.rs Cargo.toml
+
+crates/storage/src/lib.rs:
+crates/storage/src/buffer.rs:
+crates/storage/src/heap.rs:
+crates/storage/src/model.rs:
+crates/storage/src/page.rs:
+crates/storage/src/tuple.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

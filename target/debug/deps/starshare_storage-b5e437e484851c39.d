@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/starshare_storage-b5e437e484851c39.d: crates/storage/src/lib.rs crates/storage/src/buffer.rs crates/storage/src/heap.rs crates/storage/src/model.rs crates/storage/src/page.rs crates/storage/src/tuple.rs
+
+/root/repo/target/debug/deps/libstarshare_storage-b5e437e484851c39.rlib: crates/storage/src/lib.rs crates/storage/src/buffer.rs crates/storage/src/heap.rs crates/storage/src/model.rs crates/storage/src/page.rs crates/storage/src/tuple.rs
+
+/root/repo/target/debug/deps/libstarshare_storage-b5e437e484851c39.rmeta: crates/storage/src/lib.rs crates/storage/src/buffer.rs crates/storage/src/heap.rs crates/storage/src/model.rs crates/storage/src/page.rs crates/storage/src/tuple.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/buffer.rs:
+crates/storage/src/heap.rs:
+crates/storage/src/model.rs:
+crates/storage/src/page.rs:
+crates/storage/src/tuple.rs:

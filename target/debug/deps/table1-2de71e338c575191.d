@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-2de71e338c575191.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-2de71e338c575191: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-db9acd5cff4899fa.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-db9acd5cff4899fa: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

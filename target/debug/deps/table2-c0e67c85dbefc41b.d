@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-c0e67c85dbefc41b.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-c0e67c85dbefc41b: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

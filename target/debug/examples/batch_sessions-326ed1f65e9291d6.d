@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/batch_sessions-326ed1f65e9291d6.d: examples/batch_sessions.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbatch_sessions-326ed1f65e9291d6.rmeta: examples/batch_sessions.rs Cargo.toml
+
+examples/batch_sessions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/batch_sessions-4d3edc4576426ef5.d: examples/batch_sessions.rs
+
+/root/repo/target/debug/examples/batch_sessions-4d3edc4576426ef5: examples/batch_sessions.rs
+
+examples/batch_sessions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/optimizer_tour-1653a56dee87087a.d: examples/optimizer_tour.rs
+
+/root/repo/target/debug/examples/optimizer_tour-1653a56dee87087a: examples/optimizer_tour.rs
+
+examples/optimizer_tour.rs:

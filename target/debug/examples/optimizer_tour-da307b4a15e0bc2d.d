@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/optimizer_tour-da307b4a15e0bc2d.d: examples/optimizer_tour.rs Cargo.toml
+
+/root/repo/target/debug/examples/liboptimizer_tour-da307b4a15e0bc2d.rmeta: examples/optimizer_tour.rs Cargo.toml
+
+examples/optimizer_tour.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-647c8c3e6900aeae.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-647c8c3e6900aeae: examples/quickstart.rs
+
+examples/quickstart.rs:

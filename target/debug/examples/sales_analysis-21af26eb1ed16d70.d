@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sales_analysis-21af26eb1ed16d70.d: examples/sales_analysis.rs
+
+/root/repo/target/debug/examples/sales_analysis-21af26eb1ed16d70: examples/sales_analysis.rs
+
+examples/sales_analysis.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sales_analysis-2e5c82cb17e93c2c.d: examples/sales_analysis.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsales_analysis-2e5c82cb17e93c2c.rmeta: examples/sales_analysis.rs Cargo.toml
+
+examples/sales_analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

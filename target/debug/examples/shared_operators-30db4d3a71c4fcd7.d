@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/shared_operators-30db4d3a71c4fcd7.d: examples/shared_operators.rs
+
+/root/repo/target/debug/examples/shared_operators-30db4d3a71c4fcd7: examples/shared_operators.rs
+
+examples/shared_operators.rs:

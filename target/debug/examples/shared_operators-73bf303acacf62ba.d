@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/shared_operators-73bf303acacf62ba.d: examples/shared_operators.rs Cargo.toml
+
+/root/repo/target/debug/examples/libshared_operators-73bf303acacf62ba.rmeta: examples/shared_operators.rs Cargo.toml
+
+examples/shared_operators.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

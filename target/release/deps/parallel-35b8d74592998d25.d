@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parallel-35b8d74592998d25.d: crates/bench/src/bin/parallel.rs
+
+/root/repo/target/release/deps/parallel-35b8d74592998d25: crates/bench/src/bin/parallel.rs
+
+crates/bench/src/bin/parallel.rs:

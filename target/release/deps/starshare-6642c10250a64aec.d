@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/starshare-6642c10250a64aec.d: src/lib.rs
+
+/root/repo/target/release/deps/libstarshare-6642c10250a64aec.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libstarshare-6642c10250a64aec.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/starshare_bench-c48808c4020b37b5.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libstarshare_bench-c48808c4020b37b5.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libstarshare_bench-c48808c4020b37b5.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

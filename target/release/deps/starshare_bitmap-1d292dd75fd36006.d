@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/starshare_bitmap-1d292dd75fd36006.d: crates/bitmap/src/lib.rs crates/bitmap/src/bitvec.rs crates/bitmap/src/index.rs crates/bitmap/src/rle.rs
+
+/root/repo/target/release/deps/libstarshare_bitmap-1d292dd75fd36006.rlib: crates/bitmap/src/lib.rs crates/bitmap/src/bitvec.rs crates/bitmap/src/index.rs crates/bitmap/src/rle.rs
+
+/root/repo/target/release/deps/libstarshare_bitmap-1d292dd75fd36006.rmeta: crates/bitmap/src/lib.rs crates/bitmap/src/bitvec.rs crates/bitmap/src/index.rs crates/bitmap/src/rle.rs
+
+crates/bitmap/src/lib.rs:
+crates/bitmap/src/bitvec.rs:
+crates/bitmap/src/index.rs:
+crates/bitmap/src/rle.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/starshare_cli-97b28cc80b30cfaa.d: src/bin/starshare-cli.rs
+
+/root/repo/target/release/deps/starshare_cli-97b28cc80b30cfaa: src/bin/starshare-cli.rs
+
+src/bin/starshare-cli.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/starshare_core-0dabaffd5b880850.d: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/grid.rs
+
+/root/repo/target/release/deps/libstarshare_core-0dabaffd5b880850.rlib: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/grid.rs
+
+/root/repo/target/release/deps/libstarshare_core-0dabaffd5b880850.rmeta: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/grid.rs
+
+crates/core/src/lib.rs:
+crates/core/src/engine.rs:
+crates/core/src/error.rs:
+crates/core/src/grid.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/starshare_exec-763980e9315bce14.d: crates/exec/src/lib.rs crates/exec/src/context.rs crates/exec/src/error.rs crates/exec/src/operators.rs crates/exec/src/parallel.rs crates/exec/src/plan_io.rs crates/exec/src/reference.rs crates/exec/src/result.rs crates/exec/src/rollup.rs
+
+/root/repo/target/release/deps/libstarshare_exec-763980e9315bce14.rlib: crates/exec/src/lib.rs crates/exec/src/context.rs crates/exec/src/error.rs crates/exec/src/operators.rs crates/exec/src/parallel.rs crates/exec/src/plan_io.rs crates/exec/src/reference.rs crates/exec/src/result.rs crates/exec/src/rollup.rs
+
+/root/repo/target/release/deps/libstarshare_exec-763980e9315bce14.rmeta: crates/exec/src/lib.rs crates/exec/src/context.rs crates/exec/src/error.rs crates/exec/src/operators.rs crates/exec/src/parallel.rs crates/exec/src/plan_io.rs crates/exec/src/reference.rs crates/exec/src/result.rs crates/exec/src/rollup.rs
+
+crates/exec/src/lib.rs:
+crates/exec/src/context.rs:
+crates/exec/src/error.rs:
+crates/exec/src/operators.rs:
+crates/exec/src/parallel.rs:
+crates/exec/src/plan_io.rs:
+crates/exec/src/reference.rs:
+crates/exec/src/result.rs:
+crates/exec/src/rollup.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/starshare_mdx-1a85b9f76174e284.d: crates/mdx/src/lib.rs crates/mdx/src/ast.rs crates/mdx/src/binder.rs crates/mdx/src/generate.rs crates/mdx/src/lexer.rs crates/mdx/src/paper_queries.rs crates/mdx/src/parser.rs
+
+/root/repo/target/release/deps/libstarshare_mdx-1a85b9f76174e284.rlib: crates/mdx/src/lib.rs crates/mdx/src/ast.rs crates/mdx/src/binder.rs crates/mdx/src/generate.rs crates/mdx/src/lexer.rs crates/mdx/src/paper_queries.rs crates/mdx/src/parser.rs
+
+/root/repo/target/release/deps/libstarshare_mdx-1a85b9f76174e284.rmeta: crates/mdx/src/lib.rs crates/mdx/src/ast.rs crates/mdx/src/binder.rs crates/mdx/src/generate.rs crates/mdx/src/lexer.rs crates/mdx/src/paper_queries.rs crates/mdx/src/parser.rs
+
+crates/mdx/src/lib.rs:
+crates/mdx/src/ast.rs:
+crates/mdx/src/binder.rs:
+crates/mdx/src/generate.rs:
+crates/mdx/src/lexer.rs:
+crates/mdx/src/paper_queries.rs:
+crates/mdx/src/parser.rs:

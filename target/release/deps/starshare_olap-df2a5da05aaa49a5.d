@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/starshare_olap-df2a5da05aaa49a5.d: crates/olap/src/lib.rs crates/olap/src/advisor.rs crates/olap/src/catalog.rs crates/olap/src/datagen.rs crates/olap/src/error.rs crates/olap/src/estimate.rs crates/olap/src/maintain.rs crates/olap/src/persist.rs crates/olap/src/query.rs crates/olap/src/schema.rs crates/olap/src/stats.rs
+
+/root/repo/target/release/deps/libstarshare_olap-df2a5da05aaa49a5.rlib: crates/olap/src/lib.rs crates/olap/src/advisor.rs crates/olap/src/catalog.rs crates/olap/src/datagen.rs crates/olap/src/error.rs crates/olap/src/estimate.rs crates/olap/src/maintain.rs crates/olap/src/persist.rs crates/olap/src/query.rs crates/olap/src/schema.rs crates/olap/src/stats.rs
+
+/root/repo/target/release/deps/libstarshare_olap-df2a5da05aaa49a5.rmeta: crates/olap/src/lib.rs crates/olap/src/advisor.rs crates/olap/src/catalog.rs crates/olap/src/datagen.rs crates/olap/src/error.rs crates/olap/src/estimate.rs crates/olap/src/maintain.rs crates/olap/src/persist.rs crates/olap/src/query.rs crates/olap/src/schema.rs crates/olap/src/stats.rs
+
+crates/olap/src/lib.rs:
+crates/olap/src/advisor.rs:
+crates/olap/src/catalog.rs:
+crates/olap/src/datagen.rs:
+crates/olap/src/error.rs:
+crates/olap/src/estimate.rs:
+crates/olap/src/maintain.rs:
+crates/olap/src/persist.rs:
+crates/olap/src/query.rs:
+crates/olap/src/schema.rs:
+crates/olap/src/stats.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/starshare_opt-832d0c5646dc0e58.d: crates/opt/src/lib.rs crates/opt/src/algorithms.rs crates/opt/src/cost.rs crates/opt/src/error.rs crates/opt/src/explain.rs crates/opt/src/improve.rs crates/opt/src/plan.rs
+
+/root/repo/target/release/deps/libstarshare_opt-832d0c5646dc0e58.rlib: crates/opt/src/lib.rs crates/opt/src/algorithms.rs crates/opt/src/cost.rs crates/opt/src/error.rs crates/opt/src/explain.rs crates/opt/src/improve.rs crates/opt/src/plan.rs
+
+/root/repo/target/release/deps/libstarshare_opt-832d0c5646dc0e58.rmeta: crates/opt/src/lib.rs crates/opt/src/algorithms.rs crates/opt/src/cost.rs crates/opt/src/error.rs crates/opt/src/explain.rs crates/opt/src/improve.rs crates/opt/src/plan.rs
+
+crates/opt/src/lib.rs:
+crates/opt/src/algorithms.rs:
+crates/opt/src/cost.rs:
+crates/opt/src/error.rs:
+crates/opt/src/explain.rs:
+crates/opt/src/improve.rs:
+crates/opt/src/plan.rs:

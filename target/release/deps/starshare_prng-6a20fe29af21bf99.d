@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/starshare_prng-6a20fe29af21bf99.d: crates/prng/src/lib.rs
+
+/root/repo/target/release/deps/libstarshare_prng-6a20fe29af21bf99.rlib: crates/prng/src/lib.rs
+
+/root/repo/target/release/deps/libstarshare_prng-6a20fe29af21bf99.rmeta: crates/prng/src/lib.rs
+
+crates/prng/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/starshare_storage-1bffae22c1e51fbe.d: crates/storage/src/lib.rs crates/storage/src/buffer.rs crates/storage/src/heap.rs crates/storage/src/model.rs crates/storage/src/page.rs crates/storage/src/tuple.rs
+
+/root/repo/target/release/deps/libstarshare_storage-1bffae22c1e51fbe.rlib: crates/storage/src/lib.rs crates/storage/src/buffer.rs crates/storage/src/heap.rs crates/storage/src/model.rs crates/storage/src/page.rs crates/storage/src/tuple.rs
+
+/root/repo/target/release/deps/libstarshare_storage-1bffae22c1e51fbe.rmeta: crates/storage/src/lib.rs crates/storage/src/buffer.rs crates/storage/src/heap.rs crates/storage/src/model.rs crates/storage/src/page.rs crates/storage/src/tuple.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/buffer.rs:
+crates/storage/src/heap.rs:
+crates/storage/src/model.rs:
+crates/storage/src/page.rs:
+crates/storage/src/tuple.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-3f748b62e3ad00ea.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-3f748b62e3ad00ea: examples/quickstart.rs
+
+examples/quickstart.rs:

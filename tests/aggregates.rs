@@ -69,7 +69,9 @@ fn every_aggregate_matches_ground_truth() {
     let truth = ground_truth(&e);
     for agg in [AggFn::Sum, AggFn::Count, AggFn::Min, AggFn::Max, AggFn::Avg] {
         let q = query(&e, agg);
-        let plan = e.optimize(std::slice::from_ref(&q), OptimizerKind::Gg).unwrap();
+        let plan = e
+            .optimize(std::slice::from_ref(&q), OptimizerKind::Gg)
+            .unwrap();
         e.flush();
         let exec = e.execute_plan(&plan).unwrap();
         let r = &exec.results[0];
@@ -158,7 +160,7 @@ fn mdx_aggregate_clause() {
     let err = e
         .mdx("{X'.X1} on COLUMNS AGGREGATE median CONTEXT XY;")
         .unwrap_err();
-    assert!(err.contains("unknown aggregate"), "{err}");
+    assert!(err.to_string().contains("unknown aggregate"), "{err}");
 }
 
 #[test]

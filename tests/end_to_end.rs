@@ -21,7 +21,9 @@ fn every_paper_query_round_trips_through_mdx() {
     let mut e = engine();
     let base = e.cube().catalog.base_table().unwrap();
     for n in 1..=9 {
-        let out = e.mdx(paper_query_text(n)).unwrap_or_else(|err| panic!("Q{n}: {err}"));
+        let out = e
+            .mdx(paper_query_text(n))
+            .unwrap_or_else(|err| panic!("Q{n}: {err}"));
         assert_eq!(out.results.len(), 1, "Q{n}");
         let q = bind_paper_query(&e.cube().schema, n).unwrap();
         let expect = reference_eval(e.cube(), base, &q);
@@ -37,7 +39,8 @@ fn all_optimizers_give_identical_answers() {
     let base_engine = engine();
     let base = base_engine.cube().catalog.base_table().unwrap();
     for kind in OptimizerKind::ALL {
-        let mut e = engine().with_optimizer(kind);
+        let mut e = engine();
+        e.set_optimizer(kind);
         for n in [1, 5, 9] {
             let out = e.mdx(paper_query_text(n)).unwrap();
             let q = bind_paper_query(&e.cube().schema, n).unwrap();
@@ -66,7 +69,11 @@ fn multi_query_mdx_expands_and_answers() {
     let base = e.cube().catalog.base_table().unwrap();
     for (q, r) in out.bound.queries.iter().zip(&out.results) {
         let expect = reference_eval(e.cube(), base, q);
-        assert!(r.approx_eq(&expect, 1e-9), "{}", q.display(&e.cube().schema));
+        assert!(
+            r.approx_eq(&expect, 1e-9),
+            "{}",
+            q.display(&e.cube().schema)
+        );
     }
 }
 
@@ -123,9 +130,14 @@ fn grand_totals_are_preserved_through_views() {
     let out = e
         .mdx("{A''.A1, A''.A2, A''.A3} on COLUMNS CONTEXT ABCD;")
         .unwrap();
-    let t = e.cube().catalog.table(e.cube().catalog.base_table().unwrap());
+    let t = e
+        .cube()
+        .catalog
+        .table(e.cube().catalog.base_table().unwrap());
     let mut keys = vec![0u32; 4];
-    let base_total: f64 = (0..t.n_rows()).map(|p| t.heap().read_at(p, &mut keys)).sum();
+    let base_total: f64 = (0..t.n_rows())
+        .map(|p| t.heap().read_at(p, &mut keys))
+        .sum();
     let got = out.results[0].grand_total();
     assert!(
         (got - base_total).abs() < 1e-6 * base_total,

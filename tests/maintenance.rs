@@ -2,9 +2,9 @@
 //! keep querying, and verify every answer against brute force over the
 //! grown base — across views, indexes, statistics, and snapshots.
 
-use rand::{rngs::StdRng, Rng, SeedableRng};
 use starshare::paper_queries::paper_query_text;
 use starshare::{load_cube, reference_eval, save_cube, Engine, HardwareModel, PaperCubeSpec};
+use starshare_prng::Prng;
 
 fn engine() -> Engine {
     Engine::paper(PaperCubeSpec {
@@ -17,7 +17,7 @@ fn engine() -> Engine {
 
 fn random_rows(e: &Engine, n: usize, seed: u64) -> Vec<(Vec<u32>, f64)> {
     let schema = &e.cube().schema;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Prng::seed_from_u64(seed);
     (0..n)
         .map(|_| {
             let keys: Vec<u32> = (0..schema.n_dims())

@@ -2,9 +2,9 @@
 //! queries via text vs programmatic construction, expansion counts, and a
 //! generative parse/bind robustness sweep.
 
-use proptest::prelude::*;
 use starshare::paper_queries::{bind_paper_query, paper_query_target, paper_query_text};
-use starshare::{bind, parse, paper_schema, Engine, PaperCubeSpec};
+use starshare::{bind, paper_schema, parse, Engine, PaperCubeSpec};
+use starshare_prng::Prng;
 
 #[test]
 fn paper_queries_text_and_programmatic_agree() {
@@ -72,19 +72,17 @@ fn engine_evaluates_the_full_nine_query_suite_in_one_session() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Generated member paths either bind cleanly or fail with an error —
-    /// never panic — and bound predicates reference valid members.
-    #[test]
-    fn random_paths_bind_or_error_cleanly(
-        dim in 0usize..4,
-        level in 0u8..3,
-        member in 0u32..60,
-        children in proptest::bool::ANY,
-    ) {
-        let schema = paper_schema(48);
+/// Generated member paths either bind cleanly or fail with an error —
+/// never panic — and bound predicates reference valid members.
+#[test]
+fn random_paths_bind_or_error_cleanly() {
+    let schema = paper_schema(48);
+    let mut rng = Prng::seed_from_u64(0x0B1D_0001);
+    for _ in 0..64 {
+        let dim = rng.gen_range(0usize..4);
+        let level = rng.gen_range(0u8..3);
+        let member = rng.gen_range(0u32..60);
+        let children = rng.gen_bool(0.5);
         let d = schema.dim(dim);
         let card = d.cardinality(level);
         let name = d.member_name(level, member % card);
@@ -95,31 +93,46 @@ proptest! {
         };
         let mdx = format!("{{{path}}} on COLUMNS CONTEXT ABCD;");
         let bound = bind(&schema, &parse(&mdx).unwrap());
-        prop_assert!(bound.is_ok(), "{mdx}: {bound:?}");
+        assert!(bound.is_ok(), "{mdx}: {bound:?}");
         let q = &bound.unwrap().queries[0];
         // The restricted dimension's predicate members are in range.
         if let starshare::MemberPred::In { level: pl, members } = &q.preds[dim] {
             for &m in members {
-                prop_assert!(m < schema.dim(dim).cardinality(*pl));
+                assert!(m < schema.dim(dim).cardinality(*pl));
             }
         } else {
-            prop_assert!(false, "expected a predicate on dimension {dim}");
+            panic!("expected a predicate on dimension {dim}");
         }
     }
+}
 
-    /// Arbitrary junk never panics the parser.
-    #[test]
-    fn parser_never_panics(s in "\\PC{0,60}") {
+/// Arbitrary junk never panics the parser.
+#[test]
+fn parser_never_panics() {
+    let mut rng = Prng::seed_from_u64(0x0B1D_0002);
+    for _ in 0..64 {
+        let len = rng.gen_range(0usize..=60);
+        let s: String = (0..len)
+            .map(|_| {
+                // Printable-ish chars plus grammar punctuation, heavy on the
+                // bytes most likely to confuse a tokenizer.
+                let c = rng.gen_range(0x20u32..0x7F);
+                char::from_u32(c).unwrap()
+            })
+            .collect();
         let _ = parse(&s);
     }
+}
 
-    /// Structured-ish junk: random token soup around a valid skeleton.
-    #[test]
-    fn parser_handles_token_soup(
-        pre in prop::sample::select(vec!["{", "}", "(", ")", ",", ".", "NEST", "on", ""]),
-        post in prop::sample::select(vec!["{", ")", "FILTER", ";", "CONTEXT", ""]),
-    ) {
-        let s = format!("{pre} {{A''.A1}} on COLUMNS CONTEXT ABCD {post}");
-        let _ = parse(&s); // must not panic; may or may not parse
+/// Structured-ish junk: random token soup around a valid skeleton.
+#[test]
+fn parser_handles_token_soup() {
+    let pres = ["{", "}", "(", ")", ",", ".", "NEST", "on", ""];
+    let posts = ["{", ")", "FILTER", ";", "CONTEXT", ""];
+    for pre in pres {
+        for post in posts {
+            let s = format!("{pre} {{A''.A1}} on COLUMNS CONTEXT ABCD {post}");
+            let _ = parse(&s); // must not panic; may or may not parse
+        }
     }
 }

@@ -3,11 +3,8 @@
 //! and agree with the brute-force reference — across all four optimizers
 //! and with a warm or cold buffer pool.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use starshare::{
-    generate_mdx, reference_eval, Engine, OptimizerKind, PaperCubeSpec,
-};
+use starshare::{generate_mdx, reference_eval, Engine, OptimizerKind, PaperCubeSpec};
+use starshare_prng::Prng;
 
 fn engine() -> Engine {
     Engine::paper(PaperCubeSpec {
@@ -23,7 +20,7 @@ fn two_hundred_random_expressions_round_trip() {
     let mut e = engine();
     let schema = e.cube().schema.clone();
     let base = e.cube().catalog.base_table().unwrap();
-    let mut rng = StdRng::seed_from_u64(0xF0CCAC1A);
+    let mut rng = Prng::seed_from_u64(0xF0CCAC1A);
     for i in 0..200 {
         let mdx = generate_mdx(&schema, "ABCD", &mut rng);
         let out = e
@@ -43,13 +40,16 @@ fn two_hundred_random_expressions_round_trip() {
 #[test]
 fn optimizers_agree_on_random_expressions() {
     let schema = engine().cube().schema.clone();
-    let mut rng = StdRng::seed_from_u64(31337);
+    let mut rng = Prng::seed_from_u64(31337);
     for i in 0..20 {
         let mdx = generate_mdx(&schema, "ABCD", &mut rng);
         let mut totals = Vec::new();
         for kind in OptimizerKind::ALL {
-            let mut e = engine().with_optimizer(kind);
-            let out = e.mdx(&mdx).unwrap_or_else(|err| panic!("#{i} {kind} {mdx:?}: {err}"));
+            let mut e = engine();
+            e.set_optimizer(kind);
+            let out = e
+                .mdx(&mdx)
+                .unwrap_or_else(|err| panic!("#{i} {kind} {mdx:?}: {err}"));
             let grand: f64 = out.results.iter().map(|r| r.grand_total()).sum();
             totals.push(grand);
         }
@@ -68,7 +68,7 @@ fn warm_pool_never_changes_answers() {
     // run hits cached pages; results must be bit-identical.
     let mut e = engine();
     let schema = e.cube().schema.clone();
-    let mut rng = StdRng::seed_from_u64(777);
+    let mut rng = Prng::seed_from_u64(777);
     for _ in 0..20 {
         let mdx = generate_mdx(&schema, "ABCD", &mut rng);
         let first = e.mdx(&mdx).unwrap();

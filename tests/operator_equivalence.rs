@@ -4,12 +4,12 @@
 
 use std::sync::OnceLock;
 
-use proptest::prelude::*;
 use starshare::{
     hash_star_join, index_star_join, paper_cube, reference_eval, shared_hybrid_join,
     shared_index_join, Cube, ExecContext, GroupBy, GroupByQuery, LevelRef, MemberPred,
     PaperCubeSpec,
 };
+use starshare_prng::Prng;
 
 fn cube() -> &'static Cube {
     static CUBE: OnceLock<Cube> = OnceLock::new();
@@ -23,69 +23,92 @@ fn cube() -> &'static Cube {
     })
 }
 
-/// Strategy: one dimension's (target level, predicate).
-fn dim_spec(leaf_card: u32) -> impl Strategy<Value = (LevelRef, MemberPred)> {
-    let target = prop_oneof![
-        Just(LevelRef::All),
-        (0u8..3).prop_map(LevelRef::Level),
-    ];
-    let pred = prop_oneof![
-        3 => Just(MemberPred::All),
-        4 => (0u8..3, proptest::collection::vec(0u32..leaf_card, 1..4)).prop_map(move |(lvl, ms)| {
-            // Clamp members into the level's cardinality.
-            let card = match lvl {
-                0 => leaf_card,
-                1 => 6.min(leaf_card),
-                _ => 3,
-            };
-            MemberPred::members_in(lvl, ms.into_iter().map(|m| m % card).collect())
-        }),
-    ];
+/// One dimension's random (target level, predicate).
+fn dim_spec(rng: &mut Prng, leaf_card: u32) -> (LevelRef, MemberPred) {
+    let target = if rng.gen_bool(0.5) {
+        LevelRef::All
+    } else {
+        LevelRef::Level(rng.gen_range(0u8..3))
+    };
+    let pred = if rng.gen_bool(3.0 / 7.0) {
+        MemberPred::All
+    } else {
+        let lvl = rng.gen_range(0u8..3);
+        // Clamp members into the level's cardinality.
+        let card = match lvl {
+            0 => leaf_card,
+            1 => 6.min(leaf_card),
+            _ => 3,
+        };
+        let n = rng.gen_range(1usize..4);
+        let ms: Vec<u32> = (0..n)
+            .map(|_| rng.gen_range(0u32..leaf_card) % card)
+            .collect();
+        MemberPred::members_in(lvl, ms)
+    };
     (target, pred)
 }
 
-/// Strategy: a random query over the paper schema (A/B/C leaf 60, D leaf 24
-/// at this scale). Predicate levels are clamped per dimension.
-fn query_strategy() -> impl Strategy<Value = GroupByQuery> {
-    let dims = vec![dim_spec(60), dim_spec(60), dim_spec(60), dim_spec(24)];
-    dims.prop_map(|specs| {
-        let (levels, preds): (Vec<LevelRef>, Vec<MemberPred>) = specs.into_iter().unzip();
-        GroupByQuery::new(GroupBy::new(levels), preds)
-    })
+/// A random query over the paper schema (A/B/C leaf 60, D leaf 24 at this
+/// scale). Predicate levels are clamped per dimension.
+fn random_query(rng: &mut Prng) -> GroupByQuery {
+    let specs = [
+        dim_spec(rng, 60),
+        dim_spec(rng, 60),
+        dim_spec(rng, 60),
+        dim_spec(rng, 24),
+    ];
+    let (levels, preds): (Vec<LevelRef>, Vec<MemberPred>) = specs.into_iter().unzip();
+    GroupByQuery::new(GroupBy::new(levels), preds)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn hash_join_equals_reference_on_every_candidate(q in query_strategy()) {
-        let cube = cube();
-        let mut ctx = ExecContext::paper_1998();
+#[test]
+fn hash_join_equals_reference_on_every_candidate() {
+    let cube = cube();
+    let mut ctx = ExecContext::paper_1998();
+    let mut rng = Prng::seed_from_u64(0x09E7_0001);
+    for _ in 0..48 {
+        let q = random_query(&mut rng);
         for t in cube.catalog.candidates_for(&q) {
             let expect = reference_eval(cube, t, &q);
             let (r, _) = hash_star_join(&mut ctx, cube, t, &q).expect("candidate answers");
-            prop_assert!(r.approx_eq(&expect, 1e-9), "table {}", cube.catalog.table(t).name());
+            assert!(
+                r.approx_eq(&expect, 1e-9),
+                "table {}",
+                cube.catalog.table(t).name()
+            );
         }
     }
+}
 
-    #[test]
-    fn index_join_equals_reference_where_indexes_exist(q in query_strategy()) {
-        let cube = cube();
-        let mut ctx = ExecContext::paper_1998();
+#[test]
+fn index_join_equals_reference_where_indexes_exist() {
+    let cube = cube();
+    let mut ctx = ExecContext::paper_1998();
+    let mut rng = Prng::seed_from_u64(0x09E7_0002);
+    for _ in 0..48 {
+        let q = random_query(&mut rng);
         for t in cube.catalog.candidates_for(&q) {
             let expect = reference_eval(cube, t, &q);
             let (r, _) = index_star_join(&mut ctx, cube, t, &q).expect("index join runs");
-            prop_assert!(r.approx_eq(&expect, 1e-9), "table {}", cube.catalog.table(t).name());
+            assert!(
+                r.approx_eq(&expect, 1e-9),
+                "table {}",
+                cube.catalog.table(t).name()
+            );
         }
     }
+}
 
-    #[test]
-    fn shared_execution_never_changes_results(
-        qs in proptest::collection::vec(query_strategy(), 2..5)
-    ) {
-        let cube = cube();
-        let mut ctx = ExecContext::paper_1998();
-        let base = cube.catalog.base_table().unwrap();
+#[test]
+fn shared_execution_never_changes_results() {
+    let cube = cube();
+    let mut ctx = ExecContext::paper_1998();
+    let base = cube.catalog.base_table().unwrap();
+    let mut rng = Prng::seed_from_u64(0x09E7_0003);
+    for _ in 0..48 {
+        let n = rng.gen_range(2usize..5);
+        let qs: Vec<GroupByQuery> = (0..n).map(|_| random_query(&mut rng)).collect();
         // Hybrid: first half hash, second half index.
         let mid = qs.len() / 2;
         let (hash_qs, index_qs) = qs.split_at(mid.max(1));
@@ -94,41 +117,49 @@ proptest! {
         let all: Vec<&GroupByQuery> = hash_qs.iter().chain(index_qs.iter()).collect();
         for (q, r) in all.iter().zip(&rs) {
             let expect = reference_eval(cube, base, q);
-            prop_assert!(r.approx_eq(&expect, 1e-9), "{}", q.display(&cube.schema));
+            assert!(r.approx_eq(&expect, 1e-9), "{}", q.display(&cube.schema));
         }
         // Shared index join over the same set.
         let (rs2, _) = shared_index_join(&mut ctx, cube, base, &qs).expect("runs");
         for (q, r) in qs.iter().zip(&rs2) {
             let expect = reference_eval(cube, base, q);
-            prop_assert!(r.approx_eq(&expect, 1e-9), "{}", q.display(&cube.schema));
+            assert!(r.approx_eq(&expect, 1e-9), "{}", q.display(&cube.schema));
         }
     }
+}
 
-    #[test]
-    fn view_answers_equal_base_answers(q in query_strategy()) {
-        // Derivability correctness: any candidate view gives the same
-        // answer as the base table.
-        let cube = cube();
-        let base = cube.catalog.base_table().unwrap();
+#[test]
+fn view_answers_equal_base_answers() {
+    // Derivability correctness: any candidate view gives the same
+    // answer as the base table.
+    let cube = cube();
+    let base = cube.catalog.base_table().unwrap();
+    let mut rng = Prng::seed_from_u64(0x09E7_0004);
+    for _ in 0..48 {
+        let q = random_query(&mut rng);
         let expect = reference_eval(cube, base, &q);
         for t in cube.catalog.candidates_for(&q) {
             let got = reference_eval(cube, t, &q);
-            prop_assert!(
+            assert!(
                 got.approx_eq(&expect, 1e-9),
                 "view {} disagrees with base",
                 cube.catalog.table(t).name()
             );
         }
     }
+}
 
-    #[test]
-    fn grand_total_equals_filtered_base_sum(q in query_strategy()) {
-        // Independent invariant: the sum over all result groups equals a
-        // direct filtered sum over base tuples.
-        let cube = cube();
-        let base = cube.catalog.base_table().unwrap();
-        let t = cube.catalog.table(base);
-        let schema = &cube.schema;
+#[test]
+fn grand_total_equals_filtered_base_sum() {
+    // Independent invariant: the sum over all result groups equals a
+    // direct filtered sum over base tuples.
+    let cube = cube();
+    let base = cube.catalog.base_table().unwrap();
+    let t = cube.catalog.table(base);
+    let schema = &cube.schema;
+    let mut rng = Prng::seed_from_u64(0x09E7_0005);
+    for _ in 0..48 {
+        let q = random_query(&mut rng);
         let mut keys = vec![0u32; 4];
         let mut direct = 0.0;
         for pos in 0..t.n_rows() {
@@ -139,9 +170,11 @@ proptest! {
             }
         }
         let r = reference_eval(cube, base, &q);
-        prop_assert!(
+        assert!(
             (r.grand_total() - direct).abs() <= 1e-6 * direct.abs().max(1.0),
-            "{} vs {}", r.grand_total(), direct
+            "{} vs {}",
+            r.grand_total(),
+            direct
         );
     }
 }

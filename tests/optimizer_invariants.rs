@@ -8,11 +8,11 @@
 
 use std::sync::OnceLock;
 
-use proptest::prelude::*;
 use starshare::{
     paper_cube, reference_eval, Cube, Engine, GroupBy, GroupByQuery, HardwareModel, JoinMethod,
     LevelRef, MemberPred, OptimizerKind, PaperCubeSpec,
 };
+use starshare_prng::Prng;
 
 fn cube_spec() -> PaperCubeSpec {
     PaperCubeSpec {
@@ -30,85 +30,97 @@ fn cube() -> &'static Cube {
 
 /// Queries whose predicate levels are no finer than level 1, so several
 /// materialized views stay candidates (keeps the search interesting).
-fn query_strategy() -> impl Strategy<Value = GroupByQuery> {
-    let dim = |card1: u32| {
-        (
-            prop_oneof![Just(LevelRef::All), (0u8..3).prop_map(LevelRef::Level)],
-            prop_oneof![
-                2 => Just(MemberPred::All),
-                3 => (1u8..3, proptest::collection::vec(0u32..24, 1..4)).prop_map(move |(lvl, ms)| {
-                    let card = if lvl == 1 { card1 } else { 3 };
-                    MemberPred::members_in(lvl, ms.into_iter().map(|m| m % card).collect())
-                }),
-            ],
-        )
-    };
-    vec![dim(6), dim(6), dim(6), dim(24)].prop_map(|specs| {
-        let (levels, preds): (Vec<LevelRef>, Vec<MemberPred>) = specs.into_iter().unzip();
-        GroupByQuery::new(GroupBy::new(levels), preds)
-    })
+fn random_query(rng: &mut Prng) -> GroupByQuery {
+    fn dim(rng: &mut Prng, card1: u32) -> (LevelRef, MemberPred) {
+        let level = if rng.gen_bool(0.5) {
+            LevelRef::All
+        } else {
+            LevelRef::Level(rng.gen_range(0u8..3))
+        };
+        let pred = if rng.gen_bool(0.4) {
+            MemberPred::All
+        } else {
+            let lvl = rng.gen_range(1u8..3);
+            let card = if lvl == 1 { card1 } else { 3 };
+            let n = rng.gen_range(1usize..4);
+            let ms: Vec<u32> = (0..n).map(|_| rng.gen_range(0u32..24) % card).collect();
+            MemberPred::members_in(lvl, ms)
+        };
+        (level, pred)
+    }
+    let specs = [dim(rng, 6), dim(rng, 6), dim(rng, 6), dim(rng, 24)];
+    let (levels, preds): (Vec<LevelRef>, Vec<MemberPred>) = specs.into_iter().unzip();
+    GroupByQuery::new(GroupBy::new(levels), preds)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+fn random_workload(rng: &mut Prng, lo: usize, hi: usize) -> Vec<GroupByQuery> {
+    let n = rng.gen_range(lo..hi);
+    (0..n).map(|_| random_query(rng)).collect()
+}
 
-    #[test]
-    fn plans_are_valid_for_all_algorithms(
-        qs in proptest::collection::vec(query_strategy(), 1..5)
-    ) {
-        let cube = cube();
-        let engine = Engine::new(paper_cube(cube_spec()), HardwareModel::paper_1998());
-        let cm = engine.cost_model();
+#[test]
+fn plans_are_valid_for_all_algorithms() {
+    let cube = cube();
+    let engine = Engine::new(paper_cube(cube_spec()), HardwareModel::paper_1998());
+    let cm = engine.cost_model();
+    let mut rng = Prng::seed_from_u64(0x0971_0001);
+    for _ in 0..24 {
+        let qs = random_workload(&mut rng, 1, 5);
         for kind in OptimizerKind::ALL {
             let plan = kind.run(&cm, &qs).expect("paper cube answers everything");
-            prop_assert_eq!(plan.n_queries(), qs.len(), "{}", kind);
+            assert_eq!(plan.n_queries(), qs.len(), "{}", kind);
             // Each input query appears exactly once.
             for q in &qs {
                 let want = qs.iter().filter(|x| *x == q).count();
                 let got = plan.assignments().filter(|(_, pq, _)| *pq == q).count();
-                prop_assert_eq!(got, want, "{}: {}", kind, q.display(&cube.schema));
+                assert_eq!(got, want, "{}: {}", kind, q.display(&cube.schema));
             }
             for (t, q, m) in plan.assignments() {
-                prop_assert!(
+                assert!(
                     q.answerable_from(engine.cube().catalog.table(t).group_by()),
-                    "{}: unanswerable assignment", kind
+                    "{}: unanswerable assignment",
+                    kind
                 );
                 if m == JoinMethod::Index {
-                    prop_assert!(cm.index_applicable(q, t), "{}: bogus index method", kind);
+                    assert!(cm.index_applicable(q, t), "{}: bogus index method", kind);
                 }
             }
             // No two classes share a base table (they should have merged).
             for (i, a) in plan.classes.iter().enumerate() {
                 for b in &plan.classes[i + 1..] {
-                    prop_assert!(a.table != b.table, "{}: duplicate class base", kind);
+                    assert!(a.table != b.table, "{}: duplicate class base", kind);
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn search_power_ordering_holds(
-        qs in proptest::collection::vec(query_strategy(), 1..4)
-    ) {
-        let engine = Engine::new(paper_cube(cube_spec()), HardwareModel::paper_1998());
-        let cm = engine.cost_model();
+#[test]
+fn search_power_ordering_holds() {
+    let engine = Engine::new(paper_cube(cube_spec()), HardwareModel::paper_1998());
+    let cm = engine.cost_model();
+    let mut rng = Prng::seed_from_u64(0x0971_0002);
+    for _ in 0..24 {
+        let qs = random_workload(&mut rng, 1, 4);
         let gg = OptimizerKind::Gg.run(&cm, &qs).unwrap().estimated_cost;
         let opt = OptimizerKind::Optimal.run(&cm, &qs).unwrap().estimated_cost;
-        prop_assert!(opt <= gg, "optimal {} > GG {}", opt, gg);
+        assert!(opt <= gg, "optimal {} > GG {}", opt, gg);
         // Singleton workloads: all algorithms find the same best plan.
         if qs.len() == 1 {
             let tplo = OptimizerKind::Tplo.run(&cm, &qs).unwrap().estimated_cost;
-            prop_assert_eq!(tplo, opt);
+            assert_eq!(tplo, opt);
         }
     }
+}
 
-    #[test]
-    fn executing_any_plan_gives_reference_answers(
-        qs in proptest::collection::vec(query_strategy(), 1..4)
-    ) {
-        let cube = cube();
-        let base = cube.catalog.base_table().unwrap();
-        let mut engine = Engine::new(paper_cube(cube_spec()), HardwareModel::paper_1998());
+#[test]
+fn executing_any_plan_gives_reference_answers() {
+    let cube = cube();
+    let base = cube.catalog.base_table().unwrap();
+    let mut engine = Engine::new(paper_cube(cube_spec()), HardwareModel::paper_1998());
+    let mut rng = Prng::seed_from_u64(0x0971_0003);
+    for _ in 0..24 {
+        let qs = random_workload(&mut rng, 1, 4);
         for kind in [OptimizerKind::Tplo, OptimizerKind::Gg] {
             let plan = engine.optimize(&qs, kind).unwrap();
             engine.flush();
@@ -117,36 +129,40 @@ proptest! {
                 plan.assignments().map(|(_, q, _)| q.clone()).collect();
             for (q, r) in plan_queries.iter().zip(&exec.results) {
                 let expect = reference_eval(cube, base, q);
-                prop_assert!(
+                assert!(
                     r.approx_eq(&expect, 1e-9),
-                    "{}: {}", kind, q.display(&cube.schema)
+                    "{}: {}",
+                    kind,
+                    q.display(&cube.schema)
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn optimal_dominates_every_heuristic(
-        qs in proptest::collection::vec(query_strategy(), 2..4)
-    ) {
-        // The only *guaranteed* ordering: the exhaustive search is at least
-        // as good as every heuristic, and GGI never loses to GG (it starts
-        // from GG's plan and accepts only improvements). The greedy
-        // algorithms are NOT totally ordered in general — GG's bigger
-        // greedy steps can backfire on adversarial workloads (observed at
-        // 16+ random queries; see the `scaling` harness) — so no
-        // GG ≤ ETPLG ≤ TPLO assertion here; the paper-workload tests pin
-        // those orderings where the paper claims them.
-        let engine = Engine::new(paper_cube(cube_spec()), HardwareModel::paper_1998());
-        let cm = engine.cost_model();
+#[test]
+fn optimal_dominates_every_heuristic() {
+    // The only *guaranteed* ordering: the exhaustive search is at least
+    // as good as every heuristic, and GGI never loses to GG (it starts
+    // from GG's plan and accepts only improvements). The greedy
+    // algorithms are NOT totally ordered in general — GG's bigger
+    // greedy steps can backfire on adversarial workloads (observed at
+    // 16+ random queries; see the `scaling` harness) — so no
+    // GG ≤ ETPLG ≤ TPLO assertion here; the paper-workload tests pin
+    // those orderings where the paper claims them.
+    let engine = Engine::new(paper_cube(cube_spec()), HardwareModel::paper_1998());
+    let cm = engine.cost_model();
+    let mut rng = Prng::seed_from_u64(0x0971_0004);
+    for _ in 0..24 {
+        let qs = random_workload(&mut rng, 2, 4);
         let tplo = OptimizerKind::Tplo.run(&cm, &qs).unwrap().estimated_cost;
         let etplg = OptimizerKind::Etplg.run(&cm, &qs).unwrap().estimated_cost;
         let gg = OptimizerKind::Gg.run(&cm, &qs).unwrap().estimated_cost;
         let ggi = starshare::ggi(&cm, &qs).unwrap().estimated_cost;
         let opt = OptimizerKind::Optimal.run(&cm, &qs).unwrap().estimated_cost;
         for (name, c) in [("TPLO", tplo), ("ETPLG", etplg), ("GG", gg), ("GGI", ggi)] {
-            prop_assert!(opt <= c, "optimal {} > {} {}", opt, name, c);
+            assert!(opt <= c, "optimal {} > {} {}", opt, name, c);
         }
-        prop_assert!(ggi <= gg, "GGI {} > GG {}", ggi, gg);
+        assert!(ggi <= gg, "GGI {} > GG {}", ggi, gg);
     }
 }

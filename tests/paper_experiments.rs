@@ -58,7 +58,12 @@ fn test1_shared_scan_beats_separate_and_gap_grows() {
     let mut e = engine();
     let plans: Vec<_> = [1, 2, 3, 4]
         .iter()
-        .map(|&n| (bind_paper_query(&e.cube().schema, n).unwrap(), JoinMethod::Hash))
+        .map(|&n| {
+            (
+                bind_paper_query(&e.cube().schema, n).unwrap(),
+                JoinMethod::Hash,
+            )
+        })
         .collect();
     let points = sweep(&mut e, "ABCD", &plans);
     assert_eq!(points[0].0, points[0].1, "k=1: no sharing possible");
@@ -79,7 +84,12 @@ fn test2_shared_index_join_saves_probing() {
     let mut e = engine();
     let plans: Vec<_> = [5, 6, 7, 8]
         .iter()
-        .map(|&n| (bind_paper_query(&e.cube().schema, n).unwrap(), JoinMethod::Index))
+        .map(|&n| {
+            (
+                bind_paper_query(&e.cube().schema, n).unwrap(),
+                JoinMethod::Index,
+            )
+        })
         .collect();
     let points = sweep(&mut e, "A'B'C'D", &plans);
     for (k, (sep, sh)) in points.iter().enumerate().skip(1) {
@@ -165,7 +175,10 @@ fn test6_selective_workload_ties_all_algorithms() {
         let p = e.optimize(&queries, k).unwrap();
         assert_eq!(p.classes.len(), 1, "{k}");
         assert!(
-            p.classes[0].plans.iter().all(|q| q.method == JoinMethod::Index),
+            p.classes[0]
+                .plans
+                .iter()
+                .all(|q| q.method == JoinMethod::Index),
             "{k}"
         );
     }
@@ -176,9 +189,18 @@ fn tests4_to_7_cost_ordering_holds() {
     let e = engine();
     for test in 4..=7 {
         let queries = bind_paper_test(&e.cube().schema, test).unwrap();
-        let t = e.optimize(&queries, OptimizerKind::Tplo).unwrap().estimated_cost;
-        let g = e.optimize(&queries, OptimizerKind::Gg).unwrap().estimated_cost;
-        let o = e.optimize(&queries, OptimizerKind::Optimal).unwrap().estimated_cost;
+        let t = e
+            .optimize(&queries, OptimizerKind::Tplo)
+            .unwrap()
+            .estimated_cost;
+        let g = e
+            .optimize(&queries, OptimizerKind::Gg)
+            .unwrap()
+            .estimated_cost;
+        let o = e
+            .optimize(&queries, OptimizerKind::Optimal)
+            .unwrap()
+            .estimated_cost;
         assert!(o <= g && g <= t, "test {test}: {o} / {g} / {t}");
         // GG is within 5% of optimal on every paper workload.
         assert!(

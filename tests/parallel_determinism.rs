@@ -1,0 +1,122 @@
+//! The parallel-execution determinism contract: for every one of the
+//! paper's workloads, running the partitioned subsystem at 1, 2, and 4
+//! threads returns **bit-identical** query results and **identical**
+//! simulated totals — both total work (`sim`) and the critical path
+//! (`critical`). Only wall time may differ.
+
+use starshare::paper_queries::bind_paper_test;
+use starshare::{
+    Engine, EngineBuilder, GroupByQuery, OptimizerKind, PaperCubeSpec, PlanExecution, SimTime,
+};
+
+fn engine() -> Engine {
+    Engine::paper(PaperCubeSpec {
+        base_rows: 5_000,
+        d_leaf: 48,
+        seed: 23,
+        with_indexes: true,
+    })
+}
+
+fn assert_identical(a: &PlanExecution, b: &PlanExecution, label: &str) {
+    assert_eq!(a.total.sim, b.total.sim, "{label}: sim must not move");
+    assert_eq!(
+        a.total.critical, b.total.critical,
+        "{label}: critical path must not move"
+    );
+    assert_eq!(a.total.io, b.total.io, "{label}: I/O counts must not move");
+    assert_eq!(a.results.len(), b.results.len(), "{label}");
+    for (x, y) in a.results.iter().zip(&b.results) {
+        assert_eq!(x.query, y.query, "{label}: query order");
+        assert_eq!(x.rows, y.rows, "{label}: rows must be bit-identical");
+    }
+}
+
+/// Every paper workload (Tests 1–7, covering the Figure 10–12 operator
+/// studies and all of Table 2), planned by GG, executed partitioned at
+/// three thread counts.
+#[test]
+fn every_paper_workload_is_thread_count_invariant() {
+    let mut e = engine();
+    for test in 1..=7 {
+        let queries = bind_paper_test(&e.cube().schema, test).unwrap();
+        let plan = e.optimize(&queries, OptimizerKind::Gg).unwrap();
+        let runs: Vec<PlanExecution> = [1usize, 2, 4]
+            .iter()
+            .map(|&n| {
+                e.flush();
+                e.execute_plan_threads(&plan, n).unwrap()
+            })
+            .collect();
+        assert_identical(&runs[0], &runs[1], &format!("test {test}, 1 vs 2 threads"));
+        assert_identical(&runs[0], &runs[2], &format!("test {test}, 1 vs 4 threads"));
+        assert!(
+            runs[0].total.critical <= runs[0].total.sim,
+            "test {test}: the critical path cannot exceed total work"
+        );
+        assert!(runs[0].total.sim > SimTime::ZERO, "test {test}");
+    }
+}
+
+/// The Table-2 workloads stay invariant under *every* optimizer's plan
+/// shape, not just GG's (index-only classes, multi-class splits, …).
+#[test]
+fn table2_plans_from_all_optimizers_are_invariant() {
+    let mut e = engine();
+    for test in 4..=7 {
+        let queries = bind_paper_test(&e.cube().schema, test).unwrap();
+        for kind in OptimizerKind::ALL {
+            let plan = e.optimize(&queries, kind).unwrap();
+            e.flush();
+            let one = e.execute_plan_threads(&plan, 1).unwrap();
+            e.flush();
+            let four = e.execute_plan_threads(&plan, 4).unwrap();
+            assert_identical(&one, &four, &format!("test {test}, {kind}"));
+        }
+    }
+}
+
+/// The partitioned path agrees with the sequential path on *answers*
+/// (floating-point association differs, so compare with tolerance), and an
+/// engine built with a threads knob > 1 routes through it transparently.
+#[test]
+fn parallel_answers_match_the_sequential_path() {
+    let mut seq = engine();
+    let mut par = EngineBuilder::paper(PaperCubeSpec {
+        base_rows: 5_000,
+        d_leaf: 48,
+        seed: 23,
+        with_indexes: true,
+    })
+    .threads(4)
+    .build();
+    let queries: Vec<GroupByQuery> = bind_paper_test(&seq.cube().schema, 3).unwrap();
+    let plan = seq.optimize(&queries, OptimizerKind::Gg).unwrap();
+    let s = seq.execute_plan(&plan).unwrap();
+    let p = par.execute_plan(&plan).unwrap();
+    assert_eq!(s.results.len(), p.results.len());
+    for (a, b) in s.results.iter().zip(&p.results) {
+        assert_eq!(a.query, b.query);
+        assert!(a.approx_eq(b, 1e-9), "answers must agree across paths");
+    }
+    // Sequential runs report critical == sim; the parallel run's critical
+    // must not exceed the sequential critical path for the same plan.
+    assert_eq!(s.total.critical, s.total.sim);
+    assert!(p.total.critical <= p.total.sim);
+}
+
+/// Repeated parallel runs of the same plan are reproducible run-to-run
+/// (same process, fresh pools) — the scheduler leaves no trace.
+#[test]
+fn repeated_runs_are_reproducible() {
+    let mut e = engine();
+    let queries = bind_paper_test(&e.cube().schema, 5).unwrap();
+    let plan = e.optimize(&queries, OptimizerKind::Gg).unwrap();
+    e.flush();
+    let first = e.execute_plan_threads(&plan, 2).unwrap();
+    for _ in 0..3 {
+        e.flush();
+        let again = e.execute_plan_threads(&plan, 2).unwrap();
+        assert_identical(&first, &again, "repeat");
+    }
+}

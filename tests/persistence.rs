@@ -62,17 +62,18 @@ fn stats_flag_survives_the_round_trip() {
     let e1 = Engine::new(cube, HardwareModel::paper_1998());
     let e2 = Engine::new(loaded, HardwareModel::paper_1998());
     let q = starshare::paper_queries::bind_paper_query(&e1.cube().schema, 5).unwrap();
-    let p1 = e1.optimize(std::slice::from_ref(&q), OptimizerKind::Gg).unwrap();
-    let p2 = e2.optimize(std::slice::from_ref(&q), OptimizerKind::Gg).unwrap();
+    let p1 = e1
+        .optimize(std::slice::from_ref(&q), OptimizerKind::Gg)
+        .unwrap();
+    let p2 = e2
+        .optimize(std::slice::from_ref(&q), OptimizerKind::Gg)
+        .unwrap();
     assert_eq!(p1.estimated_cost, p2.estimated_cost);
 }
 
 #[test]
 fn snapshot_of_agg_views_preserves_measure_kinds() {
-    let schema = starshare::StarSchema::new(
-        vec![starshare::Dimension::uniform("X", 3, &[4])],
-        "m",
-    );
+    let schema = starshare::StarSchema::new(vec![starshare::Dimension::uniform("X", 3, &[4])], "m");
     let cube = starshare::CubeBuilder::new(schema)
         .rows(1_000)
         .seed(2)
@@ -88,8 +89,8 @@ fn snapshot_of_agg_views_preserves_measure_kinds() {
         assert_eq!(a.measure(), b.measure(), "{}", a.name());
     }
     // COUNT view still answers COUNT queries after reload.
-    let q = starshare::GroupByQuery::unfiltered(loaded.groupby("X'"))
-        .with_agg(starshare::AggFn::Count);
+    let q =
+        starshare::GroupByQuery::unfiltered(loaded.groupby("X'")).with_agg(starshare::AggFn::Count);
     let c = loaded.catalog.candidates_for(&q);
     let count_view = loaded.catalog.find_by_name("COUNT:X'").unwrap();
     assert!(c.contains(&count_view));
