@@ -1,0 +1,34 @@
+//! Kernel microbench runner: compiled aggregation kernels vs. the
+//! pre-kernel inner loop on the Fig-10 shared-scan workload.
+//!
+//! ```text
+//! STARSHARE_SCALE=0.25 cargo run --release -p starshare-bench --bin kernels [out.json]
+//! ```
+//!
+//! Prints a report and writes the JSON payload (default `BENCH_kernels.json`
+//! in the current directory). Exits non-zero if the legacy loop fails to
+//! reproduce the engine's rows or simulated clock — throughput may vary by
+//! host, correctness may not.
+
+use starshare_bench::{kernel_bench, kernel_bench_json, render_kernel_bench, scale_from_env};
+
+fn main() {
+    let scale = scale_from_env();
+    let repeats: u32 = std::env::var("STARSHARE_REPEATS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_kernels.json".to_string());
+
+    let r = kernel_bench(scale, repeats);
+    print!("{}", render_kernel_bench(&r));
+    std::fs::write(&out, kernel_bench_json(&r)).expect("write bench json");
+    println!("wrote {out}");
+
+    if !r.results_match || !r.sim_identical {
+        eprintln!("FAIL: legacy loop diverged from the engine (see report above)");
+        std::process::exit(1);
+    }
+}

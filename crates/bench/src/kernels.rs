@@ -1,0 +1,363 @@
+//! Kernel microbench: compiled aggregation kernels vs. the pre-kernel
+//! inner loop, on the Figure-10 shared-scan workload.
+//!
+//! The engine's shared-scan operator now runs page-batched scans feeding
+//! tiered aggregation kernels (dense flat-array / packed-u64 hash /
+//! `Vec<u32>` spill). This module re-implements, inside the bench crate,
+//! the inner loop the operator had *before* that change — tuple-at-a-time
+//! [`ScanCursor`](starshare_core::HeapFile) reads, per-dimension binary-
+//! search predicate tests, and a `HashMap<Vec<u32>, AggState>` aggregation
+//! table with a get-then-insert double probe on miss — and races the two
+//! on the same workload: paper queries Q1–Q4 hash-joined against the base
+//! table `ABCD` in one shared scan.
+//!
+//! Both paths charge the *same* simulated work (that is the point of the
+//! kernel refactor: the simulated clock is bit-identical, only the host
+//! wall clock moves), so besides throughput the bench asserts that the
+//! legacy loop reproduces the engine's rows and `SimTime` exactly.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use starshare_core::{
+    combine_mode, shared_scan_hash_join, AggState, BufferPool, CombineMode, CpuCounters, Cube,
+    DimPipeline, ExecContext, GroupByQuery, HardwareModel, LevelRef, MemberPred, SimTime, TableId,
+};
+
+use crate::{build_engine, query, table};
+
+/// Sorted `(group key, value)` rows for one query.
+type QueryRows = Vec<(Vec<u32>, f64)>;
+
+/// One timed side of the comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelSide {
+    /// Best (minimum) single-run wall time across the repeats — robust to
+    /// scheduler noise.
+    pub wall: Duration,
+    /// Base-table tuples scanned per second of the best run.
+    pub tuples_per_sec: f64,
+}
+
+/// Outcome of [`kernel_bench`].
+#[derive(Debug, Clone)]
+pub struct KernelBenchResult {
+    /// Paper-cube scale factor the workload ran at.
+    pub scale: f64,
+    /// Base-table rows scanned per repeat.
+    pub rows: u64,
+    /// Number of timed repeats per side.
+    pub repeats: u32,
+    /// The engine's compiled-kernel path ([`shared_scan_hash_join`]).
+    pub kernel: KernelSide,
+    /// The re-implemented pre-kernel inner loop.
+    pub legacy: KernelSide,
+    /// `legacy.wall / kernel.wall` — how much faster the kernels are.
+    pub speedup: f64,
+    /// Kernel tier chosen for each of Q1–Q4, in order.
+    pub tiers: Vec<String>,
+    /// Whether the legacy loop reproduced the engine's result rows exactly.
+    pub results_match: bool,
+    /// Whether both paths charged the same simulated time.
+    pub sim_identical: bool,
+    /// The (shared) simulated time of the workload.
+    pub sim: SimTime,
+}
+
+/// Pre-kernel per-query state: rolled predicate steps, aggregation-key
+/// extraction, and a `Vec<u32>`-keyed hash aggregation table — exactly the
+/// shape `QueryState` had before the kernel refactor.
+struct LegacyState {
+    preds: Vec<LegacyPred>,
+    extract: Vec<(usize, u32)>,
+    mode: CombineMode,
+    probe_mask: u64,
+    groups: HashMap<Vec<u32>, AggState>,
+    scratch: Vec<u32>,
+}
+
+struct LegacyPred {
+    dim: usize,
+    divisor: u32,
+    members: Vec<u32>,
+}
+
+impl LegacyState {
+    /// Compiles `q` against `table`'s stored group-by, independently of the
+    /// engine's `DimPipeline` (which now carries the new kernels).
+    fn compile(cube: &Cube, table: TableId, q: &GroupByQuery) -> Self {
+        let schema = &cube.schema;
+        let t = cube.catalog.table(table);
+        let stored = t.group_by();
+        let mut preds = Vec::new();
+        let mut extract = Vec::new();
+        let mut probe_mask = 0u64;
+        for d in 0..schema.n_dims() {
+            let s = match stored.level(d) {
+                LevelRef::Level(s) => s,
+                LevelRef::All => continue,
+            };
+            let rolls = |to: u8| schema.dim(d).cardinality(s) / schema.dim(d).cardinality(to);
+            let mut needs_probe = false;
+            if let LevelRef::Level(target) = q.group_by.level(d) {
+                extract.push((d, rolls(target)));
+                needs_probe |= target > s;
+            }
+            if let MemberPred::In { level, members } = &q.preds[d] {
+                preds.push(LegacyPred {
+                    dim: d,
+                    divisor: rolls(*level),
+                    members: members.clone(),
+                });
+                needs_probe |= *level > s;
+            }
+            if needs_probe {
+                probe_mask |= 1 << d;
+            }
+        }
+        LegacyState {
+            preds,
+            extract,
+            mode: combine_mode(q.agg, t.measure()),
+            probe_mask,
+            groups: HashMap::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The pre-kernel `feed_tuple`: binary-search predicate tests, then a
+    /// `get_mut` probe followed by a second `insert` probe on miss.
+    fn feed(&mut self, keys: &[u32], measure: f64, cpu: &mut CpuCounters) {
+        for p in &self.preds {
+            cpu.predicate_evals += 1;
+            let rolled = keys[p.dim] / p.divisor;
+            if p.members.binary_search(&rolled).is_err() {
+                return;
+            }
+        }
+        self.scratch.clear();
+        for &(dim, divisor) in &self.extract {
+            self.scratch.push(keys[dim] / divisor);
+        }
+        cpu.hash_probes += 1;
+        if let Some(st) = self.groups.get_mut(&self.scratch) {
+            st.fold(self.mode, measure);
+        } else {
+            cpu.hash_builds += 1;
+            self.groups
+                .insert(self.scratch.clone(), AggState::first(self.mode, measure));
+        }
+        cpu.agg_updates += 1;
+        cpu.tuple_copies += 1;
+    }
+
+    fn into_rows(self) -> QueryRows {
+        let mode = self.mode;
+        let mut rows: QueryRows = self
+            .groups
+            .into_iter()
+            .map(|(k, st)| (k, st.value(mode)))
+            .collect();
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        rows
+    }
+}
+
+/// One cold run of the pre-kernel shared scan: fresh pool, fresh states,
+/// tuple-at-a-time cursor. Returns per-query rows and the simulated time,
+/// charging the same counters the engine charges.
+fn run_legacy(
+    cube: &Cube,
+    t: TableId,
+    queries: &[GroupByQuery],
+    model: &HardwareModel,
+) -> (Vec<QueryRows>, SimTime) {
+    let mut pool = BufferPool::for_model(model);
+    let mut cpu = CpuCounters::default();
+    let mut states: Vec<LegacyState> = queries
+        .iter()
+        .map(|q| LegacyState::compile(cube, t, q))
+        .collect();
+
+    // Dimension hash tables, built once for the union of probed dimensions.
+    let stored = cube.catalog.table(t).group_by();
+    let union_mask = states.iter().fold(0u64, |m, s| m | s.probe_mask);
+    for d in 0..cube.schema.n_dims() {
+        if union_mask & (1 << d) != 0 {
+            if let LevelRef::Level(s) = stored.level(d) {
+                cpu.hash_builds += cube.schema.dim(d).cardinality(s) as u64;
+            }
+        }
+    }
+    let probes_per_tuple = union_mask.count_ones() as u64;
+
+    let heap = cube.catalog.table(t).heap();
+    let n_dims = cube.schema.n_dims();
+    let mut cursor = heap.scan();
+    let mut keys = vec![0u32; n_dims];
+    let mut pos = 0u64;
+    while let Some(measure) = cursor.next_into(&mut pool, &mut keys, &mut pos) {
+        cpu.tuple_copies += 1;
+        cpu.hash_probes += probes_per_tuple;
+        for st in &mut states {
+            st.feed(&keys, measure, &mut cpu);
+        }
+    }
+
+    let sim = pool.stats().io_time(model) + model.cpu_time(&cpu);
+    (
+        states.into_iter().map(LegacyState::into_rows).collect(),
+        sim,
+    )
+}
+
+/// Races the compiled-kernel shared scan against the pre-kernel inner loop
+/// on the Figure-10 workload (Q1–Q4, hash, base table `ABCD`) at `scale`.
+pub fn kernel_bench(scale: f64, repeats: u32) -> KernelBenchResult {
+    let engine = build_engine(scale);
+    let cube = engine.cube();
+    let t = table(&engine, "ABCD");
+    let queries: Vec<GroupByQuery> = (1..=4).map(|n| query(&engine, n)).collect();
+    let rows = cube.catalog.table(t).n_rows();
+    let stored = cube.catalog.table(t).group_by().clone();
+    let tiers: Vec<String> = queries
+        .iter()
+        .map(|q| {
+            let p = DimPipeline::compile(&cube.schema, &stored, q).expect("answerable");
+            format!("{:?}", p.kernel_tier())
+        })
+        .collect();
+
+    // Engine path: page-batched scan into compiled kernels. Cold pool per
+    // repeat so every run pays the same faults; the best run counts.
+    let mut kernel_wall = Duration::MAX;
+    let mut engine_rows = Vec::new();
+    let mut engine_sim = SimTime::ZERO;
+    for _ in 0..repeats {
+        let mut ctx = ExecContext::paper_1998();
+        let start = Instant::now();
+        let (results, report) =
+            shared_scan_hash_join(&mut ctx, cube, t, &queries).expect("workload runs");
+        kernel_wall = kernel_wall.min(start.elapsed());
+        engine_rows = results.into_iter().map(|r| r.rows).collect();
+        engine_sim = report.sim;
+    }
+
+    // Legacy path: tuple-at-a-time scan into `Vec<u32>`-keyed hash maps.
+    let model = HardwareModel::paper_1998();
+    let mut legacy_wall = Duration::MAX;
+    let mut legacy_rows = Vec::new();
+    let mut legacy_sim = SimTime::ZERO;
+    for _ in 0..repeats {
+        let start = Instant::now();
+        let (rs, sim) = run_legacy(cube, t, &queries, &model);
+        legacy_wall = legacy_wall.min(start.elapsed());
+        legacy_rows = rs;
+        legacy_sim = sim;
+    }
+
+    let tps = |wall: Duration| rows as f64 / wall.as_secs_f64().max(1e-12);
+    KernelBenchResult {
+        scale,
+        rows,
+        repeats,
+        kernel: KernelSide {
+            wall: kernel_wall,
+            tuples_per_sec: tps(kernel_wall),
+        },
+        legacy: KernelSide {
+            wall: legacy_wall,
+            tuples_per_sec: tps(legacy_wall),
+        },
+        speedup: legacy_wall.as_secs_f64() / kernel_wall.as_secs_f64().max(1e-12),
+        tiers,
+        results_match: engine_rows == legacy_rows,
+        sim_identical: engine_sim == legacy_sim,
+        sim: engine_sim,
+    }
+}
+
+/// Human-readable report.
+pub fn render_kernel_bench(r: &KernelBenchResult) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Kernel microbench — Fig-10 shared scan (Q1–Q4 hash on ABCD), scale {}, {} rows, {} repeats\n",
+        r.scale, r.rows, r.repeats
+    ));
+    out.push_str(&format!("  query tiers:   {}\n", r.tiers.join(", ")));
+    out.push_str(&format!(
+        "  legacy loop:   {:>10.1} ms  ({:>12.0} tuples/s)\n",
+        r.legacy.wall.as_secs_f64() * 1e3,
+        r.legacy.tuples_per_sec
+    ));
+    out.push_str(&format!(
+        "  kernel loop:   {:>10.1} ms  ({:>12.0} tuples/s)\n",
+        r.kernel.wall.as_secs_f64() * 1e3,
+        r.kernel.tuples_per_sec
+    ));
+    out.push_str(&format!("  speedup:       {:.2}x\n", r.speedup));
+    out.push_str(&format!(
+        "  results match: {}   sim identical: {} ({:.3} ms simulated)\n",
+        r.results_match,
+        r.sim_identical,
+        r.sim.as_secs_f64() * 1e3
+    ));
+    out
+}
+
+/// The `BENCH_kernels.json` payload (hand-rolled; no serde in-tree).
+pub fn kernel_bench_json(r: &KernelBenchResult) -> String {
+    let tiers = r
+        .tiers
+        .iter()
+        .map(|t| format!("\"{t}\""))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"kernels\",\n",
+            "  \"workload\": \"fig10-shared-scan-q1-q4-hash-ABCD\",\n",
+            "  \"scale\": {scale},\n",
+            "  \"rows\": {rows},\n",
+            "  \"repeats\": {repeats},\n",
+            "  \"tiers\": [{tiers}],\n",
+            "  \"legacy\": {{ \"wall_ms\": {lw:.3}, \"tuples_per_sec\": {lt:.0} }},\n",
+            "  \"kernel\": {{ \"wall_ms\": {kw:.3}, \"tuples_per_sec\": {kt:.0} }},\n",
+            "  \"speedup\": {speedup:.3},\n",
+            "  \"results_match\": {rm},\n",
+            "  \"sim_identical\": {si},\n",
+            "  \"sim_ms\": {sim:.3}\n",
+            "}}\n"
+        ),
+        scale = r.scale,
+        rows = r.rows,
+        repeats = r.repeats,
+        tiers = tiers,
+        lw = r.legacy.wall.as_secs_f64() * 1e3,
+        lt = r.legacy.tuples_per_sec,
+        kw = r.kernel.wall.as_secs_f64() * 1e3,
+        kt = r.kernel.tuples_per_sec,
+        speedup = r.speedup,
+        rm = r.results_match,
+        si = r.sim_identical,
+        sim = r.sim.as_secs_f64() * 1e3,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn legacy_loop_reproduces_engine_rows_and_clock() {
+        let r = kernel_bench(0.002, 1);
+        assert!(r.results_match, "legacy rows diverge from engine rows");
+        assert!(r.sim_identical, "legacy sim clock diverges from engine");
+        assert_eq!(r.tiers.len(), 4);
+        assert!(r.speedup > 0.0);
+        let json = kernel_bench_json(&r);
+        assert!(json.contains("\"bench\": \"kernels\""));
+        assert!(json.contains("\"results_match\": true"));
+    }
+}

@@ -19,6 +19,9 @@ use starshare_core::{
     PlanClass, QueryPlan, SimTime, TableId,
 };
 
+pub mod kernels;
+pub use kernels::{kernel_bench, kernel_bench_json, render_kernel_bench, KernelBenchResult};
+
 /// Reads the scale factor from `STARSHARE_SCALE` (default 1.0 = the paper's
 /// 2 M-row database).
 pub fn scale_from_env() -> f64 {

@@ -33,8 +33,9 @@ pub use grid::{pivot, render_pivot, PivotGrid, PivotPage};
 pub use starshare_bitmap::{Bitmap, BitmapJoinIndex, IndexFormat, RleBitmap};
 pub use starshare_exec::{
     execute_classes, hash_star_join, index_star_join, reference_eval, shared_hybrid_join,
-    shared_index_join, shared_scan_hash_join, ClassOutcome, ClassSpec, ExecContext, ExecError,
-    ExecReport, QueryResult, PARTITIONS,
+    shared_index_join, shared_scan_hash_join, AggKernel, ClassOutcome, ClassSpec, DimPipeline,
+    ExecContext, ExecError, ExecReport, GroupAcc, KernelTier, QueryResult, DENSE_MAX_GROUPS,
+    PARTITIONS,
 };
 pub use starshare_mdx::{
     bind, generate_mdx, paper_queries, parse, Axis, AxisSpec, BindError, BoundAxis, BoundMdx,
@@ -52,6 +53,6 @@ pub use starshare_opt::{
     CostModel, GlobalPlan, JoinMethod, OptError, OptimizerKind, PlanClass, QueryPlan,
 };
 pub use starshare_storage::{
-    AccessKind, BufferPool, CpuCounters, FileId, HardwareModel, HeapFile, IoStats, SimTime,
-    TupleLayout, PAGE_SIZE,
+    AccessKind, BufferPool, CpuCounters, FileId, HardwareModel, HeapFile, IoStats, ScanBatch,
+    SimTime, TupleLayout, PAGE_SIZE,
 };

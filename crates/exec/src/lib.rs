@@ -22,6 +22,7 @@
 
 pub mod context;
 pub mod error;
+pub mod kernel;
 pub mod operators;
 pub mod parallel;
 pub mod plan_io;
@@ -31,6 +32,7 @@ pub mod rollup;
 
 pub use context::{ExecContext, ExecReport};
 pub use error::ExecError;
+pub use kernel::{AggKernel, GroupAcc, KernelTier, DENSE_MAX_GROUPS};
 pub use operators::{
     hash_star_join, index_star_join, shared_hybrid_join, shared_index_join, shared_scan_hash_join,
 };

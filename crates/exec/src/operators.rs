@@ -17,13 +17,12 @@
 //!   a bitmap test for index-fed queries, and, for qualifying tuples, one
 //!   aggregation-table probe, an update, and a result-tuple copy.
 
-use std::collections::HashMap;
-
-use starshare_olap::{combine_mode, AggState, CombineMode, Cube, GroupByQuery, LevelRef, TableId};
-use starshare_storage::{AccessKind, CpuCounters};
+use starshare_olap::{combine_mode, CombineMode, Cube, GroupByQuery, LevelRef, TableId};
+use starshare_storage::{AccessKind, CpuCounters, ScanBatch};
 
 use crate::context::{ExecContext, ExecReport};
 use crate::error::ExecError;
+use crate::kernel::GroupAcc;
 use crate::plan_io::{build_query_bitmap, QueryBitmap};
 use crate::result::QueryResult;
 use crate::rollup::DimPipeline;
@@ -40,7 +39,8 @@ pub(crate) struct QueryState {
     pub(crate) mode: CombineMode,
     /// Index-derived filter (index-fed queries only).
     pub(crate) bitmap: Option<QueryBitmap>,
-    pub(crate) groups: HashMap<Vec<u32>, AggState>,
+    /// Running aggregation, shaped by the pipeline's compiled kernel.
+    pub(crate) acc: GroupAcc,
     scratch: Vec<u32>,
 }
 
@@ -61,10 +61,10 @@ impl QueryState {
         let pipeline = DimPipeline::compile(&cube.schema, t.group_by(), query)?;
         Ok(QueryState {
             query: query.clone(),
+            acc: pipeline.kernel().new_acc(),
             pipeline,
             mode: combine_mode(query.agg, t.measure()),
             bitmap: None,
-            groups: HashMap::new(),
             scratch: Vec::new(),
         })
     }
@@ -82,7 +82,21 @@ impl QueryState {
             self.skip_mask(),
             keys,
             measure,
-            &mut self.groups,
+            &mut self.acc,
+            &mut self.scratch,
+            cpu,
+        );
+    }
+
+    /// Feeds a whole columnar batch: vectorized residual filter, then the
+    /// kernel absorbs survivors straight from the batch columns.
+    fn feed_batch(&mut self, batch: &ScanBatch, sel: &mut Vec<u32>, cpu: &mut CpuCounters) {
+        self.pipeline.feed_batch(
+            self.mode,
+            self.skip_mask(),
+            batch,
+            &mut self.acc,
+            sel,
             &mut self.scratch,
             cpu,
         );
@@ -90,19 +104,21 @@ impl QueryState {
 
     pub(crate) fn into_result(self) -> QueryResult {
         let mode = self.mode;
+        let groups = self.pipeline.kernel().into_groups(self.acc);
         QueryResult::from_groups(
             self.query,
-            self.groups.into_iter().map(|(k, st)| (k, st.value(mode))),
+            groups.into_iter().map(|(k, st)| (k, st.value(mode))),
         )
     }
 }
 
 /// The per-tuple inner loop shared by the sequential operators and the
-/// partitioned workers: residual filter, then aggregate into `groups`.
+/// partitioned workers: residual filter, then absorb into the pipeline's
+/// compiled aggregation kernel.
 ///
 /// A free function (rather than a `QueryState` method) so partitioned
 /// workers can run it against the *shared* compiled pipeline with a
-/// *private* accumulator map.
+/// *private* accumulator.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn feed_tuple(
     pipeline: &DimPipeline,
@@ -110,23 +126,16 @@ pub(crate) fn feed_tuple(
     skip_mask: u64,
     keys: &[u32],
     measure: f64,
-    groups: &mut HashMap<Vec<u32>, AggState>,
+    acc: &mut GroupAcc,
     scratch: &mut Vec<u32>,
     cpu: &mut CpuCounters,
 ) {
     if !pipeline.filter_skipping(keys, cpu, skip_mask) {
         return;
     }
-    cpu.hash_probes += 1; // aggregation-table lookup
-    pipeline.agg_key_into(keys, scratch);
-    if let Some(v) = groups.get_mut(scratch.as_slice()) {
-        v.fold(mode, measure);
-    } else {
-        cpu.hash_builds += 1;
-        groups.insert(scratch.clone(), AggState::first(mode, measure));
-    }
-    cpu.agg_updates += 1;
-    cpu.tuple_copies += 1;
+    pipeline
+        .kernel()
+        .absorb(acc, mode, keys, measure, scratch, cpu);
 }
 
 /// Charges the build of the dimension hash tables needed by `probe_mask`
@@ -204,20 +213,35 @@ pub fn shared_hybrid_join(
         charge_hash_builds(cube, table, union_mask, cpu);
         let probes_per_tuple = union_mask.count_ones() as u64;
 
-        // Phase 3: one shared scan.
-        let mut cursor = heap.scan();
+        // Phase 3: one shared scan, page-batched. Identical accounting to
+        // the tuple-at-a-time cursor (one sequential access per page, same
+        // per-tuple CPU charges); decode, predicate filtering, and
+        // aggregation all run columnar per batch. Charges are sums and each
+        // query folds its survivors in row order, so batching never moves
+        // the simulated clock or the results.
+        let mut batches = heap.scan_batches(0, heap.n_tuples());
+        let mut batch = ScanBatch::new(heap.layout());
         let mut keys = vec![0u32; n_dims];
-        let mut pos = 0u64;
-        while let Some(measure) = cursor.next_into(&mut ctx.pool, &mut keys, &mut pos) {
-            cpu.tuple_copies += 1;
-            cpu.hash_probes += probes_per_tuple;
+        let mut sel = Vec::new();
+        while batches.next_into(&mut ctx.pool, &mut batch) {
+            let n = batch.len() as u64;
+            cpu.tuple_copies += n;
+            cpu.hash_probes += probes_per_tuple * n;
             for st in &mut hash_states {
-                st.feed(&keys, measure, cpu);
+                st.feed_batch(&batch, &mut sel, cpu);
             }
-            for st in &mut index_states {
-                cpu.bitmap_tests += 1;
-                if st.bitmap.as_ref().expect("built in phase 1").may_match(pos) {
-                    st.feed(&keys, measure, cpu);
+            // Index-fed queries gate on their bitmap per position, so they
+            // stay row-at-a-time.
+            if !index_states.is_empty() {
+                for i in 0..batch.len() {
+                    batch.keys_into(i, &mut keys);
+                    let pos = batch.pos(i);
+                    for st in &mut index_states {
+                        cpu.bitmap_tests += 1;
+                        if st.bitmap.as_ref().expect("built in phase 1").may_match(pos) {
+                            st.feed(&keys, batch.measure(i), cpu);
+                        }
+                    }
                 }
             }
         }

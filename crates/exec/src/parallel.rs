@@ -31,17 +31,19 @@
 //! warm pages for each other, because "which class ran first" would be a
 //! scheduling accident.
 
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use starshare_bitmap::Bitmap;
-use starshare_olap::{AggState, Cube, GroupByQuery, TableId};
-use starshare_storage::{AccessKind, BufferPool, CpuCounters, HeapFile, IoStats, SimTime};
+use starshare_olap::{Cube, GroupByQuery, TableId};
+use starshare_storage::{
+    AccessKind, BufferPool, CpuCounters, HeapFile, IoStats, ScanBatch, SimTime,
+};
 
 use crate::context::{ExecContext, ExecReport};
 use crate::error::ExecError;
+use crate::kernel::GroupAcc;
 use crate::operators::{charge_hash_builds, feed_tuple, QueryState};
 use crate::plan_io::build_query_bitmap;
 use crate::result::QueryResult;
@@ -110,8 +112,8 @@ struct PreparedClass<'a> {
 /// What one partition worker produced: private accumulators and privately
 /// counted work.
 struct PartitionOutput {
-    /// One group map per class query, in the class's state order.
-    groups: Vec<HashMap<Vec<u32>, AggState>>,
+    /// One kernel accumulator per class query, in the class's state order.
+    groups: Vec<GroupAcc>,
     io: IoStats,
     cpu: CpuCounters,
     wall: Duration,
@@ -146,8 +148,11 @@ fn run_partition(cube: &Cube, class: &PreparedClass<'_>, lo: u64, hi: u64) -> Pa
     let start = Instant::now();
     let mut pool = class.pool.clone_residency();
     let mut cpu = CpuCounters::default();
-    let mut groups: Vec<HashMap<Vec<u32>, AggState>> =
-        class.states.iter().map(|_| HashMap::new()).collect();
+    let mut groups: Vec<GroupAcc> = class
+        .states
+        .iter()
+        .map(|st| st.pipeline.kernel().new_acc())
+        .collect();
     let mut scratch = Vec::new();
     let mut keys = vec![0u32; cube.schema.n_dims()];
 
@@ -155,7 +160,7 @@ fn run_partition(cube: &Cube, class: &PreparedClass<'_>, lo: u64, hi: u64) -> Pa
                        measure: f64,
                        pos: u64,
                        cpu: &mut CpuCounters,
-                       groups: &mut [HashMap<Vec<u32>, AggState>],
+                       groups: &mut [GroupAcc],
                        scratch: &mut Vec<u32>| {
         cpu.tuple_copies += 1;
         cpu.hash_probes += class.probes_per_tuple;
@@ -181,10 +186,49 @@ fn run_partition(cube: &Cube, class: &PreparedClass<'_>, lo: u64, hi: u64) -> Pa
 
     match &class.scan {
         ScanKind::Scan => {
-            let mut cursor = class.heap.scan_range(lo, hi);
-            let mut pos = 0u64;
-            while let Some(measure) = cursor.next_into(&mut pool, &mut keys, &mut pos) {
-                feed_states(&keys, measure, pos, &mut cpu, &mut groups, &mut scratch);
+            // Page-batched: same accesses and per-tuple charges as the
+            // tuple-at-a-time cursor. Hash members run the vectorized
+            // filter cascade per batch; index members gate on their bitmap
+            // per position, so they stay row-at-a-time.
+            let mut batches = class.heap.scan_batches(lo, hi);
+            let mut batch = ScanBatch::new(class.heap.layout());
+            let mut sel = Vec::new();
+            while batches.next_into(&mut pool, &mut batch) {
+                let n = batch.len() as u64;
+                cpu.tuple_copies += n;
+                cpu.hash_probes += class.probes_per_tuple * n;
+                for (i, st) in class.states.iter().enumerate().take(class.n_hash) {
+                    st.pipeline.feed_batch(
+                        st.mode,
+                        st.skip_mask(),
+                        &batch,
+                        &mut groups[i],
+                        &mut sel,
+                        &mut scratch,
+                        &mut cpu,
+                    );
+                }
+                if class.n_hash < class.states.len() {
+                    for r in 0..batch.len() {
+                        batch.keys_into(r, &mut keys);
+                        let pos = batch.pos(r);
+                        for (i, st) in class.states.iter().enumerate().skip(class.n_hash) {
+                            cpu.bitmap_tests += 1;
+                            if st.bitmap.as_ref().expect("built in phase 1").may_match(pos) {
+                                feed_tuple(
+                                    &st.pipeline,
+                                    st.mode,
+                                    st.skip_mask(),
+                                    &keys,
+                                    batch.measure(r),
+                                    &mut groups[i],
+                                    &mut scratch,
+                                    &mut cpu,
+                                );
+                            }
+                        }
+                    }
+                }
             }
         }
         ScanKind::Probe { total, everything } => {
@@ -327,31 +371,34 @@ pub fn execute_classes(
     for (class, parts) in prepared.into_iter().zip(outputs) {
         let merge_start = Instant::now();
         let mut merge_cpu = CpuCounters::default();
-        let mut merged: Vec<HashMap<Vec<u32>, AggState>> =
-            class.states.iter().map(|_| HashMap::new()).collect();
+        let mut merged: Vec<GroupAcc> = class
+            .states
+            .iter()
+            .map(|st| st.pipeline.kernel().new_acc())
+            .collect();
         for part in &parts {
             for (qi, part_groups) in part.groups.iter().enumerate() {
-                let dst = &mut merged[qi];
-                for (k, st) in part_groups {
-                    merge_cpu.hash_probes += 1;
-                    if let Some(acc) = dst.get_mut(k) {
-                        acc.merge(class.states[qi].mode, st);
-                        merge_cpu.agg_updates += 1;
-                    } else {
-                        merge_cpu.hash_builds += 1;
-                        dst.insert(k.clone(), *st);
-                    }
-                }
+                let st = &class.states[qi];
+                st.pipeline.kernel().merge_partial(
+                    &mut merged[qi],
+                    part_groups,
+                    st.mode,
+                    &mut merge_cpu,
+                );
             }
         }
         let results: Vec<QueryResult> = class
             .states
             .iter()
             .zip(merged)
-            .map(|(st, groups)| {
+            .map(|(st, acc)| {
                 QueryResult::from_groups(
                     st.query.clone(),
-                    groups.into_iter().map(|(k, a)| (k, a.value(st.mode))),
+                    st.pipeline
+                        .kernel()
+                        .into_groups(acc)
+                        .into_iter()
+                        .map(|(k, a)| (k, a.value(st.mode))),
                 )
             })
             .collect();

@@ -47,7 +47,8 @@ pub fn reference_eval(cube: &Cube, table: TableId, query: &GroupByQuery) -> Quer
                     .stored_level(d)
                     .expect("pred on an All dimension is unanswerable");
                 let rolled = schema.dim(d).roll_up(keys[d], stored, *level);
-                if !members.contains(&rolled) {
+                // `MemberPred::In` members are sorted + deduplicated.
+                if members.binary_search(&rolled).is_err() {
                     continue 'tuples;
                 }
             }

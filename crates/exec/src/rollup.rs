@@ -13,19 +13,140 @@
 //! instead of redundantly building and probing" saving), and building those
 //! tables costs one hash insert per dimension row.
 
-use starshare_olap::{GroupBy, GroupByQuery, LevelRef, StarSchema};
-use starshare_storage::CpuCounters;
+use starshare_olap::{CombineMode, GroupBy, GroupByQuery, LevelRef, StarSchema};
+use starshare_storage::{CpuCounters, ScanBatch};
 
 use crate::error::ExecError;
+use crate::kernel::{AggKernel, GroupAcc, KernelTier};
 
-/// One compiled predicate: roll the stored key up by `divisor`, then test
-/// membership.
+/// Stored-key domains up to this size (1 Ki words = 8 KiB, L1-resident) get
+/// the roll-up divisor folded into the bitset at compile time, making the
+/// hot membership test a single divisionless bit probe.
+const STORED_BITSET_MAX_DOMAIN: u64 = 1 << 16;
+
+/// Member domains up to this size get a word-level bitset membership test
+/// on the *rolled* key (16 words max); larger domains binary-search the
+/// sorted member list.
+const ROLLED_BITSET_MAX_DOMAIN: u32 = 1024;
+
+/// How a compiled predicate tests membership.
+#[derive(Debug, Clone)]
+enum PredTest {
+    /// Bit `k` set iff *stored* key `k` rolls up to a qualifying member —
+    /// the roll-up division is pre-applied over the whole stored domain at
+    /// compile time.
+    StoredBitset(Vec<u64>),
+    /// Bit `m` set iff member `m` qualifies; indexed by the rolled key.
+    RolledBitset(Vec<u64>),
+    /// Roll up, then binary-search the sorted member list.
+    Sorted,
+}
+
+/// One compiled predicate on a stored-key dimension.
 #[derive(Debug, Clone)]
 struct PredStep {
     dim: usize,
     divisor: u32,
     /// Sorted member ids at the predicate level.
     members: Vec<u32>,
+    test: PredTest,
+}
+
+#[inline]
+fn bit_set(words: &[u64], k: u32) -> bool {
+    words
+        .get((k / 64) as usize)
+        .is_some_and(|w| w >> (k % 64) & 1 == 1)
+}
+
+impl PredStep {
+    fn compile(dim: usize, divisor: u32, members: Vec<u32>, domain: u32) -> Self {
+        debug_assert!(
+            members.windows(2).all(|w| w[0] < w[1]),
+            "predicate members must be sorted and deduplicated"
+        );
+        let stored_domain = domain as u64 * divisor as u64;
+        let test = if stored_domain <= STORED_BITSET_MAX_DOMAIN {
+            let mut words = vec![0u64; (stored_domain as usize).div_ceil(64).max(1)];
+            for &m in &members {
+                // Every stored key in [m·divisor, (m+1)·divisor) rolls up
+                // to member m.
+                for k in m * divisor..(m + 1) * divisor {
+                    words[(k / 64) as usize] |= 1 << (k % 64);
+                }
+            }
+            PredTest::StoredBitset(words)
+        } else if domain <= ROLLED_BITSET_MAX_DOMAIN {
+            let mut words = vec![0u64; (domain as usize).div_ceil(64).max(1)];
+            for &m in &members {
+                words[(m / 64) as usize] |= 1 << (m % 64);
+            }
+            PredTest::RolledBitset(words)
+        } else {
+            PredTest::Sorted
+        };
+        PredStep {
+            dim,
+            divisor,
+            members,
+            test,
+        }
+    }
+
+    /// Membership test on the *stored* key (the roll-up happens inside,
+    /// where the compiled representation can skip it).
+    #[inline]
+    fn matches_stored(&self, key: u32) -> bool {
+        match &self.test {
+            PredTest::StoredBitset(words) => bit_set(words, key),
+            PredTest::RolledBitset(words) => bit_set(words, key / self.divisor),
+            PredTest::Sorted => self.members.binary_search(&(key / self.divisor)).is_ok(),
+        }
+    }
+
+    /// Applies this predicate to one batch column, narrowing the selection
+    /// vector. `seeded == false` means `sel` is conceptually all of
+    /// `0..col.len()` and gets rebuilt; otherwise `sel`'s rows are filtered
+    /// in place. The representation dispatch happens once per column, and
+    /// the per-element compaction is branchless, keeping the hot loop to a
+    /// load, a bit probe, and an unconditional store.
+    fn filter_col(&self, col: &[u32], sel: &mut Vec<u32>, seeded: bool) {
+        match &self.test {
+            PredTest::StoredBitset(words) => sift(col, sel, seeded, |k| bit_set(words, k)),
+            PredTest::RolledBitset(words) => {
+                let d = self.divisor;
+                sift(col, sel, seeded, |k| bit_set(words, k / d))
+            }
+            PredTest::Sorted => {
+                let d = self.divisor;
+                sift(col, sel, seeded, |k| {
+                    self.members.binary_search(&(k / d)).is_ok()
+                })
+            }
+        }
+    }
+}
+
+/// Branchless selection-vector compaction: writes the row index on every
+/// iteration and advances the output cursor only when `keep` holds.
+#[inline]
+fn sift(col: &[u32], sel: &mut Vec<u32>, seeded: bool, keep: impl Fn(u32) -> bool) {
+    let mut out = 0usize;
+    if !seeded {
+        sel.clear();
+        sel.resize(col.len(), 0);
+        for (i, &k) in col.iter().enumerate() {
+            sel[out] = i as u32;
+            out += keep(k) as usize;
+        }
+    } else {
+        for j in 0..sel.len() {
+            let i = sel[j];
+            sel[out] = i;
+            out += keep(col[i as usize]) as usize;
+        }
+    }
+    sel.truncate(out);
 }
 
 /// A query compiled against a specific source table.
@@ -40,6 +161,9 @@ pub struct DimPipeline {
     /// Rows to insert when building the needed dimension hash tables: the
     /// summed cardinality of the probed dimensions at their stored levels.
     build_rows: u64,
+    /// The aggregation kernel chosen from the target group-by's exact
+    /// cardinalities.
+    kernel: AggKernel,
 }
 
 impl DimPipeline {
@@ -60,6 +184,7 @@ impl DimPipeline {
         }
         let mut preds = Vec::new();
         let mut agg_extract = Vec::new();
+        let mut agg_cards = Vec::new();
         let mut probe_mask = 0u64;
         let mut build_rows = 0u64;
         for d in 0..schema.n_dims() {
@@ -71,14 +196,16 @@ impl DimPipeline {
             let mut needs_probe = false;
             if let LevelRef::Level(t) = query.group_by.level(d) {
                 agg_extract.push((d, dim.cardinality(s) / dim.cardinality(t)));
+                agg_cards.push(dim.cardinality(t));
                 needs_probe |= t > s;
             }
             if let starshare_olap::MemberPred::In { level: p, members } = &query.preds[d] {
-                preds.push(PredStep {
-                    dim: d,
-                    divisor: dim.cardinality(s) / dim.cardinality(*p),
-                    members: members.clone(),
-                });
+                preds.push(PredStep::compile(
+                    d,
+                    dim.cardinality(s) / dim.cardinality(*p),
+                    members.clone(),
+                    dim.cardinality(*p),
+                ));
                 needs_probe |= *p > s;
             }
             if needs_probe {
@@ -86,12 +213,28 @@ impl DimPipeline {
                 build_rows += dim.cardinality(s) as u64;
             }
         }
+        debug_assert_eq!(
+            agg_cards,
+            query.group_by.key_cardinalities(schema),
+            "grouped dimensions must line up with the query's key space"
+        );
         Ok(DimPipeline {
+            kernel: AggKernel::compile(agg_extract.clone(), agg_cards),
             preds,
             agg_extract,
             probe_mask,
             build_rows,
         })
+    }
+
+    /// The compiled aggregation kernel.
+    pub fn kernel(&self) -> &AggKernel {
+        &self.kernel
+    }
+
+    /// Which representation the aggregation kernel compiled to.
+    pub fn kernel_tier(&self) -> KernelTier {
+        self.kernel.tier()
     }
 
     /// Dimensions needing a dimension-table probe, as a bit mask.
@@ -118,12 +261,55 @@ impl DimPipeline {
                 continue;
             }
             cpu.predicate_evals += 1;
-            let rolled = keys[p.dim] / p.divisor;
-            if p.members.binary_search(&rolled).is_err() {
+            if !p.matches_stored(keys[p.dim]) {
                 return false;
             }
         }
         true
+    }
+
+    /// Feeds a whole columnar [`ScanBatch`] into `acc`: a selection-vector
+    /// cascade over the predicate columns, then the kernel absorbs the
+    /// survivors straight from the batch.
+    ///
+    /// Charge-equivalent to calling [`filter_skipping`](Self::filter_skipping)
+    /// plus [`AggKernel::absorb`] on every row: predicate `k` runs (and
+    /// charges one `predicate_evals`) exactly for the rows that survived
+    /// predicates `1..k` — the same rows the per-row short-circuit would
+    /// have reached it with — and survivors absorb in row order, so
+    /// results, counters, and the simulated clock are bit-identical to the
+    /// row-at-a-time path. Only the memory access pattern changes: each
+    /// predicate streams one dense `u32` column instead of striding across
+    /// row-major tuples.
+    #[allow(clippy::too_many_arguments)]
+    pub fn feed_batch(
+        &self,
+        mode: CombineMode,
+        skip_mask: u64,
+        batch: &ScanBatch,
+        acc: &mut GroupAcc,
+        sel: &mut Vec<u32>,
+        scratch: &mut Vec<u32>,
+        cpu: &mut CpuCounters,
+    ) {
+        let n = batch.len();
+        let mut seeded = false;
+        for p in &self.preds {
+            if skip_mask & (1 << p.dim) != 0 {
+                continue;
+            }
+            cpu.predicate_evals += if seeded { sel.len() } else { n } as u64;
+            p.filter_col(batch.col(p.dim), sel, seeded);
+            seeded = true;
+        }
+        if !seeded {
+            sel.clear();
+            sel.extend(0..n as u32);
+        }
+        for &i in sel.iter() {
+            self.kernel
+                .absorb_row(acc, mode, batch, i as usize, scratch, cpu);
+        }
     }
 
     /// Extracts the aggregation key (rolled to the target levels) into

@@ -441,7 +441,12 @@ pub fn combine_mode(agg: AggFn, source: MeasureKind) -> CombineMode {
 
 /// Per-group accumulator shared by materialization, the executor's
 /// aggregation hash tables, and the reference evaluator.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// `Default` is the *unoccupied* placeholder the executor's dense kernel
+/// fills its flat slot array with; a slot's value is only meaningful once
+/// its occupancy bit is set (the first real measure arrives via
+/// [`AggState::first`]).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct AggState {
     acc: f64,
     n: u64,

@@ -166,6 +166,31 @@ impl GroupBy {
             })
             .product()
     }
+
+    /// Cardinality of each *grouped* dimension at its target level, in
+    /// dimension order (`All` dimensions are omitted — they contribute no
+    /// key component). These are the radixes of a mixed-radix packing of
+    /// the aggregation key.
+    pub fn key_cardinalities(&self, schema: &StarSchema) -> Vec<u32> {
+        self.levels
+            .iter()
+            .enumerate()
+            .filter_map(|(d, lr)| match lr {
+                LevelRef::Level(l) => Some(schema.dim(d).cardinality(*l)),
+                LevelRef::All => None,
+            })
+            .collect()
+    }
+
+    /// Exact number of possible group keys at this group-by, or `None` when
+    /// the product overflows `u64` (only pathologically wide schemas). The
+    /// executor uses this to pick an aggregation kernel tier at compile
+    /// time: small → dense array, fits-in-u64 → packed hash, else spill.
+    pub fn exact_combinations(&self, schema: &StarSchema) -> Option<u64> {
+        self.key_cardinalities(schema)
+            .into_iter()
+            .try_fold(1u64, |acc, c| acc.checked_mul(c as u64))
+    }
 }
 
 /// A per-dimension selection predicate.
@@ -515,6 +540,31 @@ mod tests {
         assert_eq!(gb.combinations(&s), 81.0);
         let gball = GroupBy::parse(&s, "A*B*C*D*").unwrap();
         assert_eq!(gball.combinations(&s), 1.0);
+    }
+
+    #[test]
+    fn key_cardinalities_and_exact_combinations() {
+        let s = schema();
+        let gb = GroupBy::parse(&s, "A'B''C*D").unwrap();
+        assert_eq!(gb.key_cardinalities(&s), vec![6, 3, 7200]);
+        assert_eq!(gb.exact_combinations(&s), Some(6 * 3 * 7200));
+        assert_eq!(
+            gb.exact_combinations(&s).map(|n| n as f64),
+            Some(gb.combinations(&s))
+        );
+        let all = GroupBy::parse(&s, "A*B*C*D*").unwrap();
+        assert_eq!(all.key_cardinalities(&s), Vec::<u32>::new());
+        assert_eq!(all.exact_combinations(&s), Some(1));
+        // Overflow: seven dimensions of 2^10 members each exceed u64.
+        let wide = StarSchema::new(
+            (0..7)
+                .map(|i| Dimension::uniform(format!("X{i}"), 1 << 10, &[]))
+                .collect(),
+            "m",
+        );
+        let fine = GroupBy::finest(7);
+        assert_eq!(fine.exact_combinations(&wide), None);
+        assert!(fine.combinations(&wide) > u64::MAX as f64);
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! bitmap join indexes in `starshare-bitmap` can use positions as bit
 //! indexes, exactly like the paper's "use the tuples' position" routing.
 
+use crate::batch::ScanBatch;
 use crate::buffer::{AccessKind, BufferPool};
 use crate::page::{FileId, PageId, PAGE_SIZE};
 use crate::tuple::TupleLayout;
@@ -152,6 +153,21 @@ impl HeapFile {
         }
     }
 
+    /// Starts an accounted page-batched scan over tuple positions
+    /// `start..end` (clamped to the table). Each [`BatchCursor::next_into`]
+    /// call decodes the rest of one page into a columnar [`ScanBatch`] and
+    /// charges exactly one sequential access for it — the same accesses, in
+    /// the same order, as [`scan_range`](Self::scan_range) over the same
+    /// positions, so `IoStats` are identical between the two paths.
+    pub fn scan_batches(&self, start: u64, end: u64) -> BatchCursor<'_> {
+        let end = end.min(self.n_tuples);
+        BatchCursor {
+            heap: self,
+            pos: start.min(end),
+            end,
+        }
+    }
+
     fn locate(&self, pos: u64) -> (usize, usize) {
         let per_page = self.layout.tuples_per_page() as u64;
         let page = (pos / per_page) as usize;
@@ -191,6 +207,46 @@ impl<'a> ScanCursor<'a> {
         let m = self.heap.read_at(self.pos, keys_out);
         self.pos += 1;
         Some(m)
+    }
+
+    /// Tuples remaining.
+    pub fn remaining(&self) -> u64 {
+        self.end - self.pos
+    }
+}
+
+/// Cursor over a heap file that decodes one page per step into a columnar
+/// [`ScanBatch`], charging one sequential page access per batch.
+#[derive(Debug)]
+pub struct BatchCursor<'a> {
+    heap: &'a HeapFile,
+    pos: u64,
+    end: u64,
+}
+
+impl<'a> BatchCursor<'a> {
+    /// Fills `batch` with the tuples from the current position to the end of
+    /// its page (or the scan's end, whichever is first). Returns `false` at
+    /// end of range, leaving `batch` untouched.
+    pub fn next_into(&mut self, pool: &mut BufferPool, batch: &mut ScanBatch) -> bool {
+        if self.pos >= self.end {
+            return false;
+        }
+        let per_page = self.heap.layout.tuples_per_page() as u64;
+        let page = self.heap.page_of(self.pos);
+        pool.access(self.heap.file_id, page, AccessKind::Sequential);
+        let page_end = (page as u64 + 1) * per_page;
+        let batch_end = self.end.min(page_end);
+        let first_slot = (self.pos % per_page) as usize;
+        batch.fill(
+            &self.heap.layout,
+            &self.heap.pages[page as usize],
+            first_slot,
+            (batch_end - self.pos) as usize,
+            self.pos,
+        );
+        self.pos = batch_end;
+        true
     }
 
     /// Tuples remaining.
@@ -325,6 +381,60 @@ mod tests {
         let mut pos = 0u64;
         cursor.next_into(&mut pool, &mut keys, &mut pos);
         assert_eq!(cursor.remaining(), 2);
+    }
+
+    #[test]
+    fn batch_scan_matches_cursor_scan_exactly() {
+        let layout = TupleLayout::new(2);
+        let per_page = layout.tuples_per_page() as u64;
+        let n = per_page * 3 + 5;
+        let h = small_heap(n);
+        // Ranges: full table, page-aligned slice, unaligned slice, clamped.
+        for (lo, hi) in [
+            (0, n),
+            (per_page, per_page * 2),
+            (per_page / 2, per_page * 2 + 3),
+            (0, n + 100),
+        ] {
+            let mut cur_pool = BufferPool::new(100);
+            let mut cursor = h.scan_range(lo, hi);
+            let mut keys = [0u32; 2];
+            let mut pos = 0u64;
+            let mut expected = Vec::new();
+            while let Some(m) = cursor.next_into(&mut cur_pool, &mut keys, &mut pos) {
+                expected.push((pos, keys.to_vec(), m));
+            }
+
+            let mut batch_pool = BufferPool::new(100);
+            let mut batches = h.scan_batches(lo, hi);
+            assert_eq!(batches.remaining(), hi.min(n) - lo.min(n));
+            let mut batch = ScanBatch::new(layout);
+            let mut got = Vec::new();
+            while batches.next_into(&mut batch_pool, &mut batch) {
+                for i in 0..batch.len() {
+                    let mut k = [0u32; 2];
+                    batch.keys_into(i, &mut k);
+                    assert_eq!(k, [batch.key(0, i), batch.key(1, i)]);
+                    got.push((batch.pos(i), k.to_vec(), batch.measure(i)));
+                }
+            }
+            assert_eq!(got, expected, "tuples differ for range {lo}..{hi}");
+            assert_eq!(
+                batch_pool.stats(),
+                cur_pool.stats(),
+                "I/O accounting differs for range {lo}..{hi}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_scan_empty_range_touches_nothing() {
+        let h = small_heap(10);
+        let mut pool = BufferPool::new(10);
+        let mut batches = h.scan_batches(10, 10);
+        let mut batch = ScanBatch::new(h.layout());
+        assert!(!batches.next_into(&mut pool, &mut batch));
+        assert_eq!(pool.stats().accesses(), 0);
     }
 
     #[test]

@@ -21,14 +21,16 @@
 //! Nothing here is mocked: heap files hold real bytes, scans return real
 //! tuples, the buffer pool really evicts. The only simulation is the clock.
 
+pub mod batch;
 pub mod buffer;
 pub mod heap;
 pub mod model;
 pub mod page;
 pub mod tuple;
 
+pub use batch::ScanBatch;
 pub use buffer::{AccessKind, BufferPool, IoStats};
-pub use heap::{HeapFile, ScanCursor};
+pub use heap::{BatchCursor, HeapFile, ScanCursor};
 pub use model::{CpuCounters, HardwareModel, SimTime};
 pub use page::{FileId, PageId, PAGE_SIZE};
 pub use tuple::TupleLayout;

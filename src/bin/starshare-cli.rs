@@ -106,9 +106,12 @@ fn print_tables(engine: &Engine) {
     }
 }
 
-fn run_mdx(engine: &mut Engine, mdx: &str, show_plan: bool) {
+fn run_mdx(engine: &mut Engine, mdx: &str, show_plan: bool) -> bool {
     match engine.mdx(mdx) {
-        Err(e) => eprintln!("error: {e}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            false
+        }
         Ok(out) => {
             if show_plan {
                 print!("{}", starshare::explain_tree(engine.cube(), &out.plan));
@@ -130,6 +133,7 @@ fn run_mdx(engine: &mut Engine, mdx: &str, show_plan: bool) {
                 out.report.io.seq_faults,
                 out.report.io.random_faults
             );
+            true
         }
     }
 }
@@ -178,7 +182,8 @@ fn repl(mut engine: Engine) {
         buf.push_str(&line);
         if buf.contains(';') {
             let mdx = std::mem::take(&mut buf);
-            run_mdx(&mut engine, &mdx, show_plan);
+            // REPL keeps going after a bad expression.
+            let _ = run_mdx(&mut engine, &mdx, show_plan);
         }
     }
 }
@@ -209,7 +214,9 @@ fn main() {
             }
             let mut engine = make_engine(&o);
             let mdx = o.rest.join(" ");
-            run_mdx(&mut engine, &mdx, true);
+            if !run_mdx(&mut engine, &mdx, true) {
+                std::process::exit(1);
+            }
         }
         "repl" => repl(make_engine(&o)),
         "tables" => print_tables(&make_engine(&o)),
