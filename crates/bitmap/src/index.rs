@@ -164,6 +164,26 @@ impl BitmapJoinIndex {
         Some(bm)
     }
 
+    /// Fault-checked variant of [`lookup`](Self::lookup): each index page
+    /// access goes through [`BufferPool::try_access`], so an armed fault
+    /// injector can deny the load. Pages read before the denial stay
+    /// charged (they really were read); a retry re-touches them as pool
+    /// hits, leaving residency — and therefore the answer — unchanged.
+    pub fn try_lookup(
+        &self,
+        member: u32,
+        pool: &mut BufferPool,
+    ) -> Result<Option<&Bitmap>, starshare_storage::FaultError> {
+        let Some(bm) = self.bitmaps.get(&member) else {
+            return Ok(None);
+        };
+        let (first, count) = self.page_ranges[&member];
+        for p in first..first + count {
+            pool.try_access(self.file_id, p, AccessKind::Sequential)?;
+        }
+        Ok(Some(bm))
+    }
+
     /// Unaccounted access (tests, planning-time size inspection).
     pub fn peek(&self, member: u32) -> Option<&Bitmap> {
         self.bitmaps.get(&member)

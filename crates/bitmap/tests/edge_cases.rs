@@ -1,0 +1,151 @@
+//! Edge-case coverage for the bitmap representations: the places where
+//! off-by-one bugs live — bit 0, the last bit, and the 64-bit word seams —
+//! plus an OR/AND oracle check against a naive set-of-positions model for
+//! disjoint, overlapping, and nested operand shapes.
+
+use std::collections::BTreeSet;
+
+use starshare_bitmap::{Bitmap, RleBitmap};
+use starshare_prng::Prng;
+
+/// Lengths that stress the word-boundary handling: exactly one word, one
+/// bit short of / past a word, several words, and a ragged tail.
+const SEAM_LENS: [u64; 6] = [1, 63, 64, 65, 128, 193];
+
+#[test]
+fn single_bit_runs_at_every_seam() {
+    for &len in &SEAM_LENS {
+        for pos in [0, len / 2, len.saturating_sub(1)] {
+            let bm = Bitmap::from_positions(len, &[pos]);
+            let rle = RleBitmap::from_bitmap(&bm);
+            assert_eq!(rle.run_count(), 1, "len {len} pos {pos}");
+            assert_eq!(rle.runs()[0].start, pos);
+            assert_eq!(rle.runs()[0].len, 1);
+            assert_eq!(rle.count_ones(), 1);
+            assert_eq!(rle.to_bitmap(), bm);
+            for p in 0..len {
+                assert_eq!(rle.get(p), p == pos, "len {len} pos {pos} probe {p}");
+            }
+            assert_eq!(bm.iter_ones().collect::<Vec<_>>(), vec![pos]);
+        }
+    }
+}
+
+#[test]
+fn empty_and_full_bitmaps_at_every_seam() {
+    for &len in &SEAM_LENS {
+        let empty = Bitmap::new(len);
+        assert!(empty.is_zero());
+        assert_eq!(empty.count_ones(), 0);
+        assert_eq!(RleBitmap::from_bitmap(&empty).run_count(), 0);
+
+        // `ones` must mask the tail word: a full bitmap of ragged length
+        // has exactly `len` ones, not a word's worth.
+        let full = Bitmap::ones(len);
+        assert_eq!(full.count_ones(), len, "tail word not masked at len {len}");
+        let rle = RleBitmap::from_bitmap(&full);
+        assert_eq!(rle.run_count(), 1);
+        assert_eq!(rle.runs()[0].start, 0);
+        assert_eq!(rle.runs()[0].len, len);
+        assert_eq!(full.iter_ones().count() as u64, len);
+        assert!(!full.intersects(&empty));
+        assert!(full.intersects(&full));
+    }
+}
+
+#[test]
+fn runs_spanning_word_boundaries_round_trip() {
+    // A run that straddles the 64-bit seam must stay one run, and a pair
+    // separated by exactly one clear bit at the seam must stay two.
+    let straddle = Bitmap::from_positions(130, &[62, 63, 64, 65]);
+    let rle = RleBitmap::from_bitmap(&straddle);
+    assert_eq!(rle.run_count(), 1);
+    assert_eq!(rle.runs()[0].start, 62);
+    assert_eq!(rle.runs()[0].len, 4);
+
+    let split = Bitmap::from_positions(130, &[63, 65, 127, 129]);
+    let rle = RleBitmap::from_bitmap(&split);
+    assert_eq!(rle.run_count(), 4);
+    assert_eq!(rle.to_bitmap(), split);
+    for p in [63, 64, 65, 126, 127, 128, 129] {
+        assert_eq!(rle.get(p), split.get(p), "probe {p}");
+    }
+}
+
+fn to_set(bm: &Bitmap) -> BTreeSet<u64> {
+    bm.iter_ones().collect()
+}
+
+fn check_combinators(len: u64, a_pos: &[u64], b_pos: &[u64]) {
+    let a = Bitmap::from_positions(len, a_pos);
+    let b = Bitmap::from_positions(len, b_pos);
+    let sa: BTreeSet<u64> = a_pos.iter().copied().collect();
+    let sb: BTreeSet<u64> = b_pos.iter().copied().collect();
+
+    let mut or = a.clone();
+    or.or_assign(&b);
+    assert_eq!(to_set(&or), &sa | &sb, "OR disagrees with set union");
+
+    let mut and = a.clone();
+    and.and_assign(&b);
+    assert_eq!(
+        to_set(&and),
+        &sa & &sb,
+        "AND disagrees with set intersection"
+    );
+
+    let mut diff = a.clone();
+    diff.and_not_assign(&b);
+    assert_eq!(
+        to_set(&diff),
+        &sa - &sb,
+        "AND-NOT disagrees with set difference"
+    );
+
+    assert_eq!(
+        a.intersects(&b),
+        !(&sa & &sb).is_empty(),
+        "intersects disagrees with set model"
+    );
+    // OR through RLE and back changes nothing.
+    assert_eq!(RleBitmap::from_bitmap(&or).to_bitmap(), or);
+}
+
+#[test]
+fn or_disjoint_overlapping_nested_match_the_set_oracle() {
+    // Disjoint: evens vs odds, including both ends of the range.
+    let evens: Vec<u64> = (0..130).step_by(2).collect();
+    let odds: Vec<u64> = (1..130).step_by(2).collect();
+    check_combinators(130, &evens, &odds);
+
+    // Overlapping: two dense blocks sharing the word-seam region.
+    let left: Vec<u64> = (0..80).collect();
+    let right: Vec<u64> = (56..130).collect();
+    check_combinators(130, &left, &right);
+
+    // Nested: one operand strictly inside the other.
+    let outer: Vec<u64> = (10..120).collect();
+    let inner: Vec<u64> = (60..70).collect();
+    check_combinators(130, &outer, &inner);
+
+    // Degenerate operands.
+    check_combinators(130, &[], &[]);
+    check_combinators(130, &[0, 129], &[]);
+    check_combinators(1, &[0], &[0]);
+}
+
+#[test]
+fn randomized_combinators_match_the_set_oracle() {
+    let mut rng = Prng::seed_from_u64(0x0B17_0E5E);
+    for _ in 0..64 {
+        let len = rng.gen_range(1u64..300);
+        let draw = |rng: &mut Prng| -> Vec<u64> {
+            let n = rng.gen_range(0usize..80);
+            let set: BTreeSet<u64> = (0..n).map(|_| rng.gen_range(0..len)).collect();
+            set.into_iter().collect()
+        };
+        let a = draw(&mut rng);
+        let b = draw(&mut rng);
+        check_combinators(len, &a, &b);
+    }
+}

@@ -8,7 +8,7 @@ use starshare_exec::{
 use starshare_mdx::{bind, parse, BoundMdx};
 use starshare_olap::{paper_cube, Cube, GroupByQuery, PaperCubeSpec};
 use starshare_opt::{CostModel, GlobalPlan, JoinMethod, OptimizerKind};
-use starshare_storage::HardwareModel;
+use starshare_storage::{FaultPlan, FaultStats, HardwareModel};
 
 use crate::error::{Error, Result};
 
@@ -36,17 +36,77 @@ pub struct MdxOutcome {
     pub report: ExecReport,
 }
 
+/// One expression's share of a batched MDX round trip: its binding plus a
+/// per-query outcome for each bound query, in binding order.
+#[derive(Debug)]
+pub struct ExprOutcome {
+    /// What the expression bound to.
+    pub bound: BoundMdx,
+    /// One outcome per bound query: the result, or the typed error that
+    /// took that query (and only that query) down.
+    pub results: Vec<Result<QueryResult>>,
+}
+
+impl ExprOutcome {
+    /// True when every query of this expression answered.
+    pub fn all_ok(&self) -> bool {
+        self.results.iter().all(Result::is_ok)
+    }
+}
+
 /// The outcome of a batched MDX round trip ([`Engine::mdx_many`]).
+///
+/// Failure is *per query*, not first-error-wins: a parse/bind error fails
+/// only its expression's slot, and an execution fault fails only the
+/// queries it actually touched — every other query in the batch still
+/// carries its result. Only batch-level failures (the optimizer rejecting
+/// the pooled query set) surface as `Err` from
+/// [`mdx_many`](Engine::mdx_many) itself.
 #[derive(Debug)]
 pub struct MdxManyOutcome {
-    /// Per-expression bindings, in input order.
-    pub bounds: Vec<BoundMdx>,
-    /// The single global plan covering every expression's queries.
+    /// The single global plan covering every successfully bound
+    /// expression's queries.
     pub plan: GlobalPlan,
-    /// Per-expression results, each in that expression's binding order.
-    pub results: Vec<Vec<QueryResult>>,
-    /// Execution totals.
+    /// One outcome per input expression, in input order: `Err` when the
+    /// expression failed to parse or bind, otherwise its per-query
+    /// results.
+    pub outcomes: Vec<Result<ExprOutcome>>,
+    /// Execution totals (the classes that ran).
     pub report: ExecReport,
+}
+
+impl MdxManyOutcome {
+    /// True when every expression bound and every query answered.
+    pub fn all_ok(&self) -> bool {
+        self.outcomes
+            .iter()
+            .all(|o| o.as_ref().is_ok_and(ExprOutcome::all_ok))
+    }
+
+    /// Total failed queries plus failed expressions.
+    pub fn n_failed(&self) -> usize {
+        self.outcomes
+            .iter()
+            .map(|o| match o {
+                Ok(oc) => oc.results.iter().filter(|r| r.is_err()).count(),
+                Err(_) => 1,
+            })
+            .sum()
+    }
+}
+
+/// The result of executing one [`GlobalPlan`] with per-query degradation
+/// ([`Engine::execute_plan_degraded`]): a failure takes down exactly the
+/// queries of the class it struck, never the whole plan.
+#[derive(Debug)]
+pub struct DegradedExecution {
+    /// One outcome per query, in the plan's assignment order.
+    pub results: Vec<Result<QueryResult>>,
+    /// One report per class, in class order (a failed class reports only
+    /// the defaults — its partial work is not separable).
+    pub per_class: Vec<ExecReport>,
+    /// Totals across the classes that completed.
+    pub total: ExecReport,
 }
 
 /// An OLAP engine over one cube.
@@ -235,13 +295,17 @@ impl Engine {
     /// algorithm), execute.
     ///
     /// A thin wrapper over [`mdx_many`](Engine::mdx_many) with a singleton
-    /// batch — both paths share one implementation.
+    /// batch — both paths share one implementation. With only one
+    /// expression there is nothing to degrade to, so the first per-query
+    /// error (if any) becomes the call's error.
     pub fn mdx(&mut self, text: &str) -> Result<MdxOutcome> {
         let mut many = self.mdx_many(&[text])?;
+        let outcome = many.outcomes.pop().expect("one expression in, one out")?;
+        let results = outcome.results.into_iter().collect::<Result<Vec<_>>>()?;
         Ok(MdxOutcome {
-            bound: many.bounds.pop().expect("one expression in, one out"),
+            bound: outcome.bound,
             plan: many.plan,
-            results: many.results.pop().expect("one expression in, one out"),
+            results,
             report: many.report,
         })
     }
@@ -251,69 +315,102 @@ impl Engine {
     /// so sharing can cross expression boundaries (the paper optimizes per
     /// expression; a multi-user OLAP server sees exactly this batch shape).
     ///
+    /// Failures degrade per query, not per batch: an expression that fails
+    /// to parse or bind occupies an `Err` outcome slot, and an execution
+    /// fault (see [`inject_faults`](Engine::inject_faults)) fails only the
+    /// queries sharing the struck operator — everything else still
+    /// answers. The call itself errs only on batch-level failures (the
+    /// optimizer rejecting the pooled query set).
+    ///
     /// When the result cache is enabled and *every* query in the batch is
     /// cached, the whole batch is served from memory with zero simulated
     /// cost.
-    ///
-    /// Returns one result list per input expression, in order.
     pub fn mdx_many(&mut self, texts: &[&str]) -> Result<MdxManyOutcome> {
-        let mut bounds = Vec::with_capacity(texts.len());
+        let mut bounds: Vec<Result<BoundMdx>> = Vec::with_capacity(texts.len());
         let mut all_queries = Vec::new();
         for text in texts {
-            let expr = parse(text)?;
-            let bound = bind(&self.cube.schema, &expr)?;
-            all_queries.extend(bound.queries.clone());
-            bounds.push(bound);
-        }
-        // A fully-cached batch is served from memory.
-        if let Some(cache) = &self.cache {
-            if let Some(results) = bounds
-                .iter()
-                .map(|b| {
-                    b.queries
-                        .iter()
-                        .map(|q| cache.get(q).cloned())
-                        .collect::<Option<Vec<_>>>()
-                })
-                .collect::<Option<Vec<_>>>()
+            match parse(text)
+                .map_err(Error::from)
+                .and_then(|expr| bind(&self.cube.schema, &expr).map_err(Error::from))
             {
-                return Ok(MdxManyOutcome {
-                    bounds,
-                    plan: GlobalPlan::default(),
-                    results,
-                    report: ExecReport::default(),
-                });
+                Ok(bound) => {
+                    all_queries.extend(bound.queries.clone());
+                    bounds.push(Ok(bound));
+                }
+                Err(e) => bounds.push(Err(e)),
             }
         }
+        type TakeFn<'a> = Box<dyn FnMut(&GroupByQuery) -> Result<QueryResult> + 'a>;
+        let finish = |bounds: Vec<Result<BoundMdx>>,
+                      plan: GlobalPlan,
+                      mut take: TakeFn<'_>,
+                      report: ExecReport| {
+            let outcomes = bounds
+                .into_iter()
+                .map(|b| {
+                    b.map(|bound| {
+                        let results = bound.queries.iter().map(&mut take).collect();
+                        ExprOutcome { bound, results }
+                    })
+                })
+                .collect();
+            MdxManyOutcome {
+                plan,
+                outcomes,
+                report,
+            }
+        };
+        // A fully-cached batch is served from memory.
+        if let Some(cache) = &self.cache {
+            if all_queries.iter().all(|q| cache.contains_key(q)) && !all_queries.is_empty() {
+                return Ok(finish(
+                    bounds,
+                    GlobalPlan::default(),
+                    Box::new(|q| Ok(cache.get(q).cloned().expect("checked above"))),
+                    ExecReport::default(),
+                ));
+            }
+        }
+        if all_queries.is_empty() {
+            // Every expression failed to parse/bind (or bound to nothing):
+            // no plan to run.
+            return Ok(finish(
+                bounds,
+                GlobalPlan::default(),
+                Box::new(|_| Err(Error::Exec(ExecError::new("expression bound no queries")))),
+                ExecReport::default(),
+            ));
+        }
         let plan = self.optimizer.run(&self.cost_model(), &all_queries)?;
-        let exec = self.execute_plan(&plan)?;
-        // Distribute results back to expressions (binding order within each).
-        let mut pool: Vec<Option<QueryResult>> = exec.results.into_iter().map(Some).collect();
-        let plan_queries: Vec<&GroupByQuery> = plan.assignments().map(|(_, q, _)| q).collect();
-        let mut per_expr = Vec::with_capacity(bounds.len());
-        for bound in &bounds {
-            let mut rs = Vec::with_capacity(bound.queries.len());
-            for q in &bound.queries {
+        let exec = self.execute_plan_degraded(&plan);
+        // Distribute outcomes back to expressions (binding order within
+        // each). Duplicate queries across expressions each consume one plan
+        // slot, in plan order.
+        let mut pool: Vec<Option<Result<QueryResult>>> =
+            exec.results.into_iter().map(Some).collect();
+        let plan_queries: Vec<GroupByQuery> =
+            plan.assignments().map(|(_, q, _)| q.clone()).collect();
+        let out = finish(
+            bounds,
+            plan,
+            Box::new(|q| {
                 let slot = plan_queries
                     .iter()
                     .enumerate()
-                    .position(|(i, pq)| pool[i].is_some() && *pq == q)
+                    .position(|(i, pq)| pool[i].is_some() && pq == q)
                     .ok_or_else(|| Error::Exec(ExecError::new("plan lost a query")))?;
-                rs.push(pool[slot].take().expect("checked above"));
-            }
-            per_expr.push(rs);
-        }
+                pool[slot].take().expect("checked above")
+            }),
+            exec.total,
+        );
         if let Some(cache) = &mut self.cache {
-            for r in per_expr.iter().flatten() {
-                cache.insert(r.query.clone(), r.clone());
+            for oc in out.outcomes.iter().flatten() {
+                for r in oc.results.iter().flatten() {
+                    cache.insert(r.query.clone(), r.clone());
+                }
             }
         }
-        Ok(MdxManyOutcome {
-            bounds,
-            plan,
-            results: per_expr,
-            report: exec.total,
-        })
+        Ok(out)
     }
 
     /// Optimizes a query set with a specific algorithm.
@@ -375,6 +472,112 @@ impl Engine {
             per_class,
             total,
         })
+    }
+
+    /// Executes a global plan with **per-query graceful degradation**: each
+    /// class runs independently, and a class that fails — an unrecovered
+    /// storage fault (see [`inject_faults`](Engine::inject_faults)) or a
+    /// plan-level operator error — yields `Err` for exactly its member
+    /// queries while every other class still executes and answers.
+    ///
+    /// Because a denied page access charges nothing (see
+    /// `starshare_storage::fault`), the surviving queries' results are
+    /// bit-identical to a fault-free run of the same plan.
+    ///
+    /// A failed class's report stays at the defaults: its partial work is
+    /// interleaved into the shared pool and not separable per class.
+    pub fn execute_plan_degraded(&mut self, plan: &GlobalPlan) -> DegradedExecution {
+        let mut results: Vec<Result<QueryResult>> = Vec::with_capacity(plan.n_queries());
+        let mut per_class = Vec::with_capacity(plan.classes.len());
+        let mut total = ExecReport::default();
+        for class in &plan.classes {
+            let hash_qs: Vec<GroupByQuery> = class
+                .plans
+                .iter()
+                .filter(|p| p.method == JoinMethod::Hash)
+                .map(|p| p.query.clone())
+                .collect();
+            let index_qs: Vec<GroupByQuery> = class
+                .plans
+                .iter()
+                .filter(|p| p.method == JoinMethod::Index)
+                .map(|p| p.query.clone())
+                .collect();
+            let class_run: std::result::Result<(Vec<QueryResult>, ExecReport), ExecError> =
+                if self.threads > 1 {
+                    // One class per call, so a faulted class cannot take
+                    // its neighbours down with it.
+                    starshare_exec::execute_classes(
+                        &mut self.ctx,
+                        &self.cube,
+                        std::slice::from_ref(&starshare_exec::ClassSpec {
+                            table: class.table,
+                            hash_queries: hash_qs.clone(),
+                            index_queries: index_qs.clone(),
+                        }),
+                        self.threads,
+                    )
+                    .map(|mut outs| {
+                        let out = outs.pop().expect("one class in, one out");
+                        (out.results, out.report)
+                    })
+                } else if hash_qs.is_empty() {
+                    shared_index_join(&mut self.ctx, &self.cube, class.table, &index_qs)
+                } else {
+                    shared_hybrid_join(&mut self.ctx, &self.cube, class.table, &hash_qs, &index_qs)
+                };
+            match class_run {
+                Ok((rs, rep)) => {
+                    // rs is ordered hash-then-index — map back to class
+                    // plan order.
+                    let mut hash_iter = rs.iter().take(hash_qs.len());
+                    let mut index_iter = rs.iter().skip(hash_qs.len());
+                    for p in &class.plans {
+                        let r = match p.method {
+                            JoinMethod::Hash => hash_iter.next(),
+                            JoinMethod::Index => index_iter.next(),
+                        }
+                        .expect("operator returns one result per query");
+                        results.push(Ok(r.clone()));
+                    }
+                    total.merge(&rep);
+                    per_class.push(rep);
+                }
+                Err(e) => {
+                    for _ in &class.plans {
+                        results.push(Err(Error::from(e.clone())));
+                    }
+                    per_class.push(ExecReport::default());
+                }
+            }
+        }
+        DegradedExecution {
+            results,
+            per_class,
+            total,
+        }
+    }
+
+    /// Arms deterministic fault injection on the engine's buffer pool: from
+    /// now on, fault-checked page reads on the sequential execution path
+    /// draw from `plan`'s seeded schedule (see
+    /// `starshare_storage::FaultPlan`). Queries whose reads fault past the
+    /// executor's bounded retry fail individually — see
+    /// [`mdx_many`](Engine::mdx_many) and
+    /// [`execute_plan_degraded`](Engine::execute_plan_degraded).
+    pub fn inject_faults(&mut self, plan: FaultPlan) {
+        self.ctx.pool.inject_faults(plan);
+    }
+
+    /// Disarms fault injection, returning the injector's tally (None if
+    /// none was armed).
+    pub fn clear_faults(&mut self) -> Option<FaultStats> {
+        self.ctx.pool.clear_faults()
+    }
+
+    /// The armed injector's running tally, if any.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.ctx.pool.fault_stats()
     }
 
     /// Executes a global plan on `threads` worker threads through the
@@ -572,12 +775,14 @@ mod tests {
             starshare_mdx::paper_queries::paper_query_text(3),
         ];
         let out = e.mdx_many(&texts).unwrap();
-        assert_eq!(out.results.len(), 3);
+        assert_eq!(out.outcomes.len(), 3);
+        assert!(out.all_ok());
         let base = e.cube().catalog.base_table().unwrap();
-        for (bound, rs) in out.bounds.iter().zip(&out.results) {
-            for (q, r) in bound.queries.iter().zip(rs) {
+        for outcome in &out.outcomes {
+            let oc = outcome.as_ref().unwrap();
+            for (q, r) in oc.bound.queries.iter().zip(&oc.results) {
                 let expect = reference_eval(e.cube(), base, q);
-                assert!(r.approx_eq(&expect, 1e-9));
+                assert!(r.as_ref().unwrap().approx_eq(&expect, 1e-9));
             }
         }
         // Batch plan shares across the three expressions: fewer classes
@@ -603,8 +808,14 @@ mod tests {
         let mut e = engine();
         let t = starshare_mdx::paper_queries::paper_query_text(1);
         let out = e.mdx_many(&[t, t]).unwrap();
-        assert_eq!(out.results.len(), 2);
-        assert!(out.results[0][0].approx_eq(&out.results[1][0], 1e-12));
+        assert_eq!(out.outcomes.len(), 2);
+        let a = out.outcomes[0].as_ref().unwrap().results[0]
+            .as_ref()
+            .unwrap();
+        let b = out.outcomes[1].as_ref().unwrap().results[0]
+            .as_ref()
+            .unwrap();
+        assert!(a.approx_eq(b, 1e-12));
     }
 
     #[test]
@@ -612,6 +823,62 @@ mod tests {
         let mut e = engine();
         assert!(e.mdx("this is not MDX").is_err());
         assert!(e.mdx("{Z1} on COLUMNS CONTEXT ABCD;").is_err());
+    }
+
+    #[test]
+    fn mdx_many_degrades_per_expression_on_parse_and_bind_errors() {
+        // One bad expression must not take the batch down: its slot errs,
+        // every other expression still answers (the satellite regression
+        // for the old first-error-wins behaviour).
+        let mut e = engine();
+        let good = starshare_mdx::paper_queries::paper_query_text(1);
+        let out = e
+            .mdx_many(&[
+                good,
+                "this is not MDX",
+                "{Z9} on COLUMNS CONTEXT ABCD;",
+                good,
+            ])
+            .unwrap();
+        assert_eq!(out.outcomes.len(), 4);
+        assert_eq!(out.n_failed(), 2);
+        assert!(!out.all_ok());
+        assert!(matches!(out.outcomes[1], Err(Error::Parse(_))));
+        assert!(matches!(out.outcomes[2], Err(Error::Bind(_))));
+        let base = e.cube().catalog.base_table().unwrap();
+        for i in [0, 3] {
+            let oc = out.outcomes[i].as_ref().unwrap();
+            assert!(oc.all_ok());
+            let r = oc.results[0].as_ref().unwrap();
+            let expect = reference_eval(e.cube(), base, &r.query);
+            assert!(r.approx_eq(&expect, 1e-9));
+        }
+    }
+
+    #[test]
+    fn all_parse_failures_still_return_per_expression_outcomes() {
+        let mut e = engine();
+        let out = e.mdx_many(&["nope", "also nope"]).unwrap();
+        assert_eq!(out.outcomes.len(), 2);
+        assert_eq!(out.n_failed(), 2);
+        assert_eq!(out.plan.n_queries(), 0);
+    }
+
+    #[test]
+    fn degraded_execution_matches_strict_execution_when_nothing_faults() {
+        let mut e = engine();
+        let queries = bind_paper_test(&e.cube().schema, 4).unwrap();
+        let plan = e.optimize(&queries, OptimizerKind::Gg).unwrap();
+        e.flush();
+        let strict = e.execute_plan(&plan).unwrap();
+        e.flush();
+        let degraded = e.execute_plan_degraded(&plan);
+        assert_eq!(degraded.results.len(), strict.results.len());
+        for (d, s) in degraded.results.iter().zip(&strict.results) {
+            assert_eq!(d.as_ref().unwrap().rows, s.rows, "bit-identical");
+        }
+        assert_eq!(degraded.total.sim, strict.total.sim);
+        assert_eq!(degraded.per_class.len(), plan.classes.len());
     }
 
     #[test]

@@ -13,6 +13,7 @@ use starshare_exec::ExecError;
 use starshare_mdx::{BindError, ParseError};
 use starshare_olap::OlapError;
 use starshare_opt::OptError;
+use starshare_storage::FaultError;
 
 /// An error from any stage of the engine's pipeline.
 #[derive(Debug)]
@@ -24,11 +25,31 @@ pub enum Error {
     Bind(BindError),
     /// Plan search failed (typically: a query no stored table answers).
     Optimize(OptError),
-    /// Physical execution failed.
+    /// Physical execution failed for a plan-level reason.
     Exec(ExecError),
+    /// A page read failed past the executor's bounded retry (an injected or
+    /// real storage fault). Queries failing this way degrade individually
+    /// in [`mdx_many`](crate::Engine::mdx_many) — the rest of the batch
+    /// still answers.
+    Fault(FaultError),
     /// The storage/data-model layer rejected an operation (e.g. an
     /// out-of-range key in [`append_facts`](crate::Engine::append_facts)).
     Storage(OlapError),
+}
+
+impl Error {
+    /// The underlying storage fault, if this is one.
+    pub fn fault(&self) -> Option<&FaultError> {
+        match self {
+            Error::Fault(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// True for unrecovered storage faults.
+    pub fn is_fault(&self) -> bool {
+        matches!(self, Error::Fault(_))
+    }
 }
 
 impl fmt::Display for Error {
@@ -38,6 +59,7 @@ impl fmt::Display for Error {
             Error::Bind(e) => write!(f, "bind error: {e}"),
             Error::Optimize(e) => write!(f, "optimize error: {e}"),
             Error::Exec(e) => write!(f, "execution error: {e}"),
+            Error::Fault(e) => write!(f, "storage fault: {e}"),
             Error::Storage(e) => write!(f, "storage error: {e}"),
         }
     }
@@ -50,6 +72,7 @@ impl std::error::Error for Error {
             Error::Bind(e) => Some(e),
             Error::Optimize(e) => Some(e),
             Error::Exec(e) => Some(e),
+            Error::Fault(e) => Some(e),
             Error::Storage(e) => Some(e),
         }
     }
@@ -75,7 +98,16 @@ impl From<OptError> for Error {
 
 impl From<ExecError> for Error {
     fn from(e: ExecError) -> Self {
-        Error::Exec(e)
+        match e {
+            ExecError::Fault(f) => Error::Fault(f),
+            other => Error::Exec(other),
+        }
+    }
+}
+
+impl From<FaultError> for Error {
+    fn from(e: FaultError) -> Self {
+        Error::Fault(e)
     }
 }
 
@@ -109,5 +141,22 @@ mod tests {
             Error::from(OlapError::new("x")),
             Error::Storage(_)
         ));
+    }
+
+    #[test]
+    fn exec_faults_route_to_the_fault_variant() {
+        use starshare_storage::{FaultKind, FileId};
+        let f = FaultError {
+            file: FileId(1),
+            page: 2,
+            kind: FaultKind::TransientRead,
+            access_no: 3,
+        };
+        let e = Error::from(ExecError::from(f));
+        assert!(e.is_fault());
+        assert_eq!(e.fault(), Some(&f));
+        assert!(e.to_string().starts_with("storage fault:"), "{e}");
+        // Plan-level exec errors keep the Exec variant.
+        assert!(!Error::from(ExecError::new("bad plan")).is_fault());
     }
 }

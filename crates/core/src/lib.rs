@@ -26,7 +26,10 @@ pub mod engine;
 pub mod error;
 pub mod grid;
 
-pub use engine::{Engine, EngineBuilder, MdxManyOutcome, MdxOutcome, PlanExecution};
+pub use engine::{
+    DegradedExecution, Engine, EngineBuilder, ExprOutcome, MdxManyOutcome, MdxOutcome,
+    PlanExecution,
+};
 pub use error::Error;
 pub use grid::{pivot, render_pivot, PivotGrid, PivotPage};
 
@@ -53,6 +56,7 @@ pub use starshare_opt::{
     CostModel, GlobalPlan, JoinMethod, OptError, OptimizerKind, PlanClass, QueryPlan,
 };
 pub use starshare_storage::{
-    AccessKind, BufferPool, CpuCounters, FileId, HardwareModel, HeapFile, IoStats, ScanBatch,
-    SimTime, TupleLayout, PAGE_SIZE,
+    AccessKind, BufferPool, CpuCounters, FaultError, FaultInjector, FaultKind, FaultPlan,
+    FaultStats, FileId, HardwareModel, HeapFile, IoStats, ScanBatch, SimTime, TupleLayout,
+    PAGE_SIZE,
 };

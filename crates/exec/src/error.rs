@@ -2,34 +2,110 @@
 
 use std::fmt;
 
-/// An error from physical evaluation: an operator asked to answer a query
-/// its table cannot derive, or given an empty/malformed query set.
+use starshare_storage::FaultError;
+
+/// An error from physical evaluation.
+///
+/// Two families, so callers can tell a *plan* problem (an operator asked to
+/// answer a query its table cannot derive, an empty/malformed query set —
+/// deterministic, retrying is pointless) from a *storage* fault (an
+/// injected or real read failure that survived the executor's bounded
+/// retry — see [`crate::retry`]). The engine maps the latter to its own
+/// `Error::Fault` variant so one faulted query can degrade gracefully
+/// inside a batch.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ExecError(String);
+#[non_exhaustive]
+pub enum ExecError {
+    /// The operator was asked something it cannot do (wrong table, empty
+    /// class, broken invariant). The message tells the story.
+    Plan(String),
+    /// A page read failed and retries were exhausted (or the page is
+    /// permanently poisoned).
+    Fault(FaultError),
+}
 
 impl ExecError {
-    /// Wraps a message.
+    /// Wraps a plan-level message.
     pub fn new(msg: impl Into<String>) -> Self {
-        ExecError(msg.into())
+        ExecError::Plan(msg.into())
+    }
+
+    /// The underlying storage fault, if this is one.
+    pub fn fault(&self) -> Option<&FaultError> {
+        match self {
+            ExecError::Fault(f) => Some(f),
+            ExecError::Plan(_) => None,
+        }
+    }
+
+    /// True for unrecovered storage faults.
+    pub fn is_fault(&self) -> bool {
+        matches!(self, ExecError::Fault(_))
     }
 }
 
 impl fmt::Display for ExecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.0)
+        match self {
+            ExecError::Plan(msg) => f.write_str(msg),
+            ExecError::Fault(e) => write!(f, "unrecovered storage fault: {e}"),
+        }
     }
 }
 
-impl std::error::Error for ExecError {}
+impl std::error::Error for ExecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExecError::Plan(_) => None,
+            ExecError::Fault(e) => Some(e),
+        }
+    }
+}
 
 impl From<String> for ExecError {
     fn from(msg: String) -> Self {
-        ExecError(msg)
+        ExecError::Plan(msg)
     }
 }
 
 impl From<&str> for ExecError {
     fn from(msg: &str) -> Self {
-        ExecError(msg.to_string())
+        ExecError::Plan(msg.to_string())
+    }
+}
+
+impl From<FaultError> for ExecError {
+    fn from(e: FaultError) -> Self {
+        ExecError::Fault(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starshare_storage::{FaultKind, FileId};
+
+    #[test]
+    fn plan_errors_display_their_message() {
+        let e = ExecError::new("no such table");
+        assert_eq!(e.to_string(), "no such table");
+        assert!(!e.is_fault());
+        assert!(e.fault().is_none());
+    }
+
+    #[test]
+    fn fault_errors_chain_their_source() {
+        use std::error::Error as _;
+        let f = FaultError {
+            file: FileId(3),
+            page: 9,
+            kind: FaultKind::PoisonedPage,
+            access_no: 1,
+        };
+        let e = ExecError::from(f);
+        assert!(e.is_fault());
+        assert_eq!(e.fault(), Some(&f));
+        assert!(e.to_string().contains("poisoned"), "{e}");
+        assert!(e.source().is_some());
     }
 }

@@ -28,6 +28,7 @@ pub mod parallel;
 pub mod plan_io;
 pub mod reference;
 pub mod result;
+pub mod retry;
 pub mod rollup;
 
 pub use context::{ExecContext, ExecReport};
@@ -39,4 +40,5 @@ pub use operators::{
 pub use parallel::{execute_classes, ClassOutcome, ClassSpec, PARTITIONS};
 pub use reference::reference_eval;
 pub use result::QueryResult;
+pub use retry::{with_retry, MAX_READ_RETRIES};
 pub use rollup::DimPipeline;

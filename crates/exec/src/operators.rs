@@ -25,6 +25,7 @@ use crate::error::ExecError;
 use crate::kernel::GroupAcc;
 use crate::plan_io::{build_query_bitmap, QueryBitmap};
 use crate::result::QueryResult;
+use crate::retry::with_retry;
 use crate::rollup::DimPipeline;
 
 /// Per-query execution state: compiled pipeline + running aggregation.
@@ -193,7 +194,7 @@ pub fn shared_hybrid_join(
     let heap = cube.catalog.table(table).heap();
     let n_dims = cube.schema.n_dims();
 
-    let (states, report) = ctx.run(|ctx, cpu| {
+    let (states, report) = ctx.run(|ctx, cpu| -> Result<Vec<QueryState>, ExecError> {
         // Phase 1: result bitmaps for the index-fed queries.
         let t = cube.catalog.table(table);
         for st in &mut index_states {
@@ -203,7 +204,7 @@ pub fn shared_hybrid_join(
                 &st.query,
                 &mut ctx.pool,
                 cpu,
-            ));
+            )?);
         }
         // Phase 2: shared dimension hash tables.
         let union_mask = hash_states
@@ -223,7 +224,7 @@ pub fn shared_hybrid_join(
         let mut batch = ScanBatch::new(heap.layout());
         let mut keys = vec![0u32; n_dims];
         let mut sel = Vec::new();
-        while batches.next_into(&mut ctx.pool, &mut batch) {
+        while with_retry(|| batches.try_next_into(&mut ctx.pool, &mut batch))? {
             let n = batch.len() as u64;
             cpu.tuple_copies += n;
             cpu.hash_probes += probes_per_tuple * n;
@@ -245,13 +246,13 @@ pub fn shared_hybrid_join(
                 }
             }
         }
-        hash_states
+        Ok(hash_states
             .into_iter()
             .chain(index_states)
-            .collect::<Vec<_>>()
+            .collect::<Vec<_>>())
     });
     Ok((
-        states.into_iter().map(QueryState::into_result).collect(),
+        states?.into_iter().map(QueryState::into_result).collect(),
         report,
     ))
 }
@@ -299,13 +300,13 @@ pub fn shared_index_join(
     let n_rows = heap.n_tuples();
     let n_dims = cube.schema.n_dims();
 
-    let (states, report) = ctx.run(|ctx, cpu| {
+    let (states, report) = ctx.run(|ctx, cpu| -> Result<Vec<QueryState>, ExecError> {
         // Phase 1: per-query bitmaps, then OR them into the probe set.
         let t = cube.catalog.table(table);
         let mut total: Option<starshare_bitmap::Bitmap> = None;
         let mut probe_everything = false;
         for st in &mut states {
-            let qb = build_query_bitmap(&cube.schema, t, &st.query, &mut ctx.pool, cpu);
+            let qb = build_query_bitmap(&cube.schema, t, &st.query, &mut ctx.pool, cpu)?;
             match &qb.bitmap {
                 Some(bm) => match total.as_mut() {
                     Some(tot) => {
@@ -324,14 +325,19 @@ pub fn shared_index_join(
         charge_hash_builds(cube, table, union_mask, cpu);
         let probes_per_tuple = union_mask.count_ones() as u64;
 
-        // Phase 2: probe the base table at candidate positions.
+        // Phase 2: probe the base table at candidate positions. Random
+        // tuple fetches go through the fault-checked path with bounded
+        // retry, same as the scan side.
         let mut keys = vec![0u32; n_dims];
         let mut feed_all = |positions: &mut dyn Iterator<Item = u64>,
                             ctx: &mut ExecContext,
                             cpu: &mut CpuCounters,
-                            states: &mut [QueryState]| {
+                            states: &mut [QueryState]|
+         -> Result<(), ExecError> {
             for pos in positions {
-                let measure = heap.fetch(pos, &mut ctx.pool, AccessKind::Random, &mut keys);
+                let measure = with_retry(|| {
+                    heap.try_fetch(pos, &mut ctx.pool, AccessKind::Random, &mut keys)
+                })?;
                 cpu.tuple_copies += 1;
                 cpu.hash_probes += probes_per_tuple;
                 for st in states.iter_mut() {
@@ -341,16 +347,17 @@ pub fn shared_index_join(
                     }
                 }
             }
+            Ok(())
         };
         if probe_everything {
-            feed_all(&mut (0..n_rows), ctx, cpu, &mut states);
+            feed_all(&mut (0..n_rows), ctx, cpu, &mut states)?;
         } else if let Some(tot) = &total {
-            feed_all(&mut tot.iter_ones(), ctx, cpu, &mut states);
+            feed_all(&mut tot.iter_ones(), ctx, cpu, &mut states)?;
         }
-        states
+        Ok(states)
     });
     Ok((
-        states.into_iter().map(QueryState::into_result).collect(),
+        states?.into_iter().map(QueryState::into_result).collect(),
         report,
     ))
 }

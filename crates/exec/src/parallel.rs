@@ -295,6 +295,8 @@ pub fn execute_classes(
         let mut cpu = CpuCounters::default();
         let t = cube.catalog.table(spec.table);
         // Index members need their result bitmaps up front in both shapes.
+        // `pool` is a residency clone, which never carries a fault injector,
+        // so this can only surface plan-level errors here.
         for st in states.iter_mut().skip(n_hash) {
             st.bitmap = Some(build_query_bitmap(
                 &cube.schema,
@@ -302,7 +304,7 @@ pub fn execute_classes(
                 &st.query,
                 &mut pool,
                 &mut cpu,
-            ));
+            )?);
         }
         let union_mask = states.iter().fold(0u64, |m, s| m | s.pipeline.probe_mask());
         charge_hash_builds(cube, spec.table, union_mask, &mut cpu);

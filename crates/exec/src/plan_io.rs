@@ -12,6 +12,9 @@ use starshare_bitmap::Bitmap;
 use starshare_olap::{GroupByQuery, MemberPred, StarSchema, StoredTable};
 use starshare_storage::{BufferPool, CpuCounters};
 
+use crate::error::ExecError;
+use crate::retry::with_retry;
+
 /// The index-derived filter for one query on one table.
 #[derive(Debug, Clone)]
 pub struct QueryBitmap {
@@ -37,13 +40,16 @@ impl QueryBitmap {
 
 /// Builds the result bitmap for `query` over `table`, charging index page
 /// reads to `pool` and bitmap CPU to `cpu`.
+///
+/// Index page reads go through the pool's fault-checked path with bounded
+/// retry; an unrecovered fault surfaces as [`ExecError::Fault`].
 pub fn build_query_bitmap(
     schema: &StarSchema,
     table: &StoredTable,
     query: &GroupByQuery,
     pool: &mut BufferPool,
     cpu: &mut CpuCounters,
-) -> QueryBitmap {
+) -> Result<QueryBitmap, ExecError> {
     let n_rows = table.n_rows();
     let mut total: Option<Bitmap> = None;
     let mut covered_mask = 0u64;
@@ -61,11 +67,16 @@ pub fn build_query_bitmap(
         // their bitmaps.
         let members = pred
             .expand_to_level(schema, d, dim_index.level)
-            .expect("In predicate always expands");
+            .ok_or_else(|| {
+                ExecError::new(format!(
+                    "predicate on dim {d} cannot expand to index level {}",
+                    dim_index.level
+                ))
+            })?;
         let mut dim_bitmap = Bitmap::new(n_rows);
         for m in members {
             cpu.index_lookups += 1;
-            if let Some(bm) = dim_index.index.lookup(m, pool) {
+            if let Some(bm) = with_retry(|| dim_index.index.try_lookup(m, pool))? {
                 cpu.bitmap_words += dim_bitmap.or_assign(bm);
             }
         }
@@ -78,10 +89,10 @@ pub fn build_query_bitmap(
         }
         covered_mask |= 1 << d;
     }
-    QueryBitmap {
+    Ok(QueryBitmap {
         bitmap: total,
         covered_mask,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -116,7 +127,7 @@ mod tests {
         );
         let mut pool = BufferPool::for_model(&HardwareModel::paper_1998());
         let mut cpu = CpuCounters::default();
-        let qb = build_query_bitmap(&cube.schema, t, &q, &mut pool, &mut cpu);
+        let qb = build_query_bitmap(&cube.schema, t, &q, &mut pool, &mut cpu).unwrap();
         assert_eq!(qb.covered_mask, 0b0101);
         let bm = qb.bitmap.as_ref().unwrap();
         let mut keys = vec![0u32; 4];
@@ -128,6 +139,49 @@ mod tests {
         assert!(cpu.index_lookups > 0);
         assert!(cpu.bitmap_words > 0);
         assert!(pool.stats().accesses() > 0, "index reads must be charged");
+    }
+
+    #[test]
+    fn may_match_is_exact_at_heap_page_boundaries() {
+        // The scan operators consult `may_match` per row position while the
+        // heap hands out rows page by page; the positions most likely to
+        // expose an off-by-one are the last row of each page and the first
+        // row of the next. Check those against brute-force evaluation.
+        let cube = cube();
+        let tid = cube.catalog.find_by_name("A'B'C'D").unwrap();
+        let t = cube.catalog.table(tid);
+        let q = GroupByQuery::new(
+            cube.groupby("A''B''C''D''"),
+            vec![
+                MemberPred::eq(2, 0),
+                MemberPred::All,
+                MemberPred::eq(1, 1),
+                MemberPred::All,
+            ],
+        );
+        let mut pool = BufferPool::for_model(&HardwareModel::paper_1998());
+        let mut cpu = CpuCounters::default();
+        let qb = build_query_bitmap(&cube.schema, t, &q, &mut pool, &mut cpu).unwrap();
+
+        let per_page = t.heap().layout().tuples_per_page() as u64;
+        let n = t.n_rows();
+        let mut keys = vec![0u32; 4];
+        let mut boundary_positions: Vec<u64> = vec![0, n - 1];
+        let mut edge = per_page;
+        while edge < n {
+            boundary_positions.push(edge - 1); // last row of a page
+            boundary_positions.push(edge); // first row of the next
+            edge += per_page;
+        }
+        assert!(
+            boundary_positions.len() > 4,
+            "cube too small to cross a page boundary (per_page {per_page}, rows {n})"
+        );
+        for &pos in &boundary_positions {
+            t.heap().read_at(pos, &mut keys);
+            let expect = cube.schema.dim(0).roll_up(keys[0], 1, 2) == 0 && keys[2] == 1;
+            assert_eq!(qb.may_match(pos), expect, "pos {pos} (per_page {per_page})");
+        }
     }
 
     #[test]
@@ -147,7 +201,7 @@ mod tests {
         );
         let mut pool = BufferPool::for_model(&HardwareModel::paper_1998());
         let mut cpu = CpuCounters::default();
-        let qb = build_query_bitmap(&cube.schema, t, &q, &mut pool, &mut cpu);
+        let qb = build_query_bitmap(&cube.schema, t, &q, &mut pool, &mut cpu).unwrap();
         assert_eq!(qb.covered_mask, 0b0001, "only A covered");
         assert!(qb.bitmap.is_some());
     }
@@ -169,7 +223,7 @@ mod tests {
         );
         let mut pool = BufferPool::for_model(&HardwareModel::paper_1998());
         let mut cpu = CpuCounters::default();
-        let qb = build_query_bitmap(&cube.schema, t, &q, &mut pool, &mut cpu);
+        let qb = build_query_bitmap(&cube.schema, t, &q, &mut pool, &mut cpu).unwrap();
         assert!(qb.bitmap.is_none());
         assert_eq!(qb.covered_mask, 0);
         assert!(qb.may_match(0));

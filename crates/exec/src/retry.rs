@@ -1,0 +1,108 @@
+//! Bounded retry over fault-checked storage reads.
+//!
+//! The executor's answer to a transient read error is the classic one:
+//! retry the read, a bounded number of times, then give up and report a
+//! typed error for the affected queries. The storage layer guarantees a
+//! denied access charges nothing ([`starshare_storage::fault`]), so a
+//! retried-then-successful read leaves the simulated clock and the buffer
+//! pool exactly as a fault-free run would — which is what lets the
+//! differential harness assert bit-identical results between a faulted run
+//! and its fault-free twin for every query that survives.
+//!
+//! Poisoned pages fail immediately: the fault is permanent by definition,
+//! so burning retries on it would only inflate the schedule.
+
+use starshare_storage::{FaultError, FaultKind};
+
+use crate::error::ExecError;
+
+/// Read attempts after the first (so a transient fault gets
+/// `1 + MAX_READ_RETRIES` chances before surfacing as an error).
+pub const MAX_READ_RETRIES: u32 = 3;
+
+/// Runs `read` until it succeeds or the retry budget is spent.
+///
+/// * `Ok` → passed through.
+/// * [`FaultKind::TransientRead`] → retried up to [`MAX_READ_RETRIES`]
+///   times, then surfaced as [`ExecError::Fault`].
+/// * [`FaultKind::PoisonedPage`] → surfaced immediately (permanent).
+pub fn with_retry<T>(mut read: impl FnMut() -> Result<T, FaultError>) -> Result<T, ExecError> {
+    let mut last: FaultError;
+    let mut attempts = 0;
+    loop {
+        match read() {
+            Ok(v) => return Ok(v),
+            Err(e) => {
+                last = e;
+                if e.kind == FaultKind::PoisonedPage || attempts >= MAX_READ_RETRIES {
+                    return Err(ExecError::Fault(last));
+                }
+                attempts += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starshare_storage::FileId;
+
+    fn fault(kind: FaultKind) -> FaultError {
+        FaultError {
+            file: FileId(0),
+            page: 0,
+            kind,
+            access_no: 0,
+        }
+    }
+
+    #[test]
+    fn success_passes_through_untouched() {
+        let mut calls = 0;
+        let r: Result<u32, _> = with_retry(|| {
+            calls += 1;
+            Ok(7)
+        });
+        assert_eq!(r.unwrap(), 7);
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn transient_faults_are_retried_to_success() {
+        let mut calls = 0;
+        let r = with_retry(|| {
+            calls += 1;
+            if calls < 3 {
+                Err(fault(FaultKind::TransientRead))
+            } else {
+                Ok("made it")
+            }
+        });
+        assert_eq!(r.unwrap(), "made it");
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn retry_budget_is_bounded() {
+        let mut calls = 0;
+        let r: Result<(), _> = with_retry(|| {
+            calls += 1;
+            Err(fault(FaultKind::TransientRead))
+        });
+        assert_eq!(calls, 1 + MAX_READ_RETRIES);
+        assert!(r.unwrap_err().is_fault());
+    }
+
+    #[test]
+    fn poisoned_pages_fail_fast() {
+        let mut calls = 0;
+        let r: Result<(), _> = with_retry(|| {
+            calls += 1;
+            Err(fault(FaultKind::PoisonedPage))
+        });
+        assert_eq!(calls, 1, "permanent faults must not burn retries");
+        let e = r.unwrap_err();
+        assert_eq!(e.fault().unwrap().kind, FaultKind::PoisonedPage);
+    }
+}

@@ -14,6 +14,7 @@
 
 use std::collections::HashMap;
 
+use crate::fault::{FaultError, FaultInjector, FaultPlan, FaultStats};
 use crate::model::{HardwareModel, SimTime};
 use crate::page::{FileId, PageId};
 
@@ -91,6 +92,9 @@ pub struct BufferPool {
     head: usize,
     tail: usize,
     stats: IoStats,
+    /// Optional deterministic fault injector, consulted only by
+    /// [`try_access`](Self::try_access).
+    injector: Option<FaultInjector>,
 }
 
 impl BufferPool {
@@ -108,6 +112,7 @@ impl BufferPool {
             head: NIL,
             tail: NIL,
             stats: IoStats::default(),
+            injector: None,
         }
     }
 
@@ -154,6 +159,42 @@ impl BufferPool {
         false
     }
 
+    /// Like [`access`](Self::access), but consults the armed
+    /// [`FaultInjector`] first: a denied access returns `Err` and charges
+    /// **nothing** (no hit, no fault, no LRU movement — the simulated read
+    /// never happened), so a successful retry produces exactly the
+    /// accounting a fault-free run would. With no injector armed this never
+    /// fails.
+    pub fn try_access(
+        &mut self,
+        file: FileId,
+        page: PageId,
+        kind: AccessKind,
+    ) -> Result<bool, FaultError> {
+        if let Some(inj) = &mut self.injector {
+            inj.check(file, page)?;
+        }
+        Ok(self.access(file, page, kind))
+    }
+
+    /// Arms `plan` on this pool, replacing any previous injector (and its
+    /// counters). Faults fire only on the fallible accessors; see
+    /// [`crate::fault`] for the model.
+    pub fn inject_faults(&mut self, plan: FaultPlan) {
+        self.injector = Some(FaultInjector::new(plan));
+    }
+
+    /// Disarms fault injection, returning the final counters (or `None` if
+    /// no injector was armed).
+    pub fn clear_faults(&mut self) -> Option<FaultStats> {
+        self.injector.take().map(|inj| inj.stats())
+    }
+
+    /// Counters of the armed injector (`None` when not armed).
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.injector.as_ref().map(FaultInjector::stats)
+    }
+
     /// Empties the pool (the paper flushes buffers before each test) without
     /// resetting statistics.
     pub fn flush(&mut self) {
@@ -190,6 +231,11 @@ impl BufferPool {
     /// its own faults and hits privately, and the coordinator folds the
     /// partial [`IoStats`] back together with [`add_stats`](Self::add_stats)
     /// in a fixed order — so totals are independent of thread scheduling.
+    ///
+    /// The clone carries **no fault injector**: partitioned workers read
+    /// through unchecked paths, so fault injection is a sequential-path
+    /// feature (worker interleaving would make fault schedules
+    /// nondeterministic — see [`crate::fault`]).
     pub fn clone_residency(&self) -> BufferPool {
         let mut clone = BufferPool::new(self.capacity);
         // Walk LRU → MRU so the most recent push ends up at the front,
@@ -534,6 +580,87 @@ mod prop_tests {
             for key in &model.order {
                 assert!(pool.contains(key.0, key.1), "{key:?} missing from pool");
             }
+        }
+    }
+
+    /// A residency clone is behaviourally indistinguishable from the pool
+    /// it was taken from: after any shared history, both sides classify
+    /// every access of any future trace identically. This is the property
+    /// partitioned execution's determinism rests on — workers run against
+    /// clones and their privately-counted stats must be exactly what the
+    /// original pool would have counted.
+    #[test]
+    fn clone_residency_is_behaviourally_identical() {
+        let mut rng = Prng::seed_from_u64(0x3_F001);
+        for _ in 0..64 {
+            let capacity = rng.gen_range(1usize..10);
+            let mut original = BufferPool::new(capacity);
+            for _ in 0..rng.gen_range(0usize..150) {
+                let page = rng.gen_range(0u32..24);
+                original.access(FileId(0), page, AccessKind::Sequential);
+            }
+            let mut clone = original.clone_residency();
+            assert_eq!(
+                clone.stats(),
+                IoStats::default(),
+                "clone stats start at zero"
+            );
+            original.reset_stats();
+            for _ in 0..rng.gen_range(0usize..150) {
+                let page = rng.gen_range(0u32..24);
+                let kind = if rng.gen_bool(0.5) {
+                    AccessKind::Random
+                } else {
+                    AccessKind::Sequential
+                };
+                assert_eq!(
+                    original.access(FileId(0), page, kind),
+                    clone.access(FileId(0), page, kind),
+                    "clone diverged from original on page {page}"
+                );
+            }
+            assert_eq!(original.stats(), clone.stats());
+            assert_eq!(original.resident(), clone.resident());
+        }
+    }
+
+    /// `since` and `merge` are inverses: for any snapshot taken mid-trace,
+    /// folding the delta back onto the snapshot reproduces the final
+    /// totals, and deltas over adjacent snapshot intervals merge to the
+    /// whole — the identity the coordinator relies on when folding worker
+    /// partials back together.
+    #[test]
+    fn stats_since_and_merge_round_trip() {
+        let mut rng = Prng::seed_from_u64(0x4_F001);
+        for _ in 0..64 {
+            let mut pool = BufferPool::new(rng.gen_range(1usize..8));
+            let mut snapshots = vec![pool.stats()];
+            for _ in 0..rng.gen_range(1usize..6) {
+                for _ in 0..rng.gen_range(0usize..50) {
+                    let page = rng.gen_range(0u32..16);
+                    let kind = if rng.gen_bool(0.5) {
+                        AccessKind::Random
+                    } else {
+                        AccessKind::Sequential
+                    };
+                    pool.access(FileId(0), page, kind);
+                }
+                snapshots.push(pool.stats());
+            }
+            let total = pool.stats();
+            // since ∘ merge is the identity from any snapshot.
+            for snap in &snapshots {
+                let mut rebuilt = *snap;
+                rebuilt.merge(&total.since(snap));
+                assert_eq!(rebuilt, total);
+            }
+            // Adjacent interval deltas merge back to the whole trace.
+            let mut folded = IoStats::default();
+            for pair in snapshots.windows(2) {
+                folded.merge(&pair[1].since(&pair[0]));
+            }
+            assert_eq!(folded, total.since(&snapshots[0]));
+            assert_eq!(folded.accesses(), total.accesses());
         }
     }
 

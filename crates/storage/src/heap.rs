@@ -14,6 +14,7 @@
 
 use crate::batch::ScanBatch;
 use crate::buffer::{AccessKind, BufferPool};
+use crate::fault::FaultError;
 use crate::page::{FileId, PageId, PAGE_SIZE};
 use crate::tuple::TupleLayout;
 
@@ -135,6 +136,21 @@ impl HeapFile {
         self.read_at(pos, keys_out)
     }
 
+    /// Fault-checked variant of [`fetch`](Self::fetch): the page access goes
+    /// through [`BufferPool::try_access`], so an armed fault injector can
+    /// deny it. On `Err` nothing is charged and no bytes are read — the
+    /// caller may retry.
+    pub fn try_fetch(
+        &self,
+        pos: u64,
+        pool: &mut BufferPool,
+        kind: AccessKind,
+        keys_out: &mut [u32],
+    ) -> Result<f64, FaultError> {
+        pool.try_access(self.file_id, self.page_of(pos), kind)?;
+        Ok(self.read_at(pos, keys_out))
+    }
+
     /// Starts an accounted sequential scan.
     pub fn scan(&self) -> ScanCursor<'_> {
         self.scan_range(0, self.n_tuples)
@@ -232,9 +248,35 @@ impl<'a> BatchCursor<'a> {
         if self.pos >= self.end {
             return false;
         }
-        let per_page = self.heap.layout.tuples_per_page() as u64;
         let page = self.heap.page_of(self.pos);
         pool.access(self.heap.file_id, page, AccessKind::Sequential);
+        self.fill_from(page, batch);
+        true
+    }
+
+    /// Fault-checked variant of [`next_into`](Self::next_into): the page
+    /// access goes through [`BufferPool::try_access`]. On `Err` the cursor
+    /// does not advance and nothing is charged, so the caller can retry the
+    /// same page; a successful retry is indistinguishable from a fault-free
+    /// step.
+    pub fn try_next_into(
+        &mut self,
+        pool: &mut BufferPool,
+        batch: &mut ScanBatch,
+    ) -> Result<bool, FaultError> {
+        if self.pos >= self.end {
+            return Ok(false);
+        }
+        let page = self.heap.page_of(self.pos);
+        pool.try_access(self.heap.file_id, page, AccessKind::Sequential)?;
+        self.fill_from(page, batch);
+        Ok(true)
+    }
+
+    /// Decodes the rest of `page` (from the cursor position) into `batch`
+    /// and advances the cursor. The page access must already be accounted.
+    fn fill_from(&mut self, page: PageId, batch: &mut ScanBatch) {
+        let per_page = self.heap.layout.tuples_per_page() as u64;
         let page_end = (page as u64 + 1) * per_page;
         let batch_end = self.end.min(page_end);
         let first_slot = (self.pos % per_page) as usize;
@@ -246,7 +288,6 @@ impl<'a> BatchCursor<'a> {
             self.pos,
         );
         self.pos = batch_end;
-        true
     }
 
     /// Tuples remaining.

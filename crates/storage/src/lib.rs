@@ -23,6 +23,7 @@
 
 pub mod batch;
 pub mod buffer;
+pub mod fault;
 pub mod heap;
 pub mod model;
 pub mod page;
@@ -30,6 +31,7 @@ pub mod tuple;
 
 pub use batch::ScanBatch;
 pub use buffer::{AccessKind, BufferPool, IoStats};
+pub use fault::{FaultError, FaultInjector, FaultKind, FaultPlan, FaultStats};
 pub use heap::{BatchCursor, HeapFile, ScanCursor};
 pub use model::{CpuCounters, HardwareModel, SimTime};
 pub use page::{FileId, PageId, PAGE_SIZE};

@@ -1,0 +1,170 @@
+//! The `testkit` binary: differential fuzzing and repro replay.
+//!
+//! ```text
+//! testkit fuzz [--start N] [--count N] [--faults] [--fault-seeds N] [--out PATH]
+//! testkit replay PATH
+//! ```
+//!
+//! `fuzz` sweeps session seeds `start..start+count` through the
+//! differential oracle (and, with `--faults`, through the fault-injection
+//! harness). The first failure is shrunk to a minimal case and written to
+//! `--out` (default `testkit-repro.txt`) in the repro format; the process
+//! exits non-zero. `replay` re-runs such a file and reports pass/fail —
+//! the loop a bug report travels through.
+
+use std::process::ExitCode;
+
+use starshare_core::{FaultPlan, OptimizerKind};
+use starshare_testkit::{
+    format_case, generate_session, harness_spec, parse_case, run_case, shrink, Case, FaultHarness,
+    Oracle,
+};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("fuzz") => fuzz(&args[1..]),
+        Some("replay") => replay(&args[1..]),
+        _ => {
+            eprintln!("usage: testkit fuzz [--start N] [--count N] [--faults] [--fault-seeds N] [--out PATH]");
+            eprintln!("       testkit replay PATH");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn arg_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn fuzz(args: &[String]) -> ExitCode {
+    let start: u64 = arg_value(args, "--start")
+        .map(|v| v.parse().expect("--start takes a number"))
+        .unwrap_or(0);
+    let count: u64 = arg_value(args, "--count")
+        .map(|v| v.parse().expect("--count takes a number"))
+        .unwrap_or(50);
+    let fault_seeds: u64 = arg_value(args, "--fault-seeds")
+        .map(|v| v.parse().expect("--fault-seeds takes a number"))
+        .unwrap_or(2);
+    let with_faults = args.iter().any(|a| a == "--faults");
+    let out_path = arg_value(args, "--out").unwrap_or_else(|| "testkit-repro.txt".to_string());
+
+    let spec = harness_spec();
+    let mut oracle = Oracle::new(spec);
+    let mut harness = with_faults.then(|| FaultHarness::new(spec, OptimizerKind::Gg));
+    let mut degraded_total = 0usize;
+
+    for seed in start..start + count {
+        let session = generate_session(oracle.schema(), seed);
+        if let Err(m) = oracle.check_session(&session, seed % 16 == 0) {
+            eprintln!("differential failure: {m}");
+            return shrink_and_write(
+                Case {
+                    spec,
+                    seed,
+                    exprs: session.exprs,
+                    optimizer: m.optimizer,
+                    threads: m.threads,
+                    fault: FaultPlan::none(),
+                },
+                &out_path,
+            );
+        }
+        if let Some(h) = &mut harness {
+            for k in 0..fault_seeds {
+                // Distinct fault stream per (session, k).
+                let fault = FaultPlan::seeded(seed.wrapping_mul(1000) + k);
+                let cmp = h.compare(&session, fault);
+                degraded_total += cmp.n_degraded();
+                if !cmp.ok() {
+                    eprintln!(
+                        "fault-contract failure (session {seed}, fault seed {}):",
+                        fault.seed
+                    );
+                    for v in &cmp.violations {
+                        eprintln!("  {v}");
+                    }
+                    return shrink_and_write(
+                        Case {
+                            spec,
+                            seed,
+                            exprs: session.exprs,
+                            optimizer: OptimizerKind::Gg,
+                            threads: 1,
+                            fault,
+                        },
+                        &out_path,
+                    );
+                }
+            }
+        }
+    }
+    let s = oracle.stats;
+    println!(
+        "ok: {} sessions, {} reference comparisons, {} determinism reruns",
+        s.sessions, s.comparisons, s.reruns
+    );
+    println!("kernel tiers exercised: {:?}", oracle.tiers_seen);
+    if with_faults {
+        println!(
+            "fault sweeps: {fault_seeds} per session, {degraded_total} queries degraded gracefully"
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn shrink_and_write(case: Case, out_path: &str) -> ExitCode {
+    eprintln!("shrinking…");
+    let min = shrink(&case, &mut |cand| run_case(cand).is_err());
+    // The shrunk case must still fail; if the failure was flaky (it should
+    // never be — everything is seeded), fall back to the original.
+    let min = if run_case(&min).is_err() { min } else { case };
+    let text = format_case(&min);
+    eprintln!("--- minimized repro ---\n{text}-----------------------");
+    match std::fs::write(out_path, &text) {
+        Ok(()) => eprintln!("wrote {out_path}"),
+        Err(e) => eprintln!("could not write {out_path}: {e}"),
+    }
+    ExitCode::FAILURE
+}
+
+fn replay(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("usage: testkit replay PATH");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let case = match parse_case(&text) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot parse {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "replaying {} expression(s), optimizer {:?}, {} thread(s), fault seed {}…",
+        case.exprs.len(),
+        case.optimizer,
+        case.threads,
+        case.fault.seed
+    );
+    match run_case(&case) {
+        Ok(()) => {
+            println!("replay PASSED: the engine honours its contract on this case");
+            ExitCode::SUCCESS
+        }
+        Err(detail) => {
+            println!("replay FAILED: {detail}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! # starshare-testkit
+//!
+//! Deterministic differential-testing and fault-injection harness for the
+//! `starshare` engine.
+//!
+//! The pieces, each its own module:
+//!
+//! * [`session`] — seeded multi-query MDX workload generation: the same
+//!   seed always produces the same session, so any failure is replayable
+//!   from a `u64`.
+//! * [`oracle`] — the differential oracle: runs each session across
+//!   {TPLO, ETPLG, GG} × {1, 4 threads}, compares every answer against the
+//!   row-at-a-time [`reference_eval`](starshare_core::reference_eval), and
+//!   asserts the determinism contract (reruns are bit-identical, counters
+//!   and all).
+//! * [`faults`] — the graceful-degradation check: runs a session under a
+//!   seeded [`FaultPlan`](starshare_core::FaultPlan) and asserts every
+//!   injected fault was either retried to success or surfaced as a
+//!   per-query typed error, with all surviving queries bit-identical to
+//!   the fault-free twin run.
+//! * [`shrink`] — reduces a failing case to a minimal
+//!   `(seed, session, fault schedule)` triple.
+//! * [`repro`] — the one-file text format a shrunk case round-trips
+//!   through.
+//! * [`runner`] — replays one case end to end (the core of the `testkit`
+//!   binary's `replay` command and the shrinker's predicate).
+//!
+//! The `testkit` binary drives it all:
+//!
+//! ```text
+//! testkit fuzz --count 100 --faults     # sweep seeds, shrink any failure
+//! testkit replay repro.txt              # re-run a minimized repro
+//! ```
+
+pub mod faults;
+pub mod oracle;
+pub mod repro;
+pub mod runner;
+pub mod session;
+pub mod shrink;
+
+pub use faults::{FaultHarness, FaultedComparison, FaultedQuery};
+pub use oracle::{harness_spec, Mismatch, Oracle, OracleStats, ORACLE_OPTIMIZERS, ORACLE_THREADS};
+pub use repro::{format_case, parse_case};
+pub use runner::run_case;
+pub use session::{generate_session, Session, CUBE_NAME, MAX_EXPRS, MIN_EXPRS};
+pub use shrink::{shrink, Case};

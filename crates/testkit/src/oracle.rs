@@ -1,0 +1,298 @@
+//! The differential oracle: one session, many configurations, one answer.
+//!
+//! The engine's contract is that *how* a batch is evaluated — which
+//! optimizer groups the queries, how many worker threads run the classes,
+//! which aggregation kernel tier each pipeline compiles to — never changes
+//! *what* it answers. The oracle checks that contract the brute-force way:
+//!
+//! * every configuration's results are compared against
+//!   [`reference_eval`], the row-at-a-time scan oracle;
+//! * each configuration is run twice (flushed in between) and must
+//!   reproduce its own results **bit-identically** along with its
+//!   invariant counters (`sim`, `critical`, `io`) — the determinism
+//!   contract;
+//! * kernel-tier coverage is recorded per plan, so the harness can prove
+//!   the sweep exercised more than one tier rather than silently living in
+//!   `Dense` the whole time.
+//!
+//! Cross-configuration results agree to `1e-9` rather than bitwise:
+//! sequential and partitioned execution associate their floating-point
+//! sums differently, deliberately (see `starshare_exec::parallel`).
+//! Bit-identity is asserted where the paths coincide — within one
+//! configuration run twice.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use starshare_core::{
+    reference_eval, DimPipeline, Engine, EngineBuilder, KernelTier, MdxManyOutcome, OptimizerKind,
+    PaperCubeSpec, QueryResult,
+};
+
+use crate::session::Session;
+
+/// The optimizers the oracle sweeps.
+pub const ORACLE_OPTIMIZERS: [OptimizerKind; 3] =
+    [OptimizerKind::Tplo, OptimizerKind::Etplg, OptimizerKind::Gg];
+
+/// The thread counts the oracle sweeps (1 = sequential in-place path,
+/// 4 = partitioned parallel path).
+pub const ORACLE_THREADS: [usize; 2] = [1, 4];
+
+/// The small-but-real cube the harness runs against: big enough that every
+/// paper view exists, finest-level group-bys overflow the dense kernel, and
+/// scans span many pages; small enough that a 500-session sweep stays in
+/// test-suite territory.
+pub fn harness_spec() -> PaperCubeSpec {
+    PaperCubeSpec {
+        base_rows: 800,
+        d_leaf: 24,
+        seed: 7,
+        with_indexes: true,
+    }
+}
+
+/// A differential disagreement (or broken invariant), with enough identity
+/// to replay it: the session seed plus the configuration that diverged.
+#[derive(Debug, Clone)]
+pub struct Mismatch {
+    /// Seed of the offending session.
+    pub seed: u64,
+    /// Optimizer of the diverging configuration.
+    pub optimizer: OptimizerKind,
+    /// Thread count of the diverging configuration.
+    pub threads: usize,
+    /// What went wrong, in words.
+    pub detail: String,
+}
+
+impl fmt::Display for Mismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "session seed {}: [{:?} x{}] {}",
+            self.seed, self.optimizer, self.threads, self.detail
+        )
+    }
+}
+
+/// Aggregate tallies across a sweep, for the harness's own sanity asserts.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OracleStats {
+    /// Sessions checked.
+    pub sessions: u64,
+    /// Individual (query, configuration) comparisons against the
+    /// reference.
+    pub comparisons: u64,
+    /// Determinism double-runs performed.
+    pub reruns: u64,
+}
+
+/// The differential oracle: a fixed cube, one engine per configuration.
+///
+/// All engines are built from the **same** [`PaperCubeSpec`]; data
+/// generation is deterministic, so they hold identical cubes without the
+/// catalog needing to be clonable.
+pub struct Oracle {
+    /// Source of truth for binding and [`reference_eval`].
+    reference: Engine,
+    engines: Vec<(OptimizerKind, usize, Engine)>,
+    /// Kernel tiers any checked plan compiled to, as `{:?}` names.
+    pub tiers_seen: BTreeSet<&'static str>,
+    /// Running tallies.
+    pub stats: OracleStats,
+}
+
+impl Oracle {
+    /// Builds the reference engine plus the full configuration matrix over
+    /// `spec`.
+    pub fn new(spec: PaperCubeSpec) -> Self {
+        let engines = ORACLE_OPTIMIZERS
+            .iter()
+            .flat_map(|&opt| ORACLE_THREADS.iter().map(move |&t| (opt, t)))
+            .map(|(opt, threads)| {
+                let e = EngineBuilder::paper(spec)
+                    .optimizer(opt)
+                    .threads(threads)
+                    .build();
+                (opt, threads, e)
+            })
+            .collect();
+        Oracle {
+            reference: Engine::paper(spec),
+            engines,
+            tiers_seen: BTreeSet::new(),
+            stats: OracleStats::default(),
+        }
+    }
+
+    /// The schema sessions should be generated against.
+    pub fn schema(&self) -> &starshare_core::StarSchema {
+        &self.reference.cube().schema
+    }
+
+    /// Checks one session across the whole configuration matrix. `rerun`
+    /// additionally runs every configuration twice and asserts the second
+    /// run reproduces the first bit-for-bit (results *and* invariant
+    /// counters).
+    pub fn check_session(&mut self, session: &Session, rerun: bool) -> Result<(), Mismatch> {
+        let texts = session.texts();
+        // Expected answers via the row-at-a-time reference, per expression
+        // in binding order.
+        let mut expected: Vec<Vec<QueryResult>> = Vec::new();
+        {
+            let cube = self.reference.cube();
+            let base = cube.catalog.base_table().expect("paper cube has a base");
+            for text in &texts {
+                let expr = parse_ok(text, session.seed)?;
+                let bound = starshare_core::bind(&cube.schema, &expr).map_err(|e| Mismatch {
+                    seed: session.seed,
+                    optimizer: OptimizerKind::Gg,
+                    threads: 1,
+                    detail: format!("generated expression failed to bind: {e}"),
+                })?;
+                expected.push(
+                    bound
+                        .queries
+                        .iter()
+                        .map(|q| reference_eval(cube, base, q))
+                        .collect(),
+                );
+            }
+        }
+
+        for ei in 0..self.engines.len() {
+            let (opt, threads) = (self.engines[ei].0, self.engines[ei].2.threads());
+            let mismatch = |detail: String| Mismatch {
+                seed: session.seed,
+                optimizer: opt,
+                threads,
+                detail,
+            };
+            let out = {
+                let engine = &mut self.engines[ei].2;
+                engine.flush();
+                engine
+                    .mdx_many(&texts)
+                    .map_err(|e| mismatch(format!("batch failed fault-free: {e}")))?
+            };
+            self.record_tiers(&out);
+            compare_to_expected(&out, &expected, &mut self.stats.comparisons).map_err(mismatch)?;
+            if rerun {
+                let engine = &mut self.engines[ei].2;
+                engine.flush();
+                let again = engine
+                    .mdx_many(&texts)
+                    .map_err(|e| mismatch(format!("rerun failed: {e}")))?;
+                self.stats.reruns += 1;
+                assert_bit_identical(&out, &again).map_err(mismatch)?;
+            }
+        }
+        self.stats.sessions += 1;
+        Ok(())
+    }
+
+    /// Records which kernel tiers the plan's assignments compile to.
+    fn record_tiers(&mut self, out: &MdxManyOutcome) {
+        let cube = self.reference.cube();
+        for (t, q, _) in out.plan.assignments() {
+            let stored = cube.catalog.table(t).group_by();
+            if let Ok(p) = DimPipeline::compile(&cube.schema, stored, q) {
+                self.tiers_seen.insert(match p.kernel_tier() {
+                    KernelTier::Dense => "Dense",
+                    KernelTier::Packed => "Packed",
+                    KernelTier::Spill => "Spill",
+                });
+            }
+        }
+    }
+}
+
+fn parse_ok(text: &str, seed: u64) -> Result<starshare_core::MdxExpr, Mismatch> {
+    starshare_core::parse(text).map_err(|e| Mismatch {
+        seed,
+        optimizer: OptimizerKind::Gg,
+        threads: 1,
+        detail: format!("generated expression failed to parse: {e}"),
+    })
+}
+
+/// Every query of every expression answered, and matches the reference to
+/// 1e-9.
+fn compare_to_expected(
+    out: &MdxManyOutcome,
+    expected: &[Vec<QueryResult>],
+    comparisons: &mut u64,
+) -> Result<(), String> {
+    if out.outcomes.len() != expected.len() {
+        return Err(format!(
+            "{} outcomes for {} expressions",
+            out.outcomes.len(),
+            expected.len()
+        ));
+    }
+    for (xi, (outcome, exp)) in out.outcomes.iter().zip(expected).enumerate() {
+        let oc = match outcome {
+            Ok(oc) => oc,
+            Err(e) => return Err(format!("expression {xi} failed fault-free: {e}")),
+        };
+        if oc.results.len() != exp.len() {
+            return Err(format!(
+                "expression {xi}: {} results for {} queries",
+                oc.results.len(),
+                exp.len()
+            ));
+        }
+        for (qi, (r, want)) in oc.results.iter().zip(exp).enumerate() {
+            let r = r
+                .as_ref()
+                .map_err(|e| format!("expression {xi} query {qi} failed fault-free: {e}"))?;
+            *comparisons += 1;
+            if r.query != want.query {
+                return Err(format!(
+                    "expression {xi} query {qi}: result belongs to a different query"
+                ));
+            }
+            if !r.approx_eq(want, 1e-9) {
+                return Err(format!(
+                    "expression {xi} query {qi}: result disagrees with reference_eval"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Two runs of one configuration must agree bit-for-bit: identical result
+/// rows and identical invariant counters.
+fn assert_bit_identical(a: &MdxManyOutcome, b: &MdxManyOutcome) -> Result<(), String> {
+    if a.report.sim != b.report.sim
+        || a.report.critical != b.report.critical
+        || a.report.io != b.report.io
+    {
+        return Err(format!(
+            "rerun moved the deterministic clock: sim {} vs {}, io {:?} vs {:?}",
+            a.report.sim, b.report.sim, a.report.io, b.report.io
+        ));
+    }
+    for (xi, (oa, ob)) in a.outcomes.iter().zip(&b.outcomes).enumerate() {
+        match (oa, ob) {
+            (Ok(ra), Ok(rb)) => {
+                for (qi, (qa, qb)) in ra.results.iter().zip(&rb.results).enumerate() {
+                    match (qa, qb) {
+                        (Ok(qa), Ok(qb)) => {
+                            if qa.rows != qb.rows {
+                                return Err(format!(
+                                    "expression {xi} query {qi}: rerun rows not bit-identical"
+                                ));
+                            }
+                        }
+                        _ => return Err(format!("expression {xi} query {qi}: Ok/Err flip")),
+                    }
+                }
+            }
+            _ => return Err(format!("expression {xi}: outcome flip across reruns")),
+        }
+    }
+    Ok(())
+}

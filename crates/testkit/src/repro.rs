@@ -1,0 +1,191 @@
+//! The one-file repro format.
+//!
+//! A shrunk [`Case`] serializes to a small `key = value` text block (MDX is
+//! single-line by construction, so one `expr =` line per expression). No
+//! serialization dependency — the format is a dozen known keys, parsed by
+//! hand, and round-trips exactly: floats print with `{:?}` (shortest
+//! representation that reparses to the same bits).
+//!
+//! ```text
+//! # starshare-testkit repro v1
+//! cube_base_rows = 800
+//! cube_d_leaf = 24
+//! cube_seed = 7
+//! cube_with_indexes = true
+//! session_seed = 42
+//! optimizer = gg
+//! threads = 1
+//! fault_seed = 3
+//! fault_transient = 0.02
+//! fault_poison = 0.0005
+//! expr = {A''.A1.CHILDREN} on Columns CONTEXT ABCD;
+//! ```
+
+use starshare_core::{FaultPlan, OptimizerKind, PaperCubeSpec};
+
+use crate::shrink::Case;
+
+/// The format's header line.
+pub const HEADER: &str = "# starshare-testkit repro v1";
+
+/// Serializes a case to the repro text format.
+pub fn format_case(case: &Case) -> String {
+    let mut out = String::new();
+    out.push_str(HEADER);
+    out.push('\n');
+    out.push_str(&format!("cube_base_rows = {}\n", case.spec.base_rows));
+    out.push_str(&format!("cube_d_leaf = {}\n", case.spec.d_leaf));
+    out.push_str(&format!("cube_seed = {}\n", case.spec.seed));
+    out.push_str(&format!("cube_with_indexes = {}\n", case.spec.with_indexes));
+    out.push_str(&format!("session_seed = {}\n", case.seed));
+    out.push_str(&format!("optimizer = {}\n", optimizer_name(case.optimizer)));
+    out.push_str(&format!("threads = {}\n", case.threads));
+    out.push_str(&format!("fault_seed = {}\n", case.fault.seed));
+    out.push_str(&format!("fault_transient = {:?}\n", case.fault.transient));
+    out.push_str(&format!("fault_poison = {:?}\n", case.fault.poison));
+    for e in &case.exprs {
+        debug_assert!(!e.contains('\n'), "generated MDX is single-line");
+        out.push_str(&format!("expr = {e}\n"));
+    }
+    out
+}
+
+/// Parses the repro text format back into a case.
+pub fn parse_case(text: &str) -> Result<Case, String> {
+    let mut lines = text.lines();
+    match lines.next() {
+        Some(h) if h.trim() == HEADER => {}
+        other => return Err(format!("bad header: {other:?} (want {HEADER:?})")),
+    }
+    let mut spec = PaperCubeSpec {
+        base_rows: 0,
+        d_leaf: 0,
+        seed: 0,
+        with_indexes: true,
+    };
+    let mut case = Case {
+        spec,
+        seed: 0,
+        exprs: Vec::new(),
+        optimizer: OptimizerKind::Gg,
+        threads: 1,
+        fault: FaultPlan::none(),
+    };
+    for (no, line) in lines.enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| format!("line {}: expected `key = value`", no + 2))?;
+        let (key, value) = (key.trim(), value.trim());
+        let bad = |e: &dyn std::fmt::Display| format!("line {}: {key}: {e}", no + 2);
+        match key {
+            "cube_base_rows" => spec.base_rows = value.parse().map_err(|e| bad(&e))?,
+            "cube_d_leaf" => spec.d_leaf = value.parse().map_err(|e| bad(&e))?,
+            "cube_seed" => spec.seed = value.parse().map_err(|e| bad(&e))?,
+            "cube_with_indexes" => spec.with_indexes = value.parse().map_err(|e| bad(&e))?,
+            "session_seed" => case.seed = value.parse().map_err(|e| bad(&e))?,
+            "optimizer" => case.optimizer = parse_optimizer(value).map_err(|e| bad(&e))?,
+            "threads" => case.threads = value.parse().map_err(|e| bad(&e))?,
+            "fault_seed" => case.fault.seed = value.parse().map_err(|e| bad(&e))?,
+            "fault_transient" => case.fault.transient = value.parse().map_err(|e| bad(&e))?,
+            "fault_poison" => case.fault.poison = value.parse().map_err(|e| bad(&e))?,
+            "expr" => case.exprs.push(value.to_string()),
+            other => return Err(format!("line {}: unknown key {other:?}", no + 2)),
+        }
+    }
+    if spec.base_rows == 0 {
+        return Err("missing cube_base_rows".into());
+    }
+    if case.exprs.is_empty() {
+        return Err("no expr lines".into());
+    }
+    case.spec = spec;
+    Ok(case)
+}
+
+fn optimizer_name(kind: OptimizerKind) -> &'static str {
+    match kind {
+        OptimizerKind::Tplo => "tplo",
+        OptimizerKind::Etplg => "etplg",
+        OptimizerKind::Gg => "gg",
+        OptimizerKind::Optimal => "optimal",
+    }
+}
+
+fn parse_optimizer(s: &str) -> Result<OptimizerKind, String> {
+    match s {
+        "tplo" => Ok(OptimizerKind::Tplo),
+        "etplg" => Ok(OptimizerKind::Etplg),
+        "gg" => Ok(OptimizerKind::Gg),
+        "optimal" => Ok(OptimizerKind::Optimal),
+        other => Err(format!("unknown optimizer {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Case {
+        Case {
+            spec: PaperCubeSpec {
+                base_rows: 800,
+                d_leaf: 24,
+                seed: 7,
+                with_indexes: true,
+            },
+            seed: 42,
+            exprs: vec![
+                "{A''.A1.CHILDREN} on Columns CONTEXT ABCD;".to_string(),
+                "{B''.B1} on Columns CONTEXT ABCD FILTER (D.DD1);".to_string(),
+            ],
+            optimizer: OptimizerKind::Etplg,
+            threads: 4,
+            fault: FaultPlan {
+                seed: 3,
+                transient: 0.015625,
+                poison: 0.0004882812500000001,
+            },
+        }
+    }
+
+    #[test]
+    fn repro_round_trips_exactly() {
+        let case = sample();
+        let text = format_case(&case);
+        let back = parse_case(&text).unwrap();
+        assert_eq!(back.spec.base_rows, case.spec.base_rows);
+        assert_eq!(back.spec.d_leaf, case.spec.d_leaf);
+        assert_eq!(back.spec.seed, case.spec.seed);
+        assert_eq!(back.seed, case.seed);
+        assert_eq!(back.exprs, case.exprs);
+        assert_eq!(back.optimizer, case.optimizer);
+        assert_eq!(back.threads, case.threads);
+        assert_eq!(back.fault, case.fault, "floats must round-trip to the bit");
+        // And the text itself is stable.
+        assert_eq!(format_case(&back), text);
+    }
+
+    #[test]
+    fn parser_rejects_garbage_with_line_numbers() {
+        assert!(parse_case("not a repro").is_err());
+        let bad = format!("{HEADER}\ncube_base_rows = many\n");
+        let e = parse_case(&bad).unwrap_err();
+        assert!(e.contains("line 2"), "{e}");
+        let unknown = format!("{HEADER}\nwat = 1\n");
+        assert!(parse_case(&unknown).unwrap_err().contains("unknown key"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = format!(
+            "{HEADER}\n\n# a note\ncube_base_rows = 10\nexpr = {{A.A1}} on Columns CONTEXT ABCD;\n"
+        );
+        let case = parse_case(&text).unwrap();
+        assert_eq!(case.spec.base_rows, 10);
+        assert_eq!(case.exprs.len(), 1);
+    }
+}

@@ -1,0 +1,94 @@
+//! Seeded multi-query MDX session generation.
+//!
+//! A *session* models one batch window of a multi-user OLAP server: a few
+//! analysts each submit one MDX expression, and the engine optimizes and
+//! executes them as one unit ([`Engine::mdx_many`]). The generator is a
+//! thin, deterministic wrapper over [`starshare_core::generate_mdx`]:
+//! the same `(schema, seed)` pair always yields the same session, which is
+//! what makes failures replayable from a one-line repro.
+//!
+//! [`Engine::mdx_many`]: starshare_core::Engine::mdx_many
+
+use starshare_core::{generate_mdx, StarSchema};
+use starshare_prng::Prng;
+
+/// The cube name sessions reference in their `CONTEXT` clause.
+pub const CUBE_NAME: &str = "ABCD";
+
+/// Expressions per session, inclusive bounds.
+pub const MIN_EXPRS: usize = 1;
+pub const MAX_EXPRS: usize = 4;
+
+/// Domain-separation salt so session streams never alias the data
+/// generator's or the fault injector's streams at equal seeds.
+const SESSION_SALT: u64 = 0x5e55_10f4_2bdc_u64;
+
+/// One generated batch of MDX expressions, replayable from its seed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Session {
+    /// The generator seed this session came from.
+    pub seed: u64,
+    /// The MDX expressions, in submission order.
+    pub exprs: Vec<String>,
+}
+
+impl Session {
+    /// Borrowed views of the expressions, in the shape
+    /// [`Engine::mdx_many`](starshare_core::Engine::mdx_many) takes.
+    pub fn texts(&self) -> Vec<&str> {
+        self.exprs.iter().map(String::as_str).collect()
+    }
+}
+
+/// Generates the session for `seed` against `schema`. Every expression
+/// parses and binds (a property the MDX generator's own tests pin), so a
+/// fault-free run of a generated session must answer every query.
+pub fn generate_session(schema: &StarSchema, seed: u64) -> Session {
+    let mut rng = Prng::seed_from_u64(seed ^ SESSION_SALT);
+    let n = rng.gen_range(MIN_EXPRS..=MAX_EXPRS);
+    let exprs = (0..n)
+        .map(|_| generate_mdx(schema, CUBE_NAME, &mut rng))
+        .collect();
+    Session { seed, exprs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starshare_core::paper_schema;
+
+    #[test]
+    fn sessions_are_deterministic_per_seed() {
+        let schema = paper_schema(24);
+        let a = generate_session(&schema, 7);
+        let b = generate_session(&schema, 7);
+        assert_eq!(a, b);
+        let c = generate_session(&schema, 8);
+        assert_ne!(a.exprs, c.exprs, "seeds must diverge");
+    }
+
+    #[test]
+    fn session_sizes_cover_the_range() {
+        let schema = paper_schema(24);
+        let sizes: Vec<usize> = (0..64)
+            .map(|s| generate_session(&schema, s).exprs.len())
+            .collect();
+        assert!(sizes.iter().all(|&n| (MIN_EXPRS..=MAX_EXPRS).contains(&n)));
+        assert!(sizes.contains(&MIN_EXPRS));
+        assert!(sizes.contains(&MAX_EXPRS));
+    }
+
+    #[test]
+    fn every_generated_expression_parses_and_binds() {
+        let schema = paper_schema(24);
+        for seed in 0..100 {
+            let s = generate_session(&schema, seed);
+            for text in &s.exprs {
+                let expr = starshare_core::parse(text)
+                    .unwrap_or_else(|e| panic!("seed {seed} {text:?}: {e}"));
+                starshare_core::bind(&schema, &expr)
+                    .unwrap_or_else(|e| panic!("seed {seed} {text:?}: {e}"));
+            }
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Automatic shrinking of failing cases.
+//!
+//! A fuzz failure arrives as a whole session (up to four expressions), a
+//! fault schedule, and a configuration. Almost all of that is usually
+//! irrelevant. [`shrink`] reduces the case while the caller-supplied
+//! predicate keeps failing:
+//!
+//! 1. **expressions** — greedy one-at-a-time removal to a fixed point
+//!    (delta debugging with subset size 1, which is where ddmin ends up
+//!    anyway for lists this short);
+//! 2. **configuration** — prefer `threads = 1` and the simplest optimizer
+//!    that still fails;
+//! 3. **fault schedule** — try dropping each fault family (transient,
+//!    poison) entirely, then repeatedly halve the surviving rates.
+//!
+//! Every candidate evaluation replays deterministically from the case
+//! alone, so the minimized `(seed, session, fault schedule)` triple *is*
+//! the repro.
+
+use starshare_core::{FaultPlan, OptimizerKind, PaperCubeSpec};
+
+use crate::session::Session;
+
+/// A fully replayable failing case.
+#[derive(Debug, Clone)]
+pub struct Case {
+    /// Cube the failure reproduces on.
+    pub spec: PaperCubeSpec,
+    /// Session-generator seed (kept for provenance even after the
+    /// expression list is edited).
+    pub seed: u64,
+    /// The (possibly shrunk) expressions.
+    pub exprs: Vec<String>,
+    /// Configuration that failed.
+    pub optimizer: OptimizerKind,
+    /// Worker threads of the failing configuration.
+    pub threads: usize,
+    /// Fault schedule ([`FaultPlan::none`] for fault-free differential
+    /// failures).
+    pub fault: FaultPlan,
+}
+
+impl Case {
+    /// The case's session view.
+    pub fn session(&self) -> Session {
+        Session {
+            seed: self.seed,
+            exprs: self.exprs.clone(),
+        }
+    }
+}
+
+/// How many halvings to attempt per fault rate before giving up.
+const RATE_HALVINGS: u32 = 6;
+
+/// Shrinks `case` while `still_fails` keeps returning `true` for the
+/// candidate. Returns the smallest failing case found (at worst, `case`
+/// itself). `still_fails` is never called with an empty expression list.
+pub fn shrink(case: &Case, still_fails: &mut dyn FnMut(&Case) -> bool) -> Case {
+    let mut best = case.clone();
+
+    // 1. Expressions: drop one at a time until no single drop still fails.
+    let mut progress = true;
+    while progress && best.exprs.len() > 1 {
+        progress = false;
+        for i in (0..best.exprs.len()).rev() {
+            if best.exprs.len() == 1 {
+                break;
+            }
+            let mut cand = best.clone();
+            cand.exprs.remove(i);
+            if still_fails(&cand) {
+                best = cand;
+                progress = true;
+            }
+        }
+    }
+
+    // 2. Configuration: simplest first.
+    if best.threads > 1 {
+        let mut cand = best.clone();
+        cand.threads = 1;
+        if still_fails(&cand) {
+            best = cand;
+        }
+    }
+    if best.optimizer != OptimizerKind::Gg {
+        let mut cand = best.clone();
+        cand.optimizer = OptimizerKind::Gg;
+        if still_fails(&cand) {
+            best = cand;
+        }
+    }
+
+    // 3. Fault schedule: drop whole families, then halve what's left.
+    for zero in [
+        (|p: &mut FaultPlan| p.transient = 0.0) as fn(&mut FaultPlan),
+        |p| p.poison = 0.0,
+    ] {
+        let mut cand = best.clone();
+        zero(&mut cand.fault);
+        if cand.fault != best.fault && still_fails(&cand) {
+            best = cand;
+        }
+    }
+    for halve in [
+        (|p: &mut FaultPlan| p.transient /= 2.0) as fn(&mut FaultPlan),
+        |p| p.poison /= 2.0,
+    ] {
+        for _ in 0..RATE_HALVINGS {
+            let mut cand = best.clone();
+            halve(&mut cand.fault);
+            if cand.fault == best.fault || !still_fails(&cand) {
+                break;
+            }
+            best = cand;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn case(exprs: &[&str]) -> Case {
+        Case {
+            spec: crate::oracle::harness_spec(),
+            seed: 3,
+            exprs: exprs.iter().map(|s| s.to_string()).collect(),
+            optimizer: OptimizerKind::Tplo,
+            threads: 4,
+            fault: FaultPlan::seeded(9),
+        }
+    }
+
+    #[test]
+    fn shrink_finds_the_single_guilty_expression() {
+        let c = case(&["a", "b", "bad", "d"]);
+        let mut trials = 0;
+        let min = shrink(&c, &mut |cand| {
+            trials += 1;
+            assert!(!cand.exprs.is_empty());
+            cand.exprs.iter().any(|e| e == "bad")
+        });
+        assert_eq!(min.exprs, vec!["bad".to_string()]);
+        assert_eq!(min.threads, 1, "config shrinks too");
+        assert_eq!(min.optimizer, OptimizerKind::Gg);
+        assert!(trials > 0);
+    }
+
+    #[test]
+    fn fault_schedule_shrinks_to_the_needed_family() {
+        // Failure only needs poison faults: transient should drop to zero.
+        let c = case(&["x"]);
+        let min = shrink(&c, &mut |cand| cand.fault.poison > 0.0);
+        assert_eq!(min.fault.transient, 0.0);
+        assert!(min.fault.poison > 0.0);
+        assert!(
+            min.fault.poison < c.fault.poison,
+            "rate halving should engage"
+        );
+    }
+
+    #[test]
+    fn unshrinkable_case_survives_intact() {
+        let c = case(&["only"]);
+        let min = shrink(&c, &mut |_| false);
+        assert_eq!(min.exprs, c.exprs);
+        assert_eq!(min.fault, c.fault);
+        assert_eq!(min.threads, c.threads);
+    }
+}

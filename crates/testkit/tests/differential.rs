@@ -1,0 +1,39 @@
+//! The headline differential run: 500 seeded sessions, every optimizer ×
+//! thread-count configuration, every answer checked against the
+//! row-at-a-time reference, with periodic bit-identical determinism
+//! reruns. This is the acceptance gate for the harness itself — if the
+//! engine and `reference_eval` ever disagree, this test names the seed,
+//! optimizer, and thread count that did it.
+
+use starshare_testkit::{generate_session, harness_spec, Oracle};
+
+const SESSIONS: u64 = 500;
+/// Every Nth session also gets a flush-and-rerun determinism check
+/// (counters and rows must be bit-identical).
+const RERUN_EVERY: u64 = 25;
+
+#[test]
+fn five_hundred_sessions_agree_with_the_reference_everywhere() {
+    let mut oracle = Oracle::new(harness_spec());
+    for seed in 0..SESSIONS {
+        let session = generate_session(oracle.schema(), seed);
+        if let Err(m) = oracle.check_session(&session, seed % RERUN_EVERY == 0) {
+            panic!("differential failure at session seed {seed}: {m}");
+        }
+    }
+    assert_eq!(oracle.stats.sessions, SESSIONS);
+    assert!(
+        oracle.stats.comparisons >= SESSIONS,
+        "at least one comparison per session, got {}",
+        oracle.stats.comparisons
+    );
+    assert!(
+        oracle.stats.reruns >= SESSIONS / RERUN_EVERY,
+        "determinism reruns should have happened"
+    );
+    assert!(
+        oracle.tiers_seen.len() >= 2,
+        "the workload should exercise at least two kernel tiers, saw {:?}",
+        oracle.tiers_seen
+    );
+}

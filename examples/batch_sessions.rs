@@ -59,12 +59,19 @@ fn main() {
         serial.sim.as_secs_f64() / out.report.sim.as_secs_f64().max(1e-9)
     );
 
-    for (i, rs) in out.results.iter().enumerate() {
-        println!(
-            "analyst {}: {} result rows",
-            i + 1,
-            rs.iter().map(|r| r.n_groups()).sum::<usize>()
-        );
+    for (i, outcome) in out.outcomes.iter().enumerate() {
+        match outcome {
+            Ok(oc) => println!(
+                "analyst {}: {} result rows",
+                i + 1,
+                oc.results
+                    .iter()
+                    .filter_map(|r| r.as_ref().ok())
+                    .map(|r| r.n_groups())
+                    .sum::<usize>()
+            ),
+            Err(e) => println!("analyst {}: failed — {e}", i + 1),
+        }
     }
     std::fs::remove_file(&path).ok();
 }
