@@ -1,16 +1,53 @@
-//! Parallel-execution ablation: wall speedup and the simulated clock vs
-//! thread count, on the Fig-10 shared-scan workload and the Table-2
-//! workloads. The `sim` and `critical` columns must be identical at every
-//! thread count (the determinism contract); wall speedup depends on the
-//! host's core count.
+//! Parallel-execution runner: the thread-count ablation plus the scaling
+//! bench racing the morsel scheduler against the pre-morsel fixed-8
+//! executor.
+//!
+//! ```text
+//! STARSHARE_SCALE=0.1 cargo run --release -p starshare-bench --bin parallel [out.json]
+//! ```
+//!
+//! Prints both reports and writes the scaling bench's JSON payload
+//! (default `BENCH_parallel.json` in the current directory). Exits
+//! non-zero if any configuration's results diverge or the simulated clock
+//! moves with the thread count — speedups vary by host, correctness may
+//! not.
 
-use starshare_bench::{ablation_parallel, render_parallel, scale_from_env};
+use starshare_bench::{
+    ablation_parallel, parallel_bench_at, parallel_bench_json, render_parallel,
+    render_parallel_bench, scale_from_env,
+};
 
 fn main() {
     let scale = scale_from_env();
+    let repeats: u32 = std::env::var("STARSHARE_REPEATS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    let morsel_pages: u32 = std::env::var("STARSHARE_MORSEL_PAGES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(starshare_core::DEFAULT_MORSEL_PAGES);
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_parallel.json".to_string());
+
     println!("== Parallel execution vs thread count (scale {scale}) ==");
     println!("(sim/critical are simulated 1998-hardware seconds and must not");
     println!(" move with the thread count; wall speedup needs real cores)\n");
     let rows = ablation_parallel(scale, &[1, 2, 4, 8]);
     print!("{}", render_parallel(&rows));
+
+    println!("\n== Morsel scheduler vs legacy fixed-8 split ==");
+    let r = parallel_bench_at(scale, repeats, &[1, 4, 16], None, morsel_pages);
+    print!("{}", render_parallel_bench(&r));
+    std::fs::write(&out, parallel_bench_json(&r)).expect("write bench json");
+    println!("wrote {out}");
+
+    if r.workloads
+        .iter()
+        .any(|w| !w.results_match || !w.clock_invariant)
+    {
+        eprintln!("FAIL: strategies or thread counts diverged (see report above)");
+        std::process::exit(1);
+    }
 }

@@ -24,7 +24,8 @@ use starshare_core::{
     DimPipeline, ExecContext, GroupByQuery, HardwareModel, LevelRef, MemberPred, SimTime, TableId,
 };
 
-use crate::{build_engine, query, table};
+use crate::build_engine;
+use crate::workloads::fig10_workload;
 
 /// Sorted `(group key, value)` rows for one query.
 type QueryRows = Vec<(Vec<u32>, f64)>;
@@ -215,9 +216,8 @@ fn run_legacy(
 /// on the Figure-10 workload (Q1–Q4, hash, base table `ABCD`) at `scale`.
 pub fn kernel_bench(scale: f64, repeats: u32) -> KernelBenchResult {
     let engine = build_engine(scale);
+    let (t, queries) = fig10_workload(&engine);
     let cube = engine.cube();
-    let t = table(&engine, "ABCD");
-    let queries: Vec<GroupByQuery> = (1..=4).map(|n| query(&engine, n)).collect();
     let rows = cube.catalog.table(t).n_rows();
     let stored = cube.catalog.table(t).group_by().clone();
     let tiers: Vec<String> = queries

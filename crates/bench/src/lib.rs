@@ -20,7 +20,14 @@ use starshare_core::{
 };
 
 pub mod kernels;
+pub mod parallel;
+pub mod workloads;
 pub use kernels::{kernel_bench, kernel_bench_json, render_kernel_bench, KernelBenchResult};
+pub use parallel::{
+    parallel_bench, parallel_bench_at, parallel_bench_json, render_parallel_bench,
+    ParallelBenchResult, ParallelBenchRow, WorkloadBench, DEFAULT_PROBE_ROWS,
+};
+pub use workloads::{fig10_queries, fig10_workload, skewed_probe, SkewedProbe};
 
 /// Reads the scale factor from `STARSHARE_SCALE` (default 1.0 = the paper's
 /// 2 M-row database).
@@ -307,7 +314,9 @@ pub fn ablation_io_ratio(scale: f64) -> Vec<(f64, SimTime, SimTime)> {
         hw.seq_page_read_ns = (hw.seq_page_read_ns as f64 * io_scale) as u64;
         hw.random_page_read_ns = (hw.random_page_read_ns as f64 * io_scale) as u64;
         let cube = starshare_core::paper_cube(PaperCubeSpec::scaled(scale));
-        let mut engine = Engine::new(cube, hw);
+        // Sequential engine: the ablation compares simulated costs under the
+        // paper's single-CPU model.
+        let mut engine = Engine::builder(cube, hw).threads(1).build();
         let queries: Vec<GroupByQuery> = paper_test_queries(4)
             .iter()
             .map(|&n| query(&engine, n))
@@ -332,7 +341,10 @@ pub fn ablation_pool_size(scale: f64) -> Vec<(usize, SimTime, SimTime)> {
         let mut hw = starshare_core::HardwareModel::paper_1998();
         hw.buffer_pool_pages = pool_pages;
         let cube = starshare_core::paper_cube(PaperCubeSpec::scaled(scale));
-        let mut engine = Engine::new(cube, hw);
+        // The "separate without flushing" leg below depends on sequential
+        // execution warming the shared pool between queries; the threaded
+        // path deliberately never does (workers snapshot residency).
+        let mut engine = Engine::builder(cube, hw).threads(1).build();
         let t = table(&engine, "ABCD");
         let plans: Vec<_> = [1, 2, 3, 4]
             .iter()
@@ -368,8 +380,11 @@ pub struct ParallelRow {
     pub sim: SimTime,
     /// Simulated critical path (invariant across thread counts).
     pub critical: SimTime,
-    /// Host wall time of the run.
+    /// Host wall time of the run (elapsed latency).
     pub wall: Duration,
+    /// Summed worker time; `busy / wall` approximates worker utilization
+    /// and only exceeds 1 on a multi-core host.
+    pub busy: Duration,
 }
 
 /// Ablation: partitioned parallel execution vs thread count, on the Fig-10
@@ -382,9 +397,9 @@ pub fn ablation_parallel(scale: f64, thread_counts: &[usize]) -> Vec<ParallelRow
     let t = table(&engine, "ABCD");
     let fig10_plan = forced_class(
         t,
-        [1, 2, 3, 4]
-            .iter()
-            .map(|&n| (query(&engine, n), JoinMethod::Hash))
+        fig10_queries(&engine)
+            .into_iter()
+            .map(|q| (q, JoinMethod::Hash))
             .collect(),
     );
     let mut workloads: Vec<(String, GlobalPlan)> =
@@ -410,6 +425,7 @@ pub fn ablation_parallel(scale: f64, thread_counts: &[usize]) -> Vec<ParallelRow
                 sim: exec.total.sim,
                 critical: exec.total.critical,
                 wall: exec.total.wall,
+                busy: exec.total.busy,
             });
         }
     }
@@ -430,8 +446,8 @@ pub fn render_parallel(rows: &[ParallelRow]) -> String {
         let _ = writeln!(out, "{w}");
         let _ = writeln!(
             out,
-            "  {:>7} {:>12} {:>12} {:>12} {:>8}",
-            "threads", "sim", "critical", "wall", "speedup"
+            "  {:>7} {:>12} {:>12} {:>12} {:>12} {:>8}",
+            "threads", "sim", "critical", "wall", "busy", "speedup"
         );
         let group: Vec<&ParallelRow> = rows.iter().filter(|r| r.workload == w).collect();
         let base = group
@@ -442,11 +458,12 @@ pub fn render_parallel(rows: &[ParallelRow]) -> String {
         for r in &group {
             let _ = writeln!(
                 out,
-                "  {:>7} {:>11.3}s {:>11.3}s {:>12?} {:>7.2}x",
+                "  {:>7} {:>11.3}s {:>11.3}s {:>12?} {:>12?} {:>7.2}x",
                 r.threads,
                 r.sim.as_secs_f64(),
                 r.critical.as_secs_f64(),
                 r.wall,
+                r.busy,
                 base.as_secs_f64() / r.wall.as_secs_f64().max(1e-12),
             );
         }

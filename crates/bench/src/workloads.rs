@@ -1,0 +1,139 @@
+//! Shared workload construction for the bench binaries.
+//!
+//! The kernel microbench (`kernels`) and the parallel scaling bench
+//! (`parallel`) both run the Figure-10 shared scan; the parallel bench
+//! adds a skewed probe workload. Building the workloads here keeps the
+//! binaries (and the crate-root ablations) on the same data instead of
+//! each reconstructing it slightly differently.
+
+use starshare_core::{
+    Catalog, Cube, Engine, GroupBy, GroupByQuery, HeapFile, IndexFormat, LevelRef, MemberPred,
+    StoredTable, TableId, TupleLayout,
+};
+
+use crate::{query, table};
+
+/// The Figure-10 workload queries: paper queries Q1–Q4, evaluated against
+/// the base table `ABCD` in one shared scan.
+pub fn fig10_queries(engine: &Engine) -> Vec<GroupByQuery> {
+    (1..=4).map(|n| query(engine, n)).collect()
+}
+
+/// [`fig10_queries`] plus the table they run against.
+pub fn fig10_workload(engine: &Engine) -> (TableId, Vec<GroupByQuery>) {
+    (table(engine, "ABCD"), fig10_queries(engine))
+}
+
+/// A clustered, skewed single-table cube with one selective index probe —
+/// the workload the morsel scheduler's candidate-balanced probe morsels
+/// exist for.
+pub struct SkewedProbe {
+    /// Cube holding the clustered base table with a compressed bitmap
+    /// index on dimension A at level 1.
+    pub cube: Cube,
+    /// The (only) stored table.
+    pub table: TableId,
+    /// Single-member probe of the rare A' member.
+    pub query: GroupByQuery,
+    /// Rows the predicate selects.
+    pub candidates: u64,
+    /// Total base rows.
+    pub rows: u64,
+}
+
+/// Builds a [`SkewedProbe`] of `rows` base rows.
+///
+/// About 8 % of dimension A's leaf keys are drawn from the *last* level-1
+/// member's range, the rest from the first member's; the table is then
+/// sorted by the A key (load-order clustering), so every candidate sits
+/// in the final tenth of the pages. A fixed page-even split lands all
+/// probe work in its last partition — and pays a full candidate-bitmap
+/// walk in each of the other seven — while candidate-balanced morsels
+/// with `iter_ones_in` word seeks spread the probe evenly and skip
+/// straight past the candidate-free prefix.
+pub fn skewed_probe(rows: u64, seed: u64) -> SkewedProbe {
+    let schema = starshare_core::paper_schema(24);
+    let mut rng = starshare_prng::Prng::seed_from_u64(seed);
+    let leaf = schema.dim(0).cardinality(0);
+    let members = schema.dim(0).cardinality(1);
+    let divisor = leaf / members;
+    let rare = members - 1;
+    let rare_frac = 0.08;
+    let cards: Vec<u32> = (1..4).map(|d| schema.dim(d).cardinality(0)).collect();
+    let mut data: Vec<([u32; 4], f64)> = (0..rows)
+        .map(|_| {
+            let a = if rng.gen_range(0.0..1.0) < rare_frac {
+                rng.gen_range(rare * divisor..(rare + 1) * divisor)
+            } else {
+                rng.gen_range(0..divisor)
+            };
+            let k = [
+                a,
+                rng.gen_range(0..cards[0]),
+                rng.gen_range(0..cards[1]),
+                rng.gen_range(0..cards[2]),
+            ];
+            (k, rng.gen_range(0.0..100.0))
+        })
+        .collect();
+    data.sort_by_key(|(k, _)| k[0]);
+    let candidates = data.iter().filter(|(k, _)| k[0] / divisor == rare).count() as u64;
+
+    let mut catalog = Catalog::new();
+    let file = catalog.alloc_file_id();
+    let heap = HeapFile::from_rows(file, TupleLayout::new(4), data.iter().cloned());
+    let tid = catalog.add_table(StoredTable::new("ABCD", GroupBy::finest(4), heap));
+    let ix_file = catalog.alloc_file_id();
+    catalog
+        .table_mut(tid)
+        .build_index_with_format(&schema, 0, 1, IndexFormat::Compressed, ix_file);
+    let cube = Cube::new(schema, catalog);
+
+    let query = GroupByQuery::new(
+        GroupBy::new(vec![
+            LevelRef::Level(1),
+            LevelRef::All,
+            LevelRef::All,
+            LevelRef::All,
+        ]),
+        vec![
+            MemberPred::eq(1, rare),
+            MemberPred::All,
+            MemberPred::All,
+            MemberPred::All,
+        ],
+    );
+    SkewedProbe {
+        cube,
+        table: tid,
+        query,
+        candidates,
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skewed_probe_clusters_the_rare_member_at_the_tail() {
+        let w = skewed_probe(20_000, 7);
+        assert_eq!(w.rows, 20_000);
+        assert!(
+            w.candidates > 1_000 && w.candidates < 2_400,
+            "candidates {} outside the ~8% band",
+            w.candidates
+        );
+        let t = w.cube.catalog.table(w.table);
+        assert_eq!(t.n_rows(), 20_000);
+        assert!(t.index(0).is_some(), "probe dimension must be indexed");
+    }
+
+    #[test]
+    fn fig10_workload_binds_four_queries() {
+        let engine = crate::build_engine(0.002);
+        let (_, qs) = fig10_workload(&engine);
+        assert_eq!(qs.len(), 4);
+    }
+}

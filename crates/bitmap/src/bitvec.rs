@@ -158,7 +158,62 @@ impl Bitmap {
             bitmap: self,
             word_idx: 0,
             current: self.words.first().copied().unwrap_or(0),
+            end: self.len,
         }
+    }
+
+    /// Iterator over set bits in `lo..hi` (ascending, `hi` exclusive).
+    ///
+    /// Seeks straight to the word containing `lo` instead of scanning from
+    /// bit zero, so walking a narrow range of a wide bitmap costs words
+    /// proportional to the range, not the whole bitmap. `hi` is clamped to
+    /// the bitmap length; an empty or inverted range yields nothing.
+    pub fn iter_ones_in(&self, lo: u64, hi: u64) -> OnesIter<'_> {
+        let hi = hi.min(self.len);
+        if lo >= hi {
+            return OnesIter {
+                bitmap: self,
+                word_idx: self.words.len(),
+                current: 0,
+                end: 0,
+            };
+        }
+        let word_idx = (lo / 64) as usize;
+        let mut current = self.words.get(word_idx).copied().unwrap_or(0);
+        if !lo.is_multiple_of(64) {
+            current &= !0u64 << (lo % 64);
+        }
+        OnesIter {
+            bitmap: self,
+            word_idx,
+            current,
+            end: hi,
+        }
+    }
+
+    /// Number of set bits in `lo..hi` (`hi` exclusive, clamped to the
+    /// length). Masked popcounts over exactly the words the range touches.
+    pub fn count_ones_in(&self, lo: u64, hi: u64) -> u64 {
+        let hi = hi.min(self.len);
+        if lo >= hi {
+            return 0;
+        }
+        let (wl, wh) = ((lo / 64) as usize, ((hi - 1) / 64) as usize);
+        let head_mask = !0u64 << (lo % 64);
+        let tail_bits = (hi % 64) as u32;
+        let tail_mask = if tail_bits == 0 {
+            !0u64
+        } else {
+            (1u64 << tail_bits) - 1
+        };
+        if wl == wh {
+            return (self.words[wl] & head_mask & tail_mask).count_ones() as u64;
+        }
+        let mut n = (self.words[wl] & head_mask).count_ones() as u64;
+        for w in &self.words[wl + 1..wh] {
+            n += w.count_ones() as u64;
+        }
+        n + (self.words[wh] & tail_mask).count_ones() as u64
     }
 
     fn check_len(&self, other: &Bitmap) {
@@ -170,12 +225,15 @@ impl Bitmap {
     }
 }
 
-/// Iterator over set-bit positions of a [`Bitmap`].
+/// Iterator over set-bit positions of a [`Bitmap`], bounded by an
+/// exclusive end position (the length for [`Bitmap::iter_ones`], `hi` for
+/// [`Bitmap::iter_ones_in`]).
 #[derive(Debug)]
 pub struct OnesIter<'a> {
     bitmap: &'a Bitmap,
     word_idx: usize,
     current: u64,
+    end: u64,
 }
 
 impl Iterator for OnesIter<'_> {
@@ -185,11 +243,17 @@ impl Iterator for OnesIter<'_> {
         loop {
             if self.current != 0 {
                 let bit = self.current.trailing_zeros() as u64;
+                let pos = self.word_idx as u64 * 64 + bit;
+                if pos >= self.end {
+                    self.current = 0;
+                    self.word_idx = self.bitmap.words.len();
+                    return None;
+                }
                 self.current &= self.current - 1; // clear lowest set bit
-                return Some(self.word_idx as u64 * 64 + bit);
+                return Some(pos);
             }
             self.word_idx += 1;
-            if self.word_idx >= self.bitmap.words.len() {
+            if self.word_idx >= self.bitmap.words.len() || self.word_idx as u64 * 64 >= self.end {
                 return None;
             }
             self.current = self.bitmap.words[self.word_idx];
@@ -270,6 +334,58 @@ mod tests {
         let positions = vec![0, 63, 64, 127, 128, 191];
         let b = Bitmap::from_positions(192, &positions);
         assert_eq!(b.iter_ones().collect::<Vec<_>>(), positions);
+    }
+
+    #[test]
+    fn iter_ones_in_word_seams() {
+        let positions = vec![0, 63, 64, 65, 127, 128, 191];
+        let b = Bitmap::from_positions(192, &positions);
+        // Exact word boundaries.
+        assert_eq!(
+            b.iter_ones_in(64, 128).collect::<Vec<_>>(),
+            vec![64, 65, 127]
+        );
+        // Mid-word bounds on both ends.
+        assert_eq!(b.iter_ones_in(65, 128).collect::<Vec<_>>(), vec![65, 127]);
+        assert_eq!(b.iter_ones_in(64, 127).collect::<Vec<_>>(), vec![64, 65]);
+        // Range within a single word.
+        assert_eq!(b.iter_ones_in(63, 65).collect::<Vec<_>>(), vec![63, 64]);
+        assert_eq!(b.iter_ones_in(1, 63).count(), 0);
+        // Degenerate and clamped ranges.
+        assert_eq!(b.iter_ones_in(64, 64).count(), 0);
+        assert_eq!(b.iter_ones_in(128, 64).count(), 0);
+        assert_eq!(
+            b.iter_ones_in(128, 10_000).collect::<Vec<_>>(),
+            vec![128, 191]
+        );
+        // Full range equals iter_ones.
+        assert_eq!(b.iter_ones_in(0, 192).collect::<Vec<_>>(), positions);
+    }
+
+    #[test]
+    fn count_ones_in_word_seams() {
+        let b = Bitmap::from_positions(192, &[0, 63, 64, 65, 127, 128, 191]);
+        assert_eq!(b.count_ones_in(0, 192), 7);
+        assert_eq!(b.count_ones_in(64, 128), 3);
+        assert_eq!(b.count_ones_in(65, 127), 1);
+        assert_eq!(b.count_ones_in(63, 65), 2);
+        assert_eq!(b.count_ones_in(1, 63), 0);
+        assert_eq!(b.count_ones_in(100, 100), 0);
+        assert_eq!(b.count_ones_in(150, 10_000), 1);
+    }
+
+    #[test]
+    fn prop_range_ops_match_filtered_full_scan() {
+        let mut rng = Prng::seed_from_u64(0x0B17_0005);
+        for _ in 0..64 {
+            let xs = random_set(&mut rng, 500, 50);
+            let b = Bitmap::from_positions(500, &xs.iter().copied().collect::<Vec<_>>());
+            let lo = rng.gen_range(0u64..500);
+            let hi = rng.gen_range(0u64..=500);
+            let expect: Vec<u64> = b.iter_ones().filter(|p| (lo..hi).contains(p)).collect();
+            assert_eq!(b.iter_ones_in(lo, hi).collect::<Vec<_>>(), expect);
+            assert_eq!(b.count_ones_in(lo, hi), expect.len() as u64);
+        }
     }
 
     #[test]

@@ -123,6 +123,9 @@ pub struct Engine {
     cache: Option<HashMap<GroupByQuery, QueryResult>>,
     /// Worker threads for plan execution (1 = the sequential legacy path).
     threads: usize,
+    /// Pages per morsel for the parallel path (see
+    /// [`EngineBuilder::morsel_pages`]).
+    morsel_pages: u32,
 }
 
 /// Builds an [`Engine`]: cube + hardware model, plus the optional knobs
@@ -146,24 +149,40 @@ pub struct EngineBuilder {
     optimizer: OptimizerKind,
     cache: bool,
     threads: usize,
+    morsel_pages: u32,
 }
 
 impl EngineBuilder {
     /// Starts a builder over an existing cube and hardware model.
+    ///
+    /// The thread count defaults to the host's available parallelism:
+    /// results and simulated times are identical at any thread count (the
+    /// determinism contract in `starshare_exec::parallel`), so running as
+    /// wide as the hardware allows is free. Use
+    /// [`paper`](EngineBuilder::paper) — which pins one thread — when
+    /// reproducing the paper's uniprocessor experiments.
     pub fn new(cube: Cube, model: HardwareModel) -> Self {
         EngineBuilder {
             cube,
             model,
             optimizer: OptimizerKind::Gg,
             cache: false,
-            threads: 1,
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            morsel_pages: starshare_exec::DEFAULT_MORSEL_PAGES,
         }
     }
 
     /// Starts a builder over the paper's test database (§7.2) under the
     /// 1998 hardware model.
+    ///
+    /// Pins `threads` to 1: the paper's experiments model a 1998
+    /// uniprocessor, and the sequential in-place path additionally lets
+    /// later queries in a session reuse the shared pool's residency —
+    /// exactly the behavior the paper experiments measure. Chain
+    /// [`threads`](EngineBuilder::threads) after this to opt back into
+    /// parallel execution.
     pub fn paper(spec: PaperCubeSpec) -> Self {
-        Self::new(paper_cube(spec), HardwareModel::paper_1998())
+        Self::new(paper_cube(spec), HardwareModel::paper_1998()).threads(1)
     }
 
     /// Selects the optimizer used by [`Engine::mdx`] (default: GG).
@@ -183,9 +202,21 @@ impl EngineBuilder {
 
     /// Sets the worker-thread count for plan execution (clamped to ≥ 1).
     /// Results and simulated times are identical at any thread count; only
-    /// wall time changes. Default 1: the sequential in-place path.
+    /// wall time changes. Defaults to the host's available parallelism
+    /// ([`new`](EngineBuilder::new)) or 1 ([`paper`](EngineBuilder::paper)).
+    /// 1 selects the sequential in-place path.
     pub fn threads(mut self, n: usize) -> Self {
         self.threads = n.max(1);
+        self
+    }
+
+    /// Sets the pages-per-morsel size for parallel execution (clamped to
+    /// ≥ 1). Smaller morsels balance load better at the price of more
+    /// per-morsel overhead; `u32::MAX` degenerates to one morsel per
+    /// class. Results are invariant to within float reassociation; I/O
+    /// counters are exactly invariant (morsels are page-aligned).
+    pub fn morsel_pages(mut self, pages: u32) -> Self {
+        self.morsel_pages = pages.max(1);
         self
     }
 
@@ -197,6 +228,7 @@ impl EngineBuilder {
             optimizer: self.optimizer,
             cache: self.cache.then(HashMap::new),
             threads: self.threads,
+            morsel_pages: self.morsel_pages,
         }
     }
 }
@@ -251,6 +283,24 @@ impl Engine {
     /// Sets the worker-thread count on a live engine (clamped to ≥ 1).
     pub fn set_threads(&mut self, n: usize) {
         self.threads = n.max(1);
+    }
+
+    /// Pages per morsel used by the parallel path.
+    pub fn morsel_pages(&self) -> u32 {
+        self.morsel_pages
+    }
+
+    /// Sets the pages-per-morsel size on a live engine (clamped to ≥ 1).
+    pub fn set_morsel_pages(&mut self, pages: u32) {
+        self.morsel_pages = pages.max(1);
+    }
+
+    /// The [`starshare_exec::ExecStrategy`] the engine's parallel path
+    /// runs under: morsel-driven, at the engine's morsel size.
+    fn exec_strategy(&self) -> starshare_exec::ExecStrategy {
+        starshare_exec::ExecStrategy::Morsel(starshare_exec::MorselSpec::with_pages(
+            self.morsel_pages,
+        ))
     }
 
     /// Cached results currently held (0 when the cache is disabled).
@@ -503,11 +553,12 @@ impl Engine {
                 .filter(|p| p.method == JoinMethod::Index)
                 .map(|p| p.query.clone())
                 .collect();
+            let strategy = self.exec_strategy();
             let class_run: std::result::Result<(Vec<QueryResult>, ExecReport), ExecError> =
                 if self.threads > 1 {
                     // One class per call, so a faulted class cannot take
                     // its neighbours down with it.
-                    starshare_exec::execute_classes(
+                    starshare_exec::execute_classes_with(
                         &mut self.ctx,
                         &self.cube,
                         std::slice::from_ref(&starshare_exec::ClassSpec {
@@ -516,6 +567,7 @@ impl Engine {
                             index_queries: index_qs.clone(),
                         }),
                         self.threads,
+                        strategy,
                     )
                     .map(|mut outs| {
                         let out = outs.pop().expect("one class in, one out");
@@ -614,8 +666,15 @@ impl Engine {
                     .collect(),
             })
             .collect();
+        let strategy = self.exec_strategy();
         let wall_start = std::time::Instant::now();
-        let outcomes = starshare_exec::execute_classes(&mut self.ctx, &self.cube, &specs, threads)?;
+        let outcomes = starshare_exec::execute_classes_with(
+            &mut self.ctx,
+            &self.cube,
+            &specs,
+            threads,
+            strategy,
+        )?;
         let wall = wall_start.elapsed();
 
         let mut results = Vec::with_capacity(plan.n_queries());

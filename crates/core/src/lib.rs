@@ -35,10 +35,10 @@ pub use grid::{pivot, render_pivot, PivotGrid, PivotPage};
 
 pub use starshare_bitmap::{Bitmap, BitmapJoinIndex, IndexFormat, RleBitmap};
 pub use starshare_exec::{
-    execute_classes, hash_star_join, index_star_join, reference_eval, shared_hybrid_join,
-    shared_index_join, shared_scan_hash_join, AggKernel, ClassOutcome, ClassSpec, DimPipeline,
-    ExecContext, ExecError, ExecReport, GroupAcc, KernelTier, QueryResult, DENSE_MAX_GROUPS,
-    PARTITIONS,
+    execute_classes, execute_classes_with, hash_star_join, index_star_join, reference_eval,
+    shared_hybrid_join, shared_index_join, shared_scan_hash_join, AggKernel, ClassOutcome,
+    ClassSpec, DimPipeline, ExecContext, ExecError, ExecReport, ExecStrategy, GroupAcc, KernelTier,
+    MorselSpec, QueryResult, DEFAULT_MORSEL_PAGES, DENSE_MAX_GROUPS,
 };
 pub use starshare_mdx::{
     bind, generate_mdx, paper_queries, parse, Axis, AxisSpec, BindError, BoundAxis, BoundMdx,

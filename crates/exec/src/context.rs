@@ -54,6 +54,7 @@ impl ExecContext {
                 sim,
                 critical: sim,
                 wall,
+                busy: wall,
             },
         )
     }
@@ -76,8 +77,16 @@ pub struct ExecReport {
     /// plus the slowest partition (see `starshare_exec::parallel`).
     /// Deterministic and independent of the host's thread count.
     pub critical: SimTime,
-    /// Real wall-clock time of the run on the host machine.
+    /// Real *elapsed* wall-clock time of the run on the host machine:
+    /// start-to-finish latency as an outside observer would measure it,
+    /// regardless of how many workers were busy in between. This is the
+    /// number that shrinks when parallelism helps.
     pub wall: Duration,
+    /// Real *summed* busy time: every worker's wall time added together
+    /// (plus coordinator phases). Sequential runs have `busy == wall`;
+    /// parallel runs typically have `busy > wall`. This is total host CPU
+    /// work, the number that should stay roughly flat across thread counts.
+    pub busy: Duration,
 }
 
 impl ExecReport {
@@ -89,6 +98,7 @@ impl ExecReport {
         self.sim += other.sim;
         self.critical += other.critical;
         self.wall += other.wall;
+        self.busy += other.busy;
     }
 
     /// Folds in a report for work that ran *concurrently* with this one:
@@ -100,6 +110,7 @@ impl ExecReport {
         self.sim += other.sim;
         self.critical = self.critical.max(other.critical);
         self.wall += other.wall;
+        self.busy += other.busy;
     }
 
     /// Simulated I/O portion.
@@ -183,6 +194,7 @@ mod tests {
             sim: SimTime::from_nanos(500),
             critical: SimTime::from_nanos(300),
             wall: Duration::from_micros(1),
+            busy: Duration::from_micros(2),
         };
         a.merge(&b);
         a.merge(&b);
@@ -190,6 +202,8 @@ mod tests {
         assert_eq!(a.cpu.agg_updates, 14);
         assert_eq!(a.sim.as_nanos(), 1000);
         assert_eq!(a.critical.as_nanos(), 600, "sequential criticals add");
+        assert_eq!(a.wall, Duration::from_micros(2));
+        assert_eq!(a.busy, Duration::from_micros(4));
     }
 
     #[test]
@@ -218,6 +232,7 @@ mod tests {
         });
         assert_eq!(r.critical, r.sim);
         assert!(r.sim > SimTime::ZERO);
+        assert_eq!(r.busy, r.wall, "sequential runs: busy == wall");
     }
 
     #[test]
@@ -235,6 +250,7 @@ mod tests {
             sim: SimTime::ZERO,
             critical: SimTime::ZERO,
             wall: Duration::ZERO,
+            busy: Duration::ZERO,
         };
         assert_eq!(r.sim_io(&model).as_secs_f64(), 1.0);
         assert_eq!(r.sim_cpu(&model).as_secs_f64(), 2.0);

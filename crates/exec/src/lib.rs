@@ -17,12 +17,14 @@
 //! deterministic 1998-calibrated simulation plus measured wall time.
 //!
 //! The [`parallel`] module runs whole *sets* of classes on worker threads,
-//! partitioning each base-table pass, without perturbing the simulated
-//! clock (see its docs for the determinism contract).
+//! carving each base-table pass into work-stealing morsels (see the
+//! [`morsel`] module), without perturbing the simulated clock (see its
+//! docs for the determinism contract).
 
 pub mod context;
 pub mod error;
 pub mod kernel;
+pub mod morsel;
 pub mod operators;
 pub mod parallel;
 pub mod plan_io;
@@ -37,7 +39,10 @@ pub use kernel::{AggKernel, GroupAcc, KernelTier, DENSE_MAX_GROUPS};
 pub use operators::{
     hash_star_join, index_star_join, shared_hybrid_join, shared_index_join, shared_scan_hash_join,
 };
-pub use parallel::{execute_classes, ClassOutcome, ClassSpec, PARTITIONS};
+pub use parallel::{
+    execute_classes, execute_classes_with, ClassOutcome, ClassSpec, ExecStrategy, MorselSpec,
+    DEFAULT_MORSEL_PAGES,
+};
 pub use reference::reference_eval;
 pub use result::QueryResult;
 pub use retry::{with_retry, MAX_READ_RETRIES};

@@ -352,6 +352,10 @@ pub fn shared_index_join(
         if probe_everything {
             feed_all(&mut (0..n_rows), ctx, cpu, &mut states)?;
         } else if let Some(tot) = &total {
+            // Whole-table pass: every word of the bitmap holds candidates
+            // for *this* iteration, so `iter_ones` wastes nothing here.
+            // Range-restricted walks (the parallel executor's morsels) must
+            // use `iter_ones_in`, which seeks to the range's first word.
             feed_all(&mut tot.iter_ones(), ctx, cpu, &mut states)?;
         }
         Ok(states)

@@ -1,59 +1,95 @@
-//! Partitioned, multi-threaded execution of a global plan's classes, with a
-//! deterministic clock.
+//! Morsel-driven, multi-threaded execution of a global plan's classes,
+//! with a deterministic clock.
 //!
 //! A `GlobalPlan`'s classes are independent by construction (each reads its
 //! own base table through its own shared operator), so they can run
 //! concurrently. Within a class, the dominant cost is the base-table pass;
-//! it is split into [`PARTITIONS`] page-aligned tuple ranges, each absorbed
-//! into *private* per-partition aggregation states that the coordinator
-//! merges afterwards in partition order.
+//! it is carved into page-aligned *morsels* (see [`crate::morsel`]): scan
+//! classes into fixed-size page chunks, probe classes into ranges balanced
+//! by the candidate popcount of the OR'd bitmap, so skewed bitmaps no
+//! longer pile all the work into one range. Morsels are dispatched through
+//! per-worker deques with work-stealing, each absorbed into *private*
+//! per-morsel aggregation states that merge afterwards in a deterministic
+//! balanced binary tree.
 //!
 //! Everything the simulated clock sees is independent of how many host
 //! threads actually ran:
 //!
-//! * the partition count is **fixed** (not the thread count), so the work
-//!   split never changes;
+//! * morsel boundaries are computed **from the data and the
+//!   [`MorselSpec`]** before any thread runs — never from the thread
+//!   count or the stealing order;
 //! * each worker counts I/O and CPU privately against a
-//!   [`BufferPool::clone_residency`] snapshot, and the coordinator folds the
-//!   partials back in class/partition order;
-//! * partial aggregates merge in partition order, so floating-point sums
-//!   associate the same way every run;
+//!   [`BufferPool::clone_residency`] snapshot, writing into its morsel's
+//!   pre-assigned slot; the coordinator folds the partials back in
+//!   class/morsel order;
+//! * partial aggregates merge pairwise in a balanced tree whose shape is a
+//!   pure function of the morsel count — `new[i] = merge(old[2*i] <-
+//!   old[2*i+1])` level by level, an odd leftover passing through — so
+//!   floating-point sums associate the same way every run;
 //! * [`ExecReport::sim`] still totals *all* work, while
 //!   [`ExecReport::critical`] reports the critical path — coordinator
-//!   phases plus the slowest partition, then the slowest class — which is
-//!   what an ideally-parallel 1998 machine's clock would read.
+//!   phases, plus the slowest morsel, plus the slowest pair of each merge
+//!   level — which is what an ideally-parallel 1998 machine's clock would
+//!   read.
 //!
-//! Only wall time varies with the thread count; that is the point.
+//! Only wall time varies with the thread count; that is the point. The
+//! report's [`ExecReport::wall`] is *elapsed* latency (what an observer
+//! with a stopwatch sees shrink as threads are added) and
+//! [`ExecReport::busy`] is *summed* worker time (total host work, roughly
+//! flat across thread counts).
 //!
 //! Pool semantics differ from the sequential path in one way: every class
 //! starts from the residency the *plan* started with (a snapshot), and the
 //! shared pool's residency is left untouched — concurrent classes cannot
 //! warm pages for each other, because "which class ran first" would be a
 //! scheduling accident.
+//!
+//! [`ExecStrategy::LegacyFixed8`] keeps the pre-morsel executor — a fixed
+//! 8-way page-even split with a serial coordinator fold and a full-bitmap
+//! probe filter — frozen as the benchmark baseline `starshare-bench`
+//! races the morsel path against.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use starshare_bitmap::Bitmap;
 use starshare_olap::{Cube, GroupByQuery, TableId};
 use starshare_storage::{
-    AccessKind, BufferPool, CpuCounters, HeapFile, IoStats, ScanBatch, SimTime,
+    AccessKind, BufferPool, CpuCounters, HardwareModel, HeapFile, IoStats, ScanBatch, SimTime,
 };
 
 use crate::context::{ExecContext, ExecReport};
 use crate::error::ExecError;
 use crate::kernel::GroupAcc;
+use crate::morsel::{probe_morsels, run_units, scan_morsels};
 use crate::operators::{charge_hash_builds, feed_tuple, QueryState};
 use crate::plan_io::build_query_bitmap;
 use crate::result::QueryResult;
 
-/// Fixed number of base-table partitions per class.
-///
-/// Deliberately **not** the thread count: the partitioning (and therefore
-/// every counter, every floating-point merge order, and the critical path)
-/// must be identical whether the partitions run on 1 thread or 16.
-pub const PARTITIONS: usize = 8;
+pub use crate::morsel::{MorselSpec, DEFAULT_MORSEL_PAGES};
+
+/// Partition count of the frozen legacy executor
+/// ([`ExecStrategy::LegacyFixed8`]).
+const LEGACY_PARTITIONS: usize = 8;
+
+/// How a class's base-table pass is split and merged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecStrategy {
+    /// Morsel-driven work-stealing execution with a deterministic tree
+    /// merge (the default).
+    Morsel(MorselSpec),
+    /// The pre-morsel executor: fixed 8-way page-even split, full-bitmap
+    /// probe filter, serial coordinator fold. Kept as the benchmark
+    /// baseline; `wall` reports summed worker time (its historical
+    /// behavior), identical to `busy`.
+    LegacyFixed8,
+}
+
+impl Default for ExecStrategy {
+    fn default() -> Self {
+        ExecStrategy::Morsel(MorselSpec::default())
+    }
+}
 
 /// One class of a global plan, ready for partitioned execution: the shared
 /// base table plus its member queries split by join method.
@@ -68,7 +104,8 @@ pub struct ClassSpec {
 }
 
 /// One executed class: results in hash-then-index input order, plus the
-/// class's report (with `critical` = phase 1 + slowest partition + merge).
+/// class's report (with `critical` = phase 1 + slowest morsel + merge
+/// tree's per-level maxima).
 #[derive(Debug)]
 pub struct ClassOutcome {
     /// One result per query: all hash queries, then all index queries.
@@ -77,7 +114,7 @@ pub struct ClassOutcome {
     pub report: ExecReport,
 }
 
-/// How a class's partitions read the base table.
+/// How a class's morsels read the base table.
 enum ScanKind {
     /// Any hash member forces a full scan (the §3.3 hybrid: index members
     /// filter by bitmap during the same pass).
@@ -103,15 +140,15 @@ struct PreparedClass<'a> {
     scan: ScanKind,
     probes_per_tuple: u64,
     /// Page-aligned `[lo, hi)` tuple ranges (empty ranges dropped).
-    partitions: Vec<(u64, u64)>,
+    morsels: Vec<(u64, u64)>,
     phase1_io: IoStats,
     phase1_cpu: CpuCounters,
     phase1_wall: Duration,
 }
 
-/// What one partition worker produced: private accumulators and privately
+/// What one morsel worker produced: private accumulators and privately
 /// counted work.
-struct PartitionOutput {
+struct MorselOutput {
     /// One kernel accumulator per class query, in the class's state order.
     groups: Vec<GroupAcc>,
     io: IoStats,
@@ -119,9 +156,21 @@ struct PartitionOutput {
     wall: Duration,
 }
 
-/// Splits `heap` into up to [`PARTITIONS`] contiguous page-aligned tuple
-/// ranges. Page alignment keeps partitions on disjoint pages, so private
-/// fault counts sum to exactly what one cold scan would fault.
+/// Reusable per-worker buffers: one columnar batch plus the row-major
+/// scratch vectors, reshaped per morsel so a worker can hop between
+/// classes with different tuple layouts without reallocating.
+#[derive(Default)]
+struct WorkerScratch {
+    batch: Option<ScanBatch>,
+    keys: Vec<u32>,
+    sel: Vec<u32>,
+    scratch: Vec<u32>,
+}
+
+/// Splits `heap` into up to [`LEGACY_PARTITIONS`] contiguous page-aligned
+/// tuple ranges (the frozen legacy split). Page alignment keeps partitions
+/// on disjoint pages, so private fault counts sum to exactly what one cold
+/// scan would fault.
 fn page_partitions(heap: &HeapFile) -> Vec<(u64, u64)> {
     let n = heap.n_tuples();
     if n == 0 {
@@ -129,9 +178,9 @@ fn page_partitions(heap: &HeapFile) -> Vec<(u64, u64)> {
     }
     let per_page = heap.layout().tuples_per_page() as u64;
     let pages_per_part = (heap.page_count() as u64)
-        .div_ceil(PARTITIONS as u64)
+        .div_ceil(LEGACY_PARTITIONS as u64)
         .max(1);
-    (0..PARTITIONS as u64)
+    (0..LEGACY_PARTITIONS as u64)
         .map(|p| {
             let lo = (p * pages_per_part * per_page).min(n);
             let hi = ((p + 1) * pages_per_part * per_page).min(n);
@@ -141,10 +190,35 @@ fn page_partitions(heap: &HeapFile) -> Vec<(u64, u64)> {
         .collect()
 }
 
-/// Runs one partition of one prepared class against a private pool
-/// snapshot. Pure with respect to shared state — everything mutable is
-/// local — so any worker may run it at any time with identical outcome.
-fn run_partition(cube: &Cube, class: &PreparedClass<'_>, lo: u64, hi: u64) -> PartitionOutput {
+/// Computes a prepared class's morsel boundaries under `strategy`.
+fn class_morsels(strategy: ExecStrategy, heap: &HeapFile, scan: &ScanKind) -> Vec<(u64, u64)> {
+    match strategy {
+        ExecStrategy::LegacyFixed8 => page_partitions(heap),
+        ExecStrategy::Morsel(spec) => match scan {
+            ScanKind::Scan => scan_morsels(heap, spec.pages),
+            ScanKind::Probe {
+                total: Some(tot),
+                everything: false,
+            } => probe_morsels(heap, tot, spec.pages),
+            // Probing everything is a uniform pass: page chunks are already
+            // candidate-balanced.
+            ScanKind::Probe { .. } => scan_morsels(heap, spec.pages),
+        },
+    }
+}
+
+/// Runs one morsel of one prepared class against a private pool snapshot.
+/// Pure with respect to shared state — everything mutable is local or in
+/// `ws` (whose contents never leak into outputs) — so any worker may run
+/// it at any time with identical outcome.
+fn run_morsel(
+    cube: &Cube,
+    class: &PreparedClass<'_>,
+    lo: u64,
+    hi: u64,
+    strategy: ExecStrategy,
+    ws: &mut WorkerScratch,
+) -> MorselOutput {
     let start = Instant::now();
     let mut pool = class.pool.clone_residency();
     let mut cpu = CpuCounters::default();
@@ -153,8 +227,14 @@ fn run_partition(cube: &Cube, class: &PreparedClass<'_>, lo: u64, hi: u64) -> Pa
         .iter()
         .map(|st| st.pipeline.kernel().new_acc())
         .collect();
-    let mut scratch = Vec::new();
-    let mut keys = vec![0u32; cube.schema.n_dims()];
+    let WorkerScratch {
+        batch,
+        keys,
+        sel,
+        scratch,
+    } = ws;
+    keys.clear();
+    keys.resize(cube.schema.n_dims(), 0);
 
     let feed_states = |keys: &[u32],
                        measure: f64,
@@ -191,9 +271,9 @@ fn run_partition(cube: &Cube, class: &PreparedClass<'_>, lo: u64, hi: u64) -> Pa
             // filter cascade per batch; index members gate on their bitmap
             // per position, so they stay row-at-a-time.
             let mut batches = class.heap.scan_batches(lo, hi);
-            let mut batch = ScanBatch::new(class.heap.layout());
-            let mut sel = Vec::new();
-            while batches.next_into(&mut pool, &mut batch) {
+            let batch = batch.get_or_insert_with(|| ScanBatch::new(class.heap.layout()));
+            batch.reshape(class.heap.layout());
+            while batches.next_into(&mut pool, batch) {
                 let n = batch.len() as u64;
                 cpu.tuple_copies += n;
                 cpu.hash_probes += class.probes_per_tuple * n;
@@ -201,16 +281,16 @@ fn run_partition(cube: &Cube, class: &PreparedClass<'_>, lo: u64, hi: u64) -> Pa
                     st.pipeline.feed_batch(
                         st.mode,
                         st.skip_mask(),
-                        &batch,
+                        batch,
                         &mut groups[i],
-                        &mut sel,
-                        &mut scratch,
+                        sel,
+                        scratch,
                         &mut cpu,
                     );
                 }
                 if class.n_hash < class.states.len() {
                     for r in 0..batch.len() {
-                        batch.keys_into(r, &mut keys);
+                        batch.keys_into(r, keys);
                         let pos = batch.pos(r);
                         for (i, st) in class.states.iter().enumerate().skip(class.n_hash) {
                             cpu.bitmap_tests += 1;
@@ -219,10 +299,10 @@ fn run_partition(cube: &Cube, class: &PreparedClass<'_>, lo: u64, hi: u64) -> Pa
                                     &st.pipeline,
                                     st.mode,
                                     st.skip_mask(),
-                                    &keys,
+                                    keys,
                                     batch.measure(r),
                                     &mut groups[i],
-                                    &mut scratch,
+                                    scratch,
                                     &mut cpu,
                                 );
                             }
@@ -231,27 +311,71 @@ fn run_partition(cube: &Cube, class: &PreparedClass<'_>, lo: u64, hi: u64) -> Pa
                 }
             }
         }
-        ScanKind::Probe { total, everything } => {
-            let mut probe = |positions: &mut dyn Iterator<Item = u64>,
-                             pool: &mut BufferPool,
-                             cpu: &mut CpuCounters| {
-                for pos in positions {
-                    let measure = class.heap.fetch(pos, pool, AccessKind::Random, &mut keys);
-                    feed_states(&keys, measure, pos, cpu, &mut groups, &mut scratch);
+        ScanKind::Probe { total, everything } => match strategy {
+            ExecStrategy::Morsel(_) => {
+                // Run-coalesced probe: clustered candidates share heap
+                // pages, so each page's run of positions is charged in one
+                // [`BufferPool::access_run`] — counters and LRU state come
+                // out identical to per-candidate fetches — and the rows are
+                // decoded straight from the page without re-walking the
+                // pool's map per tuple.
+                let mut probe = |positions: &mut dyn Iterator<Item = u64>,
+                                 pool: &mut BufferPool,
+                                 cpu: &mut CpuCounters| {
+                    let per_page = class.heap.layout().tuples_per_page() as u64;
+                    let file = class.heap.file_id();
+                    let mut it = positions.peekable();
+                    while let Some(first) = it.next() {
+                        let page = (first / per_page) as u32;
+                        let run_end = (u64::from(page) + 1) * per_page;
+                        let measure = class.heap.read_at(first, keys);
+                        feed_states(keys, measure, first, cpu, &mut groups, scratch);
+                        let mut n = 1;
+                        while let Some(&pos) = it.peek() {
+                            if pos >= run_end {
+                                break;
+                            }
+                            it.next();
+                            let measure = class.heap.read_at(pos, keys);
+                            feed_states(keys, measure, pos, cpu, &mut groups, scratch);
+                            n += 1;
+                        }
+                        pool.access_run(file, page, AccessKind::Random, n);
+                    }
+                };
+                if *everything {
+                    probe(&mut (lo..hi), &mut pool, &mut cpu);
+                } else if let Some(tot) = total {
+                    // The hot-spot fix: seek straight into the range's
+                    // words instead of walking the whole bitmap and
+                    // discarding out-of-range positions.
+                    probe(&mut tot.iter_ones_in(lo, hi), &mut pool, &mut cpu);
                 }
-            };
-            if *everything {
-                probe(&mut (lo..hi), &mut pool, &mut cpu);
-            } else if let Some(tot) = total {
-                probe(
-                    &mut tot.iter_ones().filter(|p| (lo..hi).contains(p)),
-                    &mut pool,
-                    &mut cpu,
-                );
             }
-        }
+            ExecStrategy::LegacyFixed8 => {
+                // The historical fetch-per-candidate loop over the whole
+                // bitmap, filtered down to this partition's range.
+                let mut probe = |positions: &mut dyn Iterator<Item = u64>,
+                                 pool: &mut BufferPool,
+                                 cpu: &mut CpuCounters| {
+                    for pos in positions {
+                        let measure = class.heap.fetch(pos, pool, AccessKind::Random, keys);
+                        feed_states(keys, measure, pos, cpu, &mut groups, scratch);
+                    }
+                };
+                if *everything {
+                    probe(&mut (lo..hi), &mut pool, &mut cpu);
+                } else if let Some(tot) = total {
+                    probe(
+                        &mut tot.iter_ones().filter(|p| (lo..hi).contains(p)),
+                        &mut pool,
+                        &mut cpu,
+                    );
+                }
+            }
+        },
     }
-    PartitionOutput {
+    MorselOutput {
         groups,
         io: pool.stats(),
         cpu,
@@ -259,19 +383,164 @@ fn run_partition(cube: &Cube, class: &PreparedClass<'_>, lo: u64, hi: u64) -> Pa
     }
 }
 
-/// Executes a set of independent classes on `threads` worker threads.
-///
-/// Every `(class, partition)` pair becomes one unit in a single work queue,
-/// so partitions of different classes interleave freely across workers —
-/// class-level and partition-level parallelism fall out of the same pool.
-/// Results per class come back in hash-then-index order; the shared pool
-/// receives every partial [`IoStats`] in class/partition order and keeps
-/// its residency (see the module docs for why).
+/// What a class's partial-aggregate merge cost.
+struct MergeCost {
+    cpu: CpuCounters,
+    /// Critical path through the merge: for the tree, the sum over levels
+    /// of each level's slowest pair; for the legacy fold, the whole fold.
+    critical: SimTime,
+    /// Summed worker time spent merging.
+    busy: Duration,
+}
+
+/// A merge pair's input slot: destination and source accumulator sets,
+/// taken by whichever worker runs the pair.
+type MergePairInput = Mutex<Option<(Vec<GroupAcc>, Vec<GroupAcc>)>>;
+
+/// A merge pair's output slot: the merged accumulators plus the pair's
+/// counted work and host time.
+type MergePairOutput = Mutex<Option<(Vec<GroupAcc>, CpuCounters, Duration)>>;
+
+/// Merges per-morsel accumulator sets with a deterministic balanced binary
+/// tree: level by level, `new[i] = merge(old[2*i] <- old[2*i+1])`, an odd
+/// leftover passing through to the next level's last slot. Tree positions
+/// are keyed by morsel index alone, pairs of one level run in parallel
+/// through the work-stealing scheduler, and counters fold in pair order —
+/// so results, counters, and the merge's critical path are all pure
+/// functions of the morsel partials.
+fn tree_merge(
+    states: &[QueryState],
+    model: &HardwareModel,
+    mut layer: Vec<Vec<GroupAcc>>,
+    threads: usize,
+) -> (Vec<GroupAcc>, MergeCost) {
+    let mut cost = MergeCost {
+        cpu: CpuCounters::default(),
+        critical: SimTime::ZERO,
+        busy: Duration::ZERO,
+    };
+    if layer.is_empty() {
+        // No morsels (empty table or empty candidate set): fresh, empty
+        // accumulators.
+        let fresh = states
+            .iter()
+            .map(|st| st.pipeline.kernel().new_acc())
+            .collect();
+        return (fresh, cost);
+    }
+    while layer.len() > 1 {
+        let n_pairs = layer.len() / 2;
+        let mut drain = std::mem::take(&mut layer).into_iter();
+        let inputs: Vec<MergePairInput> = (0..n_pairs)
+            .map(|_| {
+                let dst = drain.next().expect("2*n_pairs elements");
+                let src = drain.next().expect("2*n_pairs elements");
+                Mutex::new(Some((dst, src)))
+            })
+            .collect();
+        let leftover = drain.next();
+        let outputs: Vec<MergePairOutput> = (0..n_pairs).map(|_| Mutex::new(None)).collect();
+        run_units(
+            threads,
+            n_pairs,
+            || (),
+            |_, i| {
+                let start = Instant::now();
+                let (mut dst, src) = inputs[i]
+                    .lock()
+                    .expect("no panics hold merge slots")
+                    .take()
+                    .expect("each pair taken once");
+                let mut cpu = CpuCounters::default();
+                for (qi, st) in states.iter().enumerate() {
+                    st.pipeline
+                        .kernel()
+                        .merge_partial(&mut dst[qi], &src[qi], st.mode, &mut cpu);
+                }
+                *outputs[i].lock().expect("no panics hold merge slots") =
+                    Some((dst, cpu, start.elapsed()));
+            },
+        );
+        let mut level_max = SimTime::ZERO;
+        for out in outputs {
+            let (dst, cpu, wall) = out
+                .into_inner()
+                .expect("scheduler joined")
+                .expect("pair ran");
+            level_max = level_max.max(model.cpu_time(&cpu));
+            cost.cpu.merge(&cpu);
+            cost.busy += wall;
+            layer.push(dst);
+        }
+        layer.extend(leftover);
+        cost.critical += level_max;
+    }
+    let merged = layer.pop().expect("non-empty layer");
+    (merged, cost)
+}
+
+/// The legacy serial coordinator fold: every morsel's partials absorbed
+/// into fresh accumulators, in morsel order, on the coordinator thread.
+fn serial_fold(
+    states: &[QueryState],
+    model: &HardwareModel,
+    parts: Vec<Vec<GroupAcc>>,
+) -> (Vec<GroupAcc>, MergeCost) {
+    let start = Instant::now();
+    let mut cpu = CpuCounters::default();
+    let mut merged: Vec<GroupAcc> = states
+        .iter()
+        .map(|st| st.pipeline.kernel().new_acc())
+        .collect();
+    for part in &parts {
+        for (qi, part_groups) in part.iter().enumerate() {
+            let st = &states[qi];
+            st.pipeline
+                .kernel()
+                .merge_partial(&mut merged[qi], part_groups, st.mode, &mut cpu);
+        }
+    }
+    let critical = model.cpu_time(&cpu);
+    let cost = MergeCost {
+        cpu,
+        critical,
+        busy: start.elapsed(),
+    };
+    (merged, cost)
+}
+
+/// Caps a requested worker count at the host's available parallelism
+/// (passing the request through unchanged when the host won't say).
+fn host_capped(threads: usize) -> usize {
+    std::thread::available_parallelism().map_or(threads, |n| threads.min(n.get()))
+}
+
+/// Executes a set of independent classes on `threads` worker threads with
+/// the default [`ExecStrategy`] (morsel-driven, default morsel size).
 pub fn execute_classes(
     ctx: &mut ExecContext,
     cube: &Cube,
     classes: &[ClassSpec],
     threads: usize,
+) -> Result<Vec<ClassOutcome>, ExecError> {
+    execute_classes_with(ctx, cube, classes, threads, ExecStrategy::default())
+}
+
+/// Executes a set of independent classes on `threads` worker threads under
+/// an explicit [`ExecStrategy`].
+///
+/// Every `(class, morsel)` pair becomes one unit in the work-stealing
+/// scheduler, so morsels of different classes interleave freely across
+/// workers — class-level and morsel-level parallelism fall out of the same
+/// pool. Results per class come back in hash-then-index order; the shared
+/// pool receives every partial [`IoStats`] in class/morsel order and keeps
+/// its residency (see the module docs for why).
+pub fn execute_classes_with(
+    ctx: &mut ExecContext,
+    cube: &Cube,
+    classes: &[ClassSpec],
+    threads: usize,
+    strategy: ExecStrategy,
 ) -> Result<Vec<ClassOutcome>, ExecError> {
     let threads = threads.max(1);
     let model = ctx.model;
@@ -328,8 +597,11 @@ pub fn execute_classes(
             ScanKind::Probe { total, everything }
         };
         let heap = t.heap();
+        // Boundary computation (page counts, range popcounts) is coordinator
+        // scheduling bookkeeping, like the legacy split arithmetic: it is
+        // not charged to the simulated clock. See DESIGN.md.
         prepared.push(PreparedClass {
-            partitions: page_partitions(heap),
+            morsels: class_morsels(strategy, heap, &scan),
             heap,
             probes_per_tuple: union_mask.count_ones() as u64,
             states,
@@ -342,28 +614,33 @@ pub fn execute_classes(
         });
     }
 
-    // ---- Phase 2 (parallel): one queue of (class, partition) units.
+    // ---- Phase 2 (parallel): every (class, morsel) is one stealable unit.
+    let phase2_start = Instant::now();
     let units: Vec<(usize, usize)> = prepared
         .iter()
         .enumerate()
-        .flat_map(|(c, pc)| (0..pc.partitions.len()).map(move |p| (c, p)))
+        .flat_map(|(c, pc)| (0..pc.morsels.len()).map(move |m| (c, m)))
         .collect();
-    let slots: Vec<Mutex<Option<PartitionOutput>>> =
-        units.iter().map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|s| {
-        for _ in 0..threads.min(units.len().max(1)) {
-            s.spawn(|| loop {
-                let u = next.fetch_add(1, Ordering::Relaxed);
-                let Some(&(c, p)) = units.get(u) else { break };
-                let class = &prepared[c];
-                let (lo, hi) = class.partitions[p];
-                let out = run_partition(cube, class, lo, hi);
-                *slots[u].lock().expect("no panics hold this lock") = Some(out);
-            });
-        }
+    let slots: Vec<Mutex<Option<MorselOutput>>> = units.iter().map(|_| Mutex::new(None)).collect();
+    // The morsel scheduler never spawns more workers than the host has
+    // cores: oversubscription cannot speed up a work-stealing pool, it only
+    // inflates every unit's elapsed time with involuntary context switches.
+    // The determinism contract makes this safe — outcomes depend on morsel
+    // boundaries, never on which worker ran a morsel — so the requested
+    // thread count is purely a resource ceiling here. The legacy strategy
+    // keeps its historical spawn-per-request behavior.
+    let workers = match strategy {
+        ExecStrategy::Morsel(_) => host_capped(threads),
+        ExecStrategy::LegacyFixed8 => threads,
+    };
+    run_units(workers, units.len(), WorkerScratch::default, |ws, u| {
+        let (c, m) = units[u];
+        let class = &prepared[c];
+        let (lo, hi) = class.morsels[m];
+        let out = run_morsel(cube, class, lo, hi, strategy, ws);
+        *slots[u].lock().expect("no panics hold result slots") = Some(out);
     });
-    let mut outputs: Vec<Vec<PartitionOutput>> = prepared.iter().map(|_| Vec::new()).collect();
+    let mut outputs: Vec<Vec<MorselOutput>> = prepared.iter().map(|_| Vec::new()).collect();
     for (&(c, _), slot) in units.iter().zip(slots) {
         outputs[c].push(slot.into_inner().expect("scope joined").expect("unit ran"));
     }
@@ -371,24 +648,42 @@ pub fn execute_classes(
     // ---- Phase 3 (coordinator, class order): merge partials, total up.
     let mut outcomes = Vec::with_capacity(prepared.len());
     for (class, parts) in prepared.into_iter().zip(outputs) {
-        let merge_start = Instant::now();
-        let mut merge_cpu = CpuCounters::default();
-        let mut merged: Vec<GroupAcc> = class
-            .states
-            .iter()
-            .map(|st| st.pipeline.kernel().new_acc())
-            .collect();
-        for part in &parts {
-            for (qi, part_groups) in part.groups.iter().enumerate() {
-                let st = &class.states[qi];
-                st.pipeline.kernel().merge_partial(
-                    &mut merged[qi],
-                    part_groups,
-                    st.mode,
-                    &mut merge_cpu,
-                );
-            }
+        let mut io = class.phase1_io;
+        let mut cpu = class.phase1_cpu;
+        let sim1 = class.phase1_io.io_time(&model) + model.cpu_time(&class.phase1_cpu);
+        let mut sim = sim1;
+        let mut slowest = SimTime::ZERO;
+        let mut busy = class.phase1_wall;
+        let mut groups_per_morsel = Vec::with_capacity(parts.len());
+        for part in parts {
+            io.merge(&part.io);
+            cpu.merge(&part.cpu);
+            let part_sim = part.io.io_time(&model) + model.cpu_time(&part.cpu);
+            sim += part_sim;
+            slowest = slowest.max(part_sim);
+            busy += part.wall;
+            groups_per_morsel.push(part.groups);
         }
+
+        let (merged, merge) = match strategy {
+            ExecStrategy::Morsel(_) => {
+                tree_merge(&class.states, &model, groups_per_morsel, workers)
+            }
+            ExecStrategy::LegacyFixed8 => serial_fold(&class.states, &model, groups_per_morsel),
+        };
+        cpu.merge(&merge.cpu);
+        sim += model.cpu_time(&merge.cpu);
+        busy += merge.busy;
+        // Elapsed latency: phase 1 (serial, per class) plus everything from
+        // the parallel phase's start through this class's merge. Classes
+        // share the worker pool, so their elapsed windows overlap; the
+        // legacy strategy keeps its historical behavior of reporting summed
+        // worker time as `wall`.
+        let wall = match strategy {
+            ExecStrategy::Morsel(_) => class.phase1_wall + phase2_start.elapsed(),
+            ExecStrategy::LegacyFixed8 => busy,
+        };
+
         let results: Vec<QueryResult> = class
             .states
             .iter()
@@ -405,22 +700,6 @@ pub fn execute_classes(
             })
             .collect();
 
-        let sim1 = class.phase1_io.io_time(&model) + model.cpu_time(&class.phase1_cpu);
-        let sim_merge = model.cpu_time(&merge_cpu);
-        let mut io = class.phase1_io;
-        let mut cpu = class.phase1_cpu;
-        cpu.merge(&merge_cpu);
-        let mut sim = sim1 + sim_merge;
-        let mut slowest = SimTime::ZERO;
-        let mut wall = class.phase1_wall + merge_start.elapsed();
-        for part in &parts {
-            io.merge(&part.io);
-            cpu.merge(&part.cpu);
-            let part_sim = part.io.io_time(&model) + model.cpu_time(&part.cpu);
-            sim += part_sim;
-            slowest = slowest.max(part_sim);
-            wall += part.wall;
-        }
         ctx.pool.add_stats(&io);
         outcomes.push(ClassOutcome {
             results,
@@ -428,8 +707,9 @@ pub fn execute_classes(
                 io,
                 cpu,
                 sim,
-                critical: sim1 + slowest + sim_merge,
+                critical: sim1 + slowest + merge.critical,
                 wall,
+                busy,
             },
         });
     }
@@ -476,20 +756,27 @@ mod tests {
     }
 
     #[test]
-    fn partitions_are_page_aligned_and_cover_the_table() {
+    fn morsels_are_page_aligned_and_cover_the_table() {
         let cube = cube();
         let t = cube.catalog.base_table().unwrap();
         let heap = cube.catalog.table(t).heap();
-        let parts = page_partitions(heap);
-        assert!(!parts.is_empty() && parts.len() <= PARTITIONS);
-        let per_page = heap.layout().tuples_per_page() as u64;
-        let mut expect_lo = 0;
-        for &(lo, hi) in &parts {
-            assert_eq!(lo, expect_lo, "contiguous");
-            assert_eq!(lo % per_page, 0, "page-aligned start");
-            expect_lo = hi;
+        for strategy in [
+            ExecStrategy::Morsel(MorselSpec::with_pages(1)),
+            ExecStrategy::Morsel(MorselSpec::default()),
+            ExecStrategy::Morsel(MorselSpec::whole_table()),
+            ExecStrategy::LegacyFixed8,
+        ] {
+            let parts = class_morsels(strategy, heap, &ScanKind::Scan);
+            assert!(!parts.is_empty(), "{strategy:?}");
+            let per_page = heap.layout().tuples_per_page() as u64;
+            let mut expect_lo = 0;
+            for &(lo, hi) in &parts {
+                assert_eq!(lo, expect_lo, "contiguous ({strategy:?})");
+                assert_eq!(lo % per_page, 0, "page-aligned start ({strategy:?})");
+                expect_lo = hi;
+            }
+            assert_eq!(expect_lo, heap.n_tuples(), "full coverage ({strategy:?})");
         }
-        assert_eq!(expect_lo, heap.n_tuples(), "full coverage");
     }
 
     #[test]
@@ -522,14 +809,56 @@ mod tests {
         let qs = vec![q_selective(&cube)];
         let mut ctx = ExecContext::paper_1998();
         let (seq_rs, _) = shared_index_join(&mut ctx, &cube, t, &qs).unwrap();
-        let mut ctx2 = ExecContext::paper_1998();
+        for strategy in [ExecStrategy::default(), ExecStrategy::LegacyFixed8] {
+            let mut ctx2 = ExecContext::paper_1998();
+            let spec = ClassSpec {
+                table: t,
+                hash_queries: vec![],
+                index_queries: qs.clone(),
+            };
+            let out =
+                execute_classes_with(&mut ctx2, &cube, std::slice::from_ref(&spec), 3, strategy)
+                    .unwrap();
+            assert!(
+                out[0].results[0].approx_eq(&seq_rs[0], 1e-9),
+                "{strategy:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn legacy_and_morsel_agree_on_io_and_feed_work() {
+        // The two strategies split the same pages and probe the same
+        // candidates: I/O and per-tuple feed counters must agree exactly
+        // (merge charges legitimately differ — the tree merges pairs, the
+        // fold re-absorbs every partial into a fresh accumulator).
+        let cube = cube();
+        let t = cube.catalog.find_by_name("A'B'C'D").unwrap();
         let spec = ClassSpec {
             table: t,
-            hash_queries: vec![],
-            index_queries: qs,
+            hash_queries: vec![q_broad(&cube)],
+            index_queries: vec![q_selective(&cube)],
         };
-        let out = execute_classes(&mut ctx2, &cube, std::slice::from_ref(&spec), 3).unwrap();
-        assert!(out[0].results[0].approx_eq(&seq_rs[0], 1e-9));
+        let run = |strategy| {
+            let mut ctx = ExecContext::paper_1998();
+            execute_classes_with(&mut ctx, &cube, std::slice::from_ref(&spec), 2, strategy)
+                .unwrap()
+                .remove(0)
+        };
+        let legacy = run(ExecStrategy::LegacyFixed8);
+        let morsel = run(ExecStrategy::default());
+        assert_eq!(legacy.report.io, morsel.report.io);
+        // `bitmap_tests` is charged only on the feed path, so it is
+        // invariant in the split; the other CPU counters also accrue in
+        // `merge_partial` (once per merged group) and legitimately track
+        // the partial count.
+        assert_eq!(
+            legacy.report.cpu.bitmap_tests,
+            morsel.report.cpu.bitmap_tests
+        );
+        for (a, b) in legacy.results.iter().zip(&morsel.results) {
+            assert!(a.approx_eq(b, 1e-9));
+        }
     }
 
     #[test]
@@ -541,21 +870,71 @@ mod tests {
             hash_queries: vec![q_broad(&cube), q_selective(&cube)],
             index_queries: vec![],
         };
-        let runs: Vec<ClassOutcome> = [1usize, 2, 4]
+        for strategy in [
+            ExecStrategy::Morsel(MorselSpec::with_pages(1)),
+            ExecStrategy::default(),
+            ExecStrategy::LegacyFixed8,
+        ] {
+            let runs: Vec<ClassOutcome> = [1usize, 2, 7, 16]
+                .iter()
+                .map(|&n| {
+                    let mut ctx = ExecContext::paper_1998();
+                    execute_classes_with(&mut ctx, &cube, std::slice::from_ref(&spec), n, strategy)
+                        .unwrap()
+                        .remove(0)
+                })
+                .collect();
+            for other in &runs[1..] {
+                assert_eq!(runs[0].report.sim, other.report.sim, "{strategy:?}");
+                assert_eq!(
+                    runs[0].report.critical, other.report.critical,
+                    "{strategy:?}"
+                );
+                assert_eq!(runs[0].report.io, other.report.io, "{strategy:?}");
+                for (a, b) in runs[0].results.iter().zip(&other.results) {
+                    assert_eq!(a.rows, b.rows, "bit-identical results ({strategy:?})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn morsel_size_never_changes_io_or_answers() {
+        // Morsel boundaries are page-aligned, so each page's accesses fall
+        // in exactly one morsel: IoStats and feed counters are invariant in
+        // the morsel size. Results stay within float-reassociation noise
+        // (the merge-tree shape legitimately follows the morsel count, so
+        // bit-identity is only promised at a *fixed* size — see DESIGN.md).
+        let cube = cube();
+        let t = cube.catalog.find_by_name("A'B'C'D").unwrap();
+        let spec = ClassSpec {
+            table: t,
+            hash_queries: vec![q_broad(&cube)],
+            index_queries: vec![q_selective(&cube)],
+        };
+        let runs: Vec<ClassOutcome> = [1u32, DEFAULT_MORSEL_PAGES, u32::MAX]
             .iter()
-            .map(|&n| {
+            .map(|&pages| {
                 let mut ctx = ExecContext::paper_1998();
-                execute_classes(&mut ctx, &cube, std::slice::from_ref(&spec), n)
-                    .unwrap()
-                    .remove(0)
+                execute_classes_with(
+                    &mut ctx,
+                    &cube,
+                    std::slice::from_ref(&spec),
+                    4,
+                    ExecStrategy::Morsel(MorselSpec::with_pages(pages)),
+                )
+                .unwrap()
+                .remove(0)
             })
             .collect();
         for other in &runs[1..] {
-            assert_eq!(runs[0].report.sim, other.report.sim);
-            assert_eq!(runs[0].report.critical, other.report.critical);
             assert_eq!(runs[0].report.io, other.report.io);
+            assert_eq!(
+                runs[0].report.cpu.bitmap_tests,
+                other.report.cpu.bitmap_tests
+            );
             for (a, b) in runs[0].results.iter().zip(&other.results) {
-                assert_eq!(a.rows, b.rows, "bit-identical results");
+                assert!(a.approx_eq(b, 1e-9));
             }
         }
     }

@@ -35,9 +35,11 @@ use crate::session::Session;
 pub const ORACLE_OPTIMIZERS: [OptimizerKind; 3] =
     [OptimizerKind::Tplo, OptimizerKind::Etplg, OptimizerKind::Gg];
 
-/// The thread counts the oracle sweeps (1 = sequential in-place path,
-/// 4 = partitioned parallel path).
-pub const ORACLE_THREADS: [usize; 2] = [1, 4];
+/// The thread counts the oracle sweeps: 1 is the sequential in-place
+/// path, the rest drive the morsel scheduler at widths below, at, and
+/// above typical host core counts (16 > the morsel count of most harness
+/// classes, so stealing saturates).
+pub const ORACLE_THREADS: [usize; 4] = [1, 2, 7, 16];
 
 /// The small-but-real cube the harness runs against: big enough that every
 /// paper view exists, finest-level group-bys overflow the dense kernel, and
@@ -104,16 +106,37 @@ pub struct Oracle {
 }
 
 impl Oracle {
-    /// Builds the reference engine plus the full configuration matrix over
-    /// `spec`.
+    /// Builds the reference engine plus the full default configuration
+    /// matrix over `spec`: [`ORACLE_OPTIMIZERS`] × [`ORACLE_THREADS`] at
+    /// the default morsel size.
     pub fn new(spec: PaperCubeSpec) -> Self {
-        let engines = ORACLE_OPTIMIZERS
+        Self::with_matrix(
+            spec,
+            &ORACLE_OPTIMIZERS,
+            &ORACLE_THREADS,
+            starshare_core::DEFAULT_MORSEL_PAGES,
+        )
+    }
+
+    /// Builds an oracle over an explicit configuration matrix: every
+    /// `optimizers` × `threads` engine, each at `morsel_pages` pages per
+    /// morsel. Property tests that sweep the morsel size build one oracle
+    /// per size (with a reduced optimizer set, to keep the engine count
+    /// honest).
+    pub fn with_matrix(
+        spec: PaperCubeSpec,
+        optimizers: &[OptimizerKind],
+        threads: &[usize],
+        morsel_pages: u32,
+    ) -> Self {
+        let engines = optimizers
             .iter()
-            .flat_map(|&opt| ORACLE_THREADS.iter().map(move |&t| (opt, t)))
+            .flat_map(|&opt| threads.iter().map(move |&t| (opt, t)))
             .map(|(opt, threads)| {
                 let e = EngineBuilder::paper(spec)
                     .optimizer(opt)
                     .threads(threads)
+                    .morsel_pages(morsel_pages)
                     .build();
                 (opt, threads, e)
             })
