@@ -1,0 +1,50 @@
+//! Serving runner: shared optimization windows vs per-session isolation.
+//!
+//! ```text
+//! STARSHARE_SCALE=0.1 cargo run --release -p starshare-bench --bin serving [out.json]
+//! ```
+//!
+//! Prints the sweep and writes its JSON payload (default
+//! `BENCH_serving.json` in the current directory). Exits non-zero if any
+//! acceptance gate fails: windowed answers must be bit-identical to solo
+//! runs, the shared-scan ratio must not fall as sessions grow, and the
+//! shared window's simulated cost must beat the isolated sum at ≥ 4
+//! concurrent sessions.
+
+use starshare_bench::{render_serving_bench, scale_from_env, serving_bench, serving_bench_json};
+
+fn main() {
+    let scale = scale_from_env();
+    let repeats: u32 = std::env::var("STARSHARE_REPEATS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_serving.json".to_string());
+
+    println!("== Shared optimization window vs per-session isolation (scale {scale}) ==");
+    println!("(sim columns are simulated 1998-hardware seconds — deterministic;");
+    println!(" walls are host-dependent and informational)\n");
+    let r = serving_bench(scale, repeats);
+    print!("{}", render_serving_bench(&r));
+    std::fs::write(&out, serving_bench_json(&r)).expect("write bench json");
+    println!("wrote {out}");
+
+    let mut failed = false;
+    if !r.differential_ok {
+        eprintln!("FAIL: a windowed answer diverged from its solo run");
+        failed = true;
+    }
+    if !r.ratio_monotone {
+        eprintln!("FAIL: shared-scan ratio fell as session count grew");
+        failed = true;
+    }
+    if !r.shared_wins_at_4 {
+        eprintln!("FAIL: shared window lost to per-session isolation at >= 4 sessions");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

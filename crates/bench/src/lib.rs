@@ -15,17 +15,22 @@ use std::time::Duration;
 
 use starshare_core::{
     paper_queries::{bind_paper_query, paper_test_queries},
-    Engine, ExecReport, GlobalPlan, GroupByQuery, JoinMethod, OptimizerKind, PaperCubeSpec,
-    PlanClass, QueryPlan, SimTime, TableId,
+    Engine, EngineConfig, ExecReport, GlobalPlan, GroupByQuery, JoinMethod, OptimizerKind,
+    PaperCubeSpec, PlanClass, QueryPlan, SimTime, TableId,
 };
 
 pub mod kernels;
 pub mod parallel;
+pub mod serving;
 pub mod workloads;
 pub use kernels::{kernel_bench, kernel_bench_json, render_kernel_bench, KernelBenchResult};
 pub use parallel::{
     parallel_bench, parallel_bench_at, parallel_bench_json, render_parallel_bench,
     ParallelBenchResult, ParallelBenchRow, WorkloadBench, DEFAULT_PROBE_ROWS,
+};
+pub use serving::{
+    render_serving_bench, serving_bench, serving_bench_json, ServingBenchResult, ServingRow,
+    EXPRS_PER_SESSION, SERVING_SESSIONS,
 };
 pub use workloads::{fig10_queries, fig10_workload, skewed_probe, SkewedProbe};
 
@@ -316,7 +321,7 @@ pub fn ablation_io_ratio(scale: f64) -> Vec<(f64, SimTime, SimTime)> {
         let cube = starshare_core::paper_cube(PaperCubeSpec::scaled(scale));
         // Sequential engine: the ablation compares simulated costs under the
         // paper's single-CPU model.
-        let mut engine = Engine::builder(cube, hw).threads(1).build();
+        let mut engine = EngineConfig::paper().build(cube, hw);
         let queries: Vec<GroupByQuery> = paper_test_queries(4)
             .iter()
             .map(|&n| query(&engine, n))
@@ -344,7 +349,7 @@ pub fn ablation_pool_size(scale: f64) -> Vec<(usize, SimTime, SimTime)> {
         // The "separate without flushing" leg below depends on sequential
         // execution warming the shared pool between queries; the threaded
         // path deliberately never does (workers snapshot residency).
-        let mut engine = Engine::builder(cube, hw).threads(1).build();
+        let mut engine = EngineConfig::paper().build(cube, hw);
         let t = table(&engine, "ABCD");
         let plans: Vec<_> = [1, 2, 3, 4]
             .iter()

@@ -1,0 +1,365 @@
+//! Serving bench: shared optimization windows vs per-session isolation.
+//!
+//! The question the serving layer (`starshare-serve`) exists to answer:
+//! when N sessions are in flight at once, how much does pooling their
+//! queries into one optimization window buy over giving every session its
+//! own engine? The workload models N dashboard sessions whose query sets
+//! overlap partially (session `s` asks paper queries `s+1` and `s+2`,
+//! wrapping at 9) — more sessions, more overlap, which is the serving
+//! claim under test.
+//!
+//! For each session count the bench runs two legs:
+//!
+//! * **shared** — one engine behind a [`Server`]; all N sessions submit
+//!   concurrently and land in a single optimization window (the window is
+//!   configured to close exactly when all N submissions arrived);
+//! * **isolated** — N fresh engines, each running its session's
+//!   expressions alone; simulated costs and walls are summed (one server
+//!   per tenant, no sharing anywhere).
+//!
+//! Alongside the timings, the bench asserts the serving determinism
+//! contract: every windowed per-query answer must be **bit-identical** to
+//! the same submission's solo run, and its attributed cost must equal the
+//! solo cost. Timing claims are gated on the simulated 1998 clock (the
+//! repo's standard deterministic cost currency); walls are recorded, not
+//! gated.
+
+use std::time::Duration;
+
+use starshare_core::{
+    paper_queries::paper_query_text, EngineConfig, ExecStrategy, MorselSpec, OptimizerKind,
+    PaperCubeSpec, QueryResult, SimTime, WindowConfig,
+};
+use starshare_serve::Server;
+
+/// Session counts swept.
+pub const SERVING_SESSIONS: [usize; 4] = [1, 2, 4, 8];
+
+/// Expressions each session submits.
+pub const EXPRS_PER_SESSION: usize = 2;
+
+/// One session count's measurements.
+#[derive(Debug, Clone)]
+pub struct ServingRow {
+    /// Concurrent sessions.
+    pub sessions: usize,
+    /// Queries across the window (after MDX expansion).
+    pub queries: usize,
+    /// Classes in the shared window plan.
+    pub classes: usize,
+    /// Classes fed by more than one session.
+    pub cross_session_classes: usize,
+    /// Queries per class in the shared plan.
+    pub shared_scan_ratio: f64,
+    /// Simulated cost of the shared window execution.
+    pub shared_sim: SimTime,
+    /// Summed simulated cost of the N isolated runs.
+    pub isolated_sim: SimTime,
+    /// Best wall for the whole shared burst (submit → last reply).
+    pub shared_wall: Duration,
+    /// Summed engine wall of the isolated runs (best repeat).
+    pub isolated_wall: Duration,
+    /// Every windowed answer was bit-identical to its solo run, and every
+    /// attributed cost equalled the solo cost.
+    pub differential_ok: bool,
+}
+
+impl ServingRow {
+    /// Isolated sim / shared sim — the sharing speedup.
+    pub fn speedup_sim(&self) -> f64 {
+        self.isolated_sim.as_secs_f64() / self.shared_sim.as_secs_f64().max(1e-12)
+    }
+}
+
+/// Outcome of [`serving_bench`].
+#[derive(Debug, Clone)]
+pub struct ServingBenchResult {
+    /// Paper-cube scale factor.
+    pub scale: f64,
+    /// Timed repeats per leg.
+    pub repeats: u32,
+    /// One row per session count.
+    pub rows: Vec<ServingRow>,
+    /// All rows' differential checks passed.
+    pub differential_ok: bool,
+    /// `shared_scan_ratio` never decreased as sessions grew.
+    pub ratio_monotone: bool,
+    /// Shared sim beat the isolated sum at every count ≥ 4.
+    pub shared_wins_at_4: bool,
+}
+
+fn spec(scale: f64) -> PaperCubeSpec {
+    PaperCubeSpec::scaled(scale)
+}
+
+fn engine(scale: f64) -> starshare_core::Engine {
+    EngineConfig::paper()
+        .optimizer(OptimizerKind::Tplo)
+        .build_paper(spec(scale))
+}
+
+/// Session `s`'s expressions: paper queries `s+1` and onwards, wrapping at
+/// 9 — neighbouring sessions overlap by one query, so cross-session
+/// sharing grows with the session count.
+fn session_exprs(s: usize) -> Vec<&'static str> {
+    (0..EXPRS_PER_SESSION)
+        .map(|k| paper_query_text(1 + (s + k) % 9))
+        .collect()
+}
+
+/// Bitwise row comparison.
+fn rows_equal(a: &QueryResult, b: &QueryResult) -> bool {
+    a.rows.len() == b.rows.len()
+        && a.rows
+            .iter()
+            .zip(&b.rows)
+            .all(|((ka, va), (kb, vb))| ka == kb && va.to_bits() == vb.to_bits())
+}
+
+/// Runs the sweep. Fresh engines per repeat keep every leg cold-cache;
+/// simulated columns are repeat-invariant, walls keep the best repeat.
+pub fn serving_bench(scale: f64, repeats: u32) -> ServingBenchResult {
+    let mut rows = Vec::new();
+    for &n in &SERVING_SESSIONS {
+        rows.push(bench_one(scale, repeats.max(1), n));
+    }
+    let differential_ok = rows.iter().all(|r| r.differential_ok);
+    let ratio_monotone = rows
+        .windows(2)
+        .all(|w| w[1].shared_scan_ratio >= w[0].shared_scan_ratio - 1e-9);
+    let shared_wins_at_4 = rows
+        .iter()
+        .filter(|r| r.sessions >= 4)
+        .all(|r| r.shared_sim <= r.isolated_sim);
+    ServingBenchResult {
+        scale,
+        repeats,
+        rows,
+        differential_ok,
+        ratio_monotone,
+        shared_wins_at_4,
+    }
+}
+
+fn bench_one(scale: f64, repeats: u32, n: usize) -> ServingRow {
+    let sessions: Vec<Vec<&'static str>> = (0..n).map(session_exprs).collect();
+
+    // Isolated leg: each session alone on a fresh engine. The first
+    // repeat's outcomes double as the differential reference.
+    let strategy = ExecStrategy::Morsel(MorselSpec::whole_table());
+    let mut solo_refs = Vec::new();
+    let mut isolated_sim = SimTime::ZERO;
+    let mut isolated_wall = Duration::MAX;
+    for rep in 0..repeats {
+        let mut total_sim = SimTime::ZERO;
+        let mut total_wall = Duration::ZERO;
+        for exprs in &sessions {
+            let mut e = engine(scale);
+            let out = e
+                .mdx_window(&[exprs.as_slice()], OptimizerKind::Tplo, strategy)
+                .expect("solo leg runs");
+            total_sim += out.report.exec.sim;
+            total_wall += out.report.wall;
+            if rep == 0 {
+                solo_refs.push(out);
+            }
+        }
+        isolated_sim = total_sim; // invariant across repeats
+        isolated_wall = isolated_wall.min(total_wall);
+    }
+
+    // Shared leg: one server, all sessions submitting concurrently; the
+    // window closes exactly when every expression has arrived.
+    let total_exprs = n * EXPRS_PER_SESSION;
+    let cfg = WindowConfig::default()
+        .max_exprs(total_exprs)
+        .max_bytes(usize::MAX)
+        .max_wait(Duration::from_secs(10));
+    let mut best: Option<ServingRow> = None;
+    for _ in 0..repeats {
+        let server = Server::start_with(engine(scale), cfg.clone());
+        let started = std::time::Instant::now();
+        let replies: Vec<_> = std::thread::scope(|scope| {
+            let handles: Vec<_> = sessions
+                .iter()
+                .enumerate()
+                .map(|(s, exprs)| {
+                    let session = server.session(&format!("tenant-{s}"));
+                    let exprs = exprs.clone();
+                    scope.spawn(move || session.mdx_many(&exprs).expect("shared leg answers"))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("session thread"))
+                .collect()
+        });
+        let wall = started.elapsed();
+        drop(server);
+
+        let w = replies[0].window;
+        assert!(
+            replies.iter().all(|r| r.window.window_id == w.window_id),
+            "burst split across windows; raise the close budget"
+        );
+        assert_eq!(w.n_submissions, n);
+
+        // Differential check against the solo references (repeat 0 only —
+        // the outcome is deterministic, later repeats reuse the verdict).
+        let differential_ok = best.as_ref().map_or_else(
+            || {
+                replies.iter().zip(&solo_refs).all(|(reply, solo)| {
+                    reply.attributed == solo.attributed[0]
+                        && reply.outcomes.len() == solo.submission(0).len()
+                        && reply.outcomes.iter().zip(solo.submission(0)).all(|(w, s)| {
+                            match (w, s) {
+                                (Ok(w), Ok(s)) => {
+                                    w.results.len() == s.results.len()
+                                        && w.results.iter().zip(&s.results).all(|(a, b)| {
+                                            matches!(
+                                                (a, b),
+                                                (Ok(a), Ok(b)) if rows_equal(a, b)
+                                            )
+                                        })
+                                }
+                                _ => false,
+                            }
+                        })
+                })
+            },
+            |b| b.differential_ok,
+        );
+
+        let row = ServingRow {
+            sessions: n,
+            queries: w.n_queries,
+            classes: w.n_classes,
+            cross_session_classes: w.cross_session_classes,
+            shared_scan_ratio: w.shared_scan_ratio,
+            shared_sim: w.sim,
+            isolated_sim,
+            shared_wall: wall,
+            isolated_wall,
+            differential_ok,
+        };
+        best = Some(match best {
+            Some(prev) if prev.shared_wall <= wall => prev,
+            _ => row,
+        });
+    }
+    best.expect("at least one repeat")
+}
+
+/// Renders the sweep as a text table.
+pub fn render_serving_bench(r: &ServingBenchResult) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>8} {:>8} {:>8} {:>6} {:>7} | {:>11} {:>13} {:>8} | {:>12} {:>13}",
+        "sessions",
+        "queries",
+        "classes",
+        "xsess",
+        "ratio",
+        "shared sim",
+        "isolated sim",
+        "speedup",
+        "shared wall",
+        "isolated wall"
+    );
+    for row in &r.rows {
+        let _ = writeln!(
+            out,
+            "{:>8} {:>8} {:>8} {:>6} {:>7.2} | {:>10.3}s {:>12.3}s {:>7.2}x | {:>10.1}ms {:>11.1}ms",
+            row.sessions,
+            row.queries,
+            row.classes,
+            row.cross_session_classes,
+            row.shared_scan_ratio,
+            row.shared_sim.as_secs_f64(),
+            row.isolated_sim.as_secs_f64(),
+            row.speedup_sim(),
+            row.shared_wall.as_secs_f64() * 1e3,
+            row.isolated_wall.as_secs_f64() * 1e3,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "differential (windowed vs solo, per query): {}",
+        if r.differential_ok {
+            "bit-identical"
+        } else {
+            "DIVERGED"
+        }
+    );
+    out
+}
+
+/// Serializes the sweep as the committed `BENCH_serving.json` payload.
+pub fn serving_bench_json(r: &ServingBenchResult) -> String {
+    let rows = r
+        .rows
+        .iter()
+        .map(|row| {
+            format!(
+                concat!(
+                    "    {{ \"sessions\": {sessions}, \"queries\": {queries}, ",
+                    "\"classes\": {classes}, \"cross_session_classes\": {xsess}, ",
+                    "\"shared_scan_ratio\": {ratio:.4}, ",
+                    "\"shared_sim_ms\": {ssim:.3}, \"isolated_sim_ms\": {isim:.3}, ",
+                    "\"speedup_sim\": {speedup:.3}, ",
+                    "\"shared_wall_ms\": {swall:.3}, \"isolated_wall_ms\": {iwall:.3}, ",
+                    "\"differential_ok\": {diff} }}"
+                ),
+                sessions = row.sessions,
+                queries = row.queries,
+                classes = row.classes,
+                xsess = row.cross_session_classes,
+                ratio = row.shared_scan_ratio,
+                ssim = row.shared_sim.as_secs_f64() * 1e3,
+                isim = row.isolated_sim.as_secs_f64() * 1e3,
+                speedup = row.speedup_sim(),
+                swall = row.shared_wall.as_secs_f64() * 1e3,
+                iwall = row.isolated_wall.as_secs_f64() * 1e3,
+                diff = row.differential_ok,
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"serving\",\n",
+            "  \"scale\": {scale},\n",
+            "  \"repeats\": {repeats},\n",
+            "  \"exprs_per_session\": {eps},\n",
+            "  \"rows\": [\n{rows}\n  ],\n",
+            "  \"differential_ok\": {diff},\n",
+            "  \"ratio_monotone\": {mono},\n",
+            "  \"shared_wins_at_4\": {wins}\n",
+            "}}\n"
+        ),
+        scale = r.scale,
+        repeats = r.repeats,
+        eps = EXPRS_PER_SESSION,
+        rows = rows,
+        diff = r.differential_ok,
+        mono = r.ratio_monotone,
+        wins = r.shared_wins_at_4,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_sweep_holds_every_gate() {
+        let r = serving_bench(0.002, 1);
+        assert!(r.differential_ok, "windowed answers drifted from solo");
+        assert!(r.ratio_monotone, "sharing ratio fell as sessions grew");
+        assert!(r.shared_wins_at_4, "shared window lost to isolation");
+        assert!(r.rows.last().unwrap().cross_session_classes > 0);
+    }
+}

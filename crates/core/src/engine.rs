@@ -1,14 +1,18 @@
 //! The [`Engine`]: end-to-end MDX evaluation.
 
 use std::collections::HashMap;
+use std::time::Duration;
 
 use starshare_exec::{
-    shared_hybrid_join, shared_index_join, ExecContext, ExecError, ExecReport, QueryResult,
+    shared_hybrid_join, shared_index_join, ExecContext, ExecError, ExecReport, ExecStrategy,
+    MorselSpec, QueryResult, WindowReport, WindowTimer,
 };
 use starshare_mdx::{bind, parse, BoundMdx};
 use starshare_olap::{paper_cube, Cube, GroupByQuery, PaperCubeSpec};
-use starshare_opt::{CostModel, GlobalPlan, JoinMethod, OptimizerKind};
-use starshare_storage::{FaultPlan, FaultStats, HardwareModel};
+use starshare_opt::{
+    plan_window, CostModel, GlobalPlan, JoinMethod, OptimizerKind, PlanClass, SharingStats,
+};
+use starshare_storage::{FaultPlan, FaultStats, HardwareModel, SimTime};
 
 use crate::error::{Error, Result};
 
@@ -23,20 +27,7 @@ pub struct PlanExecution {
     pub total: ExecReport,
 }
 
-/// The outcome of one MDX round trip.
-#[derive(Debug)]
-pub struct MdxOutcome {
-    /// What the expression bound to.
-    pub bound: BoundMdx,
-    /// The global plan the optimizer chose.
-    pub plan: GlobalPlan,
-    /// One result per bound query, in binding order.
-    pub results: Vec<QueryResult>,
-    /// Execution totals.
-    pub report: ExecReport,
-}
-
-/// One expression's share of a batched MDX round trip: its binding plus a
+/// One expression's share of an MDX round trip: its binding plus a
 /// per-query outcome for each bound query, in binding order.
 #[derive(Debug)]
 pub struct ExprOutcome {
@@ -52,18 +43,38 @@ impl ExprOutcome {
     pub fn all_ok(&self) -> bool {
         self.results.iter().all(Result::is_ok)
     }
+
+    /// The `i`-th query's result (binding order).
+    ///
+    /// # Panics
+    /// If that query failed — match on [`results`](ExprOutcome::results)
+    /// for error handling.
+    pub fn result(&self, i: usize) -> &QueryResult {
+        self.results[i]
+            .as_ref()
+            .expect("query failed; match on `results` for error handling")
+    }
+
+    /// The successful results, in binding order.
+    pub fn ok_results(&self) -> impl Iterator<Item = &QueryResult> {
+        self.results.iter().filter_map(|r| r.as_ref().ok())
+    }
 }
 
-/// The outcome of a batched MDX round trip ([`Engine::mdx_many`]).
+/// The outcome of an MDX round trip — one expression
+/// ([`Engine::mdx`]) or a whole batch ([`Engine::mdx_many`]); both paths
+/// share this one type.
 ///
 /// Failure is *per query*, not first-error-wins: a parse/bind error fails
 /// only its expression's slot, and an execution fault fails only the
 /// queries it actually touched — every other query in the batch still
 /// carries its result. Only batch-level failures (the optimizer rejecting
-/// the pooled query set) surface as `Err` from
-/// [`mdx_many`](Engine::mdx_many) itself.
+/// the pooled query set) surface as `Err` from the call itself.
+/// [`Engine::mdx`] additionally promotes any per-query error to a
+/// call-level `Err` (a singleton batch has nothing to degrade to), so an
+/// `Outcome` it returns is all-`Ok` by construction.
 #[derive(Debug)]
-pub struct MdxManyOutcome {
+pub struct Outcome {
     /// The single global plan covering every successfully bound
     /// expression's queries.
     pub plan: GlobalPlan,
@@ -75,7 +86,7 @@ pub struct MdxManyOutcome {
     pub report: ExecReport,
 }
 
-impl MdxManyOutcome {
+impl Outcome {
     /// True when every expression bound and every query answered.
     pub fn all_ok(&self) -> bool {
         self.outcomes
@@ -93,6 +104,87 @@ impl MdxManyOutcome {
             })
             .sum()
     }
+
+    /// The `i`-th expression's outcome (input order).
+    ///
+    /// # Panics
+    /// If that expression failed to parse or bind — match on
+    /// [`outcomes`](Outcome::outcomes) for error handling. Always safe on
+    /// an outcome returned by [`Engine::mdx`].
+    pub fn expr(&self, i: usize) -> &ExprOutcome {
+        self.outcomes[i]
+            .as_ref()
+            .expect("expression failed; match on `outcomes` for error handling")
+    }
+
+    /// Every successful result, flattened across expressions in input
+    /// order (binding order within each). After a strict [`Engine::mdx`]
+    /// call this is *all* results of the expression.
+    pub fn results(&self) -> Vec<&QueryResult> {
+        self.outcomes
+            .iter()
+            .flatten()
+            .flat_map(ExprOutcome::ok_results)
+            .collect()
+    }
+
+    /// The `i`-th successful result (see [`results`](Outcome::results)).
+    ///
+    /// # Panics
+    /// If there are fewer than `i + 1` successful results.
+    pub fn result(&self, i: usize) -> &QueryResult {
+        self.results()
+            .get(i)
+            .copied()
+            .expect("no such result; match on `outcomes` for error handling")
+    }
+}
+
+/// Deprecated name for [`Outcome`] (the single- and multi-expression
+/// paths now share one outcome type).
+#[deprecated(since = "0.6.0", note = "use `Outcome`")]
+pub type MdxOutcome = Outcome;
+
+/// Deprecated name for [`Outcome`] (the single- and multi-expression
+/// paths now share one outcome type).
+#[deprecated(since = "0.6.0", note = "use `Outcome`")]
+pub type MdxManyOutcome = Outcome;
+
+/// The outcome of one optimization **window** ([`Engine::mdx_window`]): a
+/// batch of *submissions* (each its own list of MDX expressions, e.g. one
+/// per serving session) planned as a single pooled query set, executed
+/// once, and routed back per submission.
+#[derive(Debug)]
+pub struct WindowOutcome {
+    /// The shared plan over the union of every submission's queries.
+    pub plan: GlobalPlan,
+    /// Per submission, in input order: one outcome per expression (the
+    /// same shape as [`Outcome::outcomes`]).
+    pub submissions: Vec<Vec<Result<ExprOutcome>>>,
+    /// Per submission: the simulated cost its query set would have cost
+    /// *alone* under the same optimizer — the window's cost-attribution
+    /// figure. Independent of window-mates by construction (zero for
+    /// submissions with no bound queries, and for fully cached windows).
+    pub attributed: Vec<SimTime>,
+    /// How much cross-submission sharing the plan achieved.
+    pub sharing: SharingStats,
+    /// Window-level accounting (plan wall, execution totals, envelope).
+    pub report: WindowReport,
+}
+
+impl WindowOutcome {
+    /// The `i`-th submission's expression outcomes.
+    pub fn submission(&self, i: usize) -> &[Result<ExprOutcome>] {
+        &self.submissions[i]
+    }
+
+    /// True when every expression of every submission fully answered.
+    pub fn all_ok(&self) -> bool {
+        self.submissions
+            .iter()
+            .flatten()
+            .all(|o| o.as_ref().is_ok_and(ExprOutcome::all_ok))
+    }
 }
 
 /// The result of executing one [`GlobalPlan`] with per-query degradation
@@ -109,6 +201,238 @@ pub struct DegradedExecution {
     pub total: ExecReport,
 }
 
+/// How a serving layer batches submissions into optimization windows and
+/// guards its own capacity (`starshare-serve`; carried by
+/// [`EngineConfig::window`]).
+///
+/// A window *closes* — freezing the submissions that will be planned and
+/// executed together — as soon as any of the three close conditions
+/// trips: expression count ([`max_exprs`](WindowConfig::max_exprs)), MDX
+/// byte budget ([`max_bytes`](WindowConfig::max_bytes)), or deadline
+/// since the first submission ([`max_wait`](WindowConfig::max_wait)).
+#[derive(Debug, Clone)]
+pub struct WindowConfig {
+    /// Close the window once it holds this many expressions (≥ 1).
+    pub max_exprs: usize,
+    /// Close the window once its pooled MDX text reaches this many bytes.
+    pub max_bytes: usize,
+    /// Close the window this long after its first submission arrived,
+    /// even if count/byte budgets have room — the latency bound a
+    /// submission pays for sharing.
+    pub max_wait: Duration,
+    /// Capacity of the server's submission queue; a submission arriving
+    /// when it is full is rejected with
+    /// [`Overload::Queue`](crate::Overload::Queue).
+    pub queue_depth: usize,
+    /// Per-tenant in-flight submission budget; beyond it a tenant's
+    /// submissions are rejected with
+    /// [`Overload::Tenant`](crate::Overload::Tenant).
+    pub tenant_inflight: usize,
+    /// Optimizer for window plans. Defaults to TPLO — the only algorithm
+    /// whose per-query assignments are independent of window-mates, which
+    /// is what makes windowed results bit-identical to solo runs (see
+    /// `starshare_opt::window`).
+    pub optimizer: OptimizerKind,
+    /// Pages per morsel for window execution. Defaults to `u32::MAX`
+    /// (whole-table morsels): probe-morsel boundaries depend on the
+    /// class's *combined* candidate bitmap, so smaller morsels would let
+    /// window-mates shift float summation order. Whole-table units keep
+    /// windowed results bit-identical to solo runs at any thread count.
+    pub morsel_pages: u32,
+}
+
+impl Default for WindowConfig {
+    fn default() -> Self {
+        WindowConfig {
+            max_exprs: 16,
+            max_bytes: 64 * 1024,
+            max_wait: Duration::from_millis(2),
+            queue_depth: 256,
+            tenant_inflight: 32,
+            optimizer: OptimizerKind::Tplo,
+            morsel_pages: u32::MAX,
+        }
+    }
+}
+
+impl WindowConfig {
+    /// Sets the expression-count close condition (clamped to ≥ 1).
+    pub fn max_exprs(mut self, n: usize) -> Self {
+        self.max_exprs = n.max(1);
+        self
+    }
+
+    /// Sets the pooled-byte close condition.
+    pub fn max_bytes(mut self, n: usize) -> Self {
+        self.max_bytes = n;
+        self
+    }
+
+    /// Sets the deadline close condition.
+    pub fn max_wait(mut self, d: Duration) -> Self {
+        self.max_wait = d;
+        self
+    }
+
+    /// Sets the submission-queue capacity (clamped to ≥ 1).
+    pub fn queue_depth(mut self, n: usize) -> Self {
+        self.queue_depth = n.max(1);
+        self
+    }
+
+    /// Sets the per-tenant in-flight budget (clamped to ≥ 1).
+    pub fn tenant_inflight(mut self, n: usize) -> Self {
+        self.tenant_inflight = n.max(1);
+        self
+    }
+
+    /// Sets the window optimizer. Anything but
+    /// [`Tplo`](OptimizerKind::Tplo) trades the windowed-equals-solo
+    /// bit-identity guarantee for more aggressive sharing.
+    pub fn optimizer(mut self, kind: OptimizerKind) -> Self {
+        self.optimizer = kind;
+        self
+    }
+
+    /// Sets the pages-per-morsel for window execution (clamped to ≥ 1).
+    /// Anything but `u32::MAX` trades the windowed-equals-solo
+    /// bit-identity guarantee for finer parallel load balancing.
+    pub fn morsel_pages(mut self, pages: u32) -> Self {
+        self.morsel_pages = pages.max(1);
+        self
+    }
+}
+
+/// Everything configurable about an [`Engine`], as one plain, clonable
+/// value — optimizer, result cache, worker threads, execution strategy,
+/// and the serving-window knobs ([`WindowConfig`]).
+///
+/// This replaces the old `Engine::new(..)` vs `EngineBuilder` split: a
+/// config is built once (and can be cloned, stored, and shared — unlike a
+/// builder holding the cube), then applied to a cube with
+/// [`build`](EngineConfig::build) or [`build_paper`](EngineConfig::build_paper).
+///
+/// ```
+/// use starshare_core::{EngineConfig, OptimizerKind, PaperCubeSpec};
+///
+/// let engine = EngineConfig::paper()
+///     .optimizer(OptimizerKind::Tplo)
+///     .result_cache(true)
+///     .threads(4)
+///     .build_paper(PaperCubeSpec::scaled(0.002));
+/// assert_eq!(engine.threads(), 4);
+/// assert_eq!(engine.optimizer(), OptimizerKind::Tplo);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Optimizer used by [`Engine::mdx`]/[`Engine::mdx_many`].
+    pub optimizer: OptimizerKind,
+    /// Whether repeated [`GroupByQuery`]s are answered from memory with
+    /// zero simulated cost. Invalidated wholesale by
+    /// [`Engine::append_facts`]. Off by default — the experiment harness
+    /// must re-execute.
+    pub result_cache: bool,
+    /// Worker threads for plan execution (1 = the sequential in-place
+    /// path). Results and simulated times are identical at any thread
+    /// count; only wall time changes.
+    pub threads: usize,
+    /// How the parallel path carves classes into work units.
+    pub strategy: ExecStrategy,
+    /// Serving-window behavior (used by `starshare-serve`).
+    pub window: WindowConfig,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EngineConfig {
+    /// The general-purpose default: GG optimizer, no result cache, and as
+    /// many worker threads as the host offers — results and simulated
+    /// times are identical at any thread count (the determinism contract
+    /// in `starshare_exec::parallel`), so running wide is free. Use
+    /// [`paper`](EngineConfig::paper) when reproducing the paper's
+    /// uniprocessor experiments.
+    pub fn new() -> Self {
+        EngineConfig {
+            optimizer: OptimizerKind::Gg,
+            result_cache: false,
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            strategy: ExecStrategy::Morsel(MorselSpec::default()),
+            window: WindowConfig::default(),
+        }
+    }
+
+    /// The paper-experiment default: like [`new`](EngineConfig::new) but
+    /// pinned to one thread — the paper's experiments model a 1998
+    /// uniprocessor, and the sequential in-place path additionally lets
+    /// later queries in a session reuse the shared pool's residency,
+    /// exactly the behavior the paper's experiments measure.
+    pub fn paper() -> Self {
+        Self::new().threads(1)
+    }
+
+    /// Selects the optimizer used by [`Engine::mdx`] (default: GG).
+    pub fn optimizer(mut self, kind: OptimizerKind) -> Self {
+        self.optimizer = kind;
+        self
+    }
+
+    /// Enables (or disables) the query-result cache.
+    pub fn result_cache(mut self, on: bool) -> Self {
+        self.result_cache = on;
+        self
+    }
+
+    /// Sets the worker-thread count for plan execution (clamped to ≥ 1).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n.max(1);
+        self
+    }
+
+    /// Sets the pages-per-morsel size for parallel execution (clamped to
+    /// ≥ 1) by selecting a morsel strategy of that granularity. Smaller
+    /// morsels balance load better at the price of more per-morsel
+    /// overhead; `u32::MAX` degenerates to one morsel per class. Results
+    /// are invariant to within float reassociation; I/O counters are
+    /// exactly invariant (morsels are page-aligned).
+    pub fn morsel_pages(mut self, pages: u32) -> Self {
+        self.strategy = ExecStrategy::Morsel(MorselSpec::with_pages(pages));
+        self
+    }
+
+    /// Sets the execution strategy directly (e.g.
+    /// [`ExecStrategy::LegacyFixed8`] for the pre-morsel baseline).
+    pub fn strategy(mut self, strategy: ExecStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Sets the serving-window knobs.
+    pub fn window(mut self, window: WindowConfig) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Builds an engine over an existing cube and hardware model.
+    pub fn build(self, cube: Cube, model: HardwareModel) -> Engine {
+        Engine {
+            cube,
+            ctx: ExecContext::new(model),
+            cache: self.result_cache.then(HashMap::new),
+            config: self,
+        }
+    }
+
+    /// Builds an engine over the paper's test database (§7.2) under the
+    /// 1998 hardware model.
+    pub fn build_paper(self, spec: PaperCubeSpec) -> Engine {
+        self.build(paper_cube(spec), HardwareModel::paper_1998())
+    }
+}
+
 /// An OLAP engine over one cube.
 ///
 /// Holds the buffer pool across calls (repeated queries benefit from cached
@@ -118,189 +442,151 @@ pub struct DegradedExecution {
 pub struct Engine {
     cube: Cube,
     ctx: ExecContext,
-    optimizer: OptimizerKind,
-    /// Opt-in query-result cache (see [`EngineBuilder::result_cache`]).
+    /// Opt-in query-result cache (see [`EngineConfig::result_cache`]).
     cache: Option<HashMap<GroupByQuery, QueryResult>>,
-    /// Worker threads for plan execution (1 = the sequential legacy path).
-    threads: usize,
-    /// Pages per morsel for the parallel path (see
-    /// [`EngineBuilder::morsel_pages`]).
-    morsel_pages: u32,
+    config: EngineConfig,
 }
 
-/// Builds an [`Engine`]: cube + hardware model, plus the optional knobs
-/// (optimizer, result cache, worker threads) that used to live on consuming
-/// `with_*` methods.
-///
-/// ```
-/// use starshare_core::{EngineBuilder, OptimizerKind, PaperCubeSpec};
-///
-/// let engine = EngineBuilder::paper(PaperCubeSpec::scaled(0.002))
-///     .optimizer(OptimizerKind::Tplo)
-///     .result_cache(true)
-///     .threads(4)
-///     .build();
-/// assert_eq!(engine.threads(), 4);
-/// ```
+/// Deprecated builder for an [`Engine`] — use [`EngineConfig`], which is
+/// clonable and does not hold the cube hostage while you configure.
+#[deprecated(since = "0.6.0", note = "use `EngineConfig`")]
 #[derive(Debug)]
 pub struct EngineBuilder {
     cube: Cube,
     model: HardwareModel,
-    optimizer: OptimizerKind,
-    cache: bool,
-    threads: usize,
-    morsel_pages: u32,
+    config: EngineConfig,
 }
 
+#[allow(deprecated)]
 impl EngineBuilder {
     /// Starts a builder over an existing cube and hardware model.
-    ///
-    /// The thread count defaults to the host's available parallelism:
-    /// results and simulated times are identical at any thread count (the
-    /// determinism contract in `starshare_exec::parallel`), so running as
-    /// wide as the hardware allows is free. Use
-    /// [`paper`](EngineBuilder::paper) — which pins one thread — when
-    /// reproducing the paper's uniprocessor experiments.
     pub fn new(cube: Cube, model: HardwareModel) -> Self {
         EngineBuilder {
             cube,
             model,
-            optimizer: OptimizerKind::Gg,
-            cache: false,
-            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
-            morsel_pages: starshare_exec::DEFAULT_MORSEL_PAGES,
+            config: EngineConfig::new(),
         }
     }
 
     /// Starts a builder over the paper's test database (§7.2) under the
-    /// 1998 hardware model.
-    ///
-    /// Pins `threads` to 1: the paper's experiments model a 1998
-    /// uniprocessor, and the sequential in-place path additionally lets
-    /// later queries in a session reuse the shared pool's residency —
-    /// exactly the behavior the paper experiments measure. Chain
-    /// [`threads`](EngineBuilder::threads) after this to opt back into
-    /// parallel execution.
+    /// 1998 hardware model, pinned to one thread.
     pub fn paper(spec: PaperCubeSpec) -> Self {
         Self::new(paper_cube(spec), HardwareModel::paper_1998()).threads(1)
     }
 
     /// Selects the optimizer used by [`Engine::mdx`] (default: GG).
     pub fn optimizer(mut self, kind: OptimizerKind) -> Self {
-        self.optimizer = kind;
+        self.config = self.config.optimizer(kind);
         self
     }
 
-    /// Enables (or disables) the query-result cache: a repeated
-    /// [`GroupByQuery`] is answered from memory with zero simulated cost.
-    /// The cache is invalidated wholesale by [`Engine::append_facts`].
-    /// Off by default — the experiment harness must re-execute.
+    /// Enables (or disables) the query-result cache.
     pub fn result_cache(mut self, on: bool) -> Self {
-        self.cache = on;
+        self.config = self.config.result_cache(on);
         self
     }
 
     /// Sets the worker-thread count for plan execution (clamped to ≥ 1).
-    /// Results and simulated times are identical at any thread count; only
-    /// wall time changes. Defaults to the host's available parallelism
-    /// ([`new`](EngineBuilder::new)) or 1 ([`paper`](EngineBuilder::paper)).
-    /// 1 selects the sequential in-place path.
     pub fn threads(mut self, n: usize) -> Self {
-        self.threads = n.max(1);
+        self.config = self.config.threads(n);
         self
     }
 
-    /// Sets the pages-per-morsel size for parallel execution (clamped to
-    /// ≥ 1). Smaller morsels balance load better at the price of more
-    /// per-morsel overhead; `u32::MAX` degenerates to one morsel per
-    /// class. Results are invariant to within float reassociation; I/O
-    /// counters are exactly invariant (morsels are page-aligned).
+    /// Sets the pages-per-morsel size for parallel execution.
     pub fn morsel_pages(mut self, pages: u32) -> Self {
-        self.morsel_pages = pages.max(1);
+        self.config = self.config.morsel_pages(pages);
         self
     }
 
     /// Builds the engine.
     pub fn build(self) -> Engine {
-        Engine {
-            cube: self.cube,
-            ctx: ExecContext::new(self.model),
-            optimizer: self.optimizer,
-            cache: self.cache.then(HashMap::new),
-            threads: self.threads,
-            morsel_pages: self.morsel_pages,
-        }
+        self.config.build(self.cube, self.model)
     }
 }
 
 impl Engine {
-    /// An engine over an existing cube with the given hardware model.
+    /// An engine over an existing cube with the given hardware model and
+    /// the default [`EngineConfig`].
     pub fn new(cube: Cube, model: HardwareModel) -> Self {
-        EngineBuilder::new(cube, model).build()
+        EngineConfig::new().build(cube, model)
     }
 
     /// An engine over the paper's test database (§7.2) under the 1998
-    /// hardware model.
+    /// hardware model and the paper [`EngineConfig`] (one thread).
     pub fn paper(spec: PaperCubeSpec) -> Self {
-        EngineBuilder::paper(spec).build()
+        EngineConfig::paper().build_paper(spec)
     }
 
-    /// Starts an [`EngineBuilder`] (the non-consuming way to configure an
-    /// engine before construction).
+    /// An engine over an existing cube with an explicit configuration
+    /// (equivalent to [`EngineConfig::build`]).
+    pub fn with_config(cube: Cube, model: HardwareModel, config: EngineConfig) -> Self {
+        config.build(cube, model)
+    }
+
+    /// Starts an [`EngineBuilder`].
+    #[deprecated(since = "0.6.0", note = "use `EngineConfig`")]
+    #[allow(deprecated)]
     pub fn builder(cube: Cube, model: HardwareModel) -> EngineBuilder {
         EngineBuilder::new(cube, model)
     }
 
     /// Selects the optimizer used by [`mdx`](Engine::mdx) (default: GG).
-    #[deprecated(since = "0.2.0", note = "use `EngineBuilder::optimizer`")]
+    #[deprecated(since = "0.2.0", note = "use `EngineConfig::optimizer`")]
     pub fn with_optimizer(mut self, kind: OptimizerKind) -> Self {
-        self.optimizer = kind;
+        self.config.optimizer = kind;
         self
     }
 
     /// Enables the query-result cache.
-    #[deprecated(since = "0.2.0", note = "use `EngineBuilder::result_cache`")]
+    #[deprecated(since = "0.2.0", note = "use `EngineConfig::result_cache`")]
     pub fn with_result_cache(mut self) -> Self {
         self.cache = Some(HashMap::new());
+        self.config.result_cache = true;
         self
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
     }
 
     /// Switches the optimizer on a live engine (e.g. a CLI session).
     pub fn set_optimizer(&mut self, kind: OptimizerKind) {
-        self.optimizer = kind;
+        self.config.optimizer = kind;
     }
 
     /// The optimizer [`mdx`](Engine::mdx) currently uses.
     pub fn optimizer(&self) -> OptimizerKind {
-        self.optimizer
+        self.config.optimizer
     }
 
     /// Worker threads used for plan execution.
     pub fn threads(&self) -> usize {
-        self.threads
+        self.config.threads
     }
 
     /// Sets the worker-thread count on a live engine (clamped to ≥ 1).
     pub fn set_threads(&mut self, n: usize) {
-        self.threads = n.max(1);
+        self.config.threads = n.max(1);
     }
 
-    /// Pages per morsel used by the parallel path.
+    /// Pages per morsel used by the parallel path (the morsel default if
+    /// a non-morsel strategy is selected).
     pub fn morsel_pages(&self) -> u32 {
-        self.morsel_pages
+        match self.config.strategy {
+            ExecStrategy::Morsel(spec) => spec.pages,
+            _ => starshare_exec::DEFAULT_MORSEL_PAGES,
+        }
     }
 
     /// Sets the pages-per-morsel size on a live engine (clamped to ≥ 1).
     pub fn set_morsel_pages(&mut self, pages: u32) {
-        self.morsel_pages = pages.max(1);
+        self.config.strategy = ExecStrategy::Morsel(MorselSpec::with_pages(pages));
     }
 
-    /// The [`starshare_exec::ExecStrategy`] the engine's parallel path
-    /// runs under: morsel-driven, at the engine's morsel size.
-    fn exec_strategy(&self) -> starshare_exec::ExecStrategy {
-        starshare_exec::ExecStrategy::Morsel(starshare_exec::MorselSpec::with_pages(
-            self.morsel_pages,
-        ))
+    /// The [`ExecStrategy`] the engine's parallel path runs under.
+    fn exec_strategy(&self) -> ExecStrategy {
+        self.config.strategy
     }
 
     /// Cached results currently held (0 when the cache is disabled).
@@ -347,23 +633,27 @@ impl Engine {
     /// A thin wrapper over [`mdx_many`](Engine::mdx_many) with a singleton
     /// batch — both paths share one implementation. With only one
     /// expression there is nothing to degrade to, so the first per-query
-    /// error (if any) becomes the call's error.
-    pub fn mdx(&mut self, text: &str) -> Result<MdxOutcome> {
-        let mut many = self.mdx_many(&[text])?;
-        let outcome = many.outcomes.pop().expect("one expression in, one out")?;
-        let results = outcome.results.into_iter().collect::<Result<Vec<_>>>()?;
-        Ok(MdxOutcome {
-            bound: outcome.bound,
-            plan: many.plan,
-            results,
-            report: many.report,
-        })
+    /// error (if any) becomes the call's error; a returned [`Outcome`] is
+    /// therefore all-`Ok`, and [`Outcome::expr`]/[`Outcome::result`] are
+    /// safe on it.
+    pub fn mdx(&mut self, text: &str) -> Result<Outcome> {
+        let mut out = self.mdx_many(&[text])?;
+        let expr = out.outcomes.pop().expect("one expression in, one out")?;
+        if let Some(e) = expr.results.iter().find_map(|r| r.as_ref().err()) {
+            return Err(e.clone());
+        }
+        out.outcomes.push(Ok(expr));
+        Ok(out)
     }
 
     /// Like [`mdx`](Engine::mdx) but over a whole *batch* of MDX
     /// expressions: all their queries are pooled and optimized as one unit,
     /// so sharing can cross expression boundaries (the paper optimizes per
     /// expression; a multi-user OLAP server sees exactly this batch shape).
+    ///
+    /// A thin wrapper over [`mdx_window`](Engine::mdx_window) with a
+    /// single submission, the engine's optimizer, and the engine's
+    /// execution strategy.
     ///
     /// Failures degrade per query, not per batch: an expression that fails
     /// to parse or bind occupies an `Err` outcome slot, and an execution
@@ -375,92 +665,247 @@ impl Engine {
     /// When the result cache is enabled and *every* query in the batch is
     /// cached, the whole batch is served from memory with zero simulated
     /// cost.
-    pub fn mdx_many(&mut self, texts: &[&str]) -> Result<MdxManyOutcome> {
-        let mut bounds: Vec<Result<BoundMdx>> = Vec::with_capacity(texts.len());
-        let mut all_queries = Vec::new();
-        for text in texts {
-            match parse(text)
-                .map_err(Error::from)
-                .and_then(|expr| bind(&self.cube.schema, &expr).map_err(Error::from))
-            {
-                Ok(bound) => {
-                    all_queries.extend(bound.queries.clone());
-                    bounds.push(Ok(bound));
-                }
-                Err(e) => bounds.push(Err(e)),
-            }
-        }
-        type TakeFn<'a> = Box<dyn FnMut(&GroupByQuery) -> Result<QueryResult> + 'a>;
-        let finish = |bounds: Vec<Result<BoundMdx>>,
-                      plan: GlobalPlan,
-                      mut take: TakeFn<'_>,
-                      report: ExecReport| {
-            let outcomes = bounds
+    pub fn mdx_many(&mut self, texts: &[&str]) -> Result<Outcome> {
+        let window = self.mdx_window(&[texts], self.config.optimizer, self.exec_strategy())?;
+        let mut submissions = window.submissions;
+        Ok(Outcome {
+            plan: window.plan,
+            outcomes: submissions.pop().expect("one submission in, one out"),
+            report: window.report.exec,
+        })
+    }
+
+    /// Evaluates one optimization **window**: several independent
+    /// *submissions* (each its own batch of MDX expressions — e.g. one
+    /// per serving session), planned as a single pooled query set with
+    /// `optimizer`, executed once under `strategy`, and routed back per
+    /// submission. This is the entry point `starshare-serve` drives; the
+    /// engine's own [`mdx_many`](Engine::mdx_many) is the single-submission
+    /// special case.
+    ///
+    /// Per-submission isolation inside the shared run:
+    ///
+    /// * parse/bind errors fail only their expression's slot;
+    /// * an execution failure (e.g. an injected storage fault) in a class
+    ///   shared by several submissions triggers a **per-owner re-run** of
+    ///   that class, so one submission's fault cannot fail a window-mate —
+    ///   each owner's sub-class either answers or fails alone (a window
+    ///   with a single submission skips this and keeps plain per-class
+    ///   degradation);
+    /// * [`WindowOutcome::attributed`] prices each submission's query set
+    ///   *as if it ran alone* — independent of window-mates.
+    ///
+    /// Determinism: with an assignment-stable optimizer
+    /// ([`Tplo`](OptimizerKind::Tplo)) and whole-table morsels
+    /// ([`MorselSpec::whole_table`]), a submission's results are
+    /// bit-identical to running it alone — see `starshare_opt::window`
+    /// for the argument and [`WindowConfig`] for the defaults that pin
+    /// this.
+    pub fn mdx_window<S: AsRef<str>>(
+        &mut self,
+        submissions: &[&[S]],
+        optimizer: OptimizerKind,
+        strategy: ExecStrategy,
+    ) -> Result<WindowOutcome> {
+        // Routes executed (or cached) per-query outcomes back to their
+        // submissions, preserving expression input order and binding
+        // order within each expression.
+        fn route(
+            bounds: Vec<Vec<Result<BoundMdx>>>,
+            take: &mut dyn FnMut(usize, &GroupByQuery) -> Result<QueryResult>,
+        ) -> Vec<Vec<Result<ExprOutcome>>> {
+            bounds
                 .into_iter()
-                .map(|b| {
-                    b.map(|bound| {
-                        let results = bound.queries.iter().map(&mut take).collect();
-                        ExprOutcome { bound, results }
-                    })
+                .enumerate()
+                .map(|(si, sub)| {
+                    sub.into_iter()
+                        .map(|b| {
+                            b.map(|bound| {
+                                let results = bound.queries.iter().map(|q| take(si, q)).collect();
+                                ExprOutcome { bound, results }
+                            })
+                        })
+                        .collect()
                 })
-                .collect();
-            MdxManyOutcome {
-                plan,
-                outcomes,
-                report,
+                .collect()
+        }
+
+        let mut timer = WindowTimer::start();
+        let mut bounds: Vec<Vec<Result<BoundMdx>>> = Vec::with_capacity(submissions.len());
+        let mut sets: Vec<Vec<GroupByQuery>> = Vec::with_capacity(submissions.len());
+        for texts in submissions {
+            let mut sub_bounds = Vec::with_capacity(texts.len());
+            let mut set = Vec::new();
+            for text in texts.iter() {
+                match parse(text.as_ref())
+                    .map_err(Error::from)
+                    .and_then(|expr| bind(&self.cube.schema, &expr).map_err(Error::from))
+                {
+                    Ok(bound) => {
+                        set.extend(bound.queries.clone());
+                        sub_bounds.push(Ok(bound));
+                    }
+                    Err(e) => sub_bounds.push(Err(e)),
+                }
             }
+            bounds.push(sub_bounds);
+            sets.push(set);
+        }
+        let n_queries: usize = sets.iter().map(Vec::len).sum();
+        let degenerate_sharing = SharingStats {
+            n_submissions: submissions.len(),
+            n_queries,
+            n_classes: 0,
+            cross_submission_classes: 0,
+            shared_scan_ratio: 1.0,
         };
-        // A fully-cached batch is served from memory.
+
+        // A fully-cached window is served from memory.
         if let Some(cache) = &self.cache {
-            if all_queries.iter().all(|q| cache.contains_key(q)) && !all_queries.is_empty() {
-                return Ok(finish(
-                    bounds,
-                    GlobalPlan::default(),
-                    Box::new(|q| Ok(cache.get(q).cloned().expect("checked above"))),
-                    ExecReport::default(),
-                ));
+            if n_queries > 0 && sets.iter().flatten().all(|q| cache.contains_key(q)) {
+                let routed = route(bounds, &mut |_, q| {
+                    Ok(cache.get(q).cloned().expect("checked above"))
+                });
+                return Ok(WindowOutcome {
+                    plan: GlobalPlan::default(),
+                    submissions: routed,
+                    attributed: vec![SimTime::ZERO; sets.len()],
+                    sharing: degenerate_sharing,
+                    report: timer.finish(ExecReport::default(), sets.len(), n_queries, 0),
+                });
             }
         }
-        if all_queries.is_empty() {
+        if n_queries == 0 {
             // Every expression failed to parse/bind (or bound to nothing):
             // no plan to run.
-            return Ok(finish(
-                bounds,
-                GlobalPlan::default(),
-                Box::new(|_| Err(Error::Exec(ExecError::new("expression bound no queries")))),
-                ExecReport::default(),
-            ));
+            let routed = route(bounds, &mut |_, _| {
+                Err(Error::Exec(ExecError::new("expression bound no queries")))
+            });
+            return Ok(WindowOutcome {
+                plan: GlobalPlan::default(),
+                submissions: routed,
+                attributed: vec![SimTime::ZERO; sets.len()],
+                sharing: degenerate_sharing,
+                report: timer.finish(ExecReport::default(), sets.len(), 0, 0),
+            });
         }
-        let plan = self.optimizer.run(&self.cost_model(), &all_queries)?;
-        let exec = self.execute_plan_degraded(&plan);
+
+        let (wp, attributed) = {
+            let cm = self.cost_model();
+            let wp = plan_window(&cm, &sets, optimizer)?;
+            // Price each submission as if it ran alone — the window's
+            // cost-attribution figure, independent of window-mates. A
+            // single-submission window *is* its own solo run.
+            let attributed: Vec<SimTime> = if sets.len() == 1 {
+                vec![wp.plan.estimated_cost]
+            } else {
+                sets.iter()
+                    .map(|set| {
+                        if set.is_empty() {
+                            Ok(SimTime::ZERO)
+                        } else {
+                            Ok(optimizer.run(&cm, set)?.estimated_cost)
+                        }
+                    })
+                    .collect::<Result<_>>()?
+            };
+            (wp, attributed)
+        };
+        timer.planned();
+        let plan = wp.plan;
+        let owners = wp.owners;
+        let sharing = wp.sharing;
+
+        let exec = self.execute_plan_degraded_with(&plan, strategy);
+        let mut results = exec.results;
+        let mut total = exec.total;
+
+        // Fault isolation across submissions: a failed class whose slots
+        // belong to more than one submission is re-run once per owner, so
+        // one submission's fault cannot take a window-mate's queries
+        // down. Single-owner failures stand — they are that submission's
+        // own degradation (PR 3 semantics).
+        if sharing.n_submissions > 1 {
+            let mut base = 0usize;
+            for class in &plan.classes {
+                let len = class.plans.len();
+                let slots = base..base + len;
+                base += len;
+                if len == 0 || !results[slots.clone()].iter().all(|r| r.is_err()) {
+                    continue;
+                }
+                let owner_slice = &owners[slots.clone()];
+                let mut distinct: Vec<usize> = Vec::new();
+                for &o in owner_slice {
+                    if !distinct.contains(&o) {
+                        distinct.push(o);
+                    }
+                }
+                if distinct.len() < 2 {
+                    continue;
+                }
+                for &o in &distinct {
+                    let sub = PlanClass {
+                        table: class.table,
+                        plans: class
+                            .plans
+                            .iter()
+                            .zip(owner_slice)
+                            .filter(|&(_, po)| *po == o)
+                            .map(|(p, _)| p.clone())
+                            .collect(),
+                    };
+                    match self.run_class(&sub, strategy) {
+                        Ok((rs, rep)) => {
+                            let mut it = rs.into_iter();
+                            for (slot, &po) in slots.clone().zip(owner_slice) {
+                                if po == o {
+                                    results[slot] = Ok(it.next().expect("one result per query"));
+                                }
+                            }
+                            total.merge(&rep);
+                        }
+                        Err(e) => {
+                            for (slot, &po) in slots.clone().zip(owner_slice) {
+                                if po == o {
+                                    results[slot] = Err(Error::from(e.clone()));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
         // Distribute outcomes back to expressions (binding order within
-        // each). Duplicate queries across expressions each consume one plan
-        // slot, in plan order.
-        let mut pool: Vec<Option<Result<QueryResult>>> =
-            exec.results.into_iter().map(Some).collect();
+        // each). Duplicate queries each consume one owned plan slot, in
+        // plan order.
         let plan_queries: Vec<GroupByQuery> =
             plan.assignments().map(|(_, q, _)| q.clone()).collect();
-        let out = finish(
-            bounds,
-            plan,
-            Box::new(|q| {
-                let slot = plan_queries
-                    .iter()
-                    .enumerate()
-                    .position(|(i, pq)| pool[i].is_some() && pq == q)
-                    .ok_or_else(|| Error::Exec(ExecError::new("plan lost a query")))?;
-                pool[slot].take().expect("checked above")
-            }),
-            exec.total,
-        );
+        let mut pool: Vec<Option<Result<QueryResult>>> = results.into_iter().map(Some).collect();
+        let routed = route(bounds, &mut |si, q| {
+            let slot = plan_queries
+                .iter()
+                .enumerate()
+                .position(|(i, pq)| pool[i].is_some() && owners[i] == si && pq == q)
+                .ok_or_else(|| Error::Exec(ExecError::new("plan lost a query")))?;
+            pool[slot].take().expect("checked above")
+        });
         if let Some(cache) = &mut self.cache {
-            for oc in out.outcomes.iter().flatten() {
+            for oc in routed.iter().flatten().flatten() {
                 for r in oc.results.iter().flatten() {
                     cache.insert(r.query.clone(), r.clone());
                 }
             }
         }
-        Ok(out)
+        let n_classes = plan.classes.len();
+        Ok(WindowOutcome {
+            plan,
+            submissions: routed,
+            attributed,
+            sharing,
+            report: timer.finish(total, sets.len(), n_queries, n_classes),
+        })
     }
 
     /// Optimizes a query set with a specific algorithm.
@@ -478,8 +923,8 @@ impl Engine {
     /// of 1 keeps the sequential in-place path, whose pool accounting
     /// existing experiments depend on.
     pub fn execute_plan(&mut self, plan: &GlobalPlan) -> Result<PlanExecution> {
-        if self.threads > 1 {
-            return self.execute_plan_threads(plan, self.threads);
+        if self.config.threads > 1 {
+            return self.execute_plan_threads(plan, self.config.threads);
         }
         let mut results = Vec::with_capacity(plan.n_queries());
         let mut per_class = Vec::with_capacity(plan.classes.len());
@@ -537,61 +982,26 @@ impl Engine {
     /// A failed class's report stays at the defaults: its partial work is
     /// interleaved into the shared pool and not separable per class.
     pub fn execute_plan_degraded(&mut self, plan: &GlobalPlan) -> DegradedExecution {
+        self.execute_plan_degraded_with(plan, self.exec_strategy())
+    }
+
+    /// [`execute_plan_degraded`](Engine::execute_plan_degraded) under an
+    /// explicit [`ExecStrategy`] — the window path uses this to pin
+    /// whole-table morsels regardless of the engine's own strategy. With
+    /// one worker thread the strategy is irrelevant: the sequential
+    /// in-place path runs the shared joins directly.
+    pub fn execute_plan_degraded_with(
+        &mut self,
+        plan: &GlobalPlan,
+        strategy: ExecStrategy,
+    ) -> DegradedExecution {
         let mut results: Vec<Result<QueryResult>> = Vec::with_capacity(plan.n_queries());
         let mut per_class = Vec::with_capacity(plan.classes.len());
         let mut total = ExecReport::default();
         for class in &plan.classes {
-            let hash_qs: Vec<GroupByQuery> = class
-                .plans
-                .iter()
-                .filter(|p| p.method == JoinMethod::Hash)
-                .map(|p| p.query.clone())
-                .collect();
-            let index_qs: Vec<GroupByQuery> = class
-                .plans
-                .iter()
-                .filter(|p| p.method == JoinMethod::Index)
-                .map(|p| p.query.clone())
-                .collect();
-            let strategy = self.exec_strategy();
-            let class_run: std::result::Result<(Vec<QueryResult>, ExecReport), ExecError> =
-                if self.threads > 1 {
-                    // One class per call, so a faulted class cannot take
-                    // its neighbours down with it.
-                    starshare_exec::execute_classes_with(
-                        &mut self.ctx,
-                        &self.cube,
-                        std::slice::from_ref(&starshare_exec::ClassSpec {
-                            table: class.table,
-                            hash_queries: hash_qs.clone(),
-                            index_queries: index_qs.clone(),
-                        }),
-                        self.threads,
-                        strategy,
-                    )
-                    .map(|mut outs| {
-                        let out = outs.pop().expect("one class in, one out");
-                        (out.results, out.report)
-                    })
-                } else if hash_qs.is_empty() {
-                    shared_index_join(&mut self.ctx, &self.cube, class.table, &index_qs)
-                } else {
-                    shared_hybrid_join(&mut self.ctx, &self.cube, class.table, &hash_qs, &index_qs)
-                };
-            match class_run {
+            match self.run_class(class, strategy) {
                 Ok((rs, rep)) => {
-                    // rs is ordered hash-then-index — map back to class
-                    // plan order.
-                    let mut hash_iter = rs.iter().take(hash_qs.len());
-                    let mut index_iter = rs.iter().skip(hash_qs.len());
-                    for p in &class.plans {
-                        let r = match p.method {
-                            JoinMethod::Hash => hash_iter.next(),
-                            JoinMethod::Index => index_iter.next(),
-                        }
-                        .expect("operator returns one result per query");
-                        results.push(Ok(r.clone()));
-                    }
+                    results.extend(rs.into_iter().map(Ok));
                     total.merge(&rep);
                     per_class.push(rep);
                 }
@@ -608,6 +1018,65 @@ impl Engine {
             per_class,
             total,
         }
+    }
+
+    /// Runs one plan class as a shared operator, returning its results
+    /// **in class plan order** plus the class's report. Each call is one
+    /// executor invocation, so a faulted class cannot take its neighbours
+    /// down with it — both the degraded path and the window path's
+    /// per-owner fault-isolation re-runs build on this.
+    fn run_class(
+        &mut self,
+        class: &PlanClass,
+        strategy: ExecStrategy,
+    ) -> std::result::Result<(Vec<QueryResult>, ExecReport), ExecError> {
+        let hash_qs: Vec<GroupByQuery> = class
+            .plans
+            .iter()
+            .filter(|p| p.method == JoinMethod::Hash)
+            .map(|p| p.query.clone())
+            .collect();
+        let index_qs: Vec<GroupByQuery> = class
+            .plans
+            .iter()
+            .filter(|p| p.method == JoinMethod::Index)
+            .map(|p| p.query.clone())
+            .collect();
+        let (rs, rep) = if self.config.threads > 1 {
+            let mut outs = starshare_exec::execute_classes_with(
+                &mut self.ctx,
+                &self.cube,
+                std::slice::from_ref(&starshare_exec::ClassSpec {
+                    table: class.table,
+                    hash_queries: hash_qs.clone(),
+                    index_queries: index_qs.clone(),
+                }),
+                self.config.threads,
+                strategy,
+            )?;
+            let out = outs.pop().expect("one class in, one out");
+            (out.results, out.report)
+        } else if hash_qs.is_empty() {
+            shared_index_join(&mut self.ctx, &self.cube, class.table, &index_qs)?
+        } else {
+            shared_hybrid_join(&mut self.ctx, &self.cube, class.table, &hash_qs, &index_qs)?
+        };
+        // rs is ordered hash-then-index — map back to class plan order.
+        let mut hash_iter = rs.iter().take(hash_qs.len());
+        let mut index_iter = rs.iter().skip(hash_qs.len());
+        let ordered = class
+            .plans
+            .iter()
+            .map(|p| {
+                match p.method {
+                    JoinMethod::Hash => hash_iter.next(),
+                    JoinMethod::Index => index_iter.next(),
+                }
+                .expect("operator returns one result per query")
+                .clone()
+            })
+            .collect();
+        Ok((ordered, rep))
     }
 
     /// Arms deterministic fault injection on the engine's buffer pool: from
@@ -753,11 +1222,11 @@ mod tests {
         let out = e
             .mdx(starshare_mdx::paper_queries::paper_query_text(1))
             .unwrap();
-        assert_eq!(out.results.len(), 1);
+        assert_eq!(out.results().len(), 1);
         let q = bind_paper_query(&e.cube().schema, 1).unwrap();
         let base = e.cube().catalog.base_table().unwrap();
         let expect = reference_eval(e.cube(), base, &q);
-        assert!(out.results[0].approx_eq(&expect, 1e-9));
+        assert!(out.result(0).approx_eq(&expect, 1e-9));
         assert!(out.report.sim > starshare_storage::SimTime::ZERO);
         assert_eq!(out.plan.n_queries(), 1);
     }
@@ -771,9 +1240,10 @@ mod tests {
                  CONTEXT ABCD FILTER (D.DD1);",
             )
             .unwrap();
-        assert_eq!(out.bound.queries.len(), 2);
-        assert_eq!(out.results.len(), 2);
-        for (q, r) in out.bound.queries.iter().zip(&out.results) {
+        let expr = out.expr(0);
+        assert_eq!(expr.bound.queries.len(), 2);
+        assert_eq!(out.results().len(), 2);
+        for (q, r) in expr.bound.queries.iter().zip(out.results()) {
             assert_eq!(&r.query, q, "result order must match binding order");
             let base = e.cube().catalog.base_table().unwrap();
             let expect = reference_eval(e.cube(), base, q);
@@ -946,14 +1416,12 @@ mod tests {
             let e = engine();
             bind_paper_test(&e.cube().schema, 4).unwrap()
         };
-        let mut par = EngineBuilder::paper(PaperCubeSpec {
+        let mut par = EngineConfig::paper().threads(4).build_paper(PaperCubeSpec {
             base_rows: 5_000,
             d_leaf: 48,
             seed: 17,
             with_indexes: true,
-        })
-        .threads(4)
-        .build();
+        });
         let plan = par.optimize(&queries, OptimizerKind::Gg).unwrap();
         let exec = par.execute_plan(&plan).unwrap();
         let base = par.cube().catalog.base_table().unwrap();
@@ -990,7 +1458,7 @@ mod tests {
     #[allow(deprecated)]
     fn engine_optimizer_is_configurable() {
         let e = engine().with_optimizer(OptimizerKind::Tplo);
-        assert_eq!(e.optimizer, OptimizerKind::Tplo);
+        assert_eq!(e.optimizer(), OptimizerKind::Tplo);
     }
 }
 
@@ -1001,14 +1469,14 @@ mod cache_tests {
     use starshare_storage::SimTime;
 
     fn engine() -> Engine {
-        EngineBuilder::paper(starshare_olap::PaperCubeSpec {
-            base_rows: 2_000,
-            d_leaf: 24,
-            seed: 50,
-            with_indexes: true,
-        })
-        .result_cache(true)
-        .build()
+        EngineConfig::paper()
+            .result_cache(true)
+            .build_paper(starshare_olap::PaperCubeSpec {
+                base_rows: 2_000,
+                d_leaf: 24,
+                seed: 50,
+                with_indexes: true,
+            })
     }
 
     #[test]
@@ -1020,7 +1488,7 @@ mod cache_tests {
         e.flush(); // even cold, the cache answers
         let second = e.mdx(paper_query_text(1)).unwrap();
         assert_eq!(second.report.sim, SimTime::ZERO, "cache hit must be free");
-        assert_eq!(first.results[0].rows, second.results[0].rows);
+        assert_eq!(first.result(0).rows, second.result(0).rows);
     }
 
     #[test]
@@ -1034,12 +1502,33 @@ mod cache_tests {
         // The appended row falls inside Q1's slice (all-zero keys pass its
         // predicates), so the answer must actually change.
         assert!(
-            (after.results[0].grand_total() - before.results[0].grand_total() - 1000.0).abs()
-                < 1e-6,
+            (after.result(0).grand_total() - before.result(0).grand_total() - 1000.0).abs() < 1e-6,
             "{} vs {}",
-            after.results[0].grand_total(),
-            before.results[0].grand_total()
+            after.result(0).grand_total(),
+            before.result(0).grand_total()
         );
+    }
+
+    #[test]
+    fn fully_cached_window_serves_every_submission_from_memory() {
+        let mut e = engine();
+        e.mdx_many(&[paper_query_text(1), paper_query_text(2)])
+            .unwrap();
+        let n = e.cached_results();
+        assert!(n > 0);
+        let sub_a = [paper_query_text(1)];
+        let sub_b = [paper_query_text(2)];
+        let w = e
+            .mdx_window(
+                &[&sub_a[..], &sub_b[..]],
+                OptimizerKind::Tplo,
+                ExecStrategy::Morsel(MorselSpec::whole_table()),
+            )
+            .unwrap();
+        assert!(w.all_ok());
+        assert_eq!(w.report.exec.sim, SimTime::ZERO, "cache hit must be free");
+        assert_eq!(w.attributed, vec![SimTime::ZERO; 2]);
+        assert_eq!(w.plan.n_queries(), 0);
     }
 
     #[test]
@@ -1055,5 +1544,196 @@ mod cache_tests {
         e.flush();
         let again = e.mdx(paper_query_text(1)).unwrap();
         assert!(again.report.sim > SimTime::ZERO);
+    }
+}
+
+#[cfg(test)]
+mod window_tests {
+    use super::*;
+    use starshare_mdx::paper_queries::paper_query_text;
+
+    fn spec() -> PaperCubeSpec {
+        PaperCubeSpec {
+            base_rows: 5_000,
+            d_leaf: 48,
+            seed: 17,
+            with_indexes: true,
+        }
+    }
+
+    fn engine() -> Engine {
+        Engine::paper(spec())
+    }
+
+    fn window_strategy() -> ExecStrategy {
+        ExecStrategy::Morsel(MorselSpec::whole_table())
+    }
+
+    #[test]
+    fn window_routes_every_submission_in_order() {
+        let mut e = engine();
+        let sub_a = [paper_query_text(1), paper_query_text(2)];
+        let sub_b = [paper_query_text(3)];
+        let subs: Vec<&[&str]> = vec![&sub_a, &sub_b];
+        let w = e
+            .mdx_window(&subs, OptimizerKind::Tplo, window_strategy())
+            .unwrap();
+        assert!(w.all_ok());
+        assert_eq!(w.submissions.len(), 2);
+        assert_eq!(w.submission(0).len(), 2);
+        assert_eq!(w.submission(1).len(), 1);
+        assert_eq!(w.sharing.n_submissions, 2);
+        assert_eq!(w.attributed.len(), 2);
+        // Each expression's results come back in its own binding order.
+        for sub in &w.submissions {
+            for oc in sub.iter().flatten() {
+                for (q, r) in oc.bound.queries.iter().zip(&oc.results) {
+                    assert_eq!(&r.as_ref().unwrap().query, q);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn windowed_results_are_bit_identical_to_solo_runs() {
+        // The serving determinism contract: under TPLO + whole-table
+        // morsels, a submission's answers do not depend on window-mates.
+        let texts = [
+            paper_query_text(1),
+            paper_query_text(2),
+            paper_query_text(3),
+        ];
+        let mut e = engine();
+        let subs: Vec<&[&str]> = texts.iter().map(std::slice::from_ref).collect();
+        let windowed = e
+            .mdx_window(&subs, OptimizerKind::Tplo, window_strategy())
+            .unwrap();
+        assert!(windowed.all_ok());
+        for (si, text) in texts.iter().enumerate() {
+            let mut solo_engine = engine();
+            let solo = solo_engine
+                .mdx_window(
+                    &[std::slice::from_ref(text)],
+                    OptimizerKind::Tplo,
+                    window_strategy(),
+                )
+                .unwrap();
+            let w_oc = windowed.submission(si)[0].as_ref().unwrap();
+            let s_oc = solo.submission(0)[0].as_ref().unwrap();
+            for (wr, sr) in w_oc.results.iter().zip(&s_oc.results) {
+                assert_eq!(
+                    wr.as_ref().unwrap().rows,
+                    sr.as_ref().unwrap().rows,
+                    "submission {si} must be bit-identical alone vs windowed"
+                );
+            }
+            assert_eq!(
+                windowed.attributed[si], solo.attributed[0],
+                "attributed cost must be co-tenant independent"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_submissions_share_one_class_and_both_answer() {
+        let mut e = engine();
+        let t = paper_query_text(1);
+        let w = e
+            .mdx_window(&[&[t], &[t]], OptimizerKind::Tplo, window_strategy())
+            .unwrap();
+        assert!(w.all_ok());
+        // Identical queries merge into one class fed by both submitters.
+        assert!(w.sharing.cross_submission_classes >= 1);
+        assert!(w.sharing.shared_scan_ratio > 1.0);
+        let a = w.submission(0)[0].as_ref().unwrap().result(0);
+        let b = w.submission(1)[0].as_ref().unwrap().result(0);
+        assert_eq!(a.rows, b.rows);
+        assert_eq!(w.attributed[0], w.attributed[1]);
+    }
+
+    #[test]
+    fn parse_errors_stay_inside_their_submission() {
+        let mut e = engine();
+        let sub_b = [paper_query_text(2)];
+        let subs: Vec<&[&str]> = vec![&["this is not MDX"], &sub_b];
+        let w = e
+            .mdx_window(&subs, OptimizerKind::Tplo, window_strategy())
+            .unwrap();
+        assert!(matches!(w.submission(0)[0], Err(Error::Parse(_))));
+        assert!(w.submission(1)[0].as_ref().unwrap().all_ok());
+        assert_eq!(w.attributed[0], SimTime::ZERO);
+        assert!(w.attributed[1] > SimTime::ZERO);
+    }
+
+    #[test]
+    fn empty_window_reports_degenerate_sharing() {
+        let mut e = engine();
+        let subs: Vec<&[&str]> = vec![&["nope"], &[]];
+        let w = e
+            .mdx_window(&subs, OptimizerKind::Tplo, window_strategy())
+            .unwrap();
+        assert_eq!(w.sharing.n_classes, 0);
+        assert_eq!(w.sharing.shared_scan_ratio, 1.0);
+        assert!(matches!(w.submission(0)[0], Err(Error::Parse(_))));
+        assert!(w.submission(1).is_empty());
+    }
+
+    #[test]
+    fn one_submissions_fault_cannot_fail_a_window_mate() {
+        // Two submissions of the same query share one class; a fault
+        // striking that class triggers the per-owner re-run, so failures
+        // (if any) are per submission — and survivors stay bit-identical
+        // to the clean run.
+        let t = paper_query_text(1);
+        let clean_rows = {
+            let mut e = engine();
+            let w = e
+                .mdx_window(&[&[t], &[t]], OptimizerKind::Tplo, window_strategy())
+                .unwrap();
+            w.submission(0)[0].as_ref().unwrap().result(0).rows.clone()
+        };
+        let mut faulted_submissions = 0usize;
+        for seed in 0..24u64 {
+            let mut e = engine();
+            e.inject_faults(FaultPlan {
+                seed,
+                transient: 0.05,
+                poison: 0.01,
+            });
+            let w = e
+                .mdx_window(&[&[t], &[t]], OptimizerKind::Tplo, window_strategy())
+                .unwrap();
+            for si in 0..2 {
+                match &w.submission(si)[0].as_ref().unwrap().results[0] {
+                    Ok(r) => assert_eq!(
+                        r.rows, clean_rows,
+                        "seed {seed}: survivor must match the clean run bit-for-bit"
+                    ),
+                    Err(e) => {
+                        assert!(e.is_fault(), "seed {seed}: {e}");
+                        faulted_submissions += 1;
+                    }
+                }
+            }
+        }
+        // The sweep must actually exercise the isolation path.
+        assert!(faulted_submissions > 0, "no seed produced a fault");
+    }
+
+    #[test]
+    fn window_report_envelope_covers_planning_and_execution() {
+        let mut e = engine();
+        let sub_a = [paper_query_text(1)];
+        let sub_b = [paper_query_text(3)];
+        let subs: Vec<&[&str]> = vec![&sub_a, &sub_b];
+        let w = e
+            .mdx_window(&subs, OptimizerKind::Tplo, window_strategy())
+            .unwrap();
+        assert_eq!(w.report.n_submissions, 2);
+        assert_eq!(w.report.n_queries, w.sharing.n_queries);
+        assert_eq!(w.report.n_classes, w.plan.classes.len());
+        assert!(w.report.wall >= w.report.plan_wall);
+        assert!(w.report.busy() >= w.report.plan_wall);
+        assert!(w.report.exec.sim > SimTime::ZERO);
     }
 }

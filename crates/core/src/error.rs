@@ -15,8 +15,38 @@ use starshare_olap::OlapError;
 use starshare_opt::OptError;
 use starshare_storage::FaultError;
 
+/// Why the serving layer refused a submission (see
+/// [`Error::Overloaded`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Overload {
+    /// The server's bounded submission queue was full; `depth` is its
+    /// capacity.
+    Queue {
+        /// The queue's capacity.
+        depth: usize,
+    },
+    /// The submitting tenant already has `budget` submissions in flight.
+    Tenant {
+        /// The tenant's in-flight budget.
+        budget: usize,
+    },
+}
+
+impl fmt::Display for Overload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Overload::Queue { depth } => {
+                write!(f, "submission queue full ({depth} deep)")
+            }
+            Overload::Tenant { budget } => {
+                write!(f, "tenant in-flight budget exhausted ({budget} allowed)")
+            }
+        }
+    }
+}
+
 /// An error from any stage of the engine's pipeline.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 #[non_exhaustive]
 pub enum Error {
     /// The MDX text failed to parse.
@@ -35,6 +65,13 @@ pub enum Error {
     /// The storage/data-model layer rejected an operation (e.g. an
     /// out-of-range key in [`append_facts`](crate::Engine::append_facts)).
     Storage(OlapError),
+    /// The serving layer refused admission: the bounded submission queue or
+    /// the tenant's in-flight budget is full (`starshare-serve`). The
+    /// submission was not enqueued — retry after draining in-flight work.
+    Overloaded(Overload),
+    /// The serving layer has shut down; no further submissions are
+    /// accepted and no pending reply will arrive.
+    Closed,
 }
 
 impl Error {
@@ -50,6 +87,12 @@ impl Error {
     pub fn is_fault(&self) -> bool {
         matches!(self, Error::Fault(_))
     }
+
+    /// True when the serving layer refused admission
+    /// ([`Error::Overloaded`]) — the caller should back off and retry.
+    pub fn is_overloaded(&self) -> bool {
+        matches!(self, Error::Overloaded(_))
+    }
 }
 
 impl fmt::Display for Error {
@@ -61,6 +104,8 @@ impl fmt::Display for Error {
             Error::Exec(e) => write!(f, "execution error: {e}"),
             Error::Fault(e) => write!(f, "storage fault: {e}"),
             Error::Storage(e) => write!(f, "storage error: {e}"),
+            Error::Overloaded(o) => write!(f, "overloaded: {o}"),
+            Error::Closed => write!(f, "server closed"),
         }
     }
 }
@@ -74,6 +119,7 @@ impl std::error::Error for Error {
             Error::Exec(e) => Some(e),
             Error::Fault(e) => Some(e),
             Error::Storage(e) => Some(e),
+            Error::Overloaded(_) | Error::Closed => None,
         }
     }
 }
@@ -158,5 +204,20 @@ mod tests {
         assert!(e.to_string().starts_with("storage fault:"), "{e}");
         // Plan-level exec errors keep the Exec variant.
         assert!(!Error::from(ExecError::new("bad plan")).is_fault());
+    }
+
+    #[test]
+    fn overload_names_the_limit_that_tripped() {
+        let q = Error::Overloaded(Overload::Queue { depth: 8 });
+        assert!(q.is_overloaded());
+        assert_eq!(q.to_string(), "overloaded: submission queue full (8 deep)");
+        let t = Error::Overloaded(Overload::Tenant { budget: 2 });
+        assert!(
+            t.to_string().contains("budget exhausted (2 allowed)"),
+            "{t}"
+        );
+        assert!(q.source().is_none());
+        assert!(!Error::Closed.is_overloaded());
+        assert_eq!(Error::Closed.to_string(), "server closed");
     }
 }

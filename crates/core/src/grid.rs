@@ -45,10 +45,15 @@ pub struct PivotGrid {
 
 /// Assembles the pivot surface from a bound expression and its results
 /// (`results[i]` must answer `bound.queries[i]`, the order
-/// [`Engine::mdx`](crate::Engine::mdx) returns).
+/// [`Outcome::results`](crate::Outcome::results) yields after a strict
+/// [`Engine::mdx`](crate::Engine::mdx) call).
 ///
 /// Returns `None` if the expression has no COLUMNS axis (nothing to pivot).
-pub fn pivot(_schema: &StarSchema, bound: &BoundMdx, results: &[QueryResult]) -> Option<PivotGrid> {
+pub fn pivot(
+    _schema: &StarSchema,
+    bound: &BoundMdx,
+    results: &[&QueryResult],
+) -> Option<PivotGrid> {
     let columns = axis_positions(bound, Axis::Columns)?;
     let rows = axis_positions(bound, Axis::Rows).unwrap_or_default();
     let pages = axis_positions(bound, Axis::Pages);
@@ -56,7 +61,7 @@ pub fn pivot(_schema: &StarSchema, bound: &BoundMdx, results: &[QueryResult]) ->
     // Index every result row: (sorted per-dim (dim, level, member) of the
     // grouped dims) → value.
     let mut lookup: HashMap<Vec<AxisPosition>, f64> = HashMap::new();
-    for (q, r) in bound.queries.iter().zip(results) {
+    for (q, &r) in bound.queries.iter().zip(results) {
         let grouped: Vec<(DimId, u8)> = q
             .group_by
             .levels()
@@ -223,19 +228,20 @@ mod tests {
             )
             .unwrap();
         let schema = e.cube().schema.clone();
-        let grid = pivot(&schema, &out.bound, &out.results).unwrap();
+        let grid = pivot(&schema, &out.expr(0).bound, &out.results()).unwrap();
         assert_eq!(grid.pages.len(), 1);
         let page = &grid.pages[0];
         assert_eq!(page.columns.len(), 3);
         assert_eq!(page.rows.len(), 2);
         // Every cell sums the flat result rows for that (A'', B'') pair.
-        let q = &out.bound.queries[0];
-        assert_eq!(out.bound.queries.len(), 1);
+        let q = &out.expr(0).bound.queries[0];
+        assert_eq!(out.expr(0).bound.queries.len(), 1);
         for (ri, row) in page.cells.iter().enumerate() {
             for (ci, v) in row.iter().enumerate() {
                 let a = page.columns[ci][0].2;
                 let b = page.rows[ri][0].2;
-                let expect: f64 = out.results[0]
+                let expect: f64 = out
+                    .result(0)
                     .rows
                     .iter()
                     .filter(|(k, _)| k[0] == a && k[1] == b)
@@ -256,7 +262,7 @@ mod tests {
         // Grid totals equal the flat grand total.
         let grid_total: f64 = page.cells.iter().flatten().filter_map(|v| *v).sum();
         assert!(
-            (grid_total - out.results[0].grand_total()).abs() < 1e-6,
+            (grid_total - out.result(0).grand_total()).abs() < 1e-6,
             "{grid_total}"
         );
     }
@@ -272,9 +278,9 @@ mod tests {
                  CONTEXT ABCD;",
             )
             .unwrap();
-        assert_eq!(out.bound.queries.len(), 2);
+        assert_eq!(out.expr(0).bound.queries.len(), 2);
         let schema = e.cube().schema.clone();
-        let grid = pivot(&schema, &out.bound, &out.results).unwrap();
+        let grid = pivot(&schema, &out.expr(0).bound, &out.results()).unwrap();
         let page = &grid.pages[0];
         // Columns: A1 (top level) + AA3, AA4 (children of A2).
         assert_eq!(page.columns.len(), 3);
@@ -301,7 +307,7 @@ mod tests {
             )
             .unwrap();
         let schema = e.cube().schema.clone();
-        let grid = pivot(&schema, &out.bound, &out.results).unwrap();
+        let grid = pivot(&schema, &out.expr(0).bound, &out.results()).unwrap();
         assert_eq!(grid.pages.len(), 2);
         assert!(grid.pages[0].page.is_some());
         let rendered = render_pivot(&schema, &grid);
@@ -318,13 +324,13 @@ mod tests {
             .mdx("{A''.A1} on COLUMNS CONTEXT ABCD FILTER (D.DD1);")
             .unwrap();
         let schema = e.cube().schema.clone();
-        let grid = pivot(&schema, &out.bound, &out.results).unwrap();
+        let grid = pivot(&schema, &out.expr(0).bound, &out.results()).unwrap();
         let cell = grid.pages[0].cells[0][0].unwrap();
         assert!(
-            (cell - out.results[0].grand_total()).abs() < 1e-9,
+            (cell - out.result(0).grand_total()).abs() < 1e-9,
             "cell must be the D-summed total"
         );
         // And the flat result has multiple D rows that the cell collapsed.
-        assert!(out.results[0].n_groups() > 1);
+        assert!(out.result(0).n_groups() > 1);
     }
 }

@@ -14,23 +14,26 @@
 //!     .mdx("{A''.A1.CHILDREN} on COLUMNS {B''.B1} on ROWS {C''.C1} on PAGES \
 //!           CONTEXT ABCD FILTER (D.DD1);")
 //!     .unwrap();
-//! assert_eq!(outcome.results.len(), 1);
+//! assert_eq!(outcome.results().len(), 1);
 //! println!("{}", outcome.plan.explain(engine.cube()));
 //! ```
 //!
 //! Everything the sub-crates export is re-exported here, so depending on
 //! `starshare-core` (or the top-level `starshare` crate) gives the whole
-//! public API.
+//! public API. Concurrent multi-session serving over this facade lives in
+//! `starshare-serve` (re-exported from the top-level `starshare` crate).
 
 pub mod engine;
 pub mod error;
 pub mod grid;
 
 pub use engine::{
-    DegradedExecution, Engine, EngineBuilder, ExprOutcome, MdxManyOutcome, MdxOutcome,
-    PlanExecution,
+    DegradedExecution, Engine, EngineConfig, ExprOutcome, Outcome, PlanExecution, WindowConfig,
+    WindowOutcome,
 };
-pub use error::Error;
+#[allow(deprecated)]
+pub use engine::{EngineBuilder, MdxManyOutcome, MdxOutcome};
+pub use error::{Error, Overload, Result};
 pub use grid::{pivot, render_pivot, PivotGrid, PivotPage};
 
 pub use starshare_bitmap::{Bitmap, BitmapJoinIndex, IndexFormat, RleBitmap};
@@ -38,7 +41,7 @@ pub use starshare_exec::{
     execute_classes, execute_classes_with, hash_star_join, index_star_join, reference_eval,
     shared_hybrid_join, shared_index_join, shared_scan_hash_join, AggKernel, ClassOutcome,
     ClassSpec, DimPipeline, ExecContext, ExecError, ExecReport, ExecStrategy, GroupAcc, KernelTier,
-    MorselSpec, QueryResult, DEFAULT_MORSEL_PAGES, DENSE_MAX_GROUPS,
+    MorselSpec, QueryResult, WindowReport, WindowTimer, DEFAULT_MORSEL_PAGES, DENSE_MAX_GROUPS,
 };
 pub use starshare_mdx::{
     bind, generate_mdx, paper_queries, parse, Axis, AxisSpec, BindError, BoundAxis, BoundMdx,
@@ -52,8 +55,9 @@ pub use starshare_olap::{
     TableId,
 };
 pub use starshare_opt::{
-    etplg, explain_tree, explain_tree_with_costs, gg, ggi, ggi_with_passes, optimal, tplo,
-    CostModel, GlobalPlan, JoinMethod, OptError, OptimizerKind, PlanClass, QueryPlan,
+    etplg, explain_tree, explain_tree_with_costs, gg, ggi, ggi_with_passes, optimal, plan_window,
+    tplo, CostModel, GlobalPlan, JoinMethod, OptError, OptimizerKind, PlanClass, QueryPlan,
+    SharingStats, WindowPlan,
 };
 pub use starshare_storage::{
     AccessKind, BufferPool, CpuCounters, FaultError, FaultInjector, FaultKind, FaultPlan,

@@ -32,6 +32,7 @@ pub mod reference;
 pub mod result;
 pub mod retry;
 pub mod rollup;
+pub mod window;
 
 pub use context::{ExecContext, ExecReport};
 pub use error::ExecError;
@@ -47,3 +48,4 @@ pub use reference::reference_eval;
 pub use result::QueryResult;
 pub use retry::{with_retry, MAX_READ_RETRIES};
 pub use rollup::DimPipeline;
+pub use window::{WindowReport, WindowTimer};

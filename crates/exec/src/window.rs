@@ -1,0 +1,112 @@
+//! Window-level execution accounting.
+//!
+//! An optimization *window* (see `starshare-serve`) executes one shared
+//! plan on behalf of several submissions. [`WindowReport`] wraps the
+//! executor's [`ExecReport`] with the window's own envelope — how long
+//! planning took, the window's total start-to-finish latency, and how much
+//! work it carried — so the serving layer can report per-window
+//! busy/wall/throughput without re-deriving it from per-class reports.
+//!
+//! [`WindowTimer`] is the matching stopwatch: start it when the window
+//! closes (submissions frozen), mark [`planned`](WindowTimer::planned)
+//! when the optimizer hands back the shared plan, and
+//! [`finish`](WindowTimer::finish) once results are routed.
+
+use std::time::{Duration, Instant};
+
+use crate::context::ExecReport;
+
+/// What one optimization window cost, end to end.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WindowReport {
+    /// The executor's accounting for the shared plan run (simulated clock,
+    /// I/O, CPU, per-run wall/busy).
+    pub exec: ExecReport,
+    /// Host wall time spent in parse/bind/optimize before execution began.
+    pub plan_wall: Duration,
+    /// Host wall time for the whole window: close → plan → execute →
+    /// route. Always ≥ `exec.wall + plan_wall`.
+    pub wall: Duration,
+    /// Submissions the window carried.
+    pub n_submissions: usize,
+    /// Queries across all submissions (after binding).
+    pub n_queries: usize,
+    /// Classes in the shared plan (shared-operator runs).
+    pub n_classes: usize,
+}
+
+impl WindowReport {
+    /// Total host CPU time the window consumed: the executor's summed
+    /// worker busy time plus the single-threaded planning envelope.
+    pub fn busy(&self) -> Duration {
+        self.exec.busy + self.plan_wall
+    }
+}
+
+/// Stopwatch for one window's phases. Phases are cumulative from
+/// [`start`](WindowTimer::start); [`planned`](WindowTimer::planned) may be
+/// skipped (e.g. a full cache hit), leaving `plan_wall` zero.
+#[derive(Debug)]
+pub struct WindowTimer {
+    started: Instant,
+    plan_wall: Duration,
+}
+
+impl WindowTimer {
+    /// Starts timing a window (call when the window closes).
+    pub fn start() -> Self {
+        WindowTimer {
+            started: Instant::now(),
+            plan_wall: Duration::ZERO,
+        }
+    }
+
+    /// Marks the end of the planning phase (parse/bind/optimize done).
+    pub fn planned(&mut self) {
+        self.plan_wall = self.started.elapsed();
+    }
+
+    /// Finishes the window and assembles its report.
+    pub fn finish(
+        self,
+        exec: ExecReport,
+        n_submissions: usize,
+        n_queries: usize,
+        n_classes: usize,
+    ) -> WindowReport {
+        WindowReport {
+            exec,
+            plan_wall: self.plan_wall,
+            wall: self.started.elapsed(),
+            n_submissions,
+            n_queries,
+            n_classes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_are_cumulative_and_ordered() {
+        let mut t = WindowTimer::start();
+        std::thread::sleep(Duration::from_millis(1));
+        t.planned();
+        std::thread::sleep(Duration::from_millis(1));
+        let r = t.finish(ExecReport::default(), 2, 5, 3);
+        assert!(r.plan_wall >= Duration::from_millis(1));
+        assert!(r.wall > r.plan_wall);
+        assert_eq!((r.n_submissions, r.n_queries, r.n_classes), (2, 5, 3));
+        // With a default exec report, window busy is just the plan phase.
+        assert_eq!(r.busy(), r.plan_wall);
+    }
+
+    #[test]
+    fn skipping_planned_leaves_plan_wall_zero() {
+        let t = WindowTimer::start();
+        let r = t.finish(ExecReport::default(), 1, 0, 0);
+        assert_eq!(r.plan_wall, Duration::ZERO);
+    }
+}

@@ -34,6 +34,7 @@ pub mod error;
 pub mod explain;
 pub mod improve;
 pub mod plan;
+pub mod window;
 
 pub use algorithms::{etplg, gg, optimal, tplo, OptimizerKind};
 pub use cost::CostModel;
@@ -41,3 +42,4 @@ pub use error::OptError;
 pub use explain::{explain_tree, explain_tree_with_costs};
 pub use improve::{ggi, ggi_with_passes};
 pub use plan::{GlobalPlan, JoinMethod, PlanClass, QueryPlan};
+pub use window::{plan_window, SharingStats, WindowPlan};

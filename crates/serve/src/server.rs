@@ -1,0 +1,340 @@
+//! The server: a coordinator thread that owns the [`Engine`], batches
+//! in-flight submissions into optimization windows, and routes results.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use starshare_core::{
+    Engine, Error, ExecStrategy, MorselSpec, Result, SimTime, WindowConfig, WindowOutcome,
+};
+
+use crate::session::{Reply, Session, TenantState, WindowInfo};
+
+/// A coordinator-bound message.
+#[derive(Debug)]
+pub(crate) enum Msg {
+    Submit(Submission),
+    Shutdown,
+}
+
+/// One session's in-flight submission.
+#[derive(Debug)]
+pub(crate) struct Submission {
+    pub(crate) tenant: Arc<TenantState>,
+    pub(crate) exprs: Vec<String>,
+    pub(crate) reply: SyncSender<Result<Reply>>,
+}
+
+impl Submission {
+    fn bytes(&self) -> usize {
+        self.exprs.iter().map(String::len).sum()
+    }
+}
+
+/// State shared between the server handle, its sessions, and the
+/// coordinator: the window configuration, the closed flag, the tenant
+/// registry, and serving counters.
+#[derive(Debug)]
+pub(crate) struct Shared {
+    pub(crate) cfg: WindowConfig,
+    closed: AtomicBool,
+    tenants: Mutex<HashMap<String, Arc<TenantState>>>,
+    windows: AtomicU64,
+    submissions: AtomicU64,
+    expressions: AtomicU64,
+    rejected_queue: AtomicU64,
+    rejected_tenant: AtomicU64,
+}
+
+impl Shared {
+    pub(crate) fn new(cfg: WindowConfig) -> Self {
+        Shared {
+            cfg,
+            closed: AtomicBool::new(false),
+            tenants: Mutex::new(HashMap::new()),
+            windows: AtomicU64::new(0),
+            submissions: AtomicU64::new(0),
+            expressions: AtomicU64::new(0),
+            rejected_queue: AtomicU64::new(0),
+            rejected_tenant: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+    }
+
+    pub(crate) fn note_rejected_queue(&self) {
+        self.rejected_queue.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_rejected_tenant(&self) {
+        self.rejected_tenant.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn note_window(&self, n_submissions: usize, n_exprs: usize) {
+        self.windows.fetch_add(1, Ordering::Relaxed);
+        self.submissions
+            .fetch_add(n_submissions as u64, Ordering::Relaxed);
+        self.expressions
+            .fetch_add(n_exprs as u64, Ordering::Relaxed);
+    }
+
+    fn tenant(&self, name: &str) -> Arc<TenantState> {
+        let mut map = self.tenants.lock().expect("tenant registry poisoned");
+        Arc::clone(map.entry(name.to_owned()).or_insert_with(|| {
+            Arc::new(TenantState {
+                name: name.to_owned(),
+                inflight: AtomicUsize::new(0),
+                budget: self.cfg.tenant_inflight,
+            })
+        }))
+    }
+
+    pub(crate) fn stats(&self) -> ServerStats {
+        ServerStats {
+            windows: self.windows.load(Ordering::Relaxed),
+            submissions: self.submissions.load(Ordering::Relaxed),
+            expressions: self.expressions.load(Ordering::Relaxed),
+            rejected_queue: self.rejected_queue.load(Ordering::Relaxed),
+            rejected_tenant: self.rejected_tenant.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A snapshot of a server's serving counters ([`Server::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Optimization windows closed and executed.
+    pub windows: u64,
+    /// Submissions answered (including erroring ones), across all windows.
+    pub submissions: u64,
+    /// Expressions answered, across all windows.
+    pub expressions: u64,
+    /// Submissions bounced off the full submission queue.
+    pub rejected_queue: u64,
+    /// Submissions bounced off a tenant's in-flight budget.
+    pub rejected_tenant: u64,
+}
+
+/// A running multi-session server: a coordinator thread owning the
+/// [`Engine`], fed by [`Session`] handles. Dropping the server shuts it
+/// down and discards the engine; use [`shutdown`](Server::shutdown) to
+/// get the engine back.
+#[derive(Debug)]
+pub struct Server {
+    tx: Option<SyncSender<Msg>>,
+    shared: Arc<Shared>,
+    handle: Option<JoinHandle<Engine>>,
+}
+
+impl Server {
+    /// Starts a server around `engine`, batching submissions by the
+    /// engine's own [`EngineConfig::window`] policy.
+    ///
+    /// [`EngineConfig::window`]: starshare_core::EngineConfig::window
+    pub fn start(engine: Engine) -> Server {
+        let cfg = engine.config().window.clone();
+        Server::start_with(engine, cfg)
+    }
+
+    /// Starts a server with an explicit window policy, overriding the
+    /// engine's configured one.
+    pub fn start_with(engine: Engine, cfg: WindowConfig) -> Server {
+        let shared = Arc::new(Shared::new(cfg.clone()));
+        let (tx, rx) = std::sync::mpsc::sync_channel(cfg.queue_depth);
+        let coord_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("starshare-serve".into())
+            .spawn(move || coordinate(engine, cfg, rx, coord_shared))
+            .expect("spawn serving coordinator");
+        Server {
+            tx: Some(tx),
+            shared,
+            handle: Some(handle),
+        }
+    }
+
+    /// Opens a session for `tenant`. Sessions of the same tenant (and
+    /// clones) share one in-flight budget; the handle is cheap and all
+    /// its methods take `&self`, so it can be cloned into client threads
+    /// freely.
+    pub fn session(&self, tenant: &str) -> Session {
+        Session {
+            tx: self.tx.clone().expect("server already shut down"),
+            tenant: self.shared.tenant(tenant),
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// A snapshot of the serving counters.
+    pub fn stats(&self) -> ServerStats {
+        self.shared.stats()
+    }
+
+    /// Shuts the server down and hands the [`Engine`] back: in-flight
+    /// windows finish, queued submissions past the shutdown point are
+    /// answered [`Error::Closed`], and new submissions fail fast.
+    pub fn shutdown(mut self) -> Engine {
+        self.shared.close();
+        let tx = self.tx.take().expect("server already shut down");
+        // A blocking send is fine: the coordinator always drains.
+        let _ = tx.send(Msg::Shutdown);
+        drop(tx);
+        self.handle
+            .take()
+            .expect("server already shut down")
+            .join()
+            .expect("serving coordinator panicked")
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if let (Some(tx), Some(handle)) = (self.tx.take(), self.handle.take()) {
+            self.shared.close();
+            let _ = tx.send(Msg::Shutdown);
+            drop(tx);
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Anything that can be served. Implemented for [`Engine`], so
+/// `engine.serve()` is the one-call entry into multi-session serving.
+pub trait Serve {
+    /// Starts a multi-session server around `self`.
+    fn serve(self) -> Server;
+}
+
+impl Serve for Engine {
+    fn serve(self) -> Server {
+        Server::start(self)
+    }
+}
+
+/// The coordinator loop: collect a window, run it, route replies, repeat;
+/// returns the engine at shutdown.
+fn coordinate(
+    mut engine: Engine,
+    cfg: WindowConfig,
+    rx: Receiver<Msg>,
+    shared: Arc<Shared>,
+) -> Engine {
+    let mut window_id: u64 = 0;
+    loop {
+        // Block for the submission that opens the next window.
+        let first = match rx.recv() {
+            Ok(Msg::Submit(s)) => s,
+            Ok(Msg::Shutdown) => break,
+            Err(_) => break,
+        };
+        let mut batch = vec![first];
+        let mut n_exprs = batch[0].exprs.len();
+        let mut n_bytes = batch[0].bytes();
+        let deadline = Instant::now() + cfg.max_wait;
+        let mut stop = false;
+
+        // Keep admitting until a close condition trips: expression count,
+        // byte budget, or the deadline since the window opened.
+        while n_exprs < cfg.max_exprs && n_bytes < cfg.max_bytes {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match rx.recv_timeout(deadline - now) {
+                Ok(Msg::Submit(s)) => {
+                    n_exprs += s.exprs.len();
+                    n_bytes += s.bytes();
+                    batch.push(s);
+                }
+                Ok(Msg::Shutdown) | Err(RecvTimeoutError::Disconnected) => {
+                    stop = true;
+                    break;
+                }
+                Err(RecvTimeoutError::Timeout) => break,
+            }
+        }
+
+        window_id += 1;
+        shared.note_window(batch.len(), n_exprs);
+        run_window(&mut engine, &cfg, window_id, batch);
+        if stop {
+            break;
+        }
+    }
+
+    // Drain whatever is still queued: those submissions will never ride a
+    // window, so answer them Closed and release their tenant slots.
+    while let Ok(msg) = rx.try_recv() {
+        if let Msg::Submit(s) = msg {
+            let _ = s.reply.try_send(Err(Error::Closed));
+            s.tenant.release();
+        }
+    }
+    engine
+}
+
+/// Plans and executes one window over `batch` and routes every
+/// submission's reply (releasing its tenant slot).
+fn run_window(engine: &mut Engine, cfg: &WindowConfig, window_id: u64, batch: Vec<Submission>) {
+    let subs: Vec<&[String]> = batch.iter().map(|s| s.exprs.as_slice()).collect();
+    let strategy = ExecStrategy::Morsel(MorselSpec::with_pages(cfg.morsel_pages));
+    match engine.mdx_window(&subs, cfg.optimizer, strategy) {
+        Ok(out) => deliver(window_id, batch, out),
+        Err(e) if batch.len() == 1 => {
+            for s in batch {
+                let _ = s.reply.try_send(Err(e.clone()));
+                s.tenant.release();
+            }
+        }
+        Err(_) => {
+            // A window-level planning failure with several submissions
+            // aboard: re-run each submission alone so one tenant's
+            // unplannable query set cannot fail its window-mates.
+            for s in batch {
+                match engine.mdx_window(&[s.exprs.as_slice()], cfg.optimizer, strategy) {
+                    Ok(out) => deliver(window_id, vec![s], out),
+                    Err(e) => {
+                        let _ = s.reply.try_send(Err(e));
+                        s.tenant.release();
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Routes one executed window's outcomes back to its submissions.
+fn deliver(window_id: u64, batch: Vec<Submission>, out: WindowOutcome) {
+    let info = WindowInfo {
+        window_id,
+        n_submissions: out.sharing.n_submissions,
+        n_queries: out.sharing.n_queries,
+        n_classes: out.sharing.n_classes,
+        cross_session_classes: out.sharing.cross_submission_classes,
+        shared_scan_ratio: out.sharing.shared_scan_ratio,
+        sim: out.report.exec.sim,
+        wall: out.report.wall,
+        busy: out.report.busy(),
+    };
+    debug_assert_eq!(out.submissions.len(), batch.len());
+    let mut attributed = out.attributed.into_iter();
+    for (s, outcomes) in batch.into_iter().zip(out.submissions) {
+        let reply = Reply {
+            outcomes,
+            attributed: attributed.next().unwrap_or(SimTime::ZERO),
+            window: info,
+        };
+        let _ = s.reply.try_send(Ok(reply));
+        s.tenant.release();
+    }
+}

@@ -1,0 +1,246 @@
+//! Session handles: the cheap, cloneable, `&self` submission surface.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::time::Duration;
+
+use starshare_core::{Error, ExprOutcome, Overload, Result, SimTime};
+
+use crate::server::{Msg, Shared, Submission};
+
+/// One tenant's shared admission state: its in-flight submission count,
+/// CAS-reserved against the configured budget.
+#[derive(Debug)]
+pub(crate) struct TenantState {
+    pub(crate) name: String,
+    pub(crate) inflight: AtomicUsize,
+    pub(crate) budget: usize,
+}
+
+impl TenantState {
+    /// Reserves one in-flight slot, failing if the budget is exhausted.
+    fn try_reserve(&self) -> bool {
+        self.inflight
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                (n < self.budget).then_some(n + 1)
+            })
+            .is_ok()
+    }
+
+    pub(crate) fn release(&self) {
+        self.inflight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// A serving session: a cheap, cloneable handle a client thread uses to
+/// submit MDX. All methods take `&self`; clones share the same tenant's
+/// in-flight budget. Created by [`Server::session`](crate::Server::session).
+#[derive(Debug, Clone)]
+pub struct Session {
+    pub(crate) tx: SyncSender<Msg>,
+    pub(crate) tenant: Arc<TenantState>,
+    pub(crate) shared: Arc<Shared>,
+}
+
+impl Session {
+    /// The tenant this session submits as.
+    pub fn tenant(&self) -> &str {
+        &self.tenant.name
+    }
+
+    /// Submits one batch of MDX expressions for windowed evaluation and
+    /// returns a [`Ticket`] to wait on. Fails fast — without blocking and
+    /// without enqueueing — when the server is shut down
+    /// ([`Error::Closed`]), the submission queue is full
+    /// ([`Overload::Queue`]), or this tenant's in-flight budget is
+    /// exhausted ([`Overload::Tenant`]).
+    pub fn submit<S: AsRef<str>>(&self, exprs: &[S]) -> Result<Ticket> {
+        if self.shared.closed() {
+            return Err(Error::Closed);
+        }
+        if !self.tenant.try_reserve() {
+            self.shared.note_rejected_tenant();
+            return Err(Error::Overloaded(Overload::Tenant {
+                budget: self.tenant.budget,
+            }));
+        }
+        let (reply_tx, reply_rx) = std::sync::mpsc::sync_channel(1);
+        let msg = Msg::Submit(Submission {
+            tenant: Arc::clone(&self.tenant),
+            exprs: exprs.iter().map(|s| s.as_ref().to_owned()).collect(),
+            reply: reply_tx,
+        });
+        match self.tx.try_send(msg) {
+            Ok(()) => Ok(Ticket { rx: reply_rx }),
+            Err(TrySendError::Full(_)) => {
+                self.tenant.release();
+                self.shared.note_rejected_queue();
+                Err(Error::Overloaded(Overload::Queue {
+                    depth: self.shared.cfg.queue_depth,
+                }))
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                self.tenant.release();
+                Err(Error::Closed)
+            }
+        }
+    }
+
+    /// Submits one expression and blocks for its windowed reply.
+    pub fn mdx(&self, text: &str) -> Result<Reply> {
+        self.submit(&[text])?.wait()
+    }
+
+    /// Submits a batch of expressions and blocks for the windowed reply.
+    pub fn mdx_many<S: AsRef<str>>(&self, exprs: &[S]) -> Result<Reply> {
+        self.submit(exprs)?.wait()
+    }
+}
+
+/// A pending submission's receipt; [`wait`](Ticket::wait) blocks until the
+/// submission's window has planned, executed, and routed results back.
+#[derive(Debug)]
+pub struct Ticket {
+    pub(crate) rx: Receiver<Result<Reply>>,
+}
+
+impl Ticket {
+    /// Blocks until the reply arrives. Returns [`Error::Closed`] if the
+    /// server shut down before answering.
+    pub fn wait(self) -> Result<Reply> {
+        self.rx.recv().unwrap_or(Err(Error::Closed))
+    }
+}
+
+/// What one submission gets back from its optimization window.
+#[derive(Debug)]
+pub struct Reply {
+    /// One outcome per submitted expression, in submission order — the
+    /// same shape (and, under the default [`WindowConfig`], the same
+    /// bits) as a solo [`Engine::mdx_many`] call would produce.
+    ///
+    /// [`WindowConfig`]: starshare_core::WindowConfig
+    /// [`Engine::mdx_many`]: starshare_core::Engine::mdx_many
+    pub outcomes: Vec<Result<ExprOutcome>>,
+    /// The simulated cost this submission's query set would have cost
+    /// *alone* — the window's cost-attribution figure, independent of
+    /// window-mates.
+    pub attributed: SimTime,
+    /// The window this submission rode in.
+    pub window: WindowInfo,
+}
+
+impl Reply {
+    /// True when every expression fully answered.
+    pub fn all_ok(&self) -> bool {
+        self.outcomes
+            .iter()
+            .all(|o| o.as_ref().is_ok_and(ExprOutcome::all_ok))
+    }
+
+    /// The `i`-th expression's outcome; panics if it failed.
+    pub fn expr(&self, i: usize) -> &ExprOutcome {
+        self.outcomes[i]
+            .as_ref()
+            .expect("expression failed; match on Reply::outcomes instead")
+    }
+}
+
+/// What a submission learns about the optimization window it shared.
+#[derive(Debug, Clone, Copy)]
+pub struct WindowInfo {
+    /// Monotonic window sequence number (1-based) on this server.
+    pub window_id: u64,
+    /// Submissions pooled into the window (≥ 1; includes this one).
+    pub n_submissions: usize,
+    /// Queries across all submissions in the window.
+    pub n_queries: usize,
+    /// Classes (shared operator runs) in the window's plan.
+    pub n_classes: usize,
+    /// Classes fed by more than one session's submissions — sharing that
+    /// per-session optimization could never have found.
+    pub cross_session_classes: usize,
+    /// Queries per class across the window (1.0 when empty).
+    pub shared_scan_ratio: f64,
+    /// Simulated cost of the whole window's shared execution.
+    pub sim: SimTime,
+    /// Wall-clock envelope of the window (plan + execute).
+    pub wall: Duration,
+    /// Summed busy time across the window (plan wall + worker busy).
+    pub busy: Duration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::Shared;
+    use starshare_core::WindowConfig;
+
+    fn harness(cfg: WindowConfig) -> (Session, Receiver<Msg>) {
+        let (tx, rx) = std::sync::mpsc::sync_channel(cfg.queue_depth);
+        let budget = cfg.tenant_inflight;
+        let shared = Arc::new(Shared::new(cfg));
+        let session = Session {
+            tx,
+            tenant: Arc::new(TenantState {
+                name: "t".into(),
+                inflight: AtomicUsize::new(0),
+                budget,
+            }),
+            shared,
+        };
+        (session, rx)
+    }
+
+    #[test]
+    fn full_queue_rejects_with_queue_overload() {
+        // Nobody drains the channel, so the second submit must bounce.
+        let cfg = WindowConfig::default().queue_depth(1);
+        let (session, _rx) = harness(cfg);
+        let _ticket = session.submit(&["q1;"]).unwrap();
+        let err = session.submit(&["q2;"]).unwrap_err();
+        assert!(err.is_overloaded());
+        assert!(matches!(
+            err,
+            Error::Overloaded(Overload::Queue { depth: 1 })
+        ));
+        // The failed submit released its tenant slot.
+        assert_eq!(session.tenant.inflight.load(Ordering::Acquire), 1);
+        assert_eq!(session.shared.stats().rejected_queue, 1);
+    }
+
+    #[test]
+    fn tenant_budget_rejects_before_touching_the_queue() {
+        let cfg = WindowConfig::default().queue_depth(64).tenant_inflight(2);
+        let (session, rx) = harness(cfg);
+        let _a = session.submit(&["q1;"]).unwrap();
+        let _b = session.submit(&["q2;"]).unwrap();
+        let err = session.submit(&["q3;"]).unwrap_err();
+        assert!(matches!(
+            err,
+            Error::Overloaded(Overload::Tenant { budget: 2 })
+        ));
+        // The rejection never reached the queue.
+        assert_eq!(rx.try_iter().count(), 2);
+        assert_eq!(session.shared.stats().rejected_tenant, 1);
+    }
+
+    #[test]
+    fn clones_share_the_tenant_budget() {
+        let cfg = WindowConfig::default().tenant_inflight(1);
+        let (session, _rx) = harness(cfg);
+        let clone = session.clone();
+        let _a = session.submit(&["q1;"]).unwrap();
+        assert!(clone.submit(&["q2;"]).is_err());
+    }
+
+    #[test]
+    fn closed_server_rejects_without_reserving() {
+        let cfg = WindowConfig::default();
+        let (session, _rx) = harness(cfg);
+        session.shared.close();
+        assert!(matches!(session.submit(&["q;"]), Err(Error::Closed)));
+        assert_eq!(session.tenant.inflight.load(Ordering::Acquire), 0);
+    }
+}

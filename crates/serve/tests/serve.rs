@@ -1,0 +1,209 @@
+//! Integration tests: multi-tenant windows against a solo reference
+//! engine, fault isolation across sessions, shutdown, and counters.
+
+use std::time::Duration;
+
+use starshare_core::{
+    Engine, EngineConfig, Error, ExecStrategy, FaultPlan, MorselSpec, OptimizerKind, PaperCubeSpec,
+    WindowConfig,
+};
+use starshare_serve::{Serve, Server};
+
+fn spec() -> PaperCubeSpec {
+    PaperCubeSpec {
+        base_rows: 5_000,
+        d_leaf: 48,
+        seed: 17,
+        with_indexes: true,
+    }
+}
+
+fn engine() -> Engine {
+    EngineConfig::paper()
+        .optimizer(OptimizerKind::Tplo)
+        .build_paper(spec())
+}
+
+/// A window policy that pools exactly `n` expressions deterministically:
+/// the window closes on count, with a deadline generous enough that test
+/// submissions enqueued back-to-back always ride together.
+fn pool_exactly(n: usize) -> WindowConfig {
+    WindowConfig::default()
+        .max_exprs(n)
+        .max_wait(Duration::from_secs(5))
+}
+
+const Q_CHILDREN: &str = "{A''.A1.CHILDREN} on COLUMNS {B''.B1} on ROWS CONTEXT ABCD;";
+const Q_PAGES: &str = "{A''.A1, A''.A2} on COLUMNS {C''.C1} on PAGES CONTEXT ABCD;";
+const Q_FILTER: &str = "{A''.A1} on COLUMNS CONTEXT ABCD FILTER (D.DD1);";
+
+/// Bitwise comparison of two expression outcomes' result rows.
+fn same_bits(a: &starshare_core::ExprOutcome, b: &starshare_core::ExprOutcome) -> bool {
+    a.results.len() == b.results.len()
+        && a.results.iter().zip(&b.results).all(|(x, y)| match (x, y) {
+            (Ok(x), Ok(y)) => {
+                x.rows.len() == y.rows.len()
+                    && x.rows
+                        .iter()
+                        .zip(&y.rows)
+                        .all(|((ka, va), (kb, vb))| ka == kb && va.to_bits() == vb.to_bits())
+            }
+            _ => false,
+        })
+}
+
+#[test]
+fn windowed_replies_are_bit_identical_to_solo_runs() {
+    let server = Server::start_with(engine(), pool_exactly(3));
+    let dashboards = server.session("dashboards");
+    let reports = server.session("reports");
+
+    // Enqueued back-to-back, so the coordinator pools all three
+    // expressions into one window (closing on max_exprs).
+    let t1 = dashboards.submit(&[Q_CHILDREN]).unwrap();
+    let t2 = reports.submit(&[Q_PAGES, Q_FILTER]).unwrap();
+    let r1 = t1.wait().unwrap();
+    let r2 = t2.wait().unwrap();
+
+    assert_eq!(r1.window.n_submissions, 2);
+    assert_eq!(r1.window.window_id, r2.window.window_id);
+    assert!(r1.all_ok() && r2.all_ok());
+
+    // Reference: each submission alone on a fresh engine, same config.
+    let strategy = ExecStrategy::Morsel(MorselSpec::whole_table());
+    let mut solo = engine();
+    let s1 = solo
+        .mdx_window(&[&[Q_CHILDREN]], OptimizerKind::Tplo, strategy)
+        .unwrap();
+    assert!(same_bits(r1.expr(0), s1.submission(0)[0].as_ref().unwrap()));
+    assert_eq!(
+        r1.attributed, s1.attributed[0],
+        "attribution is solo-priced"
+    );
+
+    let mut solo = engine();
+    let s2 = solo
+        .mdx_window(&[&[Q_PAGES, Q_FILTER]], OptimizerKind::Tplo, strategy)
+        .unwrap();
+    for i in 0..2 {
+        assert!(same_bits(r2.expr(i), s2.submission(0)[i].as_ref().unwrap()));
+    }
+    assert_eq!(r2.attributed, s2.attributed[0]);
+}
+
+#[test]
+fn identical_queries_from_two_sessions_share_one_class() {
+    let server = Server::start_with(engine(), pool_exactly(2));
+    let a = server.session("tenant-a");
+    let b = server.session("tenant-b");
+    let ta = a.submit(&[Q_CHILDREN]).unwrap();
+    let tb = b.submit(&[Q_CHILDREN]).unwrap();
+    let ra = ta.wait().unwrap();
+    let rb = tb.wait().unwrap();
+
+    assert_eq!(ra.window.n_submissions, 2);
+    assert!(ra.window.cross_session_classes >= 1);
+    assert!(ra.window.shared_scan_ratio > 1.0);
+    assert!(same_bits(ra.expr(0), rb.expr(0)));
+}
+
+#[test]
+fn parse_error_stays_inside_its_session() {
+    let server = Server::start_with(engine(), pool_exactly(2));
+    let good = server.session("good");
+    let bad = server.session("bad");
+    let tg = good.submit(&[Q_FILTER]).unwrap();
+    let tb = bad.submit(&["this is not MDX"]).unwrap();
+    let rg = tg.wait().unwrap();
+    let rb = tb.wait().unwrap();
+    assert_eq!(rg.window.n_submissions, 2);
+    assert!(rg.all_ok());
+    assert!(matches!(rb.outcomes[0], Err(Error::Parse(_))));
+}
+
+#[test]
+fn one_sessions_fault_cannot_fail_a_window_mate() {
+    // Clean reference bits first.
+    let mut clean = engine();
+    let reference = clean
+        .mdx_window(
+            &[&[Q_CHILDREN]],
+            OptimizerKind::Tplo,
+            ExecStrategy::Morsel(MorselSpec::whole_table()),
+        )
+        .unwrap();
+    let reference = reference.submission(0)[0].as_ref().unwrap();
+
+    let mut saw_fault = false;
+    for seed in 0..8u64 {
+        let mut e = engine();
+        e.inject_faults(FaultPlan {
+            seed,
+            transient: 0.05,
+            poison: 0.02,
+        });
+        let server = Server::start_with(e, pool_exactly(2));
+        let a = server.session("a");
+        let b = server.session("b");
+        let ta = a.submit(&[Q_CHILDREN]).unwrap();
+        let tb = b.submit(&[Q_CHILDREN]).unwrap();
+        for r in [ta.wait().unwrap(), tb.wait().unwrap()] {
+            match &r.outcomes[0] {
+                Ok(out) => match out.results.iter().find_map(|q| q.as_ref().err()) {
+                    Some(err) => {
+                        assert!(err.is_fault(), "non-fault degradation: {err}");
+                        saw_fault = true;
+                    }
+                    None => assert!(same_bits(out, reference), "survivor bits drifted"),
+                },
+                Err(err) => {
+                    assert!(err.is_fault(), "non-fault failure: {err}");
+                    saw_fault = true;
+                }
+            }
+        }
+        drop(server);
+    }
+    assert!(saw_fault, "fault sweep never tripped; raise the rates");
+}
+
+#[test]
+fn shutdown_returns_the_engine_and_closes_sessions() {
+    let server = engine().serve();
+    let session = server.session("t");
+    assert!(session.mdx(Q_FILTER).unwrap().all_ok());
+
+    let mut back = server.shutdown();
+    // The engine came back intact and usable.
+    assert!(back.mdx(Q_FILTER).unwrap().all_ok());
+    // Late submissions fail fast.
+    assert!(matches!(session.submit(&[Q_FILTER]), Err(Error::Closed)));
+}
+
+#[test]
+fn stats_count_windows_submissions_and_expressions() {
+    let server = Server::start_with(engine(), pool_exactly(3));
+    let s = server.session("t");
+    let t1 = s.submit(&[Q_FILTER]).unwrap();
+    let t2 = s.submit(&[Q_PAGES, Q_FILTER]).unwrap();
+    let r1 = t1.wait().unwrap();
+    let r2 = t2.wait().unwrap();
+    assert_eq!(r1.window.window_id, r2.window.window_id);
+    let stats = server.stats();
+    assert_eq!(stats.windows, 1);
+    assert_eq!(stats.submissions, 2);
+    assert_eq!(stats.expressions, 3);
+    assert_eq!(stats.rejected_queue + stats.rejected_tenant, 0);
+}
+
+#[test]
+fn deadline_closes_an_underfilled_window() {
+    let cfg = WindowConfig::default()
+        .max_exprs(64)
+        .max_wait(Duration::from_millis(5));
+    let server = Server::start_with(engine(), cfg);
+    let s = server.session("t");
+    let r = s.mdx(Q_FILTER).unwrap();
+    assert_eq!(r.window.n_submissions, 1);
+    assert!(r.all_ok());
+}

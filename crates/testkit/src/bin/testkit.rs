@@ -2,12 +2,15 @@
 //!
 //! ```text
 //! testkit fuzz [--start N] [--count N] [--faults] [--fault-seeds N] [--out PATH]
+//! testkit windows [--start N] [--count N] [--faults]
 //! testkit replay PATH
 //! ```
 //!
 //! `fuzz` sweeps session seeds `start..start+count` through the
 //! differential oracle (and, with `--faults`, through the fault-injection
-//! harness). The first failure is shrunk to a minimal case and written to
+//! harness). `windows` sweeps multi-session optimization windows: each
+//! seed's submissions must answer bit-identically windowed and alone, and
+//! (with `--faults`) one session's faults must never fail a window-mate. The first failure is shrunk to a minimal case and written to
 //! `--out` (default `testkit-repro.txt`) in the repro format; the process
 //! exits non-zero. `replay` re-runs such a file and reports pass/fail —
 //! the loop a bug report travels through.
@@ -16,17 +19,19 @@ use std::process::ExitCode;
 
 use starshare_core::{FaultPlan, OptimizerKind};
 use starshare_testkit::{
-    format_case, generate_session, harness_spec, parse_case, run_case, shrink, Case, FaultHarness,
-    Oracle,
+    check_fault_isolation, check_windowed_vs_solo, format_case, generate_session, harness_spec,
+    parse_case, run_case, shrink, Case, FaultHarness, Oracle,
 };
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("fuzz") => fuzz(&args[1..]),
+        Some("windows") => windows(&args[1..]),
         Some("replay") => replay(&args[1..]),
         _ => {
             eprintln!("usage: testkit fuzz [--start N] [--count N] [--faults] [--fault-seeds N] [--out PATH]");
+            eprintln!("       testkit windows [--start N] [--count N] [--faults]");
             eprintln!("       testkit replay PATH");
             ExitCode::from(2)
         }
@@ -112,6 +117,54 @@ fn fuzz(args: &[String]) -> ExitCode {
         println!(
             "fault sweeps: {fault_seeds} per session, {degraded_total} queries degraded gracefully"
         );
+    }
+    ExitCode::SUCCESS
+}
+
+/// The multi-session windowing sweep: windowed-vs-solo bit identity per
+/// seed, plus (with `--faults`) cross-session fault isolation.
+fn windows(args: &[String]) -> ExitCode {
+    let start: u64 = arg_value(args, "--start")
+        .map(|v| v.parse().expect("--start takes a number"))
+        .unwrap_or(0);
+    let count: u64 = arg_value(args, "--count")
+        .map(|v| v.parse().expect("--count takes a number"))
+        .unwrap_or(25);
+    let with_faults = args.iter().any(|a| a == "--faults");
+
+    let spec = harness_spec();
+    let (mut comparisons, mut cross, mut degraded) = (0u64, 0usize, 0usize);
+    for seed in start..start + count {
+        match check_windowed_vs_solo(spec, seed) {
+            Ok(c) => {
+                comparisons += c.comparisons;
+                cross += c.cross_submission_classes;
+            }
+            Err(detail) => {
+                eprintln!("windowing failure: {detail}");
+                return ExitCode::FAILURE;
+            }
+        }
+        if with_faults {
+            let fault = FaultPlan {
+                seed: seed.wrapping_mul(7919),
+                transient: 0.05,
+                poison: 0.01,
+            };
+            match check_fault_isolation(spec, seed, fault) {
+                Ok(c) => degraded += c.degraded,
+                Err(detail) => {
+                    eprintln!("fault-isolation failure: {detail}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    println!(
+        "ok: {count} windows, {comparisons} windowed-vs-solo comparisons, {cross} cross-submission classes"
+    );
+    if with_faults {
+        println!("fault isolation: {degraded} queries degraded, no window-mate harmed");
     }
     ExitCode::SUCCESS
 }

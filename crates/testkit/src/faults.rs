@@ -18,7 +18,7 @@
 //! [`Engine::mdx_many`]: starshare_core::Engine::mdx_many
 
 use starshare_core::{
-    Engine, EngineBuilder, Error, FaultPlan, FaultStats, OptimizerKind, PaperCubeSpec,
+    Engine, EngineConfig, Error, FaultPlan, FaultStats, OptimizerKind, PaperCubeSpec,
 };
 
 use crate::session::Session;
@@ -83,7 +83,7 @@ impl FaultHarness {
         FaultHarness {
             spec,
             optimizer,
-            baseline: EngineBuilder::paper(spec).optimizer(optimizer).build(),
+            baseline: EngineConfig::paper().optimizer(optimizer).build_paper(spec),
         }
     }
 
@@ -117,9 +117,9 @@ impl FaultHarness {
     /// degradation contract against the fault-free twin.
     pub fn compare(&mut self, session: &Session, fault: FaultPlan) -> FaultedComparison {
         let baseline = self.baseline_rows(session);
-        let mut engine = EngineBuilder::paper(self.spec)
+        let mut engine = EngineConfig::paper()
             .optimizer(self.optimizer)
-            .build();
+            .build_paper(self.spec);
         engine.inject_faults(fault);
         let mut queries = Vec::new();
         let mut violations = Vec::new();

@@ -24,11 +24,16 @@
 //!   through.
 //! * [`runner`] — replays one case end to end (the core of the `testkit`
 //!   binary's `replay` command and the shrinker's predicate).
+//! * [`windows`] — the multi-session windowing check: a submission's
+//!   results and attributed cost must be bit-identical alone and windowed
+//!   with random co-tenants, and one session's injected faults must never
+//!   fail a window-mate.
 //!
 //! The `testkit` binary drives it all:
 //!
 //! ```text
 //! testkit fuzz --count 100 --faults     # sweep seeds, shrink any failure
+//! testkit windows --count 50 --faults   # multi-session windowing sweep
 //! testkit replay repro.txt              # re-run a minimized repro
 //! ```
 
@@ -38,6 +43,7 @@ pub mod repro;
 pub mod runner;
 pub mod session;
 pub mod shrink;
+pub mod windows;
 
 pub use faults::{FaultHarness, FaultedComparison, FaultedQuery};
 pub use oracle::{harness_spec, Mismatch, Oracle, OracleStats, ORACLE_OPTIMIZERS, ORACLE_THREADS};
@@ -45,3 +51,6 @@ pub use repro::{format_case, parse_case};
 pub use runner::run_case;
 pub use session::{generate_session, Session, CUBE_NAME, MAX_EXPRS, MIN_EXPRS};
 pub use shrink::{shrink, Case};
+pub use windows::{
+    check_fault_isolation, check_windowed_vs_solo, WindowCheck, MAX_SUBMISSIONS, MIN_SUBMISSIONS,
+};

@@ -25,7 +25,7 @@ use std::collections::BTreeSet;
 use std::fmt;
 
 use starshare_core::{
-    reference_eval, DimPipeline, Engine, EngineBuilder, KernelTier, MdxManyOutcome, OptimizerKind,
+    reference_eval, DimPipeline, Engine, EngineConfig, KernelTier, OptimizerKind, Outcome,
     PaperCubeSpec, QueryResult,
 };
 
@@ -133,11 +133,11 @@ impl Oracle {
             .iter()
             .flat_map(|&opt| threads.iter().map(move |&t| (opt, t)))
             .map(|(opt, threads)| {
-                let e = EngineBuilder::paper(spec)
+                let e = EngineConfig::paper()
                     .optimizer(opt)
                     .threads(threads)
                     .morsel_pages(morsel_pages)
-                    .build();
+                    .build_paper(spec);
                 (opt, threads, e)
             })
             .collect();
@@ -216,7 +216,7 @@ impl Oracle {
     }
 
     /// Records which kernel tiers the plan's assignments compile to.
-    fn record_tiers(&mut self, out: &MdxManyOutcome) {
+    fn record_tiers(&mut self, out: &Outcome) {
         let cube = self.reference.cube();
         for (t, q, _) in out.plan.assignments() {
             let stored = cube.catalog.table(t).group_by();
@@ -243,7 +243,7 @@ fn parse_ok(text: &str, seed: u64) -> Result<starshare_core::MdxExpr, Mismatch> 
 /// Every query of every expression answered, and matches the reference to
 /// 1e-9.
 fn compare_to_expected(
-    out: &MdxManyOutcome,
+    out: &Outcome,
     expected: &[Vec<QueryResult>],
     comparisons: &mut u64,
 ) -> Result<(), String> {
@@ -288,7 +288,7 @@ fn compare_to_expected(
 
 /// Two runs of one configuration must agree bit-for-bit: identical result
 /// rows and identical invariant counters.
-fn assert_bit_identical(a: &MdxManyOutcome, b: &MdxManyOutcome) -> Result<(), String> {
+fn assert_bit_identical(a: &Outcome, b: &Outcome) -> Result<(), String> {
     if a.report.sim != b.report.sim
         || a.report.critical != b.report.critical
         || a.report.io != b.report.io

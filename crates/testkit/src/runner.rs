@@ -8,7 +8,7 @@
 //! carry the typed fault error and only exist when the injector actually
 //! denied something.
 
-use starshare_core::{reference_eval, EngineBuilder, Error, QueryResult};
+use starshare_core::{reference_eval, EngineConfig, Error, QueryResult};
 
 use crate::shrink::Case;
 
@@ -16,10 +16,10 @@ use crate::shrink::Case;
 /// this case; `Err(detail)` is a human-readable account of the violation
 /// (the thing a fuzz run shrinks against).
 pub fn run_case(case: &Case) -> Result<(), String> {
-    let mut engine = EngineBuilder::paper(case.spec)
+    let mut engine = EngineConfig::paper()
         .optimizer(case.optimizer)
         .threads(case.threads)
-        .build();
+        .build_paper(case.spec);
 
     // Expected answers, from the row-at-a-time reference.
     let mut expected: Vec<Vec<QueryResult>> = Vec::new();

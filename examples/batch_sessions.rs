@@ -1,15 +1,17 @@
-//! Cube snapshots + batched sessions: build the paper cube once, save it,
-//! reload it instantly, then run a "three analysts hit the server at once"
-//! batch where the optimizer shares work *across* the users' expressions.
+//! Cube snapshots + concurrent sessions: build the paper cube once, save
+//! it, reload it instantly, then serve a "three analysts hit the server at
+//! once" moment where the coordinator pools the in-flight expressions into
+//! one optimization window and shares work *across* the users.
 //!
 //! ```sh
 //! cargo run --release --example batch_sessions
 //! ```
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use starshare::paper_queries::paper_query_text;
-use starshare::{load_cube, save_cube, Engine, HardwareModel, PaperCubeSpec};
+use starshare::{load_cube, save_cube, Engine, HardwareModel, WindowConfig};
+use starshare::{OptimizerKind, PaperCubeSpec};
 
 fn main() {
     let path = std::env::temp_dir().join("starshare-example-cube.ss");
@@ -30,48 +32,65 @@ fn main() {
     let t1 = Instant::now();
     let cube = load_cube(&path).expect("snapshot reads");
     println!("reloaded (indexes rebuilt) in {:?}", t1.elapsed());
-    let mut engine = Engine::new(cube, HardwareModel::paper_1998());
+    let engine = Engine::new(cube, HardwareModel::paper_1998());
 
-    // Three analysts submit the paper's Queries 1, 2, 3 — each a separate
-    // MDX expression arriving in the same batch window.
-    let session = [
-        paper_query_text(1),
-        paper_query_text(2),
-        paper_query_text(3),
-    ];
-    println!("\nbatch of {} MDX expressions:", session.len());
-    let out = engine.mdx_many(&session).expect("batch runs");
-    print!("{}", out.plan.explain(engine.cube()));
-    println!(
-        "batched execution: {} simulated / {:?} wall",
-        out.report.sim, out.report.wall
+    // Serve it. The window is tuned so the three analysts below land in
+    // one window: it closes after 3 expressions (or 50 ms, whichever
+    // trips first).
+    let server = starshare::Server::start_with(
+        engine,
+        WindowConfig::default()
+            .max_exprs(3)
+            .max_wait(Duration::from_millis(50)),
     );
 
-    // Versus serving the users one at a time (cold cache each).
+    // Three analysts submit the paper's Queries 1, 2, 3 — each from their
+    // own session, in flight at the same time.
+    let analysts: Vec<_> = (1..=3)
+        .map(|n| {
+            let session = server.session(&format!("analyst-{n}"));
+            let ticket = session.submit(&[paper_query_text(n)]).expect("admitted");
+            (n, ticket)
+        })
+        .collect();
+
+    println!("\n3 sessions, 3 expressions, one optimization window:");
+    let mut window_sim = None;
+    for (n, ticket) in analysts {
+        let reply = ticket.wait().expect("window answers");
+        println!(
+            "analyst {n}: {} result rows  (window #{}: {} sessions, {} queries → {} classes, \
+             shared-scan ratio {:.2})",
+            reply
+                .outcomes
+                .iter()
+                .filter_map(|o| o.as_ref().ok())
+                .flat_map(|oc| oc.ok_results())
+                .map(|r| r.n_groups())
+                .sum::<usize>(),
+            reply.window.window_id,
+            reply.window.n_submissions,
+            reply.window.n_queries,
+            reply.window.n_classes,
+            reply.window.shared_scan_ratio,
+        );
+        window_sim = Some(reply.window.sim);
+    }
+
+    // Hand the engine back and compare with serving the users one at a
+    // time (cold cache each).
+    let mut engine = server.shutdown();
+    engine.set_optimizer(OptimizerKind::Tplo); // match the window default
     let mut serial = starshare::ExecReport::default();
-    for text in &session {
+    for n in 1..=3 {
         engine.flush();
-        serial.merge(&engine.mdx(text).expect("runs").report);
+        serial.merge(&engine.mdx(paper_query_text(n)).expect("runs").report);
     }
+    let shared = window_sim.expect("at least one reply");
     println!(
-        "one-at-a-time:     {} simulated — batching is {:.2}× faster",
+        "\nshared window:  {shared} simulated\none-at-a-time:  {} simulated — sharing is {:.2}× faster",
         serial.sim,
-        serial.sim.as_secs_f64() / out.report.sim.as_secs_f64().max(1e-9)
+        serial.sim.as_secs_f64() / shared.as_secs_f64().max(1e-9)
     );
-
-    for (i, outcome) in out.outcomes.iter().enumerate() {
-        match outcome {
-            Ok(oc) => println!(
-                "analyst {}: {} result rows",
-                i + 1,
-                oc.results
-                    .iter()
-                    .filter_map(|r| r.as_ref().ok())
-                    .map(|r| r.n_groups())
-                    .sum::<usize>()
-            ),
-            Err(e) => println!("analyst {}: failed — {e}", i + 1),
-        }
-    }
     std::fs::remove_file(&path).ok();
 }

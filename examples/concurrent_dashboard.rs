@@ -1,0 +1,111 @@
+//! Concurrent dashboards: several tenants refresh their dashboard panels
+//! from their own threads at once. The server pools whatever is in flight
+//! into optimization windows, so one base-table pass can feed panels of
+//! *different* tenants — and each tenant still gets exactly the bits a
+//! solo run would have produced, priced as if it ran alone.
+//!
+//! ```sh
+//! cargo run --release --example concurrent_dashboard
+//! ```
+
+use std::time::Duration;
+
+use starshare::{Engine, PaperCubeSpec, Serve};
+
+fn main() {
+    println!("building paper cube at 5% scale…");
+    // `serve()` batches by the engine's configured window policy: close
+    // after 16 expressions, 64 KiB of MDX, or 2 ms — whichever trips
+    // first.
+    let server = Engine::paper(PaperCubeSpec::scaled(0.05)).serve();
+
+    // Each tenant's dashboard: a few panels, each one MDX expression.
+    // Different tenants ask overlapping questions — exactly the situation
+    // where cross-session sharing pays.
+    let dashboards: &[(&str, &[&str])] = &[
+        (
+            "sales-team",
+            &[
+                "{A''.A1.CHILDREN} on COLUMNS {B''.B1} on ROWS CONTEXT ABCD;",
+                "{A''.A1, A''.A2, A''.A3} on COLUMNS CONTEXT ABCD;",
+            ],
+        ),
+        (
+            "finance",
+            &[
+                "{A''.A1.CHILDREN} on COLUMNS {B''.B1} on ROWS CONTEXT ABCD;",
+                "{C''.C1, C''.C2} on COLUMNS CONTEXT ABCD FILTER (D.DD1);",
+            ],
+        ),
+        (
+            "ops",
+            &[
+                "{B''.B1.CHILDREN} on COLUMNS {C''.C1} on PAGES CONTEXT ABCD;",
+                "{A''.A1, A''.A2, A''.A3} on COLUMNS CONTEXT ABCD;",
+            ],
+        ),
+    ];
+
+    // Refresh all dashboards concurrently, one thread per tenant.
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = dashboards
+            .iter()
+            .map(|&(tenant, panels)| {
+                let session = server.session(tenant);
+                scope.spawn(move || {
+                    // Back off briefly if the server sheds load.
+                    loop {
+                        match session.mdx_many(panels) {
+                            Ok(reply) => return (tenant, reply),
+                            Err(e) if e.is_overloaded() => {
+                                std::thread::sleep(Duration::from_millis(1));
+                            }
+                            Err(e) => panic!("{tenant}: {e}"),
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        println!();
+        for h in handles {
+            let (tenant, reply) = h.join().expect("tenant thread");
+            let rows: usize = reply
+                .outcomes
+                .iter()
+                .filter_map(|o| o.as_ref().ok())
+                .flat_map(|oc| oc.ok_results())
+                .map(|r| r.n_groups())
+                .sum();
+            println!(
+                "{tenant:<12} {} panels, {rows:>4} rows  — window #{}: {} sessions / {} queries \
+                 / {} classes ({} cross-session), attributed {}",
+                reply.outcomes.len(),
+                reply.window.window_id,
+                reply.window.n_submissions,
+                reply.window.n_queries,
+                reply.window.n_classes,
+                reply.window.cross_session_classes,
+                reply.attributed,
+            );
+        }
+    });
+
+    let stats = server.stats();
+    println!(
+        "\nserver totals: {} windows, {} submissions, {} expressions \
+         ({} shed off the queue, {} off tenant budgets)",
+        stats.windows,
+        stats.submissions,
+        stats.expressions,
+        stats.rejected_queue,
+        stats.rejected_tenant
+    );
+
+    // The engine comes back when serving ends — e.g. for maintenance.
+    let engine = server.shutdown();
+    println!(
+        "engine returned: {} catalog tables",
+        engine.cube().catalog.iter().count()
+    );
+}

@@ -26,9 +26,9 @@ fn main() {
 
     println!(
         "bound to {} group-by quer(ies):",
-        outcome.bound.queries.len()
+        outcome.expr(0).bound.queries.len()
     );
-    for q in &outcome.bound.queries {
+    for q in &outcome.expr(0).bound.queries {
         println!("  {}", q.display(&engine.cube().schema));
     }
 
@@ -44,7 +44,7 @@ fn main() {
         outcome.report.io.seq_faults, outcome.report.io.random_faults, outcome.report.io.hits
     );
 
-    for r in &outcome.results {
+    for r in outcome.results() {
         println!("\nresult ({} groups):", r.n_groups());
         print!("{}", r.display(&engine.cube().schema, 10));
     }

@@ -118,9 +118,9 @@ fn main() {
     let outcome = engine.mdx(mdx).expect("valid MDX");
     println!(
         "one expression → {} related group-by queries (store level × time level):",
-        outcome.bound.queries.len()
+        outcome.expr(0).bound.queries.len()
     );
-    for q in &outcome.bound.queries {
+    for q in &outcome.expr(0).bound.queries {
         println!("  {}", q.display(&engine.cube().schema));
     }
 
@@ -132,6 +132,7 @@ fn main() {
     // another" — six independent star joins against the base fact table.
     let base = engine.cube().catalog.base_table().expect("base table");
     let naive_plans: Vec<_> = outcome
+        .expr(0)
         .bound
         .queries
         .iter()
@@ -141,7 +142,7 @@ fn main() {
     // And against per-query local optima without sharing (TPLO assignments,
     // each run alone).
     let tplo_plan = engine
-        .optimize(&outcome.bound.queries, OptimizerKind::Tplo)
+        .optimize(&outcome.expr(0).bound.queries, OptimizerKind::Tplo)
         .expect("plans");
     let separate: Vec<_> = tplo_plan
         .assignments()
@@ -161,7 +162,7 @@ fn main() {
     // The client-side view: all six queries assembled into one pivot grid,
     // exactly what an OLE DB for OLAP consumer would display.
     let schema = engine.cube().schema.clone();
-    if let Some(grid) = starshare::pivot(&schema, &outcome.bound, &outcome.results) {
+    if let Some(grid) = starshare::pivot(&schema, &outcome.expr(0).bound, &outcome.results()) {
         println!("\npivot grid (six queries, one display):");
         print!("{}", starshare::render_pivot(&schema, &grid));
     }

@@ -117,10 +117,10 @@ fn run_mdx(engine: &mut Engine, mdx: &str, show_plan: bool) -> bool {
                 print!("{}", starshare::explain_tree(engine.cube(), &out.plan));
             }
             let schema = engine.cube().schema.clone();
-            match starshare::pivot(&schema, &out.bound, &out.results) {
+            match starshare::pivot(&schema, &out.expr(0).bound, &out.results()) {
                 Some(grid) => print!("{}", starshare::render_pivot(&schema, &grid)),
                 None => {
-                    for r in &out.results {
+                    for r in out.results() {
                         println!("-- {}  ({} groups)", r.query.display(&schema), r.n_groups());
                         print!("{}", r.display(&schema, 20));
                     }

@@ -6,7 +6,12 @@
 //! Queries"*, SIGMOD 1998.
 //!
 //! This top-level crate re-exports the engine facade from
-//! [`starshare_core`]. See the README for a quickstart and DESIGN.md for the
+//! [`starshare_core`] and the concurrent multi-session serving layer from
+//! [`starshare_serve`] (the [`serve`] module; [`Serve`], [`Server`],
+//! [`Session`]). See the README for a quickstart and DESIGN.md for the
 //! system inventory.
 
 pub use starshare_core::*;
+
+pub use starshare_serve as serve;
+pub use starshare_serve::{Reply, Serve, Server, ServerStats, Session, Ticket, WindowInfo};

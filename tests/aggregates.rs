@@ -149,13 +149,13 @@ fn mdx_aggregate_clause() {
     let out = e
         .mdx("{X'.X1.CHILDREN} on COLUMNS AGGREGATE count CONTEXT XY;")
         .unwrap();
-    assert_eq!(out.bound.queries[0].agg, AggFn::Count);
+    assert_eq!(out.expr(0).bound.queries[0].agg, AggFn::Count);
     let expect = reference_eval(
         e.cube(),
         e.cube().catalog.base_table().unwrap(),
-        &out.bound.queries[0],
+        &out.expr(0).bound.queries[0],
     );
-    assert!(out.results[0].approx_eq(&expect, 1e-12));
+    assert!(out.result(0).approx_eq(&expect, 1e-12));
     // Unknown aggregate name errors cleanly.
     let err = e
         .mdx("{X'.X1} on COLUMNS AGGREGATE median CONTEXT XY;")

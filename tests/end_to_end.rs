@@ -24,11 +24,11 @@ fn every_paper_query_round_trips_through_mdx() {
         let out = e
             .mdx(paper_query_text(n))
             .unwrap_or_else(|err| panic!("Q{n}: {err}"));
-        assert_eq!(out.results.len(), 1, "Q{n}");
+        assert_eq!(out.results().len(), 1, "Q{n}");
         let q = bind_paper_query(&e.cube().schema, n).unwrap();
         let expect = reference_eval(e.cube(), base, &q);
         assert!(
-            out.results[0].approx_eq(&expect, 1e-9),
+            out.result(0).approx_eq(&expect, 1e-9),
             "Q{n}: MDX round trip disagrees with reference"
         );
     }
@@ -46,7 +46,7 @@ fn all_optimizers_give_identical_answers() {
             let q = bind_paper_query(&e.cube().schema, n).unwrap();
             let expect = reference_eval(base_engine.cube(), base, &q);
             assert!(
-                out.results[0].approx_eq(&expect, 1e-9),
+                out.result(0).approx_eq(&expect, 1e-9),
                 "{kind} Q{n} wrong answer"
             );
         }
@@ -64,10 +64,10 @@ fn multi_query_mdx_expands_and_answers() {
              CONTEXT ABCD FILTER (D.DD1);",
         )
         .unwrap();
-    assert_eq!(out.bound.queries.len(), 4);
-    assert_eq!(out.results.len(), 4);
+    assert_eq!(out.expr(0).bound.queries.len(), 4);
+    assert_eq!(out.results().len(), 4);
     let base = e.cube().catalog.base_table().unwrap();
-    for (q, r) in out.bound.queries.iter().zip(&out.results) {
+    for (q, &r) in out.expr(0).bound.queries.iter().zip(&out.results()) {
         let expect = reference_eval(e.cube(), base, q);
         assert!(
             r.approx_eq(&expect, 1e-9),
@@ -82,7 +82,7 @@ fn results_are_deterministic_across_runs() {
     let run = || {
         let mut e = engine();
         let out = e.mdx(paper_query_text(2)).unwrap();
-        (out.results[0].rows.clone(), out.report.sim)
+        (out.result(0).rows.clone(), out.report.sim)
     };
     let (rows1, sim1) = run();
     let (rows2, sim2) = run();
@@ -112,11 +112,11 @@ fn custom_cube_end_to_end() {
     let out = e
         .mdx("{P'.P2} on COLUMNS {T''.T1.CHILDREN} on ROWS CONTEXT PT;")
         .unwrap();
-    assert_eq!(out.results.len(), 1);
-    let q = &out.bound.queries[0];
+    assert_eq!(out.results().len(), 1);
+    let q = &out.expr(0).bound.queries[0];
     let base = e.cube().catalog.base_table().unwrap();
     let expect = reference_eval(e.cube(), base, q);
-    assert!(out.results[0].approx_eq(&expect, 1e-9));
+    assert!(out.result(0).approx_eq(&expect, 1e-9));
     // The plan must have used the P'T' view, which answers (P', T') cheapest.
     let (t, _, _) = out.plan.assignments().next().unwrap();
     assert_eq!(e.cube().catalog.table(t).name(), "P'T'");
@@ -138,7 +138,7 @@ fn grand_totals_are_preserved_through_views() {
     let base_total: f64 = (0..t.n_rows())
         .map(|p| t.heap().read_at(p, &mut keys))
         .sum();
-    let got = out.results[0].grand_total();
+    let got = out.result(0).grand_total();
     assert!(
         (got - base_total).abs() < 1e-6 * base_total,
         "{got} vs {base_total}"

@@ -38,10 +38,10 @@ fn queries_track_appends_exactly() {
         for n in [1, 2, 5, 7] {
             let out = e.mdx(paper_query_text(n)).unwrap();
             let base = e.cube().catalog.base_table().unwrap();
-            let q = &out.bound.queries[0];
+            let q = &out.expr(0).bound.queries[0];
             let expect = reference_eval(e.cube(), base, q);
             assert!(
-                out.results[0].approx_eq(&expect, 1e-9),
+                out.result(0).approx_eq(&expect, 1e-9),
                 "round {round} Q{n} diverged after append"
             );
         }
@@ -61,7 +61,7 @@ fn appended_cube_round_trips_through_snapshot() {
     let mut e2 = Engine::new(loaded, HardwareModel::paper_1998());
     let out1 = e.mdx(paper_query_text(3)).unwrap();
     let out2 = e2.mdx(paper_query_text(3)).unwrap();
-    assert!(out1.results[0].approx_eq(&out2.results[0], 1e-12));
+    assert!(out1.result(0).approx_eq(out2.result(0), 1e-12));
 }
 
 #[test]

@@ -62,13 +62,13 @@ fn engine_evaluates_the_full_nine_query_suite_in_one_session() {
     let mut grand_totals = Vec::new();
     for n in 1..=9 {
         let out = e.mdx(paper_query_text(n)).unwrap();
-        grand_totals.push(out.results[0].grand_total());
+        grand_totals.push(out.result(0).grand_total());
     }
     // Re-run cold: identical totals.
     for n in 1..=9 {
         e.flush();
         let out = e.mdx(paper_query_text(n)).unwrap();
-        assert_eq!(out.results[0].grand_total(), grand_totals[n - 1], "Q{n}");
+        assert_eq!(out.result(0).grand_total(), grand_totals[n - 1], "Q{n}");
     }
 }
 

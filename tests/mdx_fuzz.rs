@@ -26,7 +26,7 @@ fn two_hundred_random_expressions_round_trip() {
         let out = e
             .mdx(&mdx)
             .unwrap_or_else(|err| panic!("#{i} {mdx:?}: {err}"));
-        for (q, r) in out.bound.queries.iter().zip(&out.results) {
+        for (q, &r) in out.expr(0).bound.queries.iter().zip(&out.results()) {
             let expect = reference_eval(e.cube(), base, q);
             assert!(
                 r.approx_eq(&expect, 1e-9),
@@ -50,7 +50,7 @@ fn optimizers_agree_on_random_expressions() {
             let out = e
                 .mdx(&mdx)
                 .unwrap_or_else(|err| panic!("#{i} {kind} {mdx:?}: {err}"));
-            let grand: f64 = out.results.iter().map(|r| r.grand_total()).sum();
+            let grand: f64 = out.results().iter().map(|r| r.grand_total()).sum();
             totals.push(grand);
         }
         for w in totals.windows(2) {
@@ -73,7 +73,7 @@ fn warm_pool_never_changes_answers() {
         let mdx = generate_mdx(&schema, "ABCD", &mut rng);
         let first = e.mdx(&mdx).unwrap();
         let second = e.mdx(&mdx).unwrap();
-        for (a, b) in first.results.iter().zip(&second.results) {
+        for (a, b) in first.results().iter().zip(second.results()) {
             assert_eq!(a.rows, b.rows, "{mdx:?}");
         }
         // And the warm run does no more I/O faults than the cold one.

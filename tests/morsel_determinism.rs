@@ -15,7 +15,7 @@
 //!   itself bit-for-bit when rerun.
 
 use starshare::paper_queries::bind_paper_test;
-use starshare::{EngineBuilder, OptimizerKind, PaperCubeSpec, PlanExecution, DEFAULT_MORSEL_PAGES};
+use starshare::{EngineConfig, OptimizerKind, PaperCubeSpec, PlanExecution, DEFAULT_MORSEL_PAGES};
 use starshare_testkit::{generate_session, harness_spec, Oracle, ORACLE_THREADS};
 
 const MORSEL_SIZES: [u32; 3] = [1, DEFAULT_MORSEL_PAGES, u32::MAX];
@@ -50,7 +50,9 @@ fn assert_identical(a: &PlanExecution, b: &PlanExecution, label: &str) {
 #[test]
 fn thread_matrix_is_bit_identical_at_every_morsel_size() {
     for pages in MORSEL_SIZES {
-        let mut e = EngineBuilder::paper(spec()).morsel_pages(pages).build();
+        let mut e = EngineConfig::paper()
+            .morsel_pages(pages)
+            .build_paper(spec());
         for test in [3usize, 6] {
             let queries = bind_paper_test(&e.cube().schema, test).unwrap();
             let plan = e.optimize(&queries, OptimizerKind::Gg).unwrap();
@@ -83,7 +85,9 @@ fn morsel_size_moves_neither_io_nor_answers() {
     let runs: Vec<(u32, Vec<PlanExecution>)> = MORSEL_SIZES
         .iter()
         .map(|&pages| {
-            let mut e = EngineBuilder::paper(spec()).morsel_pages(pages).build();
+            let mut e = EngineConfig::paper()
+                .morsel_pages(pages)
+                .build_paper(spec());
             let execs = [3usize, 6]
                 .iter()
                 .map(|&test| {

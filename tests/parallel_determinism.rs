@@ -6,7 +6,7 @@
 
 use starshare::paper_queries::bind_paper_test;
 use starshare::{
-    Engine, EngineBuilder, GroupByQuery, OptimizerKind, PaperCubeSpec, PlanExecution, SimTime,
+    Engine, EngineConfig, GroupByQuery, OptimizerKind, PaperCubeSpec, PlanExecution, SimTime,
 };
 
 fn engine() -> Engine {
@@ -82,14 +82,12 @@ fn table2_plans_from_all_optimizers_are_invariant() {
 #[test]
 fn parallel_answers_match_the_sequential_path() {
     let mut seq = engine();
-    let mut par = EngineBuilder::paper(PaperCubeSpec {
+    let mut par = EngineConfig::paper().threads(4).build_paper(PaperCubeSpec {
         base_rows: 5_000,
         d_leaf: 48,
         seed: 23,
         with_indexes: true,
-    })
-    .threads(4)
-    .build();
+    });
     let queries: Vec<GroupByQuery> = bind_paper_test(&seq.cube().schema, 3).unwrap();
     let plan = seq.optimize(&queries, OptimizerKind::Gg).unwrap();
     let s = seq.execute_plan(&plan).unwrap();

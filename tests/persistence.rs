@@ -27,7 +27,7 @@ fn reloaded_cube_is_query_equivalent() {
         reloaded.flush();
         let a = original.mdx(paper_query_text(n)).unwrap();
         let b = reloaded.mdx(paper_query_text(n)).unwrap();
-        assert_eq!(a.results[0].rows, b.results[0].rows, "Q{n} rows differ");
+        assert_eq!(a.result(0).rows, b.result(0).rows, "Q{n} rows differ");
         // Same plan, same simulated cost: file ids and page layouts are
         // preserved, so the clock sees identical work.
         assert_eq!(a.report.sim, b.report.sim, "Q{n} simulated time differs");
