@@ -1,0 +1,62 @@
+//! Result-cache runner: repeated dashboard traffic, cold vs warm.
+//!
+//! ```text
+//! STARSHARE_SCALE=0.1 cargo run --release -p starshare-bench --bin cache [out.json]
+//! ```
+//!
+//! Prints the run and writes its JSON payload (default `BENCH_cache.json`
+//! in the current directory). Exits non-zero if any acceptance gate
+//! fails: every cached answer must be bit-identical to the cache-less
+//! engine's, the warm repeated mix must be at least 5x cheaper on the
+//! simulated clock than the cold one, at least one answer must come from
+//! a subsumption rollup (not an exact hit), and the cache must hold its
+//! byte budget — with the sweep's tight budget actually evicting.
+
+use starshare_bench::{cache_bench, cache_bench_json, render_cache_bench, scale_from_env};
+
+fn main() {
+    let scale = scale_from_env();
+    let repeats: u32 = std::env::var("STARSHARE_REPEATS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_cache.json".to_string());
+
+    println!("== Subsumption result cache on repeated dashboard traffic (scale {scale}) ==");
+    println!("(sim columns are simulated 1998-hardware seconds — deterministic;");
+    println!(" walls are host-dependent and informational)\n");
+    let r = cache_bench(scale, repeats);
+    print!("{}", render_cache_bench(&r));
+    std::fs::write(&out, cache_bench_json(&r)).expect("write bench json");
+    println!("wrote {out}");
+
+    let mut failed = false;
+    if !r.differential_ok {
+        eprintln!("FAIL: a cached answer diverged from the cache-less engine");
+        failed = true;
+    }
+    if r.speedup_sim() < 5.0 {
+        eprintln!(
+            "FAIL: warm repeated mix only {:.2}x cheaper than cold (need >= 5x)",
+            r.speedup_sim()
+        );
+        failed = true;
+    }
+    if r.stats.subsumption_hits < 1 {
+        eprintln!("FAIL: no subsumption (rollup) hit — only exact matches were served");
+        failed = true;
+    }
+    if !r.within_budget {
+        eprintln!("FAIL: cache occupancy exceeded a configured byte budget");
+        failed = true;
+    }
+    if !r.evictions_observed {
+        eprintln!("FAIL: the sweep's tight budget never forced an eviction");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

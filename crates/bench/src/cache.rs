@@ -1,0 +1,393 @@
+//! Result-cache bench: repeated dashboard traffic, cold vs warm.
+//!
+//! The question the subsumption result cache exists to answer: when the
+//! same dashboard refreshes over and over, how much of the repeated mix
+//! can be served from memory instead of scans? The workload is
+//! [`dashboard_refresh`]: refresh 0 issues the Figure-10 panels (Q1–Q4)
+//! cold, every later refresh repeats them — exact hits on a warm cache —
+//! and adds a coarser drill-up whose *first* appearance is already a
+//! subsumption (rollup) hit off Q1's finer cached result.
+//!
+//! Three legs per run:
+//!
+//! * **cold** — a cache-less engine runs every refresh; the repeated
+//!   refreshes pay full scans each time (the baseline);
+//! * **warm** — a cached engine at the default byte budget; refresh 0
+//!   fills the cache, refresh 1 exact-hits the panels and rolls up the
+//!   probe, later refreshes exact-hit everything;
+//! * **budget sweep** — the warm leg repeated under byte budgets sized
+//!   off the default leg's occupancy (a quarter of the working set, and
+//!   one byte short of all of it — which must force evictions),
+//!   recording occupancy, evictions, and the hit ratio; the cache must
+//!   hold its budget after every refresh.
+//!
+//! Every cached answer (all legs, all budgets) must be **bit-identical**
+//! to the cold engine's — rollup reuses the scan pipeline's divisors and
+//! the generator quantizes measures, so subsumption is exact, not
+//! approximate. Timing claims are gated on the simulated 1998 clock;
+//! walls are recorded, not gated.
+
+use std::time::{Duration, Instant};
+
+use starshare_core::{
+    CacheStats, Engine, EngineConfig, ExecStrategy, MorselSpec, OptimizerKind, PaperCubeSpec,
+    QueryResult, SimTime, WindowOutcome,
+};
+
+use crate::workloads::dashboard_refresh;
+
+/// Refresh cycles per leg (one cold fill + the repeated mix).
+pub const DASHBOARD_REFRESHES: usize = 4;
+
+/// One byte budget's measurements in the sweep.
+#[derive(Debug, Clone)]
+pub struct BudgetRow {
+    /// Cache byte budget configured.
+    pub budget: usize,
+    /// Occupied bytes after the last refresh.
+    pub bytes: usize,
+    /// Entries evicted across the leg.
+    pub evictions: u64,
+    /// Hits over probes across the leg.
+    pub hit_ratio: f64,
+    /// Simulated cost of the repeated refreshes (1..) under this budget.
+    pub repeat_sim: SimTime,
+    /// Occupancy never exceeded the budget, checked after every refresh.
+    pub within_budget: bool,
+    /// Every answer matched the cold leg bit-for-bit.
+    pub differential_ok: bool,
+}
+
+/// Outcome of [`cache_bench`].
+#[derive(Debug, Clone)]
+pub struct CacheBenchResult {
+    /// Paper-cube scale factor.
+    pub scale: f64,
+    /// Timed repeats per leg (walls keep the best; sims are invariant).
+    pub repeats: u32,
+    /// Refresh cycles per leg.
+    pub refreshes: usize,
+    /// Simulated cost of refresh 0 (the cold fill — both legs pay it).
+    pub fill_sim: SimTime,
+    /// Simulated cost of the repeated refreshes (1..) on the cache-less
+    /// engine.
+    pub cold_repeat_sim: SimTime,
+    /// Simulated cost of the same refreshes on the warm cache (default
+    /// budget): the probe's rollup CPU, then pure exact hits.
+    pub warm_repeat_sim: SimTime,
+    /// Simulated cost of refresh 1 alone on the warm cache — the refresh
+    /// whose probe is answered by subsumption rollup.
+    pub subsumption_sim: SimTime,
+    /// Cache counters of the default-budget warm leg.
+    pub stats: CacheStats,
+    /// Occupied bytes after the default-budget warm leg.
+    pub cache_bytes: usize,
+    /// Best host wall of the cold leg.
+    pub cold_wall: Duration,
+    /// Best host wall of the warm leg.
+    pub warm_wall: Duration,
+    /// One row per swept byte budget.
+    pub budget_rows: Vec<BudgetRow>,
+    /// Every leg held its byte budget after every refresh.
+    pub within_budget: bool,
+    /// The sweep's tight budget (one byte short of the full working set)
+    /// actually forced evictions.
+    pub evictions_observed: bool,
+    /// Every cached answer (all legs) matched the cold leg bit-for-bit.
+    pub differential_ok: bool,
+}
+
+impl CacheBenchResult {
+    /// Cold repeat sim / warm repeat sim — what the cache saves on the
+    /// repeated mix.
+    pub fn speedup_sim(&self) -> f64 {
+        self.cold_repeat_sim.as_secs_f64() / self.warm_repeat_sim.as_secs_f64().max(1e-12)
+    }
+}
+
+fn engine(scale: f64, cache_bytes: Option<usize>) -> Engine {
+    let mut cfg = EngineConfig::paper().optimizer(OptimizerKind::Tplo);
+    if let Some(bytes) = cache_bytes {
+        cfg = cfg.result_cache(true).cache_bytes(bytes);
+    }
+    cfg.build_paper(PaperCubeSpec::scaled(scale))
+}
+
+/// Bitwise row comparison.
+fn rows_equal(a: &QueryResult, b: &QueryResult) -> bool {
+    a.rows.len() == b.rows.len()
+        && a.rows
+            .iter()
+            .zip(&b.rows)
+            .all(|((ka, va), (kb, vb))| ka == kb && va.to_bits() == vb.to_bits())
+}
+
+/// All per-query answers of two runs of the same leg, bit-compared.
+fn leg_equal(a: &[WindowOutcome], b: &[WindowOutcome]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            let (x, y) = (x.submission(0), y.submission(0));
+            x.len() == y.len()
+                && x.iter().zip(y).all(|(ox, oy)| match (ox, oy) {
+                    (Ok(ox), Ok(oy)) => ox.results.len() == oy.results.len()
+                        && ox.results.iter().zip(&oy.results).all(
+                            |(rx, ry)| matches!((rx, ry), (Ok(rx), Ok(ry)) if rows_equal(rx, ry)),
+                        ),
+                    _ => false,
+                })
+        })
+}
+
+/// Runs one engine through every refresh; `budget` is checked after each
+/// window when set. Returns the outcomes, the wall, and the budget check.
+fn run_leg(engine: &mut Engine, budget: Option<usize>) -> (Vec<WindowOutcome>, Duration, bool) {
+    let strategy = ExecStrategy::Morsel(MorselSpec::whole_table());
+    let mut within = true;
+    let started = Instant::now();
+    let outs: Vec<WindowOutcome> = (0..DASHBOARD_REFRESHES)
+        .map(|r| {
+            let exprs = dashboard_refresh(r);
+            let out = engine
+                .mdx_window(&[exprs.as_slice()], OptimizerKind::Tplo, strategy)
+                .expect("dashboard refresh runs");
+            if let Some(b) = budget {
+                within &= engine.cache_bytes() <= b;
+            }
+            out
+        })
+        .collect();
+    (outs, started.elapsed(), within)
+}
+
+fn repeat_sim(outs: &[WindowOutcome]) -> SimTime {
+    outs[1..]
+        .iter()
+        .fold(SimTime::ZERO, |acc, o| acc + o.report.exec.sim)
+}
+
+/// Runs the cold leg, the default-budget warm leg, and the budget sweep.
+pub fn cache_bench(scale: f64, repeats: u32) -> CacheBenchResult {
+    let repeats = repeats.max(1);
+
+    // Cold leg: the cache-less baseline and the differential reference.
+    let mut cold_outs = Vec::new();
+    let mut cold_wall = Duration::MAX;
+    for rep in 0..repeats {
+        let mut e = engine(scale, None);
+        let (outs, wall, _) = run_leg(&mut e, None);
+        cold_wall = cold_wall.min(wall);
+        if rep == 0 {
+            cold_outs = outs;
+        }
+    }
+
+    // Swept budgets are sized off the default leg's occupancy (results
+    // scale with the cube, a fixed byte count would not): "tight" holds
+    // all but one byte of the working set, so every entry is admissible
+    // yet the set cannot fit — at least one eviction is forced; "quarter"
+    // starves the cache harder (some entries may be outright oversized).
+    let bench_leg = |budget: usize| {
+        let mut leg = None;
+        let mut wall = Duration::MAX;
+        for rep in 0..repeats {
+            let mut e = engine(scale, Some(budget));
+            let (outs, w, within) = run_leg(&mut e, Some(budget));
+            wall = wall.min(w);
+            if rep == 0 {
+                leg = Some((outs, within, e.cache_stats(), e.cache_bytes()));
+            }
+        }
+        let (outs, within, stats, bytes) = leg.expect("at least one repeat");
+        let row = BudgetRow {
+            budget,
+            bytes,
+            evictions: stats.evictions,
+            hit_ratio: stats.hit_ratio(),
+            repeat_sim: repeat_sim(&outs),
+            within_budget: within,
+            differential_ok: leg_equal(&outs, &cold_outs),
+        };
+        (row, outs, wall, stats)
+    };
+    let (default_row, warm_outs, warm_wall, stats) = bench_leg(EngineConfig::DEFAULT_CACHE_BYTES);
+    let occupancy = default_row.bytes;
+    let (quarter_row, ..) = bench_leg((occupancy / 4).max(1));
+    let (tight_row, ..) = bench_leg(occupancy.saturating_sub(1).max(1));
+    let evictions_observed = tight_row.evictions > 0;
+    let budget_rows = vec![quarter_row, tight_row, default_row];
+
+    CacheBenchResult {
+        scale,
+        repeats,
+        refreshes: DASHBOARD_REFRESHES,
+        fill_sim: cold_outs[0].report.exec.sim,
+        cold_repeat_sim: repeat_sim(&cold_outs),
+        warm_repeat_sim: repeat_sim(&warm_outs),
+        subsumption_sim: warm_outs[1].report.exec.sim,
+        stats,
+        cache_bytes: occupancy,
+        cold_wall,
+        warm_wall,
+        within_budget: budget_rows.iter().all(|r| r.within_budget),
+        evictions_observed,
+        differential_ok: budget_rows.iter().all(|r| r.differential_ok),
+        budget_rows,
+    }
+}
+
+/// Renders the run as a text report.
+pub fn render_cache_bench(r: &CacheBenchResult) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "dashboard mix: {} refreshes (fill + {} repeats), scale {}",
+        r.refreshes,
+        r.refreshes - 1,
+        r.scale
+    );
+    let _ = writeln!(out, "cold fill        {:>9.3}s", r.fill_sim.as_secs_f64());
+    let _ = writeln!(
+        out,
+        "repeated, cold   {:>9.3}s   (wall {:?})",
+        r.cold_repeat_sim.as_secs_f64(),
+        r.cold_wall
+    );
+    let _ = writeln!(
+        out,
+        "repeated, warm   {:>9.3}s   (wall {:?})  -> {:.1}x",
+        r.warm_repeat_sim.as_secs_f64(),
+        r.warm_wall,
+        r.speedup_sim()
+    );
+    let _ = writeln!(
+        out,
+        "subsumption refresh {:>6.6}s  ({} rollup hits, {} exact hits, {} misses, hit ratio {:.3})",
+        r.subsumption_sim.as_secs_f64(),
+        r.stats.subsumption_hits,
+        r.stats.exact_hits,
+        r.stats.misses,
+        r.stats.hit_ratio()
+    );
+    let _ = writeln!(
+        out,
+        "{:>12} {:>10} {:>10} {:>10} {:>12} {:>7} {:>6}",
+        "budget", "bytes", "evictions", "hit ratio", "repeat sim", "within", "bits"
+    );
+    for row in &r.budget_rows {
+        let _ = writeln!(
+            out,
+            "{:>12} {:>10} {:>10} {:>10.3} {:>11.3}s {:>7} {:>6}",
+            row.budget,
+            row.bytes,
+            row.evictions,
+            row.hit_ratio,
+            row.repeat_sim.as_secs_f64(),
+            row.within_budget,
+            if row.differential_ok { "ok" } else { "DRIFT" },
+        );
+    }
+    out
+}
+
+/// Serializes the run as the committed `BENCH_cache.json` payload.
+pub fn cache_bench_json(r: &CacheBenchResult) -> String {
+    let rows = r
+        .budget_rows
+        .iter()
+        .map(|row| {
+            format!(
+                concat!(
+                    "    {{ \"budget_bytes\": {budget}, \"bytes\": {bytes}, ",
+                    "\"evictions\": {ev}, \"hit_ratio\": {ratio:.4}, ",
+                    "\"repeat_sim_ms\": {sim:.3}, \"within_budget\": {within}, ",
+                    "\"differential_ok\": {diff} }}"
+                ),
+                budget = row.budget,
+                bytes = row.bytes,
+                ev = row.evictions,
+                ratio = row.hit_ratio,
+                sim = row.repeat_sim.as_secs_f64() * 1e3,
+                within = row.within_budget,
+                diff = row.differential_ok,
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"cache\",\n",
+            "  \"scale\": {scale},\n",
+            "  \"repeats\": {repeats},\n",
+            "  \"refreshes\": {refreshes},\n",
+            "  \"fill_sim_ms\": {fill:.3},\n",
+            "  \"cold_repeat_sim_ms\": {cold:.3},\n",
+            "  \"warm_repeat_sim_ms\": {warmr:.3},\n",
+            "  \"subsumption_refresh_sim_ms\": {sub:.3},\n",
+            "  \"speedup_sim\": {speedup:.3},\n",
+            "  \"exact_hits\": {exact},\n",
+            "  \"subsumption_hits\": {subh},\n",
+            "  \"misses\": {misses},\n",
+            "  \"hit_ratio\": {ratio:.4},\n",
+            "  \"cache_bytes\": {cbytes},\n",
+            "  \"cold_wall_ms\": {cwall:.3},\n",
+            "  \"warm_wall_ms\": {wwall:.3},\n",
+            "  \"budget_sweep\": [\n{rows}\n  ],\n",
+            "  \"within_budget\": {within},\n",
+            "  \"evictions_observed\": {evo},\n",
+            "  \"differential_ok\": {diff}\n",
+            "}}\n"
+        ),
+        scale = r.scale,
+        repeats = r.repeats,
+        refreshes = r.refreshes,
+        fill = r.fill_sim.as_secs_f64() * 1e3,
+        cold = r.cold_repeat_sim.as_secs_f64() * 1e3,
+        warmr = r.warm_repeat_sim.as_secs_f64() * 1e3,
+        sub = r.subsumption_sim.as_secs_f64() * 1e3,
+        speedup = r.speedup_sim(),
+        exact = r.stats.exact_hits,
+        subh = r.stats.subsumption_hits,
+        misses = r.stats.misses,
+        ratio = r.stats.hit_ratio(),
+        cbytes = r.cache_bytes,
+        cwall = r.cold_wall.as_secs_f64() * 1e3,
+        wwall = r.warm_wall.as_secs_f64() * 1e3,
+        rows = rows,
+        within = r.within_budget,
+        evo = r.evictions_observed,
+        diff = r.differential_ok,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_dashboard_mix_holds_every_gate() {
+        let r = cache_bench(0.002, 1);
+        assert!(r.differential_ok, "cached answers drifted from cold");
+        assert!(r.within_budget, "cache overflowed its byte budget");
+        assert!(r.evictions_observed, "smallest budget never evicted");
+        assert!(
+            r.stats.subsumption_hits >= 1,
+            "the drill-up probe never rolled up: {:?}",
+            r.stats
+        );
+        assert!(r.stats.exact_hits >= 1);
+        assert!(
+            r.speedup_sim() >= 5.0,
+            "warm repeat only {:.2}x faster",
+            r.speedup_sim()
+        );
+        assert!(r.warm_repeat_sim > SimTime::ZERO, "rollup CPU is charged");
+        assert!(r.subsumption_sim <= r.warm_repeat_sim);
+        let json = cache_bench_json(&r);
+        assert!(json.contains("\"bench\": \"cache\""), "{json}");
+        assert!(render_cache_bench(&r).contains("subsumption"), "{}", {
+            render_cache_bench(&r)
+        });
+    }
+}

@@ -19,10 +19,15 @@ use starshare_core::{
     PaperCubeSpec, PlanClass, QueryPlan, SimTime, TableId,
 };
 
+pub mod cache;
 pub mod kernels;
 pub mod parallel;
 pub mod serving;
 pub mod workloads;
+pub use cache::{
+    cache_bench, cache_bench_json, render_cache_bench, BudgetRow, CacheBenchResult,
+    DASHBOARD_REFRESHES,
+};
 pub use kernels::{kernel_bench, kernel_bench_json, render_kernel_bench, KernelBenchResult};
 pub use parallel::{
     parallel_bench, parallel_bench_at, parallel_bench_json, render_parallel_bench,
@@ -32,7 +37,10 @@ pub use serving::{
     render_serving_bench, serving_bench, serving_bench_json, ServingBenchResult, ServingRow,
     EXPRS_PER_SESSION, SERVING_SESSIONS,
 };
-pub use workloads::{fig10_queries, fig10_workload, skewed_probe, SkewedProbe};
+pub use workloads::{
+    dashboard_refresh, fig10_queries, fig10_workload, skewed_probe, SkewedProbe,
+    DASHBOARD_COARSE_PROBE, DASHBOARD_PANELS,
+};
 
 /// Reads the scale factor from `STARSHARE_SCALE` (default 1.0 = the paper's
 /// 2 M-row database).

@@ -7,8 +7,8 @@
 //! each reconstructing it slightly differently.
 
 use starshare_core::{
-    Catalog, Cube, Engine, GroupBy, GroupByQuery, HeapFile, IndexFormat, LevelRef, MemberPred,
-    StoredTable, TableId, TupleLayout,
+    paper_queries::paper_query_text, Catalog, Cube, Engine, GroupBy, GroupByQuery, HeapFile,
+    IndexFormat, LevelRef, MemberPred, StoredTable, TableId, TupleLayout,
 };
 
 use crate::{query, table};
@@ -22,6 +22,32 @@ pub fn fig10_queries(engine: &Engine) -> Vec<GroupByQuery> {
 /// [`fig10_queries`] plus the table they run against.
 pub fn fig10_workload(engine: &Engine) -> (TableId, Vec<GroupByQuery>) {
     (table(engine, "ABCD"), fig10_queries(engine))
+}
+
+/// Panels a dashboard re-issues on every refresh: the Figure-10 mix,
+/// paper queries Q1–Q4.
+pub const DASHBOARD_PANELS: usize = 4;
+
+/// A drill-up the dashboard adds from the second refresh on: Q1 with its
+/// `A''.A1.CHILDREN` axis collapsed to the parent member. Its answer is
+/// derivable from Q1's strictly finer cached result, so its *first*
+/// appearance is already a subsumption (rollup) hit — no scan ever runs
+/// for it on a warm cache.
+pub const DASHBOARD_COARSE_PROBE: &str = "{A''.A1} on COLUMNS \
+     {B''.B1} on ROWS \
+     {C''.C1} on PAGES \
+     CONTEXT ABCD FILTER (D.DD1);";
+
+/// The MDX expressions of dashboard refresh cycle `refresh` (0-based).
+/// Refresh 0 issues the panels alone (the cache-warming cold fill); every
+/// later refresh repeats the panels — exact hits on a warm cache — and
+/// appends [`DASHBOARD_COARSE_PROBE`].
+pub fn dashboard_refresh(refresh: usize) -> Vec<&'static str> {
+    let mut exprs: Vec<&'static str> = (1..=DASHBOARD_PANELS).map(paper_query_text).collect();
+    if refresh > 0 {
+        exprs.push(DASHBOARD_COARSE_PROBE);
+    }
+    exprs
 }
 
 /// A clustered, skewed single-table cube with one selective index probe —
@@ -135,5 +161,14 @@ mod tests {
         let engine = crate::build_engine(0.002);
         let (_, qs) = fig10_workload(&engine);
         assert_eq!(qs.len(), 4);
+    }
+
+    #[test]
+    fn dashboard_refreshes_repeat_panels_and_add_the_probe() {
+        assert_eq!(dashboard_refresh(0).len(), DASHBOARD_PANELS);
+        let later = dashboard_refresh(1);
+        assert_eq!(later.len(), DASHBOARD_PANELS + 1);
+        assert_eq!(later[..DASHBOARD_PANELS], dashboard_refresh(0)[..]);
+        assert_eq!(later[DASHBOARD_PANELS], DASHBOARD_COARSE_PROBE);
     }
 }

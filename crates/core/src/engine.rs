@@ -1,11 +1,10 @@
 //! The [`Engine`]: end-to-end MDX evaluation.
 
-use std::collections::HashMap;
 use std::time::Duration;
 
 use starshare_exec::{
-    shared_hybrid_join, shared_index_join, ExecContext, ExecError, ExecReport, ExecStrategy,
-    MorselSpec, QueryResult, WindowReport, WindowTimer,
+    shared_hybrid_join, shared_index_join, CacheHit, CacheStats, ExecContext, ExecError,
+    ExecReport, ExecStrategy, MorselSpec, QueryResult, ResultCache, WindowReport, WindowTimer,
 };
 use starshare_mdx::{bind, parse, BoundMdx};
 use starshare_olap::{paper_cube, Cube, GroupByQuery, PaperCubeSpec};
@@ -140,16 +139,6 @@ impl Outcome {
     }
 }
 
-/// Deprecated name for [`Outcome`] (the single- and multi-expression
-/// paths now share one outcome type).
-#[deprecated(since = "0.6.0", note = "use `Outcome`")]
-pub type MdxOutcome = Outcome;
-
-/// Deprecated name for [`Outcome`] (the single- and multi-expression
-/// paths now share one outcome type).
-#[deprecated(since = "0.6.0", note = "use `Outcome`")]
-pub type MdxManyOutcome = Outcome;
-
 /// The outcome of one optimization **window** ([`Engine::mdx_window`]): a
 /// batch of *submissions* (each its own list of MDX expressions, e.g. one
 /// per serving session) planned as a single pooled query set, executed
@@ -163,11 +152,17 @@ pub struct WindowOutcome {
     pub submissions: Vec<Vec<Result<ExprOutcome>>>,
     /// Per submission: the simulated cost its query set would have cost
     /// *alone* under the same optimizer — the window's cost-attribution
-    /// figure. Independent of window-mates by construction (zero for
-    /// submissions with no bound queries, and for fully cached windows).
+    /// figure, independent of window-mates by construction. With the
+    /// result cache on, this is the submission's cache charges (zero for
+    /// exact hits, rollup CPU for subsumption hits) plus the solo cost of
+    /// its misses; zero for submissions with no bound queries.
     pub attributed: Vec<SimTime>,
     /// How much cross-submission sharing the plan achieved.
     pub sharing: SharingStats,
+    /// What the result cache did for this window: exact and subsumption
+    /// hits, misses, insertions, evictions (all zero when the cache is
+    /// disabled).
+    pub cache: CacheStats,
     /// Window-level accounting (plan wall, execution totals, envelope).
     pub report: WindowReport,
 }
@@ -327,11 +322,18 @@ impl WindowConfig {
 pub struct EngineConfig {
     /// Optimizer used by [`Engine::mdx`]/[`Engine::mdx_many`].
     pub optimizer: OptimizerKind,
-    /// Whether repeated [`GroupByQuery`]s are answered from memory with
-    /// zero simulated cost. Invalidated wholesale by
-    /// [`Engine::append_facts`]. Off by default — the experiment harness
-    /// must re-execute.
+    /// Whether the subsumption-aware result cache
+    /// ([`starshare_exec::cache`]) answers repeated queries from memory:
+    /// an identical query is free, and a coarser query covered by a cached
+    /// finer result is answered by rolling that result up (charged as CPU
+    /// over the cached rows on the simulated clock). Invalidated by the
+    /// cube epoch [`Engine::append_facts`] bumps. Off by default — the
+    /// experiment harness must re-execute.
     pub result_cache: bool,
+    /// Byte budget for the result cache's payloads
+    /// ([`cache_bytes`](EngineConfig::cache_bytes)); beyond it the entry
+    /// with the lowest saved-sim-time-per-byte is evicted.
+    pub cache_bytes: usize,
     /// Worker threads for plan execution (1 = the sequential in-place
     /// path). Results and simulated times are identical at any thread
     /// count; only wall time changes.
@@ -359,11 +361,15 @@ impl EngineConfig {
         EngineConfig {
             optimizer: OptimizerKind::Gg,
             result_cache: false,
+            cache_bytes: Self::DEFAULT_CACHE_BYTES,
             threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
             strategy: ExecStrategy::Morsel(MorselSpec::default()),
             window: WindowConfig::default(),
         }
     }
+
+    /// Default result-cache byte budget (1 MiB).
+    pub const DEFAULT_CACHE_BYTES: usize = 1 << 20;
 
     /// The paper-experiment default: like [`new`](EngineConfig::new) but
     /// pinned to one thread — the paper's experiments model a 1998
@@ -380,9 +386,18 @@ impl EngineConfig {
         self
     }
 
-    /// Enables (or disables) the query-result cache.
+    /// Enables (or disables) the subsumption-aware result cache.
     pub fn result_cache(mut self, on: bool) -> Self {
         self.result_cache = on;
+        self
+    }
+
+    /// Sets the result cache's byte budget (see
+    /// [`cache_bytes`](EngineConfig::cache_bytes); implies nothing about
+    /// [`result_cache`](EngineConfig::result_cache), which still switches
+    /// the cache on).
+    pub fn cache_bytes(mut self, bytes: usize) -> Self {
+        self.cache_bytes = bytes;
         self
     }
 
@@ -418,10 +433,16 @@ impl EngineConfig {
 
     /// Builds an engine over an existing cube and hardware model.
     pub fn build(self, cube: Cube, model: HardwareModel) -> Engine {
+        let mut cache = self
+            .result_cache
+            .then(|| ResultCache::new(self.cache_bytes));
+        if let Some(c) = &mut cache {
+            c.advance_epoch(cube.epoch);
+        }
         Engine {
             cube,
             ctx: ExecContext::new(model),
-            cache: self.result_cache.then(HashMap::new),
+            cache,
             config: self,
         }
     }
@@ -442,66 +463,10 @@ impl EngineConfig {
 pub struct Engine {
     cube: Cube,
     ctx: ExecContext,
-    /// Opt-in query-result cache (see [`EngineConfig::result_cache`]).
-    cache: Option<HashMap<GroupByQuery, QueryResult>>,
+    /// Opt-in subsumption-aware result cache (see
+    /// [`EngineConfig::result_cache`] / [`EngineConfig::cache_bytes`]).
+    cache: Option<ResultCache>,
     config: EngineConfig,
-}
-
-/// Deprecated builder for an [`Engine`] — use [`EngineConfig`], which is
-/// clonable and does not hold the cube hostage while you configure.
-#[deprecated(since = "0.6.0", note = "use `EngineConfig`")]
-#[derive(Debug)]
-pub struct EngineBuilder {
-    cube: Cube,
-    model: HardwareModel,
-    config: EngineConfig,
-}
-
-#[allow(deprecated)]
-impl EngineBuilder {
-    /// Starts a builder over an existing cube and hardware model.
-    pub fn new(cube: Cube, model: HardwareModel) -> Self {
-        EngineBuilder {
-            cube,
-            model,
-            config: EngineConfig::new(),
-        }
-    }
-
-    /// Starts a builder over the paper's test database (§7.2) under the
-    /// 1998 hardware model, pinned to one thread.
-    pub fn paper(spec: PaperCubeSpec) -> Self {
-        Self::new(paper_cube(spec), HardwareModel::paper_1998()).threads(1)
-    }
-
-    /// Selects the optimizer used by [`Engine::mdx`] (default: GG).
-    pub fn optimizer(mut self, kind: OptimizerKind) -> Self {
-        self.config = self.config.optimizer(kind);
-        self
-    }
-
-    /// Enables (or disables) the query-result cache.
-    pub fn result_cache(mut self, on: bool) -> Self {
-        self.config = self.config.result_cache(on);
-        self
-    }
-
-    /// Sets the worker-thread count for plan execution (clamped to ≥ 1).
-    pub fn threads(mut self, n: usize) -> Self {
-        self.config = self.config.threads(n);
-        self
-    }
-
-    /// Sets the pages-per-morsel size for parallel execution.
-    pub fn morsel_pages(mut self, pages: u32) -> Self {
-        self.config = self.config.morsel_pages(pages);
-        self
-    }
-
-    /// Builds the engine.
-    pub fn build(self) -> Engine {
-        self.config.build(self.cube, self.model)
-    }
 }
 
 impl Engine {
@@ -521,28 +486,6 @@ impl Engine {
     /// (equivalent to [`EngineConfig::build`]).
     pub fn with_config(cube: Cube, model: HardwareModel, config: EngineConfig) -> Self {
         config.build(cube, model)
-    }
-
-    /// Starts an [`EngineBuilder`].
-    #[deprecated(since = "0.6.0", note = "use `EngineConfig`")]
-    #[allow(deprecated)]
-    pub fn builder(cube: Cube, model: HardwareModel) -> EngineBuilder {
-        EngineBuilder::new(cube, model)
-    }
-
-    /// Selects the optimizer used by [`mdx`](Engine::mdx) (default: GG).
-    #[deprecated(since = "0.2.0", note = "use `EngineConfig::optimizer`")]
-    pub fn with_optimizer(mut self, kind: OptimizerKind) -> Self {
-        self.config.optimizer = kind;
-        self
-    }
-
-    /// Enables the query-result cache.
-    #[deprecated(since = "0.2.0", note = "use `EngineConfig::result_cache`")]
-    pub fn with_result_cache(mut self) -> Self {
-        self.cache = Some(HashMap::new());
-        self.config.result_cache = true;
-        self
     }
 
     /// The engine's configuration.
@@ -591,7 +534,20 @@ impl Engine {
 
     /// Cached results currently held (0 when the cache is disabled).
     pub fn cached_results(&self) -> usize {
-        self.cache.as_ref().map_or(0, HashMap::len)
+        self.cache.as_ref().map_or(0, ResultCache::len)
+    }
+
+    /// Result-payload bytes the cache currently holds (0 when disabled);
+    /// never exceeds [`EngineConfig::cache_bytes`].
+    pub fn cache_bytes(&self) -> usize {
+        self.cache.as_ref().map_or(0, ResultCache::bytes)
+    }
+
+    /// Lifetime result-cache counters (all zero when disabled).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache
+            .as_ref()
+            .map_or_else(CacheStats::default, |c| c.stats())
     }
 
     /// The cube.
@@ -616,8 +572,10 @@ impl Engine {
     pub fn append_facts(&mut self, rows: &[(Vec<u32>, f64)]) -> Result<u64> {
         let n = starshare_olap::append_facts(&mut self.cube, rows)?;
         self.ctx.flush();
+        // The append bumped the cube's epoch; moving the cache to it drops
+        // every result computed over the old data.
         if let Some(c) = &mut self.cache {
-            c.clear();
+            c.advance_epoch(self.cube.epoch);
         }
         Ok(n)
     }
@@ -662,9 +620,9 @@ impl Engine {
     /// answers. The call itself errs only on batch-level failures (the
     /// optimizer rejecting the pooled query set).
     ///
-    /// When the result cache is enabled and *every* query in the batch is
-    /// cached, the whole batch is served from memory with zero simulated
-    /// cost.
+    /// With the result cache enabled, queries it can answer (exactly, or
+    /// by rolling up a cached finer result) never reach the planner — an
+    /// all-exact-hit batch is served from memory with zero simulated cost.
     pub fn mdx_many(&mut self, texts: &[&str]) -> Result<Outcome> {
         let window = self.mdx_window(&[texts], self.config.optimizer, self.exec_strategy())?;
         let mut submissions = window.submissions;
@@ -760,21 +718,6 @@ impl Engine {
             shared_scan_ratio: 1.0,
         };
 
-        // A fully-cached window is served from memory.
-        if let Some(cache) = &self.cache {
-            if n_queries > 0 && sets.iter().flatten().all(|q| cache.contains_key(q)) {
-                let routed = route(bounds, &mut |_, q| {
-                    Ok(cache.get(q).cloned().expect("checked above"))
-                });
-                return Ok(WindowOutcome {
-                    plan: GlobalPlan::default(),
-                    submissions: routed,
-                    attributed: vec![SimTime::ZERO; sets.len()],
-                    sharing: degenerate_sharing,
-                    report: timer.finish(ExecReport::default(), sets.len(), n_queries, 0),
-                });
-            }
-        }
         if n_queries == 0 {
             // Every expression failed to parse/bind (or bound to nothing):
             // no plan to run.
@@ -786,25 +729,69 @@ impl Engine {
                 submissions: routed,
                 attributed: vec![SimTime::ZERO; sets.len()],
                 sharing: degenerate_sharing,
+                cache: CacheStats::default(),
                 report: timer.finish(ExecReport::default(), sets.len(), 0, 0),
             });
         }
 
+        // Split the window into cache-answerable queries and misses: only
+        // the misses are planned and executed. `cached[si][j]` parallels
+        // `sets[si][j]`; subsumption rollups are charged (per owning
+        // submission and on the window total) as CPU over cached rows.
+        let stats_before = self
+            .cache
+            .as_ref()
+            .map_or_else(CacheStats::default, |c| c.stats());
+        let mut cached: Vec<Vec<Option<QueryResult>>> = Vec::with_capacity(sets.len());
+        let mut cache_charges: Vec<SimTime> = vec![SimTime::ZERO; sets.len()];
+        let mut cache_total = ExecReport::default();
+        let mut miss_sets: Vec<Vec<GroupByQuery>> = Vec::with_capacity(sets.len());
+        if let Some(cache) = &mut self.cache {
+            cache.advance_epoch(self.cube.epoch);
+            let model = self.ctx.model;
+            for (si, set) in sets.iter().enumerate() {
+                let mut hits = Vec::with_capacity(set.len());
+                let mut misses = Vec::new();
+                for q in set {
+                    match cache.lookup(&self.cube.schema, q, &model) {
+                        Some(CacheHit::Exact(r)) => hits.push(Some(r)),
+                        Some(CacheHit::Subsumption { result, report }) => {
+                            cache_charges[si] += report.sim;
+                            cache_total.merge(&report);
+                            hits.push(Some(result));
+                        }
+                        None => {
+                            misses.push(q.clone());
+                            hits.push(None);
+                        }
+                    }
+                }
+                cached.push(hits);
+                miss_sets.push(misses);
+            }
+        } else {
+            cached = sets.iter().map(|s| vec![None; s.len()]).collect();
+            miss_sets = sets.clone();
+        }
+
         let (wp, attributed) = {
             let cm = self.cost_model();
-            let wp = plan_window(&cm, &sets, optimizer)?;
+            let wp = plan_window(&cm, &miss_sets, optimizer)?;
             // Price each submission as if it ran alone — the window's
-            // cost-attribution figure, independent of window-mates. A
-            // single-submission window *is* its own solo run.
-            let attributed: Vec<SimTime> = if sets.len() == 1 {
-                vec![wp.plan.estimated_cost]
+            // cost-attribution figure, independent of window-mates: the
+            // charge for its cache hits plus the solo cost of its misses.
+            // A single-submission window's miss plan *is* its own solo run.
+            let attributed: Vec<SimTime> = if miss_sets.len() == 1 {
+                vec![cache_charges[0] + wp.plan.estimated_cost]
             } else {
-                sets.iter()
-                    .map(|set| {
+                miss_sets
+                    .iter()
+                    .zip(&cache_charges)
+                    .map(|(set, &charge)| {
                         if set.is_empty() {
-                            Ok(SimTime::ZERO)
+                            Ok(charge)
                         } else {
-                            Ok(optimizer.run(&cm, set)?.estimated_cost)
+                            Ok(charge + optimizer.run(&cm, set)?.estimated_cost)
                         }
                     })
                     .collect::<Result<_>>()?
@@ -814,11 +801,16 @@ impl Engine {
         timer.planned();
         let plan = wp.plan;
         let owners = wp.owners;
-        let sharing = wp.sharing;
+        // The plan covers only the misses; report the window's full query
+        // count (the serving layer counts queries served, not scanned).
+        let mut sharing = wp.sharing;
+        sharing.n_queries = n_queries;
 
         let exec = self.execute_plan_degraded_with(&plan, strategy);
         let mut results = exec.results;
         let mut total = exec.total;
+        // The subsumption rollups' CPU is window work too.
+        total.merge(&cache_total);
 
         // Fault isolation across submissions: a failed class whose slots
         // belong to more than one submission is re-run once per owner, so
@@ -878,12 +870,21 @@ impl Engine {
         }
 
         // Distribute outcomes back to expressions (binding order within
-        // each). Duplicate queries each consume one owned plan slot, in
-        // plan order.
+        // each): cache answers serve their slots directly — the take
+        // calls for submission `si` arrive in exactly `sets[si]` order —
+        // and every miss consumes one owned plan slot, in plan order
+        // (duplicate queries each consume their own slot).
         let plan_queries: Vec<GroupByQuery> =
             plan.assignments().map(|(_, q, _)| q.clone()).collect();
         let mut pool: Vec<Option<Result<QueryResult>>> = results.into_iter().map(Some).collect();
+        let mut next_q: Vec<usize> = vec![0; sets.len()];
         let routed = route(bounds, &mut |si, q| {
+            let j = next_q[si];
+            next_q[si] += 1;
+            if let Some(r) = cached[si][j].take() {
+                debug_assert_eq!(&r.query, q, "cache answer routed to the wrong slot");
+                return Ok(r);
+            }
             let slot = plan_queries
                 .iter()
                 .enumerate()
@@ -891,19 +892,36 @@ impl Engine {
                 .ok_or_else(|| Error::Exec(ExecError::new("plan lost a query")))?;
             pool[slot].take().expect("checked above")
         });
+        // Admit every fresh result (executed misses and subsumption
+        // rollups — exact hits are already resident), seeded with its
+        // estimated solo production cost: the simulated time a future hit
+        // saves, which is what eviction ranks by.
         if let Some(cache) = &mut self.cache {
+            let cm = CostModel::new(&self.cube, self.ctx.model);
             for oc in routed.iter().flatten().flatten() {
                 for r in oc.results.iter().flatten() {
-                    cache.insert(r.query.clone(), r.clone());
+                    if cache.contains_exact(&r.query) {
+                        continue;
+                    }
+                    let cost = optimizer
+                        .run(&cm, std::slice::from_ref(&r.query))
+                        .map_or(SimTime::ZERO, |p| p.estimated_cost);
+                    cache.insert(r.query.clone(), r.clone(), cost);
                 }
             }
         }
+        let cache_stats = self
+            .cache
+            .as_ref()
+            .map_or_else(CacheStats::default, |c| c.stats())
+            .since(stats_before);
         let n_classes = plan.classes.len();
         Ok(WindowOutcome {
             plan,
             submissions: routed,
             attributed,
             sharing,
+            cache: cache_stats,
             report: timer.finish(total, sets.len(), n_queries, n_classes),
         })
     }
@@ -1455,10 +1473,19 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
     fn engine_optimizer_is_configurable() {
-        let e = engine().with_optimizer(OptimizerKind::Tplo);
+        let e = EngineConfig::paper()
+            .optimizer(OptimizerKind::Tplo)
+            .build_paper(PaperCubeSpec {
+                base_rows: 500,
+                d_leaf: 24,
+                seed: 17,
+                with_indexes: false,
+            });
         assert_eq!(e.optimizer(), OptimizerKind::Tplo);
+        let mut e = e;
+        e.set_optimizer(OptimizerKind::Gg);
+        assert_eq!(e.optimizer(), OptimizerKind::Gg);
     }
 }
 
@@ -1529,6 +1556,99 @@ mod cache_tests {
         assert_eq!(w.report.exec.sim, SimTime::ZERO, "cache hit must be free");
         assert_eq!(w.attributed, vec![SimTime::ZERO; 2]);
         assert_eq!(w.plan.n_queries(), 0);
+    }
+
+    /// A coarser query derivable from a cached finer result must be
+    /// answered by rollup: cheaper than a scan, charged (not free), and
+    /// bit-identical to evaluating it directly.
+    #[test]
+    fn coarser_query_is_answered_by_subsumption_rollup() {
+        // Paper Q1 targets A'B''C''D; this coarser probe targets
+        // A''B''C''D with the same predicates, so it is derivable from
+        // Q1's cached result.
+        let coarser = "{A''.A1} on COLUMNS {B''.B1} on ROWS {C''.C1} on PAGES \
+                       CONTEXT ABCD FILTER (D.DD1);";
+        let mut e = engine();
+        let fine = e.mdx(paper_query_text(1)).unwrap();
+        assert_eq!(e.cache_stats().misses, 1);
+        e.flush();
+        let warm = e.mdx(coarser).unwrap();
+        assert_eq!(
+            e.cache_stats().subsumption_hits,
+            1,
+            "must roll up, not scan"
+        );
+        assert!(
+            warm.report.sim > SimTime::ZERO,
+            "a subsumption hit is charged rollup CPU"
+        );
+        assert!(
+            warm.report.sim < fine.report.sim,
+            "rollup over cached rows must beat the scan: {} vs {}",
+            warm.report.sim,
+            fine.report.sim
+        );
+        // Bit-identical to direct evaluation on a cache-less engine.
+        let mut cold = Engine::paper(starshare_olap::PaperCubeSpec {
+            base_rows: 2_000,
+            d_leaf: 24,
+            seed: 50,
+            with_indexes: true,
+        });
+        let direct = cold.mdx(coarser).unwrap();
+        assert_eq!(warm.result(0).rows, direct.result(0).rows);
+        // The rolled-up answer was admitted: the same probe now exact-hits.
+        e.flush();
+        let again = e.mdx(coarser).unwrap();
+        assert_eq!(again.report.sim, SimTime::ZERO);
+        assert_eq!(e.cache_stats().exact_hits, 1);
+    }
+
+    #[test]
+    fn window_outcome_reports_cache_activity() {
+        let mut e = engine();
+        let sub = [paper_query_text(1)];
+        let strategy = ExecStrategy::Morsel(MorselSpec::whole_table());
+        let w1 = e
+            .mdx_window(&[&sub[..]], OptimizerKind::Tplo, strategy)
+            .unwrap();
+        assert_eq!(w1.cache.misses, 1);
+        assert_eq!(w1.cache.insertions, 1);
+        assert_eq!(w1.cache.hits(), 0);
+        let w2 = e
+            .mdx_window(&[&sub[..]], OptimizerKind::Tplo, strategy)
+            .unwrap();
+        assert_eq!(w2.cache.exact_hits, 1);
+        assert_eq!(w2.cache.misses, 0);
+        assert_eq!(w2.cache.insertions, 0);
+    }
+
+    #[test]
+    fn eviction_keeps_the_cache_within_the_byte_budget() {
+        let budget = 320;
+        let mut e = EngineConfig::paper()
+            .result_cache(true)
+            .cache_bytes(budget)
+            .build_paper(starshare_olap::PaperCubeSpec {
+                base_rows: 2_000,
+                d_leaf: 24,
+                seed: 50,
+                with_indexes: true,
+            });
+        for n in 1..=9 {
+            e.mdx(paper_query_text(n)).unwrap();
+            assert!(
+                e.cache_bytes() <= budget,
+                "query {n} pushed the cache to {} bytes (budget {budget})",
+                e.cache_bytes()
+            );
+        }
+        let stats = e.cache_stats();
+        assert!(
+            stats.evictions > 0,
+            "nine distinct results cannot all fit in {budget} bytes"
+        );
+        assert!(e.cached_results() < stats.insertions as usize);
     }
 
     #[test]

@@ -31,17 +31,16 @@ pub use engine::{
     DegradedExecution, Engine, EngineConfig, ExprOutcome, Outcome, PlanExecution, WindowConfig,
     WindowOutcome,
 };
-#[allow(deprecated)]
-pub use engine::{EngineBuilder, MdxManyOutcome, MdxOutcome};
 pub use error::{Error, Overload, Result};
 pub use grid::{pivot, render_pivot, PivotGrid, PivotPage};
 
 pub use starshare_bitmap::{Bitmap, BitmapJoinIndex, IndexFormat, RleBitmap};
 pub use starshare_exec::{
     execute_classes, execute_classes_with, hash_star_join, index_star_join, reference_eval,
-    shared_hybrid_join, shared_index_join, shared_scan_hash_join, AggKernel, ClassOutcome,
-    ClassSpec, DimPipeline, ExecContext, ExecError, ExecReport, ExecStrategy, GroupAcc, KernelTier,
-    MorselSpec, QueryResult, WindowReport, WindowTimer, DEFAULT_MORSEL_PAGES, DENSE_MAX_GROUPS,
+    result_bytes, shared_hybrid_join, shared_index_join, shared_scan_hash_join, AggKernel,
+    CacheHit, CacheStats, ClassOutcome, ClassSpec, DimPipeline, ExecContext, ExecError, ExecReport,
+    ExecStrategy, GroupAcc, KernelTier, MorselSpec, QueryResult, ResultCache, WindowReport,
+    WindowTimer, DEFAULT_MORSEL_PAGES, DENSE_MAX_GROUPS,
 };
 pub use starshare_mdx::{
     bind, generate_mdx, paper_queries, parse, Axis, AxisSpec, BindError, BoundAxis, BoundMdx,

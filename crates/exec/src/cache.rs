@@ -1,0 +1,784 @@
+//! Lattice-subsumption result cache.
+//!
+//! A bounded, epoch-invalidated cache of [`QueryResult`]s, shared by every
+//! session an engine serves. Entries are keyed on the full query identity —
+//! target group-by, predicate set, aggregate — plus the cube's data
+//! *epoch* (bumped by `starshare_olap::append_facts`), so stale answers
+//! can never leak across a data change.
+//!
+//! Lookups answer two ways:
+//!
+//! * an **exact hit** returns the stored result directly (a memory read —
+//!   charged nothing on the simulated clock, matching the engine's
+//!   long-standing repeated-query semantics);
+//! * a **subsumption hit** finds a cached *strictly finer* entry whose
+//!   predicates cover the probe (Gray et al.'s data-cube derivability:
+//!   a coarser group-by is re-aggregable from any finer one) and answers
+//!   by rolling the cached rows up through the existing [`DimPipeline`]
+//!   divisors. The rollup is charged honestly on the deterministic sim
+//!   clock: one predicate evaluation per compiled step per cached row
+//!   (short-circuit), one hash probe and one aggregate update per
+//!   surviving row, and one tuple copy per emitted group — CPU over the
+//!   cached rows instead of scan I/O over the base table.
+//!
+//! Eviction is **cost-based**, not LRU: each entry carries a *benefit* —
+//! the simulated time a hit saves, seeded with the production cost of the
+//! entry and grown on every hit — and the entry with the lowest
+//! benefit-per-byte is evicted first whenever the configured byte budget
+//! overflows. An entry larger than the whole budget is never admitted.
+//!
+//! ### Why rollups are bit-identical
+//!
+//! Re-aggregating a finer SUM result reassociates float addition, which is
+//! only safe because the synthetic measure is quantized to exact binary
+//! fractions (see `starshare_olap::datagen`): sums over them are exact, so
+//! a subsumption rollup reproduces direct evaluation bit-for-bit — the
+//! invariant the testkit's `cache` differential and the cache bench gate
+//! on. MIN/MAX/COUNT re-aggregate exactly by construction; AVG is not
+//! re-aggregable and is answered only by exact hits.
+
+use std::collections::BTreeMap;
+
+use starshare_olap::{AggFn, GroupByQuery, LevelRef, MemberPred, StarSchema};
+use starshare_storage::{CpuCounters, HardwareModel, SimTime};
+
+use crate::context::ExecReport;
+use crate::result::QueryResult;
+use crate::rollup::DimPipeline;
+
+/// Fixed per-entry overhead charged to the byte budget (key vector headers,
+/// bookkeeping) on top of the row payload.
+const ENTRY_OVERHEAD_BYTES: usize = 64;
+
+/// Counters describing everything a [`ResultCache`] has done.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Probes answered by an identical cached entry.
+    pub exact_hits: u64,
+    /// Probes answered by rolling up a strictly finer cached entry.
+    pub subsumption_hits: u64,
+    /// Probes no cached entry could answer.
+    pub misses: u64,
+    /// Entries admitted.
+    pub insertions: u64,
+    /// Entries evicted by the byte budget.
+    pub evictions: u64,
+    /// Entries dropped by an epoch bump.
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    /// Total hits (exact + subsumption).
+    pub fn hits(&self) -> u64 {
+        self.exact_hits + self.subsumption_hits
+    }
+
+    /// Hits over probes (1.0 when nothing was probed).
+    pub fn hit_ratio(&self) -> f64 {
+        let probes = self.hits() + self.misses;
+        if probes == 0 {
+            1.0
+        } else {
+            self.hits() as f64 / probes as f64
+        }
+    }
+
+    /// The activity between an `earlier` snapshot and this one (counters
+    /// are monotone, so per-field subtraction is the interval's delta).
+    pub fn since(&self, earlier: CacheStats) -> CacheStats {
+        CacheStats {
+            exact_hits: self.exact_hits - earlier.exact_hits,
+            subsumption_hits: self.subsumption_hits - earlier.subsumption_hits,
+            misses: self.misses - earlier.misses,
+            insertions: self.insertions - earlier.insertions,
+            evictions: self.evictions - earlier.evictions,
+            invalidations: self.invalidations - earlier.invalidations,
+        }
+    }
+}
+
+/// How a cache lookup answered.
+#[derive(Debug)]
+pub enum CacheHit {
+    /// An identical entry: the stored result, a memory read.
+    Exact(QueryResult),
+    /// A strictly finer covering entry, rolled up to the probe: the
+    /// derived result plus the rollup's CPU charge on the simulated clock.
+    Subsumption {
+        /// The rolled-up answer.
+        result: QueryResult,
+        /// The rollup's cost: CPU over the cached rows, zero I/O.
+        report: ExecReport,
+    },
+}
+
+impl CacheHit {
+    /// The answer, whichever way it was produced.
+    pub fn into_result(self) -> QueryResult {
+        match self {
+            CacheHit::Exact(r) => r,
+            CacheHit::Subsumption { result, .. } => result,
+        }
+    }
+
+    /// True for a subsumption (non-exact) hit.
+    pub fn is_subsumption(&self) -> bool {
+        matches!(self, CacheHit::Subsumption { .. })
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    query: GroupByQuery,
+    result: QueryResult,
+    /// Cube epoch the result was computed at.
+    epoch: u64,
+    /// Byte-budget charge of this entry.
+    bytes: usize,
+    /// Simulated cost of producing the result — what one future hit saves.
+    base_cost: SimTime,
+    /// Accumulated saved simulated time: the eviction benefit.
+    benefit: SimTime,
+    /// Insertion sequence, for deterministic eviction ties.
+    seq: u64,
+}
+
+/// The bounded, subsumption-aware, epoch-invalidated result cache.
+///
+/// Entries live in insertion order and are probed linearly — cache
+/// populations are small (bounded by the byte budget) and a deterministic
+/// order is what makes eviction, and therefore every downstream simulated
+/// time, reproducible run to run.
+#[derive(Debug)]
+pub struct ResultCache {
+    entries: Vec<Entry>,
+    max_bytes: usize,
+    bytes: usize,
+    epoch: u64,
+    next_seq: u64,
+    stats: CacheStats,
+}
+
+impl ResultCache {
+    /// An empty cache bounded to `max_bytes` of result payload.
+    pub fn new(max_bytes: usize) -> Self {
+        ResultCache {
+            entries: Vec::new(),
+            max_bytes,
+            bytes: 0,
+            epoch: 0,
+            next_seq: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are held.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Bytes currently charged against the budget.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// The configured byte budget.
+    pub fn max_bytes(&self) -> usize {
+        self.max_bytes
+    }
+
+    /// The epoch the cache currently serves.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Moves the cache to `epoch`, dropping every entry computed at an
+    /// older one. A no-op when the epoch is unchanged.
+    pub fn advance_epoch(&mut self, epoch: u64) {
+        if epoch == self.epoch {
+            return;
+        }
+        self.epoch = epoch;
+        let before = self.entries.len();
+        self.entries.retain(|e| e.epoch == epoch);
+        self.stats.invalidations += (before - self.entries.len()) as u64;
+        self.bytes = self.entries.iter().map(|e| e.bytes).sum();
+    }
+
+    /// True when an identical query is cached at the current epoch.
+    pub fn contains_exact(&self, query: &GroupByQuery) -> bool {
+        self.entries
+            .iter()
+            .any(|e| e.epoch == self.epoch && e.query == *query)
+    }
+
+    /// Probes the cache: an exact entry wins; otherwise the smallest
+    /// covering strictly-finer entry is rolled up through a
+    /// [`DimPipeline`]. Returns `None` on a miss.
+    pub fn lookup(
+        &mut self,
+        schema: &StarSchema,
+        probe: &GroupByQuery,
+        model: &HardwareModel,
+    ) -> Option<CacheHit> {
+        if let Some(e) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.epoch == self.epoch && e.query == *probe)
+        {
+            // The hit saved re-producing the result.
+            e.benefit += e.base_cost;
+            self.stats.exact_hits += 1;
+            let result = e.result.clone();
+            return Some(CacheHit::Exact(result));
+        }
+
+        // Subsumption: among covering finer entries, roll up the one with
+        // the fewest rows (cheapest rollup); ties go to the oldest entry.
+        let candidate = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.epoch == self.epoch && covers(schema, &e.query, probe))
+            .min_by_key(|(_, e)| (e.result.rows.len(), e.seq))
+            .map(|(i, _)| i);
+        if let Some(i) = candidate {
+            match roll_up(schema, &self.entries[i].result, probe, model) {
+                Ok((result, report)) => {
+                    let e = &mut self.entries[i];
+                    // Credit the saved time: the probe avoided producing a
+                    // result of (at least) this entry's class, paying only
+                    // the rollup.
+                    e.benefit += e.base_cost.saturating_sub(report.sim);
+                    self.stats.subsumption_hits += 1;
+                    return Some(CacheHit::Subsumption { result, report });
+                }
+                Err(_) => {
+                    // Defensive: a covering entry the pipeline rejects is a
+                    // coverage-rule bug; degrade to a miss rather than fail
+                    // the query.
+                    debug_assert!(false, "covering cache entry failed to compile");
+                }
+            }
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Admits a result produced at the current epoch, seeded with the
+    /// simulated `cost` of producing it (the benefit a future hit saves).
+    /// Skips silently when an identical entry already exists or the result
+    /// alone exceeds the whole budget; evicts lowest benefit-per-byte
+    /// entries until the budget holds.
+    pub fn insert(&mut self, query: GroupByQuery, result: QueryResult, cost: SimTime) {
+        if self.contains_exact(&query) {
+            return;
+        }
+        let bytes = result_bytes(&result);
+        if bytes > self.max_bytes {
+            return;
+        }
+        self.entries.push(Entry {
+            query,
+            result,
+            epoch: self.epoch,
+            bytes,
+            base_cost: cost,
+            benefit: cost,
+            seq: self.next_seq,
+        });
+        self.next_seq += 1;
+        self.bytes += bytes;
+        self.stats.insertions += 1;
+        self.evict_to_budget();
+    }
+
+    /// Evicts lowest benefit-per-byte entries (ties: oldest first) until
+    /// the byte budget holds.
+    fn evict_to_budget(&mut self) {
+        while self.bytes > self.max_bytes {
+            let victim = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    let da = a.benefit.as_nanos() as u128 * b.bytes as u128;
+                    let db = b.benefit.as_nanos() as u128 * a.bytes as u128;
+                    da.cmp(&db).then(a.seq.cmp(&b.seq))
+                })
+                .map(|(i, _)| i)
+                .expect("over budget implies at least one entry");
+            let e = self.entries.remove(victim);
+            self.bytes -= e.bytes;
+            self.stats.evictions += 1;
+        }
+    }
+}
+
+/// Byte-budget charge of one result: fixed overhead plus the row payload
+/// (one `u32` per key component, one `f64` measure per row).
+pub fn result_bytes(result: &QueryResult) -> usize {
+    let key_width = result.rows.first().map_or(0, |(k, _)| k.len());
+    ENTRY_OVERHEAD_BYTES + result.rows.len() * (key_width * 4 + 8)
+}
+
+/// True when a probe is answerable from `cached`'s result by re-aggregation:
+/// same re-aggregable aggregate, the cached group-by derives everything the
+/// probe needs, and every cached predicate covers the probe's on that
+/// dimension (no row the probe wants was filtered away).
+fn covers(schema: &StarSchema, cached: &GroupByQuery, probe: &GroupByQuery) -> bool {
+    if cached.agg != probe.agg || probe.agg == AggFn::Avg {
+        // AVG is not re-aggregable; everything else combines exactly.
+        return false;
+    }
+    if !probe.answerable_from(&cached.group_by) {
+        return false;
+    }
+    cached
+        .preds
+        .iter()
+        .zip(&probe.preds)
+        .enumerate()
+        .all(|(d, (cp, pp))| pred_covers(schema, d, cp, pp))
+}
+
+/// True when every row the probe's predicate wants on dimension `d`
+/// survived the cached predicate — i.e. the cached filter is a superset of
+/// the probe's, possibly at a different hierarchy level. (`MemberPred::In`
+/// members are sorted and deduplicated, so binary search applies.)
+fn pred_covers(schema: &StarSchema, d: usize, cached: &MemberPred, probe: &MemberPred) -> bool {
+    match (cached, probe) {
+        // An unfiltered cached dimension covers any probe predicate.
+        (MemberPred::All, _) => true,
+        // A filtered cached dimension cannot cover an unfiltered probe.
+        (MemberPred::In { .. }, MemberPred::All) => false,
+        (
+            MemberPred::In {
+                level: lc,
+                members: mc,
+            },
+            MemberPred::In {
+                level: lp,
+                members: mp,
+            },
+        ) => {
+            if lc == lp {
+                return mp.iter().all(|m| mc.binary_search(m).is_ok());
+            }
+            let dim = schema.dim(d);
+            if lc < lp {
+                // Cached filtered at a finer level: every finer member
+                // under a wanted coarser member must have been kept.
+                (0..dim.cardinality(*lc)).all(|x| {
+                    mp.binary_search(&dim.roll_up(x, *lc, *lp)).is_err()
+                        || mc.binary_search(&x).is_ok()
+                })
+            } else {
+                // Cached filtered at a coarser level: every wanted finer
+                // member's ancestor must have been kept.
+                mp.iter()
+                    .all(|m| mc.binary_search(&dim.roll_up(*m, *lp, *lc)).is_ok())
+            }
+        }
+    }
+}
+
+/// Rolls a cached finer result up to `probe`, charging the work on the
+/// simulated clock: the cached rows play the part of a (tiny) stored
+/// table whose "stored levels" are the cached query's group-by.
+fn roll_up(
+    schema: &StarSchema,
+    cached: &QueryResult,
+    probe: &GroupByQuery,
+    model: &HardwareModel,
+) -> Result<(QueryResult, ExecReport), crate::error::ExecError> {
+    let stored = &cached.query.group_by;
+    let pipeline = DimPipeline::compile(schema, stored, probe)?;
+
+    // Cached row keys hold only the grouped dimensions (in dimension
+    // order); re-expand each to the full dimension-indexed width the
+    // pipeline addresses. All-aggregated dimensions stay 0 — derivability
+    // guarantees the probe neither groups nor filters them.
+    let grouped: Vec<usize> = (0..schema.n_dims())
+        .filter(|&d| matches!(stored.level(d), LevelRef::Level(_)))
+        .collect();
+
+    let mut cpu = CpuCounters::default();
+    let mut groups: BTreeMap<Vec<u32>, f64> = BTreeMap::new();
+    let mut full = vec![0u32; schema.n_dims()];
+    let mut out_key = Vec::new();
+    for (key, m) in &cached.rows {
+        debug_assert_eq!(key.len(), grouped.len());
+        for (slot, &d) in grouped.iter().enumerate() {
+            full[d] = key[slot];
+        }
+        if !pipeline.filter(&full, &mut cpu) {
+            continue;
+        }
+        pipeline.agg_key_into(&full, &mut out_key);
+        cpu.hash_probes += 1;
+        cpu.agg_updates += 1;
+        match groups.entry(out_key.clone()) {
+            std::collections::btree_map::Entry::Vacant(v) => {
+                v.insert(*m);
+            }
+            std::collections::btree_map::Entry::Occupied(mut o) => {
+                let acc = o.get_mut();
+                *acc = match probe.agg {
+                    // SUM cells add; COUNT cells (already counts) add too.
+                    AggFn::Sum | AggFn::Count => *acc + m,
+                    AggFn::Min => acc.min(*m),
+                    AggFn::Max => acc.max(*m),
+                    AggFn::Avg => unreachable!("AVG rejected by covers()"),
+                };
+            }
+        }
+    }
+    cpu.tuple_copies += groups.len() as u64;
+    let sim = model.cpu_time(&cpu);
+    let report = ExecReport {
+        cpu,
+        sim,
+        critical: sim,
+        ..ExecReport::default()
+    };
+    Ok((QueryResult::from_groups(probe.clone(), groups), report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::reference_eval;
+    use starshare_olap::{lattice_nodes, paper_cube, GroupBy, PaperCubeSpec};
+
+    fn cube() -> starshare_olap::Cube {
+        paper_cube(PaperCubeSpec {
+            base_rows: 300,
+            d_leaf: 24,
+            seed: 11,
+            with_indexes: false,
+        })
+    }
+
+    fn model() -> HardwareModel {
+        HardwareModel::paper_1998()
+    }
+
+    fn rows_bits(r: &QueryResult) -> Vec<(Vec<u32>, u64)> {
+        r.rows
+            .iter()
+            .map(|(k, m)| (k.clone(), m.to_bits()))
+            .collect()
+    }
+
+    #[test]
+    fn exact_hit_returns_the_stored_result() {
+        let cube = cube();
+        let base = cube.catalog.base_table().unwrap();
+        let q = GroupByQuery::unfiltered(cube.groupby("A''B''C''D*"));
+        let r = reference_eval(&cube, base, &q);
+        let mut cache = ResultCache::new(1 << 20);
+        cache.insert(q.clone(), r.clone(), SimTime::from_nanos(1_000_000));
+        let hit = cache.lookup(&cube.schema, &q, &model()).expect("hit");
+        assert!(!hit.is_subsumption());
+        assert_eq!(rows_bits(&hit.into_result()), rows_bits(&r));
+        assert_eq!(cache.stats().exact_hits, 1);
+        assert_eq!(cache.stats().misses, 0);
+    }
+
+    /// The keystone property: for *every* derivable pair of lattice nodes
+    /// on the paper schema, answering the coarser query by rolling up a
+    /// cached finer result is bit-identical to evaluating the coarser
+    /// query directly from the base table. (Exact because the synthetic
+    /// measure is quantized — see the module docs.)
+    #[test]
+    fn rollup_from_finer_matches_direct_evaluation_for_every_derivable_pair() {
+        let cube = cube();
+        let base = cube.catalog.base_table().unwrap();
+        let mut nodes = lattice_nodes(&cube.schema);
+        nodes.push(GroupBy::finest(cube.schema.n_dims()));
+        let results: Vec<QueryResult> = nodes
+            .iter()
+            .map(|g| reference_eval(&cube, base, &GroupByQuery::unfiltered(g.clone())))
+            .collect();
+
+        let mut pairs = 0usize;
+        let mut subsumption_hits = 0usize;
+        for (fi, finer) in nodes.iter().enumerate() {
+            for (ci, coarser) in nodes.iter().enumerate() {
+                if fi == ci || !finer.derives(coarser) {
+                    continue;
+                }
+                pairs += 1;
+                let probe = GroupByQuery::unfiltered(coarser.clone());
+                let mut cache = ResultCache::new(usize::MAX);
+                cache.insert(
+                    GroupByQuery::unfiltered(finer.clone()),
+                    results[fi].clone(),
+                    SimTime::from_nanos(1_000_000),
+                );
+                let hit = cache
+                    .lookup(&cube.schema, &probe, &model())
+                    .unwrap_or_else(|| panic!("derivable pair {fi}->{ci} missed"));
+                assert!(hit.is_subsumption());
+                subsumption_hits += 1;
+                assert_eq!(
+                    rows_bits(&hit.into_result()),
+                    rows_bits(&results[ci]),
+                    "rollup {} -> {} must be bit-identical to direct evaluation",
+                    finer.display(&cube.schema),
+                    coarser.display(&cube.schema),
+                );
+            }
+        }
+        assert!(
+            pairs > 100,
+            "paper lattice has many derivable pairs: {pairs}"
+        );
+        assert_eq!(pairs, subsumption_hits);
+    }
+
+    #[test]
+    fn covering_predicates_roll_up_bit_identically() {
+        let cube = cube();
+        let base = cube.catalog.base_table().unwrap();
+        // Cached: finer group-by, superset members on A at level 1.
+        let cached_q = GroupByQuery::new(
+            cube.groupby("A'B''C''D"),
+            vec![
+                MemberPred::members_in(1, vec![0, 1, 2]),
+                MemberPred::All,
+                MemberPred::All,
+                MemberPred::All,
+            ],
+        );
+        // Probe: coarser group-by, subset members on A, extra pred on B.
+        let probe = GroupByQuery::new(
+            cube.groupby("A''B''C*D"),
+            vec![
+                MemberPred::members_in(1, vec![0, 2]),
+                MemberPred::eq(2, 0),
+                MemberPred::All,
+                MemberPred::All,
+            ],
+        );
+        let cached_r = reference_eval(&cube, base, &cached_q);
+        let direct = reference_eval(&cube, base, &probe);
+        let mut cache = ResultCache::new(1 << 20);
+        cache.insert(cached_q, cached_r, SimTime::from_nanos(1_000_000));
+        let hit = cache.lookup(&cube.schema, &probe, &model()).expect("hit");
+        assert!(hit.is_subsumption());
+        let CacheHit::Subsumption { result, report } = hit else {
+            unreachable!()
+        };
+        assert_eq!(rows_bits(&result), rows_bits(&direct));
+        // The rollup is charged: predicate evals + probes + agg updates.
+        assert!(report.sim > SimTime::ZERO);
+        assert!(report.cpu.predicate_evals > 0);
+        assert_eq!(report.io.seq_faults + report.io.random_faults, 0);
+    }
+
+    /// Cross-level coverage: a cached filter at a finer level covers a
+    /// probe filter at a coarser level exactly when every finer member
+    /// under the wanted coarser members was kept.
+    #[test]
+    fn cross_level_predicates_cover_when_the_member_set_matches() {
+        let cube = cube();
+        let base = cube.catalog.base_table().unwrap();
+        // A has fan-out 2 from level 2 to level 1: level-2 member 0 owns
+        // level-1 members {0, 1}.
+        let all = MemberPred::All;
+        let cached_q = GroupByQuery::new(
+            cube.groupby("A'B''C''D"),
+            vec![
+                MemberPred::members_in(1, vec![0, 1]),
+                all.clone(),
+                all.clone(),
+                all.clone(),
+            ],
+        );
+        let probe = GroupByQuery::new(
+            cube.groupby("A''B''C''D*"),
+            vec![MemberPred::eq(2, 0), all.clone(), all.clone(), all.clone()],
+        );
+        let cached_r = reference_eval(&cube, base, &cached_q);
+        let direct = reference_eval(&cube, base, &probe);
+        let mut cache = ResultCache::new(1 << 20);
+        cache.insert(cached_q, cached_r, SimTime::from_nanos(1_000_000));
+        let hit = cache
+            .lookup(&cube.schema, &probe, &model())
+            .expect("finer filter covering the whole coarser member must hit");
+        assert!(hit.is_subsumption());
+        assert_eq!(rows_bits(&hit.into_result()), rows_bits(&direct));
+
+        // A *partial* child set does not cover the coarser member.
+        let partial_q = GroupByQuery::new(
+            cube.groupby("A'B''C''D"),
+            vec![MemberPred::eq(1, 0), all.clone(), all.clone(), all],
+        );
+        let partial_r = reference_eval(&cube, base, &partial_q);
+        let mut cache = ResultCache::new(1 << 20);
+        cache.insert(partial_q, partial_r, SimTime::from_nanos(1));
+        assert!(cache.lookup(&cube.schema, &probe, &model()).is_none());
+    }
+
+    #[test]
+    fn non_covering_predicates_miss() {
+        let cube = cube();
+        let base = cube.catalog.base_table().unwrap();
+        // Cached entry filtered to members {0}; probe wants {0, 1}.
+        let cached_q = GroupByQuery::new(
+            cube.groupby("A'B''C''D"),
+            vec![
+                MemberPred::eq(1, 0),
+                MemberPred::All,
+                MemberPred::All,
+                MemberPred::All,
+            ],
+        );
+        let probe = GroupByQuery::new(
+            cube.groupby("A''B''C''D"),
+            vec![
+                MemberPred::members_in(1, vec![0, 1]),
+                MemberPred::All,
+                MemberPred::All,
+                MemberPred::All,
+            ],
+        );
+        let r = reference_eval(&cube, base, &cached_q);
+        let mut cache = ResultCache::new(1 << 20);
+        cache.insert(cached_q, r, SimTime::from_nanos(1));
+        assert!(cache.lookup(&cube.schema, &probe, &model()).is_none());
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn avg_is_never_answered_by_subsumption() {
+        let cube = cube();
+        let base = cube.catalog.base_table().unwrap();
+        let finer = GroupByQuery::unfiltered(cube.groupby("A'B''C''D")).with_agg(AggFn::Avg);
+        let coarser = GroupByQuery::unfiltered(cube.groupby("A''B''C''D")).with_agg(AggFn::Avg);
+        let r = reference_eval(&cube, base, &finer);
+        let mut cache = ResultCache::new(1 << 20);
+        cache.insert(finer.clone(), r, SimTime::from_nanos(1));
+        assert!(cache.lookup(&cube.schema, &coarser, &model()).is_none());
+        // The identical AVG query still exact-hits.
+        assert!(cache.lookup(&cube.schema, &finer, &model()).is_some());
+    }
+
+    #[test]
+    fn min_max_count_roll_up_correctly() {
+        let cube = cube();
+        let base = cube.catalog.base_table().unwrap();
+        for agg in [AggFn::Min, AggFn::Max, AggFn::Count] {
+            let finer = GroupByQuery::unfiltered(cube.groupby("A'B''C''D")).with_agg(agg);
+            let coarser = GroupByQuery::unfiltered(cube.groupby("A''B*C''D*")).with_agg(agg);
+            let cached = reference_eval(&cube, base, &finer);
+            let direct = reference_eval(&cube, base, &coarser);
+            let mut cache = ResultCache::new(1 << 20);
+            cache.insert(finer, cached, SimTime::from_nanos(1_000_000));
+            let hit = cache
+                .lookup(&cube.schema, &coarser, &model())
+                .unwrap_or_else(|| panic!("{agg} should subsumption-hit"));
+            assert!(hit.is_subsumption());
+            assert_eq!(rows_bits(&hit.into_result()), rows_bits(&direct), "{agg}");
+        }
+    }
+
+    #[test]
+    fn mismatched_aggregates_do_not_cover() {
+        let cube = cube();
+        let base = cube.catalog.base_table().unwrap();
+        let finer = GroupByQuery::unfiltered(cube.groupby("A'B''C''D"));
+        let coarser = GroupByQuery::unfiltered(cube.groupby("A''B''C''D")).with_agg(AggFn::Count);
+        let r = reference_eval(&cube, base, &finer);
+        let mut cache = ResultCache::new(1 << 20);
+        cache.insert(finer, r, SimTime::from_nanos(1));
+        assert!(
+            cache.lookup(&cube.schema, &coarser, &model()).is_none(),
+            "a SUM entry must not answer a COUNT probe"
+        );
+    }
+
+    #[test]
+    fn epoch_bump_invalidates_and_keys_by_epoch() {
+        let cube = cube();
+        let base = cube.catalog.base_table().unwrap();
+        let q = GroupByQuery::unfiltered(cube.groupby("A''B''C''D*"));
+        let r = reference_eval(&cube, base, &q);
+        let mut cache = ResultCache::new(1 << 20);
+        cache.insert(q.clone(), r.clone(), SimTime::from_nanos(1));
+        assert!(cache.contains_exact(&q));
+        cache.advance_epoch(1);
+        assert!(!cache.contains_exact(&q));
+        assert!(cache.lookup(&cube.schema, &q, &model()).is_none());
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.bytes(), 0);
+        assert_eq!(cache.stats().invalidations, 1);
+        // Re-inserting at the new epoch serves again.
+        cache.insert(q.clone(), r, SimTime::from_nanos(1));
+        assert!(cache.lookup(&cube.schema, &q, &model()).is_some());
+    }
+
+    #[test]
+    fn eviction_holds_the_byte_budget_and_keeps_high_benefit_entries() {
+        let cube = cube();
+        let base = cube.catalog.base_table().unwrap();
+        let queries = [
+            GroupByQuery::unfiltered(cube.groupby("A''B''C''D*")),
+            GroupByQuery::unfiltered(cube.groupby("A''B*C''D*")),
+            GroupByQuery::unfiltered(cube.groupby("A*B''C''D*")),
+            GroupByQuery::unfiltered(cube.groupby("A''B''C*D*")),
+        ];
+        let results: Vec<QueryResult> = queries
+            .iter()
+            .map(|q| reference_eval(&cube, base, q))
+            .collect();
+        // Budget fits roughly two entries.
+        let budget = result_bytes(&results[0]) + result_bytes(&results[1]) + 16;
+        let mut cache = ResultCache::new(budget);
+        // Entry 0 is precious (huge production cost), the rest are cheap.
+        cache.insert(
+            queries[0].clone(),
+            results[0].clone(),
+            SimTime::from_nanos(1 << 40),
+        );
+        for (q, r) in queries.iter().zip(&results).skip(1) {
+            cache.insert(q.clone(), r.clone(), SimTime::from_nanos(1_000));
+            assert!(
+                cache.bytes() <= cache.max_bytes(),
+                "cache must stay within its byte budget"
+            );
+        }
+        assert!(
+            cache.stats().evictions > 0,
+            "budget must have forced eviction"
+        );
+        assert!(
+            cache.contains_exact(&queries[0]),
+            "benefit-based eviction must keep the high-benefit entry"
+        );
+    }
+
+    #[test]
+    fn oversized_results_are_never_admitted() {
+        let cube = cube();
+        let base = cube.catalog.base_table().unwrap();
+        let q = GroupByQuery::unfiltered(cube.groupby("A'B'C'D"));
+        let r = reference_eval(&cube, base, &q);
+        let mut cache = ResultCache::new(ENTRY_OVERHEAD_BYTES); // smaller than any payload
+        cache.insert(q.clone(), r, SimTime::from_nanos(1));
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.stats().insertions, 0);
+    }
+}

@@ -21,6 +21,7 @@
 //! [`morsel`] module), without perturbing the simulated clock (see its
 //! docs for the determinism contract).
 
+pub mod cache;
 pub mod context;
 pub mod error;
 pub mod kernel;
@@ -34,6 +35,7 @@ pub mod retry;
 pub mod rollup;
 pub mod window;
 
+pub use cache::{result_bytes, CacheHit, CacheStats, ResultCache};
 pub use context::{ExecContext, ExecReport};
 pub use error::ExecError;
 pub use kernel::{AggKernel, GroupAcc, KernelTier, DENSE_MAX_GROUPS};

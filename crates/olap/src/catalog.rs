@@ -368,16 +368,27 @@ pub struct Cube {
     /// Optional per-dimension histograms (see [`crate::stats`]); `None` is
     /// the paper-faithful uniform-assumption configuration.
     pub stats: Option<crate::stats::CubeStats>,
+    /// Data epoch: bumped by every successful [`crate::append_facts`], so
+    /// anything derived from the cube's contents (e.g. a result cache) can
+    /// tell at a glance whether it is stale. Starts at 0 for a fresh cube.
+    pub epoch: u64,
 }
 
 impl Cube {
-    /// A cube without statistics.
+    /// A cube without statistics, at epoch 0.
     pub fn new(schema: StarSchema, catalog: Catalog) -> Self {
         Cube {
             schema,
             catalog,
             stats: None,
+            epoch: 0,
         }
+    }
+
+    /// Advances the data epoch (called after every successful mutation of
+    /// the cube's contents).
+    pub fn bump_epoch(&mut self) {
+        self.epoch += 1;
     }
 
     /// Collects (or refreshes) per-dimension statistics from the base

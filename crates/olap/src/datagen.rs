@@ -247,7 +247,11 @@ impl CubeBuilder {
         let mut catalog = Catalog::new();
 
         // Base table: keys at every leaf (uniform, or Zipf when skewed),
-        // measure in [0, 100).
+        // measure in [0, 100). Measures are quantized to quarter units
+        // (exact binary fractions), so f64 summation over them is exact at
+        // any realistic scale: every re-aggregation of a finer result —
+        // materialized views, the result cache's subsumption rollups —
+        // reproduces direct evaluation bit-for-bit.
         let mut rng = Prng::seed_from_u64(self.seed);
         let layout = TupleLayout::new(n_dims);
         let base_file = catalog.alloc_file_id();
@@ -273,7 +277,7 @@ impl CubeBuilder {
                     rng.gen_range(0..cards[d])
                 };
             }
-            let measure: f64 = rng.gen_range(0.0..100.0);
+            let measure: f64 = rng.gen_range(0u32..400) as f64 * 0.25;
             heap.append(&keys, measure);
         }
         let finest = GroupBy::finest(n_dims);

@@ -143,6 +143,10 @@ pub fn append_facts(cube: &mut Cube, rows: &[(Vec<u32>, f64)]) -> Result<u64, Ol
         let base = cube.catalog.table(base_id);
         cube.stats = Some(CubeStats::collect(&cube.schema, base));
     }
+
+    // 4. The data changed: advance the epoch so derived state (result
+    // caches, planner snapshots) can detect staleness.
+    cube.bump_epoch();
     Ok(rows.len() as u64)
 }
 
@@ -346,6 +350,17 @@ mod tests {
             .table(cube.catalog.base_table().unwrap())
             .n_rows();
         assert_eq!(before, after, "failed append must not mutate");
+        assert_eq!(cube.epoch, 0, "failed append must not bump the epoch");
+    }
+
+    #[test]
+    fn every_successful_append_bumps_the_epoch() {
+        let mut cube = paper_cube(spec());
+        assert_eq!(cube.epoch, 0);
+        append_facts(&mut cube, &[(vec![0, 0, 0, 0], 1.0)]).unwrap();
+        assert_eq!(cube.epoch, 1);
+        append_facts(&mut cube, &[(vec![1, 1, 1, 1], 2.0)]).unwrap();
+        assert_eq!(cube.epoch, 2);
     }
 
     #[test]

@@ -654,6 +654,69 @@ mod tests {
         assert!((q.selectivity(&s) - 1.0 / 9.0).abs() < 1e-12);
     }
 
+    /// Derivability is a partial order over the lattice — the property
+    /// the result cache's subsumption rule leans on: reflexive (every
+    /// node answers itself), transitive (finer-than-finer answers the
+    /// coarsest), and antisymmetric (mutually derivable nodes are the
+    /// same node, so "strictly finer" is well defined).
+    #[test]
+    fn derivability_is_a_partial_order_over_the_lattice() {
+        let s = schema();
+        let mut nodes = crate::lattice_nodes(&s);
+        nodes.push(GroupBy::finest(s.n_dims()));
+
+        for a in &nodes {
+            assert!(a.derives(a), "reflexivity: {}", a.display(&s));
+        }
+        for a in &nodes {
+            for b in &nodes {
+                if a.derives(b) && b.derives(a) {
+                    assert_eq!(
+                        a,
+                        b,
+                        "antisymmetry: {} and {} derive each other",
+                        a.display(&s),
+                        b.display(&s)
+                    );
+                }
+            }
+        }
+        // Transitivity: per-dimension `provides` is an order on levels, so
+        // checking every triple of *per-dimension* options is exhaustive
+        // and cheap; the whole-lattice claim follows dimension-wise. Spot
+        // check the composed form on full nodes as well.
+        let options = [
+            LevelRef::Level(0),
+            LevelRef::Level(1),
+            LevelRef::Level(2),
+            LevelRef::All,
+        ];
+        for a in options {
+            for b in options {
+                for c in options {
+                    if a.provides(b) && b.provides(c) {
+                        assert!(a.provides(c), "transitivity: {a:?} {b:?} {c:?}");
+                    }
+                }
+            }
+        }
+        for a in nodes.iter().step_by(7) {
+            for b in nodes.iter().step_by(5) {
+                for c in nodes.iter().step_by(3) {
+                    if a.derives(b) && b.derives(c) {
+                        assert!(
+                            a.derives(c),
+                            "transitivity: {} -> {} -> {}",
+                            a.display(&s),
+                            b.display(&s),
+                            c.display(&s)
+                        );
+                    }
+                }
+            }
+        }
+    }
+
     #[test]
     fn display_renders_preds() {
         let s = schema();

@@ -29,6 +29,17 @@
 //! admit a query *relative to the classes built so far*, so their
 //! assignments — and hence result bits, via float re-association across
 //! different addend sets — may legitimately depend on window composition.
+//!
+//! ### Result caching upstream
+//!
+//! When the engine's subsumption result cache is enabled
+//! (`EngineConfig::result_cache` in `starshare-core`), the window passed
+//! here contains only the **cache-miss** queries: the engine probes its
+//! cache per query before planning, answers exact and rollup-derivable
+//! hits from memory, and hands [`plan_window`] the leftover sets (possibly
+//! all empty, yielding a default plan with no classes). The sharing
+//! statistics returned here therefore describe the scanned residue; the
+//! engine re-widens `n_queries` to the full window when reporting.
 
 use starshare_olap::GroupByQuery;
 

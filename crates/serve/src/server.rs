@@ -9,7 +9,8 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use starshare_core::{
-    Engine, Error, ExecStrategy, MorselSpec, Result, SimTime, WindowConfig, WindowOutcome,
+    CacheStats, Engine, Error, ExecStrategy, MorselSpec, Result, SimTime, WindowConfig,
+    WindowOutcome,
 };
 
 use crate::session::{Reply, Session, TenantState, WindowInfo};
@@ -48,6 +49,9 @@ pub(crate) struct Shared {
     expressions: AtomicU64,
     rejected_queue: AtomicU64,
     rejected_tenant: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_subsumption_hits: AtomicU64,
+    cache_misses: AtomicU64,
 }
 
 impl Shared {
@@ -61,6 +65,9 @@ impl Shared {
             expressions: AtomicU64::new(0),
             rejected_queue: AtomicU64::new(0),
             rejected_tenant: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_subsumption_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
         }
     }
 
@@ -88,6 +95,13 @@ impl Shared {
             .fetch_add(n_exprs as u64, Ordering::Relaxed);
     }
 
+    fn note_cache(&self, cache: &CacheStats) {
+        self.cache_hits.fetch_add(cache.hits(), Ordering::Relaxed);
+        self.cache_subsumption_hits
+            .fetch_add(cache.subsumption_hits, Ordering::Relaxed);
+        self.cache_misses.fetch_add(cache.misses, Ordering::Relaxed);
+    }
+
     fn tenant(&self, name: &str) -> Arc<TenantState> {
         let mut map = self.tenants.lock().expect("tenant registry poisoned");
         Arc::clone(map.entry(name.to_owned()).or_insert_with(|| {
@@ -106,6 +120,9 @@ impl Shared {
             expressions: self.expressions.load(Ordering::Relaxed),
             rejected_queue: self.rejected_queue.load(Ordering::Relaxed),
             rejected_tenant: self.rejected_tenant.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_subsumption_hits: self.cache_subsumption_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
         }
     }
 }
@@ -123,6 +140,15 @@ pub struct ServerStats {
     pub rejected_queue: u64,
     /// Submissions bounced off a tenant's in-flight budget.
     pub rejected_tenant: u64,
+    /// Queries answered from the shared result cache (exact +
+    /// subsumption), across all windows.
+    pub cache_hits: u64,
+    /// The subset of [`cache_hits`](ServerStats::cache_hits) answered by
+    /// rolling up a cached finer-grained result.
+    pub cache_subsumption_hits: u64,
+    /// Queries the cache could not answer (0 when caching is disabled —
+    /// uncached engines never probe).
+    pub cache_misses: u64,
 }
 
 /// A running multi-session server: a coordinator thread owning the
@@ -266,7 +292,7 @@ fn coordinate(
 
         window_id += 1;
         shared.note_window(batch.len(), n_exprs);
-        run_window(&mut engine, &cfg, window_id, batch);
+        run_window(&mut engine, &cfg, &shared, window_id, batch);
         if stop {
             break;
         }
@@ -285,11 +311,20 @@ fn coordinate(
 
 /// Plans and executes one window over `batch` and routes every
 /// submission's reply (releasing its tenant slot).
-fn run_window(engine: &mut Engine, cfg: &WindowConfig, window_id: u64, batch: Vec<Submission>) {
+fn run_window(
+    engine: &mut Engine,
+    cfg: &WindowConfig,
+    shared: &Shared,
+    window_id: u64,
+    batch: Vec<Submission>,
+) {
     let subs: Vec<&[String]> = batch.iter().map(|s| s.exprs.as_slice()).collect();
     let strategy = ExecStrategy::Morsel(MorselSpec::with_pages(cfg.morsel_pages));
     match engine.mdx_window(&subs, cfg.optimizer, strategy) {
-        Ok(out) => deliver(window_id, batch, out),
+        Ok(out) => {
+            shared.note_cache(&out.cache);
+            deliver(window_id, batch, out);
+        }
         Err(e) if batch.len() == 1 => {
             for s in batch {
                 let _ = s.reply.try_send(Err(e.clone()));
@@ -302,7 +337,10 @@ fn run_window(engine: &mut Engine, cfg: &WindowConfig, window_id: u64, batch: Ve
             // unplannable query set cannot fail its window-mates.
             for s in batch {
                 match engine.mdx_window(&[s.exprs.as_slice()], cfg.optimizer, strategy) {
-                    Ok(out) => deliver(window_id, vec![s], out),
+                    Ok(out) => {
+                        shared.note_cache(&out.cache);
+                        deliver(window_id, vec![s], out);
+                    }
                     Err(e) => {
                         let _ = s.reply.try_send(Err(e));
                         s.tenant.release();
@@ -322,6 +360,8 @@ fn deliver(window_id: u64, batch: Vec<Submission>, out: WindowOutcome) {
         n_classes: out.sharing.n_classes,
         cross_session_classes: out.sharing.cross_submission_classes,
         shared_scan_ratio: out.sharing.shared_scan_ratio,
+        cache_hits: out.cache.hits(),
+        cache_subsumption_hits: out.cache.subsumption_hits,
         sim: out.report.exec.sim,
         wall: out.report.wall,
         busy: out.report.busy(),

@@ -163,6 +163,12 @@ pub struct WindowInfo {
     pub cross_session_classes: usize,
     /// Queries per class across the window (1.0 when empty).
     pub shared_scan_ratio: f64,
+    /// Queries in the window answered from the shared result cache
+    /// (exact + subsumption) instead of scans.
+    pub cache_hits: u64,
+    /// The subset of [`cache_hits`](WindowInfo::cache_hits) answered by
+    /// rolling up a cached finer-grained result.
+    pub cache_subsumption_hits: u64,
     /// Simulated cost of the whole window's shared execution.
     pub sim: SimTime,
     /// Wall-clock envelope of the window (plan + execute).

@@ -197,6 +197,53 @@ fn stats_count_windows_submissions_and_expressions() {
 }
 
 #[test]
+fn repeated_dashboard_traffic_is_served_from_the_shared_cache() {
+    // One tenant's refresh warms the cache; another tenant's identical
+    // refresh exact-hits, and a coarser derivable probe subsumption-hits
+    // — all without a scan, all bit-identical to an uncached engine.
+    const Q_COARSE: &str = "{A''.A1} on COLUMNS {B''.B1} on ROWS CONTEXT ABCD;";
+    let cached = EngineConfig::paper()
+        .optimizer(OptimizerKind::Tplo)
+        .result_cache(true)
+        .build_paper(spec());
+    let server = Server::start_with(cached, pool_exactly(1));
+    let a = server.session("tenant-a");
+    let b = server.session("tenant-b");
+
+    let cold = a.mdx(Q_CHILDREN).unwrap();
+    assert_eq!(cold.window.cache_hits, 0);
+
+    let warm = b.mdx(Q_CHILDREN).unwrap();
+    assert_eq!(warm.window.cache_hits, 1);
+    assert_eq!(warm.window.cache_subsumption_hits, 0);
+    assert_eq!(warm.attributed, starshare_core::SimTime::ZERO);
+    assert!(same_bits(cold.expr(0), warm.expr(0)));
+
+    let coarse = b.mdx(Q_COARSE).unwrap();
+    assert_eq!(coarse.window.cache_subsumption_hits, 1);
+
+    let stats = server.stats();
+    assert_eq!(stats.cache_hits, 2);
+    assert_eq!(stats.cache_subsumption_hits, 1);
+    assert_eq!(stats.cache_misses, 1);
+    drop(server);
+
+    // The rolled-up answer matches a direct uncached evaluation.
+    let mut plain = engine();
+    let direct = plain
+        .mdx_window(
+            &[&[Q_COARSE]],
+            OptimizerKind::Tplo,
+            ExecStrategy::Morsel(MorselSpec::whole_table()),
+        )
+        .unwrap();
+    assert!(same_bits(
+        coarse.expr(0),
+        direct.submission(0)[0].as_ref().unwrap()
+    ));
+}
+
+#[test]
 fn deadline_closes_an_underfilled_window() {
     let cfg = WindowConfig::default()
         .max_exprs(64)

@@ -3,6 +3,7 @@
 //! ```text
 //! testkit fuzz [--start N] [--count N] [--faults] [--fault-seeds N] [--out PATH]
 //! testkit windows [--start N] [--count N] [--faults]
+//! testkit cache [--start N] [--count N] [--faults]
 //! testkit replay PATH
 //! ```
 //!
@@ -10,7 +11,11 @@
 //! differential oracle (and, with `--faults`, through the fault-injection
 //! harness). `windows` sweeps multi-session optimization windows: each
 //! seed's submissions must answer bit-identically windowed and alone, and
-//! (with `--faults`) one session's faults must never fail a window-mate. The first failure is shrunk to a minimal case and written to
+//! (with `--faults`) one session's faults must never fail a window-mate.
+//! `cache` sweeps the result-cache differential: each seed's session is
+//! replayed on a cached engine — warm exact and subsumption hits,
+//! optionally under injected faults, and across an `append_facts` epoch
+//! bump — and must stay bit-identical to a cache-less engine throughout. The first failure is shrunk to a minimal case and written to
 //! `--out` (default `testkit-repro.txt`) in the repro format; the process
 //! exits non-zero. `replay` re-runs such a file and reports pass/fail —
 //! the loop a bug report travels through.
@@ -19,8 +24,8 @@ use std::process::ExitCode;
 
 use starshare_core::{FaultPlan, OptimizerKind};
 use starshare_testkit::{
-    check_fault_isolation, check_windowed_vs_solo, format_case, generate_session, harness_spec,
-    parse_case, run_case, shrink, Case, FaultHarness, Oracle,
+    check_cache_differential, check_fault_isolation, check_windowed_vs_solo, format_case,
+    generate_session, harness_spec, parse_case, run_case, shrink, Case, FaultHarness, Oracle,
 };
 
 fn main() -> ExitCode {
@@ -28,10 +33,12 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("fuzz") => fuzz(&args[1..]),
         Some("windows") => windows(&args[1..]),
+        Some("cache") => cache(&args[1..]),
         Some("replay") => replay(&args[1..]),
         _ => {
             eprintln!("usage: testkit fuzz [--start N] [--count N] [--faults] [--fault-seeds N] [--out PATH]");
             eprintln!("       testkit windows [--start N] [--count N] [--faults]");
+            eprintln!("       testkit cache [--start N] [--count N] [--faults]");
             eprintln!("       testkit replay PATH");
             ExitCode::from(2)
         }
@@ -165,6 +172,59 @@ fn windows(args: &[String]) -> ExitCode {
     );
     if with_faults {
         println!("fault isolation: {degraded} queries degraded, no window-mate harmed");
+    }
+    ExitCode::SUCCESS
+}
+
+/// The result-cache differential sweep: warm replays (and, with
+/// `--faults`, faulted ones) plus an append-invalidation phase per seed,
+/// all bit-compared against a cache-less engine.
+fn cache(args: &[String]) -> ExitCode {
+    let start: u64 = arg_value(args, "--start")
+        .map(|v| v.parse().expect("--start takes a number"))
+        .unwrap_or(0);
+    let count: u64 = arg_value(args, "--count")
+        .map(|v| v.parse().expect("--count takes a number"))
+        .unwrap_or(25);
+    let with_faults = args.iter().any(|a| a == "--faults");
+
+    let spec = harness_spec();
+    let (mut comparisons, mut hits, mut rollups) = (0u64, 0u64, 0u64);
+    let (mut invalidations, mut degraded) = (0u64, 0usize);
+    for seed in start..start + count {
+        match check_cache_differential(spec, seed, None) {
+            Ok(c) => {
+                comparisons += c.comparisons;
+                hits += c.exact_hits;
+                rollups += c.subsumption_hits;
+                invalidations += c.invalidations;
+            }
+            Err(detail) => {
+                eprintln!("cache differential failure: {detail}");
+                return ExitCode::FAILURE;
+            }
+        }
+        if with_faults {
+            let fault = FaultPlan {
+                seed: seed.wrapping_mul(7919),
+                transient: 0.05,
+                poison: 0.01,
+            };
+            match check_cache_differential(spec, seed, Some(fault)) {
+                Ok(c) => degraded += c.degraded,
+                Err(detail) => {
+                    eprintln!("faulted cache differential failure: {detail}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    println!(
+        "ok: {count} sessions, {comparisons} cached-vs-reference comparisons, \
+         {hits} exact hits, {rollups} subsumption hits, {invalidations} invalidations"
+    );
+    if with_faults {
+        println!("fault transparency: {degraded} queries degraded, none drifted");
     }
     ExitCode::SUCCESS
 }

@@ -28,15 +28,21 @@
 //!   results and attributed cost must be bit-identical alone and windowed
 //!   with random co-tenants, and one session's injected faults must never
 //!   fail a window-mate.
+//! * [`cache`] — the result-cache differential check: seeded sessions
+//!   replayed on a cached engine (warm exact and subsumption hits, with or
+//!   without injected faults, and across an `append_facts` epoch bump)
+//!   must stay bit-identical to a cache-less engine.
 //!
 //! The `testkit` binary drives it all:
 //!
 //! ```text
 //! testkit fuzz --count 100 --faults     # sweep seeds, shrink any failure
 //! testkit windows --count 50 --faults   # multi-session windowing sweep
+//! testkit cache --count 50 --faults     # warm-replay differential sweep
 //! testkit replay repro.txt              # re-run a minimized repro
 //! ```
 
+pub mod cache;
 pub mod faults;
 pub mod oracle;
 pub mod repro;
@@ -45,6 +51,7 @@ pub mod session;
 pub mod shrink;
 pub mod windows;
 
+pub use cache::{check_cache_differential, CacheCheck, APPEND_ROWS, CACHE_REPLAYS};
 pub use faults::{FaultHarness, FaultedComparison, FaultedQuery};
 pub use oracle::{harness_spec, Mismatch, Oracle, OracleStats, ORACLE_OPTIMIZERS, ORACLE_THREADS};
 pub use repro::{format_case, parse_case};
