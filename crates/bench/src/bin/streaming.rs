@@ -1,0 +1,62 @@
+//! Streaming-append runner: delta-patched cache vs epoch-drop vs
+//! recompute.
+//!
+//! ```text
+//! STARSHARE_SCALE=0.1 cargo run --release -p starshare-bench --bin streaming [out.json]
+//! ```
+//!
+//! Prints the run and writes its JSON payload (default
+//! `BENCH_streaming.json` in the current directory). Exits non-zero if
+//! any acceptance gate fails: every answer of both cached legs must be
+//! bit-identical to the cache-less reference across all append rounds,
+//! the patched rounds must be at least 2x cheaper on the simulated clock
+//! than the epoch-drop baseline (patch CPU included), at least one entry
+//! must actually be delta-patched, and the drop leg must actually
+//! invalidate.
+
+use starshare_bench::{
+    render_streaming_bench, scale_from_env, streaming_bench, streaming_bench_json,
+};
+
+fn main() {
+    let scale = scale_from_env();
+    let repeats: u32 = std::env::var("STARSHARE_REPEATS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_streaming.json".to_string());
+
+    println!("== Delta-patched cache under streaming appends (scale {scale}) ==");
+    println!("(sim columns are simulated 1998-hardware seconds — deterministic;");
+    println!(" walls are host-dependent and informational)\n");
+    let r = streaming_bench(scale, repeats);
+    print!("{}", render_streaming_bench(&r));
+    std::fs::write(&out, streaming_bench_json(&r)).expect("write bench json");
+    println!("wrote {out}");
+
+    let mut failed = false;
+    if !r.differential_ok {
+        eprintln!("FAIL: a cached leg's answer diverged from the cache-less reference");
+        failed = true;
+    }
+    if r.speedup_sim() < 2.0 {
+        eprintln!(
+            "FAIL: patched rounds only {:.2}x cheaper than epoch-drop (need >= 2x)",
+            r.speedup_sim()
+        );
+        failed = true;
+    }
+    if r.patched_stats.patched < 1 {
+        eprintln!("FAIL: no cached entry was ever delta-patched");
+        failed = true;
+    }
+    if r.drop_invalidations < 1 {
+        eprintln!("FAIL: the epoch-drop leg never invalidated an entry");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

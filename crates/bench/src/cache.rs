@@ -123,7 +123,8 @@ fn rows_equal(a: &QueryResult, b: &QueryResult) -> bool {
 }
 
 /// All per-query answers of two runs of the same leg, bit-compared.
-fn leg_equal(a: &[WindowOutcome], b: &[WindowOutcome]) -> bool {
+/// (Shared with the streaming bench, whose legs have the same shape.)
+pub(crate) fn leg_equal(a: &[WindowOutcome], b: &[WindowOutcome]) -> bool {
     a.len() == b.len()
         && a.iter().zip(b).all(|(x, y)| {
             let (x, y) = (x.submission(0), y.submission(0));

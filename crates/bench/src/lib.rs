@@ -23,6 +23,7 @@ pub mod cache;
 pub mod kernels;
 pub mod parallel;
 pub mod serving;
+pub mod streaming;
 pub mod workloads;
 pub use cache::{
     cache_bench, cache_bench_json, render_cache_bench, BudgetRow, CacheBenchResult,
@@ -36,6 +37,10 @@ pub use parallel::{
 pub use serving::{
     render_serving_bench, serving_bench, serving_bench_json, ServingBenchResult, ServingRow,
     EXPRS_PER_SESSION, SERVING_SESSIONS,
+};
+pub use streaming::{
+    render_streaming_bench, streaming_bench, streaming_bench_json, StreamingBenchResult,
+    STREAM_ROUNDS,
 };
 pub use workloads::{
     dashboard_refresh, fig10_queries, fig10_workload, skewed_probe, SkewedProbe,

@@ -1,0 +1,329 @@
+//! Streaming-append bench: keeping a warm dashboard fresh while facts
+//! arrive.
+//!
+//! The question delta patching exists to answer: when append batches keep
+//! landing between dashboard refreshes, is patching the cached results
+//! actually cheaper than throwing them away and recomputing — and does it
+//! give back the *same bits*? The workload is the repeated dashboard mix
+//! ([`dashboard_refresh`]): one cold fill, then [`STREAM_ROUNDS`] rounds
+//! of (append batch, refresh), identical on every leg.
+//!
+//! Three legs per run:
+//!
+//! * **patched** — a cached engine with delta patching (the default):
+//!   every append patches the warm entries in place, charged as pure CPU
+//!   on the simulated clock; every refresh then hits the patched cache;
+//! * **drop** — the same engine with `cache_patching(false)`: every
+//!   append invalidates the cache wholesale (free at append time), so
+//!   every refresh pays full recomputation — the epoch-drop baseline the
+//!   patching speedup is gated against;
+//! * **reference** — a cache-less engine replaying the same appends and
+//!   refreshes: the bit-identity reference for both cached legs.
+//!
+//! Appended measures are quantized to quarter units like the generator's,
+//! so patched sums are exact and the gate can demand bit equality, not
+//! tolerance. Timing claims are gated on the simulated 1998 clock; walls
+//! are recorded, not gated.
+
+use std::time::{Duration, Instant};
+
+use starshare_core::{
+    paper_schema, CacheStats, Engine, EngineConfig, ExecStrategy, MorselSpec, OptimizerKind,
+    PaperCubeSpec, SimTime, WindowOutcome,
+};
+use starshare_prng::Prng;
+
+use crate::cache::leg_equal;
+use crate::workloads::dashboard_refresh;
+
+/// Append-then-refresh rounds after the cold fill.
+pub const STREAM_ROUNDS: usize = 4;
+
+/// Salt separating the bench's append draws from every other stream.
+const STREAM_SALT: u64 = 0x57e4_11a9_b01d_u64;
+
+/// Outcome of [`streaming_bench`].
+#[derive(Debug, Clone)]
+pub struct StreamingBenchResult {
+    /// Paper-cube scale factor.
+    pub scale: f64,
+    /// Timed repeats per leg (walls keep the best; sims are invariant).
+    pub repeats: u32,
+    /// Append-then-refresh rounds after the cold fill.
+    pub rounds: usize,
+    /// Fact rows per append batch.
+    pub append_rows: usize,
+    /// Simulated cost of the cold fill (round 0 — every leg pays it).
+    pub fill_sim: SimTime,
+    /// Simulated cost of rounds 1.. on the patched leg: patch CPU plus
+    /// the (warm) refreshes.
+    pub patched_round_sim: SimTime,
+    /// The patch-CPU share of `patched_round_sim`.
+    pub patched_append_sim: SimTime,
+    /// Simulated cost of the same rounds on the epoch-drop leg: appends
+    /// are free, every refresh recomputes.
+    pub drop_round_sim: SimTime,
+    /// Simulated cost of the same rounds on the cache-less reference.
+    pub reference_round_sim: SimTime,
+    /// Cache counters of the patched leg.
+    pub patched_stats: CacheStats,
+    /// Entries wholesale-invalidated across the drop leg's appends.
+    pub drop_invalidations: u64,
+    /// Best host wall of the patched leg.
+    pub patched_wall: Duration,
+    /// Best host wall of the epoch-drop leg.
+    pub drop_wall: Duration,
+    /// Every answer of both cached legs, every round, matched the
+    /// cache-less reference bit-for-bit.
+    pub differential_ok: bool,
+}
+
+impl StreamingBenchResult {
+    /// Drop-leg round sim / patched-leg round sim — what patching saves
+    /// over recompute-on-next-refresh, patch CPU included.
+    pub fn speedup_sim(&self) -> f64 {
+        self.drop_round_sim.as_secs_f64() / self.patched_round_sim.as_secs_f64().max(1e-12)
+    }
+}
+
+/// The three legs.
+#[derive(Clone, Copy)]
+enum Leg {
+    Patched,
+    Drop,
+    Reference,
+}
+
+fn engine(spec: PaperCubeSpec, leg: Leg) -> Engine {
+    let mut cfg = EngineConfig::paper().optimizer(OptimizerKind::Tplo);
+    match leg {
+        Leg::Reference => {}
+        Leg::Patched => cfg = cfg.result_cache(true),
+        Leg::Drop => cfg = cfg.result_cache(true).cache_patching(false),
+    }
+    cfg.build_paper(spec)
+}
+
+/// Deterministic append batches: keys within the leaf cardinalities,
+/// measures quantized to quarter units (exact binary fractions keep the
+/// patched sums bit-stable).
+pub fn stream_batches(spec: PaperCubeSpec, rows_per: usize) -> Vec<Vec<(Vec<u32>, f64)>> {
+    let schema = paper_schema(spec.d_leaf);
+    let cards: Vec<u32> = (0..schema.n_dims())
+        .map(|d| schema.dim(d).cardinality(0))
+        .collect();
+    (0..STREAM_ROUNDS as u64)
+        .map(|round| {
+            let mut rng = Prng::seed_from_u64(STREAM_SALT ^ (round << 32));
+            (0..rows_per)
+                .map(|_| {
+                    let key = cards.iter().map(|&c| rng.gen_range(0..c)).collect();
+                    (key, rng.gen_range(0u32..400) as f64 * 0.25)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// One leg's run: the cold fill, then (append, refresh) per batch.
+struct LegRun {
+    outs: Vec<WindowOutcome>,
+    fill_sim: SimTime,
+    round_sim: SimTime,
+    append_sim: SimTime,
+    wall: Duration,
+}
+
+fn run_leg(e: &mut Engine, batches: &[Vec<(Vec<u32>, f64)>]) -> LegRun {
+    let strategy = ExecStrategy::Morsel(MorselSpec::whole_table());
+    let exprs = dashboard_refresh(1);
+    let started = Instant::now();
+    let w = e
+        .mdx_window(&[exprs.as_slice()], OptimizerKind::Tplo, strategy)
+        .expect("dashboard refresh runs");
+    let fill_sim = w.report.exec.sim;
+    let mut outs = vec![w];
+    let mut round_sim = SimTime::ZERO;
+    let mut append_sim = SimTime::ZERO;
+    for batch in batches {
+        let a = e.append_facts(batch).expect("append batch lands");
+        append_sim += a.report.sim;
+        round_sim += a.report.sim;
+        let w = e
+            .mdx_window(&[exprs.as_slice()], OptimizerKind::Tplo, strategy)
+            .expect("dashboard refresh runs");
+        round_sim += w.report.exec.sim;
+        outs.push(w);
+    }
+    LegRun {
+        outs,
+        fill_sim,
+        round_sim,
+        append_sim,
+        wall: started.elapsed(),
+    }
+}
+
+/// Runs the patched, epoch-drop, and cache-less legs over the same append
+/// stream.
+pub fn streaming_bench(scale: f64, repeats: u32) -> StreamingBenchResult {
+    let repeats = repeats.max(1);
+    let spec = PaperCubeSpec::scaled(scale);
+    let append_rows = ((spec.base_rows / 100) as usize).max(32);
+    let batches = stream_batches(spec, append_rows);
+
+    let bench_leg = |leg: Leg| {
+        let mut kept = None;
+        let mut wall = Duration::MAX;
+        for rep in 0..repeats {
+            let mut e = engine(spec, leg);
+            let run = run_leg(&mut e, &batches);
+            wall = wall.min(run.wall);
+            if rep == 0 {
+                kept = Some((run, e.cache_stats()));
+            }
+        }
+        let (run, stats) = kept.expect("at least one repeat");
+        (run, stats, wall)
+    };
+
+    let (reference, _, _) = bench_leg(Leg::Reference);
+    let (patched, patched_stats, patched_wall) = bench_leg(Leg::Patched);
+    let (drop, drop_stats, drop_wall) = bench_leg(Leg::Drop);
+
+    StreamingBenchResult {
+        scale,
+        repeats,
+        rounds: STREAM_ROUNDS,
+        append_rows,
+        fill_sim: reference.fill_sim,
+        patched_round_sim: patched.round_sim,
+        patched_append_sim: patched.append_sim,
+        drop_round_sim: drop.round_sim,
+        reference_round_sim: reference.round_sim,
+        patched_stats,
+        drop_invalidations: drop_stats.invalidations,
+        patched_wall,
+        drop_wall,
+        differential_ok: leg_equal(&patched.outs, &reference.outs)
+            && leg_equal(&drop.outs, &reference.outs),
+    }
+}
+
+/// Renders the run as a text report.
+pub fn render_streaming_bench(r: &StreamingBenchResult) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "streaming mix: cold fill + {} rounds of ({}-row append, refresh), scale {}",
+        r.rounds, r.append_rows, r.scale
+    );
+    let _ = writeln!(out, "cold fill          {:>9.3}s", r.fill_sim.as_secs_f64());
+    let _ = writeln!(
+        out,
+        "rounds, cache-less {:>9.3}s",
+        r.reference_round_sim.as_secs_f64()
+    );
+    let _ = writeln!(
+        out,
+        "rounds, epoch-drop {:>9.3}s   (wall {:?}, {} entries dropped)",
+        r.drop_round_sim.as_secs_f64(),
+        r.drop_wall,
+        r.drop_invalidations
+    );
+    let _ = writeln!(
+        out,
+        "rounds, patched    {:>9.3}s   (wall {:?})  -> {:.1}x",
+        r.patched_round_sim.as_secs_f64(),
+        r.patched_wall,
+        r.speedup_sim()
+    );
+    let _ = writeln!(
+        out,
+        "patch CPU {:>9.6}s  ({} entries patched, {} dropped as unpatchable, \
+         {} exact hits, bits {})",
+        r.patched_append_sim.as_secs_f64(),
+        r.patched_stats.patched,
+        r.patched_stats.patch_drops,
+        r.patched_stats.exact_hits,
+        if r.differential_ok { "ok" } else { "DRIFT" },
+    );
+    out
+}
+
+/// Serializes the run as the committed `BENCH_streaming.json` payload.
+pub fn streaming_bench_json(r: &StreamingBenchResult) -> String {
+    format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"streaming\",\n",
+            "  \"scale\": {scale},\n",
+            "  \"repeats\": {repeats},\n",
+            "  \"rounds\": {rounds},\n",
+            "  \"append_rows\": {arows},\n",
+            "  \"fill_sim_ms\": {fill:.3},\n",
+            "  \"reference_round_sim_ms\": {refr:.3},\n",
+            "  \"drop_round_sim_ms\": {dropr:.3},\n",
+            "  \"patched_round_sim_ms\": {patchr:.3},\n",
+            "  \"patched_append_sim_ms\": {patcha:.3},\n",
+            "  \"speedup_sim\": {speedup:.3},\n",
+            "  \"patched\": {patched},\n",
+            "  \"patch_drops\": {pdrops},\n",
+            "  \"exact_hits\": {exact},\n",
+            "  \"drop_invalidations\": {dinv},\n",
+            "  \"patched_wall_ms\": {pwall:.3},\n",
+            "  \"drop_wall_ms\": {dwall:.3},\n",
+            "  \"differential_ok\": {diff}\n",
+            "}}\n"
+        ),
+        scale = r.scale,
+        repeats = r.repeats,
+        rounds = r.rounds,
+        arows = r.append_rows,
+        fill = r.fill_sim.as_secs_f64() * 1e3,
+        refr = r.reference_round_sim.as_secs_f64() * 1e3,
+        dropr = r.drop_round_sim.as_secs_f64() * 1e3,
+        patchr = r.patched_round_sim.as_secs_f64() * 1e3,
+        patcha = r.patched_append_sim.as_secs_f64() * 1e3,
+        speedup = r.speedup_sim(),
+        patched = r.patched_stats.patched,
+        pdrops = r.patched_stats.patch_drops,
+        exact = r.patched_stats.exact_hits,
+        dinv = r.drop_invalidations,
+        pwall = r.patched_wall.as_secs_f64() * 1e3,
+        dwall = r.drop_wall.as_secs_f64() * 1e3,
+        diff = r.differential_ok,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_streaming_mix_holds_every_gate() {
+        let r = streaming_bench(0.002, 1);
+        assert!(r.differential_ok, "a cached leg drifted from the reference");
+        assert!(
+            r.patched_stats.patched >= 1,
+            "no entry was ever delta-patched: {:?}",
+            r.patched_stats
+        );
+        assert!(r.drop_invalidations >= 1, "the drop leg never invalidated");
+        assert!(
+            r.speedup_sim() >= 2.0,
+            "patched rounds only {:.2}x cheaper than epoch-drop",
+            r.speedup_sim()
+        );
+        assert!(
+            r.patched_append_sim > SimTime::ZERO,
+            "patch CPU must be charged on the simulated clock"
+        );
+        let json = streaming_bench_json(&r);
+        assert!(json.contains("\"bench\": \"streaming\""), "{json}");
+        assert!(render_streaming_bench(&r).contains("patched"), "{}", {
+            render_streaming_bench(&r)
+        });
+    }
+}

@@ -28,8 +28,8 @@ pub mod error;
 pub mod grid;
 
 pub use engine::{
-    DegradedExecution, Engine, EngineConfig, ExprOutcome, Outcome, PlanExecution, WindowConfig,
-    WindowOutcome,
+    AppendOutcome, DegradedExecution, Engine, EngineConfig, ExprOutcome, Outcome, PlanExecution,
+    WindowConfig, WindowOutcome,
 };
 pub use error::{Error, Overload, Result};
 pub use grid::{pivot, render_pivot, PivotGrid, PivotPage};

@@ -1,10 +1,14 @@
 //! Lattice-subsumption result cache.
 //!
-//! A bounded, epoch-invalidated cache of [`QueryResult`]s, shared by every
+//! A bounded, epoch-aware cache of [`QueryResult`]s, shared by every
 //! session an engine serves. Entries are keyed on the full query identity —
 //! target group-by, predicate set, aggregate — plus the cube's data
 //! *epoch* (bumped by `starshare_olap::append_facts`), so stale answers
-//! can never leak across a data change.
+//! can never leak across a data change. An epoch move carries entries
+//! forward two ways: [`ResultCache::apply_append`] **delta-patches** live
+//! entries with the appended rows (the streaming-append fast path), while
+//! [`ResultCache::advance_epoch`] drops everything stale (the fallback for
+//! any other data change).
 //!
 //! Lookups answer two ways:
 //!
@@ -39,7 +43,7 @@
 
 use std::collections::BTreeMap;
 
-use starshare_olap::{AggFn, GroupByQuery, LevelRef, MemberPred, StarSchema};
+use starshare_olap::{AggFn, GroupBy, GroupByQuery, LevelRef, MemberPred, StarSchema};
 use starshare_storage::{CpuCounters, HardwareModel, SimTime};
 
 use crate::context::ExecReport;
@@ -65,6 +69,11 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Entries dropped by an epoch bump.
     pub invalidations: u64,
+    /// Entries carried across an append by delta patching.
+    pub patched: u64,
+    /// Entries dropped during an append patch because their aggregate is
+    /// not delta-maintainable (AVG) or their predicates failed to compile.
+    pub patch_drops: u64,
 }
 
 impl CacheStats {
@@ -93,6 +102,8 @@ impl CacheStats {
             insertions: self.insertions - earlier.insertions,
             evictions: self.evictions - earlier.evictions,
             invalidations: self.invalidations - earlier.invalidations,
+            patched: self.patched - earlier.patched,
+            patch_drops: self.patch_drops - earlier.patch_drops,
         }
     }
 }
@@ -215,6 +226,145 @@ impl ResultCache {
         self.bytes = self.entries.iter().map(|e| e.bytes).sum();
     }
 
+    /// Moves the cache to `epoch` by **delta-patching** every live entry
+    /// with the appended `rows` instead of dropping it: the delta is
+    /// aggregated once at the leaf per cached aggregate, then rolled up
+    /// through each entry's [`DimPipeline`] (the same divisors the scan
+    /// uses) and merged into the entry's stored rows. Sound for SUM and
+    /// COUNT unconditionally and for MIN/MAX under the engine's
+    /// insert-only append model; AVG entries — and any entry whose
+    /// predicates fail to compile against the leaf — are dropped, counted
+    /// in [`CacheStats::patch_drops`]. A delta row an entry's predicates
+    /// reject leaves that entry untouched (but still carried to the new
+    /// epoch); a delta row grouping to a key the entry has never seen
+    /// inserts a fresh row at its sorted position. Patched entries can
+    /// grow, so the byte budget is re-enforced afterwards — a patch can
+    /// race entries out of the cache.
+    ///
+    /// The patch work is charged on the deterministic simulated clock and
+    /// returned as a pure-CPU [`ExecReport`]: one hash probe plus one
+    /// aggregate update per raw row per leaf delta built, one predicate
+    /// cascade per leaf delta group per entry, one probe plus update per
+    /// surviving group, and one tuple copy per merged row. A no-op (equal
+    /// epoch) returns an empty report.
+    pub fn apply_append(
+        &mut self,
+        schema: &StarSchema,
+        epoch: u64,
+        rows: &[(Vec<u32>, f64)],
+        model: &HardwareModel,
+    ) -> ExecReport {
+        if epoch == self.epoch {
+            return ExecReport::default();
+        }
+        let from = self.epoch;
+        self.epoch = epoch;
+        let finest = GroupBy::finest(schema.n_dims());
+
+        let mut cpu = CpuCounters::default();
+        // Leaf deltas, aggregated once per cached aggregate and shared by
+        // every entry carrying it.
+        let mut leaf_deltas: Vec<(AggFn, BTreeMap<Vec<u32>, f64>)> = Vec::new();
+
+        let mut kept = Vec::with_capacity(self.entries.len());
+        let mut bytes = 0usize;
+        for mut e in std::mem::take(&mut self.entries) {
+            if e.epoch != from {
+                // Predates even the epoch we are patching from: stale.
+                self.stats.invalidations += 1;
+                continue;
+            }
+            if e.query.agg == AggFn::Avg {
+                self.stats.patch_drops += 1;
+                continue;
+            }
+            let pipeline = match DimPipeline::compile(schema, &finest, &e.query) {
+                Ok(p) => p,
+                Err(_) => {
+                    self.stats.patch_drops += 1;
+                    continue;
+                }
+            };
+            let agg = e.query.agg;
+            let delta = match leaf_deltas.iter().position(|(a, _)| *a == agg) {
+                Some(i) => &leaf_deltas[i].1,
+                None => {
+                    let mut d: BTreeMap<Vec<u32>, f64> = BTreeMap::new();
+                    for (key, m) in rows {
+                        cpu.hash_probes += 1;
+                        cpu.agg_updates += 1;
+                        let v = match agg {
+                            AggFn::Sum => *m,
+                            AggFn::Count => 1.0,
+                            AggFn::Min | AggFn::Max => *m,
+                            AggFn::Avg => unreachable!("AVG dropped above"),
+                        };
+                        match d.entry(key.clone()) {
+                            std::collections::btree_map::Entry::Vacant(slot) => {
+                                slot.insert(v);
+                            }
+                            std::collections::btree_map::Entry::Occupied(mut slot) => {
+                                let acc = slot.get_mut();
+                                *acc = combine(agg, *acc, v);
+                            }
+                        }
+                    }
+                    leaf_deltas.push((agg, d));
+                    &leaf_deltas.last().expect("just pushed").1
+                }
+            };
+
+            // Roll the leaf delta up into the entry's key space.
+            let mut patch: BTreeMap<Vec<u32>, f64> = BTreeMap::new();
+            let mut out_key = Vec::new();
+            for (key, m) in delta {
+                if !pipeline.filter(key, &mut cpu) {
+                    continue;
+                }
+                pipeline.agg_key_into(key, &mut out_key);
+                cpu.hash_probes += 1;
+                cpu.agg_updates += 1;
+                match patch.entry(out_key.clone()) {
+                    std::collections::btree_map::Entry::Vacant(slot) => {
+                        slot.insert(*m);
+                    }
+                    std::collections::btree_map::Entry::Occupied(mut slot) => {
+                        let acc = slot.get_mut();
+                        *acc = combine(agg, *acc, *m);
+                    }
+                }
+            }
+            // Merge into the entry's sorted rows: existing groups combine,
+            // brand-new groups insert at their sorted position.
+            for (k, dv) in patch {
+                cpu.tuple_copies += 1;
+                match e.result.rows.binary_search_by(|(rk, _)| rk.cmp(&k)) {
+                    Ok(i) => {
+                        let acc = &mut e.result.rows[i].1;
+                        *acc = combine(agg, *acc, dv);
+                    }
+                    Err(i) => e.result.rows.insert(i, (k, dv)),
+                }
+            }
+            e.bytes = result_bytes(&e.result);
+            e.epoch = epoch;
+            self.stats.patched += 1;
+            bytes += e.bytes;
+            kept.push(e);
+        }
+        self.entries = kept;
+        self.bytes = bytes;
+        self.evict_to_budget();
+
+        let sim = model.cpu_time(&cpu);
+        ExecReport {
+            cpu,
+            sim,
+            critical: sim,
+            ..ExecReport::default()
+        }
+    }
+
     /// True when an identical query is cached at the current epoch.
     pub fn contains_exact(&self, query: &GroupByQuery) -> bool {
         self.entries
@@ -322,6 +472,17 @@ impl ResultCache {
             self.bytes -= e.bytes;
             self.stats.evictions += 1;
         }
+    }
+}
+
+/// Combines two partial aggregates of the same re-aggregable function.
+fn combine(agg: AggFn, a: f64, b: f64) -> f64 {
+    match agg {
+        // SUM cells add; COUNT cells (already counts) add too.
+        AggFn::Sum | AggFn::Count => a + b,
+        AggFn::Min => a.min(b),
+        AggFn::Max => a.max(b),
+        AggFn::Avg => unreachable!("AVG is never delta-combined"),
     }
 }
 
@@ -768,6 +929,239 @@ mod tests {
             cache.contains_exact(&queries[0]),
             "benefit-based eviction must keep the high-benefit entry"
         );
+    }
+
+    /// Deterministic quantized delta rows within the schema's leaf
+    /// cardinalities (quarter units keep every sum exact, so patched
+    /// entries must be *bit*-identical to recomputation).
+    fn delta_rows(schema: &StarSchema, n: usize) -> Vec<(Vec<u32>, f64)> {
+        let cards: Vec<u32> = (0..schema.n_dims())
+            .map(|d| schema.dim(d).cardinality(0))
+            .collect();
+        (0..n)
+            .map(|i| {
+                let key = cards
+                    .iter()
+                    .enumerate()
+                    .map(|(d, &c)| ((i * (d + 3) + 7 * d) as u32) % c)
+                    .collect();
+                (key, ((i * 7 + 3) % 400) as f64 * 0.25)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn append_patch_matches_recompute_bit_for_bit() {
+        let mut cube = cube();
+        let base = cube.catalog.base_table().unwrap();
+        let all = MemberPred::All;
+        let queries = vec![
+            GroupByQuery::unfiltered(cube.groupby("A''B''C''D*")),
+            GroupByQuery::unfiltered(cube.groupby("A'B''C''D")),
+            GroupByQuery::new(
+                cube.groupby("A'B''C''D"),
+                vec![
+                    MemberPred::members_in(1, vec![0, 1, 2]),
+                    all.clone(),
+                    all.clone(),
+                    all.clone(),
+                ],
+            ),
+            GroupByQuery::unfiltered(cube.groupby("A''B*C''D*")).with_agg(AggFn::Count),
+            GroupByQuery::unfiltered(cube.groupby("A''B''C*D*")).with_agg(AggFn::Min),
+            GroupByQuery::unfiltered(cube.groupby("A''B''C*D*")).with_agg(AggFn::Max),
+        ];
+        let mut cache = ResultCache::new(1 << 20);
+        for q in &queries {
+            let r = reference_eval(&cube, base, q);
+            cache.insert(q.clone(), r, SimTime::from_nanos(1_000_000));
+        }
+
+        let rows = delta_rows(&cube.schema, 40);
+        starshare_olap::append_facts(&mut cube, &rows).unwrap();
+        let report = cache.apply_append(&cube.schema, cube.epoch, &rows, &model());
+
+        // The patch is charged as pure CPU on the simulated clock.
+        assert!(report.sim > SimTime::ZERO);
+        assert!(report.cpu.agg_updates > 0);
+        assert_eq!(report.io.seq_faults + report.io.random_faults, 0);
+        assert_eq!(cache.epoch(), cube.epoch);
+        assert_eq!(cache.stats().patched, queries.len() as u64);
+        assert_eq!(cache.stats().invalidations, 0);
+
+        for q in &queries {
+            let direct = reference_eval(&cube, base, q);
+            let hit = cache
+                .lookup(&cube.schema, q, &model())
+                .unwrap_or_else(|| panic!("patched entry must still answer {:?}", q.agg));
+            assert!(!hit.is_subsumption());
+            assert_eq!(
+                rows_bits(&hit.into_result()),
+                rows_bits(&direct),
+                "{:?} patched entry drifted from recomputation",
+                q.agg
+            );
+        }
+    }
+
+    #[test]
+    fn append_patch_inserts_brand_new_group_keys() {
+        let mut cube = cube();
+        let base = cube.catalog.base_table().unwrap();
+        // A sparse fine group-by: 300 rows over thousands of possible
+        // groups, so absent keys exist.
+        let q = GroupByQuery::unfiltered(cube.groupby("A'B'C'D"));
+        let cached = reference_eval(&cube, base, &q);
+        // Find a group key no base row produced, and a leaf key that rolls
+        // up to it (level-1 member m owns leaf range [m*div, (m+1)*div)).
+        let divs: Vec<u32> = (0..3)
+            .map(|d| {
+                let dim = cube.schema.dim(d);
+                dim.cardinality(0) / dim.cardinality(1)
+            })
+            .collect();
+        let cards: Vec<u32> = (0..3).map(|d| cube.schema.dim(d).cardinality(1)).collect();
+        let d_card = cube.schema.dim(3).cardinality(0);
+        let mut fresh = None;
+        'search: for a in 0..cards[0] {
+            for b in 0..cards[1] {
+                for c in 0..cards[2] {
+                    for dd in 0..d_card {
+                        let gkey = vec![a, b, c, dd];
+                        if cached.rows.binary_search_by(|(k, _)| k.cmp(&gkey)).is_err() {
+                            fresh = Some(gkey);
+                            break 'search;
+                        }
+                    }
+                }
+            }
+        }
+        let gkey = fresh.expect("a 300-row cube cannot fill 5184 groups");
+        let leaf = vec![
+            gkey[0] * divs[0],
+            gkey[1] * divs[1],
+            gkey[2] * divs[2],
+            gkey[3],
+        ];
+
+        let mut cache = ResultCache::new(1 << 20);
+        cache.insert(q.clone(), cached, SimTime::from_nanos(1_000_000));
+        let rows = vec![(leaf, 12.25)];
+        starshare_olap::append_facts(&mut cube, &rows).unwrap();
+        cache.apply_append(&cube.schema, cube.epoch, &rows, &model());
+
+        let hit = cache.lookup(&cube.schema, &q, &model()).expect("patched");
+        let patched = hit.into_result();
+        let i = patched
+            .rows
+            .binary_search_by(|(k, _)| k.cmp(&gkey))
+            .expect("the brand-new group key must appear at its sorted slot");
+        assert_eq!(patched.rows[i].1.to_bits(), 12.25f64.to_bits());
+        let direct = reference_eval(&cube, base, &q);
+        assert_eq!(rows_bits(&patched), rows_bits(&direct));
+    }
+
+    #[test]
+    fn append_patch_drops_avg_entries_and_keeps_the_rest() {
+        let mut cube = cube();
+        let base = cube.catalog.base_table().unwrap();
+        let sum_q = GroupByQuery::unfiltered(cube.groupby("A''B''C''D*"));
+        let avg_q = GroupByQuery::unfiltered(cube.groupby("A''B''C''D*")).with_agg(AggFn::Avg);
+        let mut cache = ResultCache::new(1 << 20);
+        cache.insert(
+            sum_q.clone(),
+            reference_eval(&cube, base, &sum_q),
+            SimTime::from_nanos(1),
+        );
+        cache.insert(
+            avg_q.clone(),
+            reference_eval(&cube, base, &avg_q),
+            SimTime::from_nanos(1),
+        );
+        let rows = delta_rows(&cube.schema, 8);
+        starshare_olap::append_facts(&mut cube, &rows).unwrap();
+        cache.apply_append(&cube.schema, cube.epoch, &rows, &model());
+        assert_eq!(
+            cache.stats().patch_drops,
+            1,
+            "AVG is not delta-maintainable"
+        );
+        assert_eq!(cache.stats().patched, 1);
+        assert!(!cache.contains_exact(&avg_q));
+        assert!(cache.contains_exact(&sum_q));
+    }
+
+    #[test]
+    fn append_touching_zero_entries_still_carries_them_forward() {
+        let mut cube = cube();
+        let base = cube.catalog.base_table().unwrap();
+        // Cached entry filtered to A level-1 member 0; the delta lands
+        // entirely in member 5's leaf range, so the patch changes nothing.
+        let q = GroupByQuery::new(
+            cube.groupby("A'B''C''D"),
+            vec![
+                MemberPred::eq(1, 0),
+                MemberPred::All,
+                MemberPred::All,
+                MemberPred::All,
+            ],
+        );
+        let before = reference_eval(&cube, base, &q);
+        let mut cache = ResultCache::new(1 << 20);
+        cache.insert(q.clone(), before.clone(), SimTime::from_nanos(1));
+        let dim = cube.schema.dim(0);
+        let div = dim.cardinality(0) / dim.cardinality(1);
+        let rows = vec![(vec![5 * div, 0, 0, 0], 3.5)];
+        starshare_olap::append_facts(&mut cube, &rows).unwrap();
+        cache.apply_append(&cube.schema, cube.epoch, &rows, &model());
+        assert_eq!(cache.stats().patched, 1);
+        let hit = cache
+            .lookup(&cube.schema, &q, &model())
+            .expect("still live");
+        assert_eq!(rows_bits(&hit.into_result()), rows_bits(&before));
+        // And it still matches a recompute over the appended cube (the
+        // filtered-out delta row cannot affect this slice).
+        assert_eq!(
+            rows_bits(&before),
+            rows_bits(&reference_eval(&cube, base, &q))
+        );
+    }
+
+    #[test]
+    fn eviction_races_a_patch_under_a_tight_budget() {
+        let mut cube = cube();
+        let base = cube.catalog.base_table().unwrap();
+        let q1 = GroupByQuery::unfiltered(cube.groupby("A'B'C'D"));
+        let q2 = GroupByQuery::unfiltered(cube.groupby("A'B''C''D"));
+        let r1 = reference_eval(&cube, base, &q1);
+        let r2 = reference_eval(&cube, base, &q2);
+        // Budget exactly fits both entries as produced; any growth from
+        // patched-in new group keys must force an eviction mid-patch.
+        let budget = result_bytes(&r1) + result_bytes(&r2);
+        let mut cache = ResultCache::new(budget);
+        cache.insert(q1.clone(), r1, SimTime::from_nanos(1));
+        cache.insert(q2.clone(), r2, SimTime::from_nanos(1 << 40));
+        assert_eq!(cache.len(), 2);
+
+        // Spread delta keys across the leaf space: with 5184 possible
+        // fine groups and 300 base rows, most of these open new groups.
+        let rows = delta_rows(&cube.schema, 64);
+        starshare_olap::append_facts(&mut cube, &rows).unwrap();
+        cache.apply_append(&cube.schema, cube.epoch, &rows, &model());
+
+        assert!(
+            cache.bytes() <= cache.max_bytes(),
+            "patched cache must re-enforce its byte budget"
+        );
+        assert!(cache.stats().evictions > 0, "growth must have evicted");
+        assert!(
+            cache.contains_exact(&q2),
+            "the high-benefit entry must survive the race"
+        );
+        // Whatever survived still answers bit-identically.
+        let direct = reference_eval(&cube, base, &q2);
+        let hit = cache.lookup(&cube.schema, &q2, &model()).expect("kept");
+        assert_eq!(rows_bits(&hit.into_result()), rows_bits(&direct));
     }
 
     #[test]

@@ -30,6 +30,12 @@
 //! * **Isolation** — one session's injected/real storage fault degrades
 //!   only its own expressions; a window-mate sharing the same plan class
 //!   still answers (the engine re-runs a shared failed class per owner).
+//! * **Freshness** — sessions can [`append`](Session::append) facts while
+//!   others query. Appends apply strictly *between* optimization windows,
+//!   so every window reads one well-defined cube snapshot (reported as
+//!   [`WindowInfo::epoch`], non-decreasing across windows), and
+//!   [`Server::shutdown`] drains queued appends before handing the engine
+//!   back.
 //! * **Admission control** — the submission queue is bounded
 //!   ([`WindowConfig::queue_depth`]) and each tenant has an in-flight
 //!   budget ([`WindowConfig::tenant_inflight`]); beyond either,

@@ -9,8 +9,8 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use starshare_core::{
-    CacheStats, Engine, Error, ExecStrategy, MorselSpec, Result, SimTime, WindowConfig,
-    WindowOutcome,
+    AppendOutcome, CacheStats, Engine, Error, ExecStrategy, MorselSpec, Result, SimTime,
+    WindowConfig, WindowOutcome,
 };
 
 use crate::session::{Reply, Session, TenantState, WindowInfo};
@@ -19,7 +19,18 @@ use crate::session::{Reply, Session, TenantState, WindowInfo};
 #[derive(Debug)]
 pub(crate) enum Msg {
     Submit(Submission),
+    Append(AppendReq),
     Shutdown,
+}
+
+/// One session's in-flight append batch. Appends ride the same queue as
+/// submissions but never join a window: the coordinator applies them
+/// strictly *between* windows, so every windowed answer sees one
+/// well-defined snapshot of the cube.
+#[derive(Debug)]
+pub(crate) struct AppendReq {
+    pub(crate) rows: Vec<(Vec<u32>, f64)>,
+    pub(crate) reply: SyncSender<Result<AppendOutcome>>,
 }
 
 /// One session's in-flight submission.
@@ -52,6 +63,10 @@ pub(crate) struct Shared {
     cache_hits: AtomicU64,
     cache_subsumption_hits: AtomicU64,
     cache_misses: AtomicU64,
+    appends: AtomicU64,
+    appended_rows: AtomicU64,
+    cache_patched: AtomicU64,
+    cache_patch_drops: AtomicU64,
 }
 
 impl Shared {
@@ -68,6 +83,10 @@ impl Shared {
             cache_hits: AtomicU64::new(0),
             cache_subsumption_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
+            appends: AtomicU64::new(0),
+            appended_rows: AtomicU64::new(0),
+            cache_patched: AtomicU64::new(0),
+            cache_patch_drops: AtomicU64::new(0),
         }
     }
 
@@ -93,6 +112,16 @@ impl Shared {
             .fetch_add(n_submissions as u64, Ordering::Relaxed);
         self.expressions
             .fetch_add(n_exprs as u64, Ordering::Relaxed);
+    }
+
+    fn note_append(&self, out: &AppendOutcome) {
+        self.appends.fetch_add(1, Ordering::Relaxed);
+        self.appended_rows
+            .fetch_add(out.appended, Ordering::Relaxed);
+        self.cache_patched
+            .fetch_add(out.cache.patched, Ordering::Relaxed);
+        self.cache_patch_drops
+            .fetch_add(out.cache.patch_drops, Ordering::Relaxed);
     }
 
     fn note_cache(&self, cache: &CacheStats) {
@@ -123,6 +152,10 @@ impl Shared {
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_subsumption_hits: self.cache_subsumption_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            appends: self.appends.load(Ordering::Relaxed),
+            appended_rows: self.appended_rows.load(Ordering::Relaxed),
+            cache_patched: self.cache_patched.load(Ordering::Relaxed),
+            cache_patch_drops: self.cache_patch_drops.load(Ordering::Relaxed),
         }
     }
 }
@@ -149,6 +182,16 @@ pub struct ServerStats {
     /// Queries the cache could not answer (0 when caching is disabled —
     /// uncached engines never probe).
     pub cache_misses: u64,
+    /// Append batches applied (each strictly between two windows).
+    pub appends: u64,
+    /// Facts appended, across all batches.
+    pub appended_rows: u64,
+    /// Cached results delta-patched in place by appends, across all
+    /// batches (see [`CacheStats::patched`]).
+    pub cache_patched: u64,
+    /// Cached results dropped because an append could not patch them
+    /// (see [`CacheStats::patch_drops`]).
+    pub cache_patch_drops: u64,
 }
 
 /// A running multi-session server: a coordinator thread owning the
@@ -256,21 +299,28 @@ fn coordinate(
     shared: Arc<Shared>,
 ) -> Engine {
     let mut window_id: u64 = 0;
-    loop {
-        // Block for the submission that opens the next window.
-        let first = match rx.recv() {
-            Ok(Msg::Submit(s)) => s,
-            Ok(Msg::Shutdown) => break,
-            Err(_) => break,
+    'serve: loop {
+        // Block for the submission that opens the next window. Appends
+        // arriving while idle apply immediately — the engine is between
+        // windows by construction.
+        let first = loop {
+            match rx.recv() {
+                Ok(Msg::Submit(s)) => break s,
+                Ok(Msg::Append(a)) => apply_append(&mut engine, &shared, a),
+                Ok(Msg::Shutdown) | Err(_) => break 'serve,
+            }
         };
         let mut batch = vec![first];
+        let mut pending_appends: Vec<AppendReq> = Vec::new();
         let mut n_exprs = batch[0].exprs.len();
         let mut n_bytes = batch[0].bytes();
         let deadline = Instant::now() + cfg.max_wait;
         let mut stop = false;
 
         // Keep admitting until a close condition trips: expression count,
-        // byte budget, or the deadline since the window opened.
+        // byte budget, or the deadline since the window opened. Appends
+        // never join a window — they are parked and applied after it
+        // executes, so every answer aboard sees one snapshot of the cube.
         while n_exprs < cfg.max_exprs && n_bytes < cfg.max_bytes {
             let now = Instant::now();
             if now >= deadline {
@@ -282,6 +332,7 @@ fn coordinate(
                     n_bytes += s.bytes();
                     batch.push(s);
                 }
+                Ok(Msg::Append(a)) => pending_appends.push(a),
                 Ok(Msg::Shutdown) | Err(RecvTimeoutError::Disconnected) => {
                     stop = true;
                     break;
@@ -293,20 +344,39 @@ fn coordinate(
         window_id += 1;
         shared.note_window(batch.len(), n_exprs);
         run_window(&mut engine, &cfg, &shared, window_id, batch);
+        for a in pending_appends {
+            apply_append(&mut engine, &shared, a);
+        }
         if stop {
             break;
         }
     }
 
-    // Drain whatever is still queued: those submissions will never ride a
-    // window, so answer them Closed and release their tenant slots.
+    // Drain whatever is still queued. Submissions past the shutdown point
+    // will never ride a window: answer them Closed and release their
+    // tenant slots. Queued appends are durable intent — apply them, so
+    // the engine handed back holds every batch a session was promised.
     while let Ok(msg) = rx.try_recv() {
-        if let Msg::Submit(s) = msg {
-            let _ = s.reply.try_send(Err(Error::Closed));
-            s.tenant.release();
+        match msg {
+            Msg::Submit(s) => {
+                let _ = s.reply.try_send(Err(Error::Closed));
+                s.tenant.release();
+            }
+            Msg::Append(a) => apply_append(&mut engine, &shared, a),
+            Msg::Shutdown => {}
         }
     }
     engine
+}
+
+/// Applies one append batch (the engine is strictly between windows at
+/// every call site) and routes the outcome back to its session.
+fn apply_append(engine: &mut Engine, shared: &Shared, req: AppendReq) {
+    let out = engine.append_facts(&req.rows);
+    if let Ok(o) = &out {
+        shared.note_append(o);
+    }
+    let _ = req.reply.try_send(out);
 }
 
 /// Plans and executes one window over `batch` and routes every
@@ -320,10 +390,13 @@ fn run_window(
 ) {
     let subs: Vec<&[String]> = batch.iter().map(|s| s.exprs.as_slice()).collect();
     let strategy = ExecStrategy::Morsel(MorselSpec::with_pages(cfg.morsel_pages));
+    // Appends only land between windows, so the epoch is fixed for the
+    // whole window: every answer below is a read of this one snapshot.
+    let epoch = engine.cube().epoch;
     match engine.mdx_window(&subs, cfg.optimizer, strategy) {
         Ok(out) => {
             shared.note_cache(&out.cache);
-            deliver(window_id, batch, out);
+            deliver(window_id, epoch, batch, out);
         }
         Err(e) if batch.len() == 1 => {
             for s in batch {
@@ -339,7 +412,7 @@ fn run_window(
                 match engine.mdx_window(&[s.exprs.as_slice()], cfg.optimizer, strategy) {
                     Ok(out) => {
                         shared.note_cache(&out.cache);
-                        deliver(window_id, vec![s], out);
+                        deliver(window_id, epoch, vec![s], out);
                     }
                     Err(e) => {
                         let _ = s.reply.try_send(Err(e));
@@ -352,9 +425,10 @@ fn run_window(
 }
 
 /// Routes one executed window's outcomes back to its submissions.
-fn deliver(window_id: u64, batch: Vec<Submission>, out: WindowOutcome) {
+fn deliver(window_id: u64, epoch: u64, batch: Vec<Submission>, out: WindowOutcome) {
     let info = WindowInfo {
         window_id,
+        epoch,
         n_submissions: out.sharing.n_submissions,
         n_queries: out.sharing.n_queries,
         n_classes: out.sharing.n_classes,

@@ -5,9 +5,9 @@ use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::time::Duration;
 
-use starshare_core::{Error, ExprOutcome, Overload, Result, SimTime};
+use starshare_core::{AppendOutcome, Error, ExprOutcome, Overload, Result, SimTime};
 
-use crate::server::{Msg, Shared, Submission};
+use crate::server::{AppendReq, Msg, Shared, Submission};
 
 /// One tenant's shared admission state: its in-flight submission count,
 /// CAS-reserved against the configured budget.
@@ -87,6 +87,37 @@ impl Session {
         }
     }
 
+    /// Submits a batch of facts for append and blocks until the
+    /// coordinator has applied it. Appends are serialized against
+    /// optimization windows: a batch lands either before a window opens or
+    /// after it has executed, never in the middle, so every windowed
+    /// answer reads one well-defined snapshot of the cube (the epoch it
+    /// saw is reported in [`WindowInfo::epoch`]). Appends are data-plane
+    /// traffic — they skip the tenant's in-flight budget but still bounce
+    /// off a full queue ([`Overload::Queue`]) and a shut-down server
+    /// ([`Error::Closed`]). Batches are all-or-nothing: an invalid row
+    /// rejects the whole batch and mutates nothing.
+    pub fn append(&self, rows: &[(Vec<u32>, f64)]) -> Result<AppendOutcome> {
+        if self.shared.closed() {
+            return Err(Error::Closed);
+        }
+        let (reply_tx, reply_rx) = std::sync::mpsc::sync_channel(1);
+        let msg = Msg::Append(AppendReq {
+            rows: rows.to_vec(),
+            reply: reply_tx,
+        });
+        match self.tx.try_send(msg) {
+            Ok(()) => reply_rx.recv().unwrap_or(Err(Error::Closed)),
+            Err(TrySendError::Full(_)) => {
+                self.shared.note_rejected_queue();
+                Err(Error::Overloaded(Overload::Queue {
+                    depth: self.shared.cfg.queue_depth,
+                }))
+            }
+            Err(TrySendError::Disconnected(_)) => Err(Error::Closed),
+        }
+    }
+
     /// Submits one expression and blocks for its windowed reply.
     pub fn mdx(&self, text: &str) -> Result<Reply> {
         self.submit(&[text])?.wait()
@@ -152,6 +183,10 @@ impl Reply {
 pub struct WindowInfo {
     /// Monotonic window sequence number (1-based) on this server.
     pub window_id: u64,
+    /// The cube epoch every answer in this window read — appends apply
+    /// only between windows, so this is non-decreasing in `window_id` and
+    /// each window sees exactly one snapshot.
+    pub epoch: u64,
     /// Submissions pooled into the window (≥ 1; includes this one).
     pub n_submissions: usize,
     /// Queries across all submissions in the window.

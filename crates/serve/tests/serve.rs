@@ -243,6 +243,175 @@ fn repeated_dashboard_traffic_is_served_from_the_shared_cache() {
     ));
 }
 
+/// Salt separating the streaming tests' append draws from every other
+/// seeded stream in the repo.
+const APPEND_SALT: u64 = 0x5e12_4e55_a99e_u64;
+
+/// A deterministic quantized append batch: quarter-unit measures are exact
+/// binary fractions, so f64 sums over them are exact in any order and a
+/// patched cache entry must match a cache-less recompute bit-for-bit.
+fn append_batch(cards: &[u32], i: u64, n: usize) -> Vec<(Vec<u32>, f64)> {
+    let mut rng = starshare_prng::Prng::seed_from_u64(APPEND_SALT ^ i);
+    (0..n)
+        .map(|_| {
+            let keys = cards.iter().map(|&c| rng.gen_range(0..c)).collect();
+            (keys, rng.gen_range(0..400u32) as f64 * 0.25)
+        })
+        .collect()
+}
+
+fn leaf_cards(e: &Engine) -> Vec<u32> {
+    (0..e.cube().schema.n_dims())
+        .map(|d| e.cube().schema.dim(d).cardinality(0))
+        .collect()
+}
+
+#[test]
+fn concurrent_appends_see_monotonic_snapshots_with_fresh_bits() {
+    const BATCHES: u64 = 4;
+    const BATCH_ROWS: usize = 64;
+    let cached = EngineConfig::paper()
+        .optimizer(OptimizerKind::Tplo)
+        .result_cache(true)
+        .build_paper(spec());
+    let cards = leaf_cards(&cached);
+    let server = Server::start_with(cached, pool_exactly(1));
+    let querier = server.session("dash");
+    let appender = server.session("etl");
+
+    // References first: the query's bits at every append prefix, from a
+    // plain cache-less engine (TPLO + whole-table morsels make windowed
+    // answers bit-identical to solo ones).
+    let refs: Vec<_> = (0..=BATCHES + 1)
+        .map(|prefix| {
+            let mut plain = engine();
+            for i in 0..prefix {
+                plain
+                    .append_facts(&append_batch(&cards, i, BATCH_ROWS))
+                    .unwrap();
+            }
+            plain
+                .mdx_window(
+                    &[&[Q_CHILDREN]],
+                    OptimizerKind::Tplo,
+                    ExecStrategy::Morsel(MorselSpec::whole_table()),
+                )
+                .unwrap()
+        })
+        .collect();
+
+    // The appender races the querier; the coordinator serializes the
+    // batches strictly between windows.
+    let appender_cards = cards.clone();
+    let appender_t = std::thread::spawn(move || {
+        for i in 0..BATCHES {
+            let out = appender
+                .append(&append_batch(&appender_cards, i, BATCH_ROWS))
+                .unwrap();
+            assert_eq!(out.appended, BATCH_ROWS as u64);
+        }
+    });
+    let mut seen = Vec::new();
+    let mut last_epoch = 0u64;
+    for _ in 0..500 {
+        let r = querier.mdx(Q_CHILDREN).unwrap();
+        assert!(
+            r.window.epoch >= last_epoch,
+            "window {} went back in time: epoch {} after {last_epoch}",
+            r.window.window_id,
+            r.window.epoch
+        );
+        last_epoch = r.window.epoch;
+        seen.push(r);
+        if last_epoch == BATCHES {
+            break;
+        }
+    }
+    appender_t.join().unwrap();
+    assert_eq!(last_epoch, BATCHES, "the querier never saw the last epoch");
+    // Every answer matches the from-scratch reference at the exact append
+    // prefix its window reported — no stale reads, no torn snapshots.
+    for r in &seen {
+        assert!(
+            same_bits(
+                r.expr(0),
+                refs[r.window.epoch as usize].submission(0)[0]
+                    .as_ref()
+                    .unwrap()
+            ),
+            "window {} at epoch {} returned stale or torn bits",
+            r.window.window_id,
+            r.window.epoch
+        );
+    }
+
+    // One more batch with the cache warm (the loop's last window filled
+    // it): the append must delta-patch the cached entry, and the next
+    // answer must still match the fresh reference.
+    let out = querier
+        .append(&append_batch(&cards, BATCHES, BATCH_ROWS))
+        .unwrap();
+    assert_eq!(out.epoch, BATCHES + 1);
+    assert!(out.cache.patched > 0, "a warm cache must be delta-patched");
+    let r = querier.mdx(Q_CHILDREN).unwrap();
+    assert_eq!(r.window.epoch, BATCHES + 1);
+    assert!(same_bits(
+        r.expr(0),
+        refs[(BATCHES + 1) as usize].submission(0)[0]
+            .as_ref()
+            .unwrap()
+    ));
+
+    let stats = server.stats();
+    assert_eq!(stats.appends, BATCHES + 1);
+    assert_eq!(stats.appended_rows, (BATCHES + 1) * BATCH_ROWS as u64);
+    assert!(stats.cache_patched >= out.cache.patched);
+}
+
+#[test]
+fn shutdown_drains_queued_appends_before_returning_the_engine() {
+    const ROWS: usize = 32;
+    let e = engine();
+    let cards = leaf_cards(&e);
+    let base = e.cube().catalog.base_table().unwrap();
+    let rows_before = e.cube().catalog.table(base).n_rows();
+    let cfg = WindowConfig::default()
+        .max_exprs(64)
+        .max_wait(Duration::from_secs(1));
+    let server = Server::start_with(e, cfg);
+    let s = server.session("t");
+
+    // Open a window that keeps collecting (64-expr budget, generous
+    // deadline)...
+    let ticket = s.submit(&[Q_FILTER]).unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+    // ...then queue an append behind it: the coordinator parks it until
+    // the window has executed.
+    let batch = append_batch(&cards, 9, ROWS);
+    let s2 = s.clone();
+    let queued = batch.clone();
+    let appender = std::thread::spawn(move || s2.append(&queued));
+    std::thread::sleep(Duration::from_millis(50));
+
+    // Shutdown must finish the in-flight window AND apply the queued
+    // append before handing the engine back.
+    let back = server.shutdown();
+    let out = appender
+        .join()
+        .unwrap()
+        .expect("queued append was lost at shutdown");
+    assert_eq!(out.appended, ROWS as u64);
+    assert!(ticket.wait().unwrap().all_ok());
+    let base = back.cube().catalog.base_table().unwrap();
+    assert_eq!(
+        back.cube().catalog.table(base).n_rows(),
+        rows_before + ROWS as u64
+    );
+    assert_eq!(back.cube().epoch, 1);
+    // Post-shutdown appends fail fast.
+    assert!(matches!(s.append(&batch), Err(Error::Closed)));
+}
+
 #[test]
 fn deadline_closes_an_underfilled_window() {
     let cfg = WindowConfig::default()

@@ -4,6 +4,7 @@
 //! testkit fuzz [--start N] [--count N] [--faults] [--fault-seeds N] [--out PATH]
 //! testkit windows [--start N] [--count N] [--faults]
 //! testkit cache [--start N] [--count N] [--faults]
+//! testkit maintenance [--start N] [--count N] [--faults] [--out PATH]
 //! testkit replay PATH
 //! ```
 //!
@@ -14,18 +15,25 @@
 //! (with `--faults`) one session's faults must never fail a window-mate.
 //! `cache` sweeps the result-cache differential: each seed's session is
 //! replayed on a cached engine — warm exact and subsumption hits,
-//! optionally under injected faults, and across an `append_facts` epoch
-//! bump — and must stay bit-identical to a cache-less engine throughout. The first failure is shrunk to a minimal case and written to
-//! `--out` (default `testkit-repro.txt`) in the repro format; the process
-//! exits non-zero. `replay` re-runs such a file and reports pass/fail —
-//! the loop a bug report travels through.
+//! optionally under injected faults, and across a delta-patched
+//! `append_facts` epoch bump — and must stay bit-identical to a cache-less
+//! engine throughout. `maintenance` sweeps the streaming-freshness
+//! differential: a long-lived cached engine interleaves MDX rounds with
+//! append batches (plus an atomically-rejected malformed append per
+//! round) and must answer every round bit-identically to a fresh engine
+//! replaying the append prefix from scratch. A `fuzz` or `maintenance`
+//! failure is shrunk to a minimal case and written to `--out` (default
+//! `testkit-repro.txt`) in the repro format; the process exits non-zero.
+//! `replay` re-runs such a file and reports pass/fail — the loop a bug
+//! report travels through.
 
 use std::process::ExitCode;
 
 use starshare_core::{FaultPlan, OptimizerKind};
 use starshare_testkit::{
-    check_cache_differential, check_fault_isolation, check_windowed_vs_solo, format_case,
-    generate_session, harness_spec, parse_case, run_case, shrink, Case, FaultHarness, Oracle,
+    check_cache_differential, check_fault_isolation, check_maintenance_differential,
+    check_windowed_vs_solo, format_case, generate_session, harness_spec, maintenance_case,
+    parse_case, run_case, shrink, Case, FaultHarness, Oracle,
 };
 
 fn main() -> ExitCode {
@@ -34,11 +42,13 @@ fn main() -> ExitCode {
         Some("fuzz") => fuzz(&args[1..]),
         Some("windows") => windows(&args[1..]),
         Some("cache") => cache(&args[1..]),
+        Some("maintenance") => maintenance(&args[1..]),
         Some("replay") => replay(&args[1..]),
         _ => {
             eprintln!("usage: testkit fuzz [--start N] [--count N] [--faults] [--fault-seeds N] [--out PATH]");
             eprintln!("       testkit windows [--start N] [--count N] [--faults]");
             eprintln!("       testkit cache [--start N] [--count N] [--faults]");
+            eprintln!("       testkit maintenance [--start N] [--count N] [--faults] [--out PATH]");
             eprintln!("       testkit replay PATH");
             ExitCode::from(2)
         }
@@ -81,6 +91,7 @@ fn fuzz(args: &[String]) -> ExitCode {
                     optimizer: m.optimizer,
                     threads: m.threads,
                     fault: FaultPlan::none(),
+                    appends: Vec::new(),
                 },
                 &out_path,
             );
@@ -107,6 +118,7 @@ fn fuzz(args: &[String]) -> ExitCode {
                             optimizer: OptimizerKind::Gg,
                             threads: 1,
                             fault,
+                            appends: Vec::new(),
                         },
                         &out_path,
                     );
@@ -190,14 +202,15 @@ fn cache(args: &[String]) -> ExitCode {
 
     let spec = harness_spec();
     let (mut comparisons, mut hits, mut rollups) = (0u64, 0u64, 0u64);
-    let (mut invalidations, mut degraded) = (0u64, 0usize);
+    let (mut patched, mut patch_drops, mut degraded) = (0u64, 0u64, 0usize);
     for seed in start..start + count {
         match check_cache_differential(spec, seed, None) {
             Ok(c) => {
                 comparisons += c.comparisons;
                 hits += c.exact_hits;
                 rollups += c.subsumption_hits;
-                invalidations += c.invalidations;
+                patched += c.patched;
+                patch_drops += c.patch_drops;
             }
             Err(detail) => {
                 eprintln!("cache differential failure: {detail}");
@@ -221,10 +234,68 @@ fn cache(args: &[String]) -> ExitCode {
     }
     println!(
         "ok: {count} sessions, {comparisons} cached-vs-reference comparisons, \
-         {hits} exact hits, {rollups} subsumption hits, {invalidations} invalidations"
+         {hits} exact hits, {rollups} subsumption hits, \
+         {patched} entries patched, {patch_drops} dropped as unpatchable"
     );
     if with_faults {
         println!("fault transparency: {degraded} queries degraded, none drifted");
+    }
+    ExitCode::SUCCESS
+}
+
+/// The streaming-freshness sweep: per seed, a long-lived cached engine
+/// interleaves MDX rounds with append batches (and per-round malformed
+/// appends that must bounce atomically), differentially checked against a
+/// fresh from-scratch engine every round. The first failure is shrunk —
+/// batches and rows included — and written as a repro.
+fn maintenance(args: &[String]) -> ExitCode {
+    let start: u64 = arg_value(args, "--start")
+        .map(|v| v.parse().expect("--start takes a number"))
+        .unwrap_or(0);
+    let count: u64 = arg_value(args, "--count")
+        .map(|v| v.parse().expect("--count takes a number"))
+        .unwrap_or(25);
+    let with_faults = args.iter().any(|a| a == "--faults");
+    let out_path = arg_value(args, "--out").unwrap_or_else(|| "testkit-repro.txt".to_string());
+
+    let spec = harness_spec();
+    let (mut comparisons, mut patched, mut drops) = (0u64, 0u64, 0u64);
+    let (mut rejected, mut degraded) = (0u64, 0usize);
+    for seed in start..start + count {
+        match check_maintenance_differential(spec, seed, None) {
+            Ok(c) => {
+                comparisons += c.comparisons;
+                patched += c.patched;
+                drops += c.patch_drops;
+                rejected += c.rejected_appends;
+            }
+            Err(detail) => {
+                eprintln!("maintenance differential failure: {detail}");
+                return shrink_and_write(maintenance_case(spec, seed, None), &out_path);
+            }
+        }
+        if with_faults {
+            let fault = FaultPlan {
+                seed: seed.wrapping_mul(7919),
+                transient: 0.05,
+                poison: 0.01,
+            };
+            match check_maintenance_differential(spec, seed, Some(fault)) {
+                Ok(c) => degraded += c.degraded,
+                Err(detail) => {
+                    eprintln!("faulted maintenance differential failure: {detail}");
+                    return shrink_and_write(maintenance_case(spec, seed, Some(fault)), &out_path);
+                }
+            }
+        }
+    }
+    println!(
+        "ok: {count} maintenance sessions, {comparisons} live-vs-fresh comparisons, \
+         {patched} entries patched, {drops} dropped as unpatchable, \
+         {rejected} malformed appends bounced"
+    );
+    if with_faults {
+        println!("fault transparency: {degraded} queries degraded, none went stale");
     }
     ExitCode::SUCCESS
 }

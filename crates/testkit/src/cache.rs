@@ -14,10 +14,12 @@
 //!    with the typed fault error; faults must never push a wrong result
 //!    *into* the cache (later warm replays re-compare against the clean
 //!    reference).
-//! 3. **Epoch invalidation** — after `append_facts` lands identical rows
-//!    on both engines, the cache must drop every stale entry (the cube's
-//!    epoch moved) and the next replay must match the cache-less engine's
-//!    *post-append* answers, never the pre-append bits.
+//! 3. **Append freshness** — after `append_facts` lands identical rows on
+//!    both engines, every cached entry must be accounted for: delta-patched
+//!    to the new epoch in place, or dropped where patching is unsound
+//!    (AVG, uncompilable predicates). The next replay must match the
+//!    cache-less engine's *post-append* answers, never the pre-append bits
+//!    — a patch that drifts by one ULP fails here.
 
 use starshare_core::{
     paper_queries::paper_query_text, paper_schema, EngineConfig, Error, ExecStrategy, FaultPlan,
@@ -34,7 +36,7 @@ pub const CACHE_REPLAYS: usize = 3;
 /// parent): appended with Q1 to every generated session so each seed
 /// exercises the subsumption (rollup) path, not just exact hits — random
 /// sessions almost never contain derivable pairs on their own.
-const COARSE_PROBE: &str = "{A''.A1} on COLUMNS \
+pub(crate) const COARSE_PROBE: &str = "{A''.A1} on COLUMNS \
      {B''.B1} on ROWS \
      {C''.C1} on PAGES \
      CONTEXT ABCD FILTER (D.DD1);";
@@ -56,8 +58,10 @@ pub struct CacheCheck {
     pub exact_hits: u64,
     /// Subsumption (rollup) hits across all replays.
     pub subsumption_hits: u64,
-    /// Entries dropped by the append's epoch bump.
-    pub invalidations: u64,
+    /// Entries delta-patched in place by the append.
+    pub patched: u64,
+    /// Entries dropped because the append could not patch them.
+    pub patch_drops: u64,
     /// Queries that degraded with a typed fault (fault checks only).
     pub degraded: usize,
 }
@@ -69,7 +73,10 @@ fn engine(spec: PaperCubeSpec, cached: bool) -> starshare_core::Engine {
         .build_paper(spec)
 }
 
-fn run(e: &mut starshare_core::Engine, exprs: &[String]) -> Result<WindowOutcome, Error> {
+pub(crate) fn run(
+    e: &mut starshare_core::Engine,
+    exprs: &[String],
+) -> Result<WindowOutcome, Error> {
     e.mdx_window(
         &[exprs],
         OptimizerKind::Tplo,
@@ -96,19 +103,22 @@ fn append_rows(spec: PaperCubeSpec, seed: u64) -> Vec<(Vec<u32>, f64)> {
 
 /// Compares cached expression outcomes against the cache-less reference's.
 /// `faulted` relaxes the cached side to "bit-identical or typed fault".
-fn compare(
+/// (Shared with the `maintenance` differential, which tallies into its own
+/// counters.)
+pub(crate) fn compare(
     cached: &[starshare_core::Result<starshare_core::ExprOutcome>],
     reference: &[starshare_core::Result<starshare_core::ExprOutcome>],
     faulted: bool,
     label: &str,
-    check: &mut CacheCheck,
+    comparisons: &mut u64,
+    degraded: &mut usize,
 ) -> Result<(), String> {
     for (xi, (c, r)) in cached.iter().zip(reference).enumerate() {
         let at = |d: &str| format!("{label} expression {xi}: {d}");
         let (c, r) = match (c, r) {
             (Ok(c), Ok(r)) => (c, r),
             (Err(Error::Fault(_)), _) if faulted => {
-                check.degraded += 1;
+                *degraded += 1;
                 continue;
             }
             (Err(a), Err(b)) => {
@@ -123,7 +133,7 @@ fn compare(
         for (qi, (cr, rr)) in c.results.iter().zip(&r.results).enumerate() {
             match (cr, rr) {
                 (Ok(cr), Ok(rr)) => {
-                    check.comparisons += 1;
+                    *comparisons += 1;
                     if cr.rows.len() != rr.rows.len()
                         || cr
                             .rows
@@ -136,7 +146,7 @@ fn compare(
                         )));
                     }
                 }
-                (Err(Error::Fault(_)), _) if faulted => check.degraded += 1,
+                (Err(Error::Fault(_)), _) if faulted => *degraded += 1,
                 (Err(a), Err(b)) => {
                     if std::mem::discriminant(a) != std::mem::discriminant(b) {
                         return Err(at(&format!("query {qi}: error kind differs")));
@@ -186,7 +196,8 @@ pub fn check_cache_differential(
                 &pre_ref.submission(0)[xi..xi + 1],
                 fault.is_some(),
                 &label,
-                &mut check,
+                &mut check.comparisons,
+                &mut check.degraded,
             )?,
             Err(e) if fault.is_some() && e.is_fault() => check.degraded += 1,
             Err(e) => return Err(format!("{label}: cached run failed: {e}")),
@@ -200,7 +211,8 @@ pub fn check_cache_differential(
                 pre_ref.submission(0),
                 fault.is_some(),
                 &label,
-                &mut check,
+                &mut check.comparisons,
+                &mut check.degraded,
             )?,
             Err(e) if fault.is_some() && e.is_fault() => check.degraded += session.exprs.len(),
             Err(e) => return Err(format!("{label}: cached run failed: {e}")),
@@ -208,25 +220,25 @@ pub fn check_cache_differential(
     }
 
     // The append moves the cube's epoch on both engines; every cached
-    // entry predates it and must go.
+    // entry predates it and must be accounted for — delta-patched to the
+    // new epoch or dropped as unpatchable, never silently carried stale.
     let rows = append_rows(spec, seed);
     reference
         .append_facts(&rows)
         .map_err(|e| format!("seed {seed}: reference append failed: {e}"))?;
     let filled = cached.cached_results();
-    cached
+    let out = cached
         .append_facts(&rows)
         .map_err(|e| format!("seed {seed}: cached append failed: {e}"))?;
-    if cached.cached_results() != 0 {
+    if out.cache.patched + out.cache.patch_drops + out.cache.invalidations != filled as u64 {
         return Err(format!(
-            "seed {seed}: {} stale entries survived the epoch bump",
-            cached.cached_results()
+            "seed {seed}: append accounted for {} + {} + {} of {filled} cached entries",
+            out.cache.patched, out.cache.patch_drops, out.cache.invalidations
         ));
     }
-    let stats = cached.cache_stats();
-    if filled > 0 && stats.invalidations == 0 {
+    if fault.is_none() && filled > 0 && out.cache.patched == 0 {
         return Err(format!(
-            "seed {seed}: cache was filled but the append invalidated nothing"
+            "seed {seed}: cache held {filled} entries (incl. SUM queries) but the append patched none"
         ));
     }
 
@@ -239,7 +251,8 @@ pub fn check_cache_differential(
             post_ref.submission(0),
             fault.is_some(),
             &label,
-            &mut check,
+            &mut check.comparisons,
+            &mut check.degraded,
         )?,
         Err(e) if fault.is_some() && e.is_fault() => check.degraded += session.exprs.len(),
         Err(e) => return Err(format!("{label}: cached run failed: {e}")),
@@ -248,7 +261,8 @@ pub fn check_cache_differential(
     let stats = cached.cache_stats();
     check.exact_hits = stats.exact_hits;
     check.subsumption_hits = stats.subsumption_hits;
-    check.invalidations = stats.invalidations;
+    check.patched = stats.patched;
+    check.patch_drops = stats.patch_drops;
     Ok(check)
 }
 
@@ -259,17 +273,17 @@ mod tests {
 
     #[test]
     fn warm_replays_match_the_cacheless_engine_across_seeds() {
-        let (mut exact, mut rollups, mut invalidations) = (0u64, 0u64, 0u64);
+        let (mut exact, mut rollups, mut patched) = (0u64, 0u64, 0u64);
         for seed in 0..6 {
             let check = check_cache_differential(harness_spec(), seed, None).unwrap();
             assert!(check.comparisons > 0, "seed {seed} compared nothing");
             exact += check.exact_hits;
             rollups += check.subsumption_hits;
-            invalidations += check.invalidations;
+            patched += check.patched;
         }
         assert!(exact > 0, "sweep never exact-hit the cache");
         assert!(rollups > 0, "sweep never exercised a subsumption rollup");
-        assert!(invalidations > 0, "sweep never exercised invalidation");
+        assert!(patched > 0, "sweep never exercised delta patching");
     }
 
     #[test]

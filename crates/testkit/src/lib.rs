@@ -32,18 +32,26 @@
 //!   replayed on a cached engine (warm exact and subsumption hits, with or
 //!   without injected faults, and across an `append_facts` epoch bump)
 //!   must stay bit-identical to a cache-less engine.
+//! * [`maintenance`] — the streaming-freshness differential: a long-lived
+//!   cached engine interleaving MDX with append batches (including
+//!   atomically-rejected malformed appends) must answer every round
+//!   bit-identically to a fresh engine replaying the append prefix from
+//!   scratch; failures shrink as `(spec, session, appends, fault)`
+//!   quadruples.
 //!
 //! The `testkit` binary drives it all:
 //!
 //! ```text
-//! testkit fuzz --count 100 --faults     # sweep seeds, shrink any failure
-//! testkit windows --count 50 --faults   # multi-session windowing sweep
-//! testkit cache --count 50 --faults     # warm-replay differential sweep
-//! testkit replay repro.txt              # re-run a minimized repro
+//! testkit fuzz --count 100 --faults        # sweep seeds, shrink any failure
+//! testkit windows --count 50 --faults      # multi-session windowing sweep
+//! testkit cache --count 50 --faults        # warm-replay differential sweep
+//! testkit maintenance --count 50 --faults  # streaming-freshness sweep
+//! testkit replay repro.txt                 # re-run a minimized repro
 //! ```
 
 pub mod cache;
 pub mod faults;
+pub mod maintenance;
 pub mod oracle;
 pub mod repro;
 pub mod runner;
@@ -53,6 +61,10 @@ pub mod windows;
 
 pub use cache::{check_cache_differential, CacheCheck, APPEND_ROWS, CACHE_REPLAYS};
 pub use faults::{FaultHarness, FaultedComparison, FaultedQuery};
+pub use maintenance::{
+    check_maintenance_differential, maintenance_case, MaintenanceCheck, MAINT_APPEND_ROWS,
+    MAINT_ROUNDS,
+};
 pub use oracle::{harness_spec, Mismatch, Oracle, OracleStats, ORACLE_OPTIMIZERS, ORACLE_THREADS};
 pub use repro::{format_case, parse_case};
 pub use runner::run_case;

@@ -18,8 +18,14 @@
 //! fault_seed = 3
 //! fault_transient = 0.02
 //! fault_poison = 0.0005
+//! append = 0:3:1:7=12.25 2:0:5:1=0.5
 //! expr = {A''.A1.CHILDREN} on Columns CONTEXT ABCD;
 //! ```
+//!
+//! Maintenance cases carry one `append =` line per batch (in application
+//! order): each row is `key:key:…=measure`, rows separated by spaces. The
+//! measure prints with `{:?}` like the fault rates, so batches round-trip
+//! bit-exactly too.
 
 use starshare_core::{FaultPlan, OptimizerKind, PaperCubeSpec};
 
@@ -43,6 +49,16 @@ pub fn format_case(case: &Case) -> String {
     out.push_str(&format!("fault_seed = {}\n", case.fault.seed));
     out.push_str(&format!("fault_transient = {:?}\n", case.fault.transient));
     out.push_str(&format!("fault_poison = {:?}\n", case.fault.poison));
+    for batch in &case.appends {
+        let rows: Vec<String> = batch
+            .iter()
+            .map(|(key, m)| {
+                let keys: Vec<String> = key.iter().map(u32::to_string).collect();
+                format!("{}={m:?}", keys.join(":"))
+            })
+            .collect();
+        out.push_str(&format!("append = {}\n", rows.join(" ")));
+    }
     for e in &case.exprs {
         debug_assert!(!e.contains('\n'), "generated MDX is single-line");
         out.push_str(&format!("expr = {e}\n"));
@@ -70,6 +86,7 @@ pub fn parse_case(text: &str) -> Result<Case, String> {
         optimizer: OptimizerKind::Gg,
         threads: 1,
         fault: FaultPlan::none(),
+        appends: Vec::new(),
     };
     for (no, line) in lines.enumerate() {
         let line = line.trim();
@@ -92,6 +109,7 @@ pub fn parse_case(text: &str) -> Result<Case, String> {
             "fault_seed" => case.fault.seed = value.parse().map_err(|e| bad(&e))?,
             "fault_transient" => case.fault.transient = value.parse().map_err(|e| bad(&e))?,
             "fault_poison" => case.fault.poison = value.parse().map_err(|e| bad(&e))?,
+            "append" => case.appends.push(parse_batch(value).map_err(|e| bad(&e))?),
             "expr" => case.exprs.push(value.to_string()),
             other => return Err(format!("line {}: unknown key {other:?}", no + 2)),
         }
@@ -104,6 +122,30 @@ pub fn parse_case(text: &str) -> Result<Case, String> {
     }
     case.spec = spec;
     Ok(case)
+}
+
+/// Parses one `append =` batch: space-separated `key:key:…=measure` rows
+/// (an empty value is a legal empty batch — shrinking can produce one).
+fn parse_batch(value: &str) -> Result<Vec<(Vec<u32>, f64)>, String> {
+    value
+        .split_whitespace()
+        .map(|tok| {
+            let (keys, m) = tok
+                .split_once('=')
+                .ok_or_else(|| format!("append row {tok:?}: expected keys=measure"))?;
+            let key = keys
+                .split(':')
+                .map(|k| {
+                    k.parse()
+                        .map_err(|e| format!("append row {tok:?}: bad key {k:?}: {e}"))
+                })
+                .collect::<Result<Vec<u32>, String>>()?;
+            let m: f64 = m
+                .parse()
+                .map_err(|e| format!("append row {tok:?}: bad measure: {e}"))?;
+            Ok((key, m))
+        })
+        .collect()
 }
 
 fn optimizer_name(kind: OptimizerKind) -> &'static str {
@@ -149,6 +191,10 @@ mod tests {
                 transient: 0.015625,
                 poison: 0.0004882812500000001,
             },
+            appends: vec![
+                vec![(vec![0, 3, 1, 7], 12.25), (vec![2, 0, 5, 1], 0.5)],
+                vec![(vec![1, 1, 1, 1], 0.1)],
+            ],
         }
     }
 
@@ -165,6 +211,14 @@ mod tests {
         assert_eq!(back.optimizer, case.optimizer);
         assert_eq!(back.threads, case.threads);
         assert_eq!(back.fault, case.fault, "floats must round-trip to the bit");
+        assert_eq!(back.appends.len(), case.appends.len());
+        for (a, b) in back.appends.iter().zip(&case.appends) {
+            assert_eq!(a.len(), b.len());
+            for ((ka, ma), (kb, mb)) in a.iter().zip(b) {
+                assert_eq!(ka, kb);
+                assert_eq!(ma.to_bits(), mb.to_bits(), "measures round-trip to the bit");
+            }
+        }
         // And the text itself is stable.
         assert_eq!(format_case(&back), text);
     }

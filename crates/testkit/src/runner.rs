@@ -15,7 +15,14 @@ use crate::shrink::Case;
 /// Runs `case` once. `Ok(())` means the engine honoured its contract on
 /// this case; `Err(detail)` is a human-readable account of the violation
 /// (the thing a fuzz run shrinks against).
+///
+/// Cases carrying append batches are maintenance cases: they replay
+/// through the freshness differential instead (see [`crate::maintenance`]),
+/// so one repro format and one shrinker serve both harnesses.
 pub fn run_case(case: &Case) -> Result<(), String> {
+    if !case.appends.is_empty() {
+        return crate::maintenance::run_maintenance_case(case);
+    }
     let mut engine = EngineConfig::paper()
         .optimizer(case.optimizer)
         .threads(case.threads)
@@ -109,6 +116,7 @@ mod tests {
             optimizer: OptimizerKind::Gg,
             threads: 1,
             fault,
+            appends: Vec::new(),
         }
     }
 

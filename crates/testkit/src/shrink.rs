@@ -8,9 +8,13 @@
 //! 1. **expressions** — greedy one-at-a-time removal to a fixed point
 //!    (delta debugging with subset size 1, which is where ddmin ends up
 //!    anyway for lists this short);
-//! 2. **configuration** — prefer `threads = 1` and the simplest optimizer
+//! 2. **append batches** — for maintenance cases, greedy removal of whole
+//!    batches to a fixed point, then one reverse pass of row removal per
+//!    surviving batch (row lists are long and every trial replays the full
+//!    differential, so the row pass is bounded rather than iterated);
+//! 3. **configuration** — prefer `threads = 1` and the simplest optimizer
 //!    that still fails;
-//! 3. **fault schedule** — try dropping each fault family (transient,
+//! 4. **fault schedule** — try dropping each fault family (transient,
 //!    poison) entirely, then repeatedly halve the surviving rates.
 //!
 //! Every candidate evaluation replays deterministically from the case
@@ -38,6 +42,11 @@ pub struct Case {
     /// Fault schedule ([`FaultPlan::none`] for fault-free differential
     /// failures).
     pub fault: FaultPlan,
+    /// Append batches interleaved with session replays (empty for
+    /// pure-query cases): batch `i` lands before replay round `i + 1` in
+    /// the maintenance differential, which a non-empty list routes
+    /// [`run_case`](crate::run_case) through.
+    pub appends: Vec<Vec<(Vec<u32>, f64)>>,
 }
 
 impl Case {
@@ -76,7 +85,36 @@ pub fn shrink(case: &Case, still_fails: &mut dyn FnMut(&Case) -> bool) -> Case {
         }
     }
 
-    // 2. Configuration: simplest first.
+    // 2. Append batches: whole batches to a fixed point, then one bounded
+    // reverse pass of row removal per surviving batch.
+    let mut progress = true;
+    while progress && !best.appends.is_empty() {
+        progress = false;
+        for i in (0..best.appends.len()).rev() {
+            if i >= best.appends.len() {
+                continue;
+            }
+            let mut cand = best.clone();
+            cand.appends.remove(i);
+            if still_fails(&cand) {
+                best = cand;
+                progress = true;
+            }
+        }
+    }
+    for b in 0..best.appends.len() {
+        let mut i = best.appends[b].len();
+        while i > 0 {
+            i -= 1;
+            let mut cand = best.clone();
+            cand.appends[b].remove(i);
+            if still_fails(&cand) {
+                best = cand;
+            }
+        }
+    }
+
+    // 3. Configuration: simplest first.
     if best.threads > 1 {
         let mut cand = best.clone();
         cand.threads = 1;
@@ -92,7 +130,7 @@ pub fn shrink(case: &Case, still_fails: &mut dyn FnMut(&Case) -> bool) -> Case {
         }
     }
 
-    // 3. Fault schedule: drop whole families, then halve what's left.
+    // 4. Fault schedule: drop whole families, then halve what's left.
     for zero in [
         (|p: &mut FaultPlan| p.transient = 0.0) as fn(&mut FaultPlan),
         |p| p.poison = 0.0,
@@ -131,6 +169,7 @@ mod tests {
             optimizer: OptimizerKind::Tplo,
             threads: 4,
             fault: FaultPlan::seeded(9),
+            appends: Vec::new(),
         }
     }
 
@@ -160,6 +199,23 @@ mod tests {
             min.fault.poison < c.fault.poison,
             "rate halving should engage"
         );
+    }
+
+    #[test]
+    fn append_batches_shrink_to_the_guilty_row() {
+        let mut c = case(&["x"]);
+        c.appends = vec![
+            vec![(vec![0, 0, 0, 0], 1.0), (vec![1, 1, 1, 1], 2.0)],
+            vec![(vec![2, 2, 2, 2], 7.25), (vec![3, 3, 3, 3], 4.0)],
+            vec![(vec![5, 5, 5, 5], 5.0)],
+        ];
+        let min = shrink(&c, &mut |cand| {
+            cand.appends
+                .iter()
+                .flatten()
+                .any(|(_, m)| m.to_bits() == 7.25f64.to_bits())
+        });
+        assert_eq!(min.appends, vec![vec![(vec![2, 2, 2, 2], 7.25)]]);
     }
 
     #[test]
