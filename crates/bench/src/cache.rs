@@ -30,8 +30,8 @@
 use std::time::{Duration, Instant};
 
 use starshare_core::{
-    CacheStats, Engine, EngineConfig, ExecStrategy, MorselSpec, OptimizerKind, PaperCubeSpec,
-    QueryResult, SimTime, WindowOutcome,
+    CacheStats, Engine, EngineConfig, ExecStrategy, MetricsSnapshot, MorselSpec, OptimizerKind,
+    PaperCubeSpec, QueryResult, SimTime, TelemetryConfig, WindowOutcome,
 };
 
 use crate::workloads::dashboard_refresh;
@@ -95,6 +95,10 @@ pub struct CacheBenchResult {
     pub evictions_observed: bool,
     /// Every cached answer (all legs) matched the cold leg bit-for-bit.
     pub differential_ok: bool,
+    /// Unified metrics snapshot from a dedicated telemetry-armed warm run
+    /// (outside the timed legs, so walls stay clean), embedded in the
+    /// committed artifact.
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 impl CacheBenchResult {
@@ -105,10 +109,13 @@ impl CacheBenchResult {
     }
 }
 
-fn engine(scale: f64, cache_bytes: Option<usize>) -> Engine {
+fn engine(scale: f64, cache_bytes: Option<usize>, telemetry: bool) -> Engine {
     let mut cfg = EngineConfig::paper().optimizer(OptimizerKind::Tplo);
     if let Some(bytes) = cache_bytes {
         cfg = cfg.result_cache(true).cache_bytes(bytes);
+    }
+    if telemetry {
+        cfg = cfg.telemetry(TelemetryConfig::enabled(0));
     }
     cfg.build_paper(PaperCubeSpec::scaled(scale))
 }
@@ -174,7 +181,7 @@ pub fn cache_bench(scale: f64, repeats: u32) -> CacheBenchResult {
     let mut cold_outs = Vec::new();
     let mut cold_wall = Duration::MAX;
     for rep in 0..repeats {
-        let mut e = engine(scale, None);
+        let mut e = engine(scale, None, false);
         let (outs, wall, _) = run_leg(&mut e, None);
         cold_wall = cold_wall.min(wall);
         if rep == 0 {
@@ -191,7 +198,7 @@ pub fn cache_bench(scale: f64, repeats: u32) -> CacheBenchResult {
         let mut leg = None;
         let mut wall = Duration::MAX;
         for rep in 0..repeats {
-            let mut e = engine(scale, Some(budget));
+            let mut e = engine(scale, Some(budget), false);
             let (outs, w, within) = run_leg(&mut e, Some(budget));
             wall = wall.min(w);
             if rep == 0 {
@@ -217,6 +224,15 @@ pub fn cache_bench(scale: f64, repeats: u32) -> CacheBenchResult {
     let evictions_observed = tight_row.evictions > 0;
     let budget_rows = vec![quarter_row, tight_row, default_row];
 
+    // One dedicated telemetry-armed warm run for the artifact's metrics
+    // snapshot — outside the timed legs, so the walls above stay clean
+    // (telemetry is observably inert on the sim clock either way).
+    let metrics = {
+        let mut e = engine(scale, Some(EngineConfig::DEFAULT_CACHE_BYTES), true);
+        run_leg(&mut e, None);
+        e.metrics()
+    };
+
     CacheBenchResult {
         scale,
         repeats,
@@ -233,6 +249,7 @@ pub fn cache_bench(scale: f64, repeats: u32) -> CacheBenchResult {
         evictions_observed,
         differential_ok: budget_rows.iter().all(|r| r.differential_ok),
         budget_rows,
+        metrics,
     }
 }
 
@@ -337,7 +354,8 @@ pub fn cache_bench_json(r: &CacheBenchResult) -> String {
             "  \"budget_sweep\": [\n{rows}\n  ],\n",
             "  \"within_budget\": {within},\n",
             "  \"evictions_observed\": {evo},\n",
-            "  \"differential_ok\": {diff}\n",
+            "  \"differential_ok\": {diff},\n",
+            "  \"metrics\": {metrics}\n",
             "}}\n"
         ),
         scale = r.scale,
@@ -359,6 +377,7 @@ pub fn cache_bench_json(r: &CacheBenchResult) -> String {
         within = r.within_budget,
         evo = r.evictions_observed,
         diff = r.differential_ok,
+        metrics = crate::metrics_json(&r.metrics),
     )
 }
 
@@ -385,8 +404,11 @@ mod tests {
         );
         assert!(r.warm_repeat_sim > SimTime::ZERO, "rollup CPU is charged");
         assert!(r.subsumption_sim <= r.warm_repeat_sim);
+        let snap = r.metrics.expect("telemetry run must snapshot");
+        assert!(snap.registry().cache_exact_hits >= 1);
         let json = cache_bench_json(&r);
         assert!(json.contains("\"bench\": \"cache\""), "{json}");
+        assert!(json.contains("\"metrics\": {"), "{json}");
         assert!(render_cache_bench(&r).contains("subsumption"), "{}", {
             render_cache_bench(&r)
         });

@@ -20,8 +20,10 @@ use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 use starshare_core::{
-    combine_mode, shared_scan_hash_join, AggState, BufferPool, CombineMode, CpuCounters, Cube,
-    DimPipeline, ExecContext, GroupByQuery, HardwareModel, LevelRef, MemberPred, SimTime, TableId,
+    combine_mode, paper_queries::paper_query_text, shared_scan_hash_join, AggState, BufferPool,
+    CombineMode, CpuCounters, Cube, DimPipeline, EngineConfig, ExecContext, GroupByQuery,
+    HardwareModel, LevelRef, MemberPred, MetricsSnapshot, OptimizerKind, PaperCubeSpec, SimTime,
+    TableId, TelemetryConfig,
 };
 
 use crate::build_engine;
@@ -63,6 +65,10 @@ pub struct KernelBenchResult {
     pub sim_identical: bool,
     /// The (shared) simulated time of the workload.
     pub sim: SimTime,
+    /// Unified metrics snapshot from a telemetry-armed engine running the
+    /// same four panels through the MDX path (the raw shared-scan entry
+    /// point above bypasses the engine and feeds no registry).
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 /// Pre-kernel per-query state: rolled predicate steps, aggregation-key
@@ -256,6 +262,16 @@ pub fn kernel_bench(scale: f64, repeats: u32) -> KernelBenchResult {
         legacy_sim = sim;
     }
 
+    let metrics = {
+        let mut e = EngineConfig::paper()
+            .optimizer(OptimizerKind::Tplo)
+            .telemetry(TelemetryConfig::enabled(0))
+            .build_paper(PaperCubeSpec::scaled(scale));
+        let texts: Vec<&str> = (1..=4).map(paper_query_text).collect();
+        e.mdx_many(&texts).expect("fig10 panels run");
+        e.metrics()
+    };
+
     let tps = |wall: Duration| rows as f64 / wall.as_secs_f64().max(1e-12);
     KernelBenchResult {
         scale,
@@ -274,6 +290,7 @@ pub fn kernel_bench(scale: f64, repeats: u32) -> KernelBenchResult {
         results_match: engine_rows == legacy_rows,
         sim_identical: engine_sim == legacy_sim,
         sim: engine_sim,
+        metrics,
     }
 }
 
@@ -327,7 +344,8 @@ pub fn kernel_bench_json(r: &KernelBenchResult) -> String {
             "  \"speedup\": {speedup:.3},\n",
             "  \"results_match\": {rm},\n",
             "  \"sim_identical\": {si},\n",
-            "  \"sim_ms\": {sim:.3}\n",
+            "  \"sim_ms\": {sim:.3},\n",
+            "  \"metrics\": {metrics}\n",
             "}}\n"
         ),
         scale = r.scale,
@@ -342,6 +360,7 @@ pub fn kernel_bench_json(r: &KernelBenchResult) -> String {
         rm = r.results_match,
         si = r.sim_identical,
         sim = r.sim.as_secs_f64() * 1e3,
+        metrics = crate::metrics_json(&r.metrics),
     )
 }
 
@@ -356,8 +375,11 @@ mod tests {
         assert!(r.sim_identical, "legacy sim clock diverges from engine");
         assert_eq!(r.tiers.len(), 4);
         assert!(r.speedup > 0.0);
+        let snap = r.metrics.expect("telemetry run must snapshot");
+        assert_eq!(snap.registry().queries, 4);
         let json = kernel_bench_json(&r);
         assert!(json.contains("\"bench\": \"kernels\""));
         assert!(json.contains("\"results_match\": true"));
+        assert!(json.contains("\"metrics\": {"), "{json}");
     }
 }

@@ -47,6 +47,14 @@ pub use workloads::{
     DASHBOARD_COARSE_PROBE, DASHBOARD_PANELS,
 };
 
+/// Renders a bench result's optional metrics snapshot as a JSON value for
+/// the committed artifact (`null` if the telemetry run produced none).
+pub(crate) fn metrics_json(m: &Option<starshare_core::MetricsSnapshot>) -> String {
+    m.as_ref()
+        .map(|s| s.to_json())
+        .unwrap_or_else(|| "null".to_string())
+}
+
 /// Reads the scale factor from `STARSHARE_SCALE` (default 1.0 = the paper's
 /// 2 M-row database).
 pub fn scale_from_env() -> f64 {

@@ -25,8 +25,8 @@
 use std::time::Duration;
 
 use starshare_core::{
-    execute_classes_with, ClassSpec, Cube, ExecContext, ExecStrategy, IoStats, MorselSpec,
-    QueryResult, SimTime,
+    execute_classes_with, ClassSpec, Cube, ExecContext, ExecStrategy, IoStats, MetricsSnapshot,
+    MorselSpec, QueryResult, SimTime, Telemetry, TelemetryConfig,
 };
 
 use crate::workloads::{fig10_workload, skewed_probe};
@@ -90,6 +90,11 @@ pub struct ParallelBenchResult {
     pub threads: Vec<usize>,
     /// Per-workload sweeps.
     pub workloads: Vec<WorkloadBench>,
+    /// Unified metrics snapshot from a telemetry-armed morsel rerun of
+    /// both workloads at the top thread count (the raw executor entry
+    /// point bypasses the engine, so the bench stands in for the engine's
+    /// per-class accounting).
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 /// Runs one configuration `repeats` times cold (fresh [`ExecContext`]
@@ -261,11 +266,31 @@ pub fn parallel_bench_at(
         morsel_pages,
     ));
 
+    let metrics = {
+        let tele = Telemetry::new(TelemetryConfig::enabled(0));
+        let top = *thread_counts.iter().max().expect("non-empty thread sweep");
+        let strategy = ExecStrategy::Morsel(MorselSpec::with_pages(morsel_pages));
+        let rerun = |cube: &Cube, spec: &ClassSpec| {
+            let mut ctx = ExecContext::paper_1998();
+            ctx.telemetry = tele.clone();
+            let outcomes =
+                execute_classes_with(&mut ctx, cube, std::slice::from_ref(spec), top, strategy)
+                    .expect("bench workload executes");
+            for oc in &outcomes {
+                tele.metrics(|m| m.observe_exec(&oc.report.io, oc.report.sim, oc.report.critical));
+            }
+        };
+        rerun(engine.cube(), &scan_spec);
+        rerun(&probe.cube, &probe_spec);
+        tele.snapshot()
+    };
+
     ParallelBenchResult {
         scale,
         repeats,
         threads: thread_counts.to_vec(),
         workloads,
+        metrics,
     }
 }
 
@@ -382,13 +407,15 @@ pub fn parallel_bench_json(r: &ParallelBenchResult) -> String {
             "  \"scale\": {scale},\n",
             "  \"repeats\": {repeats},\n",
             "  \"threads\": [{threads}],\n",
-            "  \"workloads\": [\n{workloads}\n  ]\n",
+            "  \"workloads\": [\n{workloads}\n  ],\n",
+            "  \"metrics\": {metrics}\n",
             "}}\n"
         ),
         scale = r.scale,
         repeats = r.repeats,
         threads = threads,
         workloads = workloads,
+        metrics = crate::metrics_json(&r.metrics),
     )
 }
 
@@ -410,10 +437,13 @@ mod tests {
                 w.name
             );
         }
+        let snap = r.metrics.expect("telemetry run must snapshot");
+        assert!(snap.registry().morsels >= 2, "both workloads rerun");
         let json = parallel_bench_json(&r);
         assert!(json.contains("\"bench\": \"parallel\""));
         assert!(json.contains("\"results_match\": true"));
         assert!(json.contains("skewed-probe"));
+        assert!(json.contains("\"metrics\": {"), "{json}");
         let rendered = render_parallel_bench(&r);
         assert!(rendered.contains("speedup"), "{rendered}");
     }

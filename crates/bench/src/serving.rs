@@ -27,8 +27,8 @@
 use std::time::Duration;
 
 use starshare_core::{
-    paper_queries::paper_query_text, EngineConfig, ExecStrategy, MorselSpec, OptimizerKind,
-    PaperCubeSpec, QueryResult, SimTime, WindowConfig,
+    paper_queries::paper_query_text, EngineConfig, ExecStrategy, MetricsSnapshot, MorselSpec,
+    OptimizerKind, PaperCubeSpec, QueryResult, SimTime, TelemetryConfig, WindowConfig,
 };
 use starshare_serve::Server;
 
@@ -86,16 +86,22 @@ pub struct ServingBenchResult {
     pub ratio_monotone: bool,
     /// Shared sim beat the isolated sum at every count ≥ 4.
     pub shared_wins_at_4: bool,
+    /// Unified metrics snapshot from a dedicated telemetry-armed shared
+    /// burst at the largest session count (outside the timed legs),
+    /// embedded in the committed artifact.
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 fn spec(scale: f64) -> PaperCubeSpec {
     PaperCubeSpec::scaled(scale)
 }
 
-fn engine(scale: f64) -> starshare_core::Engine {
-    EngineConfig::paper()
-        .optimizer(OptimizerKind::Tplo)
-        .build_paper(spec(scale))
+fn engine(scale: f64, telemetry: bool) -> starshare_core::Engine {
+    let mut cfg = EngineConfig::paper().optimizer(OptimizerKind::Tplo);
+    if telemetry {
+        cfg = cfg.telemetry(TelemetryConfig::enabled(0));
+    }
+    cfg.build_paper(spec(scale))
 }
 
 /// Session `s`'s expressions: paper queries `s+1` and onwards, wrapping at
@@ -131,6 +137,35 @@ pub fn serving_bench(scale: f64, repeats: u32) -> ServingBenchResult {
         .iter()
         .filter(|r| r.sessions >= 4)
         .all(|r| r.shared_sim <= r.isolated_sim);
+
+    // One dedicated telemetry-armed burst at the largest session count
+    // for the artifact's metrics snapshot — outside the timed legs, read
+    // off the engine after an orderly shutdown.
+    let metrics = {
+        let n = *SERVING_SESSIONS.iter().max().expect("non-empty sweep");
+        let sessions: Vec<Vec<&'static str>> = (0..n).map(session_exprs).collect();
+        let cfg = WindowConfig::default()
+            .max_exprs(n * EXPRS_PER_SESSION)
+            .max_bytes(usize::MAX)
+            .max_wait(Duration::from_secs(10));
+        let server = Server::start_with(engine(scale, true), cfg);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = sessions
+                .iter()
+                .enumerate()
+                .map(|(s, exprs)| {
+                    let session = server.session(&format!("tenant-{s}"));
+                    let exprs = exprs.clone();
+                    scope.spawn(move || session.mdx_many(&exprs).expect("telemetry burst answers"))
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("session thread");
+            }
+        });
+        server.shutdown().metrics()
+    };
+
     ServingBenchResult {
         scale,
         repeats,
@@ -138,6 +173,7 @@ pub fn serving_bench(scale: f64, repeats: u32) -> ServingBenchResult {
         differential_ok,
         ratio_monotone,
         shared_wins_at_4,
+        metrics,
     }
 }
 
@@ -154,7 +190,7 @@ fn bench_one(scale: f64, repeats: u32, n: usize) -> ServingRow {
         let mut total_sim = SimTime::ZERO;
         let mut total_wall = Duration::ZERO;
         for exprs in &sessions {
-            let mut e = engine(scale);
+            let mut e = engine(scale, false);
             let out = e
                 .mdx_window(&[exprs.as_slice()], OptimizerKind::Tplo, strategy)
                 .expect("solo leg runs");
@@ -177,7 +213,7 @@ fn bench_one(scale: f64, repeats: u32, n: usize) -> ServingRow {
         .max_wait(Duration::from_secs(10));
     let mut best: Option<ServingRow> = None;
     for _ in 0..repeats {
-        let server = Server::start_with(engine(scale), cfg.clone());
+        let server = Server::start_with(engine(scale, false), cfg.clone());
         let started = std::time::Instant::now();
         let replies: Vec<_> = std::thread::scope(|scope| {
             let handles: Vec<_> = sessions
@@ -197,7 +233,7 @@ fn bench_one(scale: f64, repeats: u32, n: usize) -> ServingRow {
         let wall = started.elapsed();
         drop(server);
 
-        let w = replies[0].window;
+        let w = replies[0].window.clone();
         assert!(
             replies.iter().all(|r| r.window.window_id == w.window_id),
             "burst split across windows; raise the close budget"
@@ -337,7 +373,8 @@ pub fn serving_bench_json(r: &ServingBenchResult) -> String {
             "  \"rows\": [\n{rows}\n  ],\n",
             "  \"differential_ok\": {diff},\n",
             "  \"ratio_monotone\": {mono},\n",
-            "  \"shared_wins_at_4\": {wins}\n",
+            "  \"shared_wins_at_4\": {wins},\n",
+            "  \"metrics\": {metrics}\n",
             "}}\n"
         ),
         scale = r.scale,
@@ -347,6 +384,7 @@ pub fn serving_bench_json(r: &ServingBenchResult) -> String {
         diff = r.differential_ok,
         mono = r.ratio_monotone,
         wins = r.shared_wins_at_4,
+        metrics = crate::metrics_json(&r.metrics),
     )
 }
 
@@ -361,5 +399,8 @@ mod tests {
         assert!(r.ratio_monotone, "sharing ratio fell as sessions grew");
         assert!(r.shared_wins_at_4, "shared window lost to isolation");
         assert!(r.rows.last().unwrap().cross_session_classes > 0);
+        let snap = r.metrics.expect("telemetry run must snapshot");
+        assert_eq!(snap.registry().submissions, 8, "one burst, all sessions");
+        assert!(serving_bench_json(&r).contains("\"metrics\": {"));
     }
 }

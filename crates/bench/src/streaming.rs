@@ -28,8 +28,8 @@
 use std::time::{Duration, Instant};
 
 use starshare_core::{
-    paper_schema, CacheStats, Engine, EngineConfig, ExecStrategy, MorselSpec, OptimizerKind,
-    PaperCubeSpec, SimTime, WindowOutcome,
+    paper_schema, CacheStats, Engine, EngineConfig, ExecStrategy, MetricsSnapshot, MorselSpec,
+    OptimizerKind, PaperCubeSpec, SimTime, TelemetryConfig, WindowOutcome,
 };
 use starshare_prng::Prng;
 
@@ -76,6 +76,9 @@ pub struct StreamingBenchResult {
     /// Every answer of both cached legs, every round, matched the
     /// cache-less reference bit-for-bit.
     pub differential_ok: bool,
+    /// Unified metrics snapshot from a dedicated telemetry-armed patched
+    /// run (outside the timed legs), embedded in the committed artifact.
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 impl StreamingBenchResult {
@@ -94,12 +97,15 @@ enum Leg {
     Reference,
 }
 
-fn engine(spec: PaperCubeSpec, leg: Leg) -> Engine {
+fn engine(spec: PaperCubeSpec, leg: Leg, telemetry: bool) -> Engine {
     let mut cfg = EngineConfig::paper().optimizer(OptimizerKind::Tplo);
     match leg {
         Leg::Reference => {}
         Leg::Patched => cfg = cfg.result_cache(true),
         Leg::Drop => cfg = cfg.result_cache(true).cache_patching(false),
+    }
+    if telemetry {
+        cfg = cfg.telemetry(TelemetryConfig::enabled(0));
     }
     cfg.build_paper(spec)
 }
@@ -176,7 +182,7 @@ pub fn streaming_bench(scale: f64, repeats: u32) -> StreamingBenchResult {
         let mut kept = None;
         let mut wall = Duration::MAX;
         for rep in 0..repeats {
-            let mut e = engine(spec, leg);
+            let mut e = engine(spec, leg, false);
             let run = run_leg(&mut e, &batches);
             wall = wall.min(run.wall);
             if rep == 0 {
@@ -190,6 +196,14 @@ pub fn streaming_bench(scale: f64, repeats: u32) -> StreamingBenchResult {
     let (reference, _, _) = bench_leg(Leg::Reference);
     let (patched, patched_stats, patched_wall) = bench_leg(Leg::Patched);
     let (drop, drop_stats, drop_wall) = bench_leg(Leg::Drop);
+
+    // One dedicated telemetry-armed patched run for the artifact's metrics
+    // snapshot — outside the timed legs, so the walls above stay clean.
+    let metrics = {
+        let mut e = engine(spec, Leg::Patched, true);
+        run_leg(&mut e, &batches);
+        e.metrics()
+    };
 
     StreamingBenchResult {
         scale,
@@ -207,6 +221,7 @@ pub fn streaming_bench(scale: f64, repeats: u32) -> StreamingBenchResult {
         drop_wall,
         differential_ok: leg_equal(&patched.outs, &reference.outs)
             && leg_equal(&drop.outs, &reference.outs),
+        metrics,
     }
 }
 
@@ -274,7 +289,8 @@ pub fn streaming_bench_json(r: &StreamingBenchResult) -> String {
             "  \"drop_invalidations\": {dinv},\n",
             "  \"patched_wall_ms\": {pwall:.3},\n",
             "  \"drop_wall_ms\": {dwall:.3},\n",
-            "  \"differential_ok\": {diff}\n",
+            "  \"differential_ok\": {diff},\n",
+            "  \"metrics\": {metrics}\n",
             "}}\n"
         ),
         scale = r.scale,
@@ -294,6 +310,7 @@ pub fn streaming_bench_json(r: &StreamingBenchResult) -> String {
         pwall = r.patched_wall.as_secs_f64() * 1e3,
         dwall = r.drop_wall.as_secs_f64() * 1e3,
         diff = r.differential_ok,
+        metrics = crate::metrics_json(&r.metrics),
     )
 }
 
@@ -320,8 +337,12 @@ mod tests {
             r.patched_append_sim > SimTime::ZERO,
             "patch CPU must be charged on the simulated clock"
         );
+        let snap = r.metrics.expect("telemetry run must snapshot");
+        assert!(snap.registry().appends >= 1);
+        assert!(snap.registry().cache_patched >= 1);
         let json = streaming_bench_json(&r);
         assert!(json.contains("\"bench\": \"streaming\""), "{json}");
+        assert!(json.contains("\"metrics\": {"), "{json}");
         assert!(render_streaming_bench(&r).contains("patched"), "{}", {
             render_streaming_bench(&r)
         });

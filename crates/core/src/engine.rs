@@ -4,16 +4,33 @@ use std::time::Duration;
 
 use starshare_exec::{
     shared_hybrid_join, shared_index_join, CacheHit, CacheStats, ExecContext, ExecError,
-    ExecReport, ExecStrategy, MorselSpec, QueryResult, ResultCache, WindowReport, WindowTimer,
+    ExecReport, ExecStrategy, MetricsSnapshot, MorselSpec, Provenance, QueryProfile, QueryResult,
+    ResultCache, Telemetry, TelemetryConfig, WindowReport, WindowTimer,
 };
 use starshare_mdx::{bind, parse, BoundMdx};
 use starshare_olap::{paper_cube, Cube, GroupByQuery, PaperCubeSpec};
 use starshare_opt::{
     plan_window, CostModel, GlobalPlan, JoinMethod, OptimizerKind, PlanClass, SharingStats,
 };
-use starshare_storage::{FaultPlan, FaultStats, HardwareModel, SimTime};
+use starshare_storage::{CpuCounters, FaultPlan, FaultStats, HardwareModel, SimTime};
 
 use crate::error::{Error, Result};
+
+/// Per-field saturating difference of two CPU counter sets — used to
+/// split a class's fold (merge) charge out of its total CPU when
+/// building per-query profiles.
+fn cpu_minus(a: &CpuCounters, b: &CpuCounters) -> CpuCounters {
+    CpuCounters {
+        hash_builds: a.hash_builds.saturating_sub(b.hash_builds),
+        hash_probes: a.hash_probes.saturating_sub(b.hash_probes),
+        agg_updates: a.agg_updates.saturating_sub(b.agg_updates),
+        tuple_copies: a.tuple_copies.saturating_sub(b.tuple_copies),
+        predicate_evals: a.predicate_evals.saturating_sub(b.predicate_evals),
+        bitmap_words: a.bitmap_words.saturating_sub(b.bitmap_words),
+        bitmap_tests: a.bitmap_tests.saturating_sub(b.bitmap_tests),
+        index_lookups: a.index_lookups.saturating_sub(b.index_lookups),
+    }
+}
 
 /// The result of executing one [`GlobalPlan`].
 #[derive(Debug)]
@@ -83,6 +100,11 @@ pub struct Outcome {
     pub outcomes: Vec<Result<ExprOutcome>>,
     /// Execution totals (the classes that ran).
     pub report: ExecReport,
+    /// One profile per bound query, flattened across expressions in input
+    /// order (binding order within each): where the answer came from and
+    /// which phases the simulated time went to. Empty when telemetry is
+    /// off ([`EngineConfig::telemetry`]).
+    pub profiles: Vec<QueryProfile>,
 }
 
 impl Outcome {
@@ -165,6 +187,10 @@ pub struct WindowOutcome {
     pub cache: CacheStats,
     /// Window-level accounting (plan wall, execution totals, envelope).
     pub report: WindowReport,
+    /// Per submission, one profile per bound query (binding order): cache
+    /// provenance plus phase attribution of the simulated time. Empty
+    /// when telemetry is off ([`EngineConfig::telemetry`]).
+    pub profiles: Vec<Vec<QueryProfile>>,
 }
 
 impl WindowOutcome {
@@ -211,6 +237,12 @@ pub struct DegradedExecution {
     /// One report per class, in class order (a failed class reports only
     /// the defaults — its partial work is not separable).
     pub per_class: Vec<ExecReport>,
+    /// One merge-phase CPU counter set per class, in class order — the
+    /// parallel executor's fold charge, already included in the class's
+    /// `per_class` report but broken out so per-query profiles can
+    /// attribute it to the merge phase (all-zero on the sequential path
+    /// and for failed classes).
+    pub merge_cpu: Vec<CpuCounters>,
     /// Totals across the classes that completed.
     pub total: ExecReport,
 }
@@ -369,6 +401,11 @@ pub struct EngineConfig {
     pub strategy: ExecStrategy,
     /// Serving-window behavior (used by `starshare-serve`).
     pub window: WindowConfig,
+    /// Deterministic telemetry (structured tracing, the unified metrics
+    /// registry, and per-query profiles). Off by default: every hook is
+    /// an inlined no-op, and results, `IoStats`, and the simulated clock
+    /// are bit-identical whether telemetry is armed or not.
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for EngineConfig {
@@ -393,6 +430,7 @@ impl EngineConfig {
             threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
             strategy: ExecStrategy::Morsel(MorselSpec::default()),
             window: WindowConfig::default(),
+            telemetry: TelemetryConfig::default(),
         }
     }
 
@@ -467,6 +505,18 @@ impl EngineConfig {
         self
     }
 
+    /// Arms (or disarms) the deterministic telemetry layer — structured
+    /// tracing, the unified metrics registry, and per-query profiles
+    /// (see [`Engine::telemetry`], [`Engine::metrics`],
+    /// [`Engine::drain_trace`], [`Engine::explain_last`]). Off by
+    /// default; when off every hook is a no-op and results, `IoStats`,
+    /// and the simulated clock are bit-identical to a telemetry-free
+    /// engine.
+    pub fn telemetry(mut self, cfg: TelemetryConfig) -> Self {
+        self.telemetry = cfg;
+        self
+    }
+
     /// Builds an engine over an existing cube and hardware model.
     pub fn build(self, cube: Cube, model: HardwareModel) -> Engine {
         let mut cache = self
@@ -475,9 +525,11 @@ impl EngineConfig {
         if let Some(c) = &mut cache {
             c.advance_epoch(cube.epoch);
         }
+        let mut ctx = ExecContext::new(model);
+        ctx.telemetry = Telemetry::new(self.telemetry);
         Engine {
             cube,
-            ctx: ExecContext::new(model),
+            ctx,
             cache,
             config: self,
         }
@@ -586,6 +638,35 @@ impl Engine {
             .map_or_else(CacheStats::default, |c| c.stats())
     }
 
+    /// The engine's telemetry handle (disabled unless
+    /// [`EngineConfig::telemetry`] armed it — then every hook is a
+    /// no-op). Clones share state with the engine.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.ctx.telemetry
+    }
+
+    /// A point-in-time snapshot of the unified metrics registry (`None`
+    /// when telemetry is off).
+    pub fn metrics(&self) -> Option<MetricsSnapshot> {
+        self.ctx.telemetry.snapshot()
+    }
+
+    /// Drains the trace ring buffer as JSONL, one record per line plus a
+    /// trailer (`None` when telemetry is off). Same seed and workload ⇒
+    /// byte-identical output, at any thread count on the partitioned
+    /// executor path.
+    pub fn drain_trace(&self) -> Option<String> {
+        self.ctx.telemetry.drain_jsonl()
+    }
+
+    /// Per-query profiles of the most recent [`mdx`](Engine::mdx) /
+    /// [`mdx_many`](Engine::mdx_many) / [`mdx_window`](Engine::mdx_window)
+    /// call, flattened in routing order (empty when telemetry is off or
+    /// before the first call) — the `explain_last()` view.
+    pub fn explain_last(&self) -> Vec<QueryProfile> {
+        self.ctx.telemetry.last_profiles()
+    }
+
     /// The cube.
     pub fn cube(&self) -> &Cube {
         &self.cube
@@ -615,6 +696,8 @@ impl Engine {
     /// the cube, not the cache, not the epoch.
     pub fn append_facts(&mut self, rows: &[(Vec<u32>, f64)]) -> Result<AppendOutcome> {
         let appended = starshare_olap::append_facts(&mut self.cube, rows)?;
+        let tele = self.ctx.telemetry.clone();
+        tele.trace(|t| t.start("engine.append", vec![("rows", appended.into())]));
         self.ctx.flush();
         let stats_before = self.cache_stats();
         let mut report = ExecReport::default();
@@ -625,10 +708,45 @@ impl Engine {
                 c.advance_epoch(self.cube.epoch);
             }
         }
+        let cache = self.cache_stats().since(stats_before);
+        tele.metrics(|m| {
+            m.observe_append(appended);
+            m.observe_cache(
+                cache.exact_hits,
+                cache.subsumption_hits,
+                cache.misses,
+                cache.insertions,
+                cache.evictions,
+                cache.invalidations,
+                cache.patched,
+                cache.patch_drops,
+            );
+        });
+        tele.trace(|t| {
+            t.advance(report.sim);
+            if self.cache.is_some() {
+                t.event(
+                    "cache.patch",
+                    vec![
+                        ("patched", cache.patched.into()),
+                        ("dropped", cache.patch_drops.into()),
+                        ("invalidated", cache.invalidations.into()),
+                        ("sim_ns", report.sim.into()),
+                    ],
+                );
+            }
+            t.end(
+                "engine.append",
+                vec![
+                    ("epoch", self.cube.epoch.into()),
+                    ("sim_ns", report.sim.into()),
+                ],
+            );
+        });
         Ok(AppendOutcome {
             appended,
             epoch: self.cube.epoch,
-            cache: self.cache_stats().since(stats_before),
+            cache,
             report,
         })
     }
@@ -679,10 +797,12 @@ impl Engine {
     pub fn mdx_many(&mut self, texts: &[&str]) -> Result<Outcome> {
         let window = self.mdx_window(&[texts], self.config.optimizer, self.exec_strategy())?;
         let mut submissions = window.submissions;
+        let mut profiles = window.profiles;
         Ok(Outcome {
             plan: window.plan,
             outcomes: submissions.pop().expect("one submission in, one out"),
             report: window.report.exec,
+            profiles: profiles.pop().unwrap_or_default(),
         })
     }
 
@@ -763,6 +883,7 @@ impl Engine {
             sets.push(set);
         }
         let n_queries: usize = sets.iter().map(Vec::len).sum();
+        let n_exprs: usize = submissions.iter().map(|s| s.len()).sum();
         let degenerate_sharing = SharingStats {
             n_submissions: submissions.len(),
             n_queries,
@@ -771,19 +892,41 @@ impl Engine {
             shared_scan_ratio: 1.0,
         };
 
+        let tele = self.ctx.telemetry.clone();
+        tele.trace(|t| {
+            t.start(
+                "window.close",
+                vec![
+                    ("n_submissions", submissions.len().into()),
+                    ("n_exprs", n_exprs.into()),
+                    ("n_queries", n_queries.into()),
+                ],
+            )
+        });
+
         if n_queries == 0 {
             // Every expression failed to parse/bind (or bound to nothing):
             // no plan to run.
             let routed = route(bounds, &mut |_, _| {
                 Err(Error::Exec(ExecError::new("expression bound no queries")))
             });
+            tele.metrics(|m| m.observe_window(submissions.len() as u64, 0, 0, 0, n_exprs as u64));
+            tele.trace(|t| {
+                t.end(
+                    "window.close",
+                    vec![("n_classes", 0u64.into()), ("sim_ns", SimTime::ZERO.into())],
+                )
+            });
+            tele.store_profiles(Vec::new());
+            let n_subs = sets.len();
             return Ok(WindowOutcome {
                 plan: GlobalPlan::default(),
                 submissions: routed,
-                attributed: vec![SimTime::ZERO; sets.len()],
+                attributed: vec![SimTime::ZERO; n_subs],
                 sharing: degenerate_sharing,
                 cache: CacheStats::default(),
-                report: timer.finish(ExecReport::default(), sets.len(), 0, 0),
+                report: timer.finish(ExecReport::default(), n_subs, 0, 0),
+                profiles: vec![Vec::new(); n_subs],
             });
         }
 
@@ -796,6 +939,9 @@ impl Engine {
             .as_ref()
             .map_or_else(CacheStats::default, |c| c.stats());
         let mut cached: Vec<Vec<Option<QueryResult>>> = Vec::with_capacity(sets.len());
+        // Parallels `cached`: how each hit was obtained plus its rollup
+        // charge, for per-query profiles (`None` for misses).
+        let mut hit_info: Vec<Vec<Option<(Provenance, SimTime)>>> = Vec::with_capacity(sets.len());
         let mut cache_charges: Vec<SimTime> = vec![SimTime::ZERO; sets.len()];
         let mut cache_total = ExecReport::default();
         let mut miss_sets: Vec<Vec<GroupByQuery>> = Vec::with_capacity(sets.len());
@@ -804,30 +950,79 @@ impl Engine {
             let model = self.ctx.model;
             for (si, set) in sets.iter().enumerate() {
                 let mut hits = Vec::with_capacity(set.len());
+                let mut info = Vec::with_capacity(set.len());
                 let mut misses = Vec::new();
                 for q in set {
                     match cache.lookup(&self.cube.schema, q, &model) {
-                        Some(CacheHit::Exact(r)) => hits.push(Some(r)),
+                        Some(CacheHit::Exact { result, patched }) => {
+                            let prov = if patched {
+                                Provenance::DeltaPatched
+                            } else {
+                                Provenance::ExactHit
+                            };
+                            tele.trace(|t| {
+                                t.event(
+                                    "cache.probe",
+                                    vec![
+                                        ("submission", si.into()),
+                                        ("outcome", prov.as_str().into()),
+                                    ],
+                                )
+                            });
+                            hits.push(Some(result));
+                            info.push(Some((prov, SimTime::ZERO)));
+                        }
                         Some(CacheHit::Subsumption { result, report }) => {
                             cache_charges[si] += report.sim;
                             cache_total.merge(&report);
+                            tele.trace(|t| {
+                                t.advance(report.sim);
+                                t.event(
+                                    "cache.probe",
+                                    vec![
+                                        ("submission", si.into()),
+                                        ("outcome", Provenance::SubsumptionRollup.as_str().into()),
+                                        ("rollup_ns", report.sim.into()),
+                                    ],
+                                );
+                            });
                             hits.push(Some(result));
+                            info.push(Some((Provenance::SubsumptionRollup, report.sim)));
                         }
                         None => {
+                            tele.trace(|t| {
+                                t.event(
+                                    "cache.probe",
+                                    vec![("submission", si.into()), ("outcome", "miss".into())],
+                                )
+                            });
                             misses.push(q.clone());
                             hits.push(None);
+                            info.push(None);
                         }
                     }
                 }
                 cached.push(hits);
+                hit_info.push(info);
                 miss_sets.push(misses);
             }
         } else {
             cached = sets.iter().map(|s| vec![None; s.len()]).collect();
+            hit_info = sets.iter().map(|s| vec![None; s.len()]).collect();
             miss_sets = sets.clone();
         }
 
-        let (wp, attributed) = {
+        let n_miss: usize = miss_sets.iter().map(Vec::len).sum();
+        tele.trace(|t| {
+            t.start(
+                "opt.plan",
+                vec![
+                    ("heuristic", optimizer.to_string().into()),
+                    ("n_miss_queries", n_miss.into()),
+                ],
+            )
+        });
+        let planned = (|| -> Result<_> {
             let cm = self.cost_model();
             let wp = plan_window(&cm, &miss_sets, optimizer)?;
             // Price each submission as if it ran alone — the window's
@@ -849,7 +1044,19 @@ impl Engine {
                     })
                     .collect::<Result<_>>()?
             };
-            (wp, attributed)
+            Ok((wp, attributed))
+        })();
+        let (wp, attributed) = match planned {
+            Ok(v) => v,
+            Err(e) => {
+                // Close the open spans so a failed window cannot skew the
+                // nesting of later ones.
+                tele.trace(|t| {
+                    t.end("opt.plan", Vec::new());
+                    t.end("window.close", Vec::new());
+                });
+                return Err(e);
+            }
         };
         timer.planned();
         let plan = wp.plan;
@@ -858,12 +1065,49 @@ impl Engine {
         // count (the serving layer counts queries served, not scanned).
         let mut sharing = wp.sharing;
         sharing.n_queries = n_queries;
+        tele.trace(|t| {
+            t.end(
+                "opt.plan",
+                vec![
+                    ("n_classes", sharing.n_classes.into()),
+                    (
+                        "cross_submission_classes",
+                        sharing.cross_submission_classes.into(),
+                    ),
+                    ("shared_scan_ratio", sharing.shared_scan_ratio.into()),
+                    ("estimated_cost_ns", plan.estimated_cost.into()),
+                ],
+            )
+        });
 
         let exec = self.execute_plan_degraded_with(&plan, strategy);
         let mut results = exec.results;
+        let per_class = exec.per_class;
+        let class_merge_cpu = exec.merge_cpu;
         let mut total = exec.total;
         // The subsumption rollups' CPU is window work too.
         total.merge(&cache_total);
+
+        // One profile per plan slot: a query's profile is the phase
+        // attribution of the shared operator pass that produced its
+        // answer (class counters minus the fold charge, which gets its
+        // own merge phase) — members of a multi-query class share it.
+        let mut slot_profile: Vec<QueryProfile> = Vec::new();
+        if tele.enabled() {
+            let model = self.ctx.model;
+            for (ci, class) in plan.classes.iter().enumerate() {
+                let prov = if class.plans.len() > 1 {
+                    Provenance::WindowShared
+                } else {
+                    Provenance::Direct
+                };
+                let merge_cpu = class_merge_cpu.get(ci).copied().unwrap_or_default();
+                let scan_cpu = cpu_minus(&per_class[ci].cpu, &merge_cpu);
+                let profile =
+                    QueryProfile::executed(prov, &model, &per_class[ci].io, &scan_cpu, &merge_cpu);
+                slot_profile.extend(std::iter::repeat_n(profile, class.plans.len()));
+            }
+        }
 
         // Fault isolation across submissions: a failed class whose slots
         // belong to more than one submission is re-run once per owner, so
@@ -901,7 +1145,7 @@ impl Engine {
                             .collect(),
                     };
                     match self.run_class(&sub, strategy) {
-                        Ok((rs, rep)) => {
+                        Ok((rs, rep, _)) => {
                             let mut it = rs.into_iter();
                             for (slot, &po) in slots.clone().zip(owner_slice) {
                                 if po == o {
@@ -931,11 +1175,18 @@ impl Engine {
             plan.assignments().map(|(_, q, _)| q.clone()).collect();
         let mut pool: Vec<Option<Result<QueryResult>>> = results.into_iter().map(Some).collect();
         let mut next_q: Vec<usize> = vec![0; sets.len()];
+        let tele_on = tele.enabled();
+        let mut profiles: Vec<Vec<QueryProfile>> =
+            sets.iter().map(|s| Vec::with_capacity(s.len())).collect();
         let routed = route(bounds, &mut |si, q| {
             let j = next_q[si];
             next_q[si] += 1;
             if let Some(r) = cached[si][j].take() {
                 debug_assert_eq!(&r.query, q, "cache answer routed to the wrong slot");
+                if tele_on {
+                    let (prov, rollup) = hit_info[si][j].expect("hit info parallels cache answers");
+                    profiles[si].push(QueryProfile::cached(prov, rollup));
+                }
                 return Ok(r);
             }
             let slot = plan_queries
@@ -943,8 +1194,14 @@ impl Engine {
                 .enumerate()
                 .position(|(i, pq)| pool[i].is_some() && owners[i] == si && pq == q)
                 .ok_or_else(|| Error::Exec(ExecError::new("plan lost a query")))?;
+            if tele_on {
+                profiles[si].push(slot_profile[slot]);
+            }
             pool[slot].take().expect("checked above")
         });
+        if tele_on {
+            tele.store_profiles(profiles.iter().flatten().copied().collect());
+        }
         // Admit every fresh result (executed misses and subsumption
         // rollups — exact hits are already resident), seeded with its
         // estimated solo production cost: the simulated time a future hit
@@ -969,6 +1226,55 @@ impl Engine {
             .map_or_else(CacheStats::default, |c| c.stats())
             .since(stats_before);
         let n_classes = plan.classes.len();
+        tele.metrics(|m| {
+            m.observe_window(
+                sets.len() as u64,
+                n_queries as u64,
+                n_classes as u64,
+                sharing.cross_submission_classes as u64,
+                n_exprs as u64,
+            );
+            m.observe_exec(&total.io, total.sim, total.critical);
+            m.observe_cache(
+                cache_stats.exact_hits,
+                cache_stats.subsumption_hits,
+                cache_stats.misses,
+                cache_stats.insertions,
+                cache_stats.evictions,
+                cache_stats.invalidations,
+                cache_stats.patched,
+                cache_stats.patch_drops,
+            );
+        });
+        if let Some(fs) = self.fault_stats() {
+            tele.metrics(|m| {
+                m.set_faults(
+                    fs.checked,
+                    fs.transient,
+                    fs.poisoned_pages,
+                    fs.poison_denials,
+                )
+            });
+        }
+        tele.trace(|t| {
+            if cache_stats.insertions > 0 {
+                t.event(
+                    "cache.admit",
+                    vec![("count", cache_stats.insertions.into())],
+                );
+            }
+            if cache_stats.evictions > 0 {
+                t.event("cache.evict", vec![("count", cache_stats.evictions.into())]);
+            }
+            t.end(
+                "window.close",
+                vec![
+                    ("n_classes", n_classes.into()),
+                    ("sim_ns", total.sim.into()),
+                    ("critical_ns", total.critical.into()),
+                ],
+            );
+        });
         Ok(WindowOutcome {
             plan,
             submissions: routed,
@@ -976,6 +1282,7 @@ impl Engine {
             sharing,
             cache: cache_stats,
             report: timer.finish(total, sets.len(), n_queries, n_classes),
+            profiles,
         })
     }
 
@@ -1068,25 +1375,29 @@ impl Engine {
     ) -> DegradedExecution {
         let mut results: Vec<Result<QueryResult>> = Vec::with_capacity(plan.n_queries());
         let mut per_class = Vec::with_capacity(plan.classes.len());
+        let mut merge_cpu = Vec::with_capacity(plan.classes.len());
         let mut total = ExecReport::default();
         for class in &plan.classes {
             match self.run_class(class, strategy) {
-                Ok((rs, rep)) => {
+                Ok((rs, rep, mc)) => {
                     results.extend(rs.into_iter().map(Ok));
                     total.merge(&rep);
                     per_class.push(rep);
+                    merge_cpu.push(mc);
                 }
                 Err(e) => {
                     for _ in &class.plans {
                         results.push(Err(Error::from(e.clone())));
                     }
                     per_class.push(ExecReport::default());
+                    merge_cpu.push(CpuCounters::default());
                 }
             }
         }
         DegradedExecution {
             results,
             per_class,
+            merge_cpu,
             total,
         }
     }
@@ -1100,7 +1411,7 @@ impl Engine {
         &mut self,
         class: &PlanClass,
         strategy: ExecStrategy,
-    ) -> std::result::Result<(Vec<QueryResult>, ExecReport), ExecError> {
+    ) -> std::result::Result<(Vec<QueryResult>, ExecReport, CpuCounters), ExecError> {
         let hash_qs: Vec<GroupByQuery> = class
             .plans
             .iter()
@@ -1113,7 +1424,7 @@ impl Engine {
             .filter(|p| p.method == JoinMethod::Index)
             .map(|p| p.query.clone())
             .collect();
-        let (rs, rep) = if self.config.threads > 1 {
+        let (rs, rep, merge_cpu) = if self.config.threads > 1 {
             let mut outs = starshare_exec::execute_classes_with(
                 &mut self.ctx,
                 &self.cube,
@@ -1126,11 +1437,14 @@ impl Engine {
                 strategy,
             )?;
             let out = outs.pop().expect("one class in, one out");
-            (out.results, out.report)
+            (out.results, out.report, out.merge_cpu)
         } else if hash_qs.is_empty() {
-            shared_index_join(&mut self.ctx, &self.cube, class.table, &index_qs)?
+            let (rs, rep) = shared_index_join(&mut self.ctx, &self.cube, class.table, &index_qs)?;
+            (rs, rep, CpuCounters::default())
         } else {
-            shared_hybrid_join(&mut self.ctx, &self.cube, class.table, &hash_qs, &index_qs)?
+            let (rs, rep) =
+                shared_hybrid_join(&mut self.ctx, &self.cube, class.table, &hash_qs, &index_qs)?;
+            (rs, rep, CpuCounters::default())
         };
         // rs is ordered hash-then-index — map back to class plan order.
         let mut hash_iter = rs.iter().take(hash_qs.len());
@@ -1147,7 +1461,7 @@ impl Engine {
                 .clone()
             })
             .collect();
-        Ok((ordered, rep))
+        Ok((ordered, rep, merge_cpu))
     }
 
     /// Arms deterministic fault injection on the engine's buffer pool: from

@@ -39,8 +39,9 @@ pub use starshare_exec::{
     execute_classes, execute_classes_with, hash_star_join, index_star_join, reference_eval,
     result_bytes, shared_hybrid_join, shared_index_join, shared_scan_hash_join, AggKernel,
     CacheHit, CacheStats, ClassOutcome, ClassSpec, DimPipeline, ExecContext, ExecError, ExecReport,
-    ExecStrategy, GroupAcc, KernelTier, MorselSpec, QueryResult, ResultCache, WindowReport,
-    WindowTimer, DEFAULT_MORSEL_PAGES, DENSE_MAX_GROUPS,
+    ExecStrategy, GroupAcc, KernelTier, MetricsRegistry, MetricsSnapshot, MorselSpec, Provenance,
+    QueryProfile, QueryResult, ResultCache, Telemetry, TelemetryConfig, WindowReport, WindowTimer,
+    DEFAULT_MORSEL_PAGES, DENSE_MAX_GROUPS,
 };
 pub use starshare_mdx::{
     bind, generate_mdx, paper_queries, parse, Axis, AxisSpec, BindError, BoundAxis, BoundMdx,

@@ -106,13 +106,52 @@ impl CacheStats {
             patch_drops: self.patch_drops - earlier.patch_drops,
         }
     }
+
+    /// JSON object with stable key order (declaration order).
+    pub fn to_json(&self) -> String {
+        let mut o = starshare_obs::json::Obj::new();
+        o.field_u64("exact_hits", self.exact_hits);
+        o.field_u64("subsumption_hits", self.subsumption_hits);
+        o.field_u64("misses", self.misses);
+        o.field_u64("insertions", self.insertions);
+        o.field_u64("evictions", self.evictions);
+        o.field_u64("invalidations", self.invalidations);
+        o.field_u64("patched", self.patched);
+        o.field_u64("patch_drops", self.patch_drops);
+        o.field_f64("hit_ratio", self.hit_ratio());
+        o.finish()
+    }
+}
+
+impl std::fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} exact / {} subsumption hits, {} misses ({:.0}% hit); {} inserted, {} evicted, {} invalidated, {} patched (+{} drops)",
+            self.exact_hits,
+            self.subsumption_hits,
+            self.misses,
+            self.hit_ratio() * 100.0,
+            self.insertions,
+            self.evictions,
+            self.invalidations,
+            self.patched,
+            self.patch_drops
+        )
+    }
 }
 
 /// How a cache lookup answered.
 #[derive(Debug)]
 pub enum CacheHit {
     /// An identical entry: the stored result, a memory read.
-    Exact(QueryResult),
+    Exact {
+        /// The stored answer.
+        result: QueryResult,
+        /// True when the entry was carried to the current epoch by a
+        /// streaming-append delta patch (telemetry provenance).
+        patched: bool,
+    },
     /// A strictly finer covering entry, rolled up to the probe: the
     /// derived result plus the rollup's CPU charge on the simulated clock.
     Subsumption {
@@ -127,7 +166,7 @@ impl CacheHit {
     /// The answer, whichever way it was produced.
     pub fn into_result(self) -> QueryResult {
         match self {
-            CacheHit::Exact(r) => r,
+            CacheHit::Exact { result, .. } => result,
             CacheHit::Subsumption { result, .. } => result,
         }
     }
@@ -152,6 +191,8 @@ struct Entry {
     benefit: SimTime,
     /// Insertion sequence, for deterministic eviction ties.
     seq: u64,
+    /// True once a streaming append has delta-patched this entry.
+    patched: bool,
 }
 
 /// The bounded, subsumption-aware, epoch-invalidated result cache.
@@ -348,6 +389,7 @@ impl ResultCache {
             }
             e.bytes = result_bytes(&e.result);
             e.epoch = epoch;
+            e.patched = true;
             self.stats.patched += 1;
             bytes += e.bytes;
             kept.push(e);
@@ -390,7 +432,10 @@ impl ResultCache {
             e.benefit += e.base_cost;
             self.stats.exact_hits += 1;
             let result = e.result.clone();
-            return Some(CacheHit::Exact(result));
+            return Some(CacheHit::Exact {
+                result,
+                patched: e.patched,
+            });
         }
 
         // Subsumption: among covering finer entries, roll up the one with
@@ -446,6 +491,7 @@ impl ResultCache {
             base_cost: cost,
             benefit: cost,
             seq: self.next_seq,
+            patched: false,
         });
         self.next_seq += 1;
         self.bytes += bytes;

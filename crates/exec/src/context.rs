@@ -2,6 +2,7 @@
 
 use std::time::{Duration, Instant};
 
+use starshare_obs::{json::Obj, Telemetry};
 use starshare_storage::{BufferPool, CpuCounters, HardwareModel, IoStats, SimTime};
 
 /// Shared execution state: the buffer pool and the hardware model.
@@ -15,6 +16,9 @@ pub struct ExecContext {
     pub pool: BufferPool,
     /// Cost constants for the simulated clock.
     pub model: HardwareModel,
+    /// Telemetry handle (disabled by default). Observation only: nothing
+    /// the executor computes may depend on it.
+    pub telemetry: Telemetry,
 }
 
 impl ExecContext {
@@ -23,6 +27,7 @@ impl ExecContext {
         ExecContext {
             pool: BufferPool::for_model(&model),
             model,
+            telemetry: Telemetry::off(),
         }
     }
 
@@ -121,6 +126,25 @@ impl ExecReport {
     /// Simulated CPU portion.
     pub fn sim_cpu(&self, model: &HardwareModel) -> SimTime {
         model.cpu_time(&self.cpu)
+    }
+
+    /// JSON object with stable key order. Host wall/busy times are
+    /// reported in microseconds and are the only non-deterministic
+    /// fields; everything else is counter-derived.
+    pub fn to_json(&self) -> String {
+        let mut o = Obj::new();
+        o.field_u64("sim_ns", self.sim.as_nanos());
+        o.field_u64("critical_ns", self.critical.as_nanos());
+        o.field_u64("seq_faults", self.io.seq_faults);
+        o.field_u64("random_faults", self.io.random_faults);
+        o.field_u64("hits", self.io.hits);
+        o.field_u64("hash_builds", self.cpu.hash_builds);
+        o.field_u64("hash_probes", self.cpu.hash_probes);
+        o.field_u64("agg_updates", self.cpu.agg_updates);
+        o.field_u64("tuple_copies", self.cpu.tuple_copies);
+        o.field_u64("wall_us", self.wall.as_micros() as u64);
+        o.field_u64("busy_us", self.busy.as_micros() as u64);
+        o.finish()
     }
 }
 

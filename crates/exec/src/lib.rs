@@ -50,4 +50,7 @@ pub use reference::reference_eval;
 pub use result::QueryResult;
 pub use retry::{with_retry, MAX_READ_RETRIES};
 pub use rollup::DimPipeline;
+pub use starshare_obs::{
+    MetricsRegistry, MetricsSnapshot, Provenance, QueryProfile, Telemetry, TelemetryConfig,
+};
 pub use window::{WindowReport, WindowTimer};

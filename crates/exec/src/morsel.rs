@@ -144,14 +144,18 @@ pub(crate) fn probe_morsels(heap: &HeapFile, total: &Bitmap, pages: u32) -> Vec<
 /// unit-indexed; the scheduler guarantees each unit runs exactly once but
 /// promises nothing about *where* or *in what order* — that is the whole
 /// determinism bargain.
+///
+/// Returns the number of successful steals — a scheduling accident, not a
+/// data-derived quantity: callers may count it in metrics but must never
+/// let it into traces or anything priced on the simulated clock.
 pub(crate) fn run_units<S>(
     threads: usize,
     n_units: usize,
     make_scratch: impl Fn() -> S + Sync,
     run: impl Fn(&mut S, usize) + Sync,
-) {
+) -> u64 {
     if n_units == 0 {
-        return;
+        return 0;
     }
     let threads = threads.max(1).min(n_units);
     if threads == 1 {
@@ -159,7 +163,7 @@ pub(crate) fn run_units<S>(
         for u in 0..n_units {
             run(&mut scratch, u);
         }
-        return;
+        return 0;
     }
     // Seed round-robin: unit u starts in deque u % threads. All units exist
     // up front (none are spawned mid-run), so "every deque empty" is a
@@ -170,15 +174,23 @@ pub(crate) fn run_units<S>(
         .collect();
     let pop = |d: &Mutex<VecDeque<usize>>| d.lock().expect("no panics hold deques").pop_front();
     let steal = |d: &Mutex<VecDeque<usize>>| d.lock().expect("no panics hold deques").pop_back();
+    let steals = std::sync::atomic::AtomicU64::new(0);
     std::thread::scope(|s| {
         for w in 0..threads {
             let (deques, run, make_scratch) = (&deques, &run, &make_scratch);
-            let (pop, steal) = (&pop, &steal);
+            let (pop, steal, steals) = (&pop, &steal, &steals);
             s.spawn(move || {
                 let mut scratch = make_scratch();
                 loop {
-                    let unit = pop(&deques[w])
-                        .or_else(|| (1..threads).find_map(|v| steal(&deques[(w + v) % threads])));
+                    let unit = pop(&deques[w]).or_else(|| {
+                        (1..threads).find_map(|v| {
+                            let u = steal(&deques[(w + v) % threads]);
+                            if u.is_some() {
+                                steals.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            }
+                            u
+                        })
+                    });
                     match unit {
                         Some(u) => run(&mut scratch, u),
                         None => break,
@@ -187,6 +199,7 @@ pub(crate) fn run_units<S>(
             });
         }
     });
+    steals.into_inner()
 }
 
 #[cfg(test)]

@@ -112,6 +112,12 @@ pub struct ClassOutcome {
     pub results: Vec<QueryResult>,
     /// The class's cost report.
     pub report: ExecReport,
+    /// The partial-merge portion of the class's CPU (already included in
+    /// `report.cpu`), broken out so per-query profiles can attribute the
+    /// fold separately. Zero on the sequential operators.
+    pub merge_cpu: CpuCounters,
+    /// Morsels the class split into.
+    pub n_morsels: u64,
 }
 
 /// How a class's morsels read the base table.
@@ -391,6 +397,12 @@ struct MergeCost {
     critical: SimTime,
     /// Summed worker time spent merging.
     busy: Duration,
+    /// Pair merges performed (tree: exactly `morsels - 1`; fold: one
+    /// absorption per partial). Deterministic.
+    pairs: u64,
+    /// Successful steals inside the merge scheduler — a scheduling
+    /// accident, reported to metrics only.
+    steals: u64,
 }
 
 /// A merge pair's input slot: destination and source accumulator sets,
@@ -418,6 +430,8 @@ fn tree_merge(
         cpu: CpuCounters::default(),
         critical: SimTime::ZERO,
         busy: Duration::ZERO,
+        pairs: 0,
+        steals: 0,
     };
     if layer.is_empty() {
         // No morsels (empty table or empty candidate set): fresh, empty
@@ -440,7 +454,8 @@ fn tree_merge(
             .collect();
         let leftover = drain.next();
         let outputs: Vec<MergePairOutput> = (0..n_pairs).map(|_| Mutex::new(None)).collect();
-        run_units(
+        cost.pairs += n_pairs as u64;
+        cost.steals += run_units(
             threads,
             n_pairs,
             || (),
@@ -501,10 +516,13 @@ fn serial_fold(
         }
     }
     let critical = model.cpu_time(&cpu);
+    let pairs = parts.len() as u64;
     let cost = MergeCost {
         cpu,
         critical,
         busy: start.elapsed(),
+        pairs,
+        steals: 0,
     };
     (merged, cost)
 }
@@ -633,7 +651,7 @@ pub fn execute_classes_with(
         ExecStrategy::Morsel(_) => host_capped(threads),
         ExecStrategy::LegacyFixed8 => threads,
     };
-    run_units(workers, units.len(), WorkerScratch::default, |ws, u| {
+    let steals = run_units(workers, units.len(), WorkerScratch::default, |ws, u| {
         let (c, m) = units[u];
         let class = &prepared[c];
         let (lo, hi) = class.morsels[m];
@@ -644,26 +662,61 @@ pub fn execute_classes_with(
     for (&(c, _), slot) in units.iter().zip(slots) {
         outputs[c].push(slot.into_inner().expect("scope joined").expect("unit ran"));
     }
+    // Steals are scheduling accidents: metrics only, never traced (see the
+    // determinism rules in `starshare_obs::trace`).
+    let tele = ctx.telemetry.clone();
+    tele.metrics(|m| {
+        m.morsels += units.len() as u64;
+        m.steals += steals;
+    });
 
     // ---- Phase 3 (coordinator, class order): merge partials, total up.
+    // Trace emission happens here, in class/morsel slot order, from
+    // data-derived quantities only — byte-identical across thread counts.
     let mut outcomes = Vec::with_capacity(prepared.len());
-    for (class, parts) in prepared.into_iter().zip(outputs) {
+    for (ci, (class, parts)) in prepared.into_iter().zip(outputs).enumerate() {
         let mut io = class.phase1_io;
         let mut cpu = class.phase1_cpu;
         let sim1 = class.phase1_io.io_time(&model) + model.cpu_time(&class.phase1_cpu);
         let mut sim = sim1;
         let mut slowest = SimTime::ZERO;
         let mut busy = class.phase1_wall;
+        tele.trace(|t| {
+            t.start(
+                "exec.class",
+                vec![
+                    ("class", ci.into()),
+                    ("n_queries", class.states.len().into()),
+                    ("n_morsels", parts.len().into()),
+                    ("prepare_ns", sim1.into()),
+                ],
+            )
+        });
         let mut groups_per_morsel = Vec::with_capacity(parts.len());
-        for part in parts {
+        for (mi, part) in parts.into_iter().enumerate() {
             io.merge(&part.io);
             cpu.merge(&part.cpu);
             let part_sim = part.io.io_time(&model) + model.cpu_time(&part.cpu);
             sim += part_sim;
             slowest = slowest.max(part_sim);
             busy += part.wall;
+            tele.trace(|t| {
+                let (lo, hi) = class.morsels[mi];
+                t.event(
+                    "exec.morsel",
+                    vec![
+                        ("slot", mi.into()),
+                        ("lo", lo.into()),
+                        ("hi", hi.into()),
+                        ("sim_ns", part_sim.into()),
+                        ("seq_faults", part.io.seq_faults.into()),
+                        ("random_faults", part.io.random_faults.into()),
+                    ],
+                )
+            });
             groups_per_morsel.push(part.groups);
         }
+        let n_morsels = groups_per_morsel.len() as u64;
 
         let (merged, merge) = match strategy {
             ExecStrategy::Morsel(_) => {
@@ -674,6 +727,20 @@ pub fn execute_classes_with(
         cpu.merge(&merge.cpu);
         sim += model.cpu_time(&merge.cpu);
         busy += merge.busy;
+        tele.metrics(|m| {
+            m.merge_pairs += merge.pairs;
+            m.steals += merge.steals;
+        });
+        tele.trace(|t| {
+            t.event(
+                "exec.merge",
+                vec![
+                    ("pairs", merge.pairs.into()),
+                    ("cpu_ns", model.cpu_time(&merge.cpu).into()),
+                    ("critical_ns", merge.critical.into()),
+                ],
+            )
+        });
         // Elapsed latency: phase 1 (serial, per class) plus everything from
         // the parallel phase's start through this class's merge. Classes
         // share the worker pool, so their elapsed windows overlap; the
@@ -701,16 +768,26 @@ pub fn execute_classes_with(
             .collect();
 
         ctx.pool.add_stats(&io);
+        let critical = sim1 + slowest + merge.critical;
+        tele.trace(|t| {
+            t.advance(critical);
+            t.end(
+                "exec.class",
+                vec![("sim_ns", sim.into()), ("critical_ns", critical.into())],
+            )
+        });
         outcomes.push(ClassOutcome {
             results,
             report: ExecReport {
                 io,
                 cpu,
                 sim,
-                critical: sim1 + slowest + merge.critical,
+                critical,
                 wall,
                 busy,
             },
+            merge_cpu: merge.cpu,
+            n_morsels,
         });
     }
     Ok(outcomes)

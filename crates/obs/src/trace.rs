@@ -1,0 +1,373 @@
+//! Deterministic structured tracing: a span tree per submission,
+//! ring-buffered in memory and drainable as JSONL.
+//!
+//! ### Determinism rules
+//!
+//! The acceptance bar is *byte-identical drained traces* for the same
+//! seed, across runs and across thread counts (on the partitioned
+//! executor path). Three rules make that hold:
+//!
+//! 1. **Emission order is coordinator order.** Every span and event is
+//!    emitted from single-threaded coordinator code (the engine between
+//!    operator phases, the executor's phase-1/phase-3 loops, the serving
+//!    coordinator between windows), walking data in deterministic order —
+//!    class order, morsel slot order, submission input order. Worker
+//!    threads never emit.
+//! 2. **Timestamps are simulated.** Every event carries the telemetry
+//!    clock — a logical clock advanced only by simulated-time deltas,
+//!    which are themselves deterministic. Host wall/busy times never
+//!    appear in a trace.
+//! 3. **Scheduling accidents are metrics, structure is trace.** Which
+//!    worker ran a morsel, and how many steals it took, legitimately vary
+//!    run to run; they are counted in the metrics registry
+//!    ([`crate::metrics`]) and excluded from trace events, which carry
+//!    only data-derived fields (morsel boundaries, per-morsel simulated
+//!    cost, plan decisions, cache outcomes).
+//!
+//! Span IDs derive from the configured per-run seed and the event
+//! sequence number through SplitMix64, so two runs of the same seed
+//! produce identical IDs while distinct runs remain distinguishable.
+
+use std::collections::VecDeque;
+
+use starshare_storage::SimTime;
+
+use crate::json::{escape, float, Obj};
+
+/// A field value on a span or event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// An unsigned integer.
+    U64(u64),
+    /// A float (rendered `null` when non-finite).
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// A simulated time, rendered as nanoseconds.
+    Sim(SimTime),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<SimTime> for Value {
+    fn from(v: SimTime) -> Self {
+        Value::Sim(v)
+    }
+}
+
+fn value_json(v: &Value) -> String {
+    match v {
+        Value::U64(n) => n.to_string(),
+        Value::F64(f) => float(*f),
+        Value::Str(s) => escape(s),
+        Value::Sim(t) => t.as_nanos().to_string(),
+    }
+}
+
+/// What kind of trace record a line is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Opens a span (becomes the parent of everything until its end).
+    Start,
+    /// Closes the innermost open span.
+    End,
+    /// A point event inside the current span.
+    Event,
+}
+
+impl Kind {
+    fn as_str(self) -> &'static str {
+        match self {
+            Kind::Start => "start",
+            Kind::End => "end",
+            Kind::Event => "event",
+        }
+    }
+}
+
+/// One trace record.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Emission sequence number (monotone within a run).
+    pub seq: u64,
+    /// The telemetry clock at emission, in simulated nanoseconds.
+    pub ts_nanos: u64,
+    /// The record's span ID (for `Start`, the new span; for `End`, the
+    /// span being closed; for `Event`, the enclosing span).
+    pub span: u64,
+    /// The parent span's ID (0 at the root).
+    pub parent: u64,
+    /// Record kind.
+    pub kind: Kind,
+    /// Span/event name (e.g. `window.close`, `exec.morsel`).
+    pub name: &'static str,
+    /// Structured fields, in emission order.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+impl TraceEvent {
+    /// Renders the record as one JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut o = Obj::new();
+        o.field_u64("seq", self.seq);
+        o.field_u64("ts", self.ts_nanos);
+        o.field_str("span", &format!("{:016x}", self.span));
+        o.field_str("parent", &format!("{:016x}", self.parent));
+        o.field_str("kind", self.kind.as_str());
+        o.field_str("name", self.name);
+        if !self.fields.is_empty() {
+            let mut f = Obj::new();
+            for (k, v) in &self.fields {
+                f.field_raw(k, &value_json(v));
+            }
+            o.field_raw("fields", &f.finish());
+        }
+        o.finish()
+    }
+}
+
+/// SplitMix64 — the same mixing function the deterministic hasher and the
+/// vendored PRNG build on.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The ring-buffered tracer. Oldest records drop first when the buffer is
+/// full (the drop count is reported by [`Tracer::dropped`] and in the
+/// drain's trailer line).
+#[derive(Debug)]
+pub struct Tracer {
+    seed: u64,
+    cap: usize,
+    seq: u64,
+    clock_nanos: u64,
+    buf: VecDeque<TraceEvent>,
+    dropped: u64,
+    /// Open span stack: (span id).
+    open: Vec<u64>,
+}
+
+impl Tracer {
+    /// A tracer with the given per-run seed and ring capacity (records).
+    pub fn new(seed: u64, capacity: usize) -> Self {
+        Tracer {
+            seed,
+            cap: capacity.max(1),
+            seq: 0,
+            clock_nanos: 0,
+            buf: VecDeque::new(),
+            dropped: 0,
+            open: Vec::new(),
+        }
+    }
+
+    /// The telemetry clock, in simulated nanoseconds.
+    pub fn clock_nanos(&self) -> u64 {
+        self.clock_nanos
+    }
+
+    /// Advances the telemetry clock by a simulated-time delta.
+    pub fn advance(&mut self, sim: SimTime) {
+        self.clock_nanos += sim.as_nanos();
+    }
+
+    /// Records dropped so far to honor the ring capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Buffered records.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    fn push(&mut self, ev: TraceEvent) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(ev);
+    }
+
+    fn next_span_id(&mut self) -> u64 {
+        // Seed ^ sequence through SplitMix64: stable for a fixed seed, and
+        // never 0 in practice (0 is reserved for "no parent").
+        splitmix64(self.seed ^ self.seq).max(1)
+    }
+
+    /// Opens a span; subsequent records nest under it until
+    /// [`end`](Tracer::end).
+    pub fn start(&mut self, name: &'static str, fields: Vec<(&'static str, Value)>) {
+        let span = self.next_span_id();
+        let parent = self.open.last().copied().unwrap_or(0);
+        let ev = TraceEvent {
+            seq: self.seq,
+            ts_nanos: self.clock_nanos,
+            span,
+            parent,
+            kind: Kind::Start,
+            name,
+            fields,
+        };
+        self.seq += 1;
+        self.open.push(span);
+        self.push(ev);
+    }
+
+    /// Closes the innermost open span (no-op on an empty stack).
+    pub fn end(&mut self, name: &'static str, fields: Vec<(&'static str, Value)>) {
+        let Some(span) = self.open.pop() else { return };
+        let parent = self.open.last().copied().unwrap_or(0);
+        let ev = TraceEvent {
+            seq: self.seq,
+            ts_nanos: self.clock_nanos,
+            span,
+            parent,
+            kind: Kind::End,
+            name,
+            fields,
+        };
+        self.seq += 1;
+        self.push(ev);
+    }
+
+    /// Records a point event inside the current span.
+    pub fn event(&mut self, name: &'static str, fields: Vec<(&'static str, Value)>) {
+        let span = self.open.last().copied().unwrap_or(0);
+        let ev = TraceEvent {
+            seq: self.seq,
+            ts_nanos: self.clock_nanos,
+            span,
+            parent: span,
+            kind: Kind::Event,
+            name,
+            fields,
+        };
+        self.seq += 1;
+        self.push(ev);
+    }
+
+    /// Drains the buffer as JSONL: one record per line plus a final
+    /// trailer line with the drain's bookkeeping (records, drops, clock).
+    pub fn drain_jsonl(&mut self) -> String {
+        let mut out = String::new();
+        for ev in self.buf.drain(..) {
+            out.push_str(&ev.to_json());
+            out.push('\n');
+        }
+        let mut trailer = Obj::new();
+        trailer.field_str("kind", "trailer");
+        trailer.field_u64("emitted", self.seq);
+        trailer.field_u64("dropped", self.dropped);
+        trailer.field_u64("clock_ns", self.clock_nanos);
+        out.push_str(&trailer.finish());
+        out.push('\n');
+        out
+    }
+
+    /// Drains the raw records (oldest first), leaving the buffer empty.
+    pub fn drain(&mut self) -> Vec<TraceEvent> {
+        self.buf.drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo(seed: u64) -> Tracer {
+        let mut t = Tracer::new(seed, 64);
+        t.start("window.close", vec![("n_submissions", 2u64.into())]);
+        t.advance(SimTime::from_nanos(500));
+        t.event("cache.probe", vec![("outcome", "miss".into())]);
+        t.start("opt.plan", vec![("heuristic", "tplo".into())]);
+        t.end("opt.plan", vec![("n_classes", 1u64.into())]);
+        t.end(
+            "window.close",
+            vec![("sim", SimTime::from_nanos(500).into())],
+        );
+        t
+    }
+
+    #[test]
+    fn same_seed_drains_byte_identical() {
+        let a = demo(7).drain_jsonl();
+        let b = demo(7).drain_jsonl();
+        assert_eq!(a, b);
+        assert_ne!(a, demo(8).drain_jsonl(), "seed changes span ids");
+    }
+
+    #[test]
+    fn spans_nest_and_events_attach() {
+        let mut t = demo(1);
+        let evs = t.drain();
+        assert_eq!(evs.len(), 5);
+        assert_eq!(evs[0].kind, Kind::Start);
+        assert_eq!(evs[0].parent, 0);
+        // The probe event and the opt.plan span nest under window.close.
+        assert_eq!(evs[1].span, evs[0].span);
+        assert_eq!(evs[2].parent, evs[0].span);
+        assert_eq!(evs[3].span, evs[2].span);
+        assert_eq!(evs[4].span, evs[0].span);
+        // Timestamps follow the advanced clock.
+        assert_eq!(evs[0].ts_nanos, 0);
+        assert_eq!(evs[1].ts_nanos, 500);
+    }
+
+    #[test]
+    fn ring_drops_oldest() {
+        let mut t = Tracer::new(3, 2);
+        for _ in 0..5 {
+            t.event("e", vec![]);
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 3);
+        let evs = t.drain();
+        assert_eq!(evs[0].seq, 3);
+        assert_eq!(evs[1].seq, 4);
+    }
+
+    #[test]
+    fn jsonl_lines_are_objects_with_trailer() {
+        let mut t = demo(9);
+        let text = t.drain_jsonl();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 6);
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+        assert!(lines[5].contains("\"kind\":\"trailer\""));
+        assert!(t.is_empty());
+    }
+}

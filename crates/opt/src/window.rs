@@ -66,6 +66,36 @@ pub struct SharingStats {
     pub shared_scan_ratio: f64,
 }
 
+impl SharingStats {
+    /// JSON object with stable key order (declaration order).
+    pub fn to_json(&self) -> String {
+        let mut o = starshare_obs::json::Obj::new();
+        o.field_u64("n_submissions", self.n_submissions as u64);
+        o.field_u64("n_queries", self.n_queries as u64);
+        o.field_u64("n_classes", self.n_classes as u64);
+        o.field_u64(
+            "cross_submission_classes",
+            self.cross_submission_classes as u64,
+        );
+        o.field_f64("shared_scan_ratio", self.shared_scan_ratio);
+        o.finish()
+    }
+}
+
+impl std::fmt::Display for SharingStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} submissions, {} queries -> {} classes ({} cross-submission, {:.2} shared-scan ratio)",
+            self.n_submissions,
+            self.n_queries,
+            self.n_classes,
+            self.cross_submission_classes,
+            self.shared_scan_ratio
+        )
+    }
+}
+
 /// A planned optimization window: the union plan plus per-slot submission
 /// provenance and sharing statistics.
 #[derive(Debug, Clone)]

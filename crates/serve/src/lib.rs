@@ -51,4 +51,4 @@ mod server;
 mod session;
 
 pub use server::{Serve, Server, ServerStats};
-pub use session::{Reply, Session, Ticket, WindowInfo};
+pub use session::{CloseReason, Reply, Session, Ticket, WindowInfo};

@@ -9,11 +9,11 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use starshare_core::{
-    AppendOutcome, CacheStats, Engine, Error, ExecStrategy, MorselSpec, Result, SimTime,
-    WindowConfig, WindowOutcome,
+    AppendOutcome, CacheStats, Engine, Error, ExecStrategy, MetricsSnapshot, MorselSpec, Result,
+    SimTime, WindowConfig, WindowOutcome,
 };
 
-use crate::session::{Reply, Session, TenantState, WindowInfo};
+use crate::session::{CloseReason, Reply, Session, TenantState, WindowInfo};
 
 /// A coordinator-bound message.
 #[derive(Debug)]
@@ -67,6 +67,11 @@ pub(crate) struct Shared {
     appended_rows: AtomicU64,
     cache_patched: AtomicU64,
     cache_patch_drops: AtomicU64,
+    /// The engine's metrics snapshot as of the most recently completed
+    /// window or append (the coordinator owns the engine, so sessions
+    /// read metrics through this relay). `None` until something ran, or
+    /// when the engine's telemetry is off.
+    latest_metrics: Mutex<Option<MetricsSnapshot>>,
 }
 
 impl Shared {
@@ -87,7 +92,18 @@ impl Shared {
             appended_rows: AtomicU64::new(0),
             cache_patched: AtomicU64::new(0),
             cache_patch_drops: AtomicU64::new(0),
+            latest_metrics: Mutex::new(None),
         }
+    }
+
+    fn set_metrics(&self, snapshot: Option<MetricsSnapshot>) {
+        if snapshot.is_some() {
+            *self.latest_metrics.lock().expect("metrics relay poisoned") = snapshot;
+        }
+    }
+
+    pub(crate) fn latest_metrics(&self) -> Option<MetricsSnapshot> {
+        *self.latest_metrics.lock().expect("metrics relay poisoned")
     }
 
     pub(crate) fn closed(&self) -> bool {
@@ -194,6 +210,46 @@ pub struct ServerStats {
     pub cache_patch_drops: u64,
 }
 
+impl ServerStats {
+    /// JSON object with stable key order (declaration order).
+    pub fn to_json(&self) -> String {
+        let mut o = starshare_obs::json::Obj::new();
+        o.field_u64("windows", self.windows);
+        o.field_u64("submissions", self.submissions);
+        o.field_u64("expressions", self.expressions);
+        o.field_u64("rejected_queue", self.rejected_queue);
+        o.field_u64("rejected_tenant", self.rejected_tenant);
+        o.field_u64("cache_hits", self.cache_hits);
+        o.field_u64("cache_subsumption_hits", self.cache_subsumption_hits);
+        o.field_u64("cache_misses", self.cache_misses);
+        o.field_u64("appends", self.appends);
+        o.field_u64("appended_rows", self.appended_rows);
+        o.field_u64("cache_patched", self.cache_patched);
+        o.field_u64("cache_patch_drops", self.cache_patch_drops);
+        o.finish()
+    }
+}
+
+impl std::fmt::Display for ServerStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} windows, {} submissions, {} expressions ({} rejected), \
+             cache {}/{} hit/miss, {} appends ({} rows, {} patched, {} dropped)",
+            self.windows,
+            self.submissions,
+            self.expressions,
+            self.rejected_queue + self.rejected_tenant,
+            self.cache_hits,
+            self.cache_misses,
+            self.appends,
+            self.appended_rows,
+            self.cache_patched,
+            self.cache_patch_drops
+        )
+    }
+}
+
 /// A running multi-session server: a coordinator thread owning the
 /// [`Engine`], fed by [`Session`] handles. Dropping the server shuts it
 /// down and discards the engine; use [`shutdown`](Server::shutdown) to
@@ -247,6 +303,17 @@ impl Server {
     /// A snapshot of the serving counters.
     pub fn stats(&self) -> ServerStats {
         self.shared.stats()
+    }
+
+    /// The engine's unified metrics snapshot as of the most recently
+    /// completed window or append (`None` when the engine's telemetry is
+    /// off — see [`EngineConfig::telemetry`] — or before anything ran).
+    /// The coordinator thread owns the engine, so this is a relay updated
+    /// at window/append boundaries, not a live read.
+    ///
+    /// [`EngineConfig::telemetry`]: starshare_core::EngineConfig::telemetry
+    pub fn metrics(&self) -> Option<MetricsSnapshot> {
+        self.shared.latest_metrics()
     }
 
     /// Shuts the server down and hands the [`Engine`] back: in-flight
@@ -342,11 +409,21 @@ fn coordinate(
         }
 
         window_id += 1;
+        let close_reason = if stop {
+            CloseReason::Shutdown
+        } else if n_exprs >= cfg.max_exprs {
+            CloseReason::Exprs
+        } else if n_bytes >= cfg.max_bytes {
+            CloseReason::Bytes
+        } else {
+            CloseReason::Deadline
+        };
         shared.note_window(batch.len(), n_exprs);
-        run_window(&mut engine, &cfg, &shared, window_id, batch);
+        run_window(&mut engine, &cfg, &shared, window_id, close_reason, batch);
         for a in pending_appends {
             apply_append(&mut engine, &shared, a);
         }
+        shared.set_metrics(engine.metrics());
         if stop {
             break;
         }
@@ -376,6 +453,7 @@ fn apply_append(engine: &mut Engine, shared: &Shared, req: AppendReq) {
     if let Ok(o) = &out {
         shared.note_append(o);
     }
+    shared.set_metrics(engine.metrics());
     let _ = req.reply.try_send(out);
 }
 
@@ -386,6 +464,7 @@ fn run_window(
     cfg: &WindowConfig,
     shared: &Shared,
     window_id: u64,
+    close_reason: CloseReason,
     batch: Vec<Submission>,
 ) {
     let subs: Vec<&[String]> = batch.iter().map(|s| s.exprs.as_slice()).collect();
@@ -393,10 +472,29 @@ fn run_window(
     // Appends only land between windows, so the epoch is fixed for the
     // whole window: every answer below is a read of this one snapshot.
     let epoch = engine.cube().epoch;
+    // Telemetry: the submissions aboard and why the window froze, emitted
+    // coordinator-side in batch order (the engine's own `window.close`
+    // span follows inside `mdx_window`).
+    let tele = engine.telemetry().clone();
+    tele.metrics(|m| m.queue_depth = batch.len() as u64);
+    tele.trace(|t| {
+        for (slot, s) in batch.iter().enumerate() {
+            t.event(
+                "session.submit",
+                vec![
+                    ("window_id", window_id.into()),
+                    ("slot", slot.into()),
+                    ("tenant", s.tenant.name.as_str().into()),
+                    ("n_exprs", s.exprs.len().into()),
+                    ("close_reason", close_reason.as_str().into()),
+                ],
+            );
+        }
+    });
     match engine.mdx_window(&subs, cfg.optimizer, strategy) {
         Ok(out) => {
             shared.note_cache(&out.cache);
-            deliver(window_id, epoch, batch, out);
+            deliver(window_id, epoch, close_reason, batch, out);
         }
         Err(e) if batch.len() == 1 => {
             for s in batch {
@@ -412,7 +510,7 @@ fn run_window(
                 match engine.mdx_window(&[s.exprs.as_slice()], cfg.optimizer, strategy) {
                     Ok(out) => {
                         shared.note_cache(&out.cache);
-                        deliver(window_id, epoch, vec![s], out);
+                        deliver(window_id, epoch, close_reason, vec![s], out);
                     }
                     Err(e) => {
                         let _ = s.reply.try_send(Err(e));
@@ -425,7 +523,13 @@ fn run_window(
 }
 
 /// Routes one executed window's outcomes back to its submissions.
-fn deliver(window_id: u64, epoch: u64, batch: Vec<Submission>, out: WindowOutcome) {
+fn deliver(
+    window_id: u64,
+    epoch: u64,
+    close_reason: CloseReason,
+    batch: Vec<Submission>,
+    out: WindowOutcome,
+) {
     let info = WindowInfo {
         window_id,
         epoch,
@@ -439,14 +543,19 @@ fn deliver(window_id: u64, epoch: u64, batch: Vec<Submission>, out: WindowOutcom
         sim: out.report.exec.sim,
         wall: out.report.wall,
         busy: out.report.busy(),
+        close_reason,
+        profiles: Vec::new(),
     };
     debug_assert_eq!(out.submissions.len(), batch.len());
     let mut attributed = out.attributed.into_iter();
+    let mut profiles = out.profiles.into_iter();
     for (s, outcomes) in batch.into_iter().zip(out.submissions) {
+        let mut window = info.clone();
+        window.profiles = profiles.next().unwrap_or_default();
         let reply = Reply {
             outcomes,
             attributed: attributed.next().unwrap_or(SimTime::ZERO),
-            window: info,
+            window,
         };
         let _ = s.reply.try_send(Ok(reply));
         s.tenant.release();

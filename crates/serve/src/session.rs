@@ -5,7 +5,7 @@ use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::time::Duration;
 
-use starshare_core::{AppendOutcome, Error, ExprOutcome, Overload, Result, SimTime};
+use starshare_core::{AppendOutcome, Error, ExprOutcome, Overload, QueryProfile, Result, SimTime};
 
 use crate::server::{AppendReq, Msg, Shared, Submission};
 
@@ -178,8 +178,47 @@ impl Reply {
     }
 }
 
+/// Why an optimization window stopped admitting submissions and ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CloseReason {
+    /// The expression-count budget filled ([`WindowConfig::max_exprs`]).
+    ///
+    /// [`WindowConfig::max_exprs`]: starshare_core::WindowConfig::max_exprs
+    Exprs,
+    /// The pooled MDX byte budget filled ([`WindowConfig::max_bytes`]).
+    ///
+    /// [`WindowConfig::max_bytes`]: starshare_core::WindowConfig::max_bytes
+    Bytes,
+    /// The deadline since the first submission expired
+    /// ([`WindowConfig::max_wait`]).
+    ///
+    /// [`WindowConfig::max_wait`]: starshare_core::WindowConfig::max_wait
+    Deadline,
+    /// The server began shutting down; the in-flight window ran early so
+    /// its submissions still answer.
+    Shutdown,
+}
+
+impl CloseReason {
+    /// Stable lowercase label (used in traces and JSON).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CloseReason::Exprs => "exprs",
+            CloseReason::Bytes => "bytes",
+            CloseReason::Deadline => "deadline",
+            CloseReason::Shutdown => "shutdown",
+        }
+    }
+}
+
+impl std::fmt::Display for CloseReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// What a submission learns about the optimization window it shared.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct WindowInfo {
     /// Monotonic window sequence number (1-based) on this server.
     pub window_id: u64,
@@ -210,6 +249,15 @@ pub struct WindowInfo {
     pub wall: Duration,
     /// Summed busy time across the window (plan wall + worker busy).
     pub busy: Duration,
+    /// Which close condition froze the window.
+    pub close_reason: CloseReason,
+    /// One profile per bound query of **this submission** (binding
+    /// order): cache provenance plus phase attribution of the simulated
+    /// time. Empty when the engine's telemetry is off
+    /// ([`EngineConfig::telemetry`]).
+    ///
+    /// [`EngineConfig::telemetry`]: starshare_core::EngineConfig::telemetry
+    pub profiles: Vec<QueryProfile>,
 }
 
 #[cfg(test)]

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! testkit fuzz [--start N] [--count N] [--faults] [--fault-seeds N] [--out PATH]
-//! testkit windows [--start N] [--count N] [--faults]
+//! testkit windows [--start N] [--count N] [--faults] [--telemetry-out BASE]
 //! testkit cache [--start N] [--count N] [--faults]
 //! testkit maintenance [--start N] [--count N] [--faults] [--out PATH]
 //! testkit replay PATH
@@ -25,15 +25,20 @@
 //! failure is shrunk to a minimal case and written to `--out` (default
 //! `testkit-repro.txt`) in the repro format; the process exits non-zero.
 //! `replay` re-runs such a file and reports pass/fail — the loop a bug
-//! report travels through.
+//! report travels through. Every written repro comes with two telemetry
+//! sidecars (`<out>.trace.jsonl`, `<out>.metrics.json`) from a
+//! telemetry-armed replay of the minimized case, and `windows
+//! --telemetry-out BASE` writes the same pair for one sweep seed so CI can
+//! upload a span tree from a known-deterministic workload.
 
 use std::process::ExitCode;
 
 use starshare_core::{FaultPlan, OptimizerKind};
 use starshare_testkit::{
     check_cache_differential, check_fault_isolation, check_maintenance_differential,
-    check_windowed_vs_solo, format_case, generate_session, harness_spec, maintenance_case,
-    parse_case, run_case, shrink, Case, FaultHarness, Oracle,
+    check_windowed_vs_solo, dump_case_telemetry, dump_window_telemetry, format_case,
+    generate_session, harness_spec, maintenance_case, parse_case, run_case, shrink, Case,
+    FaultHarness, Oracle,
 };
 
 fn main() -> ExitCode {
@@ -46,7 +51,9 @@ fn main() -> ExitCode {
         Some("replay") => replay(&args[1..]),
         _ => {
             eprintln!("usage: testkit fuzz [--start N] [--count N] [--faults] [--fault-seeds N] [--out PATH]");
-            eprintln!("       testkit windows [--start N] [--count N] [--faults]");
+            eprintln!(
+                "       testkit windows [--start N] [--count N] [--faults] [--telemetry-out BASE]"
+            );
             eprintln!("       testkit cache [--start N] [--count N] [--faults]");
             eprintln!("       testkit maintenance [--start N] [--count N] [--faults] [--out PATH]");
             eprintln!("       testkit replay PATH");
@@ -150,6 +157,7 @@ fn windows(args: &[String]) -> ExitCode {
         .map(|v| v.parse().expect("--count takes a number"))
         .unwrap_or(25);
     let with_faults = args.iter().any(|a| a == "--faults");
+    let telemetry_out = arg_value(args, "--telemetry-out");
 
     let spec = harness_spec();
     let (mut comparisons, mut cross, mut degraded) = (0u64, 0usize, 0usize);
@@ -184,6 +192,17 @@ fn windows(args: &[String]) -> ExitCode {
     );
     if with_faults {
         println!("fault isolation: {degraded} queries degraded, no window-mate harmed");
+    }
+    if let Some(base) = telemetry_out {
+        // One telemetry-armed rerun of the first sweep seed: the artifact
+        // CI uploads so every run has a browsable deterministic trace.
+        match dump_window_telemetry(spec, start, &base) {
+            Ok(a) => println!("telemetry: wrote {} and {}", a.trace_path, a.metrics_path),
+            Err(e) => {
+                eprintln!("telemetry dump failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
     ExitCode::SUCCESS
 }
@@ -311,6 +330,12 @@ fn shrink_and_write(case: Case, out_path: &str) -> ExitCode {
     match std::fs::write(out_path, &text) {
         Ok(()) => eprintln!("wrote {out_path}"),
         Err(e) => eprintln!("could not write {out_path}: {e}"),
+    }
+    // Telemetry sidecars from a traced replay of the minimized case, so
+    // the repro ships with the span tree that led up to the failure.
+    match dump_case_telemetry(&min, out_path) {
+        Ok(a) => eprintln!("telemetry: wrote {} and {}", a.trace_path, a.metrics_path),
+        Err(e) => eprintln!("telemetry dump failed: {e}"),
     }
     ExitCode::FAILURE
 }

@@ -32,6 +32,9 @@
 //!   replayed on a cached engine (warm exact and subsumption hits, with or
 //!   without injected faults, and across an `append_facts` epoch bump)
 //!   must stay bit-identical to a cache-less engine.
+//! * [`telemetry`] — artifact dumps: replay a minimized case (or one
+//!   `windows`-sweep seed) on a telemetry-armed twin engine and write the
+//!   drained span trace + metrics snapshot next to the repro.
 //! * [`maintenance`] — the streaming-freshness differential: a long-lived
 //!   cached engine interleaving MDX with append batches (including
 //!   atomically-rejected malformed appends) must answer every round
@@ -57,6 +60,7 @@ pub mod repro;
 pub mod runner;
 pub mod session;
 pub mod shrink;
+pub mod telemetry;
 pub mod windows;
 
 pub use cache::{check_cache_differential, CacheCheck, APPEND_ROWS, CACHE_REPLAYS};
@@ -70,6 +74,7 @@ pub use repro::{format_case, parse_case};
 pub use runner::run_case;
 pub use session::{generate_session, Session, CUBE_NAME, MAX_EXPRS, MIN_EXPRS};
 pub use shrink::{shrink, Case};
+pub use telemetry::{dump_case_telemetry, dump_window_telemetry, TelemetryArtifacts};
 pub use windows::{
     check_fault_isolation, check_windowed_vs_solo, WindowCheck, MAX_SUBMISSIONS, MIN_SUBMISSIONS,
 };

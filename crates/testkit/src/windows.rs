@@ -59,7 +59,7 @@ fn engine(spec: PaperCubeSpec) -> starshare_core::Engine {
 
 /// Generates the window composition for `seed`: 2–4 sessions, each from
 /// its own derived seed.
-fn generate_window(spec: PaperCubeSpec, seed: u64) -> Vec<Vec<String>> {
+pub(crate) fn generate_window(spec: PaperCubeSpec, seed: u64) -> Vec<Vec<String>> {
     let schema = starshare_core::paper_schema(spec.d_leaf);
     let mut rng = Prng::seed_from_u64(seed ^ WINDOW_SALT);
     let n = rng.gen_range(MIN_SUBMISSIONS..=MAX_SUBMISSIONS);
