@@ -1,0 +1,44 @@
+//! Compressed-storage runner: partition-pruned compressed scans and the
+//! scale-10 budget leg.
+//!
+//! ```text
+//! STARSHARE_SCALE=0.1 cargo run --release -p starshare-bench --bin storage [out.json]
+//! ```
+//!
+//! Prints the run and writes its JSON payload (default
+//! `BENCH_storage.json` in the current directory). Exits non-zero if any
+//! acceptance gate fails: the compressed dashboard leg must answer
+//! bit-identically to the plain build (at one thread and under the
+//! morsel scheduler), scan at least 4x fewer bytes, skip zones the plain
+//! leg faulted, and win on the simulated clock with decompression CPU
+//! charged; the scale-10 leg's raw footprint must exceed the storage
+//! budget while the compressed build fits it and still answers the
+//! hybrid mix identically at 1 and 4 threads.
+
+use starshare_bench::{render_storage_bench, scale_from_env, storage_bench, storage_bench_json};
+
+fn main() {
+    let scale = scale_from_env();
+    let repeats: u32 = std::env::var("STARSHARE_REPEATS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_storage.json".to_string());
+
+    println!("== Compressed storage: pruned scans + the scale-10 budget (scale {scale}) ==");
+    println!("(sim columns are simulated 1998-hardware seconds — deterministic;");
+    println!(" walls are host-dependent and informational)\n");
+    let r = storage_bench(scale, repeats);
+    print!("{}", render_storage_bench(&r));
+    std::fs::write(&out, storage_bench_json(&r)).expect("write bench json");
+    println!("wrote {out}");
+
+    if let Err(fails) = starshare_bench::storage_bench_gates(&r) {
+        for f in &fails {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -23,6 +23,7 @@ pub mod cache;
 pub mod kernels;
 pub mod parallel;
 pub mod serving;
+pub mod storage;
 pub mod streaming;
 pub mod workloads;
 pub use cache::{
@@ -37,6 +38,10 @@ pub use parallel::{
 pub use serving::{
     render_serving_bench, serving_bench, serving_bench_json, ServingBenchResult, ServingRow,
     EXPRS_PER_SESSION, SERVING_SESSIONS,
+};
+pub use storage::{
+    render_storage_bench, storage_bench, storage_bench_gates, storage_bench_json,
+    StorageBenchResult,
 };
 pub use streaming::{
     render_streaming_bench, streaming_bench, streaming_bench_json, StreamingBenchResult,

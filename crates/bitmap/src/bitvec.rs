@@ -70,9 +70,30 @@ impl Bitmap {
         self.words.len() as u64
     }
 
-    /// Size in bytes when stored (used for index I/O accounting).
+    /// Size in bytes actually allocated (used for index I/O and cache
+    /// accounting). This reports the backing `Vec`'s *capacity*, not its
+    /// length, so accounting stays honest after [`grow`](Self::grow) leaves
+    /// reallocation slack; call [`shrink_to_fit`](Self::shrink_to_fit) to
+    /// drop the slack before layouts are derived from this number.
     pub fn byte_size(&self) -> u64 {
-        self.word_count() * 8
+        self.words.capacity() as u64 * 8
+    }
+
+    /// Releases any capacity beyond the words the bitmap needs, so
+    /// [`byte_size`](Self::byte_size) reports the minimal allocation.
+    pub fn shrink_to_fit(&mut self) {
+        self.words.shrink_to_fit();
+    }
+
+    /// The backing words (for same-crate compressed conversions).
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Mutable backing words (for same-crate decompression). Callers must
+    /// not set bits at or beyond [`len`](Self::len).
+    pub(crate) fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
     }
 
     /// Extends the bitmap to `new_len` bits; new bits are zero.
@@ -393,6 +414,57 @@ mod tests {
         assert_eq!(Bitmap::new(1).byte_size(), 8);
         assert_eq!(Bitmap::new(64).byte_size(), 8);
         assert_eq!(Bitmap::new(65).byte_size(), 16);
+    }
+
+    #[test]
+    fn byte_size_reports_allocation_and_shrinks() {
+        let mut b = Bitmap::new(64);
+        // Growing word by word can leave capacity slack; byte_size must
+        // report what is actually allocated…
+        for len in (128..=64 * 40).step_by(64) {
+            b.grow(len);
+        }
+        assert!(b.byte_size() >= b.word_count() * 8);
+        // …and shrink_to_fit restores the minimal allocation.
+        b.shrink_to_fit();
+        assert_eq!(b.byte_size(), b.word_count() * 8);
+    }
+
+    #[test]
+    fn iter_ones_in_degenerate_and_boundary_ranges() {
+        let b = Bitmap::from_positions(256, &[0, 63, 64, 127, 128, 255]);
+        // lo == hi at every word seam yields nothing.
+        for s in [0, 1, 63, 64, 65, 127, 128, 255, 256] {
+            assert_eq!(b.iter_ones_in(s, s).count(), 0, "lo==hi at {s}");
+            assert_eq!(b.count_ones_in(s, s), 0, "count lo==hi at {s}");
+        }
+        // hi exactly on a word boundary includes the boundary-1 bit and
+        // excludes the boundary bit.
+        assert_eq!(b.iter_ones_in(0, 64).collect::<Vec<_>>(), vec![0, 63]);
+        assert_eq!(
+            b.iter_ones_in(0, 128).collect::<Vec<_>>(),
+            vec![0, 63, 64, 127]
+        );
+        assert_eq!(b.count_ones_in(64, 128), 2);
+        assert_eq!(b.count_ones_in(128, 256), 2);
+        // lo on a word boundary starts exactly there.
+        assert_eq!(b.iter_ones_in(128, 129).collect::<Vec<_>>(), vec![128]);
+    }
+
+    #[test]
+    fn full_run_ranges_cover_every_bit() {
+        // A fully-set bitmap: every range count equals its width, and
+        // iteration yields every position — including when the range spans
+        // the whole bitmap (the "full run" case).
+        let b = Bitmap::ones(193);
+        assert_eq!(b.count_ones_in(0, 193), 193);
+        assert_eq!(b.iter_ones_in(0, 193).count(), 193);
+        assert_eq!(b.count_ones_in(0, u64::MAX), 193, "hi clamps to len");
+        assert_eq!(b.count_ones_in(64, 128), 64);
+        assert_eq!(
+            b.iter_ones_in(190, 193).collect::<Vec<_>>(),
+            vec![190, 191, 192]
+        );
     }
 
     #[test]

@@ -10,7 +10,12 @@
 //!
 //! The index occupies pages in its own virtual file; [`lookup`] charges
 //! those page reads through the buffer pool, so repeated lookups of a hot
-//! bitmap hit cache exactly as they would in the real system.
+//! bitmap hit cache exactly as they would in the real system. Under
+//! [`IndexFormat::Compressed`] each member is stored as a
+//! [`CompressedBitmap`] when that is smaller than the plain form, and both
+//! the page layout and the charged I/O shrink accordingly; the
+//! [`MemberBits`] handle a lookup returns hides the format from operators
+//! and charges identical CPU either way.
 //!
 //! [`lookup`]: BitmapJoinIndex::lookup
 
@@ -19,19 +24,123 @@ use std::collections::BTreeMap;
 use starshare_storage::{AccessKind, BufferPool, FileId, HeapFile, PageId, PAGE_SIZE};
 
 use crate::bitvec::Bitmap;
-use crate::rle::RleBitmap;
+use crate::compressed::CompressedBitmap;
 
-/// How member bitmaps are stored on "disk" (page accounting); in memory the
-/// operators always work on the uncompressed form.
+/// How member bitmaps are stored (page accounting *and* in-memory form).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum IndexFormat {
     /// One plain bitmap per member: `n_rows / 8` bytes each.
     #[default]
     Plain,
-    /// Per member, the smaller of the plain and the run-length encoded
-    /// form (16 bytes per run) — what a production deployment would store.
-    /// Lowers the index-load I/O for clustered or skewed data.
+    /// Per member, the smaller of the plain and the chunked-container
+    /// compressed form ([`CompressedBitmap`]) — what a production
+    /// deployment would store. Lowers both the resident footprint and the
+    /// index-load I/O for clustered or skewed data.
     Compressed,
+}
+
+/// One member's stored bitmap, in whichever form the format chose.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum MemberSlot {
+    Plain(Bitmap),
+    Compressed(CompressedBitmap),
+}
+
+impl MemberSlot {
+    fn byte_size(&self) -> u64 {
+        match self {
+            MemberSlot::Plain(bm) => bm.byte_size(),
+            MemberSlot::Compressed(cb) => cb.byte_size(),
+        }
+    }
+}
+
+/// A borrowed view of one member's bitmap, independent of storage format.
+///
+/// Operators consume this instead of `&Bitmap` so the simulated CPU charge
+/// of assembling a query bitmap ([`or_into`](Self::or_into)) is identical
+/// whether the member was stored plain or compressed — only the *I/O*
+/// accounting (pages charged by [`BitmapJoinIndex::lookup`]) differs.
+#[derive(Debug, Clone, Copy)]
+pub enum MemberBits<'a> {
+    /// Stored uncompressed.
+    Plain(&'a Bitmap),
+    /// Stored in chunked-container compressed form.
+    Compressed(&'a CompressedBitmap),
+}
+
+impl MemberBits<'_> {
+    /// Bits in the member bitmap (= rows of the indexed table).
+    pub fn len(&self) -> u64 {
+        match self {
+            MemberBits::Plain(bm) => bm.len(),
+            MemberBits::Compressed(cb) => cb.len(),
+        }
+    }
+
+    /// True if the bitmap has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u64 {
+        match self {
+            MemberBits::Plain(bm) => bm.count_ones(),
+            MemberBits::Compressed(cb) => cb.count_ones(),
+        }
+    }
+
+    /// Reads bit `pos`.
+    pub fn get(&self, pos: u64) -> bool {
+        match self {
+            MemberBits::Plain(bm) => bm.get(pos),
+            MemberBits::Compressed(cb) => cb.get(pos),
+        }
+    }
+
+    /// ORs this member into a plain accumulator, returning the words to
+    /// charge the simulated clock. Both arms report the accumulator's full
+    /// word count — exactly what [`Bitmap::or_assign`] reports — so query
+    /// CPU counters do not depend on the index storage format.
+    pub fn or_into(&self, target: &mut Bitmap) -> u64 {
+        match self {
+            MemberBits::Plain(bm) => target.or_assign(bm),
+            MemberBits::Compressed(cb) => cb.or_into(target),
+        }
+    }
+
+    /// Materializes a plain copy (tests, persistence checks).
+    pub fn to_bitmap(&self) -> Bitmap {
+        match self {
+            MemberBits::Plain(bm) => (*bm).clone(),
+            MemberBits::Compressed(cb) => cb.to_bitmap(),
+        }
+    }
+
+    /// Set-bit positions, ascending.
+    pub fn iter_ones(&self) -> Box<dyn Iterator<Item = u64> + '_> {
+        match self {
+            MemberBits::Plain(bm) => Box::new(bm.iter_ones()),
+            MemberBits::Compressed(cb) => Box::new(cb.iter_ones()),
+        }
+    }
+}
+
+/// Logical equality: two member views are equal iff they hold the same
+/// bits, regardless of storage format.
+impl PartialEq for MemberBits<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (MemberBits::Plain(a), MemberBits::Plain(b)) => a == b,
+            (MemberBits::Compressed(a), MemberBits::Compressed(b)) => a == b,
+            (a, b) => {
+                a.len() == b.len()
+                    && a.count_ones() == b.count_ones()
+                    && a.to_bitmap() == b.to_bitmap()
+            }
+        }
+    }
 }
 
 /// A bitmap join index over one dimension attribute of one table.
@@ -41,9 +150,9 @@ pub struct BitmapJoinIndex {
     file_id: FileId,
     n_rows: u64,
     format: IndexFormat,
-    /// member id → bitmap of matching tuple positions. BTreeMap keeps
-    /// member/page assignment deterministic.
-    bitmaps: BTreeMap<u32, Bitmap>,
+    /// member id → stored bitmap of matching tuple positions. BTreeMap
+    /// keeps member/page assignment deterministic.
+    bitmaps: BTreeMap<u32, MemberSlot>,
     /// member id → (first page, page count) inside `file_id`.
     page_ranges: BTreeMap<u32, (PageId, u32)>,
     total_pages: u32,
@@ -83,39 +192,74 @@ impl BitmapJoinIndex {
         F: Fn(u32) -> u32,
     {
         let n_rows = heap.n_tuples();
-        let mut bitmaps: BTreeMap<u32, Bitmap> = BTreeMap::new();
+        let mut plain: BTreeMap<u32, Bitmap> = BTreeMap::new();
         let mut keys = vec![0u32; heap.layout().n_dims()];
         for pos in 0..n_rows {
             heap.read_at(pos, &mut keys);
             let member = roll_up(keys[dim]);
-            bitmaps
+            plain
                 .entry(member)
                 .or_insert_with(|| Bitmap::new(n_rows))
                 .set(pos);
         }
-        // Lay the bitmaps out on consecutive pages for I/O accounting.
-        let mut page_ranges = BTreeMap::new();
-        let mut next_page: PageId = 0;
-        for (&member, bm) in &bitmaps {
-            let bytes = match format {
-                IndexFormat::Plain => bm.byte_size(),
-                IndexFormat::Compressed => {
-                    bm.byte_size().min(RleBitmap::from_bitmap(bm).byte_size())
-                }
-            };
-            let pages = (bytes.div_ceil(PAGE_SIZE as u64)).max(1) as u32;
-            page_ranges.insert(member, (next_page, pages));
-            next_page += pages;
-        }
-        BitmapJoinIndex {
+        let mut idx = BitmapJoinIndex {
             name: name.into(),
             file_id,
             n_rows,
             format,
-            bitmaps,
-            page_ranges,
-            total_pages: next_page,
+            bitmaps: plain
+                .into_iter()
+                .map(|(m, bm)| (m, MemberSlot::Plain(bm)))
+                .collect(),
+            page_ranges: BTreeMap::new(),
+            total_pages: 0,
+        };
+        idx.reseal_and_relayout();
+        idx
+    }
+
+    /// Re-chooses each member's storage form for the index format, shrinks
+    /// allocations to fit, and lays the members out on consecutive pages.
+    ///
+    /// The form choice depends only on the member's bit content and the
+    /// bitmap length, so a freshly built index and an incrementally
+    /// [`extend`](Self::extend)ed one over the same data produce identical
+    /// layouts (and therefore identical charged I/O).
+    fn reseal_and_relayout(&mut self) {
+        for slot in self.bitmaps.values_mut() {
+            match self.format {
+                IndexFormat::Plain => {
+                    if let MemberSlot::Plain(bm) = slot {
+                        bm.shrink_to_fit();
+                    }
+                }
+                IndexFormat::Compressed => match slot {
+                    MemberSlot::Plain(bm) => {
+                        bm.shrink_to_fit();
+                        let cb = CompressedBitmap::from_bitmap(bm);
+                        if cb.byte_size() < bm.byte_size() {
+                            *slot = MemberSlot::Compressed(cb);
+                        }
+                    }
+                    MemberSlot::Compressed(cb) => {
+                        let plain_bytes = cb.len().div_ceil(64) * 8;
+                        if cb.byte_size() >= plain_bytes {
+                            let mut bm = cb.to_bitmap();
+                            bm.shrink_to_fit();
+                            *slot = MemberSlot::Plain(bm);
+                        }
+                    }
+                },
+            }
         }
+        let mut next_page: PageId = 0;
+        self.page_ranges.clear();
+        for (&member, slot) in &self.bitmaps {
+            let pages = (slot.byte_size().div_ceil(PAGE_SIZE as u64)).max(1) as u32;
+            self.page_ranges.insert(member, (next_page, pages));
+            next_page += pages;
+        }
+        self.total_pages = next_page;
     }
 
     /// The storage format.
@@ -148,20 +292,36 @@ impl BitmapJoinIndex {
         self.total_pages
     }
 
+    /// Stored bytes across all members (the compressed footprint under
+    /// [`IndexFormat::Compressed`]).
+    pub fn byte_size(&self) -> u64 {
+        self.bitmaps.values().map(|s| s.byte_size()).sum()
+    }
+
     /// Members present in the index, ascending.
     pub fn members(&self) -> impl Iterator<Item = u32> + '_ {
         self.bitmaps.keys().copied()
     }
 
+    /// Members stored in compressed form (0 for plain indexes).
+    pub fn compressed_members(&self) -> usize {
+        self.bitmaps
+            .values()
+            .filter(|s| matches!(s, MemberSlot::Compressed(_)))
+            .count()
+    }
+
     /// Fetches the bitmap for `member`, charging its pages as sequential
     /// reads through `pool`. Returns `None` for a member with no rows.
-    pub fn lookup(&self, member: u32, pool: &mut BufferPool) -> Option<&Bitmap> {
-        let bm = self.bitmaps.get(&member)?;
+    /// Compressed members occupy fewer pages, so the charge shrinks with
+    /// the stored size.
+    pub fn lookup(&self, member: u32, pool: &mut BufferPool) -> Option<MemberBits<'_>> {
+        let slot = self.bitmaps.get(&member)?;
         let (first, count) = self.page_ranges[&member];
         for p in first..first + count {
             pool.access(self.file_id, p, AccessKind::Sequential);
         }
-        Some(bm)
+        Some(slot_bits(slot))
     }
 
     /// Fault-checked variant of [`lookup`](Self::lookup): each index page
@@ -173,20 +333,20 @@ impl BitmapJoinIndex {
         &self,
         member: u32,
         pool: &mut BufferPool,
-    ) -> Result<Option<&Bitmap>, starshare_storage::FaultError> {
-        let Some(bm) = self.bitmaps.get(&member) else {
+    ) -> Result<Option<MemberBits<'_>>, starshare_storage::FaultError> {
+        let Some(slot) = self.bitmaps.get(&member) else {
             return Ok(None);
         };
         let (first, count) = self.page_ranges[&member];
         for p in first..first + count {
             pool.try_access(self.file_id, p, AccessKind::Sequential)?;
         }
-        Ok(Some(bm))
+        Ok(Some(slot_bits(slot)))
     }
 
     /// Unaccounted access (tests, planning-time size inspection).
-    pub fn peek(&self, member: u32) -> Option<&Bitmap> {
-        self.bitmaps.get(&member)
+    pub fn peek(&self, member: u32) -> Option<MemberBits<'_>> {
+        self.bitmaps.get(&member).map(slot_bits)
     }
 
     /// Pages that [`lookup`](Self::lookup) of `member` would touch.
@@ -196,7 +356,9 @@ impl BitmapJoinIndex {
 
     /// Incrementally extends the index over rows appended to `heap` since
     /// the index covered `self.n_rows()` rows: grows every member bitmap
-    /// and indexes the new tail, then recomputes the page layout.
+    /// and indexes the new tail, then re-chooses storage forms and
+    /// recomputes the page layout. The result is identical to rebuilding
+    /// from scratch.
     ///
     /// # Panics
     /// Panics if the heap has fewer rows than the index already covers.
@@ -209,34 +371,53 @@ impl BitmapJoinIndex {
             new_rows >= self.n_rows,
             "heap shrank below the indexed row count"
         );
-        for bm in self.bitmaps.values_mut() {
-            bm.grow(new_rows);
-        }
+        // Collect the tail's positions per member (ascending by
+        // construction), so compressed members can bulk-append.
+        let mut tail: BTreeMap<u32, Vec<u64>> = BTreeMap::new();
         let mut keys = vec![0u32; heap.layout().n_dims()];
         for pos in self.n_rows..new_rows {
             heap.read_at(pos, &mut keys);
-            let member = roll_up(keys[dim]);
-            self.bitmaps
+            tail.entry(roll_up(keys[dim])).or_default().push(pos);
+        }
+        for slot in self.bitmaps.values_mut() {
+            if let MemberSlot::Plain(bm) = slot {
+                bm.grow(new_rows);
+            }
+        }
+        for (member, positions) in tail {
+            match self
+                .bitmaps
                 .entry(member)
-                .or_insert_with(|| Bitmap::new(new_rows))
-                .set(pos);
+                .or_insert_with(|| MemberSlot::Plain(Bitmap::new(new_rows)))
+            {
+                MemberSlot::Plain(bm) => {
+                    for &p in &positions {
+                        bm.set(p);
+                    }
+                }
+                // extend_with grows the bitmap itself (its append-only
+                // check needs the pre-growth length).
+                MemberSlot::Compressed(cb) => cb.extend_with(new_rows, &positions),
+            }
+        }
+        // Compressed members with no tail rows still need to cover the new
+        // length.
+        for slot in self.bitmaps.values_mut() {
+            if let MemberSlot::Compressed(cb) = slot {
+                if cb.len() < new_rows {
+                    cb.grow(new_rows);
+                }
+            }
         }
         self.n_rows = new_rows;
-        // Re-lay pages (sizes changed).
-        let mut next_page: PageId = 0;
-        self.page_ranges.clear();
-        for (&member, bm) in &self.bitmaps {
-            let bytes = match self.format {
-                IndexFormat::Plain => bm.byte_size(),
-                IndexFormat::Compressed => {
-                    bm.byte_size().min(RleBitmap::from_bitmap(bm).byte_size())
-                }
-            };
-            let pages = (bytes.div_ceil(PAGE_SIZE as u64)).max(1) as u32;
-            self.page_ranges.insert(member, (next_page, pages));
-            next_page += pages;
-        }
-        self.total_pages = next_page;
+        self.reseal_and_relayout();
+    }
+}
+
+fn slot_bits(slot: &MemberSlot) -> MemberBits<'_> {
+    match slot {
+        MemberSlot::Plain(bm) => MemberBits::Plain(bm),
+        MemberSlot::Compressed(cb) => MemberBits::Compressed(cb),
     }
 }
 
@@ -331,7 +512,7 @@ mod tests {
         let idx = BitmapJoinIndex::build("t.d0", FileId(1), &heap, 0, |k| k);
         let mut acc = Bitmap::new(37);
         for m in idx.members().collect::<Vec<_>>() {
-            acc.or_assign(idx.peek(m).unwrap());
+            idx.peek(m).unwrap().or_into(&mut acc);
         }
         assert_eq!(acc.count_ones(), 37);
     }
@@ -342,7 +523,7 @@ mod format_tests {
     use super::*;
     use starshare_storage::TupleLayout;
 
-    /// Heavily clustered data: dim0 is sorted runs → RLE wins massively.
+    /// Heavily clustered data: dim0 is sorted runs → run containers win.
     fn clustered_heap(n: u64) -> HeapFile {
         HeapFile::from_rows(
             FileId(0),
@@ -356,7 +537,7 @@ mod format_tests {
         let heap = clustered_heap(100_000);
         let plain =
             BitmapJoinIndex::build_with_format("p", FileId(1), &heap, 0, IndexFormat::Plain, |k| k);
-        let rle = BitmapJoinIndex::build_with_format(
+        let comp = BitmapJoinIndex::build_with_format(
             "c",
             FileId(2),
             &heap,
@@ -365,29 +546,32 @@ mod format_tests {
             |k| k,
         );
         assert_eq!(plain.format(), IndexFormat::Plain);
-        assert_eq!(rle.format(), IndexFormat::Compressed);
+        assert_eq!(comp.format(), IndexFormat::Compressed);
         assert!(
-            rle.total_pages() < plain.total_pages(),
-            "rle {} vs plain {}",
-            rle.total_pages(),
+            comp.total_pages() < plain.total_pages(),
+            "compressed {} vs plain {}",
+            comp.total_pages(),
             plain.total_pages()
         );
+        assert_eq!(comp.compressed_members(), comp.n_members());
+        assert!(comp.byte_size() < plain.byte_size());
         // Same logical content regardless of format.
         for m in plain.members().collect::<Vec<_>>() {
-            assert_eq!(plain.peek(m), rle.peek(m));
+            assert_eq!(plain.peek(m), comp.peek(m));
         }
         // Lookups charge fewer pages.
         let mut pool = BufferPool::new(1024);
-        rle.lookup(0, &mut pool).unwrap();
-        let rle_faults = pool.stats().seq_faults;
+        comp.lookup(0, &mut pool).unwrap();
+        let comp_faults = pool.stats().seq_faults;
         let mut pool2 = BufferPool::new(1024);
         plain.lookup(0, &mut pool2).unwrap();
-        assert!(rle_faults < pool2.stats().seq_faults);
+        assert!(comp_faults < pool2.stats().seq_faults);
     }
 
     #[test]
     fn compressed_never_larger_than_plain() {
-        // Random-ish data: RLE falls back to the plain size per member.
+        // Fine-interleaved data: compression cannot win, so every member
+        // falls back to plain storage and the layout matches.
         let heap = HeapFile::from_rows(
             FileId(0),
             TupleLayout::new(1),
@@ -395,7 +579,7 @@ mod format_tests {
         );
         let plain =
             BitmapJoinIndex::build_with_format("p", FileId(1), &heap, 0, IndexFormat::Plain, |k| k);
-        let rle = BitmapJoinIndex::build_with_format(
+        let comp = BitmapJoinIndex::build_with_format(
             "c",
             FileId(2),
             &heap,
@@ -403,6 +587,54 @@ mod format_tests {
             IndexFormat::Compressed,
             |k| k,
         );
-        assert!(rle.total_pages() <= plain.total_pages());
+        assert!(comp.total_pages() <= plain.total_pages());
+    }
+
+    #[test]
+    fn or_into_charges_identically_across_formats() {
+        let heap = clustered_heap(50_000);
+        let plain =
+            BitmapJoinIndex::build_with_format("p", FileId(1), &heap, 0, IndexFormat::Plain, |k| k);
+        let comp = BitmapJoinIndex::build_with_format(
+            "c",
+            FileId(2),
+            &heap,
+            0,
+            IndexFormat::Compressed,
+            |k| k,
+        );
+        for m in plain.members().collect::<Vec<_>>() {
+            let mut acc_p = Bitmap::new(heap.n_tuples());
+            let mut acc_c = Bitmap::new(heap.n_tuples());
+            let wp = plain.peek(m).unwrap().or_into(&mut acc_p);
+            let wc = comp.peek(m).unwrap().or_into(&mut acc_c);
+            assert_eq!(wp, wc, "CPU charge must not depend on format");
+            assert_eq!(acc_p, acc_c, "bits must not depend on format");
+        }
+    }
+
+    #[test]
+    fn extend_matches_fresh_rebuild_in_both_formats() {
+        for format in [IndexFormat::Plain, IndexFormat::Compressed] {
+            let full = clustered_heap(80_000);
+            // Build over a truncated prefix by re-reading the first rows.
+            let prefix = HeapFile::from_rows(
+                FileId(0),
+                TupleLayout::new(1),
+                (0..60_000u64).map(|i| ([(i / 20_000) as u32], 1.0)),
+            );
+            let mut grown =
+                BitmapJoinIndex::build_with_format("x", FileId(1), &prefix, 0, format, |k| k);
+            grown.extend(&full, 0, |k| k);
+            let fresh = BitmapJoinIndex::build_with_format("x", FileId(1), &full, 0, format, |k| k);
+            assert_eq!(grown.n_rows(), fresh.n_rows());
+            assert_eq!(grown.n_members(), fresh.n_members());
+            assert_eq!(grown.total_pages(), fresh.total_pages(), "{format:?}");
+            assert_eq!(grown.byte_size(), fresh.byte_size(), "{format:?}");
+            for m in fresh.members().collect::<Vec<_>>() {
+                assert_eq!(grown.peek(m), fresh.peek(m), "{format:?} member {m}");
+                assert_eq!(grown.lookup_pages(m), fresh.lookup_pages(m));
+            }
+        }
     }
 }

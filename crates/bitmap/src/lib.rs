@@ -11,9 +11,11 @@
 //! work at the same fidelity it sees scans and probes.
 
 pub mod bitvec;
+pub mod compressed;
 pub mod index;
 pub mod rle;
 
 pub use bitvec::Bitmap;
-pub use index::{BitmapJoinIndex, IndexFormat};
+pub use compressed::{CompressedBitmap, ContainerKind, CHUNK_BITS};
+pub use index::{BitmapJoinIndex, IndexFormat, MemberBits};
 pub use rle::RleBitmap;

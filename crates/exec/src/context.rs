@@ -138,6 +138,8 @@ impl ExecReport {
         o.field_u64("seq_faults", self.io.seq_faults);
         o.field_u64("random_faults", self.io.random_faults);
         o.field_u64("hits", self.io.hits);
+        o.field_u64("bytes_scanned", self.io.bytes_scanned());
+        o.field_u64("decompress_bytes", self.io.decompress_bytes);
         o.field_u64("hash_builds", self.cpu.hash_builds);
         o.field_u64("hash_probes", self.cpu.hash_probes);
         o.field_u64("agg_updates", self.cpu.agg_updates);
@@ -210,6 +212,7 @@ mod tests {
                 seq_faults: 2,
                 random_faults: 3,
                 hits: 4,
+                ..Default::default()
             },
             cpu: CpuCounters {
                 agg_updates: 7,
@@ -265,6 +268,7 @@ mod tests {
         let r = ExecReport {
             io: IoStats {
                 seq_faults: 1000,
+                seq_bytes: 1000 * starshare_storage::PAGE_SIZE as u64,
                 ..Default::default()
             },
             cpu: CpuCounters {

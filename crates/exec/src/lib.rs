@@ -29,6 +29,7 @@ pub mod morsel;
 pub mod operators;
 pub mod parallel;
 pub mod plan_io;
+pub mod prune;
 pub mod reference;
 pub mod result;
 pub mod retry;

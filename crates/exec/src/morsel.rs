@@ -93,6 +93,29 @@ pub(crate) fn scan_morsels(heap: &HeapFile, pages: u32) -> Vec<(u64, u64)> {
     out
 }
 
+/// Like [`scan_morsels`], but only within the given page-aligned tuple
+/// `ranges` (the zone-map survivors from [`crate::prune`]): each range is
+/// carved into `pages`-page chunks independently, so morsels never span a
+/// pruned gap. Since ranges start on zone boundaries (multiples of the
+/// zone's page count), every morsel stays page-aligned.
+pub(crate) fn scan_morsels_in_ranges(
+    heap: &HeapFile,
+    pages: u32,
+    ranges: &[(u64, u64)],
+) -> Vec<(u64, u64)> {
+    let chunk = (pages.max(1) as u64).saturating_mul(heap.layout().tuples_per_page() as u64);
+    let mut out = Vec::new();
+    for &(start, end) in ranges {
+        let mut lo = start;
+        while lo < end {
+            let hi = lo.saturating_add(chunk).min(end);
+            out.push((lo, hi));
+            lo = hi;
+        }
+    }
+    out
+}
+
 /// Carves `heap` into page-aligned ranges balanced by *candidate count*: a
 /// greedy walk accumulates the per-page popcount of `total` and closes a
 /// morsel once it holds its proportional share of candidates.

@@ -220,27 +220,44 @@ pub fn shared_hybrid_join(
         // aggregation all run columnar per batch. Charges are sums and each
         // query folds its survivors in row order, so batching never moves
         // the simulated clock or the results.
-        let mut batches = heap.scan_batches(0, heap.n_tuples());
+        //
+        // On a compressed heap the scan visits only the zone-map survivors
+        // (see `crate::prune`): a pruned zone can satisfy no query in the
+        // class, so skipping it changes nothing but the I/O. The parallel
+        // executor prunes with the same query set, keeping the two paths
+        // fault-identical.
+        let ranges = crate::prune::keep_tuple_ranges(
+            &cube.schema,
+            t,
+            hash_states
+                .iter()
+                .chain(index_states.iter())
+                .map(|s| &s.query),
+        )
+        .unwrap_or_else(|| vec![(0, heap.n_tuples())]);
         let mut batch = ScanBatch::new(heap.layout());
         let mut keys = vec![0u32; n_dims];
         let mut sel = Vec::new();
-        while with_retry(|| batches.try_next_into(&mut ctx.pool, &mut batch))? {
-            let n = batch.len() as u64;
-            cpu.tuple_copies += n;
-            cpu.hash_probes += probes_per_tuple * n;
-            for st in &mut hash_states {
-                st.feed_batch(&batch, &mut sel, cpu);
-            }
-            // Index-fed queries gate on their bitmap per position, so they
-            // stay row-at-a-time.
-            if !index_states.is_empty() {
-                for i in 0..batch.len() {
-                    batch.keys_into(i, &mut keys);
-                    let pos = batch.pos(i);
-                    for st in &mut index_states {
-                        cpu.bitmap_tests += 1;
-                        if st.bitmap.as_ref().expect("built in phase 1").may_match(pos) {
-                            st.feed(&keys, batch.measure(i), cpu);
+        for &(range_lo, range_hi) in &ranges {
+            let mut batches = heap.scan_batches(range_lo, range_hi);
+            while with_retry(|| batches.try_next_into(&mut ctx.pool, &mut batch))? {
+                let n = batch.len() as u64;
+                cpu.tuple_copies += n;
+                cpu.hash_probes += probes_per_tuple * n;
+                for st in &mut hash_states {
+                    st.feed_batch(&batch, &mut sel, cpu);
+                }
+                // Index-fed queries gate on their bitmap per position, so
+                // they stay row-at-a-time.
+                if !index_states.is_empty() {
+                    for i in 0..batch.len() {
+                        batch.keys_into(i, &mut keys);
+                        let pos = batch.pos(i);
+                        for st in &mut index_states {
+                            cpu.bitmap_tests += 1;
+                            if st.bitmap.as_ref().expect("built in phase 1").may_match(pos) {
+                                st.feed(&keys, batch.measure(i), cpu);
+                            }
                         }
                     }
                 }

@@ -61,9 +61,10 @@ use starshare_storage::{
 use crate::context::{ExecContext, ExecReport};
 use crate::error::ExecError;
 use crate::kernel::GroupAcc;
-use crate::morsel::{probe_morsels, run_units, scan_morsels};
+use crate::morsel::{probe_morsels, run_units, scan_morsels, scan_morsels_in_ranges};
 use crate::operators::{charge_hash_builds, feed_tuple, QueryState};
 use crate::plan_io::build_query_bitmap;
+use crate::prune::keep_tuple_ranges;
 use crate::result::QueryResult;
 
 pub use crate::morsel::{MorselSpec, DEFAULT_MORSEL_PAGES};
@@ -346,7 +347,15 @@ fn run_morsel(
                             feed_states(keys, measure, pos, cpu, &mut groups, scratch);
                             n += 1;
                         }
-                        pool.access_run(file, page, AccessKind::Random, n);
+                        let (io_bytes, dec_bytes) = class.heap.page_cost(page);
+                        pool.access_run_sized(
+                            file,
+                            page,
+                            AccessKind::Random,
+                            n,
+                            io_bytes,
+                            dec_bytes,
+                        );
                     }
                 };
                 if *everything {
@@ -615,11 +624,27 @@ pub fn execute_classes_with(
             ScanKind::Probe { total, everything }
         };
         let heap = t.heap();
-        // Boundary computation (page counts, range popcounts) is coordinator
-        // scheduling bookkeeping, like the legacy split arithmetic: it is
-        // not charged to the simulated clock. See DESIGN.md.
+        // Boundary computation (page counts, range popcounts, zone-map
+        // checks) is coordinator scheduling bookkeeping, like the legacy
+        // split arithmetic: it is not charged to the simulated clock. See
+        // DESIGN.md.
+        //
+        // Scan classes over compressed heaps first consult the zone maps:
+        // a zone no class query can match is never scheduled at all. The
+        // sequential `shared_hybrid_join` prunes with the same query set,
+        // so both paths fault the same pages. Probe classes are already
+        // position-exact; the legacy strategy keeps its frozen split.
+        let morsels = match (strategy, &scan) {
+            (ExecStrategy::Morsel(spec), ScanKind::Scan) => {
+                match keep_tuple_ranges(&cube.schema, t, states.iter().map(|s| &s.query)) {
+                    Some(ranges) => scan_morsels_in_ranges(heap, spec.pages, &ranges),
+                    None => class_morsels(strategy, heap, &scan),
+                }
+            }
+            _ => class_morsels(strategy, heap, &scan),
+        };
         prepared.push(PreparedClass {
-            morsels: class_morsels(strategy, heap, &scan),
+            morsels,
             heap,
             probes_per_tuple: union_mask.count_ones() as u64,
             states,

@@ -76,8 +76,8 @@ pub fn build_query_bitmap(
         let mut dim_bitmap = Bitmap::new(n_rows);
         for m in members {
             cpu.index_lookups += 1;
-            if let Some(bm) = with_retry(|| dim_index.index.try_lookup(m, pool))? {
-                cpu.bitmap_words += dim_bitmap.or_assign(bm);
+            if let Some(bits) = with_retry(|| dim_index.index.try_lookup(m, pool))? {
+                cpu.bitmap_words += bits.or_into(&mut dim_bitmap);
             }
         }
         // AND into the running result.

@@ -14,7 +14,7 @@
 //! why it lives in metrics and never in the trace (see
 //! [`crate::trace`]'s determinism rules).
 
-use starshare_storage::{CpuCounters, HardwareModel, IoStats, SimTime, PAGE_SIZE};
+use starshare_storage::{CpuCounters, HardwareModel, IoStats, SimTime};
 
 use crate::json::Obj;
 
@@ -115,6 +115,13 @@ pub struct MetricsRegistry {
     pub random_faults: u64,
     /// Page accesses satisfied from the buffer pool.
     pub pool_hits: u64,
+    /// Bytes transferred by sequential faults (compressed pages transfer
+    /// their stored size, not a full page).
+    pub seq_bytes: u64,
+    /// Bytes transferred by random faults.
+    pub random_bytes: u64,
+    /// Bytes of sealed pages decoded after faulting in.
+    pub decompress_bytes: u64,
 
     // -- faults / retries --
     /// Fault-checked page accesses observed (0 unless injection is armed).
@@ -158,6 +165,9 @@ impl MetricsRegistry {
         self.seq_faults += io.seq_faults;
         self.random_faults += io.random_faults;
         self.pool_hits += io.hits;
+        self.seq_bytes += io.seq_bytes;
+        self.random_bytes += io.random_bytes;
+        self.decompress_bytes += io.decompress_bytes;
         self.sim_nanos += sim.as_nanos();
         self.critical_nanos += critical.as_nanos();
     }
@@ -242,9 +252,10 @@ impl MetricsSnapshot {
         self.inner.pool_hits + self.inner.seq_faults + self.inner.random_faults
     }
 
-    /// Bytes scanned: every page access priced at the page size.
+    /// Bytes actually transferred from simulated disk (sequential +
+    /// random fault bytes; pool hits transfer nothing).
     pub fn bytes_scanned(&self) -> u64 {
-        self.accesses() * PAGE_SIZE as u64
+        self.inner.seq_bytes + self.inner.random_bytes
     }
 
     /// Cache hits over cache probes (1.0 when nothing was probed).
@@ -298,6 +309,9 @@ impl MetricsSnapshot {
         o.field_u64("seq_faults", m.seq_faults);
         o.field_u64("random_faults", m.random_faults);
         o.field_u64("pool_hits", m.pool_hits);
+        o.field_u64("seq_bytes", m.seq_bytes);
+        o.field_u64("random_bytes", m.random_bytes);
+        o.field_u64("decompress_bytes", m.decompress_bytes);
         o.field_u64("bytes_scanned", self.bytes_scanned());
         o.field_u64("faults_checked", m.faults_checked);
         o.field_u64("retries", m.retries);

@@ -13,7 +13,8 @@
 //! bit-identical across runs and thread counts on the partitioned
 //! executor path:
 //!
-//! * **scan** — sequential page faults priced at the sequential rate;
+//! * **scan** — sequential bytes faulted in, priced at the sequential
+//!   byte rate, plus decompression of sealed pages;
 //! * **probe** — random page faults plus the probe-side CPU counters
 //!   (hash probes, bitmap tests/words, index lookups, predicate evals);
 //! * **aggregate** — build/update-side CPU counters (hash builds,
@@ -77,6 +78,10 @@ pub struct QueryProfile {
     pub merge: SimTime,
     /// Subsumption rollup time (zero unless served by rollup).
     pub rollup: SimTime,
+    /// Bytes transferred from simulated disk (sequential + random faults;
+    /// compressed pages transfer their stored size, so this falls as
+    /// compression and zone-map pruning bite).
+    pub bytes_scanned: u64,
 }
 
 impl QueryProfile {
@@ -90,6 +95,7 @@ impl QueryProfile {
             aggregate: SimTime::ZERO,
             merge: SimTime::ZERO,
             rollup,
+            bytes_scanned: 0,
         }
     }
 
@@ -119,11 +125,12 @@ impl QueryProfile {
         });
         QueryProfile {
             provenance,
-            scan: model.seq_read(io.seq_faults),
+            scan: model.seq_read_bytes(io.seq_bytes) + model.decompress(io.decompress_bytes),
             probe: model.random_read(io.random_faults) + probe_cpu,
             aggregate: agg_cpu,
             merge: model.cpu_time(merge_cpu),
             rollup: SimTime::ZERO,
+            bytes_scanned: io.bytes_scanned(),
         }
     }
 
@@ -141,6 +148,7 @@ impl QueryProfile {
         o.field_u64("aggregate_ns", self.aggregate.as_nanos());
         o.field_u64("merge_ns", self.merge.as_nanos());
         o.field_u64("rollup_ns", self.rollup.as_nanos());
+        o.field_u64("bytes_scanned", self.bytes_scanned);
         o.field_u64("total_ns", self.total().as_nanos());
         o.finish()
     }
@@ -173,6 +181,9 @@ mod tests {
             seq_faults: 10,
             random_faults: 3,
             hits: 50,
+            seq_bytes: 10 * starshare_storage::PAGE_SIZE as u64,
+            random_bytes: 3 * starshare_storage::PAGE_SIZE as u64,
+            decompress_bytes: 0,
         };
         let cpu = CpuCounters {
             hash_builds: 5,
@@ -194,6 +205,7 @@ mod tests {
         assert_eq!(p.total(), expect);
         assert_eq!(p.scan, model.seq_read(10));
         assert_eq!(p.rollup, SimTime::ZERO);
+        assert_eq!(p.bytes_scanned, 13 * starshare_storage::PAGE_SIZE as u64);
     }
 
     #[test]

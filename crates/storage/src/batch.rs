@@ -135,6 +135,31 @@ impl ScanBatch {
         self.base_pos = base_pos;
         self.len = n;
     }
+
+    /// Refills the batch from per-value closures instead of raw page bytes
+    /// — the decode path for sealed (compressed) pages. `key_at(d, i)` and
+    /// `measure_at(i)` address row `i` of the batch (the caller offsets by
+    /// its first slot).
+    pub(crate) fn fill_with(
+        &mut self,
+        n: usize,
+        base_pos: u64,
+        mut key_at: impl FnMut(usize, usize) -> u32,
+        mut measure_at: impl FnMut(usize) -> f64,
+    ) {
+        for (d, col) in self.cols.iter_mut().enumerate() {
+            col.clear();
+            for i in 0..n {
+                col.push(key_at(d, i));
+            }
+        }
+        self.measures.clear();
+        for i in 0..n {
+            self.measures.push(measure_at(i));
+        }
+        self.base_pos = base_pos;
+        self.len = n;
+    }
 }
 
 #[cfg(test)]

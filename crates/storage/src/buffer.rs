@@ -16,7 +16,7 @@ use std::collections::HashMap;
 
 use crate::fault::{FaultError, FaultInjector, FaultPlan, FaultStats};
 use crate::model::{HardwareModel, SimTime};
-use crate::page::{FileId, PageId};
+use crate::page::{FileId, PageId, PAGE_SIZE};
 
 /// How a page access reached the pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,6 +29,14 @@ pub enum AccessKind {
 }
 
 /// I/O activity observed by the pool.
+///
+/// Fault *counts* drive eviction behaviour and the random-read charge;
+/// fault *bytes* drive the sequential-transfer charge and the
+/// `bytes_scanned` telemetry. On uncompressed storage every fault moves
+/// exactly [`PAGE_SIZE`] bytes, so the byte counters are redundant there
+/// (`seq_bytes == seq_faults × PAGE_SIZE`) and the priced time is
+/// identical to the historical per-fault pricing. Compressed pages move
+/// fewer bytes per fault and add a decompression charge.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct IoStats {
     /// Faults served as sequential transfers.
@@ -37,12 +45,26 @@ pub struct IoStats {
     pub random_faults: u64,
     /// Accesses satisfied from the pool.
     pub hits: u64,
+    /// Bytes moved by sequential faults (stored — possibly compressed —
+    /// page bytes; hits move nothing).
+    pub seq_bytes: u64,
+    /// Bytes moved by random faults.
+    pub random_bytes: u64,
+    /// Compressed bytes decoded to serve faults (0 on raw pages). Charged
+    /// as CPU in [`io_time`](Self::io_time) — the cycles compression
+    /// spends to save transfer bytes.
+    pub decompress_bytes: u64,
 }
 
 impl IoStats {
-    /// Prices the recorded faults under `model`. Hits are free.
+    /// Prices the recorded I/O under `model`. Hits are free. Sequential
+    /// transfers are priced by *bytes* (at the model's per-page rate over
+    /// [`PAGE_SIZE`]), random reads per fault (seek-dominated), and
+    /// decompression per byte decoded.
     pub fn io_time(&self, model: &HardwareModel) -> SimTime {
-        model.seq_read(self.seq_faults) + model.random_read(self.random_faults)
+        model.seq_read_bytes(self.seq_bytes)
+            + model.random_read(self.random_faults)
+            + model.decompress(self.decompress_bytes)
     }
 
     /// Total page accesses (hits + faults).
@@ -50,11 +72,19 @@ impl IoStats {
         self.hits + self.seq_faults + self.random_faults
     }
 
+    /// Bytes actually read from storage (sequential + random fault bytes).
+    pub fn bytes_scanned(&self) -> u64 {
+        self.seq_bytes + self.random_bytes
+    }
+
     /// Merges another stats record into this one.
     pub fn merge(&mut self, other: &IoStats) {
         self.seq_faults += other.seq_faults;
         self.random_faults += other.random_faults;
         self.hits += other.hits;
+        self.seq_bytes += other.seq_bytes;
+        self.random_bytes += other.random_bytes;
+        self.decompress_bytes += other.decompress_bytes;
     }
 
     /// Difference since an earlier snapshot (all counters are monotone).
@@ -63,6 +93,9 @@ impl IoStats {
             seq_faults: self.seq_faults - earlier.seq_faults,
             random_faults: self.random_faults - earlier.random_faults,
             hits: self.hits - earlier.hits,
+            seq_bytes: self.seq_bytes - earlier.seq_bytes,
+            random_bytes: self.random_bytes - earlier.random_bytes,
+            decompress_bytes: self.decompress_bytes - earlier.decompress_bytes,
         }
     }
 }
@@ -138,8 +171,26 @@ impl BufferPool {
 
     /// Touches `(file, page)`: records a hit if resident, otherwise faults
     /// the page in (evicting the LRU page if full) and records a fault of
-    /// `kind`. Returns `true` on a hit.
+    /// `kind` moving a full [`PAGE_SIZE`] of bytes. Returns `true` on a
+    /// hit.
     pub fn access(&mut self, file: FileId, page: PageId, kind: AccessKind) -> bool {
+        self.access_sized(file, page, kind, PAGE_SIZE as u64, 0)
+    }
+
+    /// [`access`](Self::access) for a page whose stored form is `io_bytes`
+    /// long and needs `decompress_bytes` of decoding when faulted in
+    /// (compressed heap pages). Residency, eviction, and the fault/hit
+    /// counters are identical to `access`; only the byte accounting — and
+    /// therefore the priced sequential/decompression time — differs. Hits
+    /// record no bytes: the pool holds pages in decoded form.
+    pub fn access_sized(
+        &mut self,
+        file: FileId,
+        page: PageId,
+        kind: AccessKind,
+        io_bytes: u64,
+        decompress_bytes: u64,
+    ) -> bool {
         let key = (file, page);
         if let Some(&idx) = self.map.get(&key) {
             self.stats.hits += 1;
@@ -147,9 +198,16 @@ impl BufferPool {
             return true;
         }
         match kind {
-            AccessKind::Sequential => self.stats.seq_faults += 1,
-            AccessKind::Random => self.stats.random_faults += 1,
+            AccessKind::Sequential => {
+                self.stats.seq_faults += 1;
+                self.stats.seq_bytes += io_bytes;
+            }
+            AccessKind::Random => {
+                self.stats.random_faults += 1;
+                self.stats.random_bytes += io_bytes;
+            }
         }
+        self.stats.decompress_bytes += decompress_bytes;
         if self.map.len() == self.capacity {
             self.evict_lru();
         }
@@ -169,10 +227,25 @@ impl BufferPool {
     /// whether the first touch hit; `count == 0` touches nothing and
     /// reports `true`.
     pub fn access_run(&mut self, file: FileId, page: PageId, kind: AccessKind, count: u64) -> bool {
+        self.access_run_sized(file, page, kind, count, PAGE_SIZE as u64, 0)
+    }
+
+    /// [`access_run`](Self::access_run) with explicit stored-page bytes
+    /// (see [`access_sized`](Self::access_sized)); only the first touch can
+    /// fault, so only it records bytes.
+    pub fn access_run_sized(
+        &mut self,
+        file: FileId,
+        page: PageId,
+        kind: AccessKind,
+        count: u64,
+        io_bytes: u64,
+        decompress_bytes: u64,
+    ) -> bool {
         let Some(rest) = count.checked_sub(1) else {
             return true;
         };
-        let hit = self.access(file, page, kind);
+        let hit = self.access_sized(file, page, kind, io_bytes, decompress_bytes);
         self.stats.hits += rest;
         hit
     }
@@ -189,10 +262,22 @@ impl BufferPool {
         page: PageId,
         kind: AccessKind,
     ) -> Result<bool, FaultError> {
+        self.try_access_sized(file, page, kind, PAGE_SIZE as u64, 0)
+    }
+
+    /// Fault-checked [`access_sized`](Self::access_sized).
+    pub fn try_access_sized(
+        &mut self,
+        file: FileId,
+        page: PageId,
+        kind: AccessKind,
+        io_bytes: u64,
+        decompress_bytes: u64,
+    ) -> Result<bool, FaultError> {
         if let Some(inj) = &mut self.injector {
             inj.check(file, page)?;
         }
-        Ok(self.access(file, page, kind))
+        Ok(self.access_sized(file, page, kind, io_bytes, decompress_bytes))
     }
 
     /// Arms `plan` on this pool, replacing any previous injector (and its
@@ -469,9 +554,50 @@ mod tests {
             seq_faults: 10,
             random_faults: 10,
             hits: 100,
+            seq_bytes: 10 * PAGE_SIZE as u64,
+            random_bytes: 10 * PAGE_SIZE as u64,
+            decompress_bytes: 0,
         };
         // 10 × 1 ms + 10 × 10 ms = 110 ms.
         assert_eq!(s.io_time(&model).as_secs_f64(), 0.11);
+    }
+
+    #[test]
+    fn io_time_prices_sequential_by_bytes() {
+        let model = HardwareModel::paper_1998();
+        // Half-size pages halve the sequential charge…
+        let s = IoStats {
+            seq_faults: 10,
+            seq_bytes: 10 * PAGE_SIZE as u64 / 2,
+            ..Default::default()
+        };
+        assert_eq!(s.io_time(&model).as_secs_f64(), 0.005);
+        // …while random faults stay seek-priced regardless of bytes.
+        let r = IoStats {
+            random_faults: 10,
+            random_bytes: 10,
+            ..Default::default()
+        };
+        assert_eq!(r.io_time(&model).as_secs_f64(), 0.1);
+        assert_eq!(r.bytes_scanned(), 10);
+    }
+
+    #[test]
+    fn sized_access_records_bytes_on_faults_only() {
+        let mut p = BufferPool::new(4);
+        assert!(!p.access_sized(f(0), 0, AccessKind::Sequential, 100, 40));
+        assert!(p.access_sized(f(0), 0, AccessKind::Sequential, 100, 40));
+        let s = p.stats();
+        assert_eq!(s.seq_faults, 1);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.seq_bytes, 100, "hit added no bytes");
+        assert_eq!(s.decompress_bytes, 40);
+        assert_eq!(s.bytes_scanned(), 100);
+        // Default access moves a full page and decodes nothing.
+        p.access(f(0), 1, AccessKind::Random);
+        let s = p.stats();
+        assert_eq!(s.random_bytes, PAGE_SIZE as u64);
+        assert_eq!(s.decompress_bytes, 40);
     }
 
     #[test]
@@ -537,6 +663,7 @@ mod tests {
             seq_faults: 5,
             random_faults: 7,
             hits: 9,
+            ..Default::default()
         });
         assert_eq!(p.stats().seq_faults, 6);
         assert_eq!(p.stats().random_faults, 7);
@@ -549,15 +676,24 @@ mod tests {
             seq_faults: 1,
             random_faults: 2,
             hits: 3,
+            seq_bytes: 4,
+            random_bytes: 5,
+            decompress_bytes: 6,
         };
         a.merge(&IoStats {
             seq_faults: 10,
             random_faults: 20,
             hits: 30,
+            seq_bytes: 40,
+            random_bytes: 50,
+            decompress_bytes: 60,
         });
         assert_eq!(a.seq_faults, 11);
         assert_eq!(a.random_faults, 22);
         assert_eq!(a.hits, 33);
+        assert_eq!(a.seq_bytes, 44);
+        assert_eq!(a.random_bytes, 55);
+        assert_eq!(a.decompress_bytes, 66);
     }
 }
 
@@ -590,8 +726,14 @@ mod prop_tests {
                 return true;
             }
             match kind {
-                AccessKind::Sequential => self.stats.seq_faults += 1,
-                AccessKind::Random => self.stats.random_faults += 1,
+                AccessKind::Sequential => {
+                    self.stats.seq_faults += 1;
+                    self.stats.seq_bytes += PAGE_SIZE as u64;
+                }
+                AccessKind::Random => {
+                    self.stats.random_faults += 1;
+                    self.stats.random_bytes += PAGE_SIZE as u64;
+                }
             }
             if self.order.len() == self.capacity {
                 self.order.pop();

@@ -32,7 +32,7 @@ pub mod tuple;
 pub use batch::ScanBatch;
 pub use buffer::{AccessKind, BufferPool, IoStats};
 pub use fault::{FaultError, FaultInjector, FaultKind, FaultPlan, FaultStats};
-pub use heap::{BatchCursor, HeapFile, ScanCursor};
+pub use heap::{BatchCursor, HeapFile, ScanCursor, ZONE_PAGES};
 pub use model::{CpuCounters, HardwareModel, SimTime};
 pub use page::{FileId, PageId, PAGE_SIZE};
 pub use tuple::TupleLayout;

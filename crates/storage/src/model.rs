@@ -120,6 +120,11 @@ pub struct HardwareModel {
     /// CPU overhead of one index lookup (walking the index metadata to find
     /// a member's bitmap; its page reads are charged separately).
     pub index_lookup_ns: u64,
+    /// Decompressing one byte of a compressed page after it faults in
+    /// (~50 MB/s — era-appropriate lightweight codec throughput, well under
+    /// the ~122 ns/byte sequential disk rate so compression above ~1.2×
+    /// is a net win on the simulated clock).
+    pub decompress_byte_ns: u64,
     /// Pages occupied by one stored bitmap over `n` fact tuples are charged
     /// as sequential reads when the bitmap is loaded from an index.
     pub buffer_pool_pages: usize,
@@ -139,6 +144,7 @@ impl HardwareModel {
             bitmap_word_ns: 100,
             bitmap_test_ns: 40,
             index_lookup_ns: 50_000,
+            decompress_byte_ns: 20,
             buffer_pool_pages: 2048, // 16 MB of 8 KiB pages
         }
     }
@@ -148,6 +154,7 @@ impl HardwareModel {
         HardwareModel {
             seq_page_read_ns: 0,
             random_page_read_ns: 0,
+            decompress_byte_ns: 0,
             ..Self::paper_1998()
         }
     }
@@ -165,6 +172,7 @@ impl HardwareModel {
             bitmap_word_ns: 0,
             bitmap_test_ns: 0,
             index_lookup_ns: 0,
+            decompress_byte_ns: 20,
             buffer_pool_pages: 2048,
         }
     }
@@ -177,6 +185,20 @@ impl HardwareModel {
     /// Simulated time for `n` random page reads.
     pub fn random_read(&self, n: u64) -> SimTime {
         SimTime::from_nanos(n * self.random_page_read_ns)
+    }
+
+    /// Simulated time for sequentially reading `bytes` from disk, priced at
+    /// the per-page rate pro-rated by actual bytes transferred. Equals
+    /// [`Self::seq_read`] when every page is a full [`PAGE_SIZE`]; compressed
+    /// pages transfer fewer bytes and cost proportionally less.
+    pub fn seq_read_bytes(&self, bytes: u64) -> SimTime {
+        let nanos = bytes as u128 * self.seq_page_read_ns as u128 / crate::page::PAGE_SIZE as u128;
+        SimTime::from_nanos(nanos as u64)
+    }
+
+    /// Simulated time to decompress `bytes` of faulted-in compressed pages.
+    pub fn decompress(&self, bytes: u64) -> SimTime {
+        SimTime::from_nanos(bytes * self.decompress_byte_ns)
     }
 
     /// Converts accumulated CPU counters into simulated time.
@@ -268,6 +290,28 @@ mod tests {
         let m = HardwareModel::paper_1998();
         assert_eq!(m.seq_read(1000).as_secs_f64(), 1.0);
         assert_eq!(m.random_read(100).as_secs_f64(), 1.0);
+    }
+
+    #[test]
+    fn byte_priced_io_matches_page_priced_io_on_full_pages() {
+        let m = HardwareModel::paper_1998();
+        let pages = 1000u64;
+        assert_eq!(
+            m.seq_read_bytes(pages * crate::page::PAGE_SIZE as u64),
+            m.seq_read(pages)
+        );
+        // Half-size pages cost exactly half.
+        assert_eq!(
+            m.seq_read_bytes(pages * crate::page::PAGE_SIZE as u64 / 2)
+                .as_secs_f64(),
+            0.5
+        );
+        // Decompression is priced per byte and zero under free I/O.
+        assert_eq!(m.decompress(1_000_000).as_secs_f64(), 0.02);
+        assert_eq!(
+            HardwareModel::free_io().decompress(1_000_000),
+            SimTime::ZERO
+        );
     }
 
     #[test]

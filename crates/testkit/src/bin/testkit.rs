@@ -38,7 +38,7 @@ use starshare_testkit::{
     check_cache_differential, check_fault_isolation, check_maintenance_differential,
     check_windowed_vs_solo, dump_case_telemetry, dump_window_telemetry, format_case,
     generate_session, harness_spec, maintenance_case, parse_case, run_case, shrink, Case,
-    FaultHarness, Oracle,
+    FaultHarness, Oracle, StorageProfile,
 };
 
 fn main() -> ExitCode {
@@ -83,7 +83,12 @@ fn fuzz(args: &[String]) -> ExitCode {
 
     let spec = harness_spec();
     let mut oracle = Oracle::new(spec);
-    let mut harness = with_faults.then(|| FaultHarness::new(spec, OptimizerKind::Gg));
+    // One fault harness per storage profile; each session runs on its
+    // seed's profile, so the sweep covers compressed indexes and heaps
+    // under injection too.
+    let mut harnesses = with_faults.then(|| {
+        StorageProfile::ALL.map(|p| FaultHarness::with_storage(spec, OptimizerKind::Gg, p))
+    });
     let mut degraded_total = 0usize;
 
     for seed in start..start + count {
@@ -103,7 +108,8 @@ fn fuzz(args: &[String]) -> ExitCode {
                 &out_path,
             );
         }
-        if let Some(h) = &mut harness {
+        if let Some(hs) = &mut harnesses {
+            let h = &mut hs[(seed % hs.len() as u64) as usize];
             for k in 0..fault_seeds {
                 // Distinct fault stream per (session, k).
                 let fault = FaultPlan::seeded(seed.wrapping_mul(1000) + k);
@@ -135,8 +141,9 @@ fn fuzz(args: &[String]) -> ExitCode {
     }
     let s = oracle.stats;
     println!(
-        "ok: {} sessions, {} reference comparisons, {} determinism reruns",
-        s.sessions, s.comparisons, s.reruns
+        "ok: {} sessions, {} reference comparisons, {} determinism reruns, \
+         {} storage-profile checks",
+        s.sessions, s.comparisons, s.reruns, s.storage_checks
     );
     println!("kernel tiers exercised: {:?}", oracle.tiers_seen);
     if with_faults {

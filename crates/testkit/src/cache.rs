@@ -28,6 +28,7 @@ use starshare_core::{
 use starshare_prng::Prng;
 
 use crate::session::generate_session;
+use crate::storage::StorageProfile;
 
 /// Warm replays per session before the append (the first is the cold fill).
 pub const CACHE_REPLAYS: usize = 3;
@@ -66,10 +67,18 @@ pub struct CacheCheck {
     pub degraded: usize,
 }
 
-fn engine(spec: PaperCubeSpec, cached: bool) -> starshare_core::Engine {
-    EngineConfig::paper()
-        .optimizer(OptimizerKind::Tplo)
-        .result_cache(cached)
+/// Both the cached engine and its cache-less reference are built under the
+/// seed's [`StorageProfile`], so warm replays, fault transparency, and
+/// append freshness (which drives `append_facts` — sealed-page growth and
+/// `BitmapJoinIndex::extend` — on compressed layouts) are swept across the
+/// storage axis too.
+fn engine(spec: PaperCubeSpec, cached: bool, seed: u64) -> starshare_core::Engine {
+    StorageProfile::from_seed(seed)
+        .apply(
+            EngineConfig::paper()
+                .optimizer(OptimizerKind::Tplo)
+                .result_cache(cached),
+        )
         .build_paper(spec)
 }
 
@@ -175,11 +184,11 @@ pub fn check_cache_differential(
         ..CacheCheck::default()
     };
 
-    let mut reference = engine(spec, false);
+    let mut reference = engine(spec, false, seed);
     let pre_ref = run(&mut reference, &session.exprs)
         .map_err(|e| format!("seed {seed}: reference run failed: {e}"))?;
 
-    let mut cached = engine(spec, true);
+    let mut cached = engine(spec, true, seed);
     if let Some(f) = fault {
         cached.inject_faults(f);
     }

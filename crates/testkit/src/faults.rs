@@ -22,6 +22,7 @@ use starshare_core::{
 };
 
 use crate::session::Session;
+use crate::storage::StorageProfile;
 
 /// One query's result rows, as the engine returns them.
 type QueryRows = Vec<(Vec<u32>, f64)>;
@@ -73,6 +74,7 @@ impl FaultedComparison {
 pub struct FaultHarness {
     spec: PaperCubeSpec,
     optimizer: OptimizerKind,
+    storage: StorageProfile,
     baseline: Engine,
 }
 
@@ -80,10 +82,26 @@ impl FaultHarness {
     /// Builds the harness over `spec` with the given optimizer
     /// (`threads = 1`: injection is a sequential-path feature).
     pub fn new(spec: PaperCubeSpec, optimizer: OptimizerKind) -> Self {
+        Self::with_storage(spec, optimizer, StorageProfile::Plain)
+    }
+
+    /// Like [`new`](Self::new), but both the baseline and every per-fault
+    /// fresh engine are built under `storage` — so the degradation
+    /// contract (typed errors or bit-identical survivors, retries
+    /// invisible) is checked on compressed indexes and compressed,
+    /// zone-pruned heaps too.
+    pub fn with_storage(
+        spec: PaperCubeSpec,
+        optimizer: OptimizerKind,
+        storage: StorageProfile,
+    ) -> Self {
         FaultHarness {
             spec,
             optimizer,
-            baseline: EngineConfig::paper().optimizer(optimizer).build_paper(spec),
+            storage,
+            baseline: storage
+                .apply(EngineConfig::paper().optimizer(optimizer))
+                .build_paper(spec),
         }
     }
 
@@ -117,8 +135,9 @@ impl FaultHarness {
     /// degradation contract against the fault-free twin.
     pub fn compare(&mut self, session: &Session, fault: FaultPlan) -> FaultedComparison {
         let baseline = self.baseline_rows(session);
-        let mut engine = EngineConfig::paper()
-            .optimizer(self.optimizer)
+        let mut engine = self
+            .storage
+            .apply(EngineConfig::paper().optimizer(self.optimizer))
             .build_paper(self.spec);
         engine.inject_faults(fault);
         let mut queries = Vec::new();

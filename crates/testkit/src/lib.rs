@@ -60,6 +60,7 @@ pub mod repro;
 pub mod runner;
 pub mod session;
 pub mod shrink;
+pub mod storage;
 pub mod telemetry;
 pub mod windows;
 
@@ -74,6 +75,7 @@ pub use repro::{format_case, parse_case};
 pub use runner::run_case;
 pub use session::{generate_session, Session, CUBE_NAME, MAX_EXPRS, MIN_EXPRS};
 pub use shrink::{shrink, Case};
+pub use storage::StorageProfile;
 pub use telemetry::{dump_case_telemetry, dump_window_telemetry, TelemetryArtifacts};
 pub use windows::{
     check_fault_isolation, check_windowed_vs_solo, WindowCheck, MAX_SUBMISSIONS, MIN_SUBMISSIONS,

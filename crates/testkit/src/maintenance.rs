@@ -31,6 +31,7 @@ use starshare_prng::Prng;
 use crate::cache::{compare, COARSE_PROBE};
 use crate::session::generate_session;
 use crate::shrink::Case;
+use crate::storage::StorageProfile;
 
 /// Append batches per generated maintenance session (rounds of MDX run
 /// between them, plus one cold round before the first batch).
@@ -138,11 +139,20 @@ fn run_maintenance_core(case: &Case) -> Result<MaintenanceCheck, String> {
         rounds: case.appends.len() + 1,
         ..MaintenanceCheck::default()
     };
+    // Both the live engine and every fresh from-scratch reference are
+    // built under the seed's storage profile: on compressed layouts each
+    // append grows sealed pages and runs `BitmapJoinIndex::extend` on the
+    // compressed format, and the freshness differential must still hold to
+    // the bit.
+    let storage = StorageProfile::from_seed(seed);
     let build = |cached: bool| {
-        EngineConfig::paper()
-            .optimizer(case.optimizer)
-            .threads(case.threads)
-            .result_cache(cached)
+        storage
+            .apply(
+                EngineConfig::paper()
+                    .optimizer(case.optimizer)
+                    .threads(case.threads)
+                    .result_cache(cached),
+            )
             .build_paper(case.spec)
     };
 

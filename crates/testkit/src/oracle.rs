@@ -30,6 +30,7 @@ use starshare_core::{
 };
 
 use crate::session::Session;
+use crate::storage::StorageProfile;
 
 /// The optimizers the oracle sweeps.
 pub const ORACLE_OPTIMIZERS: [OptimizerKind; 3] =
@@ -88,6 +89,9 @@ pub struct OracleStats {
     pub comparisons: u64,
     /// Determinism double-runs performed.
     pub reruns: u64,
+    /// Storage-profile differential checks performed (one engine per
+    /// session, round-robined by seed).
+    pub storage_checks: u64,
 }
 
 /// The differential oracle: a fixed cube, one engine per configuration.
@@ -99,6 +103,13 @@ pub struct Oracle {
     /// Source of truth for binding and [`reference_eval`].
     reference: Engine,
     engines: Vec<(OptimizerKind, usize, Engine)>,
+    /// The storage axis: engines identical to the plain Gg configuration
+    /// except for [`StorageProfile`] (compressed indexes and/or compressed
+    /// heaps + zone pruning). Each session checks one of them —
+    /// round-robined by seed — against a fresh run of `reference`, and the
+    /// rows must match **bitwise**, not just to 1e-9: compression is a
+    /// layout change, never a numeric one.
+    storage_engines: Vec<(StorageProfile, Engine)>,
     /// Kernel tiers any checked plan compiled to, as `{:?}` names.
     pub tiers_seen: BTreeSet<&'static str>,
     /// Running tallies.
@@ -110,12 +121,31 @@ impl Oracle {
     /// matrix over `spec`: [`ORACLE_OPTIMIZERS`] × [`ORACLE_THREADS`] at
     /// the default morsel size.
     pub fn new(spec: PaperCubeSpec) -> Self {
-        Self::with_matrix(
+        let mut oracle = Self::with_matrix(
             spec,
             &ORACLE_OPTIMIZERS,
             &ORACLE_THREADS,
             starshare_core::DEFAULT_MORSEL_PAGES,
-        )
+        );
+        // The storage axis rides along only in the full default sweep:
+        // every non-plain profile at the sequential path plus the full
+        // production layout threaded, so pruning runs under the morsel
+        // scheduler too.
+        oracle.storage_engines = [
+            (StorageProfile::CompressedIndex, 1),
+            (StorageProfile::CompressedHeap, 1),
+            (StorageProfile::Compressed, 1),
+            (StorageProfile::Compressed, 4),
+        ]
+        .into_iter()
+        .map(|(profile, threads)| {
+            let e = profile
+                .apply(EngineConfig::paper().threads(threads))
+                .build_paper(spec);
+            (profile, e)
+        })
+        .collect();
+        oracle
     }
 
     /// Builds an oracle over an explicit configuration matrix: every
@@ -144,6 +174,7 @@ impl Oracle {
         Oracle {
             reference: Engine::paper(spec),
             engines,
+            storage_engines: Vec::new(),
             tiers_seen: BTreeSet::new(),
             stats: OracleStats::default(),
         }
@@ -211,6 +242,43 @@ impl Oracle {
                 assert_bit_identical(&out, &again).map_err(mismatch)?;
             }
         }
+
+        // The storage axis: one profile per session (round-robined by
+        // seed), answered bitwise-identically to a fresh run on the plain
+        // reference engine. The clocks legitimately differ — compressed
+        // scans charge decompression CPU and prune zones — so only the
+        // result rows are compared, but they are compared **bitwise**:
+        // quarter-unit measures make every sum exact, so a single
+        // last-bit wobble means compression changed semantics.
+        if !self.storage_engines.is_empty() {
+            let si = (session.seed as usize) % self.storage_engines.len();
+            let (profile, threads) = (
+                self.storage_engines[si].0,
+                self.storage_engines[si].1.threads(),
+            );
+            let mismatch = |detail: String| Mismatch {
+                seed: session.seed,
+                optimizer: OptimizerKind::Gg,
+                threads,
+                detail: format!("[storage {profile:?}] {detail}"),
+            };
+            self.reference.flush();
+            let plain_out = self
+                .reference
+                .mdx_many(&texts)
+                .map_err(|e| mismatch(format!("plain twin failed fault-free: {e}")))?;
+            let out = {
+                let engine = &mut self.storage_engines[si].1;
+                engine.flush();
+                engine
+                    .mdx_many(&texts)
+                    .map_err(|e| mismatch(format!("batch failed fault-free: {e}")))?
+            };
+            compare_to_expected(&out, &expected, &mut self.stats.comparisons).map_err(mismatch)?;
+            assert_rows_bit_identical(&plain_out, &out).map_err(mismatch)?;
+            self.stats.storage_checks += 1;
+        }
+
         self.stats.sessions += 1;
         Ok(())
     }
@@ -280,6 +348,47 @@ fn compare_to_expected(
                 return Err(format!(
                     "expression {xi} query {qi}: result disagrees with reference_eval"
                 ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Result rows agree bit-for-bit, counters ignored: the comparison that
+/// holds **across** storage layouts, where `sim`/`io` legitimately differ
+/// (compressed scans charge decompression CPU and skip pruned zones) but
+/// answers must not move a single bit.
+pub(crate) fn assert_rows_bit_identical(a: &Outcome, b: &Outcome) -> Result<(), String> {
+    if a.outcomes.len() != b.outcomes.len() {
+        return Err(format!(
+            "{} outcomes vs {}",
+            a.outcomes.len(),
+            b.outcomes.len()
+        ));
+    }
+    for (xi, (oa, ob)) in a.outcomes.iter().zip(&b.outcomes).enumerate() {
+        match (oa, ob) {
+            (Ok(ra), Ok(rb)) => {
+                if ra.results.len() != rb.results.len() {
+                    return Err(format!("expression {xi}: result count differs"));
+                }
+                for (qi, (qa, qb)) in ra.results.iter().zip(&rb.results).enumerate() {
+                    match (qa, qb) {
+                        (Ok(qa), Ok(qb)) => {
+                            if qa.rows != qb.rows {
+                                return Err(format!(
+                                    "expression {xi} query {qi}: rows not bit-identical across storage layouts"
+                                ));
+                            }
+                        }
+                        _ => return Err(format!("expression {xi} query {qi}: Ok/Err flip")),
+                    }
+                }
+            }
+            _ => {
+                return Err(format!(
+                    "expression {xi}: outcome flip across storage layouts"
+                ))
             }
         }
     }

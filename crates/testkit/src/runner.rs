@@ -11,6 +11,7 @@
 use starshare_core::{reference_eval, EngineConfig, Error, QueryResult};
 
 use crate::shrink::Case;
+use crate::storage::StorageProfile;
 
 /// Runs `case` once. `Ok(())` means the engine honoured its contract on
 /// this case; `Err(detail)` is a human-readable account of the violation
@@ -23,9 +24,15 @@ pub fn run_case(case: &Case) -> Result<(), String> {
     if !case.appends.is_empty() {
         return crate::maintenance::run_maintenance_case(case);
     }
-    let mut engine = EngineConfig::paper()
-        .optimizer(case.optimizer)
-        .threads(case.threads)
+    // The case's storage profile is a function of its seed (the same
+    // rotation every sweep uses), so a shrunk repro replays on the same
+    // layout it failed under — shrinking keeps the seed.
+    let mut engine = StorageProfile::from_seed(case.seed)
+        .apply(
+            EngineConfig::paper()
+                .optimizer(case.optimizer)
+                .threads(case.threads),
+        )
         .build_paper(case.spec);
 
     // Expected answers, from the row-at-a-time reference.

@@ -1,0 +1,78 @@
+//! The storage axis the differential sweeps vary: bitmap-index format ×
+//! heap compression.
+//!
+//! Compression is an accounting-and-layout change, never a semantic one:
+//! every profile must answer every session bit-identically to
+//! [`Plain`](StorageProfile::Plain) — including under fault injection,
+//! across appends (which exercise `BitmapJoinIndex::extend` and sealed-page
+//! growth), and at every thread count. The harnesses pick a profile
+//! deterministically from the case seed ([`from_seed`](StorageProfile::from_seed)),
+//! so a sweep of N seeds covers all profiles and every repro names its
+//! profile implicitly through the seed.
+
+use starshare_core::{EngineConfig, IndexFormat};
+
+/// One point on the storage axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StorageProfile {
+    /// Plain member bitmaps, raw heap pages — the historical layout.
+    #[default]
+    Plain,
+    /// Compressed member bitmaps, raw heap pages.
+    CompressedIndex,
+    /// Plain member bitmaps, compressed heap pages (+ zone-map pruning).
+    CompressedHeap,
+    /// Both compressed — the production layout.
+    Compressed,
+}
+
+impl StorageProfile {
+    /// Every profile, in sweep order.
+    pub const ALL: [StorageProfile; 4] = [
+        StorageProfile::Plain,
+        StorageProfile::CompressedIndex,
+        StorageProfile::CompressedHeap,
+        StorageProfile::Compressed,
+    ];
+
+    /// The profile a seeded sweep uses for `seed` — a deterministic
+    /// round-robin, so consecutive seeds cover all profiles.
+    pub fn from_seed(seed: u64) -> Self {
+        Self::ALL[(seed % Self::ALL.len() as u64) as usize]
+    }
+
+    /// Applies the profile to an engine configuration.
+    pub fn apply(self, cfg: EngineConfig) -> EngineConfig {
+        match self {
+            StorageProfile::Plain => cfg,
+            StorageProfile::CompressedIndex => cfg.index_format(IndexFormat::Compressed),
+            StorageProfile::CompressedHeap => cfg.compression(true),
+            StorageProfile::Compressed => {
+                cfg.index_format(IndexFormat::Compressed).compression(true)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_seed_round_robins_all_profiles() {
+        let seen: std::collections::BTreeSet<_> = (0..8u64)
+            .map(|s| format!("{:?}", StorageProfile::from_seed(s)))
+            .collect();
+        assert_eq!(seen.len(), StorageProfile::ALL.len());
+    }
+
+    #[test]
+    fn apply_sets_the_expected_knobs() {
+        let cfg = StorageProfile::Compressed.apply(EngineConfig::paper());
+        assert!(cfg.compression);
+        assert_eq!(cfg.index_format, IndexFormat::Compressed);
+        let cfg = StorageProfile::Plain.apply(EngineConfig::paper());
+        assert!(!cfg.compression);
+        assert_eq!(cfg.index_format, IndexFormat::Plain);
+    }
+}

@@ -24,6 +24,7 @@ use starshare_core::{
 use starshare_prng::Prng;
 
 use crate::session::generate_session;
+use crate::storage::StorageProfile;
 
 /// Submissions per generated window, inclusive bounds.
 pub const MIN_SUBMISSIONS: usize = 2;
@@ -51,9 +52,13 @@ fn window_strategy() -> ExecStrategy {
     ExecStrategy::Morsel(MorselSpec::whole_table())
 }
 
-fn engine(spec: PaperCubeSpec) -> starshare_core::Engine {
-    EngineConfig::paper()
-        .optimizer(OptimizerKind::Tplo)
+/// Every engine in one seed's check — solo twins and the shared window —
+/// is built under the seed's [`StorageProfile`], so the windowing
+/// bit-identity and fault-isolation contracts are swept across compressed
+/// indexes and compressed, zone-pruned heaps too.
+fn engine(spec: PaperCubeSpec, seed: u64) -> starshare_core::Engine {
+    StorageProfile::from_seed(seed)
+        .apply(EngineConfig::paper().optimizer(OptimizerKind::Tplo))
         .build_paper(spec)
 }
 
@@ -81,7 +86,7 @@ fn run_window(
 /// bit-identical (rows and attributed cost) to running it alone.
 pub fn check_windowed_vs_solo(spec: PaperCubeSpec, seed: u64) -> Result<WindowCheck, String> {
     let submissions = generate_window(spec, seed);
-    let mut e = engine(spec);
+    let mut e = engine(spec, seed);
     let windowed = run_window(&mut e, &submissions)?;
 
     let mut check = WindowCheck {
@@ -93,7 +98,7 @@ pub fn check_windowed_vs_solo(spec: PaperCubeSpec, seed: u64) -> Result<WindowCh
 
     for (si, sub) in submissions.iter().enumerate() {
         // Fresh engine per solo run: cold pool, same cube bits.
-        let mut solo_engine = engine(spec);
+        let mut solo_engine = engine(spec, seed);
         let solo = run_window(&mut solo_engine, std::slice::from_ref(sub))
             .map_err(|e| format!("submission {si} alone: {e}"))?;
         if windowed.attributed[si] != solo.attributed[0] {
@@ -148,11 +153,11 @@ pub fn check_fault_isolation(
     // Clean solo reference rows per submission.
     let mut clean: Vec<WindowOutcome> = Vec::new();
     for sub in &submissions {
-        let mut e = engine(spec);
+        let mut e = engine(spec, seed);
         clean.push(run_window(&mut e, std::slice::from_ref(sub))?);
     }
 
-    let mut e = engine(spec);
+    let mut e = engine(spec, seed);
     e.inject_faults(fault);
     let windowed = run_window(&mut e, &submissions)?;
     let stats = e.clear_faults().expect("injector was armed");
